@@ -1,0 +1,151 @@
+//! Host FFT library benchmarks: the FFTW-substitute baseline's own
+//! performance across sizes, algorithms and serial/parallel drivers.
+//! These are the rates behind Table V's "host-measured" rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parafft::{
+    Complex64, Fft, FftDirection, FftPlanner, Normalization, RealFft, TwiddleTable,
+};
+use std::hint::black_box;
+
+fn sample(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.01).sin(), (i as f64 * 0.03).cos()))
+        .collect()
+}
+
+/// 1D serial FFT across sizes (5N·log₂N-convention throughput).
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d_serial");
+    g.sample_size(20);
+    for logn in [10u32, 14, 18] {
+        let n = 1usize << logn;
+        let plan = Fft::new(n, FftDirection::Forward);
+        let mut data = sample(n);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        g.throughput(Throughput::Elements((5 * n as u64) * logn as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+/// Serial vs rayon-parallel (the Table V 1-vs-32-thread contrast).
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d_parallel");
+    g.sample_size(15);
+    let n = 1usize << 18;
+    let plan = Fft::new(n, FftDirection::Forward);
+    let mut data = sample(n);
+    let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+    g.bench_function("serial", |b| {
+        b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch))
+    });
+    g.bench_function("rayon", |b| b.iter(|| plan.process_par(black_box(&mut data))));
+    g.finish();
+}
+
+/// Algorithm comparison at one size: Stockham vs in-place DIT/DIF vs
+/// recursive (depth-first) vs Bluestein-on-power-of-two.
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d_algorithms");
+    g.sample_size(20);
+    let n = 1usize << 14;
+    let x = sample(n);
+    let twf = TwiddleTable::new(n, FftDirection::Forward);
+    let plan = Fft::new(n, FftDirection::Forward);
+    let mut scratch = vec![Complex64::zero(); n];
+
+    let mut data = x.clone();
+    g.bench_function("stockham_mixed_radix", |b| {
+        b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch))
+    });
+    let mut data = x.clone();
+    g.bench_function("radix2_dit_inplace", |b| {
+        b.iter(|| parafft::radix2::fft_dit2(black_box(&mut data), FftDirection::Forward, &twf))
+    });
+    let mut data = x.clone();
+    g.bench_function("radix2_dif_inplace", |b| {
+        b.iter(|| parafft::radix2::fft_dif2(black_box(&mut data), FftDirection::Forward, &twf))
+    });
+    let mut out = vec![Complex64::zero(); n];
+    g.bench_function("recursive_depth_first", |b| {
+        b.iter(|| {
+            parafft::recursive::fft_recursive(black_box(&x), &mut out, FftDirection::Forward, &twf)
+        })
+    });
+    // Bluestein on an awkward size of comparable magnitude.
+    let n_awk = n - 1; // 16383 = 3·43·127
+    let bl = Fft::new(n_awk, FftDirection::Forward);
+    let mut data = sample(n_awk);
+    g.bench_function("bluestein_awkward_size", |b| {
+        b.iter(|| bl.process(black_box(&mut data)))
+    });
+    g.finish();
+}
+
+/// Real-input transform vs complex transform of the same length.
+fn bench_realfft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_real_vs_complex");
+    g.sample_size(20);
+    let n = 1usize << 16;
+    let real: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).sin()).collect();
+    let rplan = RealFft::new(n);
+    let mut half = vec![Complex64::zero(); rplan.output_len()];
+    g.bench_function("real_packed", |b| {
+        b.iter(|| rplan.process(black_box(&real), &mut half))
+    });
+    let cplan = Fft::new(n, FftDirection::Forward);
+    let mut data: Vec<Complex64> = real.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+    let mut scratch = vec![Complex64::zero(); cplan.scratch_len()];
+    g.bench_function("complex_full", |b| {
+        b.iter(|| cplan.process_with_scratch(black_box(&mut data), &mut scratch))
+    });
+    g.finish();
+}
+
+/// Plan construction and caching (amortization across rows).
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_planning");
+    g.sample_size(20);
+    g.bench_function("plan_64k_points", |b| {
+        b.iter(|| black_box(Fft::<f64>::new(1 << 16, FftDirection::Forward)))
+    });
+    g.bench_function("planner_cache_hit", |b| {
+        let mut planner = FftPlanner::<f64>::new();
+        planner.plan(1 << 16, FftDirection::Forward);
+        b.iter(|| black_box(planner.plan(1 << 16, FftDirection::Forward)))
+    });
+    g.finish();
+}
+
+/// Normalization overhead.
+fn bench_normalization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_normalization");
+    g.sample_size(20);
+    let n = 1usize << 14;
+    for (name, norm) in [
+        ("none", Normalization::None),
+        ("unitary", Normalization::Unitary),
+    ] {
+        let plan = Fft::with_normalization(n, FftDirection::Forward, norm);
+        let mut data = sample(n);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        g.bench_function(name, |b| {
+            b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sizes,
+    bench_parallel,
+    bench_algorithms,
+    bench_realfft,
+    bench_planning,
+    bench_normalization
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Multidimensional host FFT benchmarks, covering two Section IV-A
+//! ablations on the host side:
+//!
+//! * granularity of parallelism (coarse rows-per-thread vs the
+//!   fine-grained stage-synchronous mapping),
+//! * depth-first vs breadth-first traversal (and the hybrid cutover
+//!   the paper suggests for large inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parafft::{Complex64, Fft2d, Fft3d, FftDirection, Granularity, TwiddleTable};
+use std::hint::black_box;
+
+fn sample(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.011).sin(), (i as f64 * 0.017).cos()))
+        .collect()
+}
+
+fn bench_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_3d_cube64");
+    g.sample_size(10);
+    let n = 64usize;
+    let plan = Fft3d::cube(n, FftDirection::Forward);
+    let mut data = sample(n * n * n);
+    g.bench_function("serial", |b| b.iter(|| plan.process(black_box(&mut data))));
+    g.bench_function("parallel_coarse", |b| {
+        b.iter(|| plan.process_par(black_box(&mut data), Granularity::Coarse))
+    });
+    g.bench_function("parallel_fine", |b| {
+        b.iter(|| plan.process_par(black_box(&mut data), Granularity::Fine))
+    });
+    g.finish();
+}
+
+fn bench_2d_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_2d_granularity");
+    g.sample_size(10);
+    // Few long rows: the regime where coarse-grained parallelism
+    // starves the thread pool and fine-grained does not.
+    let (r, cols) = (8usize, 1usize << 14);
+    let plan = Fft2d::new(r, cols, FftDirection::Forward);
+    let mut data = sample(r * cols);
+    g.bench_function("coarse_few_rows", |b| {
+        b.iter(|| plan.process_par(black_box(&mut data), Granularity::Coarse))
+    });
+    g.bench_function("fine_few_rows", |b| {
+        b.iter(|| plan.process_par(black_box(&mut data), Granularity::Fine))
+    });
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_traversal");
+    g.sample_size(10);
+    let n = 1usize << 16;
+    let x = sample(n);
+    let twf = TwiddleTable::new(n, FftDirection::Forward);
+    let mut out = vec![Complex64::zero(); n];
+
+    g.bench_function("breadth_first_stockham", |b| {
+        let plan = parafft::Fft::new(n, FftDirection::Forward);
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::zero(); n];
+        b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch))
+    });
+    g.bench_function("depth_first_recursive", |b| {
+        b.iter(|| {
+            parafft::recursive::fft_recursive(black_box(&x), &mut out, FftDirection::Forward, &twf)
+        })
+    });
+    for cutoff in [1usize << 8, 1 << 12] {
+        g.bench_function(format!("hybrid_cutoff_{cutoff}"), |b| {
+            b.iter(|| {
+                parafft::recursive::fft_hybrid(
+                    black_box(&x),
+                    &mut out,
+                    FftDirection::Forward,
+                    &twf,
+                    cutoff,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dit_vs_dif(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_dit_vs_dif");
+    g.sample_size(15);
+    let n = 1usize << 14;
+    let twf = TwiddleTable::new(n, FftDirection::Forward);
+    let mut data = sample(n);
+    g.bench_function("dit", |b| {
+        b.iter(|| parafft::radix2::fft_dit2(black_box(&mut data), FftDirection::Forward, &twf))
+    });
+    g.bench_function("dif", |b| {
+        b.iter(|| parafft::radix2::fft_dif2(black_box(&mut data), FftDirection::Forward, &twf))
+    });
+    g.bench_function("dif_scrambled_no_unshuffle", |b| {
+        b.iter(|| {
+            parafft::radix2::fft_dif2_scrambled(black_box(&mut data), FftDirection::Forward, &twf)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_3d, bench_2d_granularity, bench_traversal, bench_dit_vs_dif);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Interconnect-model benchmarks: saturation throughput of the
+//! cycle-level MoT and butterfly under the traffic classes the FFT
+//! generates, and the raw simulation speed of the switch models.
+//!
+//! The reported *throughput* numbers (flits/port/cycle) back the
+//! constants in `xmt_noc::analytic`; the wall-time numbers tell you
+//! what machine sizes the cycle simulator can sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmt_noc::{
+    measure_saturation, ButterflyNetwork, MotNetwork, Pattern, Topology,
+};
+
+fn bench_mot_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc_mot_sim_speed");
+    g.sample_size(10);
+    for ports in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, &p| {
+            b.iter(|| {
+                let mut net = MotNetwork::new(Topology::pure_mot(p, p));
+                black_box(measure_saturation(&mut net, Pattern::Uniform, 50, 200))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_butterfly_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc_butterfly_sim_speed");
+    g.sample_size(10);
+    for (ports, stages) in [(64usize, 3u32), (256, 5)] {
+        let topo = Topology::hybrid(ports, ports, 2 * ports.trailing_zeros() - stages, stages);
+        g.bench_with_input(
+            BenchmarkId::new("ports_stages", format!("{ports}x{stages}")),
+            &topo,
+            |b, &t| {
+                b.iter(|| {
+                    let mut net = ButterflyNetwork::new(t);
+                    black_box(measure_saturation(&mut net, Pattern::Uniform, 50, 200))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    // Same network, different traffic classes: the wall time is similar
+    // but each run *prints* nothing — the interesting output is the
+    // saturation figure asserted here to stay in its calibrated band.
+    let mut g = c.benchmark_group("noc_pattern_saturation");
+    g.sample_size(10);
+    let topo = Topology::hybrid(128, 128, 7, 7);
+    for (name, pat, band) in [
+        ("hashed", Pattern::Uniform, (0.55, 0.75)),
+        ("transpose", Pattern::Transpose, (0.05, 0.2)),
+        ("hotspot", Pattern::Hotspot(3), (0.0, 0.05)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = ButterflyNetwork::new(topo);
+                let s = measure_saturation(&mut net, pat, 100, 300);
+                assert!(
+                    s.throughput >= band.0 && s.throughput <= band.1,
+                    "{name} saturation {} outside calibrated band {band:?}",
+                    s.throughput
+                );
+                black_box(s)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mot_speed, bench_butterfly_speed, bench_patterns);
+criterion_main!(benches);

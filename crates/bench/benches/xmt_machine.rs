@@ -1,0 +1,71 @@
+//! Cycle-simulator benchmarks: how fast the machine model executes the
+//! generated FFT programs (simulated-cycles per host-second), and the
+//! untimed interpreter for comparison. These bound the problem sizes
+//! the calibration harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parafft::Complex32;
+use std::hint::black_box;
+use xmt_fft::plan::XmtFftPlan;
+use xmt_fft::run::{run_on_interp, run_on_machine};
+use xmt_sim::XmtConfig;
+
+fn input(n: usize) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.05).sin(), (i as f32 * 0.08).cos()))
+        .collect()
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xmt_interp_fft");
+    g.sample_size(10);
+    for n in [512usize, 4096] {
+        let plan = XmtFftPlan::new_1d(n, 4);
+        let x = input(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(run_on_interp(&plan, &x).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xmt_machine_fft");
+    g.sample_size(10);
+    for (clusters, n) in [(4usize, 512usize), (8, 2048)] {
+        let cfg = XmtConfig::xmt_4k().scaled_to(clusters);
+        let plan = XmtFftPlan::new_1d(n, 4);
+        let x = input(n);
+        g.bench_with_input(
+            BenchmarkId::new("clusters_n", format!("{clusters}x{n}")),
+            &n,
+            |b, _| b.iter(|| black_box(run_on_machine(&plan, &cfg, &x).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_machine_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xmt_machine_fft3d");
+    g.sample_size(10);
+    let cfg = XmtConfig::xmt_4k().scaled_to(4);
+    let plan = XmtFftPlan::new_3d((8, 8, 8), 2);
+    let x = input(512);
+    g.bench_function("cube8_4clusters", |b| {
+        b.iter(|| black_box(run_on_machine(&plan, &cfg, &x).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    // The analytic model itself is nearly free — that is the point.
+    let mut g = c.benchmark_group("xmt_projection");
+    g.sample_size(30);
+    g.bench_function("table4_all_configs", |b| {
+        b.iter(|| black_box(xmt_fft::table4_projection()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp, bench_machine, bench_machine_3d, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: twiddle-table replication (Section IV-A "Twiddle
+//! Factors").
+//!
+//! All rows of a multidimensional FFT read the *same* twiddle factors;
+//! with a single table copy those reads queue on the same cache
+//! modules ("accesses to the same memory location on XMT are queued"),
+//! so the paper replicates the table until each cache module holds one
+//! line of it. This binary measures simulated cycles as the replica
+//! count grows.
+
+use parafft::Complex32;
+use xmt_bench::render_table;
+use xmt_fft::plan::XmtFftPlan;
+use xmt_fft::run::{host_reference, rel_error, run_on_machine};
+use xmt_sim::XmtConfig;
+
+fn main() {
+    // Many rows sharing a tiny table maximizes same-line pressure: a
+    // 16-entry table is 4 cache lines, so with one copy only 4 of the
+    // 32 cache modules serve every twiddle read.
+    let (rows_n, cols) = (512usize, 16usize);
+    let cfg = XmtConfig::xmt_4k().scaled_to(32);
+    let x: Vec<Complex32> = (0..rows_n * cols)
+        .map(|i| Complex32::new((i as f32 * 0.013).sin(), (i as f32 * 0.029).cos()))
+        .collect();
+
+    println!(
+        "Ablation — twiddle replication ({rows_n}x{cols} 2D FFT, {} cache modules)\n",
+        cfg.memory_modules
+    );
+    let mut table = Vec::new();
+    let mut first_cycles = 0u64;
+    for copies in [1u32, 2, 4, 8, 16] {
+        let plan = XmtFftPlan::build_with(&[rows_n, cols], copies, None, true);
+        let run = run_on_machine(&plan, &cfg, &x).expect("simulation");
+        let err = rel_error(&host_reference(&plan, &x), &run.output);
+        assert!(err < 1e-3, "copies={copies} wrong: {err}");
+        let cycles = run.summary.stats.cycles;
+        if copies == 1 {
+            first_cycles = cycles;
+        }
+        table.push(vec![
+            copies.to_string(),
+            cycles.to_string(),
+            format!("{:.2}x", first_cycles as f64 / cycles as f64),
+        ]);
+    }
+    println!("{}", render_table(&["replicas", "cycles", "speedup vs 1 copy"], &table));
+    let policy = xmt_fft::default_copies(cols, cfg.memory_modules);
+    println!(
+        "\npaper policy for this shape: {policy} replicas (one cache line per module);\n\
+         diminishing returns beyond that, exactly as Section IV-A argues."
+    );
+}

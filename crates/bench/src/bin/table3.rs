@@ -1,0 +1,54 @@
+//! Regenerates Table III: physical configurations (technology node,
+//! 3D layers, silicon area), from the calibrated area model in
+//! `xmt_sim::physical`, with the paper's published values beside the
+//! model output.
+
+use xmt_bench::render_table;
+use xmt_sim::{summarize, XmtConfig};
+
+const PAPER_TOTALS: [f64; 5] = [227.0, 551.0, 3046.0, 3284.0, 3540.0];
+const PAPER_PER_LAYER: [f64; 5] = [227.0, 276.0, 380.0, 365.0, 393.0];
+
+fn main() {
+    let cfgs = XmtConfig::paper_configs();
+    let sums: Vec<_> = cfgs.iter().map(summarize).collect();
+    let headers: Vec<&str> =
+        std::iter::once("").chain(cfgs.iter().map(|c| c.name)).collect();
+    let rows = vec![
+        std::iter::once("Technology Node (nm)".to_string())
+            .chain(sums.iter().map(|s| s.tech_nm.to_string()))
+            .collect::<Vec<_>>(),
+        std::iter::once("Silicon (Si) Layers".to_string())
+            .chain(sums.iter().map(|s| s.si_layers.to_string()))
+            .collect(),
+        std::iter::once("Si Area per Layer (mm2), model".to_string())
+            .chain(sums.iter().map(|s| format!("{:.0}", s.area_per_layer_mm2)))
+            .collect(),
+        std::iter::once("Si Area per Layer (mm2), paper".to_string())
+            .chain(PAPER_PER_LAYER.iter().map(|v| format!("{v:.0}")))
+            .collect(),
+        std::iter::once("Total Si Area (mm2), model".to_string())
+            .chain(sums.iter().map(|s| format!("{:.0}", s.total_area_mm2)))
+            .collect(),
+        std::iter::once("Total Si Area (mm2), paper".to_string())
+            .chain(PAPER_TOTALS.iter().map(|v| format!("{v:.0}")))
+            .collect(),
+        std::iter::once("Peak power (W), model".to_string())
+            .chain(sums.iter().map(|s| format!("{:.0}", s.peak_power_w)))
+            .collect(),
+        std::iter::once("Off-chip BW (Tb/s)".to_string())
+            .chain(sums.iter().map(|s| format!("{:.2}", s.offchip_tbps)))
+            .collect(),
+        std::iter::once("Serial pins for DRAM".to_string())
+            .chain(sums.iter().map(|s| s.serial_pins.to_string()))
+            .collect(),
+    ];
+    println!("Table III — XMT physical configurations (area model vs paper)\n");
+    println!("{}", render_table(&headers, &rows));
+    let worst = sums
+        .iter()
+        .zip(PAPER_TOTALS)
+        .map(|(s, p)| ((s.total_area_mm2 - p) / p).abs())
+        .fold(0.0f64, f64::max);
+    println!("Largest total-area deviation from the paper: {:.1} %", worst * 100.0);
+}

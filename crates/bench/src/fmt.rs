@@ -1,0 +1,63 @@
+//! Plain-text table rendering for the regenerator binaries.
+
+/// Render an aligned table: first row of `rows` after `headers`.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+    }
+    let mut w = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        w[i] = h.len();
+    }
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            w[i] = w[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:>width$}", width = w[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = w.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        line(&mut out, r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

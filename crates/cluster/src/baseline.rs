@@ -1,0 +1,140 @@
+//! FFTW-substitute baselines for Table V.
+//!
+//! Two baseline sources are provided and reported side by side:
+//!
+//! 1. **Paper-pinned**: the serial and 32-thread FFTW 3.3.4 rates the
+//!    paper's Table V implies (239 GFLOPS / 31× = 7.71 GFLOPS serial;
+//!    239 / 2.8 = 85.4 GFLOPS for 32 threads on dual E5-2690).
+//! 2. **Host-measured**: `parafft` (this workspace's FFT library) run
+//!    on the machine executing the benchmark, serial and
+//!    rayon-parallel. Absolute host numbers differ from 2016-era
+//!    Xeons; the *ratio* structure is what transfers.
+
+use parafft::flops::fft_flops_convention;
+use parafft::{Complex32, Fft, FftDirection};
+use std::time::Instant;
+
+/// A baseline measurement in GFLOPS (5N·log₂N convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The `serial_gflops` value.
+    pub serial_gflops: f64,
+    /// The `parallel_gflops` value.
+    pub parallel_gflops: f64,
+    /// Threads used by the parallel figure.
+    pub parallel_threads: usize,
+}
+
+/// The baselines implied by the paper's Table V.
+pub fn paper_pinned() -> Baseline {
+    Baseline {
+        name: "FFTW 3.3.4 on E5-2690 (paper-pinned)",
+        serial_gflops: 239.0 / 31.0,
+        parallel_gflops: 239.0 / 2.8,
+        parallel_threads: 32,
+    }
+}
+
+/// Measure `parafft` on the current host: 1D single-precision complex
+/// FFT of `n` points, best of `reps` runs.
+pub fn measure_host(n: usize, reps: usize) -> Baseline {
+    assert!(n.is_power_of_two() && n >= 1024);
+    assert!(reps >= 1);
+    let plan = Fft::<f32>::new(n, FftDirection::Forward);
+    let make_input = || -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.01).sin(), (i as f32 * 0.02).cos()))
+            .collect()
+    };
+    let flops = fft_flops_convention(n as u64);
+
+    let mut serial_best = f64::INFINITY;
+    let mut data = make_input();
+    let mut scratch = vec![Complex32::new(0.0, 0.0); plan.scratch_len()];
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        plan.process_with_scratch(&mut data, &mut scratch);
+        serial_best = serial_best.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut par_best = f64::INFINITY;
+    let mut data = make_input();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        plan.process_par(&mut data);
+        par_best = par_best.min(t0.elapsed().as_secs_f64());
+    }
+
+    Baseline {
+        name: "parafft on this host (measured)",
+        serial_gflops: flops / serial_best / 1e9,
+        parallel_gflops: flops / par_best / 1e9,
+        parallel_threads: rayon::current_num_threads(),
+    }
+}
+
+/// Speedups of an XMT GFLOPS figure over a baseline (Table V rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speedups {
+    /// The `vs_serial` value.
+    pub vs_serial: f64,
+    /// The `vs_parallel` value.
+    pub vs_parallel: f64,
+}
+
+/// Compute Table V's two rows for one configuration.
+pub fn speedups(xmt_gflops: f64, base: &Baseline) -> Speedups {
+    Speedups {
+        vs_serial: xmt_gflops / base.serial_gflops,
+        vs_parallel: xmt_gflops / base.parallel_gflops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_baseline_reproduces_table5_first_column() {
+        let b = paper_pinned();
+        let s = speedups(239.0, &b);
+        assert!((s.vs_serial - 31.0).abs() < 0.01);
+        assert!((s.vs_parallel - 2.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn pinned_baseline_reproduces_table5_last_column() {
+        let b = paper_pinned();
+        let s = speedups(18_972.0, &b);
+        // Paper: 2494× serial, 222× vs 32 threads.
+        assert!((s.vs_serial - 2460.9).abs() < 2.0, "{}", s.vs_serial);
+        assert!((s.vs_parallel - 222.3).abs() < 1.0, "{}", s.vs_parallel);
+    }
+
+    #[test]
+    fn parallel_baseline_is_faster_than_serial() {
+        let b = paper_pinned();
+        assert!(b.parallel_gflops > b.serial_gflops);
+        // Paper's implied parallel/serial ratio: ≈ 11×.
+        let r = b.parallel_gflops / b.serial_gflops;
+        assert!((10.0..=12.5).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn host_measurement_runs() {
+        // Small size, single rep: a smoke test that produces sane,
+        // positive rates (not a performance assertion).
+        let b = measure_host(1 << 14, 2);
+        assert!(b.serial_gflops > 0.01);
+        assert!(b.parallel_gflops > 0.01);
+        assert!(b.parallel_threads >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_measurement_rejected() {
+        measure_host(512, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dragonfly interconnect model (Cray Aries / XC30 class).
+//!
+//! A Dragonfly groups routers into all-to-all-connected groups with
+//! all-to-all global links between groups. For the FFT model we need
+//! two aggregates: per-node injection bandwidth (a node property) and
+//! the *effective* all-to-all bandwidth — which at scale is limited by
+//! small-message overheads rather than bisection, captured by an
+//! efficiency factor.
+
+/// Dragonfly topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dragonfly {
+    /// The `groups` value.
+    pub groups: usize,
+    /// The `routers_per_group` value.
+    pub routers_per_group: usize,
+    /// The `nodes_per_router` value.
+    pub nodes_per_router: usize,
+    /// Usable bandwidth of one global (inter-group) link, GB/s.
+    pub global_link_gbs: f64,
+    /// Global links per router.
+    pub global_links_per_router: usize,
+    /// Fraction of nominal bandwidth an MPI all-to-all achieves at
+    /// scale (small messages, rank count in the tens of thousands).
+    /// Published Edison FFT results correspond to ≈ 0.2.
+    pub alltoall_efficiency: f64,
+}
+
+impl Dragonfly {
+    /// Cray XC30 (Edison-class) Aries Dragonfly: 15 groups of 96
+    /// routers, 4 nodes per router, 4.7 GB/s global links, 10 global
+    /// links per router.
+    pub fn aries_xc30() -> Self {
+        Self {
+            groups: 15,
+            routers_per_group: 96,
+            nodes_per_router: 4,
+            global_link_gbs: 4.7,
+            global_links_per_router: 10,
+            alltoall_efficiency: 0.2,
+        }
+    }
+
+    /// The `routers` value.
+    pub fn routers(&self) -> usize {
+        self.groups * self.routers_per_group
+    }
+
+    /// The `max_nodes` value.
+    pub fn max_nodes(&self) -> usize {
+        self.routers() * self.nodes_per_router
+    }
+
+    /// Aggregate global (inter-group) bandwidth, GB/s.
+    pub fn global_bandwidth_gbs(&self) -> f64 {
+        self.routers() as f64 * self.global_links_per_router as f64 * self.global_link_gbs
+    }
+
+    /// Bisection bandwidth ≈ half the global bandwidth.
+    pub fn bisection_gbs(&self) -> f64 {
+        self.global_bandwidth_gbs() / 2.0
+    }
+
+    /// Effective aggregate bandwidth for an all-to-all over
+    /// `nodes_used` nodes with `inject_gbs` injection per node:
+    /// the lesser of aggregate injection and bisection, derated by the
+    /// all-to-all efficiency.
+    pub fn effective_alltoall_gbs(&self, nodes_used: usize, inject_gbs: f64) -> f64 {
+        let inject = nodes_used as f64 * inject_gbs;
+        inject.min(self.bisection_gbs()) * self.alltoall_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc30_geometry() {
+        let d = Dragonfly::aries_xc30();
+        assert_eq!(d.routers(), 1440);
+        // Table VI: 1,298 router chips in service for 5,192 nodes
+        // (4 nodes/router); our full topology bounds it.
+        assert!(d.max_nodes() >= 5192);
+        assert_eq!(5192_usize.div_ceil(d.nodes_per_router), 1298);
+    }
+
+    #[test]
+    fn bandwidth_aggregates() {
+        let d = Dragonfly::aries_xc30();
+        let g = d.global_bandwidth_gbs();
+        assert!((g - 1440.0 * 10.0 * 4.7).abs() < 1e-6);
+        assert_eq!(d.bisection_gbs(), g / 2.0);
+    }
+
+    #[test]
+    fn alltoall_injection_limited_for_modest_node_counts() {
+        let d = Dragonfly::aries_xc30();
+        // 1365 nodes at 10 GB/s inject 13.65 TB/s < bisection 33.8 TB/s.
+        let eff = d.effective_alltoall_gbs(1365, 10.0);
+        assert!((eff - 1365.0 * 10.0 * 0.2).abs() < 1.0);
+        // The whole machine becomes bisection-limited.
+        let eff_full = d.effective_alltoall_gbs(5192, 10.0);
+        assert!(eff_full < 5192.0 * 10.0 * 0.2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Distributed 3D-FFT execution model (pencil decomposition).
+//!
+//! The standard MPI 3D FFT (Song & Hollingsworth \[16\], which the paper
+//! compares against) decomposes the cube into pencils: each of the
+//! three axis passes computes node-local 1D FFTs, and two global
+//! transposes (MPI all-to-all) re-shuffle the data between passes.
+//! Local passes are memory-bandwidth-bound; the transposes are bound
+//! by the network — which is why the paper's Table VI shows Edison at
+//! 0.57 % of peak while XMT reaches 35 %.
+
+use crate::machine::Cluster;
+
+/// A 3D FFT job description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fft3dJob {
+    /// Cube side (total elements = side³).
+    pub side: usize,
+    /// Bytes per element (16 for double complex, 8 for single).
+    pub elem_bytes: usize,
+    /// Nodes actually used (published results rarely use the whole
+    /// machine; \[16\] used 32,768 cores).
+    pub nodes_used: usize,
+}
+
+impl Fft3dJob {
+    /// The Table VI reference job: 1024³ double-complex on 32,768
+    /// cores (1,366 nodes of 24 cores).
+    pub fn edison_reference() -> Self {
+        Self { side: 1024, elem_bytes: 16, nodes_used: 32_768 / 24 }
+    }
+
+    /// The `total_elems` value.
+    pub fn total_elems(&self) -> f64 {
+        (self.side as f64).powi(3)
+    }
+
+    /// The `total_bytes` value.
+    pub fn total_bytes(&self) -> f64 {
+        self.total_elems() * self.elem_bytes as f64
+    }
+
+    /// FLOPs under the 5N·log₂N convention.
+    pub fn flops(&self) -> f64 {
+        let n = self.total_elems();
+        5.0 * n * n.log2()
+    }
+}
+
+/// Per-phase time breakdown of the modeled run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fft3dTime {
+    /// Three local FFT passes (seconds).
+    pub compute_s: f64,
+    /// Two global transposes (seconds).
+    pub alltoall_s: f64,
+    /// The `total_s` value.
+    pub total_s: f64,
+    /// Achieved GFLOPS (5N·log₂N convention).
+    pub gflops: f64,
+    /// Percent of the *whole machine's* peak (Table VI convention).
+    pub pct_of_machine_peak: f64,
+    /// Fraction of time spent communicating.
+    pub comm_fraction: f64,
+}
+
+/// Model the job on the cluster.
+pub fn model(cluster: &Cluster, job: &Fft3dJob) -> Fft3dTime {
+    assert!(job.nodes_used <= cluster.nodes, "job exceeds machine size");
+    let nodes = job.nodes_used as f64;
+
+    // Local passes: each pass reads and writes the local slice once;
+    // FFT local compute is memory-bound on commodity nodes (the
+    // paper's premise), so pass time = 2 × local bytes / node mem BW,
+    // unless the node's compute peak is (theoretically) lower.
+    let bytes_per_node = job.total_bytes() / nodes;
+    let pass_mem_s = 2.0 * bytes_per_node / (cluster.node.mem_gbs * 1e9);
+    let pass_flops = job.flops() / 3.0 / nodes;
+    let pass_compute_s = pass_flops / (cluster.node.peak_gflops() * 1e9);
+    let compute_s = 3.0 * pass_mem_s.max(pass_compute_s);
+
+    // Two all-to-alls, each moving the whole array through the
+    // effective collective bandwidth.
+    let eff_gbs = cluster
+        .network
+        .effective_alltoall_gbs(job.nodes_used, cluster.node.inject_gbs);
+    let alltoall_s = 2.0 * job.total_bytes() / (eff_gbs * 1e9);
+
+    let total_s = compute_s + alltoall_s;
+    let gflops = job.flops() / total_s / 1e9;
+    Fft3dTime {
+        compute_s,
+        alltoall_s,
+        total_s,
+        gflops,
+        pct_of_machine_peak: gflops / 1000.0 / cluster.peak_tflops() * 100.0,
+        comm_fraction: alltoall_s / total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Cluster;
+
+    #[test]
+    fn edison_reference_lands_near_published_result() {
+        // Table VI: 13.6 TFLOPS at 0.57 % of peak for 1024³.
+        let t = model(&Cluster::edison(), &Fft3dJob::edison_reference());
+        let tf = t.gflops / 1000.0;
+        assert!(
+            (8.0..=20.0).contains(&tf),
+            "modeled {tf:.1} TF should be in the regime of the published 13.6 TF"
+        );
+        assert!(
+            (0.3..=0.9).contains(&t.pct_of_machine_peak),
+            "modeled {:.2}% of peak vs published 0.57%",
+            t.pct_of_machine_peak
+        );
+    }
+
+    #[test]
+    fn communication_dominates() {
+        // The paper's premise: inter-node bandwidth, not compute,
+        // limits the cluster FFT.
+        let t = model(&Cluster::edison(), &Fft3dJob::edison_reference());
+        assert!(t.comm_fraction > 0.8, "comm fraction {}", t.comm_fraction);
+    }
+
+    #[test]
+    fn weak_scaling_direction() {
+        // Bigger cubes on the same nodes improve efficiency (larger
+        // messages are not modeled, but bandwidth terms scale with N
+        // while flops grow N·log N — GFLOPS grows slowly with N).
+        let e = Cluster::edison();
+        let small = model(&e, &Fft3dJob { side: 512, elem_bytes: 16, nodes_used: 1365 });
+        let big = model(&e, &Fft3dJob { side: 2048, elem_bytes: 16, nodes_used: 1365 });
+        assert!(big.gflops > small.gflops);
+    }
+
+    #[test]
+    fn more_nodes_help_until_bisection() {
+        let e = Cluster::edison();
+        let half = model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 680 });
+        let full = model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 1365 });
+        assert!(full.gflops > half.gflops);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine size")]
+    fn oversubscription_rejected() {
+        let e = Cluster::edison();
+        model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 100_000 });
+    }
+
+    #[test]
+    fn flops_convention() {
+        let j = Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 1 };
+        assert!((j.flops() - 5.0 * 2f64.powi(30) * 30.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hpc-cluster — HPC-cluster performance model and host baselines
+//!
+//! The comparison side of the paper's evaluation:
+//!
+//! * [`node`] — Xeon node specifications (E5-2690 baseline host,
+//!   E5-2695v2 Edison node) with silicon/power/cache data for the
+//!   Table VI comparison rows.
+//! * [`dragonfly`] — the Cray Aries Dragonfly interconnect aggregates.
+//! * [`machine`] — whole-cluster description; [`Cluster::edison`]
+//!   reproduces every machine row of Table VI.
+//! * [`fft3d`] — a pencil-decomposition distributed 3D-FFT time model
+//!   (local memory-bound passes + all-to-all transposes) reproducing
+//!   the ~0.5 % of-peak operating point of the published Edison runs.
+//! * [`baseline`] — FFTW-substitute baselines for Table V, both
+//!   paper-pinned and measured on the host with `parafft`.
+
+#![warn(missing_docs)]
+pub mod baseline;
+pub mod dragonfly;
+pub mod fft3d;
+pub mod gpu;
+pub mod machine;
+pub mod node;
+
+pub use baseline::{measure_host, paper_pinned, speedups, Baseline, Speedups};
+pub use dragonfly::Dragonfly;
+pub use fft3d::{model, Fft3dJob, Fft3dTime};
+pub use gpu::{device_fft_gflops, hybrid_fft_gflops, GpuFftJob, GpuSpec};
+pub use machine::Cluster;
+pub use node::NodeSpec;

@@ -1,0 +1,112 @@
+//! Whole-cluster description and the Edison (Cray XC30) preset used by
+//! Table VI of the paper.
+
+use crate::dragonfly::Dragonfly;
+use crate::node::NodeSpec;
+
+/// A distributed-memory cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cluster {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The `node` value.
+    pub node: NodeSpec,
+    /// The `nodes` value.
+    pub nodes: usize,
+    /// The `network` value.
+    pub network: Dragonfly,
+    /// Router die area in mm² (Aries is a 40 nm part).
+    pub router_die_mm2: f64,
+    /// The `router_tech_nm` value.
+    pub router_tech_nm: u32,
+    /// Machine peak power in kW.
+    pub peak_power_kw: f64,
+}
+
+impl Cluster {
+    /// NERSC Edison: 5,192 dual-E5-2695v2 nodes on an Aries Dragonfly.
+    pub fn edison() -> Self {
+        Self {
+            name: "Edison (Cray XC30)",
+            node: NodeSpec::e5_2695v2_node(),
+            nodes: 5192,
+            network: Dragonfly::aries_xc30(),
+            router_die_mm2: 313.7,
+            router_tech_nm: 40,
+            peak_power_kw: 2500.0,
+        }
+    }
+
+    /// The `cores` value.
+    pub fn cores(&self) -> usize {
+        self.nodes * self.node.cores()
+    }
+
+    /// The `peak_tflops` value.
+    pub fn peak_tflops(&self) -> f64 {
+        self.nodes as f64 * self.node.peak_gflops() / 1000.0
+    }
+
+    /// CPU chips (sockets) in the machine.
+    pub fn cpu_chips(&self) -> usize {
+        self.nodes * self.node.sockets
+    }
+
+    /// Router chips (4 nodes per Aries router).
+    pub fn router_chips(&self) -> usize {
+        self.nodes.div_ceil(self.network.nodes_per_router)
+    }
+
+    /// Total CPU silicon in cm².
+    pub fn cpu_silicon_cm2(&self) -> f64 {
+        self.cpu_chips() as f64 * self.node.die_mm2 / 100.0
+    }
+
+    /// Total router silicon in cm².
+    pub fn router_silicon_cm2(&self) -> f64 {
+        self.router_chips() as f64 * self.router_die_mm2 / 100.0
+    }
+
+    /// All silicon normalized to 22 nm (Table VI's comparison row).
+    pub fn silicon_cm2_at_22nm(&self) -> f64 {
+        let cpu = self.cpu_silicon_cm2(); // already 22 nm
+        let router_scale = (22.0 / self.router_tech_nm as f64).powi(2);
+        cpu + self.router_silicon_cm2() * router_scale
+    }
+
+    /// Total last-level cache in MB.
+    pub fn total_cache_mb(&self) -> f64 {
+        self.nodes as f64 * self.node.sockets as f64 * self.node.llc_mb_per_socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edison_table6_rows() {
+        let e = Cluster::edison();
+        assert_eq!(e.cores(), 124_608); // Table VI: 124,608 cores
+        assert_eq!(e.nodes, 5192); // 5,192 nodes
+        assert_eq!(e.cpu_chips(), 10_384); // 10,384 CPU chips
+        assert_eq!(e.router_chips(), 1_298); // 1,298 router chips
+        assert!((e.peak_tflops() - 2390.0).abs() < 5.0); // 2,390 TF
+        assert!((e.total_cache_mb() - 311_520.0).abs() < 1.0); // 311,520 MB
+        assert_eq!(e.peak_power_kw, 2500.0); // 2,500 kW
+    }
+
+    #[test]
+    fn edison_silicon_matches_table6() {
+        let e = Cluster::edison();
+        // Table VI: 56,177 cm² of 22 nm CPU + 4,072 cm² of 40 nm router.
+        assert!((e.cpu_silicon_cm2() - 56_177.0).abs() < 100.0, "{}", e.cpu_silicon_cm2());
+        assert!((e.router_silicon_cm2() - 4_072.0).abs() < 10.0, "{}", e.router_silicon_cm2());
+        // Normalized: 57,409 cm² at 22 nm.
+        assert!(
+            (e.silicon_cm2_at_22nm() - 57_409.0).abs() < 150.0,
+            "{}",
+            e.silicon_cm2_at_22nm()
+        );
+    }
+}

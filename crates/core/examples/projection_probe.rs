@@ -1,0 +1,11 @@
+fn main() {
+    for p in xmt_fft::table4_projection() {
+        let r = p.rotation_point();
+        let nr = p.non_rotation_point();
+        println!(
+            "{:>8}: {:>7.0} GFLOPS conv ({:>7.0} actual)  rot-share {:.2}  rot({:.2} fl/B, {:.0}) nonrot({:.2} fl/B, {:.0})",
+            p.config_name, p.gflops_convention, p.gflops_actual, p.rotation_share(),
+            r.intensity, r.gflops, nr.intensity, nr.gflops
+        );
+    }
+}

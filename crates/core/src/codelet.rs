@@ -1,0 +1,345 @@
+//! Butterfly codelet emitter.
+//!
+//! Generates straight-line XMT instruction sequences for the in-register
+//! DFT-of-size-r each thread performs (Section IV-A "Choice of Radix").
+//! A small register allocator manages the 32 per-TCU FP registers — the
+//! resource that caps the practical radix at 8 on XMT ("32 floating-
+//! point registers … enough to store 16 single-precision complex
+//! numbers", with the rest needed for twiddles and intermediates).
+
+use parafft::FftDirection;
+use xmt_isa::reg::{fr, FReg, NUM_FREGS};
+use xmt_isa::ProgramBuilder;
+
+/// A complex value held in two FP registers (re, im).
+pub type Cx = (FReg, FReg);
+
+/// Emits FP code through a [`ProgramBuilder`] while tracking register
+/// liveness.
+pub struct CodeletEmitter<'a> {
+    /// The `b` value.
+    pub b: &'a mut ProgramBuilder,
+    free: Vec<FReg>,
+    /// High-water mark of simultaneously live registers.
+    peak: usize,
+}
+
+impl<'a> CodeletEmitter<'a> {
+    /// Construct a new instance.
+    pub fn new(b: &'a mut ProgramBuilder) -> Self {
+        // Stack of free registers; pop from the end (high indices
+        // first so low registers stay visually stable in disassembly).
+        let free: Vec<FReg> = (0..NUM_FREGS).rev().map(fr).collect();
+        Self { b, free, peak: 0 }
+    }
+
+    /// Allocate one FP register; panics if the file is exhausted —
+    /// which is exactly the "radix > 8 does not fit" condition the
+    /// paper describes.
+    pub fn alloc(&mut self) -> FReg {
+        let r = self
+            .free
+            .pop()
+            .expect("FP register file exhausted: radix too large for 32 registers");
+        self.peak = self.peak.max(NUM_FREGS - self.free.len());
+        r
+    }
+
+    /// Allocate a complex register pair.
+    pub fn alloc_cx(&mut self) -> Cx {
+        (self.alloc(), self.alloc())
+    }
+
+    /// Return a register to the pool.
+    pub fn release(&mut self, r: FReg) {
+        debug_assert!(!self.free.contains(&r), "double free of {r}");
+        self.free.push(r);
+    }
+
+    /// Return a complex pair to the pool.
+    pub fn release_cx(&mut self, c: Cx) {
+        self.release(c.0);
+        self.release(c.1);
+    }
+
+    /// Registers currently live.
+    pub fn live(&self) -> usize {
+        NUM_FREGS - self.free.len()
+    }
+
+    /// Peak simultaneous liveness seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// `(a + b, a - b)` — the radix-2 butterfly. Consumes both inputs;
+    /// reuses their registers for the outputs (zero net pressure).
+    pub fn dft2(&mut self, a: Cx, b: Cx) -> (Cx, Cx) {
+        let sum = self.alloc_cx();
+        self.b.fadd(sum.0, a.0, b.0);
+        self.b.fadd(sum.1, a.1, b.1);
+        // Difference can overwrite a (its last use).
+        self.b.fsub(a.0, a.0, b.0);
+        self.b.fsub(a.1, a.1, b.1);
+        self.release_cx(b);
+        (sum, a)
+    }
+
+    /// Multiply by ∓i (90° rotation): forward uses `-i`
+    /// (`(re,im) → (im,-re)`), inverse `+i`. Consumes the input.
+    pub fn rot90(&mut self, x: Cx, dir: FftDirection) -> Cx {
+        let t = self.alloc();
+        match dir {
+            FftDirection::Forward => {
+                // out = (im, -re)
+                self.b.fneg(t, x.0);
+                let out = (x.1, t);
+                self.release(x.0);
+                out
+            }
+            FftDirection::Inverse => {
+                // out = (-im, re)
+                self.b.fneg(t, x.1);
+                let out = (t, x.0);
+                self.release(x.1);
+                out
+            }
+        }
+    }
+
+    /// Full complex multiply `a · w` (4 mul + 2 add/sub). Consumes `a`;
+    /// `w` stays live (twiddles are reused across outputs by callers
+    /// that want to).
+    pub fn cmul(&mut self, a: Cx, w: Cx) -> Cx {
+        let t1 = self.alloc();
+        let t2 = self.alloc();
+        // re = a.re·w.re − a.im·w.im
+        self.b.fmul(t1, a.0, w.0);
+        self.b.fmul(t2, a.1, w.1);
+        self.b.fsub(t1, t1, t2);
+        // im = a.re·w.im + a.im·w.re
+        self.b.fmul(t2, a.0, w.1);
+        self.b.fmul(a.0, a.1, w.0);
+        self.b.fadd(t2, t2, a.0);
+        self.release(a.0);
+        self.release(a.1);
+        (t1, t2)
+    }
+
+    /// Multiply by `h·(1 ∓ i)` with `h = √2/2` — the ω₈^{∓1} twiddle,
+    /// done in 2 mul + 2 add instead of a full cmul. `h` must hold √2/2.
+    /// Consumes the input.
+    pub fn mul_w8_1(&mut self, x: Cx, h: FReg, dir: FftDirection) -> Cx {
+        let re = self.alloc();
+        let im = self.alloc();
+        match dir {
+            FftDirection::Forward => {
+                // (re+im)·h, (im−re)·h
+                self.b.fadd(re, x.0, x.1);
+                self.b.fsub(im, x.1, x.0);
+            }
+            FftDirection::Inverse => {
+                // (re−im)·h, (im+re)·h
+                self.b.fsub(re, x.0, x.1);
+                self.b.fadd(im, x.1, x.0);
+            }
+        }
+        self.b.fmul(re, re, h);
+        self.b.fmul(im, im, h);
+        self.release_cx(x);
+        (re, im)
+    }
+
+    /// Multiply by `h·(−1 ∓ i)` — the ω₈^{∓3} twiddle. Consumes input.
+    pub fn mul_w8_3(&mut self, x: Cx, h: FReg, dir: FftDirection) -> Cx {
+        let re = self.alloc();
+        let im = self.alloc();
+        match dir {
+            FftDirection::Forward => {
+                // re' = (im−re)·h, im' = −(im+re)·h
+                self.b.fsub(re, x.1, x.0);
+                self.b.fadd(im, x.0, x.1);
+                self.b.fmul(re, re, h);
+                self.b.fmul(im, im, h);
+                self.b.fneg(im, im);
+            }
+            FftDirection::Inverse => {
+                // conjugate: re' = −(re+im)·h… derive from ω₈^{+3} = h(−1+i):
+                // re' = x.re·(−h) − x.im·h = −h(re+im)
+                // im' = x.re·h + x.im·(−h) = h(re−im)
+                self.b.fadd(re, x.0, x.1);
+                self.b.fsub(im, x.0, x.1);
+                self.b.fmul(re, re, h);
+                self.b.fneg(re, re);
+                self.b.fmul(im, im, h);
+            }
+        }
+        self.release_cx(x);
+        (re, im)
+    }
+
+    /// 4-point DFT. Consumes the inputs, returns outputs in order.
+    pub fn dft4(&mut self, x: [Cx; 4], dir: FftDirection) -> [Cx; 4] {
+        let (e0, e1) = self.dft2(x[0], x[2]);
+        let (o0, o1) = self.dft2(x[1], x[3]);
+        let o1r = self.rot90(o1, dir);
+        let (y0, y2) = self.dft2(e0, o0);
+        let (y1, y3) = self.dft2(e1, o1r);
+        [y0, y1, y2, y3]
+    }
+
+    /// 8-point DFT via two 4-point DFTs and ω₈ twiddles. `h` must hold
+    /// √2/2 and stays live.
+    pub fn dft8(&mut self, x: [Cx; 8], h: FReg, dir: FftDirection) -> [Cx; 8] {
+        let e = self.dft4([x[0], x[2], x[4], x[6]], dir);
+        let o = self.dft4([x[1], x[3], x[5], x[7]], dir);
+        let t0 = o[0];
+        let t1 = self.mul_w8_1(o[1], h, dir);
+        let t2 = self.rot90(o[2], dir);
+        let t3 = self.mul_w8_3(o[3], h, dir);
+        let (y0, y4) = self.dft2(e[0], t0);
+        let (y1, y5) = self.dft2(e[1], t1);
+        let (y2, y6) = self.dft2(e[2], t2);
+        let (y3, y7) = self.dft2(e[3], t3);
+        [y0, y1, y2, y3, y4, y5, y6, y7]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parafft::dft::{dft, max_error};
+    use parafft::Complex64;
+    use xmt_isa::reg::ir;
+    use xmt_isa::Interp;
+
+    /// Build a program that loads `n` complex values from word 0,
+    /// applies the radix-n codelet, and stores the result at word 100.
+    fn codelet_program(n: usize, dir: FftDirection) -> xmt_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.li(ir(1), 0); // src base
+        b.li(ir(2), 100); // dst base
+        let mut em = CodeletEmitter::new(&mut b);
+        let mut inputs = Vec::new();
+        for j in 0..n {
+            let c = em.alloc_cx();
+            em.b.flw(c.0, ir(1), (2 * j) as u32);
+            em.b.flw(c.1, ir(1), (2 * j + 1) as u32);
+            inputs.push(c);
+        }
+        let outputs: Vec<Cx> = match n {
+            2 => {
+                let (a, c) = em.dft2(inputs[0], inputs[1]);
+                vec![a, c]
+            }
+            4 => em.dft4([inputs[0], inputs[1], inputs[2], inputs[3]], dir).to_vec(),
+            8 => {
+                let h = em.alloc();
+                em.b.fli(h, std::f64::consts::FRAC_1_SQRT_2 as f32);
+                let arr = [
+                    inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
+                    inputs[6], inputs[7],
+                ];
+                em.dft8(arr, h, dir).to_vec()
+            }
+            _ => panic!("unsupported codelet size"),
+        };
+        let peak = em.peak();
+        assert!(peak <= 32, "codelet peak register use {peak} exceeds the file");
+        for (k, c) in outputs.iter().enumerate() {
+            em.b.fsw(c.0, ir(2), (2 * k) as u32);
+            em.b.fsw(c.1, ir(2), (2 * k + 1) as u32);
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn run_codelet(n: usize, dir: FftDirection, input: &[Complex64]) -> Vec<Complex64> {
+        let prog = codelet_program(n, dir);
+        let mut m = Interp::new(256);
+        let flat: Vec<f32> = input.iter().flat_map(|c| [c.re as f32, c.im as f32]).collect();
+        m.write_f32s(0, &flat);
+        m.run(&prog).unwrap();
+        let out = m.read_f32s(100, 2 * n);
+        out.chunks(2).map(|p| Complex64::new(p[0] as f64, p[1] as f64)).collect()
+    }
+
+    fn sample(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn emitted_dft2_matches_reference() {
+        let x = sample(2);
+        let got = run_codelet(2, FftDirection::Forward, &x);
+        let want = dft(&x, FftDirection::Forward);
+        assert!(max_error(&got, &want) < 1e-6);
+    }
+
+    #[test]
+    fn emitted_dft4_matches_reference_both_dirs() {
+        let x = sample(4);
+        for dir in [FftDirection::Forward, FftDirection::Inverse] {
+            let got = run_codelet(4, dir, &x);
+            let want = dft(&x, dir);
+            assert!(max_error(&got, &want) < 1e-6, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn emitted_dft8_matches_reference_both_dirs() {
+        let x = sample(8);
+        for dir in [FftDirection::Forward, FftDirection::Inverse] {
+            let got = run_codelet(8, dir, &x);
+            let want = dft(&x, dir);
+            assert!(max_error(&got, &want) < 1e-6, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn radix8_fits_the_register_file() {
+        // The codelet including loads must fit 32 FP registers — the
+        // paper's constraint that caps the radix at 8.
+        let mut b = ProgramBuilder::new();
+        let mut em = CodeletEmitter::new(&mut b);
+        let inputs: Vec<Cx> = (0..8).map(|_| em.alloc_cx()).collect();
+        let h = em.alloc();
+        em.b.fli(h, 0.7071);
+        let arr: [Cx; 8] = inputs.try_into().unwrap();
+        let out = em.dft8(arr, h, FftDirection::Forward);
+        let peak = em.peak();
+        assert!(peak <= 32, "peak {peak}");
+        // Outputs + h are the only live values afterwards.
+        assert_eq!(em.live(), 17, "8 complex outputs + h");
+        for c in out {
+            em.release_cx(c);
+        }
+        em.release(h);
+        assert_eq!(em.live(), 0);
+    }
+
+    #[test]
+    fn emitter_reuses_registers() {
+        let mut b = ProgramBuilder::new();
+        let mut em = CodeletEmitter::new(&mut b);
+        let a = em.alloc_cx();
+        let c = em.alloc_cx();
+        let (s, d) = em.dft2(a, c);
+        assert_eq!(em.live(), 4);
+        em.release_cx(s);
+        em.release_cx(d);
+        assert_eq!(em.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register file exhausted")]
+    fn allocator_overflow_panics() {
+        let mut b = ProgramBuilder::new();
+        let mut em = CodeletEmitter::new(&mut b);
+        for _ in 0..33 {
+            em.alloc();
+        }
+    }
+}

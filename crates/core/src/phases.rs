@@ -1,0 +1,317 @@
+//! FFT workload model: per-stage resource demands for the analytic
+//! projection of paper-scale runs (Table IV, Table V, Fig. 3).
+//!
+//! Demand accounting per radix-`r` stage over `N` total elements:
+//!
+//! * **FLOPs (actual)** — `N/r` codelets at `codelet_flops(r)` plus,
+//!   on twiddled stages, `(r−1)` complex multiplies (6 real ops) per
+//!   codelet. The 5N·log₂N convention is used only for reporting.
+//! * **Interconnect words** — every element is loaded (2 words) and
+//!   stored (2 words); twiddled stages additionally load `(r−1)`
+//!   factors (2 words each) per codelet, spread across replicas.
+//! * **DRAM bytes** — when the working set exceeds the on-chip cache,
+//!   every stage streams: 8 B/element read, plus write-allocate fill
+//!   and write-back on the store side (16 B/element) — 24 B/element
+//!   total. When the data fits in cache, only the initial load pays.
+//! * **Traffic class** — rotation stages present the structured burst
+//!   pattern ([`TrafficClass::Rotation`]); others are hash-spread.
+
+use crate::plan::radix_schedule;
+use parafft::codelets::codelet_flops;
+use parafft::flops::fft_flops_convention_nd;
+use xmt_noc::TrafficClass;
+use xmt_sim::perfmodel::{gflops, PhaseDemand, PhaseTime};
+use xmt_sim::XmtConfig;
+
+/// Pass geometry (mirrors `XmtFftPlan` without generating code).
+fn passes(dims: &[usize]) -> Vec<usize> {
+    match dims.len() {
+        1 => vec![dims[0]],
+        2 => vec![dims[1], dims[0]],
+        3 => vec![dims[2], dims[0], dims[1]],
+        _ => panic!("1-3 dimensions supported"),
+    }
+}
+
+/// Build per-stage demands for a transform of `dims` on `cfg`.
+pub fn stage_demands(dims: &[usize], cfg: &XmtConfig) -> Vec<PhaseDemand> {
+    let total: usize = dims.iter().product();
+    let n_elems = total as f64;
+    let data_bytes = 8.0 * n_elems;
+    let cache_bytes = (cfg.memory_modules * cfg.cache.lines * cfg.cache.line_words * 4) as f64;
+    // Ping-pong arrays: both src and dst compete for cache.
+    let streams = 2.0 * data_bytes > cache_bytes;
+
+    let multi_dim = dims.len() > 1;
+    let mut out = Vec::new();
+    for (dim, &n) in passes(dims).iter().enumerate() {
+        let sched = radix_schedule(n);
+        let last_idx = sched.len() - 1;
+        for (idx, &r) in sched.iter().enumerate() {
+            let r = r as usize;
+            let codelets = n_elems / r as f64;
+            let is_last = idx == last_idx;
+            let is_rotation = is_last && multi_dim;
+            let twiddled = !is_last;
+
+            let mut flops = codelets * codelet_flops(r) as f64;
+            let mut icn_down = 2.0 * n_elems;
+            let icn_up = 2.0 * n_elems;
+            if twiddled {
+                flops += codelets * (r as f64 - 1.0) * 6.0;
+                icn_down += codelets * (r as f64 - 1.0) * 2.0;
+            }
+            let dram_bytes = if streams {
+                24.0 * n_elems
+            } else if dim == 0 && idx == 0 {
+                8.0 * n_elems
+            } else {
+                0.0
+            };
+            out.push(PhaseDemand {
+                name: if is_rotation {
+                    format!("dim{dim} stage{idx} (rotation)")
+                } else {
+                    format!("dim{dim} stage{idx}")
+                },
+                flops,
+                icn_words_up: icn_up,
+                icn_words_down: icn_down,
+                dram_bytes,
+                traffic: if is_rotation { TrafficClass::Rotation } else { TrafficClass::Hashed },
+                parallelism: codelets,
+            });
+        }
+    }
+    out
+}
+
+/// Aggregated projection of one configuration on one transform shape.
+#[derive(Debug, Clone)]
+pub struct FftProjection {
+    /// The `config_name` value.
+    pub config_name: &'static str,
+    /// The `dims` value.
+    pub dims: Vec<usize>,
+    /// The `total_cycles` value.
+    pub total_cycles: f64,
+    /// GFLOPS under the paper's 5N·log₂N reporting convention.
+    pub gflops_convention: f64,
+    /// GFLOPS counting actual operations (the Roofline convention).
+    pub gflops_actual: f64,
+    /// The `phases` value.
+    pub phases: Vec<PhaseTime>,
+    /// The `demands` value.
+    pub demands: Vec<PhaseDemand>,
+}
+
+/// One aggregated Roofline point (Fig. 3 marker).
+#[derive(Debug, Clone, Copy)]
+pub struct RooflinePoint {
+    /// Operational intensity in actual FLOPs per DRAM byte.
+    pub intensity: f64,
+    /// Achieved GFLOPS (actual-FLOP convention).
+    pub gflops: f64,
+}
+
+impl FftProjection {
+    fn aggregate(&self, rotation: bool) -> RooflinePoint {
+        let mut flops = 0.0;
+        let mut bytes = 0.0;
+        let mut cycles = 0.0;
+        for (d, t) in self.demands.iter().zip(&self.phases) {
+            if d.name.contains("rotation") == rotation {
+                flops += d.flops;
+                bytes += d.dram_bytes;
+                cycles += t.cycles;
+            }
+        }
+        RooflinePoint {
+            intensity: if bytes > 0.0 { flops / bytes } else { f64::INFINITY },
+            gflops: if cycles > 0.0 { flops * 3.3 / cycles } else { 0.0 },
+        }
+    }
+
+    /// The Fig. 3 rotation-phase marker.
+    pub fn rotation_point(&self) -> RooflinePoint {
+        self.aggregate(true)
+    }
+
+    /// The Fig. 3 non-rotation marker.
+    pub fn non_rotation_point(&self) -> RooflinePoint {
+        self.aggregate(false)
+    }
+
+    /// The Fig. 3 overall marker.
+    pub fn overall_point(&self) -> RooflinePoint {
+        let flops: f64 = self.demands.iter().map(|d| d.flops).sum();
+        let bytes: f64 = self.demands.iter().map(|d| d.dram_bytes).sum();
+        RooflinePoint {
+            intensity: if bytes > 0.0 { flops / bytes } else { f64::INFINITY },
+            gflops: if self.total_cycles > 0.0 { flops * 3.3 / self.total_cycles } else { 0.0 },
+        }
+    }
+
+    /// Fraction of total cycles spent in rotation phases.
+    pub fn rotation_share(&self) -> f64 {
+        let rot: f64 = self
+            .demands
+            .iter()
+            .zip(&self.phases)
+            .filter(|(d, _)| d.name.contains("rotation"))
+            .map(|(_, t)| t.cycles)
+            .sum();
+        rot / self.total_cycles
+    }
+}
+
+/// Project a transform of `dims` on `cfg`.
+pub fn project(cfg: &XmtConfig, dims: &[usize]) -> FftProjection {
+    let demands = stage_demands(dims, cfg);
+    let (phases, total_cycles) = xmt_sim::run_phases(cfg, &demands);
+    let conv = fft_flops_convention_nd(&dims.iter().map(|&d| d as u64).collect::<Vec<_>>());
+    let actual: f64 = demands.iter().map(|d| d.flops).sum();
+    FftProjection {
+        config_name: cfg.name,
+        dims: dims.to_vec(),
+        gflops_convention: gflops(cfg, conv, total_cycles),
+        gflops_actual: gflops(cfg, actual, total_cycles),
+        total_cycles,
+        phases,
+        demands,
+    }
+}
+
+/// The paper's Table IV experiment: single-precision complex 3D FFT of
+/// 512×512×512 on each configuration.
+pub fn table4_projection() -> Vec<FftProjection> {
+    XmtConfig::paper_configs()
+        .iter()
+        .map(|cfg| project(cfg, &[512, 512, 512]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_sim::Bottleneck;
+
+    /// Paper Table IV: GFLOPS per configuration.
+    const PAPER_GFLOPS: [f64; 5] = [239.0, 500.0, 3667.0, 12570.0, 18972.0];
+
+    #[test]
+    fn stage_demand_counts() {
+        let cfg = XmtConfig::xmt_4k();
+        let d = stage_demands(&[512, 512, 512], &cfg);
+        assert_eq!(d.len(), 9, "three radix-8 stages per dimension");
+        let rotations = d.iter().filter(|x| x.name.contains("rotation")).count();
+        assert_eq!(rotations, 3);
+        // 512³ streams on every configuration (1 GiB working set).
+        assert!(d.iter().all(|x| x.dram_bytes > 0.0));
+        // Twiddled stages carry extra download words.
+        assert!(d[0].icn_words_down > d[0].icn_words_up);
+        // Rotation stages skip twiddles.
+        let rot = d.iter().find(|x| x.name.contains("rotation")).unwrap();
+        assert_eq!(rot.icn_words_down, rot.icn_words_up);
+    }
+
+    #[test]
+    fn table4_shape_holds() {
+        let proj = table4_projection();
+        let g: Vec<f64> = proj.iter().map(|p| p.gflops_convention).collect();
+        // Monotone increase across configurations.
+        for w in g.windows(2) {
+            assert!(w[1] > w[0], "GFLOPS must grow: {g:?}");
+        }
+        // 4k→8k doubles (both DRAM-bound, bandwidth doubles).
+        let r1 = g[1] / g[0];
+        assert!((1.8..=2.2).contains(&r1), "8k/4k = {r1}");
+        // 8k→64k: large jump (paper 7.3×).
+        let r2 = g[2] / g[1];
+        assert!((6.0..=9.0).contains(&r2), "64k/8k = {r2}");
+        // 64k→128k x2 (paper 3.4×).
+        let r3 = g[3] / g[2];
+        assert!((2.0..=4.0).contains(&r3), "x2/64k = {r3}");
+        // x2→x4: diminishing return, well under 2× (paper 1.51×).
+        let r4 = g[4] / g[3];
+        assert!((1.15..=1.7).contains(&r4), "x4/x2 = {r4}");
+    }
+
+    #[test]
+    fn table4_absolute_within_tolerance() {
+        // Absolute values are not expected to match the paper exactly
+        // (our substrate differs) but must land in the same regime.
+        let proj = table4_projection();
+        for (p, paper) in proj.iter().zip(PAPER_GFLOPS) {
+            let ratio = p.gflops_convention / paper;
+            assert!(
+                (0.55..=1.6).contains(&ratio),
+                "{}: model {:.0} vs paper {paper} (ratio {ratio:.2})",
+                p.config_name,
+                p.gflops_convention
+            );
+        }
+    }
+
+    #[test]
+    fn observation_a_small_configs_bandwidth_bound() {
+        // Fig. 3 observation (a): on 4k and 8k both phases sit on the
+        // bandwidth slope — every stage is DRAM-bound.
+        for cfg in [XmtConfig::xmt_4k(), XmtConfig::xmt_8k()] {
+            let p = project(&cfg, &[512, 512, 512]);
+            for t in &p.phases {
+                assert_eq!(t.bound, Bottleneck::Dram, "{} {}", cfg.name, t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn observation_b_rotation_falls_below_slope() {
+        // 64k: rotation begins to fall below the slope (ICN-bound,
+        // marginally); 128k x2: more pronounced.
+        let p64 = project(&XmtConfig::xmt_64k(), &[512, 512, 512]);
+        let rot64: Vec<&xmt_sim::PhaseTime> =
+            p64.phases.iter().filter(|t| t.name.contains("rotation")).collect();
+        for t in &rot64 {
+            assert_eq!(t.bound, Bottleneck::Icn, "64k rotation must be ICN-bound");
+            let gap = t.icn_cycles / t.dram_cycles;
+            assert!((1.0..1.5).contains(&gap), "64k gap should be mild: {gap}");
+        }
+        let px2 = project(&XmtConfig::xmt_128k_x2(), &[512, 512, 512]);
+        let rot_x2 = px2.phases.iter().find(|t| t.name.contains("rotation")).unwrap();
+        let gap_x2 = rot_x2.icn_cycles / rot_x2.dram_cycles;
+        let gap_64 = rot64[0].icn_cycles / rot64[0].dram_cycles;
+        assert!(gap_x2 > gap_64 * 1.5, "x2 gap {gap_x2} must exceed 64k gap {gap_64}");
+    }
+
+    #[test]
+    fn observation_c_x4_icn_bound() {
+        // 128k x4: even non-rotation stages are ICN-bound; extra DRAM
+        // bandwidth no longer helps much.
+        let p = project(&XmtConfig::xmt_128k_x4(), &[512, 512, 512]);
+        let non_rot = p.phases.iter().find(|t| !t.name.contains("rotation")).unwrap();
+        assert_eq!(non_rot.bound, Bottleneck::Icn);
+    }
+
+    #[test]
+    fn roofline_points_ordering() {
+        // Rotation has lower operational intensity than non-rotation
+        // (pure data movement), and overall sits between them.
+        let p = project(&XmtConfig::xmt_8k(), &[512, 512, 512]);
+        let r = p.rotation_point();
+        let nr = p.non_rotation_point();
+        let o = p.overall_point();
+        assert!(r.intensity < nr.intensity);
+        assert!(o.intensity > r.intensity && o.intensity < nr.intensity);
+        assert!(o.gflops > r.gflops.min(nr.gflops) && o.gflops < r.gflops.max(nr.gflops));
+    }
+
+    #[test]
+    fn small_transform_fits_in_cache() {
+        let cfg = XmtConfig::xmt_64k();
+        let d = stage_demands(&[64, 64], &cfg);
+        // Only the very first stage pays DRAM traffic.
+        assert!(d[0].dram_bytes > 0.0);
+        assert!(d[1..].iter().all(|x| x.dram_bytes == 0.0));
+    }
+}

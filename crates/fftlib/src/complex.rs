@@ -1,0 +1,335 @@
+//! Minimal complex-number arithmetic for FFT kernels.
+//!
+//! The library deliberately avoids external numeric crates: the FFT only
+//! needs add/sub/mul/conj/scale on complex values plus a handful of real
+//! scalar operations, all captured by the [`Float`] trait implemented for
+//! `f32` and `f64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable as the element type of a transform.
+///
+/// Implemented for `f32` (the paper's single-precision experiments) and
+/// `f64` (used by tests for tighter tolerances).
+pub trait Float:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The `const` value.
+    const ZERO: Self;
+    /// The `const` value.
+    const ONE: Self;
+    /// 2π in this precision.
+    const TAU: Self;
+
+    /// The `fn` value.
+    fn from_f64(v: f64) -> Self;
+    /// The `fn` value.
+    fn to_f64(self) -> f64;
+    /// The `fn` value.
+    fn from_usize(v: usize) -> Self;
+    /// The `fn` value.
+    fn sin(self) -> Self;
+    /// The `fn` value.
+    fn cos(self) -> Self;
+    /// The `fn` value.
+    fn sqrt(self) -> Self;
+    /// The `fn` value.
+    fn abs(self) -> Self;
+    /// Fused or plain multiply-add `self * a + b`; precision detail only.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_float {
+    ($t:ty) => {
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TAU: Self = std::f64::consts::TAU as $t;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self * a + b
+            }
+        }
+    };
+}
+
+impl_float!(f32);
+impl_float!(f64);
+
+/// A complex number `re + i·im`.
+///
+/// Layout is `repr(C)` so a `&[Complex<T>]` can be reinterpreted as an
+/// interleaved real buffer (used by the XMT kernel loader).
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// The `re` value.
+    pub re: T,
+    /// The `im` value.
+    pub im: T,
+}
+
+/// Single-precision complex, the paper's element type.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex.
+pub type Complex64 = Complex<f64>;
+
+impl<T: Float> Complex<T> {
+    #[inline(always)]
+    /// The `const` value.
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// The multiplicative identity.
+    #[inline(always)]
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: T) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Multiply by `i` (90° rotation) without a full complex multiply.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i` (-90° rotation).
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Self::new(self.im, -self.re)
+    }
+
+    /// Euclidean distance to another complex value.
+    #[inline]
+    pub fn dist(self, other: Self) -> T {
+        (self - other).abs()
+    }
+}
+
+impl<T: Float> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Float> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Float> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Float> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Float> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Float> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Float> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Float> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}+{}i)", self.re, self.im)
+    }
+}
+
+impl<T: Float> From<T> for Complex<T> {
+    #[inline]
+    fn from(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.5, 4.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(-1.0, 5.0);
+        let p = a * b;
+        assert_eq!(p, Complex64::new(2.0 * -1.0 - 3.0 * 5.0, 2.0 * 5.0 + 3.0 * -1.0));
+    }
+
+    #[test]
+    fn conj_negates_imag() {
+        let a = Complex32::new(1.0, 2.0);
+        assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_unit_magnitude() {
+        for k in 0..64 {
+            let theta = k as f64 * 0.1;
+            let c = Complex64::cis(theta);
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_i_is_rotation() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.mul_i(), a * Complex64::new(0.0, 1.0));
+        assert_eq!(a.mul_neg_i(), a * Complex64::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn norm_sqr_matches_abs() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let v = vec![Complex64::new(1.0, 1.0); 10];
+        let s: Complex64 = v.into_iter().sum();
+        assert_eq!(s, Complex64::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn mul_i_twice_negates() {
+        let a = Complex64::new(1.0, 2.0);
+        assert_eq!(a.mul_i().mul_i(), -a);
+    }
+}

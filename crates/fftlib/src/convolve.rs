@@ -1,0 +1,132 @@
+//! FFT-based convolution helpers: the classic application that makes FFT
+//! "a classic computation engine for numerous applications" (paper
+//! abstract). Used by the spectral-filter and Poisson examples.
+
+use crate::complex::{Complex, Float};
+use crate::plan::{Fft, Normalization};
+use crate::FftDirection;
+
+/// Circular convolution of two equal-length complex signals via FFT:
+/// `out[k] = Σ_j a[j]·b[(k−j) mod n]`.
+pub fn circular_convolve<T: Float>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    assert_eq!(a.len(), b.len(), "circular convolution needs equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let fwd = Fft::new(n, FftDirection::Forward);
+    let inv = Fft::with_normalization(n, FftDirection::Inverse, Normalization::Inverse);
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    fwd.process(&mut fa);
+    fwd.process(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    inv.process(&mut fa);
+    fa
+}
+
+/// Linear convolution of two complex signals (output length
+/// `a.len() + b.len() − 1`) by zero-padding to a fast size.
+pub fn linear_convolve<T: Float>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_fast_len(out_len);
+    let mut pa = vec![Complex::zero(); n];
+    let mut pb = vec![Complex::zero(); n];
+    pa[..a.len()].copy_from_slice(a);
+    pb[..b.len()].copy_from_slice(b);
+    let mut full = circular_convolve(&pa, &pb);
+    full.truncate(out_len);
+    full
+}
+
+/// Smallest size ≥ `n` that the mixed-radix engine handles without
+/// falling back to Bluestein (i.e. 13-smooth). In practice returns the
+/// next power of two unless a closer smooth size exists.
+pub fn next_fast_len(n: usize) -> usize {
+    let mut m = n.max(1);
+    loop {
+        if crate::stockham::plan_stages(m).is_some() {
+            return m;
+        }
+        m += 1;
+    }
+}
+
+/// Direct O(n·m) linear convolution, the correctness oracle for tests.
+pub fn direct_convolve<T: Float>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Complex::zero(); a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::max_error;
+    use crate::Complex64;
+
+    fn sample(n: usize, phase: f64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.31 + phase).sin(), (i as f64 * 0.17).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn linear_matches_direct() {
+        for (la, lb) in [(5usize, 7usize), (16, 16), (1, 9), (33, 12)] {
+            let a = sample(la, 0.0);
+            let b = sample(lb, 1.0);
+            let got = linear_convolve(&a, &b);
+            let want = direct_convolve(&a, &b);
+            assert!(max_error(&got, &want) < 1e-8 * (la + lb) as f64, "{la}x{lb}");
+        }
+    }
+
+    #[test]
+    fn circular_delta_is_identity() {
+        let n = 16;
+        let a = sample(n, 0.5);
+        let mut delta = vec![Complex64::zero(); n];
+        delta[0] = Complex64::one();
+        let got = circular_convolve(&a, &delta);
+        assert!(max_error(&got, &a) < 1e-10);
+    }
+
+    #[test]
+    fn circular_shift_by_one() {
+        let n = 8;
+        let a = sample(n, 0.0);
+        let mut shift = vec![Complex64::zero(); n];
+        shift[1] = Complex64::one();
+        let got = circular_convolve(&a, &shift);
+        for k in 0..n {
+            assert!(got[k].dist(a[(k + n - 1) % n]) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn next_fast_len_is_smooth_and_minimal() {
+        assert_eq!(next_fast_len(1), 1);
+        assert_eq!(next_fast_len(17), 18); // 2·3²
+        assert_eq!(next_fast_len(128), 128);
+        assert_eq!(next_fast_len(0), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(linear_convolve::<f64>(&[], &sample(4, 0.0)).is_empty());
+        assert!(direct_convolve::<f64>(&sample(4, 0.0), &[]).is_empty());
+    }
+}

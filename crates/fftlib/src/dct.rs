@@ -1,0 +1,197 @@
+//! Discrete cosine transforms (types II and III) via the FFT.
+//!
+//! DCT-II is computed with the classic even-permutation + half-sample
+//! phase-shift identity: reorder the input as
+//! `v[j] = x[2j], v[n-1-j] = x[2j+1]`, take an n-point complex FFT,
+//! and read off `X_k = Re(e^{-iπk/2n}·V_k)`. DCT-III (the inverse of
+//! DCT-II up to scaling) reverses the construction.
+
+use crate::complex::{Complex, Float};
+use crate::plan::Fft;
+use crate::FftDirection;
+
+/// Plan for an `n`-point DCT-II and its DCT-III inverse.
+pub struct Dct<T> {
+    n: usize,
+    fft_fwd: Fft<T>,
+    fft_inv: Fft<T>,
+    /// `e^{-iπk/(2n)}` for `0 ≤ k < n`.
+    phase: Vec<Complex<T>>,
+}
+
+impl<T: Float> Dct<T> {
+    /// Plan an `n`-point transform (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "DCT size must be positive");
+        let step = T::TAU / T::from_usize(4 * n);
+        Self {
+            n,
+            fft_fwd: Fft::new(n, FftDirection::Forward),
+            fft_inv: Fft::new(n, FftDirection::Inverse),
+            phase: (0..n).map(|k| Complex::cis(-step * T::from_usize(k))).collect(),
+        }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan is empty (never: n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// DCT-II: `X_k = Σ_j x_j · cos(π(j + ½)k / n)` (unnormalized).
+    pub fn dct2(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let n = self.n;
+        // Even/odd fold.
+        let mut v = vec![Complex::zero(); n];
+        for j in 0..n.div_ceil(2) {
+            v[j] = Complex::from(input[2 * j]);
+        }
+        for j in 0..n / 2 {
+            v[n - 1 - j] = Complex::from(input[2 * j + 1]);
+        }
+        self.fft_fwd.process(&mut v);
+        (0..n).map(|k| (v[k] * self.phase[k]).re).collect()
+    }
+
+    /// The exact inverse of [`Self::dct2`]: `idct2(dct2(x)) == x`.
+    pub fn idct2(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let n = self.n;
+        // Build V_k = (X_k − i·X_{n−k})·conj(phase) with X_n = 0.
+        let mut v = vec![Complex::zero(); n];
+        for k in 0..n {
+            let re = input[k];
+            let im = if k == 0 { T::ZERO } else { -input[n - k] };
+            let c = Complex::new(re, im);
+            v[k] = c * self.phase[k].conj();
+        }
+        self.fft_inv.process(&mut v);
+        // Un-fold the even/odd permutation; inverse FFT is unnormalized,
+        // matching dct2's unnormalized forward.
+        let scale = T::ONE / T::from_usize(n);
+        let mut out = vec![T::ZERO; n];
+        for j in 0..n.div_ceil(2) {
+            out[2 * j] = v[j].re * scale;
+        }
+        for j in 0..n / 2 {
+            out[2 * j + 1] = v[n - 1 - j].re * scale;
+        }
+        out
+    }
+
+    /// Standard (unnormalized) DCT-III:
+    /// `Y_j = x_0/2 + Σ_{k≥1} x_k · cos(πk(j + ½)/n)`.
+    ///
+    /// Related to the exact inverse by `dct3(x) = (n/2)·idct2(x)`.
+    pub fn dct3(&self, input: &[T]) -> Vec<T> {
+        let half_n = T::from_usize(self.n) / T::from_f64(2.0);
+        self.idct2(input).into_iter().map(|v| v * half_n).collect()
+    }
+}
+
+/// Direct O(n²) DCT-II, the correctness oracle.
+pub fn dct2_naive<T: Float>(input: &[T]) -> Vec<T> {
+    let n = input.len();
+    let pi_over_n = T::TAU / T::from_usize(2 * n);
+    (0..n)
+        .map(|k| {
+            let mut acc = T::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let angle =
+                    pi_over_n * (T::from_usize(j) + T::from_f64(0.5)) * T::from_usize(k);
+                acc += x * angle.cos();
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.1).cos()).collect()
+    }
+
+    #[test]
+    fn dct2_matches_naive() {
+        for n in [1usize, 2, 4, 8, 16, 64, 12, 60] {
+            let x = sample(n);
+            let got = Dct::new(n).dct2(&x);
+            let want = dct2_naive(&x);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-8 * n as f64, "n={n} k={k}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_dct2_idct2_exact() {
+        for n in [1usize, 4, 16, 32, 48] {
+            let plan = Dct::new(n);
+            let x = sample(n);
+            let y = plan.idct2(&plan.dct2(&x));
+            for (j, (a, b)) in x.iter().zip(&y).enumerate() {
+                assert!((b - a).abs() < 1e-9 * n as f64, "n={n} j={j}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Direct O(n²) DCT-III oracle.
+    fn dct3_naive(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|j| {
+                let mut acc = x[0] / 2.0;
+                for (k, &v) in x.iter().enumerate().skip(1) {
+                    acc += v
+                        * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dct3_matches_naive() {
+        for n in [2usize, 8, 24, 64] {
+            let x = sample(n);
+            let got = Dct::new(n).dct3(&x);
+            let want = dct3_naive(&x);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-8 * n as f64, "n={n} k={k}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_sum() {
+        let x = sample(32);
+        let c = Dct::new(32).dct2(&x);
+        let sum: f64 = x.iter().sum();
+        assert!((c[0] - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_input_concentrates() {
+        // x_j = cos(π(j+½)·5/n) has all DCT-II energy in bin 5.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (std::f64::consts::PI * (j as f64 + 0.5) * 5.0 / n as f64).cos())
+            .collect();
+        let c = Dct::new(n).dct2(&x);
+        for (k, v) in c.iter().enumerate() {
+            if k == 5 {
+                assert!((v - n as f64 / 2.0).abs() < 1e-8);
+            } else {
+                assert!(v.abs() < 1e-8, "bin {k} leaked {v}");
+            }
+        }
+    }
+}

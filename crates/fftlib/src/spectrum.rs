@@ -1,0 +1,137 @@
+//! Spectrum utilities: `fftshift`, magnitude/power spectra, decibels,
+//! and bin↔frequency conversion — the small conveniences every FFT
+//! consumer re-implements.
+
+use crate::complex::{Complex, Float};
+
+/// Rotate a spectrum so the zero-frequency bin sits at the center
+/// (`n/2`): the conventional display order.
+pub fn fftshift<T: Clone>(data: &mut [T]) {
+    let n = data.len();
+    data.rotate_right(n / 2);
+}
+
+/// Inverse of [`fftshift`] (distinct for odd lengths).
+pub fn ifftshift<T: Clone>(data: &mut [T]) {
+    let n = data.len();
+    data.rotate_left(n / 2);
+}
+
+/// Magnitude spectrum `|X_k|`.
+pub fn magnitude<T: Float>(spec: &[Complex<T>]) -> Vec<T> {
+    spec.iter().map(|c| c.abs()).collect()
+}
+
+/// Power spectrum `|X_k|²`.
+pub fn power<T: Float>(spec: &[Complex<T>]) -> Vec<T> {
+    spec.iter().map(|c| c.norm_sqr()).collect()
+}
+
+/// Power spectrum in dB relative to the strongest bin, floored at
+/// `floor_db` (e.g. −120.0).
+pub fn power_db<T: Float>(spec: &[Complex<T>], floor_db: f64) -> Vec<f64> {
+    let p: Vec<f64> = spec.iter().map(|c| c.norm_sqr().to_f64()).collect();
+    let peak = p.iter().cloned().fold(0.0f64, f64::max);
+    p.iter()
+        .map(|&v| {
+            if peak <= 0.0 || v <= 0.0 {
+                floor_db
+            } else {
+                (10.0 * (v / peak).log10()).max(floor_db)
+            }
+        })
+        .collect()
+}
+
+/// Frequency (in the sample-rate's units) of bin `k` of an `n`-point
+/// transform at `sample_rate`; bins above `n/2` are negative
+/// frequencies.
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    assert!(k < n);
+    let k = k as f64;
+    let n = n as f64;
+    let signed = if k <= n / 2.0 { k } else { k - n };
+    signed * sample_rate / n
+}
+
+/// The bin index nearest to `freq` for an `n`-point transform at
+/// `sample_rate`.
+pub fn frequency_bin(freq: f64, n: usize, sample_rate: f64) -> usize {
+    let k = (freq * n as f64 / sample_rate).round() as i64;
+    k.rem_euclid(n as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn shift_roundtrip_even_and_odd() {
+        for n in [8usize, 9] {
+            let orig: Vec<usize> = (0..n).collect();
+            let mut v = orig.clone();
+            fftshift(&mut v);
+            assert_eq!(v[n / 2], 0, "DC lands at the center");
+            ifftshift(&mut v);
+            assert_eq!(v, orig);
+        }
+    }
+
+    #[test]
+    fn magnitude_and_power_consistent() {
+        let spec = vec![Complex64::new(3.0, 4.0), Complex64::new(0.0, -2.0)];
+        assert_eq!(magnitude(&spec), vec![5.0, 2.0]);
+        assert_eq!(power(&spec), vec![25.0, 4.0]);
+    }
+
+    #[test]
+    fn db_scale_relative_to_peak() {
+        let spec = vec![
+            Complex64::new(10.0, 0.0),
+            Complex64::new(1.0, 0.0),
+            Complex64::zero(),
+        ];
+        let db = power_db(&spec, -120.0);
+        assert_eq!(db[0], 0.0);
+        assert!((db[1] + 20.0).abs() < 1e-9);
+        assert_eq!(db[2], -120.0);
+    }
+
+    #[test]
+    fn bin_frequency_mapping() {
+        let (n, sr) = (1024, 48_000.0);
+        assert_eq!(bin_frequency(0, n, sr), 0.0);
+        assert!((bin_frequency(512, n, sr) - 24_000.0).abs() < 1e-9);
+        assert!(bin_frequency(1023, n, sr) < 0.0, "top bins are negative freq");
+        for f in [100.0, 440.0, 12_345.0] {
+            let k = frequency_bin(f, n, sr);
+            assert!((bin_frequency(k, n, sr) - f).abs() <= sr / n as f64 / 2.0 + 1e-9);
+        }
+        assert_eq!(frequency_bin(-100.0, n, sr), frequency_bin(sr - 100.0, n, sr));
+    }
+
+    #[test]
+    fn fft_peak_at_expected_bin() {
+        let n = 512;
+        let f_tone = 31.0;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                Complex64::new(
+                    (std::f64::consts::TAU * f_tone * i as f64 / n as f64).sin(),
+                    0.0,
+                )
+            })
+            .collect();
+        crate::plan::fft(&mut x);
+        let mags = magnitude(&x);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, frequency_bin(f_tone, n, n as f64));
+    }
+}

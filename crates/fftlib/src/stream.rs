@@ -1,0 +1,203 @@
+//! Streaming convolution by overlap-save: filter an arbitrarily long
+//! signal with a fixed FIR kernel using fixed-size FFTs — the
+//! continuous-signal counterpart of [`crate::convolve`], and a classic
+//! production requirement (real-time filtering cannot buffer the whole
+//! signal).
+
+use crate::complex::{Complex, Float};
+use crate::convolve::next_fast_len;
+use crate::plan::{Fft, Normalization};
+use crate::FftDirection;
+
+/// Overlap-save convolver for a fixed kernel.
+///
+/// Feed arbitrary-sized chunks with [`OverlapSave::process`]; output
+/// totals `input_len + kernel_len − 1` samples once [`OverlapSave::finish`]
+/// flushes the tail (identical to direct linear convolution).
+pub struct OverlapSave<T> {
+    kernel_len: usize,
+    /// FFT block size (≥ 2·kernel_len, smooth).
+    block: usize,
+    /// Samples of new input consumed per block.
+    hop: usize,
+    fwd: Fft<T>,
+    inv: Fft<T>,
+    /// Frequency-domain kernel.
+    kernel_hat: Vec<Complex<T>>,
+    /// Sliding input history of `block` samples.
+    history: Vec<Complex<T>>,
+    /// Valid (unprocessed) samples currently in the history tail.
+    pending: usize,
+    /// Input samples consumed so far.
+    consumed: usize,
+    /// Output samples emitted so far.
+    emitted: usize,
+    finished: bool,
+}
+
+impl<T: Float> OverlapSave<T> {
+    /// Build a convolver for `kernel`; `block_hint` (if any) is rounded
+    /// up to a fast size of at least twice the kernel length.
+    pub fn new(kernel: &[Complex<T>], block_hint: Option<usize>) -> Self {
+        assert!(!kernel.is_empty(), "kernel must be non-empty");
+        let min_block = 2 * kernel.len();
+        let block = next_fast_len(block_hint.unwrap_or(4 * kernel.len()).max(min_block));
+        let hop = block - kernel.len() + 1;
+        let fwd = Fft::new(block, FftDirection::Forward);
+        let inv = Fft::with_normalization(block, FftDirection::Inverse, Normalization::Inverse);
+        let mut kernel_hat = vec![Complex::zero(); block];
+        kernel_hat[..kernel.len()].copy_from_slice(kernel);
+        fwd.process(&mut kernel_hat);
+        Self {
+            kernel_len: kernel.len(),
+            block,
+            hop,
+            fwd,
+            inv,
+            kernel_hat,
+            history: vec![Complex::zero(); block],
+            pending: 0,
+            consumed: 0,
+            emitted: 0,
+            finished: false,
+        }
+    }
+
+    /// FFT block size chosen.
+    pub fn block_len(&self) -> usize {
+        self.block
+    }
+
+    fn run_block(&mut self, out: &mut Vec<Complex<T>>) {
+        // history holds the last (kernel_len-1) old samples followed by
+        // hop new ones; circular convolution then yields hop valid
+        // output samples at positions kernel_len-1 .. block.
+        let mut buf = self.history.clone();
+        self.fwd.process(&mut buf);
+        for (b, k) in buf.iter_mut().zip(&self.kernel_hat) {
+            *b = *b * *k;
+        }
+        self.inv.process(&mut buf);
+        out.extend_from_slice(&buf[self.kernel_len - 1..]);
+        // Slide: keep the last kernel_len-1 samples.
+        self.history.copy_within(self.hop.., 0);
+        for v in &mut self.history[self.block - self.hop..] {
+            *v = Complex::zero();
+        }
+        self.pending = 0;
+    }
+
+    /// Feed input samples; returns the output produced so far by any
+    /// completed blocks.
+    pub fn process(&mut self, input: &[Complex<T>]) -> Vec<Complex<T>> {
+        assert!(!self.finished, "process after finish");
+        let mut out = Vec::new();
+        for &s in input {
+            let at = self.kernel_len - 1 + self.pending;
+            self.history[at] = s;
+            self.pending += 1;
+            self.consumed += 1;
+            if self.pending == self.hop {
+                self.run_block(&mut out);
+            }
+        }
+        self.emitted += out.len();
+        out
+    }
+
+    /// Flush the tail; the total output across all calls is exactly
+    /// `consumed + kernel_len − 1` samples.
+    pub fn finish(mut self) -> Vec<Complex<T>> {
+        assert!(!self.finished);
+        self.finished = true;
+        let total_needed = self.consumed + self.kernel_len - 1;
+        let mut out = Vec::new();
+        while self.emitted + out.len() < total_needed {
+            self.run_block(&mut out);
+        }
+        out.truncate(total_needed - self.emitted);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolve::direct_convolve;
+    use crate::dft::max_error;
+    use crate::Complex64;
+
+    fn sig(n: usize, seed: f64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37 + seed).sin(), (i as f64 * 0.19).cos()))
+            .collect()
+    }
+
+    fn run_streaming(
+        signal: &[Complex64],
+        kernel: &[Complex64],
+        chunk: usize,
+        block_hint: Option<usize>,
+    ) -> Vec<Complex64> {
+        let mut os = OverlapSave::new(kernel, block_hint);
+        let mut out = Vec::new();
+        for c in signal.chunks(chunk.max(1)) {
+            out.extend(os.process(c));
+        }
+        out.extend(os.finish());
+        out
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let signal = sig(500, 0.0);
+        let kernel = sig(17, 3.0);
+        let want = direct_convolve(&signal, &kernel);
+        for chunk in [1usize, 7, 64, 500] {
+            let got = run_streaming(&signal, &kernel, chunk, None);
+            assert_eq!(got.len(), want.len(), "chunk {chunk}");
+            assert!(max_error(&got, &want) < 1e-9, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn block_hint_respected_and_smooth() {
+        let kernel = sig(33, 1.0);
+        let os = OverlapSave::new(&kernel, Some(100));
+        assert!(os.block_len() >= 100);
+        assert!(parafft_smooth(os.block_len()));
+        // Tiny hint still yields a legal block.
+        let os2 = OverlapSave::new(&kernel, Some(2));
+        assert!(os2.block_len() >= 66);
+    }
+
+    fn parafft_smooth(n: usize) -> bool {
+        crate::stockham::plan_stages(n).is_some()
+    }
+
+    #[test]
+    fn empty_input_yields_kernel_tail_only() {
+        let kernel = sig(9, 2.0);
+        let got = run_streaming(&[], &kernel, 4, None);
+        // 0 input samples: output length kernel_len - 1, all zeros.
+        assert_eq!(got.len(), 8);
+        assert!(got.iter().all(|c| c.abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_sample_kernel_is_identity_scale() {
+        let signal = sig(100, 0.5);
+        let kernel = [Complex64::new(2.0, 0.0)];
+        let got = run_streaming(&signal, &kernel, 13, None);
+        assert_eq!(got.len(), 100);
+        for (g, s) in got.iter().zip(&signal) {
+            assert!(g.dist(s.scale(2.0)) < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_kernel_rejected() {
+        OverlapSave::<f64>::new(&[], None);
+    }
+}

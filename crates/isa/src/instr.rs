@@ -1,0 +1,553 @@
+//! The instruction set.
+//!
+//! A small RISC core (integer ALU, single-precision FPU, loads/stores to
+//! the shared global memory) extended with the XMT primitives the paper
+//! describes in Section II-A: `Spawn`/`Join` for the parallel sections
+//! and `Ps` (prefix-sum to a global register), the constant-time
+//! inter-thread coordination primitive.
+
+use crate::reg::{FReg, GReg, IReg};
+use std::fmt;
+
+/// Integer ALU operations (two-register form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left logical (amount from rs2, mod 32).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Set-less-than unsigned: rd = (rs1 < rs2) as u32.
+    Sltu,
+}
+
+/// Multiply/divide-unit operations (the single shared MDU per cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MduOp {
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned divide; divide-by-zero yields `u32::MAX` (hardware
+    /// convention, no trap).
+    Divu,
+    /// Unsigned remainder; x % 0 = x.
+    Remu,
+}
+
+/// Floating-point operations (single precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpuOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Branch comparison conditions (unsigned where it matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A resolved branch/jump target: an instruction index in the program.
+pub type Target = usize;
+
+/// The instruction set. Memory is word-addressed (32-bit words).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Load a 32-bit immediate.
+    Li {
+        /// Destination integer register.
+        rd: IReg,
+        /// Immediate operand.
+        imm: u32,
+    },
+    /// Integer ALU, register form.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination integer register.
+        rd: IReg,
+        /// First source register.
+        rs1: IReg,
+        /// Second source register.
+        rs2: IReg,
+    },
+    /// Integer ALU, immediate form.
+    AluI {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination integer register.
+        rd: IReg,
+        /// First source register.
+        rs1: IReg,
+        /// Immediate operand.
+        imm: u32,
+    },
+    /// Multiply/divide unit.
+    Mdu {
+        /// Operation selector.
+        op: MduOp,
+        /// Destination integer register.
+        rd: IReg,
+        /// First source register.
+        rs1: IReg,
+        /// Second source register.
+        rs2: IReg,
+    },
+    /// Load word: `rd = mem[rs1 + off]` (word offset).
+    Lw {
+        /// Destination integer register.
+        rd: IReg,
+        /// Base-address register.
+        base: IReg,
+        /// Word offset added to the base.
+        off: u32,
+    },
+    /// Store word: `mem[rs1 + off] = rs`.
+    Sw {
+        /// Source integer register.
+        rs: IReg,
+        /// Base-address register.
+        base: IReg,
+        /// Word offset added to the base.
+        off: u32,
+    },
+    /// Load word into an FP register (bit pattern reinterpreted).
+    Flw {
+        /// Destination FP register.
+        fd: FReg,
+        /// Base-address register.
+        base: IReg,
+        /// Word offset added to the base.
+        off: u32,
+    },
+    /// Store an FP register's bit pattern.
+    Fsw {
+        /// Source FP register.
+        fs: FReg,
+        /// Base-address register.
+        base: IReg,
+        /// Word offset added to the base.
+        off: u32,
+    },
+    /// FP immediate.
+    Fli {
+        /// Destination FP register.
+        fd: FReg,
+        /// Immediate floating-point value.
+        value: f32,
+    },
+    /// FP arithmetic.
+    Fpu {
+        /// Operation selector.
+        op: FpuOp,
+        /// Destination FP register.
+        fd: FReg,
+        /// First FP source register.
+        fs1: FReg,
+        /// Second FP source register.
+        fs2: FReg,
+    },
+    /// FP negate (register move with sign flip; executes on the FPU).
+    Fneg {
+        /// Destination FP register.
+        fd: FReg,
+        /// Source FP register.
+        fs: FReg,
+    },
+    /// FP register move (ALU-class, no FPU occupancy).
+    Fmov {
+        /// Destination FP register.
+        fd: FReg,
+        /// Source FP register.
+        fs: FReg,
+    },
+    /// Move integer register to FP register bit pattern.
+    Fmvif {
+        /// Destination FP register.
+        fd: FReg,
+        /// Source integer register.
+        rs: IReg,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// First source register.
+        rs1: IReg,
+        /// Second source register.
+        rs2: IReg,
+        /// Resolved branch target (instruction index).
+        target: Target,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Resolved branch target (instruction index).
+        target: Target,
+    },
+    /// Copy the thread id (XMTC `$`) into `rd`.
+    Tid {
+        /// Destination integer register.
+        rd: IReg,
+    },
+    /// Read a global register (broadcast value).
+    ReadGr {
+        /// Destination integer register.
+        rd: IReg,
+        /// Source.
+        src: GReg,
+    },
+    /// Write a global register (MTCU / serial mode only).
+    WriteGr {
+        /// Source integer register.
+        rs: IReg,
+        /// Destination.
+        dst: GReg,
+    },
+    /// Prefix-sum: atomically `rd = g; g += rs` on global register `g`.
+    /// Constant time regardless of how many threads issue it in the
+    /// same cycle (the PS unit combines them) — Section II-A.
+    Ps {
+        /// Destination integer register.
+        rd: IReg,
+        /// Register holding the increment.
+        inc: IReg,
+        /// Global register the prefix-sum operates on.
+        on: GReg,
+    },
+    /// Enter parallel mode: broadcast the section starting at `entry`
+    /// to all TCUs and run `count` (register) virtual threads. MTCU
+    /// only. Serial execution resumes after the matching section once
+    /// every thread has joined.
+    Spawn {
+        /// Register holding the thread count.
+        count: IReg,
+        /// Resolved section entry (instruction index).
+        entry: Target,
+    },
+    /// Single-level nested spawn (the paper's `sspawn`): a running
+    /// thread atomically extends the current parallel section by
+    /// `count` additional virtual threads (allocated by the PS unit on
+    /// the spawn bound) and receives the first new thread id in `rd`.
+    /// The enclosing join barrier waits for the new threads too.
+    Sspawn {
+        /// Destination integer register.
+        rd: IReg,
+        /// Register holding the thread count.
+        count: IReg,
+    },
+    /// Terminate the current virtual thread (TCU grabs the next thread
+    /// id via the PS unit, or idles when none remain).
+    Join,
+    /// Stop the machine (serial mode only).
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// The functional unit an instruction occupies, used by the cluster
+/// timing model (Table II: per cluster, 32 ALUs, 1 MDU, 1 LSU port,
+/// 1–4 FPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Per-TCU integer ALU (never contended).
+    Alu,
+    /// Shared floating-point unit(s).
+    Fpu,
+    /// Shared multiply/divide unit.
+    Mdu,
+    /// Shared load/store port into the interconnect.
+    Lsu,
+    /// Branch resolution (in the TCU pipeline).
+    Branch,
+    /// The global prefix-sum unit.
+    Ps,
+    /// Control (spawn/join/halt/nop).
+    Control,
+}
+
+impl Instr {
+    /// Which functional unit this instruction occupies.
+    pub fn unit(&self) -> Unit {
+        match self {
+            Instr::Li { .. }
+            | Instr::Alu { .. }
+            | Instr::AluI { .. }
+            | Instr::Tid { .. }
+            | Instr::ReadGr { .. }
+            | Instr::WriteGr { .. }
+            | Instr::Fmov { .. }
+            | Instr::Fmvif { .. }
+            | Instr::Fli { .. } => Unit::Alu,
+            Instr::Mdu { .. } => Unit::Mdu,
+            Instr::Fpu { .. } | Instr::Fneg { .. } => Unit::Fpu,
+            Instr::Lw { .. } | Instr::Sw { .. } | Instr::Flw { .. } | Instr::Fsw { .. } => {
+                Unit::Lsu
+            }
+            Instr::Branch { .. } | Instr::Jump { .. } => Unit::Branch,
+            Instr::Ps { .. } | Instr::Sspawn { .. } => Unit::Ps,
+            Instr::Spawn { .. } | Instr::Join | Instr::Halt | Instr::Nop => Unit::Control,
+        }
+    }
+
+    /// True for instructions that access shared memory through the NoC.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Lw { .. } | Instr::Sw { .. } | Instr::Flw { .. } | Instr::Fsw { .. }
+        )
+    }
+
+    /// True if this instruction performs a floating-point arithmetic
+    /// operation (counted as one FLOP by the simulator's "actual FLOPs"
+    /// statistic; Fneg/Fmov are free moves).
+    pub fn is_flop(&self) -> bool {
+        matches!(self, Instr::Fpu { .. })
+    }
+
+    /// Integer registers this instruction reads (for scoreboarding).
+    pub fn iregs_read(&self) -> [Option<IReg>; 2] {
+        match *self {
+            Instr::Alu { rs1, rs2, .. }
+            | Instr::Mdu { rs1, rs2, .. }
+            | Instr::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::AluI { rs1, .. } => [Some(rs1), None],
+            Instr::Lw { base, .. } | Instr::Flw { base, .. } => [Some(base), None],
+            Instr::Sw { rs, base, .. } => [Some(rs), Some(base)],
+            Instr::Fsw { base, .. } => [Some(base), None],
+            Instr::Fmvif { rs, .. } => [Some(rs), None],
+            Instr::WriteGr { rs, .. } => [Some(rs), None],
+            Instr::Ps { inc, .. } => [Some(inc), None],
+            Instr::Spawn { count, .. } => [Some(count), None],
+            Instr::Sspawn { count, .. } => [Some(count), None],
+            _ => [None, None],
+        }
+    }
+
+    /// FP registers this instruction reads.
+    pub fn fregs_read(&self) -> [Option<FReg>; 2] {
+        match *self {
+            Instr::Fpu { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            Instr::Fneg { fs, .. } | Instr::Fmov { fs, .. } => [Some(fs), None],
+            Instr::Fsw { fs, .. } => [Some(fs), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Integer register this instruction writes, if any.
+    pub fn ireg_written(&self) -> Option<IReg> {
+        match *self {
+            Instr::Li { rd, .. }
+            | Instr::Alu { rd, .. }
+            | Instr::AluI { rd, .. }
+            | Instr::Mdu { rd, .. }
+            | Instr::Lw { rd, .. }
+            | Instr::Tid { rd }
+            | Instr::ReadGr { rd, .. }
+            | Instr::Ps { rd, .. }
+            | Instr::Sspawn { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// FP register this instruction writes, if any.
+    pub fn freg_written(&self) -> Option<FReg> {
+        match *self {
+            Instr::Flw { fd, .. }
+            | Instr::Fli { fd, .. }
+            | Instr::Fpu { fd, .. }
+            | Instr::Fneg { fd, .. }
+            | Instr::Fmov { fd, .. }
+            | Instr::Fmvif { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { rd, imm } => write!(f, "li    {rd}, {imm}"),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{:<5} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::AluI { op, rd, rs1, imm } => {
+                write!(f, "{:<5} {rd}, {rs1}, {imm}", format!("{op:?}i").to_lowercase())
+            }
+            Instr::Mdu { op, rd, rs1, rs2 } => {
+                write!(f, "{:<5} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Lw { rd, base, off } => write!(f, "lw    {rd}, {off}({base})"),
+            Instr::Sw { rs, base, off } => write!(f, "sw    {rs}, {off}({base})"),
+            Instr::Flw { fd, base, off } => write!(f, "flw   {fd}, {off}({base})"),
+            Instr::Fsw { fs, base, off } => write!(f, "fsw   {fs}, {off}({base})"),
+            Instr::Fli { fd, value } => write!(f, "fli   {fd}, {value}"),
+            Instr::Fpu { op, fd, fs1, fs2 } => {
+                write!(f, "f{:<4} {fd}, {fs1}, {fs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Fneg { fd, fs } => write!(f, "fneg  {fd}, {fs}"),
+            Instr::Fmov { fd, fs } => write!(f, "fmov  {fd}, {fs}"),
+            Instr::Fmvif { fd, rs } => write!(f, "fmvif {fd}, {rs}"),
+            Instr::Branch { cond, rs1, rs2, target } => {
+                write!(f, "b{:<4} {rs1}, {rs2}, @{target}", format!("{cond:?}").to_lowercase())
+            }
+            Instr::Jump { target } => write!(f, "j     @{target}"),
+            Instr::Tid { rd } => write!(f, "tid   {rd}"),
+            Instr::ReadGr { rd, src } => write!(f, "rdgr  {rd}, {src}"),
+            Instr::WriteGr { rs, dst } => write!(f, "wrgr  {dst}, {rs}"),
+            Instr::Ps { rd, inc, on } => write!(f, "ps    {rd}, {inc}, {on}"),
+            Instr::Spawn { count, entry } => write!(f, "spawn {count}, @{entry}"),
+            Instr::Sspawn { rd, count } => write!(f, "sspawn {rd}, {count}"),
+            Instr::Join => write!(f, "join"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Pure evaluation of an ALU op (shared by interpreter and simulator).
+#[inline(always)]
+pub fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sltu => (a < b) as u32,
+    }
+}
+
+/// Pure evaluation of an MDU op.
+#[inline(always)]
+pub fn eval_mdu(op: MduOp, a: u32, b: u32) -> u32 {
+    match op {
+        MduOp::Mul => a.wrapping_mul(b),
+        MduOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MduOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+/// Pure evaluation of an FPU op.
+#[inline(always)]
+pub fn eval_fpu(op: FpuOp, a: f32, b: f32) -> f32 {
+    match op {
+        FpuOp::Add => a + b,
+        FpuOp::Sub => a - b,
+        FpuOp::Mul => a * b,
+        FpuOp::Div => a / b,
+    }
+}
+
+/// Pure evaluation of a branch condition.
+#[inline(always)]
+pub fn eval_branch(cond: BranchCond, a: u32, b: u32) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{fr, gr, ir};
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(eval_alu(AluOp::Sll, 1, 35), 8); // shift amount mod 32
+        assert_eq!(eval_alu(AluOp::Srl, 0x80, 3), 0x10);
+        assert_eq!(eval_alu(AluOp::Sltu, 1, 2), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, 2, 2), 0);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn mdu_semantics_no_traps() {
+        assert_eq!(eval_mdu(MduOp::Mul, 7, 9), 63);
+        assert_eq!(eval_mdu(MduOp::Divu, 7, 0), u32::MAX);
+        assert_eq!(eval_mdu(MduOp::Remu, 7, 0), 7);
+        assert_eq!(eval_mdu(MduOp::Divu, 20, 6), 3);
+        assert_eq!(eval_mdu(MduOp::Remu, 20, 6), 2);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(eval_branch(BranchCond::Eq, 3, 3));
+        assert!(eval_branch(BranchCond::Ne, 3, 4));
+        assert!(eval_branch(BranchCond::Ltu, 3, 4));
+        assert!(!eval_branch(BranchCond::Ltu, u32::MAX, 0));
+        assert!(eval_branch(BranchCond::Geu, 4, 4));
+    }
+
+    #[test]
+    fn unit_classification() {
+        assert_eq!(Instr::Li { rd: ir(1), imm: 0 }.unit(), Unit::Alu);
+        assert_eq!(
+            Instr::Fpu { op: FpuOp::Mul, fd: fr(0), fs1: fr(1), fs2: fr(2) }.unit(),
+            Unit::Fpu
+        );
+        assert_eq!(Instr::Lw { rd: ir(1), base: ir(2), off: 0 }.unit(), Unit::Lsu);
+        assert_eq!(
+            Instr::Mdu { op: MduOp::Mul, rd: ir(1), rs1: ir(2), rs2: ir(3) }.unit(),
+            Unit::Mdu
+        );
+        assert_eq!(Instr::Ps { rd: ir(1), inc: ir(2), on: gr(0) }.unit(), Unit::Ps);
+        assert_eq!(Instr::Join.unit(), Unit::Control);
+    }
+
+    #[test]
+    fn memory_and_flop_predicates() {
+        assert!(Instr::Flw { fd: fr(0), base: ir(1), off: 4 }.is_memory());
+        assert!(!Instr::Nop.is_memory());
+        assert!(Instr::Fpu { op: FpuOp::Add, fd: fr(0), fs1: fr(0), fs2: fr(0) }.is_flop());
+        assert!(!Instr::Fmov { fd: fr(0), fs: fr(1) }.is_flop());
+        assert!(!Instr::Fneg { fd: fr(0), fs: fr(1) }.is_flop());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let i = Instr::Fpu { op: FpuOp::Add, fd: fr(1), fs1: fr(2), fs2: fr(3) };
+        assert_eq!(i.to_string(), "fadd  f1, f2, f3");
+        let b = Instr::Branch { cond: BranchCond::Ltu, rs1: ir(1), rs2: ir(2), target: 7 };
+        assert_eq!(b.to_string(), "bltu  r1, r2, @7");
+    }
+}

@@ -1,0 +1,185 @@
+//! Register model of the XMT-like ISA.
+//!
+//! Each TCU (and the MTCU) has 32 integer registers and 32 single-
+//! precision floating-point registers — the register budget Section
+//! IV-A of the paper cites when bounding the practical FFT radix at 8
+//! ("each thread has access to 32 floating-point registers, which is
+//! enough to store 16 single-precision complex numbers").
+
+use std::fmt;
+
+/// Number of integer registers per thread context.
+pub const NUM_IREGS: usize = 32;
+/// Number of floating-point registers per thread context.
+pub const NUM_FREGS: usize = 32;
+/// Number of global registers shared machine-wide (targets of
+/// prefix-sum and broadcast reads).
+pub const NUM_GREGS: usize = 16;
+
+/// An integer register index. `i0` is hardwired to zero, like RISC `r0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IReg(u8);
+
+/// A floating-point register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(u8);
+
+/// A global register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GReg(u8);
+
+impl IReg {
+    /// Construct; panics if out of range (kernel-construction error).
+    pub fn new(i: usize) -> Self {
+        assert!(i < NUM_IREGS, "integer register index {i} out of range");
+        Self(i as u8)
+    }
+    /// The hardwired-zero register.
+    pub const ZERO: IReg = IReg(0);
+    /// The `index` value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FReg {
+    /// Construct a new instance.
+    pub fn new(i: usize) -> Self {
+        assert!(i < NUM_FREGS, "fp register index {i} out of range");
+        Self(i as u8)
+    }
+    /// The `index` value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GReg {
+    /// Construct a new instance.
+    pub fn new(i: usize) -> Self {
+        assert!(i < NUM_GREGS, "global register index {i} out of range");
+        Self(i as u8)
+    }
+    /// The `index` value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Shorthand constructor: `ir(3)` == `IReg::new(3)`.
+pub fn ir(i: usize) -> IReg {
+    IReg::new(i)
+}
+/// Shorthand constructor for FP registers.
+pub fn fr(i: usize) -> FReg {
+    FReg::new(i)
+}
+/// Shorthand constructor for global registers.
+pub fn gr(i: usize) -> GReg {
+    GReg::new(i)
+}
+
+impl fmt::Display for IReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Display for GReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A thread-private register file (integer + FP), plus the thread id.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    iregs: [u32; NUM_IREGS],
+    fregs: [f32; NUM_FREGS],
+    /// Virtual thread id (the XMTC `$`); 0 for the MTCU.
+    pub tid: u32,
+}
+
+impl RegFile {
+    /// Construct a new instance.
+    pub fn new(tid: u32) -> Self {
+        Self { iregs: [0; NUM_IREGS], fregs: [0.0; NUM_FREGS], tid }
+    }
+
+    #[inline(always)]
+    /// The `read_i` value.
+    pub fn read_i(&self, r: IReg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.iregs[r.index()]
+        }
+    }
+
+    #[inline(always)]
+    /// The `write_i` value.
+    pub fn write_i(&mut self, r: IReg, v: u32) {
+        if r.0 != 0 {
+            self.iregs[r.index()] = v;
+        }
+    }
+
+    #[inline(always)]
+    /// The `read_f` value.
+    pub fn read_f(&self, r: FReg) -> f32 {
+        self.fregs[r.index()]
+    }
+
+    #[inline(always)]
+    /// The `write_f` value.
+    pub fn write_f(&mut self, r: FReg, v: f32) {
+        self.fregs[r.index()] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let mut rf = RegFile::new(7);
+        rf.write_i(IReg::ZERO, 42);
+        assert_eq!(rf.read_i(IReg::ZERO), 0);
+        rf.write_i(ir(5), 42);
+        assert_eq!(rf.read_i(ir(5)), 42);
+    }
+
+    #[test]
+    fn fp_registers_independent() {
+        let mut rf = RegFile::new(0);
+        rf.write_f(fr(0), 1.5);
+        rf.write_f(fr(31), -2.5);
+        assert_eq!(rf.read_f(fr(0)), 1.5);
+        assert_eq!(rf.read_f(fr(31)), -2.5);
+        assert_eq!(rf.read_i(ir(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ireg_bounds_checked() {
+        ir(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_bounds_checked() {
+        fr(99);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ir(3).to_string(), "r3");
+        assert_eq!(fr(12).to_string(), "f12");
+        assert_eq!(gr(1).to_string(), "g1");
+    }
+}

@@ -1,0 +1,232 @@
+//! DRAM channel model.
+//!
+//! Each channel moves whole cache lines at a fixed bandwidth with a
+//! fixed access latency. The paper's parameters (Section V-B): a
+//! DDR3-class channel provides 211 Gb/s ≈ 8 bytes per 3.3 GHz cycle,
+//! and several memory modules share one channel ("MMs per DRAM Ctrl."
+//! in Table II) — the off-chip bandwidth wall the enabling technologies
+//! (serial links, photonics) progressively remove.
+
+use std::collections::VecDeque;
+
+/// A line transfer requested from a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramReq {
+    /// Global line index.
+    pub line: u32,
+    /// True for a write-back, false for a fill.
+    pub is_write: bool,
+    /// Opaque token returned on completion.
+    pub tag: u64,
+}
+
+/// A completed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramDone {
+    /// The originating request.
+    pub req: DramReq,
+    /// The `finished_at` value.
+    pub finished_at: u64,
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Transfer bandwidth in bytes per core cycle (8 ≈ DDR3 at the
+    /// core clock; the photonic configs raise channel *count* instead).
+    pub bytes_per_cycle: f64,
+    /// Fixed access latency in cycles before data starts moving
+    /// (row activation + off-chip flight; ~60 ns ≈ 200 cycles at
+    /// 3.3 GHz, shortened in scaled-down simulations).
+    pub access_latency: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl DramConfig {
+    /// The paper-calibrated channel: 8 B/cycle, 32-byte lines.
+    pub fn ddr_like() -> Self {
+        Self { bytes_per_cycle: 8.0, access_latency: 200, line_bytes: 32 }
+    }
+
+    /// Cycles the data burst occupies the channel.
+    pub fn burst_cycles(&self) -> u64 {
+        (self.line_bytes as f64 / self.bytes_per_cycle).ceil().max(1.0) as u64
+    }
+}
+
+/// Statistics for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// The `reads` value.
+    pub reads: u64,
+    /// The `writes` value.
+    pub writes: u64,
+    /// The `bytes` value.
+    pub bytes: u64,
+    /// The `busy_cycles` value.
+    pub busy_cycles: u64,
+    /// The `peak_queue` value.
+    pub peak_queue: usize,
+}
+
+/// One DRAM channel: a FIFO of line transfers, one in flight at a time.
+#[derive(Debug)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    queue: VecDeque<DramReq>,
+    /// (request, completion cycle) of the in-flight transfer.
+    current: Option<(DramReq, u64)>,
+    cycle: u64,
+    /// Accumulated statistics.
+    pub stats: DramStats,
+}
+
+impl DramChannel {
+    /// Construct a new instance.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self { cfg, queue: VecDeque::new(), current: None, cycle: 0, stats: DramStats::default() }
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+
+    /// Queue a transfer.
+    pub fn enqueue(&mut self, req: DramReq) {
+        self.queue.push_back(req);
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+    }
+
+    /// The `pending` value.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Advance one cycle; returns the transfer that completed, if any.
+    /// A completed transfer frees the channel for the next one in the
+    /// same cycle, so a saturated channel sustains exactly one line per
+    /// `access_latency + burst_cycles` (pipelined: per `burst_cycles`
+    /// once the latency is hidden by queueing, as in hardware the row
+    /// latency overlaps the previous burst; we approximate by charging
+    /// latency only when the channel was idle).
+    pub fn step(&mut self) -> Option<DramDone> {
+        self.cycle += 1;
+        if self.current.is_some() || !self.queue.is_empty() {
+            self.stats.busy_cycles += 1;
+        }
+        let mut completed = None;
+        if let Some((req, done_at)) = self.current {
+            if self.cycle >= done_at {
+                self.current = None;
+                if req.is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                self.stats.bytes += self.cfg.line_bytes as u64;
+                completed = Some(DramDone { req, finished_at: self.cycle });
+            }
+        }
+        if self.current.is_none() {
+            if let Some(req) = self.queue.pop_front() {
+                // Back-to-back transfers hide the access latency behind
+                // the previous burst; a transfer starting on an idle
+                // channel pays it in full.
+                let lat = if completed.is_some() { 0 } else { self.cfg.access_latency as u64 };
+                let done_at = self.cycle + lat + self.cfg.burst_cycles();
+                self.current = Some((req, done_at));
+            }
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(lat: u32) -> DramChannel {
+        DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: lat, line_bytes: 32 })
+    }
+
+    #[test]
+    fn burst_cycles_from_bandwidth() {
+        assert_eq!(DramConfig::ddr_like().burst_cycles(), 4);
+        let slow = DramConfig { bytes_per_cycle: 2.0, access_latency: 0, line_bytes: 32 };
+        assert_eq!(slow.burst_cycles(), 16);
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut c = chan(10);
+        c.enqueue(DramReq { line: 5, is_write: false, tag: 1 });
+        let mut done = None;
+        let mut cycles = 0;
+        while done.is_none() && cycles < 100 {
+            done = c.step();
+            cycles += 1;
+        }
+        // 1 (start) + 10 (latency) + 4 (burst) = completes at cycle 15.
+        assert_eq!(done.unwrap().finished_at, 15);
+        assert_eq!(c.stats.reads, 1);
+        assert_eq!(c.stats.bytes, 32);
+    }
+
+    #[test]
+    fn back_to_back_transfers_pipeline_at_burst_rate_plus_latency() {
+        let mut c = chan(0);
+        for i in 0..4 {
+            c.enqueue(DramReq { line: i, is_write: i % 2 == 1, tag: i as u64 });
+        }
+        let mut completions = Vec::new();
+        for _ in 0..100 {
+            if let Some(d) = c.step() {
+                completions.push(d.finished_at);
+            }
+        }
+        assert_eq!(completions.len(), 4);
+        // With zero latency each line takes burst_cycles; spacing 4.
+        for w in completions.windows(2) {
+            assert_eq!(w[1] - w[0], 4);
+        }
+        assert_eq!(c.stats.reads, 2);
+        assert_eq!(c.stats.writes, 2);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut c = chan(0);
+        for _ in 0..10 {
+            c.step();
+        }
+        assert_eq!(c.stats.busy_cycles, 0);
+        c.enqueue(DramReq { line: 0, is_write: false, tag: 0 });
+        while c.pending() > 0 {
+            c.step();
+        }
+        assert!(c.stats.busy_cycles >= 4);
+    }
+
+    #[test]
+    fn utilization_under_saturation() {
+        // Saturated channel must be busy every cycle and sustain
+        // exactly line_bytes / burst_cycles per cycle.
+        let mut c = chan(0);
+        let total = 50u64;
+        for i in 0..total {
+            c.enqueue(DramReq { line: i as u32, is_write: false, tag: i });
+        }
+        let mut cycles = 0u64;
+        let mut done = 0u64;
+        while done < total {
+            if c.step().is_some() {
+                done += 1;
+            }
+            cycles += 1;
+        }
+        let bw = c.stats.bytes as f64 / cycles as f64;
+        assert!((bw - 8.0).abs() < 0.5, "sustained {bw} B/cycle");
+    }
+}

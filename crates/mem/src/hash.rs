@@ -1,0 +1,155 @@
+//! Global-address hashing across memory modules.
+//!
+//! Section II-A: "The global memory address space is evenly partitioned
+//! into the MMs through a form of hashing" — consecutive cache lines
+//! land on different modules so regular strides do not hotspot a single
+//! module, and cache-coherence is avoided because every address has
+//! exactly one home module.
+
+/// Maps word addresses to (module, line) homes at cache-line
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressHash {
+    modules: usize,
+    /// Words per cache line (power of two).
+    line_words: usize,
+    /// If false, use the low line bits directly (interleaving without
+    /// mixing) — the ablation baseline that exposes stride hotspots.
+    mix: bool,
+}
+
+impl AddressHash {
+    /// Hashed placement (the XMT default).
+    pub fn new(modules: usize, line_words: usize) -> Self {
+        assert!(modules.is_power_of_two(), "module count must be a power of two");
+        assert!(line_words.is_power_of_two(), "line size must be a power of two");
+        Self { modules, line_words, mix: true }
+    }
+
+    /// Plain modulo interleaving (no bit mixing); for ablations.
+    pub fn interleaved(modules: usize, line_words: usize) -> Self {
+        Self { mix: false, ..Self::new(modules, line_words) }
+    }
+
+    /// Number of memory modules.
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+
+    /// The `line_words` value.
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Cache-line index of a word address.
+    #[inline(always)]
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr / self.line_words as u32
+    }
+
+    /// Finalizing mix (xor-shift-multiply; invertible on u32).
+    #[inline(always)]
+    fn mix32(mut x: u32) -> u32 {
+        x ^= x >> 16;
+        x = x.wrapping_mul(0x7FEB_352D);
+        x ^= x >> 15;
+        x = x.wrapping_mul(0x846C_A68B);
+        x ^= x >> 16;
+        x
+    }
+
+    /// Home module of a word address.
+    #[inline(always)]
+    pub fn module_of(&self, addr: u32) -> usize {
+        let line = self.line_of(addr);
+        let key = if self.mix { Self::mix32(line) } else { line };
+        (key as usize) & (self.modules - 1)
+    }
+
+    /// Module-local line identifier (used as the cache index/tag key
+    /// inside the home module). Together with `module_of` this is a
+    /// bijection on lines: two distinct lines never collapse to the
+    /// same (module, local_line) pair.
+    #[inline(always)]
+    pub fn local_line(&self, addr: u32) -> u32 {
+        // The full line id is retained, so distinct lines mapping to
+        // the same module keep distinct local ids.
+        self.line_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_same_module() {
+        let h = AddressHash::new(64, 8);
+        for base in [0u32, 8, 1024, 4096] {
+            let m = h.module_of(base);
+            for off in 0..8 {
+                assert_eq!(h.module_of(base + off), m, "line must be atomic");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_lines_distinct_local_ids() {
+        let h = AddressHash::new(8, 8);
+        // Two lines homed to the same module must differ in local id.
+        let mut by_module: std::collections::HashMap<usize, Vec<u32>> = Default::default();
+        for line in 0..4096u32 {
+            let addr = line * 8;
+            by_module.entry(h.module_of(addr)).or_default().push(h.local_line(addr));
+        }
+        for (m, ids) in by_module {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), ids.len(), "module {m} has colliding local lines");
+        }
+    }
+
+    #[test]
+    fn hashing_spreads_unit_stride() {
+        let h = AddressHash::new(64, 8);
+        let mut counts = vec![0usize; 64];
+        for line in 0..64 * 64u32 {
+            counts[h.module_of(line * 8)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Perfect balance would be 64 per module; allow ±50 %.
+        assert!(*min >= 32 && *max <= 96, "imbalanced: min {min} max {max}");
+    }
+
+    #[test]
+    fn hashing_spreads_large_power_of_two_stride() {
+        // Stride 64 lines: plain interleaving over 64 modules would put
+        // every access on module 0; hashing must spread them.
+        let h = AddressHash::new(64, 8);
+        let hi = AddressHash::interleaved(64, 8);
+        let mut hashed = std::collections::HashSet::new();
+        let mut interleaved = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            let addr = i * 64 * 8;
+            hashed.insert(h.module_of(addr));
+            interleaved.insert(hi.module_of(addr));
+        }
+        assert_eq!(interleaved.len(), 1, "plain interleave hotspots on stride");
+        assert!(hashed.len() > 32, "hash must spread strided lines, got {}", hashed.len());
+    }
+
+    #[test]
+    fn interleaved_round_robins_consecutive_lines() {
+        let h = AddressHash::interleaved(8, 4);
+        for line in 0..32u32 {
+            assert_eq!(h.module_of(line * 4), (line as usize) % 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_modules() {
+        AddressHash::new(12, 8);
+    }
+}

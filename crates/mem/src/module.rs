@@ -1,0 +1,269 @@
+//! A complete memory module: cache bank + miss handling in front of a
+//! (shared) DRAM channel.
+//!
+//! Matches the "shared memory modules" block of Fig. 1: the module
+//! services queued requests in order at one per cycle; hits respond
+//! after the cache latency, misses wait for a line fill from the DRAM
+//! channel the module shares with its neighbours (MSHR-style merging of
+//! concurrent misses to the same line).
+
+use crate::cache::{CacheBank, CacheConfig, MemReq, MemResp, Service};
+use crate::dram::{DramDone, DramReq};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A DRAM request emitted by a module, to be enqueued on its channel by
+/// the caller (the simulator owns the channels because several modules
+/// share one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRequest {
+    /// The `module` value.
+    pub module: usize,
+    /// The originating request.
+    pub req: DramReq,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Ready {
+    at: u64,
+    seq: u64,
+    resp: MemResp,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-module statistics beyond the bank's own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Misses merged into an already-pending fill (MSHR hits).
+    pub merged_misses: u64,
+    /// Responses produced.
+    pub responses: u64,
+}
+
+/// One memory module of the XMT machine.
+#[derive(Debug)]
+pub struct MemoryModule {
+    id: usize,
+    bank: CacheBank,
+    /// line → requests waiting on its fill.
+    pending_fills: HashMap<u32, Vec<MemReq>>,
+    ready: BinaryHeap<Reverse<Ready>>,
+    cycle: u64,
+    seq: u64,
+    /// Accumulated statistics.
+    pub stats: ModuleStats,
+}
+
+impl MemoryModule {
+    /// Construct a new instance.
+    pub fn new(id: usize, cfg: CacheConfig) -> Self {
+        Self {
+            id,
+            bank: CacheBank::new(cfg),
+            pending_fills: HashMap::new(),
+            ready: BinaryHeap::new(),
+            cycle: 0,
+            seq: 0,
+            stats: ModuleStats::default(),
+        }
+    }
+
+    /// The `id` value.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The `bank` value.
+    pub fn bank(&self) -> &CacheBank {
+        &self.bank
+    }
+
+    /// Requests and fills still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.bank.queue_len()
+            + self.pending_fills.values().map(Vec::len).sum::<usize>()
+            + self.ready.len()
+    }
+
+    /// A request arrives from the interconnect.
+    pub fn enqueue(&mut self, req: MemReq) {
+        self.bank.enqueue(req);
+    }
+
+    fn schedule(&mut self, resp: MemResp, at: u64) {
+        self.seq += 1;
+        self.ready.push(Reverse(Ready { at, seq: self.seq, resp }));
+    }
+
+    /// Advance one cycle: service at most one bank access and release
+    /// any responses whose latency elapsed. DRAM fills/write-backs the
+    /// module needs are appended to `channel_out`.
+    pub fn step(&mut self, channel_out: &mut Vec<ChannelRequest>) -> Vec<MemResp> {
+        self.cycle += 1;
+        let hit_lat = self.bank.config().hit_latency as u64;
+        // A request whose line already has a fill in flight merges into
+        // the waiting set (MSHR behaviour) — it must not probe the tag
+        // store, which already contains the still-arriving line, or it
+        // would overtake the original miss and break same-location
+        // ordering.
+        if let Some(head) = self.bank.peek() {
+            let line = self.bank.line_of(head.addr);
+            if let Some(waiters) = self.pending_fills.get_mut(&line) {
+                let req = self.bank.pop_head().expect("head exists");
+                waiters.push(req);
+                self.stats.merged_misses += 1;
+                // Release matured responses and return early: the bank
+                // port was consumed by the merge.
+                return self.release();
+            }
+        }
+        match self.bank.service_one() {
+            Some(Service::Hit(req)) => {
+                self.schedule(MemResp { req, hit: true }, self.cycle + hit_lat);
+            }
+            Some(Service::Miss { req, fill_line, writeback }) => {
+                if let Some(wb) = writeback {
+                    channel_out.push(ChannelRequest {
+                        module: self.id,
+                        req: DramReq { line: wb, is_write: true, tag: 0 },
+                    });
+                }
+                match self.pending_fills.entry(fill_line) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        self.stats.merged_misses += 1;
+                        e.get_mut().push(req);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(vec![req]);
+                        channel_out.push(ChannelRequest {
+                            module: self.id,
+                            req: DramReq { line: fill_line, is_write: false, tag: 0 },
+                        });
+                    }
+                }
+            }
+            None => {}
+        }
+        self.release()
+    }
+
+    /// Pop every response whose latency has matured.
+    fn release(&mut self) -> Vec<MemResp> {
+        let mut out = Vec::new();
+        while let Some(Reverse(r)) = self.ready.peek() {
+            if r.at > self.cycle {
+                break;
+            }
+            let Reverse(r) = self.ready.pop().unwrap();
+            self.stats.responses += 1;
+            out.push(r.resp);
+        }
+        out
+    }
+
+    /// A DRAM fill completed: wake every request waiting on the line.
+    pub fn on_fill(&mut self, done: DramDone) {
+        if done.req.is_write {
+            return; // write-backs complete silently
+        }
+        if let Some(waiters) = self.pending_fills.remove(&done.req.line) {
+            let hit_lat = self.bank.config().hit_latency as u64;
+            for req in waiters {
+                self.schedule(MemResp { req, hit: false }, self.cycle + hit_lat);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{DramChannel, DramConfig};
+
+    fn module() -> MemoryModule {
+        MemoryModule::new(0, CacheConfig { lines: 64, ways: 4, line_words: 8, hit_latency: 2 })
+    }
+
+    fn drive(
+        m: &mut MemoryModule,
+        chan: &mut DramChannel,
+        cycles: usize,
+    ) -> Vec<MemResp> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            let mut creqs = Vec::new();
+            out.extend(m.step(&mut creqs));
+            for cr in creqs {
+                chan.enqueue(cr.req);
+            }
+            if let Some(done) = chan.step() {
+                m.on_fill(done);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn miss_then_hit_latency_ordering() {
+        let mut m = module();
+        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 10, line_bytes: 32 });
+        m.enqueue(MemReq { addr: 0, is_write: false, tag: 1 });
+        let r1 = drive(&mut m, &mut chan, 40);
+        assert_eq!(r1.len(), 1);
+        assert!(!r1[0].hit);
+        // Second access to the same line is a fast hit.
+        m.enqueue(MemReq { addr: 3, is_write: false, tag: 2 });
+        let r2 = drive(&mut m, &mut chan, 10);
+        assert_eq!(r2.len(), 1);
+        assert!(r2[0].hit);
+    }
+
+    #[test]
+    fn concurrent_misses_to_one_line_merge() {
+        let mut m = module();
+        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 5, line_bytes: 32 });
+        for t in 0..4 {
+            m.enqueue(MemReq { addr: t, is_write: false, tag: t as u64 });
+        }
+        let resps = drive(&mut m, &mut chan, 60);
+        assert_eq!(resps.len(), 4);
+        assert_eq!(m.stats.merged_misses, 3);
+        // Only one fill went to DRAM.
+        assert_eq!(chan.stats.reads, 1);
+    }
+
+    #[test]
+    fn responses_preserve_same_line_order() {
+        let mut m = module();
+        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 3, line_bytes: 32 });
+        for t in 0..6 {
+            m.enqueue(MemReq { addr: 0, is_write: t % 2 == 0, tag: t as u64 });
+        }
+        let resps = drive(&mut m, &mut chan, 60);
+        let tags: Vec<u64> = resps.iter().map(|r| r.req.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5], "same-location order must be preserved");
+    }
+
+    #[test]
+    fn outstanding_drains_to_zero() {
+        let mut m = module();
+        let mut chan = DramChannel::new(DramConfig::ddr_like());
+        for t in 0..10u32 {
+            m.enqueue(MemReq { addr: t * 64, is_write: false, tag: t as u64 });
+        }
+        assert!(m.outstanding() > 0);
+        let resps = drive(&mut m, &mut chan, 3000);
+        assert_eq!(resps.len(), 10);
+        assert_eq!(m.outstanding(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Developer probe: measure saturation throughput of the blocking
+//! butterfly across port counts and stage depths. The fitted constants
+//! live in `xmt_noc::analytic`; EXPERIMENTS.md records the fit.
+use xmt_noc::*;
+
+fn main() {
+    for &ports in &[32usize, 64, 128, 256, 512, 1024, 2048] {
+        let bits = ports.trailing_zeros();
+        for b in [3u32, 5, 7, 9] {
+            if b > bits {
+                continue;
+            }
+            let topo = Topology::hybrid(ports, ports, 2 * bits - b, b);
+            let mut n = ButterflyNetwork::new(topo);
+            let u = measure_saturation(&mut n, Pattern::Uniform, 300, 900).throughput;
+            let mut n2 = ButterflyNetwork::new(topo);
+            let t = measure_saturation(&mut n2, Pattern::Transpose, 300, 900).throughput;
+            println!("ports={ports} b={b} uniform={u:.3} transpose={t:.3}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Idealized mesh-of-trees model.
+//!
+//! A pure MoT gives every (source, destination) pair a private path, so
+//! the only contention is the destination port itself (the root of that
+//! module's fan-in tree serves one flit per cycle). The model is
+//! therefore: a fixed pipeline latency equal to the level count, then a
+//! per-destination service queue at 1 flit/cycle. Sources are limited
+//! to one injection per cycle (the cluster's single LSU port).
+
+use crate::net::{Delivered, Flit, NetStats, Network};
+use crate::topology::Topology;
+use std::collections::{BinaryHeap, VecDeque};
+use std::cmp::Reverse;
+
+/// In-flight flit ordered by arrival cycle at its destination queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arriving {
+    arrive_at: u64,
+    seq: u64,
+    flit: Flit,
+    injected_at: u64,
+}
+
+impl Ord for Arriving {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrive_at, self.seq).cmp(&(other.arrive_at, other.seq))
+    }
+}
+impl PartialOrd for Arriving {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The idealized non-blocking MoT network.
+#[derive(Debug)]
+pub struct MotNetwork {
+    topo: Topology,
+    cycle: u64,
+    seq: u64,
+    latency: u64,
+    /// Flits in the wire pipeline, keyed by queue-arrival cycle.
+    pipeline: BinaryHeap<Reverse<Arriving>>,
+    /// Per-destination service queues (the fan-in tree roots).
+    dst_queues: Vec<VecDeque<Arriving>>,
+    /// Last injection cycle per source (rate limit 1/cycle).
+    last_inject: Vec<u64>,
+    /// Accumulated statistics.
+    pub stats: NetStats,
+}
+
+impl MotNetwork {
+    /// Construct a new instance.
+    pub fn new(topo: Topology) -> Self {
+        assert!(topo.is_nonblocking(), "MotNetwork models pure MoT topologies");
+        Self {
+            latency: topo.latency_cycles() as u64,
+            topo,
+            cycle: 0,
+            seq: 0,
+            pipeline: BinaryHeap::new(),
+            dst_queues: vec![VecDeque::new(); topo.modules],
+            last_inject: vec![u64::MAX; topo.clusters],
+            stats: NetStats::default(),
+        }
+    }
+}
+
+impl Network for MotNetwork {
+    fn ports(&self) -> (usize, usize) {
+        (self.topo.clusters, self.topo.modules)
+    }
+
+    fn try_inject(&mut self, flit: Flit) -> bool {
+        assert!(flit.src < self.topo.clusters, "source port out of range");
+        assert!(flit.dst < self.topo.modules, "destination port out of range");
+        if self.last_inject[flit.src] == self.cycle {
+            self.stats.inject_rejections += 1;
+            return false;
+        }
+        self.last_inject[flit.src] = self.cycle;
+        self.seq += 1;
+        self.pipeline.push(Reverse(Arriving {
+            arrive_at: self.cycle + self.latency,
+            seq: self.seq,
+            flit,
+            injected_at: self.cycle,
+        }));
+        self.stats.injected += 1;
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight() + 1);
+        true
+    }
+
+    fn step(&mut self) -> Vec<Delivered> {
+        self.cycle += 1;
+        // Move pipeline arrivals into their destination queues.
+        while let Some(Reverse(a)) = self.pipeline.peek() {
+            if a.arrive_at > self.cycle {
+                break;
+            }
+            let Reverse(a) = self.pipeline.pop().unwrap();
+            self.dst_queues[a.flit.dst].push_back(a);
+        }
+        // Each destination port serves one flit per cycle.
+        let mut out = Vec::new();
+        for q in &mut self.dst_queues {
+            if let Some(a) = q.pop_front() {
+                let d = Delivered {
+                    flit: a.flit,
+                    injected_at: a.injected_at,
+                    delivered_at: self.cycle,
+                };
+                self.stats.delivered += 1;
+                self.stats.total_latency += d.latency();
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pipeline.len() + self.dst_queues.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn min_latency(&self) -> u64 {
+        self.latency.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(c: usize, m: usize) -> MotNetwork {
+        MotNetwork::new(Topology::pure_mot(c, m))
+    }
+
+    #[test]
+    fn single_flit_sees_pipeline_latency() {
+        let mut n = net(8, 8);
+        assert!(n.try_inject(Flit { src: 0, dst: 3, tag: 1 }));
+        let lat = n.min_latency();
+        let mut delivered = Vec::new();
+        for _ in 0..lat + 2 {
+            delivered.extend(n.step());
+        }
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].flit.tag, 1);
+        assert_eq!(delivered[0].latency(), lat);
+    }
+
+    #[test]
+    fn source_rate_limited_to_one_per_cycle() {
+        let mut n = net(4, 4);
+        assert!(n.try_inject(Flit { src: 2, dst: 0, tag: 1 }));
+        assert!(!n.try_inject(Flit { src: 2, dst: 1, tag: 2 }));
+        n.step();
+        assert!(n.try_inject(Flit { src: 2, dst: 1, tag: 2 }));
+        assert_eq!(n.stats.inject_rejections, 1);
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_contend() {
+        // 4 sources to 4 distinct destinations: all delivered in the
+        // same cycle (non-blocking network).
+        let mut n = net(4, 4);
+        for s in 0..4 {
+            assert!(n.try_inject(Flit { src: s, dst: s, tag: s as u64 }));
+        }
+        let mut all = Vec::new();
+        for _ in 0..n.min_latency() {
+            all.extend(n.step());
+        }
+        assert_eq!(all.len(), 4);
+        let lats: Vec<u64> = all.iter().map(|d| d.latency()).collect();
+        assert!(lats.iter().all(|&l| l == lats[0]), "{lats:?}");
+    }
+
+    #[test]
+    fn same_destination_serializes() {
+        // 4 sources to one destination: deliveries 1/cycle (queuing),
+        // exactly the same-module serialization the paper's twiddle
+        // replication works around.
+        let mut n = net(4, 4);
+        for s in 0..4 {
+            assert!(n.try_inject(Flit { src: s, dst: 0, tag: s as u64 }));
+        }
+        let mut times = Vec::new();
+        for _ in 0..20 {
+            for d in n.step() {
+                times.push(d.delivered_at);
+            }
+        }
+        assert_eq!(times.len(), 4);
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], 1, "deliveries must be 1/cycle: {times:?}");
+        }
+    }
+
+    #[test]
+    fn every_flit_delivered_exactly_once() {
+        let mut n = net(16, 16);
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        for round in 0..10u64 {
+            for s in 0..16 {
+                let f = Flit {
+                    src: s,
+                    dst: (s * 7 + round as usize) % 16,
+                    tag: round * 100 + s as u64,
+                };
+                if n.try_inject(f) {
+                    injected += 1;
+                }
+            }
+            delivered += n.step().len() as u64;
+        }
+        while n.in_flight() > 0 {
+            delivered += n.step().len() as u64;
+        }
+        assert_eq!(injected, delivered);
+        assert_eq!(n.stats.injected, injected);
+        assert_eq!(n.stats.delivered, delivered);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_port_panics() {
+        let mut n = net(4, 4);
+        n.try_inject(Flit { src: 9, dst: 0, tag: 0 });
+    }
+}

@@ -1,0 +1,105 @@
+//! Common flit-level network interface shared by the MoT, butterfly and
+//! hybrid models, plus delivery bookkeeping.
+
+/// One network flit: a request or reply travelling from a source port
+/// to a destination port. `tag` is an opaque caller token (the
+/// simulator stores transaction ids in it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Source.
+    pub src: usize,
+    /// Destination.
+    pub dst: usize,
+    /// Opaque caller token.
+    pub tag: u64,
+}
+
+/// A flit that reached its destination port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// The delivered flit.
+    pub flit: Flit,
+    /// Cycle the flit was injected.
+    pub injected_at: u64,
+    /// Cycle the flit was delivered (current cycle at delivery).
+    pub delivered_at: u64,
+}
+
+impl Delivered {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at - self.injected_at
+    }
+}
+
+/// A cycle-stepped interconnect model.
+///
+/// Protocol: call [`Network::try_inject`] any number of times for the
+/// current cycle (it returns `false` when the source port has already
+/// injected this cycle or input buffering is full — backpressure), then
+/// call [`Network::step`] exactly once to advance the clock; `step`
+/// returns the flits delivered during that cycle.
+pub trait Network {
+    /// (source ports, destination ports).
+    fn ports(&self) -> (usize, usize);
+    /// Attempt to inject a flit at the current cycle.
+    fn try_inject(&mut self, flit: Flit) -> bool;
+    /// Advance one cycle; returns deliveries.
+    fn step(&mut self) -> Vec<Delivered>;
+    /// Flits currently inside the network.
+    fn in_flight(&self) -> usize;
+    /// Current cycle number (starts at 0; incremented by `step`).
+    fn cycle(&self) -> u64;
+    /// Minimum possible traversal latency in cycles.
+    fn min_latency(&self) -> u64;
+}
+
+/// Aggregate statistics a network keeps about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// The `injected` value.
+    pub injected: u64,
+    /// The `delivered` value.
+    pub delivered: u64,
+    /// The `total_latency` value.
+    pub total_latency: u64,
+    /// The `peak_in_flight` value.
+    pub peak_in_flight: usize,
+    /// Injections refused due to per-port rate or buffer backpressure.
+    pub inject_rejections: u64,
+}
+
+impl NetStats {
+    /// Mean end-to-end latency of delivered flits.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_latency() {
+        let d = Delivered {
+            flit: Flit { src: 0, dst: 1, tag: 9 },
+            injected_at: 10,
+            delivered_at: 25,
+        };
+        assert_eq!(d.latency(), 15);
+    }
+
+    #[test]
+    fn stats_mean_latency() {
+        let mut s = NetStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        s.delivered = 4;
+        s.total_latency = 10;
+        assert_eq!(s.mean_latency(), 2.5);
+    }
+}

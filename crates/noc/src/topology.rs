@@ -1,0 +1,198 @@
+//! Interconnect topology descriptions and the silicon-area model.
+//!
+//! Reproduces Section II-B of the paper: a pure mesh-of-trees (MoT)
+//! gives every (cluster, cache-module) pair a unique data path — no
+//! internal blocking — but its switch count grows with the *product*
+//! of port counts, so large configurations replace the inner MoT
+//! levels with (blocking) butterfly levels [Balkan et al.].
+
+/// A point-to-point interconnect topology between `clusters` source
+/// ports and `modules` destination ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Cluster-side ports (one LSU port per cluster).
+    pub clusters: usize,
+    /// Memory-module-side ports.
+    pub modules: usize,
+    /// Non-blocking mesh-of-trees levels (outer).
+    pub mot_levels: u32,
+    /// Blocking butterfly levels (inner); 0 for a pure MoT.
+    pub butterfly_levels: u32,
+}
+
+impl Topology {
+    /// A pure mesh-of-trees: `log₂(clusters) + log₂(modules)` levels,
+    /// no butterfly stages.
+    pub fn pure_mot(clusters: usize, modules: usize) -> Self {
+        assert!(clusters.is_power_of_two() && modules.is_power_of_two());
+        Self {
+            clusters,
+            modules,
+            mot_levels: clusters.trailing_zeros() + modules.trailing_zeros(),
+            butterfly_levels: 0,
+        }
+    }
+
+    /// A hybrid with an explicit level split (Table II rows "NoC MoT
+    /// Levels" / "NoC Butterfly Levels").
+    pub fn hybrid(clusters: usize, modules: usize, mot_levels: u32, butterfly_levels: u32) -> Self {
+        assert!(clusters.is_power_of_two() && modules.is_power_of_two());
+        assert!(
+            mot_levels + butterfly_levels
+                <= clusters.trailing_zeros() + modules.trailing_zeros(),
+            "more levels than a pure MoT would have"
+        );
+        Self { clusters, modules, mot_levels, butterfly_levels }
+    }
+
+    /// Total one-way traversal latency in cycles (one cycle per level,
+    /// MoT or butterfly).
+    pub fn latency_cycles(&self) -> u32 {
+        self.mot_levels + self.butterfly_levels
+    }
+
+    /// True if the network has a unique path per (src, dst) pair and
+    /// therefore no internal blocking.
+    pub fn is_nonblocking(&self) -> bool {
+        self.butterfly_levels == 0
+    }
+
+    /// Number of crosspoint switches in the pure-MoT portion. For a
+    /// pure MoT this is proportional to `clusters × modules` — the
+    /// quadratic growth that forces the hybrid at scale.
+    pub fn mot_crosspoints(&self) -> u64 {
+        if self.butterfly_levels == 0 {
+            self.clusters as u64 * self.modules as u64
+        } else {
+            // Outer MoT levels are split between the fan-out (cluster)
+            // side and fan-in (module) side; each side i has
+            // clusters·2^i (resp. modules·2^i) nodes. Crosspoint count
+            // is the sum of nodes over the retained outer levels.
+            let per_side = self.mot_levels / 2;
+            let extra = self.mot_levels % 2;
+            let mut n = 0u64;
+            for i in 0..per_side + extra {
+                n += (self.clusters as u64) << i;
+            }
+            for i in 0..per_side {
+                n += (self.modules as u64) << i;
+            }
+            n
+        }
+    }
+
+    /// Number of 2×2 switches in the butterfly portion: `P/2` per
+    /// level, where the butterfly port count is `2^butterfly_levels`
+    /// replicated to cover all cluster ports.
+    pub fn butterfly_switches(&self) -> u64 {
+        if self.butterfly_levels == 0 {
+            return 0;
+        }
+        // One butterfly plane spans all cluster ports.
+        (self.clusters as u64 / 2) * self.butterfly_levels as u64
+    }
+}
+
+/// Silicon-area model for the NoC, calibrated to the paper's numbers
+/// (Section II-B): an 8k-TCU (256×256-port) pure MoT occupies 190 mm²
+/// at 22 nm and a 16k-TCU (512×512) one occupies 760 mm² — i.e. area is
+/// proportional to crosspoint count with
+/// `190 / (256·256) ≈ 2.9e-3 mm²` per crosspoint at 22 nm.
+#[derive(Debug, Clone, Copy)]
+pub struct NocAreaModel {
+    /// mm² per MoT crosspoint at 22 nm.
+    pub mm2_per_crosspoint: f64,
+    /// mm² per 2×2 butterfly switch at 22 nm (larger than a MoT
+    /// crosspoint: buffered, arbitrated).
+    pub mm2_per_bfly_switch: f64,
+    /// Logic-area scaling factor relative to 22 nm (paper cites 0.54
+    /// for 22 nm → 14 nm).
+    pub tech_scale: f64,
+}
+
+impl NocAreaModel {
+    /// The 22 nm calibration.
+    pub fn nm22() -> Self {
+        Self {
+            mm2_per_crosspoint: 190.0 / (256.0 * 256.0),
+            mm2_per_bfly_switch: 0.012,
+            tech_scale: 1.0,
+        }
+    }
+
+    /// The 14 nm node: logic area scales by 0.54 (Intel \[30\]).
+    pub fn nm14() -> Self {
+        Self { tech_scale: 0.54, ..Self::nm22() }
+    }
+
+    /// Total NoC area in mm².
+    pub fn area_mm2(&self, t: &Topology) -> f64 {
+        let mot = t.mot_crosspoints() as f64 * self.mm2_per_crosspoint;
+        let bfly = t.butterfly_switches() as f64 * self.mm2_per_bfly_switch;
+        (mot + bfly) * self.tech_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_mot_levels_match_paper_small_configs() {
+        // Table II: 4k config has 128 clusters/modules, 14 MoT levels.
+        let t = Topology::pure_mot(128, 128);
+        assert_eq!(t.mot_levels, 14);
+        assert_eq!(t.butterfly_levels, 0);
+        assert!(t.is_nonblocking());
+        // 8k config: 256/256 → 16 levels.
+        assert_eq!(Topology::pure_mot(256, 256).mot_levels, 16);
+    }
+
+    #[test]
+    fn hybrid_levels_match_table2() {
+        // 64k: 2048 clusters, 8 MoT + 7 butterfly.
+        let t = Topology::hybrid(2048, 2048, 8, 7);
+        assert_eq!(t.latency_cycles(), 15);
+        assert!(!t.is_nonblocking());
+        // 128k: 4096 clusters, 6 MoT + 9 butterfly.
+        let t = Topology::hybrid(4096, 4096, 6, 9);
+        assert_eq!(t.latency_cycles(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "more levels")]
+    fn hybrid_rejects_excess_levels() {
+        Topology::hybrid(64, 64, 10, 10);
+    }
+
+    #[test]
+    fn area_matches_paper_calibration_points() {
+        let m = NocAreaModel::nm22();
+        // 8k TCUs = 256 clusters: paper says ~190 mm².
+        let a8k = m.area_mm2(&Topology::pure_mot(256, 256));
+        assert!((a8k - 190.0).abs() < 1.0, "got {a8k}");
+        // 16k TCUs = 512 clusters: paper says ~760 mm².
+        let a16k = m.area_mm2(&Topology::pure_mot(512, 512));
+        assert!((a16k - 760.0).abs() < 4.0, "got {a16k}");
+    }
+
+    #[test]
+    fn hybrid_is_much_smaller_than_pure_mot_at_scale() {
+        let m = NocAreaModel::nm22();
+        let pure = m.area_mm2(&Topology::pure_mot(2048, 2048));
+        let hybrid = m.area_mm2(&Topology::hybrid(2048, 2048, 8, 7));
+        assert!(hybrid < pure / 10.0, "hybrid {hybrid} vs pure {pure}");
+    }
+
+    #[test]
+    fn tech_scaling_shrinks_area() {
+        let t = Topology::hybrid(4096, 4096, 6, 9);
+        assert!(NocAreaModel::nm14().area_mm2(&t) < NocAreaModel::nm22().area_mm2(&t));
+    }
+
+    #[test]
+    fn crosspoint_count_quadratic_for_pure_mot() {
+        assert_eq!(Topology::pure_mot(128, 128).mot_crosspoints(), 128 * 128);
+        assert_eq!(Topology::pure_mot(256, 256).mot_crosspoints(), 4 * 128 * 128);
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic traffic patterns and a saturation-throughput harness.
+//!
+//! Used by tests and by the calibration step of the performance model:
+//! the effective interconnect throughput under load is *measured* on
+//! the cycle-level models here, then the analytic model in
+//! [`crate::analytic`] is fitted to those measurements.
+
+use crate::net::{Flit, Network};
+
+/// Destination-selection patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Pseudo-random uniform destinations (deterministic hash of
+    /// (src, round)); models hashed global-memory traffic (Section
+    /// II-A: "the global memory address space is evenly partitioned
+    /// into the MMs through a form of hashing").
+    Uniform,
+    /// Transpose: destination = source with its high and low halves of
+    /// address bits swapped. The classic adversarial permutation for
+    /// butterflies; models unhashed rotation-phase traffic.
+    Transpose,
+    /// Bit-reversal permutation of the source.
+    BitReverse,
+    /// Every source targets one destination (the same-address queuing
+    /// bottleneck the paper's twiddle replication removes).
+    Hotspot(usize),
+}
+
+impl Pattern {
+    /// Destination for `src` at injection round `round` on a network
+    /// with `ports` destinations (power of two).
+    pub fn dst(&self, src: usize, ports: usize, round: u64) -> usize {
+        debug_assert!(ports.is_power_of_two());
+        match *self {
+            Pattern::Uniform => {
+                // SplitMix64-style mix of (src, round).
+                let mut z = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as usize % ports
+            }
+            Pattern::Transpose => {
+                let bits = ports.trailing_zeros();
+                let half = bits / 2;
+                let low = src & ((1 << half) - 1);
+                let high = src >> half;
+                ((low << (bits - half)) | high) % ports
+            }
+            Pattern::BitReverse => {
+                let bits = ports.trailing_zeros();
+                if bits == 0 {
+                    0
+                } else {
+                    src.reverse_bits() >> (usize::BITS - bits)
+                }
+            }
+            Pattern::Hotspot(d) => d % ports,
+        }
+    }
+}
+
+/// Result of a saturation measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saturation {
+    /// Accepted injections per source port per cycle.
+    pub offered: f64,
+    /// Deliveries per destination port per cycle (the effective
+    /// throughput fraction; 1.0 = full port bandwidth).
+    pub throughput: f64,
+    /// Mean end-to-end latency of delivered flits.
+    pub mean_latency: f64,
+}
+
+/// Drive `net` at maximum injection rate with `pattern` for
+/// `warmup + measure` cycles and report steady-state throughput over
+/// the measurement window.
+pub fn measure_saturation<N: Network>(
+    net: &mut N,
+    pattern: Pattern,
+    warmup: u64,
+    measure: u64,
+) -> Saturation {
+    let (srcs, dsts) = net.ports();
+    let mut delivered = 0u64;
+    let mut accepted = 0u64;
+    let mut lat_sum = 0u64;
+    for c in 0..warmup + measure {
+        for s in 0..srcs {
+            let d = pattern.dst(s, dsts, c);
+            let ok = net.try_inject(Flit { src: s, dst: d, tag: c * srcs as u64 + s as u64 });
+            if ok && c >= warmup {
+                accepted += 1;
+            }
+        }
+        let arrivals = net.step();
+        if c >= warmup {
+            for a in &arrivals {
+                delivered += 1;
+                lat_sum += a.latency();
+            }
+        }
+    }
+    Saturation {
+        offered: accepted as f64 / (measure as f64 * srcs as f64),
+        throughput: delivered as f64 / (measure as f64 * dsts as f64),
+        mean_latency: if delivered == 0 { 0.0 } else { lat_sum as f64 / delivered as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::ButterflyNetwork;
+    use crate::mot::MotNetwork;
+    use crate::topology::Topology;
+
+    #[test]
+    fn patterns_stay_in_range() {
+        for p in [Pattern::Uniform, Pattern::Transpose, Pattern::BitReverse, Pattern::Hotspot(3)]
+        {
+            for src in 0..64 {
+                for round in 0..4 {
+                    assert!(p.dst(src, 64, round) < 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_and_bitrev_are_permutations() {
+        for p in [Pattern::Transpose, Pattern::BitReverse] {
+            let mut seen = vec![false; 64];
+            for src in 0..64 {
+                let d = p.dst(src, 64, 0);
+                assert!(!seen[d], "{p:?} repeated destination {d}");
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn mot_sustains_full_uniform_throughput() {
+        let mut n = MotNetwork::new(Topology::pure_mot(16, 16));
+        let s = measure_saturation(&mut n, Pattern::Uniform, 100, 400);
+        // Random uniform traffic has transient same-destination
+        // collisions but the steady-state service rate is 1/cycle/port.
+        assert!(s.throughput > 0.9, "MoT uniform throughput {}", s.throughput);
+    }
+
+    #[test]
+    fn mot_permutation_is_lossless_bandwidth() {
+        let mut n = MotNetwork::new(Topology::pure_mot(16, 16));
+        let s = measure_saturation(&mut n, Pattern::Transpose, 50, 200);
+        assert!(s.throughput > 0.99, "MoT permutation throughput {}", s.throughput);
+    }
+
+    #[test]
+    fn hotspot_serializes_to_one_port() {
+        let mut n = MotNetwork::new(Topology::pure_mot(16, 16));
+        let s = measure_saturation(&mut n, Pattern::Hotspot(5), 50, 200);
+        // 16 sources feed one destination served at 1/cycle: per-port
+        // throughput 1/16.
+        assert!((s.throughput - 1.0 / 16.0).abs() < 0.02, "{}", s.throughput);
+    }
+
+    #[test]
+    fn butterfly_transpose_worse_than_uniform() {
+        let topo = Topology::hybrid(32, 32, 2, 5);
+        let mut a = ButterflyNetwork::new(topo);
+        let ut = measure_saturation(&mut a, Pattern::Uniform, 200, 600).throughput;
+        let mut b = ButterflyNetwork::new(topo);
+        let tt = measure_saturation(&mut b, Pattern::Transpose, 200, 600).throughput;
+        assert!(
+            tt < ut,
+            "blocking butterfly should hurt permutations more: transpose {tt} vs uniform {ut}"
+        );
+    }
+
+    #[test]
+    fn more_butterfly_stages_lower_throughput() {
+        let mut shallow = ButterflyNetwork::new(Topology::hybrid(64, 64, 9, 3));
+        let mut deep = ButterflyNetwork::new(Topology::hybrid(64, 64, 6, 6));
+        let ts = measure_saturation(&mut shallow, Pattern::Transpose, 200, 600).throughput;
+        let td = measure_saturation(&mut deep, Pattern::Transpose, 200, 600).throughput;
+        assert!(
+            td <= ts + 0.02,
+            "deeper blocking sections should not help: 3 stages {ts}, 6 stages {td}"
+        );
+    }
+}

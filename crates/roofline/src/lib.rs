@@ -1,0 +1,20 @@
+//! # roofline — the Roofline performance model
+//!
+//! Implements Williams/Waterman/Patterson's Roofline model \[13\] as used
+//! in Section VI-B of the paper: a platform is two ceilings — peak
+//! compute rate and peak memory bandwidth — and a kernel is a point at
+//! (operational intensity, achieved performance). Kernels left of the
+//! ridge are bandwidth-bound ("on the slope" when they saturate it);
+//! kernels right of it are compute-bound.
+//!
+//! Includes series generation for plotting (Fig. 3) and an ASCII
+//! renderer used by the `fig3` regenerator binary.
+
+#![warn(missing_docs)]
+pub mod model;
+pub mod render;
+pub mod svg;
+
+pub use model::{Platform, Point, RooflineSeries};
+pub use render::render_ascii;
+pub use svg::render_svg;

@@ -1,0 +1,160 @@
+//! The Roofline model proper.
+
+/// A platform's two ceilings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Human-readable name ("4k", "Edison node", …).
+    pub name: &'static str,
+    /// Peak compute rate in GFLOPS.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_gbs: f64,
+}
+
+impl Platform {
+    /// Construct a new instance.
+    pub fn new(name: &'static str, peak_gflops: f64, peak_gbs: f64) -> Self {
+        assert!(peak_gflops > 0.0 && peak_gbs > 0.0);
+        Self { name, peak_gflops, peak_gbs }
+    }
+
+    /// Attainable GFLOPS at operational intensity `oi` (FLOPs/byte):
+    /// `min(peak, oi × bandwidth)`.
+    pub fn attainable(&self, oi: f64) -> f64 {
+        (oi * self.peak_gbs).min(self.peak_gflops)
+    }
+
+    /// The ridge point: the intensity where the bandwidth slope meets
+    /// the compute ceiling. Kernels below this intensity are
+    /// bandwidth-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_gflops / self.peak_gbs
+    }
+
+    /// Fraction of the attainable performance a kernel achieves
+    /// (1.0 = sitting exactly on the roofline).
+    pub fn efficiency(&self, p: Point) -> f64 {
+        p.gflops / self.attainable(p.intensity)
+    }
+
+    /// True if a kernel at intensity `oi` is bandwidth-bound.
+    pub fn bandwidth_bound(&self, oi: f64) -> bool {
+        oi < self.ridge()
+    }
+}
+
+/// A measured kernel point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The `label` value.
+    pub label: &'static str,
+    /// Operational intensity in FLOPs per byte.
+    pub intensity: f64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+}
+
+impl Point {
+    /// Construct a new instance.
+    pub fn new(label: &'static str, intensity: f64, gflops: f64) -> Self {
+        Self { label, intensity, gflops }
+    }
+}
+
+/// A platform roofline plus its measured kernel points — one dashed
+/// line of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct RooflineSeries {
+    /// The `platform` value.
+    pub platform: Platform,
+    /// The `points` value.
+    pub points: Vec<Point>,
+}
+
+impl RooflineSeries {
+    /// Construct a new instance.
+    pub fn new(platform: Platform) -> Self {
+        Self { platform, points: Vec::new() }
+    }
+
+    /// The `push` value.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Sample the roofline curve at `n` log-spaced intensities within
+    /// `[oi_min, oi_max]` — the plottable line.
+    pub fn curve(&self, oi_min: f64, oi_max: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(oi_min > 0.0 && oi_max > oi_min && n >= 2);
+        let l0 = oi_min.ln();
+        let l1 = oi_max.ln();
+        (0..n)
+            .map(|i| {
+                let oi = (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp();
+                (oi, self.platform.attainable(oi))
+            })
+            .collect()
+    }
+
+    /// Upper bound on FFT operational intensity given a last-level
+    /// cache of `s_words` words: `0.25·log₂(S)` FLOPs/byte for single
+    /// precision (Section VI-B, citing \[41\]).
+    pub fn fft_intensity_bound(s_words: f64) -> f64 {
+        0.25 * s_words.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_min_of_ceilings() {
+        let p = Platform::new("t", 100.0, 10.0);
+        assert_eq!(p.attainable(1.0), 10.0); // bandwidth side
+        assert_eq!(p.attainable(100.0), 100.0); // compute side
+        assert_eq!(p.attainable(10.0), 100.0); // exactly at ridge
+        assert_eq!(p.ridge(), 10.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_classification() {
+        let p = Platform::new("t", 422.4, 422.4);
+        assert!(p.bandwidth_bound(0.5));
+        assert!(!p.bandwidth_bound(2.0));
+    }
+
+    #[test]
+    fn efficiency_on_and_below_roof() {
+        let p = Platform::new("t", 100.0, 10.0);
+        let on = Point::new("on", 2.0, 20.0);
+        assert!((p.efficiency(on) - 1.0).abs() < 1e-12);
+        let below = Point::new("below", 2.0, 10.0);
+        assert!((p.efficiency(below) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_then_flat() {
+        let s = RooflineSeries::new(Platform::new("t", 50.0, 25.0));
+        let c = s.curve(0.1, 100.0, 64);
+        assert_eq!(c.len(), 64);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "roofline never decreases");
+        }
+        assert_eq!(c.last().unwrap().1, 50.0);
+        assert!((c[0].1 - 2.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn fft_intensity_bound_matches_paper_formula() {
+        // 0.25·log2(S) FLOPs/byte; a 32 Mi-word cache gives 6.25.
+        let b = RooflineSeries::fft_intensity_bound((32u64 << 20) as f64);
+        assert!((b - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_peak_rejected() {
+        Platform::new("bad", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! ASCII rendering of roofline plots (log-log), used by the `fig3`
+//! regenerator so the figure can be inspected in a terminal.
+
+use crate::model::RooflineSeries;
+
+/// Render one or more series into a log-log ASCII plot of
+/// `width × height` characters. The roofline of each series is drawn
+/// with its index digit; measured points are drawn as `*` with a
+/// legend below.
+pub fn render_ascii(series: &[RooflineSeries], width: usize, height: usize) -> String {
+    assert!(width >= 20 && height >= 8, "canvas too small");
+    assert!(!series.is_empty());
+
+    // Plot bounds from data.
+    let mut oi_min = f64::INFINITY;
+    let mut oi_max = 0.0f64;
+    let mut g_max = 0.0f64;
+    for s in series {
+        g_max = g_max.max(s.platform.peak_gflops);
+        oi_max = oi_max.max(s.platform.ridge() * 8.0);
+        oi_min = oi_min.min(s.platform.ridge() / 64.0);
+        for p in &s.points {
+            oi_min = oi_min.min(p.intensity / 2.0);
+            oi_max = oi_max.max(p.intensity * 2.0);
+        }
+    }
+    let g_min = series
+        .iter()
+        .map(|s| s.platform.attainable(oi_min))
+        .fold(f64::INFINITY, f64::min)
+        / 2.0;
+
+    let lx = |oi: f64| -> Option<usize> {
+        if oi <= 0.0 {
+            return None;
+        }
+        let t = (oi.ln() - oi_min.ln()) / (oi_max.ln() - oi_min.ln());
+        if (0.0..=1.0).contains(&t) {
+            Some((t * (width - 1) as f64).round() as usize)
+        } else {
+            None
+        }
+    };
+    let ly = |g: f64| -> Option<usize> {
+        if g <= 0.0 {
+            return None;
+        }
+        let t = (g.ln() - g_min.ln()) / (g_max.ln() - g_min.ln());
+        if (0.0..=1.0).contains(&t) {
+            Some(height - 1 - (t * (height - 1) as f64).round() as usize)
+        } else {
+            None
+        }
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Rooflines.
+    for (si, s) in series.iter().enumerate() {
+        let digit = char::from_digit((si % 10) as u32, 10).unwrap();
+        for (oi, g) in s.curve(oi_min, oi_max, width * 2) {
+            if let (Some(x), Some(y)) = (lx(oi), ly(g)) {
+                if grid[y][x] == ' ' {
+                    grid[y][x] = digit;
+                }
+            }
+        }
+    }
+    // Points on top.
+    for s in series {
+        for p in &s.points {
+            if let (Some(x), Some(y)) = (lx(p.intensity), ly(p.gflops)) {
+                grid[y][x] = '*';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "GFLOPS (log) {:.3e} .. {:.3e}; intensity (log) {:.3} .. {:.1} FLOPs/byte\n",
+        g_min, g_max, oi_min, oi_max
+    ));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  [{si}] {}: ", s.platform.name));
+        for p in &s.points {
+            out.push_str(&format!("{}=({:.2}, {:.0})  ", p.label, p.intensity, p.gflops));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Platform, Point};
+
+    fn demo_series() -> RooflineSeries {
+        let mut s = RooflineSeries::new(Platform::new("demo", 400.0, 400.0));
+        s.push(Point::new("rot", 0.3, 100.0));
+        s.push(Point::new("fft", 0.6, 200.0));
+        s
+    }
+
+    #[test]
+    fn renders_points_and_legend() {
+        let out = render_ascii(&[demo_series()], 60, 16);
+        assert!(out.contains('*'), "points must be plotted");
+        assert!(out.contains("[0] demo"));
+        assert!(out.contains("rot=(0.30, 100)"));
+        assert_eq!(out.lines().count(), 16 + 3);
+    }
+
+    #[test]
+    fn multiple_series_distinct_digits() {
+        let mut s2 = demo_series();
+        s2.platform = Platform::new("big", 4000.0, 4000.0);
+        let out = render_ascii(&[demo_series(), s2], 60, 20);
+        assert!(out.contains('0'));
+        assert!(out.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        render_ascii(&[demo_series()], 5, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! SVG rendering of roofline plots — a publication-style counterpart
+//! to the ASCII renderer, written by the `fig3` regenerator so the
+//! figure can be viewed in a browser.
+
+use crate::model::RooflineSeries;
+
+/// Styling palette: one stroke color per series, cycled.
+const COLORS: [&str; 6] = ["#1f6f8b", "#c0392b", "#27ae60", "#8e44ad", "#d35400", "#2c3e50"];
+
+fn log_pos(v: f64, min: f64, max: f64, lo_px: f64, hi_px: f64) -> f64 {
+    let t = (v.ln() - min.ln()) / (max.ln() - min.ln());
+    lo_px + t * (hi_px - lo_px)
+}
+
+/// Render one or more roofline series (with their measured points)
+/// into a standalone SVG document of `width × height` pixels.
+pub fn render_svg(series: &[RooflineSeries], width: u32, height: u32) -> String {
+    assert!(!series.is_empty());
+    assert!(width >= 200 && height >= 150, "canvas too small");
+    let (w, h) = (width as f64, height as f64);
+    let (ml, mr, mt, mb) = (70.0, 20.0, 20.0, 50.0);
+
+    // Bounds across all series.
+    let mut oi_min = f64::INFINITY;
+    let mut oi_max: f64 = 0.0;
+    let mut g_max: f64 = 0.0;
+    for s in series {
+        g_max = g_max.max(s.platform.peak_gflops);
+        oi_max = oi_max.max(s.platform.ridge() * 8.0);
+        oi_min = oi_min.min(s.platform.ridge() / 64.0);
+        for p in &s.points {
+            oi_min = oi_min.min(p.intensity / 2.0);
+            oi_max = oi_max.max(p.intensity * 2.0);
+        }
+    }
+    let g_min = series
+        .iter()
+        .map(|s| s.platform.attainable(oi_min))
+        .fold(f64::INFINITY, f64::min)
+        / 2.0;
+    let x = |oi: f64| log_pos(oi, oi_min, oi_max, ml, w - mr);
+    let y = |g: f64| log_pos(g, g_min, g_max, h - mb, mt);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    out.push_str(&format!(
+        "<rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n"
+    ));
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{ml}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#333\"/>\n",
+        h - mb,
+        w - mr
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{0}\" stroke=\"#333\"/>\n",
+        h - mb
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">operational intensity (FLOPs/byte, log)</text>\n",
+        (ml + w - mr) / 2.0,
+        h - 12.0
+    ));
+    out.push_str(&format!(
+        "<text x=\"14\" y=\"{}\" transform=\"rotate(-90 14 {0})\" text-anchor=\"middle\">GFLOPS (log)</text>\n",
+        (mt + h - mb) / 2.0
+    ));
+
+    // Decade gridlines on both axes.
+    let mut d = 10f64.powf(g_min.log10().ceil());
+    while d <= g_max {
+        out.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" stroke=\"#eee\"/>\
+             <text x=\"{2}\" y=\"{3:.1}\" text-anchor=\"end\" fill=\"#666\">{d:.0}</text>\n",
+            y(d),
+            w - mr,
+            ml - 5.0,
+            y(d) + 4.0
+        ));
+        d *= 10.0;
+    }
+    let mut d = 10f64.powf(oi_min.log10().ceil());
+    while d <= oi_max {
+        out.push_str(&format!(
+            "<line x1=\"{0:.1}\" y1=\"{mt}\" x2=\"{0:.1}\" y2=\"{1}\" stroke=\"#eee\"/>\
+             <text x=\"{0:.1}\" y=\"{2}\" text-anchor=\"middle\" fill=\"#666\">{d}</text>\n",
+            x(d),
+            h - mb,
+            h - mb + 15.0
+        ));
+        d *= 10.0;
+    }
+
+    // Series rooflines and points.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<String> = s
+            .curve(oi_min, oi_max, 128)
+            .into_iter()
+            .map(|(oi, g)| format!("{:.1},{:.1}", x(oi), y(g)))
+            .collect();
+        out.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+            pts.join(" ")
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\">{}</text>\n",
+            w - mr - 60.0,
+            y(s.platform.peak_gflops) - 5.0,
+            s.platform.name
+        ));
+        for p in &s.points {
+            out.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{color}\"/>\
+                 <text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\">{}</text>\n",
+                x(p.intensity),
+                y(p.gflops),
+                x(p.intensity) + 6.0,
+                y(p.gflops) + 4.0,
+                p.label
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Platform, Point};
+
+    fn demo() -> RooflineSeries {
+        let mut s = RooflineSeries::new(Platform::new("demo", 400.0, 400.0));
+        s.push(Point::new("rot", 0.3, 100.0));
+        s.push(Point::new("fft", 0.6, 200.0));
+        s
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = render_svg(&[demo()], 640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 2, "both points plotted");
+        assert!(svg.contains("polyline"), "roofline curve present");
+        assert!(svg.contains("demo"));
+        // Balanced angle brackets as a cheap well-formedness proxy.
+        assert_eq!(svg.matches('<').count(), svg.matches('>').count());
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors() {
+        let mut s2 = demo();
+        s2.platform = Platform::new("big", 4000.0, 4000.0);
+        let svg = render_svg(&[demo(), s2], 640, 400);
+        assert!(svg.contains(COLORS[0]));
+        assert!(svg.contains(COLORS[1]));
+    }
+
+    #[test]
+    fn points_lie_inside_canvas() {
+        let svg = render_svg(&[demo()], 640, 400);
+        for cap in svg.split("<circle cx=\"").skip(1) {
+            let cx: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!(cx > 0.0 && cx < 640.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        render_svg(&[demo()], 50, 50);
+    }
+}

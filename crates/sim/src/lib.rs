@@ -1,0 +1,30 @@
+//! # xmt-sim — cycle-level simulator of the XMT many-core
+//!
+//! The workspace's stand-in for XMTSim (Section III-A of the paper):
+//! a cycle-stepped model of the architecture in Fig. 1 — MTCU, TCU
+//! clusters with shared functional units, prefix-sum unit, spawn/join
+//! broadcast, hybrid MoT/butterfly interconnect and hashed memory
+//! modules over shared DRAM channels.
+//!
+//! * [`config`] — the five Table II/III architecture configurations and
+//!   proportionally scaled variants for tractable simulation.
+//! * [`physical`] — silicon area / power / off-chip I/O model
+//!   (reproduces Table III and the Table VI power figures).
+//! * [`machine`] — the simulator proper; functionally exact (shares the
+//!   `xmt-isa` semantic core) and timed.
+//! * [`perfmodel`] — the calibrated bottleneck model used to project
+//!   paper-scale (512³, 131,072-TCU) runs that the cycle simulator
+//!   cannot execute directly.
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod energy;
+pub mod machine;
+pub mod perfmodel;
+pub mod physical;
+
+pub use config::XmtConfig;
+pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};
+pub use machine::{Machine, MachineStats, RunSummary, SimError, SpawnStats, UtilizationReport};
+pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
+pub use physical::{summarize, PhysicalSummary};

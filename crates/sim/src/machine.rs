@@ -1,0 +1,1252 @@
+//! The cycle-level XMT machine simulator.
+//!
+//! Composes the pieces of Fig. 1: an MTCU running serial sections, TCU
+//! clusters with shared FPU/MDU/LSU ports, the prefix-sum unit, the
+//! spawn broadcast, the request/reply interconnect (`xmt-noc`) and the
+//! hashed memory modules with shared DRAM channels (`xmt-mem`).
+//!
+//! Functional semantics are shared with the untimed interpreter
+//! (`xmt_isa::interp::exec_compute` and the pure `eval_*` helpers), so
+//! a program produces bit-identical results on both engines; this
+//! simulator adds *when* — the cycle counts the paper's evaluation is
+//! built on.
+//!
+//! Timing model summary (all per 3.3 GHz core cycle):
+//! * TCUs are in-order and scalar; ALU-class ops take 1 cycle.
+//! * FPU ops: issue limited to `fpus_per_cluster` per cluster per
+//!   cycle, 4-cycle result latency.
+//! * MDU ops: 1 issue per cluster per cycle, 8-cycle latency.
+//! * Loads/stores: 1 LSU slot per cluster per cycle injects into the
+//!   request NoC; loads are non-blocking (scoreboarded) with up to 8
+//!   outstanding per TCU — the paper's "prefetching methods".
+//! * Memory modules service one access per cycle in arrival order;
+//!   misses go to the module's shared DRAM channel.
+//! * `spawn` broadcast costs log₂(clusters) cycles; thread IDs are
+//!   handed out by the PS unit with unlimited same-cycle combining.
+
+use crate::config::XmtConfig;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use xmt_isa::instr::{eval_branch, Instr, Unit};
+use xmt_isa::interp::exec_compute;
+use xmt_isa::reg::{FReg, IReg, RegFile, NUM_GREGS};
+use xmt_isa::Program;
+use xmt_mem::{AddressHash, ChannelRequest, DramChannel, DramReq, MemReq, MemoryModule};
+use xmt_noc::{Flit, Network, Topology};
+
+/// FPU result latency in cycles.
+const FPU_LATENCY: u64 = 4;
+/// MDU (multiply/divide) latency in cycles.
+const MDU_LATENCY: u64 = 8;
+/// MTCU private-cache access latency for serial-mode memory ops.
+const SERIAL_MEM_LATENCY: u64 = 4;
+/// Maximum outstanding memory operations per TCU (models the XMT
+/// prefetch/decoupling capability).
+const MAX_OUTSTANDING: u8 = 8;
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Memory access outside the configured memory image.
+    MemOutOfBounds {
+        /// Program counter at the fault.
+        pc: usize,
+        /// Faulting word address.
+        addr: u64,
+    },
+    /// Nested spawn, halt-in-parallel, etc.
+    BadInstruction {
+        /// Program counter at the fault.
+        pc: usize,
+        /// Description of the illegal action.
+        what: &'static str,
+    },
+    /// Cycle limit exceeded — deadlock or runaway program.
+    CycleLimit {
+        /// Cycle at which the limit tripped.
+        at_cycle: u64,
+    },
+    /// Execution ran off the end of the program.
+    PcOutOfRange {
+        /// Program counter at the fault.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MemOutOfBounds { pc, addr } => {
+                write!(f, "memory access at word {addr:#x} out of bounds (pc {pc})")
+            }
+            SimError::BadInstruction { pc, what } => write!(f, "{what} at pc {pc}"),
+            SimError::CycleLimit { at_cycle } => write!(f, "cycle limit hit at {at_cycle}"),
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What a memory transaction will do when its reply arrives.
+#[derive(Debug, Clone, Copy)]
+enum TxnKind {
+    LoadI(IReg),
+    LoadF(FReg),
+    Store,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    cluster: usize,
+    tcu: usize,
+    addr: u32,
+    kind: TxnKind,
+    /// Store data (set at issue) or load data (captured when the
+    /// request reaches its home module, preserving module order).
+    value: u32,
+}
+
+/// One TCU's execution context.
+#[derive(Debug)]
+struct Tcu {
+    active: bool,
+    rf: RegFile,
+    pc: usize,
+    /// Cycle until which the TCU is busy (FPU/MDU latency).
+    busy_until: u64,
+    /// Scoreboard: bitmask of integer registers with pending loads.
+    pend_i: u32,
+    /// Scoreboard: bitmask of FP registers with pending loads.
+    pend_f: u32,
+    /// Outstanding memory transactions (loads + stores).
+    outstanding: u8,
+}
+
+impl Tcu {
+    fn idle() -> Self {
+        Self {
+            active: false,
+            rf: RegFile::new(0),
+            pc: 0,
+            busy_until: 0,
+            pend_i: 0,
+            pend_f: 0,
+            outstanding: 0,
+        }
+    }
+
+    fn ready(&self, ins: &Instr) -> bool {
+        for r in ins.iregs_read().into_iter().flatten() {
+            if self.pend_i & (1 << r.index()) != 0 {
+                return false;
+            }
+        }
+        for r in ins.fregs_read().into_iter().flatten() {
+            if self.pend_f & (1 << r.index()) != 0 {
+                return false;
+            }
+        }
+        // WAW on a pending load target also stalls.
+        if let Some(r) = ins.ireg_written() {
+            if self.pend_i & (1 << r.index()) != 0 {
+                return false;
+            }
+        }
+        if let Some(r) = ins.freg_written() {
+            if self.pend_f & (1 << r.index()) != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Execution mode of the machine.
+#[derive(Debug)]
+enum Mode {
+    /// MTCU running; `resume_at` models multi-cycle serial operations.
+    Serial { pc: usize, resume_at: u64 },
+    /// Parallel section: TCUs executing threads of the current spawn.
+    Parallel { return_pc: usize },
+    Finished,
+}
+
+/// Counters accumulated over the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Cycle count.
+    pub cycles: u64,
+    /// The `instructions` value.
+    pub instructions: u64,
+    /// The `flops` value.
+    pub flops: u64,
+    /// The `mem_reads` value.
+    pub mem_reads: u64,
+    /// The `mem_writes` value.
+    pub mem_writes: u64,
+    /// The `threads` value.
+    pub threads: u64,
+    /// The `spawns` value.
+    pub spawns: u64,
+    /// Issue stalls by cause.
+    pub stall_scoreboard: u64,
+    /// The `stall_fpu` value.
+    pub stall_fpu: u64,
+    /// The `stall_mdu` value.
+    pub stall_mdu: u64,
+    /// The `stall_lsu` value.
+    pub stall_lsu: u64,
+}
+
+/// Per-spawn (per parallel section) statistics — the phase-level data
+/// behind the Roofline points of Fig. 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpawnStats {
+    /// Index of the spawn in program order.
+    pub index: usize,
+    /// Virtual threads executed.
+    pub threads: u64,
+    /// Wall cycles from spawn start to the barrier completing.
+    pub cycles: u64,
+    /// The `instructions` value.
+    pub instructions: u64,
+    /// The `flops` value.
+    pub flops: u64,
+    /// The `mem_reads` value.
+    pub mem_reads: u64,
+    /// The `mem_writes` value.
+    pub mem_writes: u64,
+    /// Bytes actually transferred on the DRAM channels.
+    pub dram_bytes: u64,
+}
+
+impl SpawnStats {
+    /// Achieved GFLOPS (actual FLOP count) at `clock_ghz`.
+    pub fn gflops(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flops as f64 * clock_ghz / self.cycles as f64
+    }
+
+    /// Operational intensity in FLOPs per DRAM byte.
+    pub fn intensity(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.flops as f64 / self.dram_bytes as f64
+    }
+}
+
+/// Post-run utilization snapshot (see [`Machine::utilization`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Instructions issued by each cluster.
+    pub cluster_instr: Vec<u64>,
+    /// Cache-bank accesses per memory module.
+    pub module_accesses: Vec<u64>,
+    /// Cache hit rate per module (1.0 when untouched).
+    pub module_hit_rate: Vec<f64>,
+    /// Fraction of cycles each DRAM channel was busy.
+    pub channel_busy: Vec<f64>,
+    /// FLOPs issued / (cycles × FPUs): compute-ceiling utilization.
+    pub fpu_utilization: f64,
+}
+
+impl UtilizationReport {
+    /// Max/mean ratio of per-cluster instruction counts (1.0 = perfect
+    /// load balance; the XMT thread scheduler should keep this low).
+    pub fn cluster_imbalance(&self) -> f64 {
+        let max = self.cluster_instr.iter().copied().max().unwrap_or(0) as f64;
+        let sum: u64 = self.cluster_instr.iter().sum();
+        let mean = sum as f64 / self.cluster_instr.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Max/mean ratio of per-module access counts (address hashing
+    /// should keep this near 1).
+    pub fn module_imbalance(&self) -> f64 {
+        let max = self.module_accesses.iter().copied().max().unwrap_or(0) as f64;
+        let sum: u64 = self.module_accesses.iter().sum();
+        let mean = sum as f64 / self.module_accesses.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Accumulated statistics.
+    pub stats: MachineStats,
+    /// The `spawns` value.
+    pub spawns: Vec<SpawnStats>,
+}
+
+struct SpawnTracker {
+    index: usize,
+    start_cycle: u64,
+    start: MachineStats,
+    start_dram_bytes: u64,
+    threads_at_start: u64,
+}
+
+/// The XMT machine.
+pub struct Machine {
+    cfg: XmtConfig,
+    prog: Program,
+    /// Functional shared memory (word addressed).
+    pub mem: Vec<u32>,
+    gregs: [u32; NUM_GREGS],
+    mtcu_rf: RegFile,
+    mode: Mode,
+    cycle: u64,
+    /// Parallel-section thread allocation (the PS unit's counter).
+    next_tid: u32,
+    spawn_count: u32,
+    spawn_entry: usize,
+    clusters: Vec<Vec<Tcu>>,
+    cluster_rr: Vec<usize>,
+    /// Instructions issued per cluster (load-balance observability).
+    cluster_instr: Vec<u64>,
+    req_net: Box<dyn Network>,
+    reply_net: Box<dyn Network>,
+    modules: Vec<MemoryModule>,
+    channels: Vec<DramChannel>,
+    module_outbox: Vec<VecDeque<u64>>,
+    hash: AddressHash,
+    txns: HashMap<u64, Txn>,
+    next_txn: u64,
+    /// The `max_cycles` value.
+    pub max_cycles: u64,
+    /// Accumulated statistics.
+    pub stats: MachineStats,
+    spawn_log: Vec<SpawnStats>,
+    tracker: Option<SpawnTracker>,
+}
+
+impl Machine {
+    /// Build a machine for `cfg` with `mem_words` words of zeroed
+    /// shared memory.
+    pub fn new(cfg: &XmtConfig, prog: Program, mem_words: usize) -> Self {
+        let topo = cfg.topology();
+        let reply_topo = if topo.is_nonblocking() {
+            Topology::pure_mot(cfg.memory_modules, cfg.clusters)
+        } else {
+            Topology::hybrid(
+                cfg.memory_modules,
+                cfg.clusters,
+                cfg.mot_levels,
+                cfg.butterfly_levels,
+            )
+        };
+        let modules = (0..cfg.memory_modules)
+            .map(|i| MemoryModule::new(i, cfg.cache))
+            .collect();
+        let channels = (0..cfg.dram_channels()).map(|_| DramChannel::new(cfg.dram)).collect();
+        Self {
+            prog,
+            mem: vec![0; mem_words],
+            gregs: [0; NUM_GREGS],
+            mtcu_rf: RegFile::new(0),
+            mode: Mode::Serial { pc: 0, resume_at: 0 },
+            cycle: 0,
+            next_tid: 0,
+            spawn_count: 0,
+            spawn_entry: 0,
+            clusters: (0..cfg.clusters)
+                .map(|_| (0..cfg.tcus_per_cluster).map(|_| Tcu::idle()).collect())
+                .collect(),
+            cluster_rr: vec![0; cfg.clusters],
+            cluster_instr: vec![0; cfg.clusters],
+            req_net: xmt_noc::build_network(topo),
+            reply_net: xmt_noc::build_network(reply_topo),
+            modules,
+            channels,
+            module_outbox: vec![VecDeque::new(); cfg.memory_modules],
+            hash: AddressHash::new(cfg.memory_modules, cfg.cache.line_words),
+            txns: HashMap::new(),
+            next_txn: 0,
+            max_cycles: 200_000_000,
+            stats: MachineStats::default(),
+            spawn_log: Vec::new(),
+            tracker: None,
+            cfg: *cfg,
+        }
+    }
+
+    /// Store an `f32` slice at word address `addr` (bit-cast).
+    pub fn write_f32s(&mut self, addr: usize, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.mem[addr + i] = v.to_bits();
+        }
+    }
+
+    /// Read `len` f32s from word address `addr`.
+    pub fn read_f32s(&self, addr: usize, len: usize) -> Vec<f32> {
+        self.mem[addr..addr + len].iter().map(|&w| f32::from_bits(w)).collect()
+    }
+
+    /// Store a `u32` slice at word address `addr`.
+    pub fn write_u32s(&mut self, addr: usize, data: &[u32]) {
+        self.mem[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &XmtConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the global registers (useful after a run).
+    pub fn gregs_snapshot(&self) -> [u32; NUM_GREGS] {
+        self.gregs
+    }
+
+    /// Post-run utilization/observability report: per-cluster issue
+    /// counts, per-module cache behaviour and DRAM-channel occupancy.
+    pub fn utilization(&self) -> UtilizationReport {
+        let cluster_instr = self.cluster_instr.clone();
+        let module_accesses: Vec<u64> =
+            self.modules.iter().map(|m| m.bank().stats.accesses).collect();
+        let module_hit_rate: Vec<f64> = self
+            .modules
+            .iter()
+            .map(|m| {
+                let st = m.bank().stats;
+                if st.accesses == 0 {
+                    1.0
+                } else {
+                    st.hits as f64 / st.accesses as f64
+                }
+            })
+            .collect();
+        let channel_busy: Vec<f64> = self
+            .channels
+            .iter()
+            .map(|ch| {
+                if self.cycle == 0 {
+                    0.0
+                } else {
+                    ch.stats.busy_cycles as f64 / self.cycle as f64
+                }
+            })
+            .collect();
+        let fpu_util = if self.cycle == 0 {
+            0.0
+        } else {
+            self.stats.flops as f64
+                / (self.cycle as f64
+                    * (self.cfg.clusters * self.cfg.fpus_per_cluster) as f64)
+        };
+        UtilizationReport {
+            cluster_instr,
+            module_accesses,
+            module_hit_rate,
+            channel_busy,
+            fpu_utilization: fpu_util,
+        }
+    }
+
+    /// Total DRAM bytes moved so far.
+    fn dram_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats.bytes).sum()
+    }
+
+    /// Run to `halt`. Returns overall and per-spawn statistics.
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        while !matches!(self.mode, Mode::Finished) {
+            self.step()?;
+            if self.cycle > self.max_cycles {
+                return Err(SimError::CycleLimit { at_cycle: self.cycle });
+            }
+        }
+        Ok(RunSummary { stats: self.stats, spawns: self.spawn_log.clone() })
+    }
+
+    /// Advance the machine one cycle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        match self.mode {
+            Mode::Serial { pc, resume_at } => {
+                if self.cycle >= resume_at {
+                    self.step_serial(pc)?;
+                }
+                // Serial mode still drains the memory system (posted
+                // writes from the previous section are already done by
+                // the barrier, but channels may be finishing refills).
+                self.step_memory_system();
+            }
+            Mode::Parallel { return_pc } => {
+                self.step_parallel()?;
+                self.step_memory_system();
+                self.maybe_finish_spawn(return_pc);
+            }
+            Mode::Finished => {}
+        }
+        Ok(())
+    }
+
+    fn addr_of(&self, pc: usize, base: u32, off: u32) -> Result<usize, SimError> {
+        let a = base as u64 + off as u64;
+        if (a as usize) < self.mem.len() {
+            Ok(a as usize)
+        } else {
+            Err(SimError::MemOutOfBounds { pc, addr: a })
+        }
+    }
+
+    fn step_serial(&mut self, pc: usize) -> Result<(), SimError> {
+        if pc >= self.prog.len() {
+            return Err(SimError::PcOutOfRange { pc });
+        }
+        let ins = self.prog.fetch(pc);
+        self.stats.instructions += 1;
+        if ins.is_flop() {
+            self.stats.flops += 1;
+        }
+        // Compute-class instructions (includes ReadGr).
+        let mut rf = std::mem::replace(&mut self.mtcu_rf, RegFile::new(0));
+        let handled = exec_compute(&ins, &mut rf, &self.gregs);
+        self.mtcu_rf = rf;
+        if handled {
+            let lat = match ins.unit() {
+                Unit::Fpu => FPU_LATENCY,
+                Unit::Mdu => MDU_LATENCY,
+                _ => 1,
+            };
+            self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + lat };
+            return Ok(());
+        }
+        match ins {
+            Instr::WriteGr { rs, dst } => {
+                self.gregs[dst.index()] = self.mtcu_rf.read_i(rs);
+                self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + 1 };
+            }
+            Instr::Lw { rd, base, off } => {
+                let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
+                let v = self.mem[a];
+                self.mtcu_rf.write_i(rd, v);
+                self.stats.mem_reads += 1;
+                self.mode =
+                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+            }
+            Instr::Sw { rs, base, off } => {
+                let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
+                self.mem[a] = self.mtcu_rf.read_i(rs);
+                self.stats.mem_writes += 1;
+                self.mode =
+                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+            }
+            Instr::Flw { fd, base, off } => {
+                let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
+                let v = f32::from_bits(self.mem[a]);
+                self.mtcu_rf.write_f(fd, v);
+                self.stats.mem_reads += 1;
+                self.mode =
+                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+            }
+            Instr::Fsw { fs, base, off } => {
+                let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
+                self.mem[a] = self.mtcu_rf.read_f(fs).to_bits();
+                self.stats.mem_writes += 1;
+                self.mode =
+                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+            }
+            Instr::Branch { cond, rs1, rs2, target } => {
+                let t = eval_branch(cond, self.mtcu_rf.read_i(rs1), self.mtcu_rf.read_i(rs2));
+                let next = if t { target } else { pc + 1 };
+                self.mode = Mode::Serial { pc: next, resume_at: self.cycle + 1 };
+            }
+            Instr::Jump { target } => {
+                self.mode = Mode::Serial { pc: target, resume_at: self.cycle + 1 };
+            }
+            Instr::Ps { rd, inc, on } => {
+                let old = self.gregs[on.index()];
+                self.gregs[on.index()] = old.wrapping_add(self.mtcu_rf.read_i(inc));
+                self.mtcu_rf.write_i(rd, old);
+                self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + 1 };
+            }
+            Instr::Spawn { count, entry } => {
+                let n = self.mtcu_rf.read_i(count);
+                self.stats.spawns += 1;
+                self.spawn_count = n;
+                self.spawn_entry = entry;
+                self.next_tid = 0;
+                // Broadcast: the parallel section reaches every cluster
+                // in log₂(clusters) cycles (Section II-A: "start all
+                // TCUs at once in the same time it takes to start one").
+                let broadcast = (self.cfg.clusters as f64).log2().ceil() as u64 + 1;
+                self.tracker = Some(SpawnTracker {
+                    index: self.spawn_log.len(),
+                    start_cycle: self.cycle,
+                    start: self.stats,
+                    start_dram_bytes: self.dram_bytes(),
+                    threads_at_start: self.stats.threads,
+                });
+                self.cycle += broadcast;
+                self.stats.cycles = self.cycle;
+                self.mode = Mode::Parallel { return_pc: pc + 1 };
+            }
+            Instr::Join => {
+                return Err(SimError::BadInstruction { pc, what: "join in serial mode" })
+            }
+            Instr::Sspawn { .. } => {
+                return Err(SimError::BadInstruction { pc, what: "sspawn in serial mode" })
+            }
+            Instr::Halt => {
+                self.mode = Mode::Finished;
+            }
+            other => unreachable!("unhandled serial instruction {other:?}"),
+        }
+        Ok(())
+    }
+
+    /// One parallel-mode cycle over every cluster.
+    fn step_parallel(&mut self) -> Result<(), SimError> {
+        for c in 0..self.clusters.len() {
+            self.step_cluster(c)?;
+        }
+        Ok(())
+    }
+
+    fn step_cluster(&mut self, c: usize) -> Result<(), SimError> {
+        let instr_at_entry = self.stats.instructions;
+        let ntcus = self.cfg.tcus_per_cluster;
+        let mut fpu_budget = self.cfg.fpus_per_cluster;
+        let mut mdu_budget = self.cfg.mdus_per_cluster;
+        let mut lsu_budget = self.cfg.lsus_per_cluster;
+        let start = self.cluster_rr[c];
+        self.cluster_rr[c] = (start + 1) % ntcus;
+
+        for i in 0..ntcus {
+            let t = (start + i) % ntcus;
+            // Activate idle TCUs while thread IDs remain (the PS unit
+            // allocates in constant time, so every idle TCU can pick up
+            // a thread in the same cycle).
+            if !self.clusters[c][t].active {
+                // Thread ids are handed out globally; cluster c TCU t
+                // competes with all others, which the central counter
+                // models exactly.
+                if self.next_tid < self.spawn_count {
+                    let tid = self.next_tid;
+                    self.next_tid += 1;
+                    let tcu = &mut self.clusters[c][t];
+                    tcu.active = true;
+                    tcu.rf = RegFile::new(tid);
+                    tcu.pc = self.spawn_entry;
+                    tcu.busy_until = 0;
+                    tcu.pend_i = 0;
+                    tcu.pend_f = 0;
+                    self.stats.threads += 1;
+                } else {
+                    continue;
+                }
+            }
+            if self.clusters[c][t].busy_until > self.cycle {
+                continue;
+            }
+            let pc = self.clusters[c][t].pc;
+            if pc >= self.prog.len() {
+                return Err(SimError::PcOutOfRange { pc });
+            }
+            let ins = self.prog.fetch(pc);
+            if !self.clusters[c][t].ready(&ins) {
+                self.stats.stall_scoreboard += 1;
+                continue;
+            }
+            match ins.unit() {
+                Unit::Alu => {
+                    let tcu = &mut self.clusters[c][t];
+                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+                    debug_assert!(ok, "ALU-class instruction must be compute-executable");
+                    tcu.pc += 1;
+                    self.stats.instructions += 1;
+                }
+                Unit::Fpu => {
+                    if fpu_budget == 0 {
+                        self.stats.stall_fpu += 1;
+                        continue;
+                    }
+                    fpu_budget -= 1;
+                    let tcu = &mut self.clusters[c][t];
+                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+                    debug_assert!(ok);
+                    tcu.busy_until = self.cycle + FPU_LATENCY;
+                    tcu.pc += 1;
+                    self.stats.instructions += 1;
+                    self.stats.flops += 1;
+                }
+                Unit::Mdu => {
+                    if mdu_budget == 0 {
+                        self.stats.stall_mdu += 1;
+                        continue;
+                    }
+                    mdu_budget -= 1;
+                    let tcu = &mut self.clusters[c][t];
+                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+                    debug_assert!(ok);
+                    tcu.busy_until = self.cycle + MDU_LATENCY;
+                    tcu.pc += 1;
+                    self.stats.instructions += 1;
+                }
+                Unit::Lsu => {
+                    if lsu_budget == 0 {
+                        self.stats.stall_lsu += 1;
+                        continue;
+                    }
+                    if self.clusters[c][t].outstanding >= MAX_OUTSTANDING {
+                        self.stats.stall_lsu += 1;
+                        continue;
+                    }
+                    if !self.issue_memory(c, t, pc, &ins)? {
+                        // NoC refused (rate limit/backpressure): the
+                        // port attempt still consumed the LSU slot.
+                        lsu_budget -= 1;
+                        self.stats.stall_lsu += 1;
+                        continue;
+                    }
+                    lsu_budget -= 1;
+                    self.clusters[c][t].pc += 1;
+                    self.stats.instructions += 1;
+                }
+                Unit::Branch => {
+                    let tcu = &mut self.clusters[c][t];
+                    match ins {
+                        Instr::Branch { cond, rs1, rs2, target } => {
+                            let taken =
+                                eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                            tcu.pc = if taken { target } else { pc + 1 };
+                        }
+                        Instr::Jump { target } => tcu.pc = target,
+                        _ => unreachable!(),
+                    }
+                    self.stats.instructions += 1;
+                }
+                Unit::Ps => {
+                    match ins {
+                        Instr::Ps { rd, inc, on } => {
+                            let tcu = &mut self.clusters[c][t];
+                            let old = self.gregs[on.index()];
+                            self.gregs[on.index()] = old.wrapping_add(tcu.rf.read_i(inc));
+                            tcu.rf.write_i(rd, old);
+                            tcu.pc += 1;
+                        }
+                        Instr::Sspawn { rd, count } => {
+                            // PS on the spawn bound: the barrier now
+                            // also waits for the new virtual threads,
+                            // which idle TCUs pick up immediately.
+                            let tcu = &mut self.clusters[c][t];
+                            let old = self.spawn_count;
+                            self.spawn_count =
+                                self.spawn_count.wrapping_add(tcu.rf.read_i(count));
+                            tcu.rf.write_i(rd, old);
+                            tcu.pc += 1;
+                        }
+                        _ => unreachable!(),
+                    }
+                    self.stats.instructions += 1;
+                }
+                Unit::Control => match ins {
+                    Instr::Join => {
+                        // Posted stores must drain before the thread
+                        // retires (the spawn barrier is a memory fence).
+                        if self.clusters[c][t].outstanding > 0 {
+                            continue;
+                        }
+                        self.clusters[c][t].active = false;
+                        self.stats.instructions += 1;
+                    }
+                    Instr::Nop => {
+                        self.clusters[c][t].pc += 1;
+                        self.stats.instructions += 1;
+                    }
+                    Instr::Spawn { .. } => {
+                        return Err(SimError::BadInstruction { pc, what: "nested spawn" })
+                    }
+                    Instr::Halt => {
+                        return Err(SimError::BadInstruction { pc, what: "halt in parallel mode" })
+                    }
+                    _ => {
+                        return Err(SimError::BadInstruction {
+                            pc,
+                            what: "instruction illegal in parallel mode",
+                        })
+                    }
+                },
+            }
+        }
+        self.cluster_instr[c] += self.stats.instructions - instr_at_entry;
+        Ok(())
+    }
+
+    /// Issue a load/store into the request network. Returns false if
+    /// the network refused it this cycle.
+    fn issue_memory(
+        &mut self,
+        c: usize,
+        t: usize,
+        pc: usize,
+        ins: &Instr,
+    ) -> Result<bool, SimError> {
+        let (addr, kind, value, is_write) = {
+            let tcu = &self.clusters[c][t];
+            match *ins {
+                Instr::Lw { rd, base, off } => {
+                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
+                    (a, TxnKind::LoadI(rd), 0, false)
+                }
+                Instr::Flw { fd, base, off } => {
+                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
+                    (a, TxnKind::LoadF(fd), 0, false)
+                }
+                Instr::Sw { rs, base, off } => {
+                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
+                    (a, TxnKind::Store, tcu.rf.read_i(rs), true)
+                }
+                Instr::Fsw { fs, base, off } => {
+                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
+                    (a, TxnKind::Store, tcu.rf.read_f(fs).to_bits(), true)
+                }
+                _ => unreachable!("issue_memory on non-memory instruction"),
+            }
+        };
+        let module = self.hash.module_of(addr as u32);
+        let tag = self.next_txn;
+        if !self.req_net.try_inject(Flit { src: c, dst: module, tag }) {
+            return Ok(false);
+        }
+        self.next_txn += 1;
+        self.txns.insert(
+            tag,
+            Txn { cluster: c, tcu: t, addr: addr as u32, kind, value },
+        );
+        let tcu = &mut self.clusters[c][t];
+        tcu.outstanding += 1;
+        match kind {
+            TxnKind::LoadI(rd) => {
+                if rd.index() != 0 {
+                    tcu.pend_i |= 1 << rd.index();
+                }
+                self.stats.mem_reads += 1;
+            }
+            TxnKind::LoadF(fd) => {
+                tcu.pend_f |= 1 << fd.index();
+                self.stats.mem_reads += 1;
+            }
+            TxnKind::Store => {
+                self.stats.mem_writes += 1;
+            }
+        }
+        let _ = is_write;
+        Ok(true)
+    }
+
+    /// Advance the NoC, memory modules, DRAM channels and replies.
+    fn step_memory_system(&mut self) {
+        // Request network → modules. Functional effect happens here
+        // (arrival order at the home module defines the memory order;
+        // kernels separate read and write sets between barriers).
+        for d in self.req_net.step() {
+            let txn = self.txns.get_mut(&d.flit.tag).expect("txn exists");
+            match txn.kind {
+                TxnKind::LoadI(_) | TxnKind::LoadF(_) => {
+                    txn.value = self.mem[txn.addr as usize];
+                }
+                TxnKind::Store => {
+                    self.mem[txn.addr as usize] = txn.value;
+                }
+            }
+            self.modules[d.flit.dst].enqueue(MemReq {
+                addr: txn.addr,
+                is_write: matches!(txn.kind, TxnKind::Store),
+                tag: d.flit.tag,
+            });
+        }
+        // Modules: service + emit DRAM requests.
+        let mut creqs: Vec<ChannelRequest> = Vec::new();
+        for (m, module) in self.modules.iter_mut().enumerate() {
+            for resp in module.step(&mut creqs) {
+                self.module_outbox[m].push_back(resp.req.tag);
+            }
+        }
+        for cr in creqs {
+            let ch = cr.module / self.cfg.mm_per_dram_ctrl;
+            self.channels[ch].enqueue(DramReq { tag: cr.module as u64, ..cr.req });
+        }
+        // DRAM channels → module fills.
+        for ch in &mut self.channels {
+            if let Some(done) = ch.step() {
+                self.modules[done.req.tag as usize].on_fill(done);
+            }
+        }
+        // Module outboxes → reply network (one injection per module
+        // port per cycle).
+        for m in 0..self.module_outbox.len() {
+            if let Some(&tag) = self.module_outbox[m].front() {
+                let cluster = self.txns[&tag].cluster;
+                if self.reply_net.try_inject(Flit { src: m, dst: cluster, tag }) {
+                    self.module_outbox[m].pop_front();
+                }
+            }
+        }
+        // Reply network → TCUs.
+        for d in self.reply_net.step() {
+            let txn = self.txns.remove(&d.flit.tag).expect("txn exists");
+            let tcu = &mut self.clusters[txn.cluster][txn.tcu];
+            match txn.kind {
+                TxnKind::LoadI(rd) => {
+                    tcu.rf.write_i(rd, txn.value);
+                    tcu.pend_i &= !(1u32 << rd.index());
+                }
+                TxnKind::LoadF(fd) => {
+                    tcu.rf.write_f(fd, f32::from_bits(txn.value));
+                    tcu.pend_f &= !(1u32 << fd.index());
+                }
+                TxnKind::Store => {}
+            }
+            tcu.outstanding -= 1;
+        }
+    }
+
+    /// Close the parallel section when all work and memory drained.
+    fn maybe_finish_spawn(&mut self, return_pc: usize) {
+        if self.next_tid < self.spawn_count {
+            return;
+        }
+        if self.clusters.iter().any(|cl| cl.iter().any(|t| t.active)) {
+            return;
+        }
+        if !self.txns.is_empty() {
+            return;
+        }
+        if self.modules.iter().any(|m| m.outstanding() > 0) {
+            return;
+        }
+        if self.channels.iter().any(|ch| ch.pending() > 0) {
+            return;
+        }
+        // Section complete: log its stats and resume serial mode.
+        if let Some(tr) = self.tracker.take() {
+            self.spawn_log.push(SpawnStats {
+                index: tr.index,
+                threads: self.stats.threads - tr.threads_at_start,
+                cycles: self.cycle - tr.start_cycle,
+                instructions: self.stats.instructions - tr.start.instructions,
+                flops: self.stats.flops - tr.start.flops,
+                mem_reads: self.stats.mem_reads - tr.start.mem_reads,
+                mem_writes: self.stats.mem_writes - tr.start.mem_writes,
+                dram_bytes: self.dram_bytes() - tr.start_dram_bytes,
+            });
+        }
+        self.mode = Mode::Serial { pc: return_pc, resume_at: self.cycle + 1 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::reg::{fr, gr, ir};
+    use xmt_isa::ProgramBuilder;
+
+    fn tiny_config() -> XmtConfig {
+        XmtConfig::xmt_4k().scaled_to(4)
+    }
+
+    fn spawn_store_tids(n: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), n);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.tid(ir(2));
+        b.slli(ir(3), ir(2), 1);
+        b.sw(ir(3), ir(2), 0);
+        b.join();
+        b.bind(after);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serial_arithmetic_runs() {
+        let mut b = ProgramBuilder::new();
+        b.li(ir(1), 6).li(ir(2), 7).mul(ir(3), ir(1), ir(2));
+        b.li(ir(4), 10).sw(ir(3), ir(4), 0).halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let s = m.run().unwrap();
+        assert_eq!(m.mem[10], 42);
+        assert!(s.stats.cycles >= 6);
+        // MDU latency must be visible in the cycle count.
+        assert!(s.stats.cycles >= MDU_LATENCY);
+    }
+
+    #[test]
+    fn parallel_section_matches_interpreter() {
+        let prog = spawn_store_tids(64);
+        let mut m = Machine::new(&tiny_config(), prog.clone(), 256);
+        let s = m.run().unwrap();
+        for t in 0..64u32 {
+            assert_eq!(m.mem[t as usize], t * 2, "tid {t}");
+        }
+        assert_eq!(s.stats.threads, 64);
+        assert_eq!(s.spawns.len(), 1);
+        assert_eq!(s.spawns[0].threads, 64);
+        assert_eq!(s.spawns[0].mem_writes, 64);
+
+        // The untimed interpreter agrees bit-for-bit.
+        let mut i = xmt_isa::Interp::new(256);
+        i.run(&prog).unwrap();
+        assert_eq!(&i.mem[..128], &m.mem[..128]);
+    }
+
+    #[test]
+    fn loads_roundtrip_through_noc() {
+        // Threads copy mem[tid] -> mem[tid + 64].
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), 32);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.tid(ir(2));
+        b.lw(ir(3), ir(2), 0);
+        b.sw(ir(3), ir(2), 64);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 256);
+        for t in 0..32u32 {
+            m.mem[t as usize] = 1000 + t;
+        }
+        let s = m.run().unwrap();
+        for t in 0..32usize {
+            assert_eq!(m.mem[t + 64], 1000 + t as u32);
+        }
+        assert_eq!(s.spawns[0].mem_reads, 32);
+        assert_eq!(s.spawns[0].mem_writes, 32);
+        // A NoC round trip plus memory access takes real time.
+        assert!(s.spawns[0].cycles > 10);
+    }
+
+    #[test]
+    fn fp_math_through_machine() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), 8);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.tid(ir(2));
+        b.flw(fr(0), ir(2), 0);
+        b.fmul(fr(1), fr(0), fr(0));
+        b.fsw(fr(1), ir(2), 16);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let inputs: Vec<f32> = (0..8).map(|i| i as f32 + 0.5).collect();
+        m.write_f32s(0, &inputs);
+        let s = m.run().unwrap();
+        let out = m.read_f32s(16, 8);
+        for (i, (&x, &y)) in inputs.iter().zip(&out).enumerate() {
+            assert_eq!(y, x * x, "lane {i}");
+        }
+        assert_eq!(s.spawns[0].flops, 8);
+    }
+
+    #[test]
+    fn ps_allocates_unique_tickets() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), 16);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.li(ir(2), 1);
+        b.ps(ir(3), ir(2), gr(1));
+        b.tid(ir(4));
+        b.sw(ir(3), ir(4), 0);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        m.run().unwrap();
+        let mut tickets: Vec<u32> = m.mem[..16].to_vec();
+        tickets.sort_unstable();
+        assert_eq!(tickets, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn more_threads_than_tcus_reuses_tcus() {
+        let cfg = tiny_config();
+        let total_tcus = cfg.tcus as u32;
+        let prog = spawn_store_tids(total_tcus * 4);
+        let mut m = Machine::new(&cfg, prog, (total_tcus * 8) as usize);
+        let s = m.run().unwrap();
+        assert_eq!(s.stats.threads as u32, total_tcus * 4);
+        for t in 0..(total_tcus * 4) {
+            assert_eq!(m.mem[t as usize], t * 2);
+        }
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaway() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jump(top);
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        m.max_cycles = 10_000;
+        assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn nested_spawn_is_error() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), 2);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.spawn(ir(1), par);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = ProgramBuilder::new();
+        b.li(ir(1), 9999).lw(ir(2), ir(1), 0).halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        assert!(matches!(m.run(), Err(SimError::MemOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn spawn_barrier_drains_memory() {
+        // After the spawn returns, all stores must be visible without
+        // any further simulation.
+        let prog = spawn_store_tids(128);
+        let mut m = Machine::new(&tiny_config(), prog, 512);
+        m.run().unwrap();
+        assert!(m.txns.is_empty());
+        for t in 0..128u32 {
+            assert_eq!(m.mem[t as usize], t * 2);
+        }
+    }
+
+    #[test]
+    fn sspawn_extends_parallel_section() {
+        // 4 initial threads; thread 0 sspawns 4 more; all 8 write
+        // their tid, and the barrier waits for the late arrivals.
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        let work = b.label();
+        b.li(ir(1), 4);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.tid(ir(2));
+        b.bne(ir(2), ir(0), work); // only tid 0 extends
+        b.li(ir(3), 4);
+        b.sspawn(ir(4), ir(3));
+        b.bind(work);
+        b.sw(ir(2), ir(2), 0);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let prog = b.build().unwrap();
+
+        let mut m = Machine::new(&tiny_config(), prog.clone(), 64);
+        let s = m.run().unwrap();
+        assert_eq!(s.stats.threads, 8, "4 original + 4 sspawned");
+        for t in 0..8u32 {
+            assert_eq!(m.mem[t as usize], t, "tid {t} must have run");
+        }
+
+        // Interpreter agrees.
+        let mut i = xmt_isa::Interp::new(64);
+        i.run(&prog).unwrap();
+        assert_eq!(&i.mem[..8], &m.mem[..8]);
+    }
+
+    #[test]
+    fn sspawn_in_serial_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.li(ir(1), 2).sspawn(ir(2), ir(1)).halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
+    }
+
+    #[test]
+    fn utilization_report_is_balanced_for_uniform_work() {
+        let prog = spawn_store_tids(512);
+        let mut m = Machine::new(&tiny_config(), prog, 2048);
+        m.run().unwrap();
+        let u = m.utilization();
+        assert_eq!(u.cluster_instr.len(), 4);
+        assert!(u.cluster_instr.iter().all(|&c| c > 0), "every cluster worked");
+        assert!(
+            u.cluster_imbalance() < 1.5,
+            "PS-based scheduling must balance: {}",
+            u.cluster_imbalance()
+        );
+        assert!(
+            u.module_imbalance() < 3.0,
+            "hashing must spread modules: {}",
+            u.module_imbalance()
+        );
+        for hr in &u.module_hit_rate {
+            assert!((0.0..=1.0).contains(hr));
+        }
+        for cb in &u.channel_busy {
+            assert!((0.0..=1.0).contains(cb));
+        }
+        assert!(u.fpu_utilization >= 0.0 && u.fpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn two_spawns_two_stat_entries() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after1 = b.label();
+        let after2 = b.label();
+        b.li(ir(1), 8);
+        b.spawn(ir(1), par);
+        b.jump(after1);
+        b.bind(par);
+        b.tid(ir(2));
+        b.sw(ir(2), ir(2), 0);
+        b.join();
+        b.bind(after1);
+        b.li(ir(1), 16);
+        b.spawn(ir(1), par);
+        b.jump(after2);
+        b.bind(after2);
+        b.halt();
+        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let s = m.run().unwrap();
+        assert_eq!(s.spawns.len(), 2);
+        assert_eq!(s.spawns[0].threads, 8);
+        assert_eq!(s.spawns[1].threads, 16);
+        assert_eq!(s.stats.spawns, 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Physical (silicon area, power, I/O) model — Table III of the paper
+//! and the power column of Table VI.
+//!
+//! Component areas are calibrated at 22 nm so the five paper
+//! configurations land within ~2.5 % of Table III's totals; the
+//! 22 nm → 14 nm transition applies Intel's published 0.54 logic
+//! scaling \[30\] to logic area *and* power. Off-chip I/O energy follows
+//! Section V: copper/serial transceivers for the small configurations
+//! (~15 pJ/bit), 600 fJ/bit WDM photonics for "128k x2" \[31\], and
+//! ~3 pJ/bit fast MFC-cooled photonics for "128k x4" \[32\].
+
+use crate::config::XmtConfig;
+use xmt_noc::NocAreaModel;
+
+/// Calibrated component areas at 22 nm (mm²).
+const CLUSTER_MM2: f64 = 0.90; // 32 TCUs + shared units + 1 FPU
+const EXTRA_FPU_MM2: f64 = 0.058; // each FPU beyond the first
+const MODULE_MM2: f64 = 0.45; // cache slice + module logic
+const FIXED_MM2: f64 = 8.0; // MTCU, global registers, PS unit, misc
+
+/// Calibrated component powers at 22 nm (W).
+const CLUSTER_W: f64 = 1.0;
+const EXTRA_FPU_W: f64 = 0.25;
+const MODULE_W: f64 = 0.25;
+const NOC_W_PER_MM2: f64 = 0.5;
+
+/// Physical summary of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalSummary {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The `tech_nm` value.
+    pub tech_nm: u32,
+    /// The `si_layers` value.
+    pub si_layers: u32,
+    /// Total silicon area in mm².
+    pub total_area_mm2: f64,
+    /// Area per 3D layer in mm².
+    pub area_per_layer_mm2: f64,
+    /// Total area normalized to 22 nm (for Table VI comparisons).
+    pub area_22nm_mm2: f64,
+    /// Peak power in W.
+    pub peak_power_w: f64,
+    /// Off-chip bandwidth in Tb/s.
+    pub offchip_tbps: f64,
+    /// Off-chip I/O power in W.
+    pub io_power_w: f64,
+    /// Package pins needed for DRAM with high-speed serial links
+    /// (7 pins per channel, Section V-B).
+    pub serial_pins: usize,
+}
+
+/// Logic scaling factor from 22 nm to the configuration's node.
+fn tech_scale(tech_nm: u32) -> f64 {
+    match tech_nm {
+        22 => 1.0,
+        14 => 0.54,
+        other => panic!("no scaling data for {other} nm"),
+    }
+}
+
+/// I/O energy per bit (pJ) by configuration (Section V narrative).
+fn io_pj_per_bit(cfg: &XmtConfig) -> f64 {
+    match cfg.name {
+        // Copper / high-speed serial transceivers.
+        "4k" | "8k" | "64k" => 15.0,
+        // 600 fJ/bit WDM silicon photonics [31].
+        "128k x2" => 0.6,
+        // ~3 pJ/bit fast MFC-cooled photonic transceivers [32].
+        "128k x4" => 3.0,
+        _ => 15.0,
+    }
+}
+
+/// Compute the physical summary for a configuration.
+pub fn summarize(cfg: &XmtConfig) -> PhysicalSummary {
+    let s = tech_scale(cfg.tech_nm);
+    let noc_model = if cfg.tech_nm == 14 { NocAreaModel::nm14() } else { NocAreaModel::nm22() };
+    let noc_area = noc_model.area_mm2(&cfg.topology());
+
+    let logic_area = cfg.clusters as f64
+        * (CLUSTER_MM2 + (cfg.fpus_per_cluster as f64 - 1.0) * EXTRA_FPU_MM2)
+        + cfg.memory_modules as f64 * MODULE_MM2
+        + FIXED_MM2;
+    let total = logic_area * s + noc_area;
+
+    // Off-chip bandwidth: channel count × 8 B/cycle × clock (×8 bits).
+    let offchip_tbps = cfg.peak_dram_gbs() * 8.0 / 1000.0;
+    let io_power_w = offchip_tbps * 1e12 * io_pj_per_bit(cfg) * 1e-12 / 1.0;
+
+    let logic_power = cfg.clusters as f64
+        * (CLUSTER_W + (cfg.fpus_per_cluster as f64 - 1.0) * EXTRA_FPU_W)
+        + cfg.memory_modules as f64 * MODULE_W;
+    let noc_power = noc_area * NOC_W_PER_MM2;
+    let peak_power_w = logic_power * s + noc_power + io_power_w;
+
+    PhysicalSummary {
+        name: cfg.name,
+        tech_nm: cfg.tech_nm,
+        si_layers: cfg.si_layers,
+        total_area_mm2: total,
+        area_per_layer_mm2: total / cfg.si_layers as f64,
+        area_22nm_mm2: logic_area + noc_area / noc_model.tech_scale * 1.0,
+        peak_power_w,
+        offchip_tbps,
+        io_power_w,
+        serial_pins: cfg.dram_channels() * 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XmtConfig;
+
+    /// Paper Table III totals (mm²).
+    const PAPER_TOTALS: [(&str, f64); 5] = [
+        ("4k", 227.0),
+        ("8k", 551.0),
+        ("64k", 3046.0),
+        ("128k x2", 3284.0),
+        ("128k x4", 3540.0),
+    ];
+
+    #[test]
+    fn table3_totals_within_tolerance() {
+        for (cfg, (name, paper)) in XmtConfig::paper_configs().iter().zip(PAPER_TOTALS) {
+            let s = summarize(cfg);
+            assert_eq!(s.name, name);
+            let err = (s.total_area_mm2 - paper).abs() / paper;
+            assert!(
+                err < 0.035,
+                "{name}: model {:.0} mm² vs paper {paper} mm² ({:.1} % off)",
+                s.total_area_mm2,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn layer_counts_match_table3() {
+        let layers: Vec<u32> =
+            XmtConfig::paper_configs().iter().map(|c| summarize(c).si_layers).collect();
+        assert_eq!(layers, vec![1, 2, 8, 9, 9]);
+    }
+
+    #[test]
+    fn per_layer_area_fits_2cm_chip() {
+        // Section V: a 2 cm × 2 cm = 400 mm² chip per layer.
+        for cfg in XmtConfig::paper_configs() {
+            let s = summarize(&cfg);
+            assert!(
+                s.area_per_layer_mm2 < 400.0,
+                "{}: {:.0} mm²/layer exceeds the 4 cm² die",
+                s.name,
+                s.area_per_layer_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn xmt_128k_x4_power_matches_table6() {
+        // Table VI: 7.0 kW peak.
+        let s = summarize(&XmtConfig::xmt_128k_x4());
+        let kw = s.peak_power_w / 1000.0;
+        assert!((kw - 7.0).abs() < 0.5, "128k x4 power {kw:.2} kW");
+    }
+
+    #[test]
+    fn photonic_bandwidth_statements() {
+        // Section V-B: the 8k configuration's 32 channels need 6.76 Tb/s.
+        let s8 = summarize(&XmtConfig::xmt_8k());
+        assert!((s8.offchip_tbps - 6.76).abs() < 0.05, "8k {}", s8.offchip_tbps);
+        // 224 serial pins for 32 channels at 7 pins each.
+        assert_eq!(s8.serial_pins, 224);
+        // Section V-C: 256 channels → 1792 pins.
+        assert_eq!(summarize(&XmtConfig::xmt_64k()).serial_pins, 1792);
+        // 128k x2 photonic power stays within the 168 W envelope of the
+        // 280 Tb/s WDM solution [31].
+        let sx2 = summarize(&XmtConfig::xmt_128k_x2());
+        assert!(sx2.io_power_w < 168.0, "x2 io {}", sx2.io_power_w);
+        assert!(sx2.offchip_tbps < 280.0);
+    }
+
+    #[test]
+    fn air_cooling_boundary() {
+        // Section V-D: air cooling removes ≤ 600 W from a 4 cm² chip.
+        // The small configurations fit; the MFC ones exceed it.
+        let p4 = summarize(&XmtConfig::xmt_4k()).peak_power_w;
+        assert!(p4 < 600.0, "4k draws {p4} W");
+        let p64 = summarize(&XmtConfig::xmt_64k()).peak_power_w;
+        assert!(p64 > 600.0, "64k should need MFC, draws {p64} W");
+    }
+}

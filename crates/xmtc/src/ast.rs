@@ -1,0 +1,162 @@
+//! Abstract syntax tree of the miniature XMTC language.
+
+/// Scalar type of an expression or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit unsigned integer (wrapping arithmetic, like the ISA).
+    Int,
+    /// 32-bit IEEE float.
+    Float,
+}
+
+/// Binary operators (integer unless noted; `+ - * /` also on floats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (unsigned on ints)
+    Div,
+    /// `%` (unsigned remainder; ints only)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Comparison operators (unsigned integer comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u32),
+    /// Float literal.
+    Float(f32),
+    /// Variable reference.
+    Var(String),
+    /// The thread id `$` (parallel sections only).
+    Tid,
+    /// Global-register read `gK`.
+    Global(usize),
+    /// Shared-memory integer load `mem[e]`.
+    Mem(Box<Expr>),
+    /// Shared-memory float load `fmem[e]`.
+    FMem(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Prefix-sum `ps(gK, e)`: atomically returns the old value of the
+    /// global register and adds `e` to it.
+    Ps(usize, Box<Expr>),
+    /// `sspawn(e)`: extend the current spawn by `e` threads; returns
+    /// the first new thread id (parallel sections only).
+    Sspawn(Box<Expr>),
+}
+
+/// A condition: comparison of two integer expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;` or `float x = e;`
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `x = e;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `mem[a] = e;` (integer) — or `fmem[a] = e;` with `float: true`.
+    Store {
+        /// True for `fmem`.
+        float: bool,
+        /// Address expression (word address).
+        addr: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `gK = e;` (serial sections only).
+    GlobalWrite {
+        /// Global register index.
+        index: usize,
+        /// New value.
+        value: Expr,
+    },
+    /// `if (c) {..} else {..}`.
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) {..}`.
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `spawn (n) {..}` — run the block as `n` parallel threads.
+    Spawn {
+        /// Thread count (evaluated serially).
+        count: Expr,
+        /// Parallel body.
+        body: Vec<Stmt>,
+    },
+    /// An expression evaluated for its side effect (`ps(...)`,
+    /// `sspawn(...)`), result discarded.
+    ExprStmt(Expr),
+}
+
+/// A whole program: the serial main body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramAst {
+    /// Top-level (serial) statements.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,699 @@
+//! Code generation: AST → `xmt_isa::Program`.
+//!
+//! Calling convention inside the single flat function:
+//!
+//! * integer locals live in `r16..r31`, float locals in `f16..f31`;
+//! * expression temporaries use `r1..r15` / `f1..f15` as a stack
+//!   (deeper nesting is a compile error, like a real register-pressure
+//!   limit);
+//! * serial locals live in the MTCU's registers and therefore are
+//!   **not visible** inside `spawn` blocks — pass values through the
+//!   broadcast global registers `g0..g15`, exactly as XMT programs do.
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, ProgramAst, Stmt, Ty};
+use std::collections::HashMap;
+use std::fmt;
+use xmt_isa::instr::BranchCond;
+use xmt_isa::reg::{fr, gr, ir, FReg, IReg};
+use xmt_isa::{Instr, Program, ProgramBuilder};
+
+/// First register index used for named locals.
+const LOCAL_BASE: usize = 16;
+/// Temporary registers `r1..=TEMP_TOP` / `f1..=TEMP_TOP`.
+const TEMP_TOP: usize = 15;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// Use of an undeclared variable.
+    UnknownVariable(String),
+    /// A variable declared twice.
+    Redeclaration(String),
+    /// A serial-scope variable referenced inside a `spawn` block
+    /// (thread register files are private; use `g0..g15`).
+    SerialVarInParallel(String),
+    /// Operand/являются type conflict.
+    TypeMismatch {
+        /// What was being compiled.
+        what: &'static str,
+    },
+    /// More than 16 locals of one type.
+    TooManyLocals,
+    /// Expression nesting exceeded the temporary-register stack.
+    ExprTooDeep,
+    /// `spawn` inside a `spawn` (use `sspawn`).
+    NestedSpawn,
+    /// `gK = …` inside a parallel section.
+    GlobalWriteInParallel,
+    /// `$` used outside a `spawn` block.
+    TidInSerial,
+    /// `sspawn` used outside a `spawn` block.
+    SspawnInSerial,
+    /// `%` or shift on floats, arithmetic on mixed types, etc.
+    BadFloatOp,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            CodegenError::Redeclaration(n) => write!(f, "variable `{n}` declared twice"),
+            CodegenError::SerialVarInParallel(n) => write!(
+                f,
+                "serial variable `{n}` is not visible inside spawn (pass it via g0..g15)"
+            ),
+            CodegenError::TypeMismatch { what } => write!(f, "type mismatch in {what}"),
+            CodegenError::TooManyLocals => write!(f, "more than 16 locals of one type"),
+            CodegenError::ExprTooDeep => write!(f, "expression too deeply nested"),
+            CodegenError::NestedSpawn => write!(f, "spawn inside spawn (use sspawn)"),
+            CodegenError::GlobalWriteInParallel => {
+                write!(f, "global registers are writable only in serial code")
+            }
+            CodegenError::TidInSerial => write!(f, "`$` is only defined inside spawn"),
+            CodegenError::SspawnInSerial => write!(f, "sspawn is only legal inside spawn"),
+            CodegenError::BadFloatOp => write!(f, "operation not defined on floats"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    I(IReg),
+    F(FReg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarInfo {
+    ty: Ty,
+    slot: Slot,
+    /// Declared inside the current spawn block?
+    parallel: bool,
+}
+
+struct Cg {
+    b: ProgramBuilder,
+    vars: HashMap<String, VarInfo>,
+    next_ilocal: usize,
+    next_flocal: usize,
+    itemp: usize,
+    ftemp: usize,
+    parallel: bool,
+}
+
+type R<T> = Result<T, CodegenError>;
+
+impl Cg {
+    fn alloc_itemp(&mut self) -> R<IReg> {
+        if self.itemp >= TEMP_TOP {
+            return Err(CodegenError::ExprTooDeep);
+        }
+        self.itemp += 1;
+        Ok(ir(self.itemp))
+    }
+
+    fn alloc_ftemp(&mut self) -> R<FReg> {
+        if self.ftemp >= TEMP_TOP {
+            return Err(CodegenError::ExprTooDeep);
+        }
+        self.ftemp += 1;
+        Ok(fr(self.ftemp))
+    }
+
+    fn free_itemp(&mut self) {
+        debug_assert!(self.itemp > 0);
+        self.itemp -= 1;
+    }
+
+    fn free_ftemp(&mut self) {
+        debug_assert!(self.ftemp > 0);
+        self.ftemp -= 1;
+    }
+
+    /// Static type of an expression.
+    fn type_of(&self, e: &Expr) -> R<Ty> {
+        Ok(match e {
+            Expr::Int(_) | Expr::Tid | Expr::Global(_) | Expr::Mem(_) | Expr::Ps(..)
+            | Expr::Sspawn(_) => Ty::Int,
+            Expr::Float(_) | Expr::FMem(_) => Ty::Float,
+            Expr::Var(n) => self.lookup(n)?.ty,
+            Expr::Neg(x) => self.type_of(x)?,
+            Expr::Bin(_, l, r) => {
+                let (tl, tr) = (self.type_of(l)?, self.type_of(r)?);
+                if tl != tr {
+                    return Err(CodegenError::TypeMismatch { what: "binary operator" });
+                }
+                tl
+            }
+        })
+    }
+
+    fn lookup(&self, name: &str) -> R<VarInfo> {
+        let v = self
+            .vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| CodegenError::UnknownVariable(name.to_string()))?;
+        if self.parallel && !v.parallel {
+            return Err(CodegenError::SerialVarInParallel(name.to_string()));
+        }
+        Ok(v)
+    }
+
+    /// Evaluate an integer expression into a fresh temporary.
+    fn eval_i(&mut self, e: &Expr) -> R<IReg> {
+        match e {
+            Expr::Int(v) => {
+                let t = self.alloc_itemp()?;
+                self.b.li(t, *v);
+                Ok(t)
+            }
+            Expr::Tid => {
+                if !self.parallel {
+                    return Err(CodegenError::TidInSerial);
+                }
+                let t = self.alloc_itemp()?;
+                self.b.tid(t);
+                Ok(t)
+            }
+            Expr::Global(k) => {
+                let t = self.alloc_itemp()?;
+                self.b.read_gr(t, gr(*k));
+                Ok(t)
+            }
+            Expr::Var(n) => {
+                let v = self.lookup(n)?;
+                let Slot::I(reg) = v.slot else {
+                    return Err(CodegenError::TypeMismatch { what: "integer variable" });
+                };
+                let t = self.alloc_itemp()?;
+                self.b.add(t, reg, ir(0));
+                Ok(t)
+            }
+            Expr::Mem(a) => {
+                let t = self.eval_i(a)?;
+                self.b.lw(t, t, 0);
+                Ok(t)
+            }
+            Expr::Ps(k, a) => {
+                let inc = self.eval_i(a)?;
+                // Reuse the operand temp for the result.
+                self.b.ps(inc, inc, gr(*k));
+                Ok(inc)
+            }
+            Expr::Sspawn(a) => {
+                if !self.parallel {
+                    return Err(CodegenError::SspawnInSerial);
+                }
+                let n = self.eval_i(a)?;
+                self.b.sspawn(n, n);
+                Ok(n)
+            }
+            Expr::Neg(x) => {
+                let t = self.eval_i(x)?;
+                self.b.sub(t, ir(0), t);
+                Ok(t)
+            }
+            Expr::Bin(op, l, r) => {
+                let lt = self.eval_i(l)?;
+                let rt = self.eval_i(r)?;
+                match op {
+                    BinOp::Add => self.b.add(lt, lt, rt),
+                    BinOp::Sub => self.b.sub(lt, lt, rt),
+                    BinOp::Mul => self.b.mul(lt, lt, rt),
+                    BinOp::Div => self.b.divu(lt, lt, rt),
+                    BinOp::Rem => self.b.remu(lt, lt, rt),
+                    BinOp::And => self.b.and(lt, lt, rt),
+                    BinOp::Or => self.b.or(lt, lt, rt),
+                    BinOp::Xor => self.b.xor(lt, lt, rt),
+                    BinOp::Shl => self.b.push(Instr::Alu {
+                        op: xmt_isa::AluOp::Sll,
+                        rd: lt,
+                        rs1: lt,
+                        rs2: rt,
+                    }),
+                    BinOp::Shr => self.b.push(Instr::Alu {
+                        op: xmt_isa::AluOp::Srl,
+                        rd: lt,
+                        rs1: lt,
+                        rs2: rt,
+                    }),
+                };
+                self.free_itemp();
+                Ok(lt)
+            }
+            Expr::Float(_) | Expr::FMem(_) => {
+                Err(CodegenError::TypeMismatch { what: "integer expression" })
+            }
+        }
+    }
+
+    /// Evaluate a float expression into a fresh FP temporary.
+    fn eval_f(&mut self, e: &Expr) -> R<FReg> {
+        match e {
+            Expr::Float(v) => {
+                let t = self.alloc_ftemp()?;
+                self.b.fli(t, *v);
+                Ok(t)
+            }
+            Expr::Var(n) => {
+                let v = self.lookup(n)?;
+                let Slot::F(reg) = v.slot else {
+                    return Err(CodegenError::TypeMismatch { what: "float variable" });
+                };
+                let t = self.alloc_ftemp()?;
+                self.b.fmov(t, reg);
+                Ok(t)
+            }
+            Expr::FMem(a) => {
+                let addr = self.eval_i(a)?;
+                let t = self.alloc_ftemp()?;
+                self.b.flw(t, addr, 0);
+                self.free_itemp();
+                Ok(t)
+            }
+            Expr::Neg(x) => {
+                let t = self.eval_f(x)?;
+                self.b.fneg(t, t);
+                Ok(t)
+            }
+            Expr::Bin(op, l, r) => {
+                let lt = self.eval_f(l)?;
+                let rt = self.eval_f(r)?;
+                match op {
+                    BinOp::Add => self.b.fadd(lt, lt, rt),
+                    BinOp::Sub => self.b.fsub(lt, lt, rt),
+                    BinOp::Mul => self.b.fmul(lt, lt, rt),
+                    BinOp::Div => self.b.fdiv(lt, lt, rt),
+                    _ => return Err(CodegenError::BadFloatOp),
+                };
+                self.free_ftemp();
+                Ok(lt)
+            }
+            _ => Err(CodegenError::TypeMismatch { what: "float expression" }),
+        }
+    }
+
+    /// Emit a branch to `target` taken when `cond` is FALSE.
+    fn branch_if_false(&mut self, cond: &Cond, target: xmt_isa::Label) -> R<()> {
+        if self.type_of(&cond.lhs)? != Ty::Int || self.type_of(&cond.rhs)? != Ty::Int {
+            return Err(CodegenError::TypeMismatch { what: "condition" });
+        }
+        let l = self.eval_i(&cond.lhs)?;
+        let r = self.eval_i(&cond.rhs)?;
+        // Map to the four hardware conditions, swapping operands where
+        // needed: branch fires when the source condition is false.
+        let (bc, a, b2) = match cond.op {
+            CmpOp::Eq => (BranchCond::Ne, l, r),
+            CmpOp::Ne => (BranchCond::Eq, l, r),
+            CmpOp::Lt => (BranchCond::Geu, l, r),
+            CmpOp::Ge => (BranchCond::Ltu, l, r),
+            CmpOp::Le => (BranchCond::Ltu, r, l),
+            CmpOp::Gt => (BranchCond::Geu, r, l),
+        };
+        match bc {
+            BranchCond::Eq => self.b.beq(a, b2, target),
+            BranchCond::Ne => self.b.bne(a, b2, target),
+            BranchCond::Ltu => self.b.bltu(a, b2, target),
+            BranchCond::Geu => self.b.bgeu(a, b2, target),
+        };
+        self.free_itemp();
+        self.free_itemp();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> R<()> {
+        match s {
+            Stmt::Decl { ty, name, init } => {
+                // Same-scope redeclaration is an error, but a spawn
+                // body may shadow a serial name (the serial variable is
+                // invisible to threads anyway).
+                if let Some(prev) = self.vars.get(name) {
+                    if prev.parallel == self.parallel {
+                        return Err(CodegenError::Redeclaration(name.clone()));
+                    }
+                }
+                if self.type_of(init)? != *ty {
+                    return Err(CodegenError::TypeMismatch { what: "initializer" });
+                }
+                let slot = match ty {
+                    Ty::Int => {
+                        if self.next_ilocal > 31 {
+                            return Err(CodegenError::TooManyLocals);
+                        }
+                        let reg = ir(self.next_ilocal);
+                        self.next_ilocal += 1;
+                        let t = self.eval_i(init)?;
+                        self.b.add(reg, t, ir(0));
+                        self.free_itemp();
+                        Slot::I(reg)
+                    }
+                    Ty::Float => {
+                        if self.next_flocal > 31 {
+                            return Err(CodegenError::TooManyLocals);
+                        }
+                        let reg = fr(self.next_flocal);
+                        self.next_flocal += 1;
+                        let t = self.eval_f(init)?;
+                        self.b.fmov(reg, t);
+                        self.free_ftemp();
+                        Slot::F(reg)
+                    }
+                };
+                self.vars.insert(
+                    name.clone(),
+                    VarInfo { ty: *ty, slot, parallel: self.parallel },
+                );
+            }
+            Stmt::Assign { name, value } => {
+                let v = self.lookup(name)?;
+                if self.type_of(value)? != v.ty {
+                    return Err(CodegenError::TypeMismatch { what: "assignment" });
+                }
+                match v.slot {
+                    Slot::I(reg) => {
+                        let t = self.eval_i(value)?;
+                        self.b.add(reg, t, ir(0));
+                        self.free_itemp();
+                    }
+                    Slot::F(reg) => {
+                        let t = self.eval_f(value)?;
+                        self.b.fmov(reg, t);
+                        self.free_ftemp();
+                    }
+                }
+            }
+            Stmt::Store { float, addr, value } => {
+                if self.type_of(addr)? != Ty::Int {
+                    return Err(CodegenError::TypeMismatch { what: "store address" });
+                }
+                let a = self.eval_i(addr)?;
+                if *float {
+                    if self.type_of(value)? != Ty::Float {
+                        return Err(CodegenError::TypeMismatch { what: "fmem store" });
+                    }
+                    let v = self.eval_f(value)?;
+                    self.b.fsw(v, a, 0);
+                    self.free_ftemp();
+                } else {
+                    if self.type_of(value)? != Ty::Int {
+                        return Err(CodegenError::TypeMismatch { what: "mem store" });
+                    }
+                    let v = self.eval_i(value)?;
+                    self.b.sw(v, a, 0);
+                    self.free_itemp();
+                }
+                self.free_itemp();
+            }
+            Stmt::GlobalWrite { index, value } => {
+                if self.parallel {
+                    return Err(CodegenError::GlobalWriteInParallel);
+                }
+                if self.type_of(value)? != Ty::Int {
+                    return Err(CodegenError::TypeMismatch { what: "global write" });
+                }
+                let t = self.eval_i(value)?;
+                self.b.write_gr(gr(*index), t);
+                self.free_itemp();
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let l_else = self.b.label();
+                let l_end = self.b.label();
+                self.branch_if_false(cond, l_else)?;
+                for st in then_body {
+                    self.stmt(st)?;
+                }
+                self.b.jump(l_end);
+                self.b.bind(l_else);
+                for st in else_body {
+                    self.stmt(st)?;
+                }
+                self.b.bind(l_end);
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.b.label();
+                let l_end = self.b.label();
+                self.b.bind(l_top);
+                self.branch_if_false(cond, l_end)?;
+                for st in body {
+                    self.stmt(st)?;
+                }
+                self.b.jump(l_top);
+                self.b.bind(l_end);
+            }
+            Stmt::Spawn { count, body } => {
+                if self.parallel {
+                    return Err(CodegenError::NestedSpawn);
+                }
+                if self.type_of(count)? != Ty::Int {
+                    return Err(CodegenError::TypeMismatch { what: "spawn count" });
+                }
+                let l_body = self.b.label();
+                let l_after = self.b.label();
+                let n = self.eval_i(count)?;
+                self.b.spawn(n, l_body);
+                self.free_itemp();
+                self.b.jump(l_after);
+                self.b.bind(l_body);
+                // Parallel scope: fresh local allocation; serial locals
+                // become invisible (private register files).
+                let saved_vars = self.vars.clone();
+                let (si, sf) = (self.next_ilocal, self.next_flocal);
+                self.next_ilocal = LOCAL_BASE;
+                self.next_flocal = LOCAL_BASE;
+                self.parallel = true;
+                for st in body {
+                    self.stmt(st)?;
+                }
+                self.b.join();
+                self.parallel = false;
+                self.vars = saved_vars;
+                self.next_ilocal = si;
+                self.next_flocal = sf;
+                self.b.bind(l_after);
+            }
+            Stmt::ExprStmt(e) => {
+                match self.type_of(e)? {
+                    Ty::Int => {
+                        self.eval_i(e)?;
+                        self.free_itemp();
+                    }
+                    Ty::Float => {
+                        self.eval_f(e)?;
+                        self.free_ftemp();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compile an AST to an executable program (ends with `halt`).
+pub fn compile_ast(ast: &ProgramAst) -> Result<Program, CodegenError> {
+    let mut cg = Cg {
+        b: ProgramBuilder::new(),
+        vars: HashMap::new(),
+        next_ilocal: LOCAL_BASE,
+        next_flocal: LOCAL_BASE,
+        itemp: 0,
+        ftemp: 0,
+        parallel: false,
+    };
+    for s in &ast.body {
+        cg.stmt(s)?;
+    }
+    cg.b.halt();
+    Ok(cg.b.build().expect("generated labels are always bound"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xmt_isa::Interp;
+
+    fn run(src: &str, mem_words: usize) -> Interp {
+        let prog = compile_ast(&parse(src).unwrap()).unwrap();
+        let mut m = Interp::new(mem_words);
+        m.run(&prog).unwrap();
+        m
+    }
+
+    fn compile_err(src: &str) -> CodegenError {
+        compile_ast(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn serial_arithmetic_and_store() {
+        let m = run("int x = 6 * 7; mem[10] = x + 1;", 32);
+        assert_eq!(m.mem[10], 43);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let m = run(
+            "int i = 0; int acc = 0;
+             while (i < 10) { acc = acc + i; i = i + 1; }
+             mem[0] = acc;",
+            8,
+        );
+        assert_eq!(m.mem[0], 45);
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let m = run(
+            "int x = 5;
+             if (x >= 5) { mem[0] = 1; } else { mem[0] = 2; }
+             if (x == 4) { mem[1] = 1; } else { mem[1] = 2; }
+             if (x <= 5) { mem[2] = 7; }
+             if (x > 5) { mem[3] = 9; }",
+            8,
+        );
+        assert_eq!(&m.mem[..4], &[1, 2, 7, 0]);
+    }
+
+    #[test]
+    fn spawn_writes_per_thread() {
+        let m = run("spawn (16) { mem[$] = $ * 3; }", 32);
+        for t in 0..16u32 {
+            assert_eq!(m.mem[t as usize], t * 3);
+        }
+    }
+
+    #[test]
+    fn globals_broadcast_into_spawn() {
+        let m = run(
+            "g0 = 100;
+             spawn (8) { mem[$] = g0 + $; }",
+            16,
+        );
+        for t in 0..8u32 {
+            assert_eq!(m.mem[t as usize], 100 + t);
+        }
+    }
+
+    #[test]
+    fn ps_hands_out_tickets() {
+        let m = run(
+            "spawn (8) { int ticket = ps(g1, 1); mem[ticket] = 1; }",
+            16,
+        );
+        assert_eq!(&m.mem[..8], &[1; 8]);
+        assert_eq!(m.gregs[1], 8);
+    }
+
+    #[test]
+    fn sspawn_extends_section() {
+        let m = run(
+            "spawn (1) {
+                 if ($ == 0) { int first = sspawn(3); mem[15] = first; }
+                 mem[$] = 1;
+             }",
+            32,
+        );
+        assert_eq!(&m.mem[..4], &[1, 1, 1, 1]);
+        assert_eq!(m.mem[15], 1, "first new tid");
+    }
+
+    #[test]
+    fn float_axpy() {
+        let prog = compile_ast(
+            &parse(
+                "spawn (4) {
+                     int a = $ * 2;
+                     float x = fmem[a] * 2.0 + fmem[a + 1];
+                     fmem[a + 8] = x;
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut m = Interp::new(32);
+        m.write_f32s(0, &[1.0, 0.5, 2.0, 0.25, 3.0, 0.125, 4.0, 0.0625]);
+        m.run(&prog).unwrap();
+        let out = m.read_f32s(8, 7);
+        assert_eq!(out[0], 2.5);
+        assert_eq!(out[2], 4.25);
+        assert_eq!(out[4], 6.125);
+        assert_eq!(out[6], 8.0625);
+    }
+
+    #[test]
+    fn serial_variable_invisible_in_spawn() {
+        let e = compile_err("int x = 1; spawn (2) { mem[$] = x; }");
+        assert_eq!(e, CodegenError::SerialVarInParallel("x".into()));
+    }
+
+    #[test]
+    fn tid_in_serial_rejected() {
+        assert_eq!(compile_err("mem[0] = $;"), CodegenError::TidInSerial);
+    }
+
+    #[test]
+    fn nested_spawn_rejected() {
+        assert_eq!(
+            compile_err("spawn (2) { spawn (2) { mem[0] = 1; } }"),
+            CodegenError::NestedSpawn
+        );
+    }
+
+    #[test]
+    fn global_write_in_parallel_rejected() {
+        assert_eq!(
+            compile_err("spawn (2) { g0 = 1; }"),
+            CodegenError::GlobalWriteInParallel
+        );
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(matches!(
+            compile_err("int x = 1.5;"),
+            CodegenError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            compile_err("float f = 2.0; mem[0] = f;"),
+            CodegenError::TypeMismatch { .. }
+        ));
+        assert_eq!(compile_err("float f = 2.0 % 1.0; "), CodegenError::BadFloatOp);
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        assert_eq!(
+            compile_err("int x = 1; int x = 2;"),
+            CodegenError::Redeclaration("x".into())
+        );
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        assert_eq!(compile_err("y = 3;"), CodegenError::UnknownVariable("y".into()));
+    }
+
+    #[test]
+    fn parallel_locals_reset_after_spawn() {
+        // The same name can be declared in two consecutive spawns.
+        let m = run(
+            "spawn (2) { int v = $; mem[$] = v; }
+             spawn (2) { int v = $ + 10; mem[$ + 4] = v; }",
+            16,
+        );
+        assert_eq!(m.mem[0], 0);
+        assert_eq!(m.mem[5], 11);
+    }
+
+    #[test]
+    fn deep_expression_fails_gracefully() {
+        // 20 nested additions exceed the 15-deep temp stack.
+        let mut src = String::from("int x = ");
+        src.push_str(&"(1 + ".repeat(20));
+        src.push('1');
+        src.push_str(&")".repeat(20));
+        src.push(';');
+        assert_eq!(compile_err(&src), CodegenError::ExprTooDeep);
+    }
+}

@@ -1,0 +1,316 @@
+//! Tokenizer for the miniature XMTC language.
+
+use std::fmt;
+
+/// A token with its source position (byte offset of its start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// Byte offset in the source (for error messages).
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal (decimal or 0x-hex).
+    Int(u32),
+    /// Floating-point literal.
+    Float(f32),
+    /// Identifier or keyword.
+    Ident(String),
+    /// The XMTC thread-id symbol `$`.
+    Dollar,
+    /// Punctuation / operators.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Dollar => write!(f, "$"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexError {
+    /// A character that starts no token.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// The offending text.
+        text: String,
+        /// Byte offset.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            LexError::BadNumber { text, pos } => {
+                write!(f, "malformed number {text:?} at byte {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string. `//` line comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let hex = c == '0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X');
+                if hex {
+                    i += 2;
+                    while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = u32::from_str_radix(text, 16).map_err(|_| LexError::BadNumber {
+                        text: src[start..i].to_string(),
+                        pos: start,
+                    })?;
+                    out.push(Token { kind: Tok::Int(v), pos: start });
+                } else {
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let is_float =
+                        i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit();
+                    if is_float {
+                        i += 1;
+                        while i < b.len() && (b[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                        let text = &src[start..i];
+                        let v: f32 = text.parse().map_err(|_| LexError::BadNumber {
+                            text: text.to_string(),
+                            pos: start,
+                        })?;
+                        out.push(Token { kind: Tok::Float(v), pos: start });
+                    } else {
+                        let text = &src[start..i];
+                        let v: u32 = text.parse().map_err(|_| LexError::BadNumber {
+                            text: text.to_string(),
+                            pos: start,
+                        })?;
+                        out.push(Token { kind: Tok::Int(v), pos: start });
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                out.push(Token { kind: Tok::Ident(src[start..i].to_string()), pos: start });
+            }
+            '$' => {
+                out.push(Token { kind: Tok::Dollar, pos: i });
+                i += 1;
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < b.len() && b[i] == a && b[i + 1] == b2;
+                let (tok, adv) = if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        other => return Err(LexError::UnexpectedChar { ch: other, pos: i }),
+                    };
+                    (t, 1)
+                };
+                out.push(Token { kind: tok, pos: i });
+                i += adv;
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, pos: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_idents_and_symbols() {
+        assert_eq!(
+            kinds("x = 42 + 0x1F;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Plus,
+                Tok::Int(31),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
+        assert_eq!(kinds("0.25"), vec![Tok::Float(0.25), Tok::Eof]);
+        // A lone dot is not a token.
+        assert!(matches!(lex("2 . 5"), Err(LexError::UnexpectedChar { ch: '.', .. })));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a << 1 >> 2 == 3 != 4 <= 5 >= 6 < 7 > 8"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Shl,
+                Tok::Int(1),
+                Tok::Shr,
+                Tok::Int(2),
+                Tok::Eq,
+                Tok::Int(3),
+                Tok::Ne,
+                Tok::Int(4),
+                Tok::Le,
+                Tok::Int(5),
+                Tok::Ge,
+                Tok::Int(6),
+                Tok::Lt,
+                Tok::Int(7),
+                Tok::Gt,
+                Tok::Int(8),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a // comment $ = ;\nb"), kinds("a\nb"));
+    }
+
+    #[test]
+    fn dollar_is_a_token() {
+        assert_eq!(kinds("mem[$]")[2], Tok::Dollar);
+    }
+
+    #[test]
+    fn bad_char_reported_with_position() {
+        assert_eq!(lex("a ~ b").unwrap_err(), LexError::UnexpectedChar { ch: '~', pos: 2 });
+    }
+}

@@ -1,0 +1,455 @@
+//! Recursive-descent parser for the miniature XMTC language.
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, ProgramAst, Stmt, Ty};
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+        /// Byte offset.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, pos } => {
+                write!(f, "expected {expected}, found {found} at byte {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, expected: &'static str) -> Result<T, ParseError> {
+        Err(ParseError::Unexpected {
+            found: format!("{}", self.peek()),
+            expected,
+            pos: self.pos(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok, what: &'static str) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err("identifier"),
+        }
+    }
+
+    /// Recognize `g0`..`g15` global-register names.
+    fn global_index(name: &str) -> Option<usize> {
+        let rest = name.strip_prefix('g')?;
+        let idx: usize = rest.parse().ok()?;
+        if rest.len() <= 2 && idx < xmt_isa::NUM_GREGS {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.xor_expr()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let r = self.xor_expr()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while *self.peek() == Tok::Caret {
+            self.bump();
+            let r = self.and_expr()?;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift_expr()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let r = self.shift_expr()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.add_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            let e = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Tok::Dollar => {
+                self.bump();
+                Ok(Expr::Tid)
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "mem" | "fmem" => {
+                        self.expect(Tok::LBracket, "`[`")?;
+                        let a = self.expr()?;
+                        self.expect(Tok::RBracket, "`]`")?;
+                        Ok(if name == "mem" {
+                            Expr::Mem(Box::new(a))
+                        } else {
+                            Expr::FMem(Box::new(a))
+                        })
+                    }
+                    "ps" => {
+                        self.expect(Tok::LParen, "`(`")?;
+                        let g = self.ident()?;
+                        let Some(idx) = Self::global_index(&g) else {
+                            return self.err("global register g0..g15");
+                        };
+                        self.expect(Tok::Comma, "`,`")?;
+                        let e = self.expr()?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        Ok(Expr::Ps(idx, Box::new(e)))
+                    }
+                    "sspawn" => {
+                        self.expect(Tok::LParen, "`(`")?;
+                        let e = self.expr()?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        Ok(Expr::Sspawn(Box::new(e)))
+                    }
+                    _ => {
+                        if let Some(idx) = Self::global_index(&name) {
+                            Ok(Expr::Global(idx))
+                        } else {
+                            Ok(Expr::Var(name))
+                        }
+                    }
+                }
+            }
+            _ => self.err("expression"),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return self.err("comparison operator"),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Cond { lhs, op, rhs })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => match name.as_str() {
+                "int" | "float" => {
+                    self.bump();
+                    let ty = if name == "int" { Ty::Int } else { Ty::Float };
+                    let var = self.ident()?;
+                    self.expect(Tok::Assign, "`=`")?;
+                    let init = self.expr()?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::Decl { ty, name: var, init })
+                }
+                "if" => {
+                    self.bump();
+                    self.expect(Tok::LParen, "`(`")?;
+                    let cond = self.cond()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    let then_body = self.block()?;
+                    let else_body = if *self.peek() == Tok::Ident("else".into()) {
+                        self.bump();
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If { cond, then_body, else_body })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(Tok::LParen, "`(`")?;
+                    let cond = self.cond()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    let body = self.block()?;
+                    Ok(Stmt::While { cond, body })
+                }
+                "spawn" => {
+                    self.bump();
+                    self.expect(Tok::LParen, "`(`")?;
+                    let count = self.expr()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    let body = self.block()?;
+                    Ok(Stmt::Spawn { count, body })
+                }
+                "mem" | "fmem" => {
+                    self.bump();
+                    self.expect(Tok::LBracket, "`[`")?;
+                    let addr = self.expr()?;
+                    self.expect(Tok::RBracket, "`]`")?;
+                    self.expect(Tok::Assign, "`=`")?;
+                    let value = self.expr()?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::Store { float: name == "fmem", addr, value })
+                }
+                "ps" | "sspawn" => {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::ExprStmt(e))
+                }
+                _ => {
+                    self.bump();
+                    if let Some(idx) = Self::global_index(&name) {
+                        self.expect(Tok::Assign, "`=`")?;
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::GlobalWrite { index: idx, value })
+                    } else {
+                        self.expect(Tok::Assign, "`=`")?;
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::Assign { name, value })
+                    }
+                }
+            },
+            _ => self.err("statement"),
+        }
+    }
+}
+
+/// Parse a full program.
+pub fn parse(src: &str) -> Result<ProgramAst, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut body = Vec::new();
+    while *p.peek() != Tok::Eof {
+        body.push(p.stmt()?);
+    }
+    Ok(ProgramAst { body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_assignments() {
+        let p = parse("int x = 1 + 2 * 3; x = x << 4;").unwrap();
+        assert_eq!(p.body.len(), 2);
+        match &p.body[0] {
+            Stmt::Decl { ty: Ty::Int, name, init } => {
+                assert_eq!(name, "x");
+                // 1 + (2*3) precedence.
+                assert!(matches!(init, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_spawn_with_tid_and_mem() {
+        let p = parse("spawn (64) { mem[$] = $ * 2; }").unwrap();
+        match &p.body[0] {
+            Stmt::Spawn { count, body } => {
+                assert_eq!(*count, Expr::Int(64));
+                assert!(matches!(&body[0], Stmt::Store { float: false, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse("int i = 0; while (i < 10) { if (i == 5) { i = 0; } else { i = i + 1; } }")
+            .unwrap();
+        assert!(matches!(&p.body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_ps_and_globals() {
+        let p = parse("g3 = 7; int t = ps(g3, 1) + g3;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::GlobalWrite { index: 3, .. }));
+        match &p.body[1] {
+            Stmt::Decl { init, .. } => {
+                assert!(matches!(init, Expr::Bin(BinOp::Add, l, r)
+                    if matches!(**l, Expr::Ps(3, _)) && matches!(**r, Expr::Global(3))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_float_and_fmem() {
+        let p = parse("float a = fmem[4] * 2.5; fmem[8] = a + a;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Decl { ty: Ty::Float, .. }));
+        assert!(matches!(&p.body[1], Stmt::Store { float: true, .. }));
+    }
+
+    #[test]
+    fn parses_sspawn_expression_statement() {
+        let p = parse("spawn (1) { sspawn(4); }").unwrap();
+        match &p.body[0] {
+            Stmt::Spawn { body, .. } => {
+                assert!(matches!(&body[0], Stmt::ExprStmt(Expr::Sspawn(_))))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let e = parse("int x = ;").unwrap_err();
+        match e {
+            ParseError::Unexpected { expected, pos, .. } => {
+                assert_eq!(expected, "expression");
+                assert_eq!(pos, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn g16_is_a_plain_identifier() {
+        // Only g0..g15 are global registers.
+        let p = parse("int g16 = 3;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Decl { name, .. } if name == "g16"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: plan and run a 1D FFT with `parafft`, then invert it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parafft::{Complex64, Fft, FftDirection, Normalization};
+
+fn main() {
+    let n = 4096;
+
+    // A two-tone signal: 50 Hz and 120 Hz (in bin units).
+    let signal: Vec<Complex64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let v = (std::f64::consts::TAU * 50.0 * t).sin()
+                + 0.5 * (std::f64::consts::TAU * 120.0 * t).sin();
+            Complex64::new(v, 0.0)
+        })
+        .collect();
+
+    // Plan once, transform in place.
+    let fft = Fft::new(n, FftDirection::Forward);
+    let mut spectrum = signal.clone();
+    fft.process(&mut spectrum);
+
+    // The two tones dominate the spectrum.
+    let mut mags: Vec<(usize, f64)> =
+        spectrum.iter().take(n / 2).map(|c| c.abs()).enumerate().collect();
+    mags.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("strongest bins: {} and {}", mags[0].0, mags[1].0);
+    assert_eq!(
+        {
+            let mut top = [mags[0].0, mags[1].0];
+            top.sort_unstable();
+            top
+        },
+        [50, 120]
+    );
+
+    // Inverse transform recovers the signal (1/N-normalized plan).
+    let ifft = Fft::with_normalization(n, FftDirection::Inverse, Normalization::Inverse);
+    let mut recovered = spectrum;
+    ifft.process(&mut recovered);
+    let err = signal
+        .iter()
+        .zip(&recovered)
+        .map(|(a, b)| a.dist(*b))
+        .fold(0.0f64, f64::max);
+    println!("roundtrip max error: {err:.3e}");
+    assert!(err < 1e-9);
+    println!("ok");
+}

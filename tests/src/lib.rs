@@ -1,0 +1,26 @@
+//! Integration-test crate: shared helpers for the cross-crate tests in
+//! `tests/`.
+
+use parafft::{Complex32, Complex64};
+
+/// Deterministic pseudo-random complex sample (f64).
+pub fn sample64(n: usize, seed: u64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let mut z = (i as u64 + seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let re = ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let im = ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            Complex64::new(re, im)
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random complex sample (f32).
+pub fn sample32(n: usize, seed: u64) -> Vec<Complex32> {
+    sample64(n, seed)
+        .into_iter()
+        .map(|c| Complex32::new(c.re as f32, c.im as f32))
+        .collect()
+}

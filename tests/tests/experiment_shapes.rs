@@ -1,0 +1,100 @@
+//! Cross-crate experiment-shape tests: the end-to-end claims of the
+//! paper's evaluation, checked against this workspace's models — the
+//! assertions EXPERIMENTS.md reports.
+
+use hpc_cluster::{model, paper_pinned, speedups, Cluster, Fft3dJob};
+use roofline::Platform;
+use xmt_fft::{project, table4_projection};
+use xmt_sim::{summarize, XmtConfig};
+
+#[test]
+fn table4_series_monotone_with_diminishing_x4_return() {
+    let g: Vec<f64> = table4_projection().iter().map(|p| p.gflops_convention).collect();
+    assert_eq!(g.len(), 5);
+    for w in g.windows(2) {
+        assert!(w[1] > w[0]);
+    }
+    // Headline observation (c): x4 gains much less than its 4× DRAM.
+    let x4_gain = g[4] / g[3];
+    assert!(x4_gain < 1.7, "x4/x2 = {x4_gain}");
+}
+
+#[test]
+fn table5_speedup_bands() {
+    let base = paper_pinned();
+    let g = table4_projection();
+    let s4k = speedups(g[0].gflops_convention, &base);
+    // Same regime as the paper's 31X / 2.8X.
+    assert!((20.0..45.0).contains(&s4k.vs_serial), "{}", s4k.vs_serial);
+    assert!((1.8..4.0).contains(&s4k.vs_parallel), "{}", s4k.vs_parallel);
+    let sx4 = speedups(g[4].gflops_convention, &base);
+    assert!(sx4.vs_serial > 1000.0, "largest config beats serial by 3 orders");
+}
+
+#[test]
+fn table6_single_chip_vs_cluster() {
+    // The paper's headline: one chip in the regime of a big cluster on
+    // FFT, at orders of magnitude less silicon and power.
+    let edison = Cluster::edison();
+    let efft = model(&edison, &Fft3dJob::edison_reference());
+    let xmt = XmtConfig::xmt_128k_x4();
+    let xfft = project(&xmt, &[512, 512, 512]);
+    let factor = xfft.gflops_convention / efft.gflops;
+    assert!(
+        (0.7..=2.5).contains(&factor),
+        "XMT/Edison FFT factor {factor:.2} out of the paper's regime"
+    );
+
+    let phys = summarize(&xmt);
+    let si_ratio = edison.silicon_cm2_at_22nm() / (phys.area_22nm_mm2 / 100.0);
+    assert!((600.0..1200.0).contains(&si_ratio), "silicon ratio {si_ratio:.0} (paper: 870)");
+    let pw_ratio = edison.peak_power_kw / (phys.peak_power_w / 1000.0);
+    assert!((250.0..500.0).contains(&pw_ratio), "power ratio {pw_ratio:.0} (paper: 375)");
+
+    // Utilization asymmetry: XMT uses tens of percent of its peak,
+    // Edison a fraction of one percent.
+    let xmt_pct = xfft.gflops_convention / xmt.peak_gflops() * 100.0;
+    assert!(xmt_pct > 15.0, "XMT at {xmt_pct:.0}% of peak (paper: 35%)");
+    assert!(efft.pct_of_machine_peak < 1.0, "Edison at {:.2}%", efft.pct_of_machine_peak);
+}
+
+#[test]
+fn roofline_consistency_between_crates() {
+    // The Fig. 3 points must lie under each configuration's roofline.
+    for cfg in XmtConfig::paper_configs() {
+        let p = project(&cfg, &[512, 512, 512]);
+        let plat = Platform::new(cfg.name, cfg.peak_gflops(), cfg.peak_dram_gbs());
+        for pt in [p.rotation_point(), p.non_rotation_point(), p.overall_point()] {
+            let roof = plat.attainable(pt.intensity);
+            assert!(
+                pt.gflops <= roof * 1.001,
+                "{}: point {:.0} above roof {:.0}",
+                cfg.name,
+                pt.gflops,
+                roof
+            );
+        }
+    }
+}
+
+#[test]
+fn fft_intensity_respects_hong_kung_bound() {
+    // Section VI-B: operational intensity of FFT ≤ 0.25·log2(S)
+    // FLOPs/byte for cache size S words. Our measured stage intensity
+    // (~0.5 FLOPs/byte) is far under the bound for any realistic S.
+    for cfg in XmtConfig::paper_configs() {
+        let p = project(&cfg, &[512, 512, 512]);
+        let s_words =
+            (cfg.memory_modules * cfg.cache.lines * cfg.cache.line_words) as f64;
+        let bound = roofline::RooflineSeries::fft_intensity_bound(s_words);
+        let oi = p.overall_point().intensity;
+        assert!(oi < bound, "{}: {oi} exceeds Hong-Kung bound {bound}", cfg.name);
+    }
+}
+
+#[test]
+fn edison_model_is_communication_bound() {
+    let t = model(&Cluster::edison(), &Fft3dJob::edison_reference());
+    assert!(t.comm_fraction > 0.5, "cluster FFT must be network-bound");
+    assert!(t.total_s > 0.0 && t.gflops > 0.0);
+}

