@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate + hygiene + simulator-throughput capture.
+#
+# Everything runs offline: dependencies resolve to the committed
+# Cargo.lock and the vendored shims under vendor/ (see README,
+# "Offline / vendored builds").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== simulator throughput -> BENCH_sim.json =="
+cargo run --release -p xmt-bench --bin bench_sim BENCH_sim.json
+
+echo "ci.sh: all green"

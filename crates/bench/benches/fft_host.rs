@@ -3,9 +3,7 @@
 //! These are the rates behind Table V's "host-measured" rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use parafft::{
-    Complex64, Fft, FftDirection, FftPlanner, Normalization, RealFft, TwiddleTable,
-};
+use parafft::{Complex64, Fft, FftDirection, FftPlanner, Normalization, RealFft, TwiddleTable};
 use std::hint::black_box;
 
 fn sample(n: usize) -> Vec<Complex64> {
@@ -42,7 +40,9 @@ fn bench_parallel(c: &mut Criterion) {
     g.bench_function("serial", |b| {
         b.iter(|| plan.process_with_scratch(black_box(&mut data), &mut scratch))
     });
-    g.bench_function("rayon", |b| b.iter(|| plan.process_par(black_box(&mut data))));
+    g.bench_function("rayon", |b| {
+        b.iter(|| plan.process_par(black_box(&mut data)))
+    });
     g.finish();
 }
 

@@ -104,5 +104,11 @@ fn bench_dit_vs_dif(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_3d, bench_2d_granularity, bench_traversal, bench_dit_vs_dif);
+criterion_group!(
+    benches,
+    bench_3d,
+    bench_2d_granularity,
+    bench_traversal,
+    bench_dit_vs_dif
+);
 criterion_main!(benches);

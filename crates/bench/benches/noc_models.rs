@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use xmt_noc::{
-    measure_saturation, ButterflyNetwork, MotNetwork, Pattern, Topology,
-};
+use xmt_noc::{measure_saturation, ButterflyNetwork, MotNetwork, Pattern, Topology};
 
 fn bench_mot_speed(c: &mut Criterion) {
     let mut g = c.benchmark_group("noc_mot_sim_speed");
@@ -73,5 +71,10 @@ fn bench_patterns(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mot_speed, bench_butterfly_speed, bench_patterns);
+criterion_group!(
+    benches,
+    bench_mot_speed,
+    bench_butterfly_speed,
+    bench_patterns
+);
 criterion_main!(benches);

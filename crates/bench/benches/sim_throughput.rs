@@ -1,0 +1,39 @@
+//! Simulator advance-engine throughput: per-cycle reference stepping
+//! vs the fast-forwarding and two-phase threaded engines, on the same
+//! golden workloads the cycle-count regression tests pin bit-for-bit.
+//! Throughput is reported in simulated cycles per host-second, so the
+//! engines are directly comparable per workload regime: the
+//! memory-latency-bound chase is where fast-forwarding must win big,
+//! the compute-saturated FPU chain is where it must at least not lose.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmt_fft::golden;
+use xmt_sim::Engine;
+
+fn bench_engines(c: &mut Criterion) {
+    let engines: &[(&str, Engine)] = &[
+        ("reference", Engine::Reference),
+        ("fast_forward", Engine::FastForward),
+        ("threaded", Engine::Threaded { threads: 0 }),
+    ];
+    for case in golden::cases() {
+        let simulated = case.run().stats.cycles;
+        let mut g = c.benchmark_group(format!("sim_throughput_{}", case.name));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(simulated));
+        for &(name, engine) in engines {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, &e| {
+                b.iter(|| {
+                    let mut m = case.machine();
+                    m.engine = e;
+                    black_box(m.run().unwrap())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

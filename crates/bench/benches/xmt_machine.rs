@@ -67,5 +67,11 @@ fn bench_projection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_interp, bench_machine, bench_machine_3d, bench_projection);
+criterion_group!(
+    benches,
+    bench_interp,
+    bench_machine,
+    bench_machine_3d,
+    bench_projection
+);
 criterion_main!(benches);

@@ -45,7 +45,10 @@ fn main() {
             format!("{:.2}x", first_cycles as f64 / cycles as f64),
         ]);
     }
-    println!("{}", render_table(&["replicas", "cycles", "speedup vs 1 copy"], &table));
+    println!(
+        "{}",
+        render_table(&["replicas", "cycles", "speedup vs 1 copy"], &table)
+    );
     let policy = xmt_fft::default_copies(cols, cfg.memory_modules);
     println!(
         "\npaper policy for this shape: {policy} replicas (one cache line per module);\n\

@@ -1,0 +1,81 @@
+//! Measure simulator engine throughput and emit `BENCH_sim.json`.
+//!
+//! Runs the golden workloads (the same ones the cycle-count regression
+//! tests pin bit-for-bit) under each advance engine and reports
+//! simulated-cycles per host-second plus the speedup of the optimized
+//! engines over per-cycle reference stepping. The acceptance bar for
+//! the fast-path engine rework: ≥3× on the memory-latency-bound chase,
+//! no regression on the compute-saturated FPU chain.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin bench_sim [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xmt_fft::golden;
+use xmt_sim::Engine;
+
+/// Median-of-N wall-clock seconds for one engine on one case.
+fn measure(case: &golden::GoldenCase, engine: Engine, reps: usize) -> (u64, f64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let mut m = case.machine();
+        m.engine = engine;
+        let t0 = Instant::now();
+        let s = m.run().expect("golden case must complete");
+        times.push(t0.elapsed().as_secs_f64());
+        cycles = s.stats.cycles;
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (cycles, times[reps / 2])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let engines: &[(&str, Engine)] = &[
+        ("reference", Engine::Reference),
+        ("fast_forward", Engine::FastForward),
+        ("threaded", Engine::Threaded { threads: 0 }),
+    ];
+    let reps = 5;
+
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n  \"workloads\": [\n");
+    let cases = golden::cases();
+    for (ci, case) in cases.iter().enumerate() {
+        let mut rows = Vec::new();
+        for &(name, engine) in engines {
+            let (cycles, secs) = measure(case, engine, reps);
+            let rate = cycles as f64 / secs;
+            eprintln!(
+                "{:16} {:13} {:>9} cycles  {:>10.0} cycles/s",
+                case.name, name, cycles, rate
+            );
+            rows.push((name, cycles, secs, rate));
+        }
+        let ref_rate = rows[0].3;
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", case.name).unwrap();
+        writeln!(json, "      \"simulated_cycles\": {},", rows[0].1).unwrap();
+        writeln!(json, "      \"engines\": {{").unwrap();
+        for (ei, (name, _, secs, rate)) in rows.iter().enumerate() {
+            let comma = if ei + 1 < rows.len() { "," } else { "" };
+            writeln!(
+                json,
+                "        \"{name}\": {{ \"host_seconds\": {secs:.6}, \
+                 \"cycles_per_second\": {rate:.0}, \"speedup_vs_reference\": {:.2} }}{comma}",
+                rate / ref_rate
+            )
+            .unwrap();
+        }
+        writeln!(json, "      }}").unwrap();
+        let comma = if ci + 1 < cases.len() { "," } else { "" };
+        writeln!(json, "    }}{comma}").unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {out_path}");
+}

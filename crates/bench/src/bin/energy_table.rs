@@ -28,7 +28,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "energy (J)", "data-movement", "avg power (W)", "GFLOPS/W", "time (ms)"],
+            &[
+                "config",
+                "energy (J)",
+                "data-movement",
+                "avg power (W)",
+                "GFLOPS/W",
+                "time (ms)"
+            ],
             &rows
         )
     );

@@ -54,7 +54,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "phase", "FLOPs/byte", "GFLOPS", "roofline", "% of roof"],
+            &[
+                "config",
+                "phase",
+                "FLOPs/byte",
+                "GFLOPS",
+                "roofline",
+                "% of roof"
+            ],
             &rows
         )
     );
@@ -65,8 +72,11 @@ fn main() {
     }
 
     // Publication-style SVG of all five rooflines with their points.
-    let all: Vec<roofline::RooflineSeries> =
-        cfgs.iter().zip(&projections).map(|(c, p)| series_for(p, c)).collect();
+    let all: Vec<roofline::RooflineSeries> = cfgs
+        .iter()
+        .zip(&projections)
+        .map(|(c, p)| series_for(p, c))
+        .collect();
     let svg = roofline::render_svg(&all, 900, 600);
     let svg_path = "fig3.svg";
     match std::fs::write(svg_path, &svg) {

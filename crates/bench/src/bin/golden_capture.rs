@@ -1,0 +1,30 @@
+//! Regenerate the golden cycle-count constants asserted by
+//! `tests/tests/golden_cycles.rs`.
+//!
+//! Runs the golden programs (radix-8 FFT kernel and the spawn/join +
+//! prefix-sum microbenchmarks) on the cycle simulator and prints the
+//! resulting `RunSummary` statistics as Rust constants. If a future
+//! change *intentionally* alters simulator timing, rerun this tool
+//! and paste its output into the test; any unintentional drift shows
+//! up as a golden-test failure instead.
+//!
+//! ```text
+//! cargo run --release -p xmt-bench --bin golden_capture
+//! ```
+
+use xmt_fft::golden;
+
+fn main() {
+    let mut out = String::new();
+    for case in golden::cases() {
+        let t0 = std::time::Instant::now();
+        let summary = case.run();
+        let host = t0.elapsed();
+        out.push_str(&golden::render_const(case.name, &summary));
+        eprintln!(
+            "{}: {} cycles simulated in {:?}",
+            case.name, summary.stats.cycles, host
+        );
+    }
+    println!("{out}");
+}

@@ -16,7 +16,10 @@ fn main() {
     let gtx = GpuSpec::gtx_280();
     let c2075 = GpuSpec::tesla_c2075();
     let n22 = 1usize << 22;
-    let fused_1d = GpuFftJob { passes: (n22 as f64).log2() / 9.0, ..GpuFftJob::d1(n22) };
+    let fused_1d = GpuFftJob {
+        passes: (n22 as f64).log2() / 9.0,
+        ..GpuFftJob::d1(n22)
+    };
     let edison = Cluster::edison();
     let e1024 = model(&edison, &Fft3dJob::edison_reference());
 
@@ -29,17 +32,26 @@ fn main() {
         vec![
             "GPGPU: GTX 280, 2D 1024x1024 [14]".into(),
             "~120 GFLOPS".into(),
-            format!("{:.0} GFLOPS", device_fft_gflops(&gtx, &GpuFftJob::d2(1024))),
+            format!(
+                "{:.0} GFLOPS",
+                device_fft_gflops(&gtx, &GpuFftJob::d2(1024))
+            ),
         ],
         vec![
             "Hybrid GPU-CPU: C2075, 2D [15]".into(),
             "43 GFLOPS".into(),
-            format!("{:.0} GFLOPS", hybrid_fft_gflops(&c2075, &GpuFftJob::d2(8192))),
+            format!(
+                "{:.0} GFLOPS",
+                hybrid_fft_gflops(&c2075, &GpuFftJob::d2(8192))
+            ),
         ],
         vec![
             "Hybrid GPU-CPU: C2075, 3D [15]".into(),
             "27 GFLOPS".into(),
-            format!("{:.0} GFLOPS", hybrid_fft_gflops(&c2075, &GpuFftJob::d3(512))),
+            format!(
+                "{:.0} GFLOPS",
+                hybrid_fft_gflops(&c2075, &GpuFftJob::d3(512))
+            ),
         ],
         vec![
             "MPI: Edison-class, 3D 1024^3, 32k cores [16]".into(),

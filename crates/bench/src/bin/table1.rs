@@ -8,7 +8,12 @@ use xmt_bench::render_table;
 
 fn main() {
     let rows = vec![
-        vec!["Graph Biconnectivity [8]", "33X", "4X (random graphs only)", ">>8"],
+        vec![
+            "Graph Biconnectivity [8]",
+            "33X",
+            "4X (random graphs only)",
+            ">>8",
+        ],
         vec!["Graph Triconnectivity [26]", "129X", "serial only", "129"],
         vec!["Max Flow [27]", "108X", "2.5X", "43"],
         vec!["BWT Compression [28]", "25X", "X/2.5 on GPU", "70"],
@@ -18,7 +23,10 @@ fn main() {
     .map(|r| r.into_iter().map(String::from).collect())
     .collect::<Vec<Vec<String>>>();
     println!("Table I — XMT speedups (pinned citation data; no experiment)\n");
-    println!("{}", render_table(&["Algorithm", "XMT", "GPU/CPU", "Factor"], &rows));
+    println!(
+        "{}",
+        render_table(&["Algorithm", "XMT", "GPU/CPU", "Factor"], &rows)
+    );
     println!(
         "Note: these results are published measurements from prior work, quoted by the\n\
          paper for motivation; they are reproduced here verbatim, not re-measured."

@@ -8,10 +8,13 @@ use xmt_sim::XmtConfig;
 
 fn main() {
     let cfgs = XmtConfig::paper_configs();
-    let headers: Vec<&str> =
-        std::iter::once("").chain(cfgs.iter().map(|c| c.name)).collect();
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(cfgs.iter().map(|c| c.name))
+        .collect();
     let row = |name: &str, f: &dyn Fn(&XmtConfig) -> String| -> Vec<String> {
-        std::iter::once(name.to_string()).chain(cfgs.iter().map(f)).collect()
+        std::iter::once(name.to_string())
+            .chain(cfgs.iter().map(f))
+            .collect()
     };
     let rows = vec![
         row("TCUs", &|c| c.tcus.to_string()),

@@ -12,8 +12,9 @@ const PAPER_PER_LAYER: [f64; 5] = [227.0, 276.0, 380.0, 365.0, 393.0];
 fn main() {
     let cfgs = XmtConfig::paper_configs();
     let sums: Vec<_> = cfgs.iter().map(summarize).collect();
-    let headers: Vec<&str> =
-        std::iter::once("").chain(cfgs.iter().map(|c| c.name)).collect();
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(cfgs.iter().map(|c| c.name))
+        .collect();
     let rows = vec![
         std::iter::once("Technology Node (nm)".to_string())
             .chain(sums.iter().map(|s| s.tech_nm.to_string()))
@@ -50,5 +51,8 @@ fn main() {
         .zip(PAPER_TOTALS)
         .map(|(s, p)| ((s.total_area_mm2 - p) / p).abs())
         .fold(0.0f64, f64::max);
-    println!("Largest total-area deviation from the paper: {:.1} %", worst * 100.0);
+    println!(
+        "Largest total-area deviation from the paper: {:.1} %",
+        worst * 100.0
+    );
 }

@@ -21,8 +21,9 @@ fn main() {
 
     println!("Table IV — FFT performance on XMT (3D FFT, 512^3, single precision)\n");
     let proj = table4_projection();
-    let headers: Vec<&str> =
-        std::iter::once("").chain(proj.iter().map(|p| p.config_name)).collect();
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(proj.iter().map(|p| p.config_name))
+        .collect();
     let rows = vec![
         std::iter::once("GFLOPS (model)".to_string())
             .chain(proj.iter().map(|p| format!("{:.0}", p.gflops_convention)))
@@ -45,7 +46,10 @@ fn main() {
             )
             .collect(),
         std::iter::once("rotation share of time".to_string())
-            .chain(proj.iter().map(|p| format!("{:.0}%", 100.0 * p.rotation_share())))
+            .chain(
+                proj.iter()
+                    .map(|p| format!("{:.0}%", 100.0 * p.rotation_share())),
+            )
             .collect(),
     ];
     println!("{}", render_table(&headers, &rows));
@@ -79,7 +83,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["scaled config", "shape", "sim cycles", "model cycles", "sim/model"],
+            &[
+                "scaled config",
+                "shape",
+                "sim cycles",
+                "model cycles",
+                "sim/model"
+            ],
             &rows
         )
     );

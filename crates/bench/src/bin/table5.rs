@@ -23,21 +23,24 @@ fn main() {
         "Baseline (paper-pinned): serial {:.2} GFLOPS, {} threads {:.1} GFLOPS\n",
         pinned.serial_gflops, pinned.parallel_threads, pinned.parallel_gflops
     );
-    let headers: Vec<&str> =
-        std::iter::once("").chain(proj.iter().map(|p| p.config_name)).collect();
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(proj.iter().map(|p| p.config_name))
+        .collect();
     let mut rows = vec![
         std::iter::once("vs serial (model)".to_string())
-            .chain(proj.iter().map(|p| {
-                format!("{:.0}X", speedups(p.gflops_convention, &pinned).vs_serial)
-            }))
+            .chain(
+                proj.iter()
+                    .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &pinned).vs_serial)),
+            )
             .collect::<Vec<_>>(),
         std::iter::once("vs serial (paper)".to_string())
             .chain(PAPER_VS_SERIAL.iter().map(|v| format!("{v:.0}X")))
             .collect(),
         std::iter::once("vs 32 threads (model)".to_string())
-            .chain(proj.iter().map(|p| {
-                format!("{:.1}X", speedups(p.gflops_convention, &pinned).vs_parallel)
-            }))
+            .chain(
+                proj.iter()
+                    .map(|p| format!("{:.1}X", speedups(p.gflops_convention, &pinned).vs_parallel)),
+            )
             .collect(),
         std::iter::once("vs 32 threads (paper)".to_string())
             .chain(PAPER_VS_32T.iter().map(|v| format!("{v:.1}X")))
@@ -53,16 +56,19 @@ fn main() {
         println!("(absolute host rates differ from a 2016 Xeon; ratios are what transfer)\n");
         rows.push(
             std::iter::once("vs host serial (measured)".to_string())
-                .chain(proj.iter().map(|p| {
-                    format!("{:.0}X", speedups(p.gflops_convention, &host).vs_serial)
-                }))
+                .chain(
+                    proj.iter()
+                        .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &host).vs_serial)),
+                )
                 .collect(),
         );
         rows.push(
             std::iter::once("vs host parallel (measured)".to_string())
-                .chain(proj.iter().map(|p| {
-                    format!("{:.1}X", speedups(p.gflops_convention, &host).vs_parallel)
-                }))
+                .chain(
+                    proj.iter().map(|p| {
+                        format!("{:.1}X", speedups(p.gflops_convention, &host).vs_parallel)
+                    }),
+                )
                 .collect(),
         );
     }

@@ -40,7 +40,11 @@ fn main() {
         ],
         vec![
             "# chips".into(),
-            format!("{} CPU + {} router", edison.cpu_chips(), edison.router_chips()),
+            format!(
+                "{} CPU + {} router",
+                edison.cpu_chips(),
+                edison.router_chips()
+            ),
             "1".into(),
         ],
         vec![
@@ -82,7 +86,11 @@ fn main() {
             format!("{:.2}%", efft.pct_of_machine_peak),
             format!("{:.0}%", xmt_pct),
         ],
-        vec!["% of peak FLOPS, paper".into(), "0.57%".into(), "35%".into()],
+        vec![
+            "% of peak FLOPS, paper".into(),
+            "0.57%".into(),
+            "35%".into(),
+        ],
     ];
     println!("{}", render_table(&["", "Edison", "XMT (128k x4)"], &rows));
 

@@ -32,10 +32,7 @@ pub struct Calibration {
 /// Run one calibration: `base` scaled to `clusters`, FFT of `dims`.
 pub fn calibrate(base: &XmtConfig, clusters: usize, dims: &[usize]) -> Calibration {
     let cfg = base.scaled_to(clusters);
-    let copies = xmt_fft::default_copies(
-        *dims.last().expect("non-empty dims"),
-        cfg.memory_modules,
-    );
+    let copies = xmt_fft::default_copies(*dims.last().expect("non-empty dims"), cfg.memory_modules);
     let plan = XmtFftPlan::build(dims, copies);
     let total: usize = dims.iter().product();
     let input: Vec<parafft::Complex32> = (0..total)

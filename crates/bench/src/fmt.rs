@@ -25,7 +25,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let total: usize = w.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');

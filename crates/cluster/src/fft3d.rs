@@ -26,7 +26,11 @@ impl Fft3dJob {
     /// The Table VI reference job: 1024³ double-complex on 32,768
     /// cores (1,366 nodes of 24 cores).
     pub fn edison_reference() -> Self {
-        Self { side: 1024, elem_bytes: 16, nodes_used: 32_768 / 24 }
+        Self {
+            side: 1024,
+            elem_bytes: 16,
+            nodes_used: 32_768 / 24,
+        }
     }
 
     /// The `total_elems` value.
@@ -132,16 +136,44 @@ mod tests {
         // messages are not modeled, but bandwidth terms scale with N
         // while flops grow N·log N — GFLOPS grows slowly with N).
         let e = Cluster::edison();
-        let small = model(&e, &Fft3dJob { side: 512, elem_bytes: 16, nodes_used: 1365 });
-        let big = model(&e, &Fft3dJob { side: 2048, elem_bytes: 16, nodes_used: 1365 });
+        let small = model(
+            &e,
+            &Fft3dJob {
+                side: 512,
+                elem_bytes: 16,
+                nodes_used: 1365,
+            },
+        );
+        let big = model(
+            &e,
+            &Fft3dJob {
+                side: 2048,
+                elem_bytes: 16,
+                nodes_used: 1365,
+            },
+        );
         assert!(big.gflops > small.gflops);
     }
 
     #[test]
     fn more_nodes_help_until_bisection() {
         let e = Cluster::edison();
-        let half = model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 680 });
-        let full = model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 1365 });
+        let half = model(
+            &e,
+            &Fft3dJob {
+                side: 1024,
+                elem_bytes: 16,
+                nodes_used: 680,
+            },
+        );
+        let full = model(
+            &e,
+            &Fft3dJob {
+                side: 1024,
+                elem_bytes: 16,
+                nodes_used: 1365,
+            },
+        );
         assert!(full.gflops > half.gflops);
     }
 
@@ -149,12 +181,23 @@ mod tests {
     #[should_panic(expected = "exceeds machine size")]
     fn oversubscription_rejected() {
         let e = Cluster::edison();
-        model(&e, &Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 100_000 });
+        model(
+            &e,
+            &Fft3dJob {
+                side: 1024,
+                elem_bytes: 16,
+                nodes_used: 100_000,
+            },
+        );
     }
 
     #[test]
     fn flops_convention() {
-        let j = Fft3dJob { side: 1024, elem_bytes: 16, nodes_used: 1 };
+        let j = Fft3dJob {
+            side: 1024,
+            elem_bytes: 16,
+            nodes_used: 1,
+        };
         assert!((j.flops() - 5.0 * 2f64.powi(30) * 30.0).abs() < 1.0);
     }
 }

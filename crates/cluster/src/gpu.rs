@@ -65,19 +65,31 @@ pub struct GpuFftJob {
 impl GpuFftJob {
     /// 1D transform of `n` points, radix-8 style (log₈ passes).
     pub fn d1(n: usize) -> Self {
-        Self { elems: n as f64, elem_bytes: 8.0, passes: (n as f64).log2() / 3.0 }
+        Self {
+            elems: n as f64,
+            elem_bytes: 8.0,
+            passes: (n as f64).log2() / 3.0,
+        }
     }
 
     /// 2D `n × n`, two dimension sweeps.
     pub fn d2(n: usize) -> Self {
         let total = (n * n) as f64;
-        Self { elems: total, elem_bytes: 8.0, passes: 2.0 * (n as f64).log2() / 3.0 }
+        Self {
+            elems: total,
+            elem_bytes: 8.0,
+            passes: 2.0 * (n as f64).log2() / 3.0,
+        }
     }
 
     /// 3D `n³`, three dimension sweeps.
     pub fn d3(n: usize) -> Self {
         let total = (n as f64).powi(3);
-        Self { elems: total, elem_bytes: 8.0, passes: 3.0 * (n as f64).log2() / 3.0 }
+        Self {
+            elems: total,
+            elem_bytes: 8.0,
+            passes: 3.0 * (n as f64).log2() / 3.0,
+        }
     }
 
     /// 5N·log₂N convention FLOPs.
@@ -114,7 +126,10 @@ mod tests {
         // Paper §I-A: "best result for a 2D FFT was around 120 GFLOPS
         // … with an input size of 1024×1024".
         let g = device_fft_gflops(&GpuSpec::gtx_280(), &GpuFftJob::d2(1024));
-        assert!((80.0..=180.0).contains(&g), "modeled {g:.0} vs published ~120");
+        assert!(
+            (80.0..=180.0).contains(&g),
+            "modeled {g:.0} vs published ~120"
+        );
     }
 
     #[test]
@@ -124,9 +139,15 @@ mod tests {
         // memory (4096-point tiles), so a 2^22-point FFT streams the
         // array ceil(22/9) ~ 2.4 times.
         let n = 1usize << 22;
-        let fused = GpuFftJob { passes: (n as f64).log2() / 9.0, ..GpuFftJob::d1(n) };
+        let fused = GpuFftJob {
+            passes: (n as f64).log2() / 9.0,
+            ..GpuFftJob::d1(n)
+        };
         let g = device_fft_gflops(&GpuSpec::gtx_280(), &fused);
-        assert!((200.0..=450.0).contains(&g), "modeled {g:.0} vs published ~300");
+        assert!(
+            (200.0..=450.0).contains(&g),
+            "modeled {g:.0} vs published ~300"
+        );
     }
 
     #[test]
@@ -134,9 +155,15 @@ mod tests {
         // Paper §I-A: hybrid library, "up to 43 GFLOPS for a 2D FFT and
         // up to 27 GFLOPS for a 3D FFT" — PCIe dominates.
         let g2 = hybrid_fft_gflops(&GpuSpec::tesla_c2075(), &GpuFftJob::d2(8192));
-        assert!((25.0..=70.0).contains(&g2), "2D modeled {g2:.0} vs published 43");
+        assert!(
+            (25.0..=70.0).contains(&g2),
+            "2D modeled {g2:.0} vs published 43"
+        );
         let g3 = hybrid_fft_gflops(&GpuSpec::tesla_c2075(), &GpuFftJob::d3(512));
-        assert!((15.0..=55.0).contains(&g3), "3D modeled {g3:.0} vs published 27");
+        assert!(
+            (15.0..=55.0).contains(&g3),
+            "3D modeled {g3:.0} vs published 27"
+        );
         // And the hybrid penalty is real: device-resident is much faster.
         let dev = device_fft_gflops(&GpuSpec::tesla_c2075(), &GpuFftJob::d2(8192));
         assert!(dev > 2.0 * g2);

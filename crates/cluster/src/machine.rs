@@ -100,8 +100,16 @@ mod tests {
     fn edison_silicon_matches_table6() {
         let e = Cluster::edison();
         // Table VI: 56,177 cm² of 22 nm CPU + 4,072 cm² of 40 nm router.
-        assert!((e.cpu_silicon_cm2() - 56_177.0).abs() < 100.0, "{}", e.cpu_silicon_cm2());
-        assert!((e.router_silicon_cm2() - 4_072.0).abs() < 10.0, "{}", e.router_silicon_cm2());
+        assert!(
+            (e.cpu_silicon_cm2() - 56_177.0).abs() < 100.0,
+            "{}",
+            e.cpu_silicon_cm2()
+        );
+        assert!(
+            (e.router_silicon_cm2() - 4_072.0).abs() < 10.0,
+            "{}",
+            e.router_silicon_cm2()
+        );
         // Normalized: 57,409 cm² at 22 nm.
         assert!(
             (e.silicon_cm2_at_22nm() - 57_409.0).abs() < 150.0,

@@ -60,7 +60,7 @@ impl NodeSpec {
             cores_per_socket: 12,
             clock_ghz: 2.4,
             flops_per_core_cycle: 8.0,
-            mem_gbs: 103.0, // 4ch DDR3-1600 per socket
+            mem_gbs: 103.0,   // 4ch DDR3-1600 per socket
             inject_gbs: 10.0, // Aries NIC, ~10 GB/s usable per direction
             llc_mb_per_socket: 30.0,
             die_mm2: 541.0,
@@ -79,7 +79,7 @@ impl NodeSpec {
             cores_per_socket: 8,
             clock_ghz: 3.3,
             flops_per_core_cycle: 8.0,
-            mem_gbs: 102.4, // 4ch DDR3-1600 per socket
+            mem_gbs: 102.4,  // 4ch DDR3-1600 per socket
             inject_gbs: 0.0, // standalone host
             llc_mb_per_socket: 20.0,
             die_mm2: 416.0,

@@ -232,20 +232,25 @@ mod tests {
                 let (a, c) = em.dft2(inputs[0], inputs[1]);
                 vec![a, c]
             }
-            4 => em.dft4([inputs[0], inputs[1], inputs[2], inputs[3]], dir).to_vec(),
+            4 => em
+                .dft4([inputs[0], inputs[1], inputs[2], inputs[3]], dir)
+                .to_vec(),
             8 => {
                 let h = em.alloc();
                 em.b.fli(h, std::f64::consts::FRAC_1_SQRT_2 as f32);
                 let arr = [
-                    inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
-                    inputs[6], inputs[7],
+                    inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5], inputs[6],
+                    inputs[7],
                 ];
                 em.dft8(arr, h, dir).to_vec()
             }
             _ => panic!("unsupported codelet size"),
         };
         let peak = em.peak();
-        assert!(peak <= 32, "codelet peak register use {peak} exceeds the file");
+        assert!(
+            peak <= 32,
+            "codelet peak register use {peak} exceeds the file"
+        );
         for (k, c) in outputs.iter().enumerate() {
             em.b.fsw(c.0, ir(2), (2 * k) as u32);
             em.b.fsw(c.1, ir(2), (2 * k + 1) as u32);
@@ -257,11 +262,16 @@ mod tests {
     fn run_codelet(n: usize, dir: FftDirection, input: &[Complex64]) -> Vec<Complex64> {
         let prog = codelet_program(n, dir);
         let mut m = Interp::new(256);
-        let flat: Vec<f32> = input.iter().flat_map(|c| [c.re as f32, c.im as f32]).collect();
+        let flat: Vec<f32> = input
+            .iter()
+            .flat_map(|c| [c.re as f32, c.im as f32])
+            .collect();
         m.write_f32s(0, &flat);
         m.run(&prog).unwrap();
         let out = m.read_f32s(100, 2 * n);
-        out.chunks(2).map(|p| Complex64::new(p[0] as f64, p[1] as f64)).collect()
+        out.chunks(2)
+            .map(|p| Complex64::new(p[0] as f64, p[1] as f64))
+            .collect()
     }
 
     fn sample(n: usize) -> Vec<Complex64> {
@@ -306,7 +316,7 @@ mod tests {
         let mut em = CodeletEmitter::new(&mut b);
         let inputs: Vec<Cx> = (0..8).map(|_| em.alloc_cx()).collect();
         let h = em.alloc();
-        em.b.fli(h, 0.7071);
+        em.b.fli(h, core::f32::consts::FRAC_1_SQRT_2);
         let arr: [Cx; 8] = inputs.try_into().unwrap();
         let out = em.dft8(arr, h, FftDirection::Forward);
         let peak = em.peak();

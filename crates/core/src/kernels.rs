@@ -100,7 +100,11 @@ fn log2(x: u32) -> u32 {
 /// Emit the parallel-section body for `k` at `entry` (the label must
 /// already be bound by the caller). Ends with `join`.
 pub fn emit_stage_body(b: &mut ProgramBuilder, k: &StageKernel) {
-    assert!(matches!(k.radix, 2 | 4 | 8), "unsupported radix {}", k.radix);
+    assert!(
+        matches!(k.radix, 2 | 4 | 8),
+        "unsupported radix {}",
+        k.radix
+    );
     assert!(k.n.is_power_of_two() && k.n >= k.radix);
     assert_eq!(
         (k.n / k.radix) % k.s,
@@ -352,7 +356,10 @@ mod tests {
     }
 
     fn write_complex(m: &mut Interp, addr: usize, data: &[Complex64]) {
-        let flat: Vec<f32> = data.iter().flat_map(|c| [c.re as f32, c.im as f32]).collect();
+        let flat: Vec<f32> = data
+            .iter()
+            .flat_map(|c| [c.re as f32, c.im as f32])
+            .collect();
         m.write_f32s(addr, &flat);
     }
 
@@ -371,13 +378,7 @@ mod tests {
     }
 
     /// Reference Stockham stage on the host.
-    fn host_stage(
-        src: &[Complex64],
-        n: usize,
-        rows: usize,
-        r: usize,
-        s: usize,
-    ) -> Vec<Complex64> {
+    fn host_stage(src: &[Complex64], n: usize, rows: usize, r: usize, s: usize) -> Vec<Complex64> {
         let tw = TwiddleTable::<f64>::new(n, FftDirection::Forward);
         let mut out = vec![Complex64::new(0.0, 0.0); src.len()];
         let m = n / r / s;
@@ -396,8 +397,7 @@ mod tests {
                     let ys = parafft::dft::dft(&xs, FftDirection::Forward);
                     for (kk, y) in ys.iter().enumerate() {
                         let w = tw.get(s * p * kk % n);
-                        out[base + q + s * (r * p + kk)] =
-                            if kk == 0 { *y } else { *y * w };
+                        out[base + q + s * (r * p + kk)] = if kk == 0 { *y } else { *y * w };
                     }
                 }
             }
@@ -413,7 +413,11 @@ mod tests {
 
     fn check_stage(n: u32, rows: u32, radix: u32, s: u32) {
         let total = (n * rows) as usize;
-        let tw = TwiddleLayout { base: (4 * total) as u32, copies: 4, n };
+        let tw = TwiddleLayout {
+            base: (4 * total) as u32,
+            copies: 4,
+            n,
+        };
         let k = StageKernel {
             n,
             rows,
@@ -432,7 +436,13 @@ mod tests {
         write_twiddles(&mut m, &tw);
         m.run(&prog).unwrap();
         let got = read_complex(&m, 2 * total, total);
-        let want = host_stage(&input, n as usize, rows as usize, radix as usize, s as usize);
+        let want = host_stage(
+            &input,
+            n as usize,
+            rows as usize,
+            radix as usize,
+            s as usize,
+        );
         assert!(
             max_error(&got, &want) < 1e-4,
             "stage n={n} rows={rows} r={radix} s={s}: err {}",
@@ -475,7 +485,11 @@ mod tests {
         // output must land transposed.
         let (rows, n, r) = (4u32, 8u32, 8u32);
         let total = (rows * n) as usize;
-        let tw = TwiddleLayout { base: (4 * total) as u32, copies: 2, n };
+        let tw = TwiddleLayout {
+            base: (4 * total) as u32,
+            copies: 2,
+            n,
+        };
         let k = StageKernel {
             n,
             rows,
@@ -484,7 +498,11 @@ mod tests {
             src: 0,
             dst: (2 * total) as u32,
             tw,
-            rotation: Some(Rotation { d0: rows, d1: 1, d2: n }),
+            rotation: Some(Rotation {
+                d0: rows,
+                d1: 1,
+                d2: n,
+            }),
             direction: FftDirection::Forward,
         };
         let prog = one_stage_program(&k);
@@ -496,14 +514,24 @@ mod tests {
         let got = read_complex(&m, 2 * total, total);
 
         // Expected: stage output transposed (col-major of the stage result).
-        let staged = host_stage(&input, n as usize, rows as usize, r as usize, (n / r) as usize);
+        let staged = host_stage(
+            &input,
+            n as usize,
+            rows as usize,
+            r as usize,
+            (n / r) as usize,
+        );
         let mut want = vec![Complex64::new(0.0, 0.0); total];
         for row in 0..rows as usize {
             for col in 0..n as usize {
                 want[col * rows as usize + row] = staged[row * n as usize + col];
             }
         }
-        assert!(max_error(&got, &want) < 1e-4, "err {}", max_error(&got, &want));
+        assert!(
+            max_error(&got, &want) < 1e-4,
+            "err {}",
+            max_error(&got, &want)
+        );
     }
 
     #[test]
@@ -515,7 +543,11 @@ mod tests {
             s: 1,
             src: 0,
             dst: 0,
-            tw: TwiddleLayout { base: 0, copies: 1, n: 512 },
+            tw: TwiddleLayout {
+                base: 0,
+                copies: 1,
+                n: 512,
+            },
             rotation: None,
             direction: FftDirection::Forward,
         };
@@ -534,8 +566,16 @@ mod tests {
             s: 1,
             src: 0,
             dst: 0,
-            tw: TwiddleLayout { base: 0, copies: 1, n: 64 },
-            rotation: Some(Rotation { d0: 1, d1: 1, d2: 64 }),
+            tw: TwiddleLayout {
+                base: 0,
+                copies: 1,
+                n: 64,
+            },
+            rotation: Some(Rotation {
+                d0: 1,
+                d1: 1,
+                d2: 64,
+            }),
             direction: FftDirection::Forward,
         };
         emit_stage_body(&mut b, &k);

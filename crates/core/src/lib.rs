@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 pub mod codelet;
+pub mod golden;
 pub mod kernels;
 pub mod phases;
 pub mod plan;

@@ -78,7 +78,11 @@ pub fn stage_demands(dims: &[usize], cfg: &XmtConfig) -> Vec<PhaseDemand> {
                 icn_words_up: icn_up,
                 icn_words_down: icn_down,
                 dram_bytes,
-                traffic: if is_rotation { TrafficClass::Rotation } else { TrafficClass::Hashed },
+                traffic: if is_rotation {
+                    TrafficClass::Rotation
+                } else {
+                    TrafficClass::Hashed
+                },
                 parallelism: codelets,
             });
         }
@@ -127,8 +131,16 @@ impl FftProjection {
             }
         }
         RooflinePoint {
-            intensity: if bytes > 0.0 { flops / bytes } else { f64::INFINITY },
-            gflops: if cycles > 0.0 { flops * 3.3 / cycles } else { 0.0 },
+            intensity: if bytes > 0.0 {
+                flops / bytes
+            } else {
+                f64::INFINITY
+            },
+            gflops: if cycles > 0.0 {
+                flops * 3.3 / cycles
+            } else {
+                0.0
+            },
         }
     }
 
@@ -147,8 +159,16 @@ impl FftProjection {
         let flops: f64 = self.demands.iter().map(|d| d.flops).sum();
         let bytes: f64 = self.demands.iter().map(|d| d.dram_bytes).sum();
         RooflinePoint {
-            intensity: if bytes > 0.0 { flops / bytes } else { f64::INFINITY },
-            gflops: if self.total_cycles > 0.0 { flops * 3.3 / self.total_cycles } else { 0.0 },
+            intensity: if bytes > 0.0 {
+                flops / bytes
+            } else {
+                f64::INFINITY
+            },
+            gflops: if self.total_cycles > 0.0 {
+                flops * 3.3 / self.total_cycles
+            } else {
+                0.0
+            },
         }
     }
 
@@ -270,18 +290,28 @@ mod tests {
         // 64k: rotation begins to fall below the slope (ICN-bound,
         // marginally); 128k x2: more pronounced.
         let p64 = project(&XmtConfig::xmt_64k(), &[512, 512, 512]);
-        let rot64: Vec<&xmt_sim::PhaseTime> =
-            p64.phases.iter().filter(|t| t.name.contains("rotation")).collect();
+        let rot64: Vec<&xmt_sim::PhaseTime> = p64
+            .phases
+            .iter()
+            .filter(|t| t.name.contains("rotation"))
+            .collect();
         for t in &rot64 {
             assert_eq!(t.bound, Bottleneck::Icn, "64k rotation must be ICN-bound");
             let gap = t.icn_cycles / t.dram_cycles;
             assert!((1.0..1.5).contains(&gap), "64k gap should be mild: {gap}");
         }
         let px2 = project(&XmtConfig::xmt_128k_x2(), &[512, 512, 512]);
-        let rot_x2 = px2.phases.iter().find(|t| t.name.contains("rotation")).unwrap();
+        let rot_x2 = px2
+            .phases
+            .iter()
+            .find(|t| t.name.contains("rotation"))
+            .unwrap();
         let gap_x2 = rot_x2.icn_cycles / rot_x2.dram_cycles;
         let gap_64 = rot64[0].icn_cycles / rot64[0].dram_cycles;
-        assert!(gap_x2 > gap_64 * 1.5, "x2 gap {gap_x2} must exceed 64k gap {gap_64}");
+        assert!(
+            gap_x2 > gap_64 * 1.5,
+            "x2 gap {gap_x2} must exceed 64k gap {gap_64}"
+        );
     }
 
     #[test]
@@ -289,7 +319,11 @@ mod tests {
         // 128k x4: even non-rotation stages are ICN-bound; extra DRAM
         // bandwidth no longer helps much.
         let p = project(&XmtConfig::xmt_128k_x4(), &[512, 512, 512]);
-        let non_rot = p.phases.iter().find(|t| !t.name.contains("rotation")).unwrap();
+        let non_rot = p
+            .phases
+            .iter()
+            .find(|t| !t.name.contains("rotation"))
+            .unwrap();
         assert_eq!(non_rot.bound, Bottleneck::Icn);
     }
 

@@ -57,7 +57,10 @@ pub struct XmtFftPlan {
 /// Factor a power-of-two row length into kernel radices, preferring 8
 /// (the paper's choice), with a 4 or 2 tail.
 pub fn radix_schedule(n: usize) -> Vec<u32> {
-    assert!(n.is_power_of_two() && n >= 2, "row length must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "row length must be a power of two >= 2"
+    );
     let mut bits = n.trailing_zeros();
     let mut out = Vec::new();
     while bits >= 3 {
@@ -121,7 +124,13 @@ impl XmtFftPlan {
         forced_radix: Option<u32>,
         fuse_rotation: bool,
     ) -> Self {
-        Self::build_full(dims, copies, forced_radix, fuse_rotation, FftDirection::Forward)
+        Self::build_full(
+            dims,
+            copies,
+            forced_radix,
+            fuse_rotation,
+            FftDirection::Forward,
+        )
     }
 
     /// Fully general builder: ablation knobs plus transform direction.
@@ -135,7 +144,10 @@ impl XmtFftPlan {
         assert!((1..=3).contains(&dims.len()), "1–3 dimensions supported");
         assert!(copies.is_power_of_two());
         for &d in dims {
-            assert!(d.is_power_of_two() && d >= 2, "each dimension must be a power of two >= 2");
+            assert!(
+                d.is_power_of_two() && d >= 2,
+                "each dimension must be a power of two >= 2"
+            );
         }
         let total: usize = dims.iter().product();
         let a_base = 0u32;
@@ -153,7 +165,11 @@ impl XmtFftPlan {
         let mut tw_cursor = (4 * total) as u32;
         let mut twiddles: Vec<(usize, TwiddleLayout, Vec<f32>)> = Vec::new();
         for &n in &distinct {
-            let layout = TwiddleLayout { base: tw_cursor, copies, n: n as u32 };
+            let layout = TwiddleLayout {
+                base: tw_cursor,
+                copies,
+                n: n as u32,
+            };
             let table = TwiddleTable::<f32>::new(n, direction);
             let rep = ReplicatedTwiddles::new(&table, copies as usize);
             let flat: Vec<f32> = rep.flat().iter().flat_map(|c| [c.re, c.im]).collect();
@@ -161,7 +177,11 @@ impl XmtFftPlan {
             twiddles.push((n, layout, flat));
         }
         let tw_for = |n: usize| -> TwiddleLayout {
-            twiddles.iter().find(|(tn, _, _)| *tn == n).expect("table exists").1
+            twiddles
+                .iter()
+                .find(|(tn, _, _)| *tn == n)
+                .expect("table exists")
+                .1
         };
 
         // Per-pass geometry: (rows, row length, rotation descriptor).
@@ -172,8 +192,24 @@ impl XmtFftPlan {
             2 => {
                 let (r, c) = (dims[0], dims[1]);
                 vec![
-                    (r, c, Some(Rotation { d0: r as u32, d1: 1, d2: c as u32 })),
-                    (c, r, Some(Rotation { d0: c as u32, d1: 1, d2: r as u32 })),
+                    (
+                        r,
+                        c,
+                        Some(Rotation {
+                            d0: r as u32,
+                            d1: 1,
+                            d2: c as u32,
+                        }),
+                    ),
+                    (
+                        c,
+                        r,
+                        Some(Rotation {
+                            d0: c as u32,
+                            d1: 1,
+                            d2: r as u32,
+                        }),
+                    ),
                 ]
             }
             _ => {
@@ -182,26 +218,35 @@ impl XmtFftPlan {
                     (
                         d0 * d1,
                         d2,
-                        Some(Rotation { d0: d0 as u32, d1: d1 as u32, d2: d2 as u32 }),
+                        Some(Rotation {
+                            d0: d0 as u32,
+                            d1: d1 as u32,
+                            d2: d2 as u32,
+                        }),
                     ),
                     (
                         d1 * d2,
                         d0,
-                        Some(Rotation { d0: d1 as u32, d1: d2 as u32, d2: d0 as u32 }),
+                        Some(Rotation {
+                            d0: d1 as u32,
+                            d1: d2 as u32,
+                            d2: d0 as u32,
+                        }),
                     ),
                     (
                         d2 * d0,
                         d1,
-                        Some(Rotation { d0: d2 as u32, d1: d0 as u32, d2: d1 as u32 }),
+                        Some(Rotation {
+                            d0: d2 as u32,
+                            d1: d0 as u32,
+                            d2: d1 as u32,
+                        }),
                     ),
                 ]
             }
         };
         // The row_lengths vec above must match the pass order.
-        debug_assert_eq!(
-            row_lengths,
-            passes.iter().map(|p| p.1).collect::<Vec<_>>()
-        );
+        debug_assert_eq!(row_lengths, passes.iter().map(|p| p.1).collect::<Vec<_>>());
         row_lengths.clear();
 
         // Build the stage list, ping-ponging between A and B.
@@ -219,8 +264,16 @@ impl XmtFftPlan {
             let last_idx = sched.len() - 1;
             let mut s = 1u32;
             for (idx, &r) in sched.iter().enumerate() {
-                let (src, dst) = if in_a { (a_base, b_base) } else { (b_base, a_base) };
-                let rotation = if idx == last_idx && fuse_rotation { rot } else { None };
+                let (src, dst) = if in_a {
+                    (a_base, b_base)
+                } else {
+                    (b_base, a_base)
+                };
+                let rotation = if idx == last_idx && fuse_rotation {
+                    rot
+                } else {
+                    None
+                };
                 let kernel = StageKernel {
                     n: n as u32,
                     rows: rows as u32,
@@ -246,7 +299,11 @@ impl XmtFftPlan {
             // for multidimensional transforms).
             if !fuse_rotation {
                 if let Some(rotation) = rot {
-                    let (src, dst) = if in_a { (a_base, b_base) } else { (b_base, a_base) };
+                    let (src, dst) = if in_a {
+                        (a_base, b_base)
+                    } else {
+                        (b_base, a_base)
+                    };
                     let kernel = StageKernel {
                         n: n as u32,
                         rows: rows as u32,
@@ -313,7 +370,11 @@ impl XmtFftPlan {
 
     /// Flatten complex input to the f32 image loaded at `a_base`.
     pub fn input_image(&self, input: &[Complex32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.total, "input length must match the plan shape");
+        assert_eq!(
+            input.len(),
+            self.total,
+            "input length must match the plan shape"
+        );
         input.iter().flat_map(|c| [c.re, c.im]).collect()
     }
 
@@ -361,14 +422,20 @@ mod tests {
         assert_eq!(plan.stages[0].kernel.src, plan.a_base);
         assert_eq!(plan.stages[1].kernel.src, plan.b_base);
         assert_eq!(plan.result_base, plan.b_base);
-        assert!(!plan.stages.iter().any(|m| m.is_rotation), "1D has no rotation");
+        assert!(
+            !plan.stages.iter().any(|m| m.is_rotation),
+            "1D has no rotation"
+        );
     }
 
     #[test]
     fn rotation_on_last_stage_of_each_pass() {
         let plan = XmtFftPlan::new_3d((8, 8, 8), 2);
         assert_eq!(plan.num_stages(), 3);
-        assert!(plan.stages.iter().all(|m| m.is_rotation), "8 = one radix-8 stage per dim");
+        assert!(
+            plan.stages.iter().all(|m| m.is_rotation),
+            "8 = one radix-8 stage per dim"
+        );
         let plan2 = XmtFftPlan::new_3d((64, 64, 64), 2);
         let rots: Vec<bool> = plan2.stages.iter().map(|m| m.is_rotation).collect();
         assert_eq!(rots, vec![false, true, false, true, false, true]);
@@ -439,7 +506,11 @@ mod tests {
         let copies: Vec<bool> = unfused.stages.iter().map(|m| m.is_copy).collect();
         assert_eq!(copies.iter().filter(|&&c| c).count(), 2);
         // Copy passes come after each dimension's FFT stages.
-        assert!(unfused.stages.iter().filter(|m| m.is_copy).all(|m| m.is_rotation));
+        assert!(unfused
+            .stages
+            .iter()
+            .filter(|m| m.is_copy)
+            .all(|m| m.is_rotation));
         // FFT stages of the unfused plan carry no rotation.
         assert!(unfused
             .stages

@@ -37,7 +37,10 @@ pub fn run_on_interp(plan: &XmtFftPlan, input: &[Complex32]) -> Result<InterpRun
     }
     let stats = m.run(&plan.program)?;
     let flat = m.read_f32s(plan.result_base as usize, 2 * plan.total);
-    Ok(InterpRun { output: unpack(&flat), stats })
+    Ok(InterpRun {
+        output: unpack(&flat),
+        stats,
+    })
 }
 
 /// Run on the cycle simulator with the given machine configuration.
@@ -53,7 +56,10 @@ pub fn run_on_machine(
     }
     let summary = m.run()?;
     let flat = m.read_f32s(plan.result_base as usize, 2 * plan.total);
-    Ok(MachineRun { output: unpack(&flat), summary })
+    Ok(MachineRun {
+        output: unpack(&flat),
+        summary,
+    })
 }
 
 /// Host-reference forward transform of the same shape (single
@@ -63,12 +69,8 @@ pub fn host_reference(plan: &XmtFftPlan, input: &[Complex32]) -> Vec<Complex32> 
     match plan.dims.len() {
         1 => parafft::Fft::<f32>::new(plan.dims[0], parafft::FftDirection::Forward)
             .process(&mut data),
-        2 => parafft::Fft2d::<f32>::new(
-            plan.dims[0],
-            plan.dims[1],
-            parafft::FftDirection::Forward,
-        )
-        .process(&mut data),
+        2 => parafft::Fft2d::<f32>::new(plan.dims[0], plan.dims[1], parafft::FftDirection::Forward)
+            .process(&mut data),
         _ => parafft::Fft3d::<f32>::new(
             (plan.dims[0], plan.dims[1], plan.dims[2]),
             parafft::FftDirection::Forward,
@@ -102,9 +104,7 @@ mod tests {
 
     fn sample(n: usize) -> Vec<Complex32> {
         (0..n)
-            .map(|i| {
-                Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos() * 0.5 - 0.1)
-            })
+            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos() * 0.5 - 0.1))
             .collect()
     }
 

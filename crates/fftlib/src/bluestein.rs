@@ -57,9 +57,24 @@ impl<T: Float> Bluestein<T> {
             }
         }
         let mut scratch = vec![Complex::zero(); m];
-        fft_stockham(&mut kernel, &mut scratch, &stages, FftDirection::Forward, &tw_fwd);
+        fft_stockham(
+            &mut kernel,
+            &mut scratch,
+            &stages,
+            FftDirection::Forward,
+            &tw_fwd,
+        );
 
-        Self { n, direction, m, stages, tw_fwd, tw_inv, chirp, kernel_hat: kernel }
+        Self {
+            n,
+            direction,
+            m,
+            stages,
+            tw_fwd,
+            tw_inv,
+            chirp,
+            kernel_hat: kernel,
+        }
     }
 
     /// Transform size.
@@ -91,11 +106,23 @@ impl<T: Float> Bluestein<T> {
         for j in 0..self.n {
             a[j] = data[j] * self.chirp[j];
         }
-        fft_stockham(&mut a, &mut scratch, &self.stages, FftDirection::Forward, &self.tw_fwd);
+        fft_stockham(
+            &mut a,
+            &mut scratch,
+            &self.stages,
+            FftDirection::Forward,
+            &self.tw_fwd,
+        );
         for (av, kv) in a.iter_mut().zip(&self.kernel_hat) {
-            *av = *av * *kv;
+            *av *= *kv;
         }
-        fft_stockham(&mut a, &mut scratch, &self.stages, FftDirection::Inverse, &self.tw_inv);
+        fft_stockham(
+            &mut a,
+            &mut scratch,
+            &self.stages,
+            FftDirection::Inverse,
+            &self.tw_inv,
+        );
         let inv_m = T::ONE / T::from_usize(m);
         for k in 0..self.n {
             data[k] = a[k].scale(inv_m) * self.chirp[k];

@@ -288,7 +288,7 @@ mod tests {
         let a = Complex64::new(2.0, 3.0);
         let b = Complex64::new(-1.0, 5.0);
         let p = a * b;
-        assert_eq!(p, Complex64::new(2.0 * -1.0 - 3.0 * 5.0, 2.0 * 5.0 + 3.0 * -1.0));
+        assert_eq!(p, Complex64::new(-2.0 - 3.0 * 5.0, 2.0 * 5.0 - 3.0));
     }
 
     #[test]

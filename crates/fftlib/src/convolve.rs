@@ -21,7 +21,7 @@ pub fn circular_convolve<T: Float>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Co
     fwd.process(&mut fa);
     fwd.process(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     inv.process(&mut fa);
     fa
@@ -90,7 +90,10 @@ mod tests {
             let b = sample(lb, 1.0);
             let got = linear_convolve(&a, &b);
             let want = direct_convolve(&a, &b);
-            assert!(max_error(&got, &want) < 1e-8 * (la + lb) as f64, "{la}x{lb}");
+            assert!(
+                max_error(&got, &want) < 1e-8 * (la + lb) as f64,
+                "{la}x{lb}"
+            );
         }
     }
 

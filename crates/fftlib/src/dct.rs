@@ -28,7 +28,9 @@ impl<T: Float> Dct<T> {
             n,
             fft_fwd: Fft::new(n, FftDirection::Forward),
             fft_inv: Fft::new(n, FftDirection::Inverse),
-            phase: (0..n).map(|k| Complex::cis(-step * T::from_usize(k))).collect(),
+            phase: (0..n)
+                .map(|k| Complex::cis(-step * T::from_usize(k)))
+                .collect(),
         }
     }
 
@@ -102,8 +104,7 @@ pub fn dct2_naive<T: Float>(input: &[T]) -> Vec<T> {
         .map(|k| {
             let mut acc = T::ZERO;
             for (j, &x) in input.iter().enumerate() {
-                let angle =
-                    pi_over_n * (T::from_usize(j) + T::from_f64(0.5)) * T::from_usize(k);
+                let angle = pi_over_n * (T::from_usize(j) + T::from_f64(0.5)) * T::from_usize(k);
                 acc += x * angle.cos();
             }
             acc
@@ -116,7 +117,9 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.1).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.1).cos())
+            .collect()
     }
 
     #[test]
@@ -150,8 +153,8 @@ mod tests {
             .map(|j| {
                 let mut acc = x[0] / 2.0;
                 for (k, &v) in x.iter().enumerate().skip(1) {
-                    acc += v
-                        * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
+                    acc +=
+                        v * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
                 }
                 acc
             })

@@ -129,8 +129,12 @@ mod tests {
 
     #[test]
     fn dft_linear() {
-        let x: Vec<Complex64> = (0..9).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
-        let y: Vec<Complex64> = (0..9).map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.5)).collect();
+        let x: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let y: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.5))
+            .collect();
         let sum: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
         let lhs = dft_forward(&sum);
         let rhs: Vec<Complex64> = dft_forward(&x)

@@ -39,7 +39,10 @@ pub fn stage_actual_flops(n: u64, r: u64) -> u64 {
 /// Actual operation count of a full 1D mixed-radix FFT with the given
 /// stage list.
 pub fn fft_actual_flops(n: u64, stages: &[usize]) -> u64 {
-    stages.iter().map(|&r| stage_actual_flops(n, r as u64)).sum()
+    stages
+        .iter()
+        .map(|&r| stage_actual_flops(n, r as u64))
+        .sum()
 }
 
 /// GFLOPS given a flop count and elapsed seconds.

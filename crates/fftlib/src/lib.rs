@@ -60,19 +60,19 @@ pub mod radix2;
 pub mod realfft;
 pub mod recursive;
 pub mod spectrum;
-pub mod stream;
 pub mod stockham;
+pub mod stream;
 pub mod twiddle;
 pub mod window;
 
 pub use complex::{Complex, Complex32, Complex64, Float};
+pub use dct::Dct;
 pub use nd::{Fft2d, Fft3d, Granularity};
 pub use plan::{fft, ifft, Algorithm, Fft, FftPlanner, Normalization};
-pub use dct::Dct;
-pub use stream::OverlapSave;
 pub use realfft::RealFft;
-pub use window::Window;
+pub use stream::OverlapSave;
 pub use twiddle::{ReplicatedTwiddles, TwiddleTable};
+pub use window::Window;
 
 /// Transform direction. Forward uses the `e^{-i2πkn/N}` kernel of
 /// Eq. (1) of the paper; inverse conjugates it.

@@ -78,7 +78,13 @@ impl<T: Float> Fft2d<T> {
         fft_rows(data, self.cols, &self.row_plan, parallel, granularity);
         crate::permute::transpose_into(data, self.rows, self.cols, &mut rotated);
         // Pass 2: rows of length `rows` (the original columns).
-        fft_rows(&mut rotated, self.rows, &self.col_plan, parallel, granularity);
+        fft_rows(
+            &mut rotated,
+            self.rows,
+            &self.col_plan,
+            parallel,
+            granularity,
+        );
         crate::permute::transpose_into(&rotated, self.cols, self.rows, data);
     }
 }
@@ -96,7 +102,10 @@ impl<T: Float> Fft3d<T> {
     /// Construct a new instance.
     pub fn new(shape: (usize, usize, usize), direction: FftDirection) -> Self {
         let (d0, d1, d2) = shape;
-        assert!(d0 > 0 && d1 > 0 && d2 > 0, "3D shape must be non-degenerate");
+        assert!(
+            d0 > 0 && d1 > 0 && d2 > 0,
+            "3D shape must be non-degenerate"
+        );
         let mut planner = FftPlanner::new();
         Self {
             shape,
@@ -264,8 +273,7 @@ mod tests {
         // axis 1
         for i0 in 0..d0 {
             for i2 in 0..d2 {
-                let col: Vec<Complex64> =
-                    (0..d1).map(|i1| out[(i0 * d1 + i1) * d2 + i2]).collect();
+                let col: Vec<Complex64> = (0..d1).map(|i1| out[(i0 * d1 + i1) * d2 + i2]).collect();
                 let t = dft(&col, FftDirection::Forward);
                 for i1 in 0..d1 {
                     out[(i0 * d1 + i1) * d2 + i2] = t[i1];
@@ -275,8 +283,7 @@ mod tests {
         // axis 0
         for i1 in 0..d1 {
             for i2 in 0..d2 {
-                let col: Vec<Complex64> =
-                    (0..d0).map(|i0| out[(i0 * d1 + i1) * d2 + i2]).collect();
+                let col: Vec<Complex64> = (0..d0).map(|i0| out[(i0 * d1 + i1) * d2 + i2]).collect();
                 let t = dft(&col, FftDirection::Forward);
                 for i0 in 0..d0 {
                     out[(i0 * d1 + i1) * d2 + i2] = t[i0];

@@ -35,7 +35,10 @@ pub fn bit_reverse_permute<T>(data: &mut [T]) {
     if n <= 2 {
         return;
     }
-    assert!(n.is_power_of_two(), "bit reversal needs power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bit reversal needs power-of-two length"
+    );
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = bit_reverse(i, bits);
@@ -71,7 +74,7 @@ pub fn exact_log(n: usize, r: usize) -> Option<u32> {
     let mut v = n;
     let mut k = 0;
     while v > 1 {
-        if v % r != 0 {
+        if !v.is_multiple_of(r) {
             return None;
         }
         v /= r;
@@ -115,11 +118,7 @@ pub fn transpose_square<T>(data: &mut [T], n: usize) {
 /// three times returns to the original layout, which is how the paper's
 /// 3D FFT applies the same contiguous row-FFT kernel to each dimension
 /// in turn (footnote 2: for 2D this degenerates to a transpose).
-pub fn rotate3d_into<T: Copy>(
-    src: &[T],
-    (d0, d1, d2): (usize, usize, usize),
-    dst: &mut [T],
-) {
+pub fn rotate3d_into<T: Copy>(src: &[T], (d0, d1, d2): (usize, usize, usize), dst: &mut [T]) {
     assert_eq!(src.len(), d0 * d1 * d2, "src shape mismatch");
     assert_eq!(dst.len(), d0 * d1 * d2, "dst shape mismatch");
     for i0 in 0..d0 {

@@ -120,9 +120,7 @@ impl<T: Float> Fft<T> {
         let s = match (self.normalization, self.direction) {
             (Normalization::None, _) => return,
             (Normalization::Inverse, FftDirection::Forward) => return,
-            (Normalization::Inverse, FftDirection::Inverse) => {
-                T::ONE / T::from_usize(self.n)
-            }
+            (Normalization::Inverse, FftDirection::Inverse) => T::ONE / T::from_usize(self.n),
             (Normalization::Unitary, _) => T::ONE / T::from_usize(self.n).sqrt(),
         };
         for v in data {
@@ -143,10 +141,19 @@ impl<T: Float> Fft<T> {
         match self.algorithm {
             Algorithm::Stockham => {
                 let tw = self.tw.as_ref().expect("stockham plan has twiddles");
-                fft_stockham(data, &mut scratch[..self.n], &self.stages, self.direction, tw);
+                fft_stockham(
+                    data,
+                    &mut scratch[..self.n],
+                    &self.stages,
+                    self.direction,
+                    tw,
+                );
             }
             Algorithm::Bluestein => {
-                self.bluestein.as_ref().expect("bluestein plan").process(data);
+                self.bluestein
+                    .as_ref()
+                    .expect("bluestein plan")
+                    .process(data);
             }
         }
         self.normalize(data);
@@ -178,7 +185,9 @@ pub struct FftPlanner<T> {
 impl<T: Float> FftPlanner<T> {
     /// Construct a new instance.
     pub fn new() -> Self {
-        Self { cache: HashMap::new() }
+        Self {
+            cache: HashMap::new(),
+        }
     }
 
     /// Get or create a plan.
@@ -226,10 +235,22 @@ mod tests {
 
     #[test]
     fn plan_selects_algorithm_by_smoothness() {
-        assert_eq!(Fft::<f64>::new(512, FftDirection::Forward).algorithm(), Algorithm::Stockham);
-        assert_eq!(Fft::<f64>::new(360, FftDirection::Forward).algorithm(), Algorithm::Stockham);
-        assert_eq!(Fft::<f64>::new(17, FftDirection::Forward).algorithm(), Algorithm::Bluestein);
-        assert_eq!(Fft::<f64>::new(34, FftDirection::Forward).algorithm(), Algorithm::Bluestein);
+        assert_eq!(
+            Fft::<f64>::new(512, FftDirection::Forward).algorithm(),
+            Algorithm::Stockham
+        );
+        assert_eq!(
+            Fft::<f64>::new(360, FftDirection::Forward).algorithm(),
+            Algorithm::Stockham
+        );
+        assert_eq!(
+            Fft::<f64>::new(17, FftDirection::Forward).algorithm(),
+            Algorithm::Bluestein
+        );
+        assert_eq!(
+            Fft::<f64>::new(34, FftDirection::Forward).algorithm(),
+            Algorithm::Bluestein
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use crate::twiddle::TwiddleTable;
 use crate::FftDirection;
 
 fn check<T: Float>(data: &[Complex<T>], tw: &TwiddleTable<T>, dir: FftDirection) {
-    assert!(data.len().is_power_of_two(), "radix-2 driver needs power-of-two length");
+    assert!(
+        data.len().is_power_of_two(),
+        "radix-2 driver needs power-of-two length"
+    );
     assert_eq!(tw.len(), data.len(), "twiddle table must match data length");
     assert_eq!(tw.direction(), dir, "twiddle table direction mismatch");
 }
@@ -92,14 +95,8 @@ pub fn fft_dif2_scrambled<T: Float>(
 /// fine→coarse (2, 4, 8, …, N) while DIF goes coarse→fine (N, …, 4, 2).
 pub fn twiddle_order(n: usize, dif: bool) -> Vec<usize> {
     assert!(n.is_power_of_two() && n >= 2);
-    let mut orders: Vec<usize> = std::iter::successors(Some(2usize), |&l| {
-        if l < n {
-            Some(l * 2)
-        } else {
-            None
-        }
-    })
-    .collect();
+    let mut orders: Vec<usize> =
+        std::iter::successors(Some(2usize), |&l| if l < n { Some(l * 2) } else { None }).collect();
     if dif {
         orders.reverse();
     }

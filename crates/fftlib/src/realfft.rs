@@ -20,12 +20,19 @@ pub struct RealFft<T> {
 impl<T: Float> RealFft<T> {
     /// Construct a new instance.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "real FFT requires even length >= 2");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "real FFT requires even length >= 2"
+        );
         let step = T::TAU / T::from_usize(n);
         let twiddles = (0..=n / 2)
             .map(|k| Complex::cis(-step * T::from_usize(k)))
             .collect();
-        Self { n, half_plan: Fft::new(n / 2, FftDirection::Forward), twiddles }
+        Self {
+            n,
+            half_plan: Fft::new(n / 2, FftDirection::Forward),
+            twiddles,
+        }
     }
 
     /// Input length.
@@ -48,7 +55,11 @@ impl<T: Float> RealFft<T> {
     /// are the conjugate mirror `X[n-k] = conj(X[k])`.
     pub fn process(&self, input: &[T], output: &mut [Complex<T>]) {
         assert_eq!(input.len(), self.n, "input length must match plan");
-        assert_eq!(output.len(), self.output_len(), "output must hold n/2+1 bins");
+        assert_eq!(
+            output.len(),
+            self.output_len(),
+            "output must hold n/2+1 bins"
+        );
         let h = self.n / 2;
         // Pack x[2j] + i·x[2j+1].
         let mut z: Vec<Complex<T>> = (0..h)
@@ -94,7 +105,9 @@ mod tests {
     use crate::Complex64;
 
     fn real_sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.41).sin() + 0.3 * (i as f64 * 1.9).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.41).sin() + 0.3 * (i as f64 * 1.9).cos())
+            .collect()
     }
 
     #[test]

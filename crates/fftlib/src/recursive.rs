@@ -26,7 +26,10 @@ pub fn fft_recursive<T: Float>(
     tw: &TwiddleTable<T>,
 ) {
     let n = input.len();
-    assert!(n.is_power_of_two() || n == 1, "recursive driver needs power-of-two length");
+    assert!(
+        n.is_power_of_two() || n == 1,
+        "recursive driver needs power-of-two length"
+    );
     assert_eq!(output.len(), n);
     assert_eq!(tw.len(), n, "twiddle table must match data length");
     assert_eq!(tw.direction(), dir);
@@ -108,7 +111,16 @@ fn hybrid_rec<T: Float>(
     {
         let (even_out, odd_out) = output.split_at_mut(half);
         hybrid_rec(input, stride * 2, even_out, dir, tw, half, cutoff, scratch);
-        hybrid_rec(&input[stride..], stride * 2, odd_out, dir, tw, half, cutoff, scratch);
+        hybrid_rec(
+            &input[stride..],
+            stride * 2,
+            odd_out,
+            dir,
+            tw,
+            half,
+            cutoff,
+            scratch,
+        );
     }
     let step = tw.len() / n;
     for k in 0..half {

@@ -103,12 +103,18 @@ mod tests {
         let (n, sr) = (1024, 48_000.0);
         assert_eq!(bin_frequency(0, n, sr), 0.0);
         assert!((bin_frequency(512, n, sr) - 24_000.0).abs() < 1e-9);
-        assert!(bin_frequency(1023, n, sr) < 0.0, "top bins are negative freq");
+        assert!(
+            bin_frequency(1023, n, sr) < 0.0,
+            "top bins are negative freq"
+        );
         for f in [100.0, 440.0, 12_345.0] {
             let k = frequency_bin(f, n, sr);
             assert!((bin_frequency(k, n, sr) - f).abs() <= sr / n as f64 / 2.0 + 1e-9);
         }
-        assert_eq!(frequency_bin(-100.0, n, sr), frequency_bin(sr - 100.0, n, sr));
+        assert_eq!(
+            frequency_bin(-100.0, n, sr),
+            frequency_bin(sr - 100.0, n, sr)
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn plan_stages(n: usize) -> Option<Vec<usize>> {
         _ => {}
     }
     for p in [3usize, 5, 7, 11, 13] {
-        while m % p == 0 {
+        while m.is_multiple_of(p) {
             stages.push(p);
             m /= p;
         }
@@ -189,7 +189,9 @@ fn roots_for<T: Float>(r: usize, dir: FftDirection) -> Vec<Complex<T>> {
         FftDirection::Inverse => T::ONE,
     };
     let step = T::TAU / T::from_usize(r);
-    (0..r).map(|j| Complex::cis(sign * step * T::from_usize(j))).collect()
+    (0..r)
+        .map(|j| Complex::cis(sign * step * T::from_usize(j)))
+        .collect()
 }
 
 /// Run a full Stockham FFT over `data` using `scratch` as the ping-pong
@@ -237,14 +239,18 @@ fn run<T: Float>(
     if n <= 1 {
         return;
     }
-    debug_assert!(stages.iter().all(|&r| r >= 2 && r <= MAX_RADIX));
+    debug_assert!(stages.iter().all(|&r| (2..=MAX_RADIX).contains(&r)));
 
     let mut sub = n;
     let mut s = 1usize;
     // Ping-pong between data and scratch; track where the live copy is.
     let mut in_data = true;
     for &r in stages {
-        let roots = if matches!(r, 2 | 4 | 8) { Vec::new() } else { roots_for(r, dir) };
+        let roots = if matches!(r, 2 | 4 | 8) {
+            Vec::new()
+        } else {
+            roots_for(r, dir)
+        };
         let (src, dst): (&[Complex<T>], &mut [Complex<T>]) = if in_data {
             (&*data, &mut *scratch)
         } else {

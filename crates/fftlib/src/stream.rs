@@ -75,7 +75,7 @@ impl<T: Float> OverlapSave<T> {
         let mut buf = self.history.clone();
         self.fwd.process(&mut buf);
         for (b, k) in buf.iter_mut().zip(&self.kernel_hat) {
-            *b = *b * *k;
+            *b *= *k;
         }
         self.inv.process(&mut buf);
         out.extend_from_slice(&buf[self.kernel_len - 1..]);

@@ -38,7 +38,11 @@ impl<T: Float> TwiddleTable<T> {
         let factors = (0..n)
             .map(|k| Complex::cis(sign * step * T::from_usize(k)))
             .collect();
-        Self { n, direction, factors }
+        Self {
+            n,
+            direction,
+            factors,
+        }
     }
 
     /// Transform size this table was built for.
@@ -72,7 +76,7 @@ impl<T: Float> TwiddleTable<T> {
     /// stage of a decimation-in-frequency FFT (Section IV-A).
     #[inline(always)]
     pub fn get_sub(&self, m: usize, k: usize) -> Complex<T> {
-        debug_assert!(self.n % m == 0, "{} does not divide {}", m, self.n);
+        debug_assert!(self.n.is_multiple_of(m), "{} does not divide {}", m, self.n);
         self.factors[(k % m) * (self.n / m)]
     }
 
@@ -222,7 +226,11 @@ mod tests {
         let mut sorted = idx.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 4, "replicas must be distinct addresses: {idx:?}");
+        assert_eq!(
+            sorted.len(),
+            4,
+            "replicas must be distinct addresses: {idx:?}"
+        );
     }
 
     #[test]

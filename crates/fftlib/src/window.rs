@@ -31,8 +31,7 @@ impl Window {
             Window::Hann => T::from_f64(0.5) - T::from_f64(0.5) * x.cos(),
             Window::Hamming => T::from_f64(0.54) - T::from_f64(0.46) * x.cos(),
             Window::Blackman => {
-                T::from_f64(0.42) - T::from_f64(0.5) * x.cos()
-                    + T::from_f64(0.08) * (x + x).cos()
+                T::from_f64(0.42) - T::from_f64(0.5) * x.cos() + T::from_f64(0.08) * (x + x).cos()
             }
             Window::Bartlett => {
                 let half = T::from_usize(n) / T::from_f64(2.0);
@@ -87,13 +86,15 @@ mod tests {
 
     #[test]
     fn all_windows_bounded_zero_one() {
-        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Bartlett] {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Bartlett,
+        ] {
             for n in [7usize, 16, 33] {
                 for (i, c) in w.coefficients::<f64>(n).iter().enumerate() {
-                    assert!(
-                        (-1e-12..=1.0 + 1e-12).contains(c),
-                        "{w:?} n={n} i={i}: {c}"
-                    );
+                    assert!((-1e-12..=1.0 + 1e-12).contains(c), "{w:?} n={n} i={i}: {c}");
                 }
             }
         }

@@ -58,7 +58,10 @@ impl fmt::Display for CodecError {
                 write!(f, "register index {reg} out of range at instruction {at}")
             }
             CodecError::BadTarget { at, target } => {
-                write!(f, "control target {target} out of range at instruction {at}")
+                write!(
+                    f,
+                    "control target {target} out of range at instruction {at}"
+                )
             }
         }
     }
@@ -153,24 +156,48 @@ pub fn encode_one(ins: &Instr) -> [u8; INSTR_BYTES] {
         Instr::Halt => (op::HALT, 0, 0, 0, 0),
         Instr::Join => (op::JOIN, 0, 0, 0, 0),
         Instr::Li { rd, imm } => (op::LI, rd.index() as u8, 0, 0, imm),
-        Instr::Alu { op: o, rd, rs1, rs2 } => (
+        Instr::Alu {
+            op: o,
+            rd,
+            rs1,
+            rs2,
+        } => (
             op::ALU + alu_index(o),
             rd.index() as u8,
             rs1.index() as u8,
             rs2.index() as u8,
             0,
         ),
-        Instr::AluI { op: o, rd, rs1, imm } => {
-            (op::ALUI + alu_index(o), rd.index() as u8, rs1.index() as u8, 0, imm)
-        }
-        Instr::Mdu { op: o, rd, rs1, rs2 } => (
+        Instr::AluI {
+            op: o,
+            rd,
+            rs1,
+            imm,
+        } => (
+            op::ALUI + alu_index(o),
+            rd.index() as u8,
+            rs1.index() as u8,
+            0,
+            imm,
+        ),
+        Instr::Mdu {
+            op: o,
+            rd,
+            rs1,
+            rs2,
+        } => (
             op::MDU + mdu_index(o),
             rd.index() as u8,
             rs1.index() as u8,
             rs2.index() as u8,
             0,
         ),
-        Instr::Fpu { op: o, fd, fs1, fs2 } => (
+        Instr::Fpu {
+            op: o,
+            fd,
+            fs1,
+            fs2,
+        } => (
             op::FPU + fpu_index(o),
             fd.index() as u8,
             fs1.index() as u8,
@@ -181,19 +208,16 @@ pub fn encode_one(ins: &Instr) -> [u8; INSTR_BYTES] {
         Instr::Fmov { fd, fs } => (op::FMOV, fd.index() as u8, fs.index() as u8, 0, 0),
         Instr::Fmvif { fd, rs } => (op::FMVIF, fd.index() as u8, rs.index() as u8, 0, 0),
         Instr::Fli { fd, value } => (op::FLI, fd.index() as u8, 0, 0, value.to_bits()),
-        Instr::Lw { rd, base, off } => {
-            (op::LW, rd.index() as u8, base.index() as u8, 0, off)
-        }
-        Instr::Sw { rs, base, off } => {
-            (op::SW, rs.index() as u8, base.index() as u8, 0, off)
-        }
-        Instr::Flw { fd, base, off } => {
-            (op::FLW, fd.index() as u8, base.index() as u8, 0, off)
-        }
-        Instr::Fsw { fs, base, off } => {
-            (op::FSW, fs.index() as u8, base.index() as u8, 0, off)
-        }
-        Instr::Branch { cond, rs1, rs2, target } => (
+        Instr::Lw { rd, base, off } => (op::LW, rd.index() as u8, base.index() as u8, 0, off),
+        Instr::Sw { rs, base, off } => (op::SW, rs.index() as u8, base.index() as u8, 0, off),
+        Instr::Flw { fd, base, off } => (op::FLW, fd.index() as u8, base.index() as u8, 0, off),
+        Instr::Fsw { fs, base, off } => (op::FSW, fs.index() as u8, base.index() as u8, 0, off),
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => (
             op::BRANCH + cond_index(cond),
             rs1.index() as u8,
             rs2.index() as u8,
@@ -204,15 +228,15 @@ pub fn encode_one(ins: &Instr) -> [u8; INSTR_BYTES] {
         Instr::Tid { rd } => (op::TID, rd.index() as u8, 0, 0, 0),
         Instr::ReadGr { rd, src } => (op::RDGR, rd.index() as u8, src.index() as u8, 0, 0),
         Instr::WriteGr { rs, dst } => (op::WRGR, rs.index() as u8, dst.index() as u8, 0, 0),
-        Instr::Ps { rd, inc, on } => {
-            (op::PS, rd.index() as u8, inc.index() as u8, on.index() as u8, 0)
-        }
-        Instr::Spawn { count, entry } => {
-            (op::SPAWN, count.index() as u8, 0, 0, entry as u32)
-        }
-        Instr::Sspawn { rd, count } => {
-            (op::SSPAWN, rd.index() as u8, count.index() as u8, 0, 0)
-        }
+        Instr::Ps { rd, inc, on } => (
+            op::PS,
+            rd.index() as u8,
+            inc.index() as u8,
+            on.index() as u8,
+            0,
+        ),
+        Instr::Spawn { count, entry } => (op::SPAWN, count.index() as u8, 0, 0, entry as u32),
+        Instr::Sspawn { rd, count } => (op::SSPAWN, rd.index() as u8, count.index() as u8, 0, 0),
     };
     w[0] = opb;
     w[1] = a;
@@ -255,7 +279,10 @@ pub fn decode_one(at: usize, w: &[u8; INSTR_BYTES]) -> Result<Instr, CodecError>
         op::NOP => Instr::Nop,
         op::HALT => Instr::Halt,
         op::JOIN => Instr::Join,
-        op::LI => Instr::Li { rd: check_i(at, a)?, imm },
+        op::LI => Instr::Li {
+            rd: check_i(at, a)?,
+            imm,
+        },
         x if (op::ALU..op::ALU + 8).contains(&x) => Instr::Alu {
             op: alu_from(x - op::ALU),
             rd: check_i(at, a)?,
@@ -280,32 +307,80 @@ pub fn decode_one(at: usize, w: &[u8; INSTR_BYTES]) -> Result<Instr, CodecError>
             fs1: check_f(at, b2)?,
             fs2: check_f(at, c)?,
         },
-        op::FNEG => Instr::Fneg { fd: check_f(at, a)?, fs: check_f(at, b2)? },
-        op::FMOV => Instr::Fmov { fd: check_f(at, a)?, fs: check_f(at, b2)? },
-        op::FMVIF => Instr::Fmvif { fd: check_f(at, a)?, rs: check_i(at, b2)? },
-        op::FLI => Instr::Fli { fd: check_f(at, a)?, value: f32::from_bits(imm) },
-        op::LW => Instr::Lw { rd: check_i(at, a)?, base: check_i(at, b2)?, off: imm },
-        op::SW => Instr::Sw { rs: check_i(at, a)?, base: check_i(at, b2)?, off: imm },
-        op::FLW => Instr::Flw { fd: check_f(at, a)?, base: check_i(at, b2)?, off: imm },
-        op::FSW => Instr::Fsw { fs: check_f(at, a)?, base: check_i(at, b2)?, off: imm },
+        op::FNEG => Instr::Fneg {
+            fd: check_f(at, a)?,
+            fs: check_f(at, b2)?,
+        },
+        op::FMOV => Instr::Fmov {
+            fd: check_f(at, a)?,
+            fs: check_f(at, b2)?,
+        },
+        op::FMVIF => Instr::Fmvif {
+            fd: check_f(at, a)?,
+            rs: check_i(at, b2)?,
+        },
+        op::FLI => Instr::Fli {
+            fd: check_f(at, a)?,
+            value: f32::from_bits(imm),
+        },
+        op::LW => Instr::Lw {
+            rd: check_i(at, a)?,
+            base: check_i(at, b2)?,
+            off: imm,
+        },
+        op::SW => Instr::Sw {
+            rs: check_i(at, a)?,
+            base: check_i(at, b2)?,
+            off: imm,
+        },
+        op::FLW => Instr::Flw {
+            fd: check_f(at, a)?,
+            base: check_i(at, b2)?,
+            off: imm,
+        },
+        op::FSW => Instr::Fsw {
+            fs: check_f(at, a)?,
+            base: check_i(at, b2)?,
+            off: imm,
+        },
         x if (op::BRANCH..op::BRANCH + 4).contains(&x) => Instr::Branch {
-            cond: [BranchCond::Eq, BranchCond::Ne, BranchCond::Ltu, BranchCond::Geu]
-                [(x - op::BRANCH) as usize],
+            cond: [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ][(x - op::BRANCH) as usize],
             rs1: check_i(at, a)?,
             rs2: check_i(at, b2)?,
             target: imm as usize,
         },
-        op::JUMP => Instr::Jump { target: imm as usize },
-        op::TID => Instr::Tid { rd: check_i(at, a)? },
-        op::RDGR => Instr::ReadGr { rd: check_i(at, a)?, src: check_g(at, b2)? },
-        op::WRGR => Instr::WriteGr { rs: check_i(at, a)?, dst: check_g(at, b2)? },
+        op::JUMP => Instr::Jump {
+            target: imm as usize,
+        },
+        op::TID => Instr::Tid {
+            rd: check_i(at, a)?,
+        },
+        op::RDGR => Instr::ReadGr {
+            rd: check_i(at, a)?,
+            src: check_g(at, b2)?,
+        },
+        op::WRGR => Instr::WriteGr {
+            rs: check_i(at, a)?,
+            dst: check_g(at, b2)?,
+        },
         op::PS => Instr::Ps {
             rd: check_i(at, a)?,
             inc: check_i(at, b2)?,
             on: check_g(at, c)?,
         },
-        op::SPAWN => Instr::Spawn { count: check_i(at, a)?, entry: imm as usize },
-        op::SSPAWN => Instr::Sspawn { rd: check_i(at, a)?, count: check_i(at, b2)? },
+        op::SPAWN => Instr::Spawn {
+            count: check_i(at, a)?,
+            entry: imm as usize,
+        },
+        op::SSPAWN => Instr::Sspawn {
+            rd: check_i(at, a)?,
+            count: check_i(at, b2)?,
+        },
         other => return Err(CodecError::UnknownOpcode { at, op: other }),
     };
     Ok(ins)
@@ -341,9 +416,9 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, CodecError> {
         w.copy_from_slice(&bytes[start..start + INSTR_BYTES]);
         let ins = decode_one(at, &w)?;
         // Validate control targets against the program size.
-        if let Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Spawn {
-            entry: target, ..
-        } = ins
+        if let Instr::Branch { target, .. }
+        | Instr::Jump { target }
+        | Instr::Spawn { entry: target, .. } = ins
         {
             if target >= count {
                 return Err(CodecError::BadTarget { at, target });
@@ -368,18 +443,25 @@ mod tests {
         let par = b.label();
         b.li(ir(1), 0xDEAD_BEEF);
         b.add(ir(2), ir(1), ir(0)).sub(ir(3), ir(2), ir(1));
-        b.and(ir(4), ir(1), ir(2)).or(ir(5), ir(1), ir(2)).xor(ir(6), ir(1), ir(2));
+        b.and(ir(4), ir(1), ir(2))
+            .or(ir(5), ir(1), ir(2))
+            .xor(ir(6), ir(1), ir(2));
         b.sltu(ir(7), ir(1), ir(2));
         b.addi(ir(8), ir(1), 42).andi(ir(9), ir(1), 0xFF);
         b.slli(ir(10), ir(1), 3).srli(ir(11), ir(1), 2);
-        b.mul(ir(12), ir(1), ir(2)).divu(ir(13), ir(1), ir(2)).remu(ir(14), ir(1), ir(2));
+        b.mul(ir(12), ir(1), ir(2))
+            .divu(ir(13), ir(1), ir(2))
+            .remu(ir(14), ir(1), ir(2));
         b.lw(ir(15), ir(1), 4).sw(ir(15), ir(1), 8);
         b.flw(fr(1), ir(1), 12).fsw(fr(1), ir(1), 16);
-        b.fli(fr(2), 0.70710678);
+        b.fli(fr(2), core::f32::consts::FRAC_1_SQRT_2);
         b.fadd(fr(3), fr(1), fr(2)).fsub(fr(4), fr(1), fr(2));
         b.fmul(fr(5), fr(1), fr(2)).fdiv(fr(6), fr(1), fr(2));
         b.fneg(fr(7), fr(1)).fmov(fr(8), fr(2));
-        b.push(crate::instr::Instr::Fmvif { fd: fr(9), rs: ir(1) });
+        b.push(crate::instr::Instr::Fmvif {
+            fd: fr(9),
+            rs: ir(1),
+        });
         b.bind(l1);
         b.beq(ir(1), ir(2), l1).bne(ir(1), ir(2), l1);
         b.bltu(ir(1), ir(2), l2).bgeu(ir(1), ir(2), l2);
@@ -422,7 +504,10 @@ mod tests {
         bytes[0] = b'Y';
         assert_eq!(decode_program(&bytes), Err(CodecError::BadMagic));
         let good = encode_program(&p);
-        assert_eq!(decode_program(&good[..good.len() - 1]), Err(CodecError::Truncated));
+        assert_eq!(
+            decode_program(&good[..good.len() - 1]),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]
@@ -453,7 +538,10 @@ mod tests {
         let mut bytes = encode_program(&p);
         // Patch the jump target to point past the end.
         bytes[8 + 4..8 + 8].copy_from_slice(&99u32.to_le_bytes());
-        assert!(matches!(decode_program(&bytes), Err(CodecError::BadTarget { .. })));
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(CodecError::BadTarget { .. })
+        ));
     }
 
     #[test]

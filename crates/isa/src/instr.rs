@@ -382,6 +382,29 @@ impl Instr {
             _ => None,
         }
     }
+
+    /// Combined `(integer, float)` register bitmasks the scoreboard
+    /// must consult before issuing this instruction: every register
+    /// read, plus the written register (a pending load into the
+    /// destination is a WAW hazard). Precomputing these per program
+    /// counter turns the per-issue hazard check into two AND-compares.
+    pub fn hazard_masks(&self) -> (u32, u32) {
+        let mut imask = 0u32;
+        let mut fmask = 0u32;
+        for r in self.iregs_read().into_iter().flatten() {
+            imask |= 1 << r.index();
+        }
+        for r in self.fregs_read().into_iter().flatten() {
+            fmask |= 1 << r.index();
+        }
+        if let Some(r) = self.ireg_written() {
+            imask |= 1 << r.index();
+        }
+        if let Some(r) = self.freg_written() {
+            fmask |= 1 << r.index();
+        }
+        (imask, fmask)
+    }
 }
 
 impl fmt::Display for Instr {
@@ -389,13 +412,25 @@ impl fmt::Display for Instr {
         match self {
             Instr::Li { rd, imm } => write!(f, "li    {rd}, {imm}"),
             Instr::Alu { op, rd, rs1, rs2 } => {
-                write!(f, "{:<5} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "{:<5} {rd}, {rs1}, {rs2}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::AluI { op, rd, rs1, imm } => {
-                write!(f, "{:<5} {rd}, {rs1}, {imm}", format!("{op:?}i").to_lowercase())
+                write!(
+                    f,
+                    "{:<5} {rd}, {rs1}, {imm}",
+                    format!("{op:?}i").to_lowercase()
+                )
             }
             Instr::Mdu { op, rd, rs1, rs2 } => {
-                write!(f, "{:<5} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "{:<5} {rd}, {rs1}, {rs2}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::Lw { rd, base, off } => write!(f, "lw    {rd}, {off}({base})"),
             Instr::Sw { rs, base, off } => write!(f, "sw    {rs}, {off}({base})"),
@@ -403,13 +438,26 @@ impl fmt::Display for Instr {
             Instr::Fsw { fs, base, off } => write!(f, "fsw   {fs}, {off}({base})"),
             Instr::Fli { fd, value } => write!(f, "fli   {fd}, {value}"),
             Instr::Fpu { op, fd, fs1, fs2 } => {
-                write!(f, "f{:<4} {fd}, {fs1}, {fs2}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "f{:<4} {fd}, {fs1}, {fs2}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::Fneg { fd, fs } => write!(f, "fneg  {fd}, {fs}"),
             Instr::Fmov { fd, fs } => write!(f, "fmov  {fd}, {fs}"),
             Instr::Fmvif { fd, rs } => write!(f, "fmvif {fd}, {rs}"),
-            Instr::Branch { cond, rs1, rs2, target } => {
-                write!(f, "b{:<4} {rs1}, {rs2}, @{target}", format!("{cond:?}").to_lowercase())
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                write!(
+                    f,
+                    "b{:<4} {rs1}, {rs2}, @{target}",
+                    format!("{cond:?}").to_lowercase()
+                )
             }
             Instr::Jump { target } => write!(f, "j     @{target}"),
             Instr::Tid { rd } => write!(f, "tid   {rd}"),
@@ -445,20 +493,8 @@ pub fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
 pub fn eval_mdu(op: MduOp, a: u32, b: u32) -> u32 {
     match op {
         MduOp::Mul => a.wrapping_mul(b),
-        MduOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
-        MduOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        MduOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MduOp::Remu => a.checked_rem(b).unwrap_or(a),
     }
 }
 
@@ -522,32 +558,141 @@ mod tests {
     fn unit_classification() {
         assert_eq!(Instr::Li { rd: ir(1), imm: 0 }.unit(), Unit::Alu);
         assert_eq!(
-            Instr::Fpu { op: FpuOp::Mul, fd: fr(0), fs1: fr(1), fs2: fr(2) }.unit(),
+            Instr::Fpu {
+                op: FpuOp::Mul,
+                fd: fr(0),
+                fs1: fr(1),
+                fs2: fr(2)
+            }
+            .unit(),
             Unit::Fpu
         );
-        assert_eq!(Instr::Lw { rd: ir(1), base: ir(2), off: 0 }.unit(), Unit::Lsu);
         assert_eq!(
-            Instr::Mdu { op: MduOp::Mul, rd: ir(1), rs1: ir(2), rs2: ir(3) }.unit(),
+            Instr::Lw {
+                rd: ir(1),
+                base: ir(2),
+                off: 0
+            }
+            .unit(),
+            Unit::Lsu
+        );
+        assert_eq!(
+            Instr::Mdu {
+                op: MduOp::Mul,
+                rd: ir(1),
+                rs1: ir(2),
+                rs2: ir(3)
+            }
+            .unit(),
             Unit::Mdu
         );
-        assert_eq!(Instr::Ps { rd: ir(1), inc: ir(2), on: gr(0) }.unit(), Unit::Ps);
+        assert_eq!(
+            Instr::Ps {
+                rd: ir(1),
+                inc: ir(2),
+                on: gr(0)
+            }
+            .unit(),
+            Unit::Ps
+        );
         assert_eq!(Instr::Join.unit(), Unit::Control);
     }
 
     #[test]
     fn memory_and_flop_predicates() {
-        assert!(Instr::Flw { fd: fr(0), base: ir(1), off: 4 }.is_memory());
+        assert!(Instr::Flw {
+            fd: fr(0),
+            base: ir(1),
+            off: 4
+        }
+        .is_memory());
         assert!(!Instr::Nop.is_memory());
-        assert!(Instr::Fpu { op: FpuOp::Add, fd: fr(0), fs1: fr(0), fs2: fr(0) }.is_flop());
-        assert!(!Instr::Fmov { fd: fr(0), fs: fr(1) }.is_flop());
-        assert!(!Instr::Fneg { fd: fr(0), fs: fr(1) }.is_flop());
+        assert!(Instr::Fpu {
+            op: FpuOp::Add,
+            fd: fr(0),
+            fs1: fr(0),
+            fs2: fr(0)
+        }
+        .is_flop());
+        assert!(!Instr::Fmov {
+            fd: fr(0),
+            fs: fr(1)
+        }
+        .is_flop());
+        assert!(!Instr::Fneg {
+            fd: fr(0),
+            fs: fr(1)
+        }
+        .is_flop());
+    }
+
+    #[test]
+    fn hazard_masks_combine_reads_and_waw() {
+        // sw reads rs and base: both must be in the integer mask.
+        let sw = Instr::Sw {
+            rs: ir(3),
+            base: ir(7),
+            off: 0,
+        };
+        assert_eq!(sw.hazard_masks(), ((1 << 3) | (1 << 7), 0));
+        // lw reads base and WAW-checks rd.
+        let lw = Instr::Lw {
+            rd: ir(5),
+            base: ir(2),
+            off: 0,
+        };
+        assert_eq!(lw.hazard_masks(), ((1 << 5) | (1 << 2), 0));
+        // fadd reads two FP sources and WAW-checks the FP destination.
+        let fadd = Instr::Fpu {
+            op: FpuOp::Add,
+            fd: fr(1),
+            fs1: fr(2),
+            fs2: fr(3),
+        };
+        assert_eq!(fadd.hazard_masks(), (0, 0b1110));
+        // fsw reads an integer base and an FP source.
+        let fsw = Instr::Fsw {
+            fs: fr(4),
+            base: ir(6),
+            off: 0,
+        };
+        assert_eq!(fsw.hazard_masks(), (1 << 6, 1 << 4));
+        // Masks agree with the slow per-register enumeration.
+        for ins in [sw, lw, fadd, fsw, Instr::Join, Instr::Nop] {
+            let (im, fm) = ins.hazard_masks();
+            let mut slow_i = 0u32;
+            for r in ins.iregs_read().into_iter().flatten() {
+                slow_i |= 1 << r.index();
+            }
+            if let Some(r) = ins.ireg_written() {
+                slow_i |= 1 << r.index();
+            }
+            let mut slow_f = 0u32;
+            for r in ins.fregs_read().into_iter().flatten() {
+                slow_f |= 1 << r.index();
+            }
+            if let Some(r) = ins.freg_written() {
+                slow_f |= 1 << r.index();
+            }
+            assert_eq!((im, fm), (slow_i, slow_f), "{ins:?}");
+        }
     }
 
     #[test]
     fn display_is_stable() {
-        let i = Instr::Fpu { op: FpuOp::Add, fd: fr(1), fs1: fr(2), fs2: fr(3) };
+        let i = Instr::Fpu {
+            op: FpuOp::Add,
+            fd: fr(1),
+            fs1: fr(2),
+            fs2: fr(3),
+        };
         assert_eq!(i.to_string(), "fadd  f1, f2, f3");
-        let b = Instr::Branch { cond: BranchCond::Ltu, rs1: ir(1), rs2: ir(2), target: 7 };
+        let b = Instr::Branch {
+            cond: BranchCond::Ltu,
+            rs1: ir(1),
+            rs2: ir(2),
+            target: 7,
+        };
         assert_eq!(b.to_string(), "bltu  r1, r2, @7");
     }
 }

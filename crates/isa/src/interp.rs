@@ -157,7 +157,11 @@ pub struct Interp {
 impl Interp {
     /// A machine with `mem_words` words of zeroed shared memory.
     pub fn new(mem_words: usize) -> Self {
-        Self { mem: vec![0; mem_words], gregs: [0; NUM_GREGS], step_limit: 1 << 32 }
+        Self {
+            mem: vec![0; mem_words],
+            gregs: [0; NUM_GREGS],
+            step_limit: 1 << 32,
+        }
     }
 
     /// Store an `f32` slice at `addr` (word-addressed), bit-cast.
@@ -169,7 +173,10 @@ impl Interp {
 
     /// Read `len` `f32`s starting at word `addr`.
     pub fn read_f32s(&self, addr: usize, len: usize) -> Vec<f32> {
-        self.mem[addr..addr + len].iter().map(|&w| f32::from_bits(w)).collect()
+        self.mem[addr..addr + len]
+            .iter()
+            .map(|&w| f32::from_bits(w))
+            .collect()
     }
 
     /// Store a `u32` slice at word `addr`.
@@ -236,7 +243,12 @@ impl Interp {
                     stats.mem_writes += 1;
                     pc += 1;
                 }
-                Instr::Branch { cond, rs1, rs2, target } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     if eval_branch(cond, rf.read_i(rs1), rf.read_i(rs2)) {
                         pc = target;
                     } else {
@@ -326,7 +338,12 @@ impl Interp {
                     stats.mem_writes += 1;
                     pc += 1;
                 }
-                Instr::Branch { cond, rs1, rs2, target } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     if eval_branch(cond, rf.read_i(rs1), rf.read_i(rs2)) {
                         pc = target;
                     } else {
@@ -498,7 +515,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.join();
         let p = b.build().unwrap();
-        assert!(matches!(Interp::new(4).run(&p), Err(ExecError::JoinInSerial { pc: 0 })));
+        assert!(matches!(
+            Interp::new(4).run(&p),
+            Err(ExecError::JoinInSerial { pc: 0 })
+        ));
     }
 
     #[test]
@@ -518,7 +538,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.nop();
         let p = b.build().unwrap();
-        assert!(matches!(Interp::new(4).run(&p), Err(ExecError::PcOutOfRange { pc: 1 })));
+        assert!(matches!(
+            Interp::new(4).run(&p),
+            Err(ExecError::PcOutOfRange { pc: 1 })
+        ));
     }
 
     #[test]
@@ -584,7 +607,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.li(ir(1), 2).sspawn(ir(2), ir(1)).halt();
         let p = b.build().unwrap();
-        assert!(matches!(Interp::new(4).run(&p), Err(ExecError::SspawnInSerial { pc: 1 })));
+        assert!(matches!(
+            Interp::new(4).run(&p),
+            Err(ExecError::SspawnInSerial { pc: 1 })
+        ));
     }
 
     #[test]

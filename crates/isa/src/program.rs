@@ -135,55 +135,120 @@ impl ProgramBuilder {
     }
     /// Emit `add`.
     pub fn add(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `sub`.
     pub fn sub(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `and`.
     pub fn and(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::And, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `or`.
     pub fn or(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `xor`.
     pub fn xor(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `addi`.
     pub fn addi(&mut self, rd: IReg, rs1: IReg, imm: u32) -> &mut Self {
-        self.push(Instr::AluI { op: AluOp::Add, rd, rs1, imm })
+        self.push(Instr::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// Emit `andi`.
     pub fn andi(&mut self, rd: IReg, rs1: IReg, imm: u32) -> &mut Self {
-        self.push(Instr::AluI { op: AluOp::And, rd, rs1, imm })
+        self.push(Instr::AluI {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// Emit `slli`.
     pub fn slli(&mut self, rd: IReg, rs1: IReg, sh: u32) -> &mut Self {
-        self.push(Instr::AluI { op: AluOp::Sll, rd, rs1, imm: sh })
+        self.push(Instr::AluI {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: sh,
+        })
     }
     /// Emit `srli`.
     pub fn srli(&mut self, rd: IReg, rs1: IReg, sh: u32) -> &mut Self {
-        self.push(Instr::AluI { op: AluOp::Srl, rd, rs1, imm: sh })
+        self.push(Instr::AluI {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: sh,
+        })
     }
     /// Emit `sltu`.
     pub fn sltu(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `mul`.
     pub fn mul(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Mdu { op: MduOp::Mul, rd, rs1, rs2 })
+        self.push(Instr::Mdu {
+            op: MduOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `divu`.
     pub fn divu(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Mdu { op: MduOp::Divu, rd, rs1, rs2 })
+        self.push(Instr::Mdu {
+            op: MduOp::Divu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// Emit `remu`.
     pub fn remu(&mut self, rd: IReg, rs1: IReg, rs2: IReg) -> &mut Self {
-        self.push(Instr::Mdu { op: MduOp::Remu, rd, rs1, rs2 })
+        self.push(Instr::Mdu {
+            op: MduOp::Remu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     // ---- memory ----
@@ -211,19 +276,39 @@ impl ProgramBuilder {
     }
     /// Emit `fadd`.
     pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
-        self.push(Instr::Fpu { op: FpuOp::Add, fd, fs1, fs2 })
+        self.push(Instr::Fpu {
+            op: FpuOp::Add,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// Emit `fsub`.
     pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
-        self.push(Instr::Fpu { op: FpuOp::Sub, fd, fs1, fs2 })
+        self.push(Instr::Fpu {
+            op: FpuOp::Sub,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// Emit `fmul`.
     pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
-        self.push(Instr::Fpu { op: FpuOp::Mul, fd, fs1, fs2 })
+        self.push(Instr::Fpu {
+            op: FpuOp::Mul,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// Emit `fdiv`.
     pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
-        self.push(Instr::Fpu { op: FpuOp::Div, fd, fs1, fs2 })
+        self.push(Instr::Fpu {
+            op: FpuOp::Div,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// Emit `fneg`.
     pub fn fneg(&mut self, fd: FReg, fs: FReg) -> &mut Self {
@@ -237,19 +322,51 @@ impl ProgramBuilder {
     // ---- control ----
     /// Emit `beq`.
     pub fn beq(&mut self, rs1: IReg, rs2: IReg, l: Label) -> &mut Self {
-        self.push_with_label(Instr::Branch { cond: BranchCond::Eq, rs1, rs2, target: 0 }, l)
+        self.push_with_label(
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            l,
+        )
     }
     /// Emit `bne`.
     pub fn bne(&mut self, rs1: IReg, rs2: IReg, l: Label) -> &mut Self {
-        self.push_with_label(Instr::Branch { cond: BranchCond::Ne, rs1, rs2, target: 0 }, l)
+        self.push_with_label(
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            l,
+        )
     }
     /// Emit `bltu`.
     pub fn bltu(&mut self, rs1: IReg, rs2: IReg, l: Label) -> &mut Self {
-        self.push_with_label(Instr::Branch { cond: BranchCond::Ltu, rs1, rs2, target: 0 }, l)
+        self.push_with_label(
+            Instr::Branch {
+                cond: BranchCond::Ltu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            l,
+        )
     }
     /// Emit `bgeu`.
     pub fn bgeu(&mut self, rs1: IReg, rs2: IReg, l: Label) -> &mut Self {
-        self.push_with_label(Instr::Branch { cond: BranchCond::Geu, rs1, rs2, target: 0 }, l)
+        self.push_with_label(
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            l,
+        )
     }
     /// Emit `jump`.
     pub fn jump(&mut self, l: Label) -> &mut Self {
@@ -313,7 +430,9 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-control instruction {other:?}"),
             }
         }
-        Ok(Program { instrs: self.instrs })
+        Ok(Program {
+            instrs: self.instrs,
+        })
     }
 }
 
@@ -355,7 +474,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_an_error() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]

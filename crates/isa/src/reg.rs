@@ -107,7 +107,11 @@ pub struct RegFile {
 impl RegFile {
     /// Construct a new instance.
     pub fn new(tid: u32) -> Self {
-        Self { iregs: [0; NUM_IREGS], fregs: [0.0; NUM_FREGS], tid }
+        Self {
+            iregs: [0; NUM_IREGS],
+            fregs: [0.0; NUM_FREGS],
+            tid,
+        }
     }
 
     #[inline(always)]

@@ -44,7 +44,11 @@ struct TagStore {
 
 impl TagStore {
     fn new(sets: usize, ways: usize) -> Self {
-        Self { sets, ways, tags: vec![None; sets * ways] }
+        Self {
+            sets,
+            ways,
+            tags: vec![None; sets * ways],
+        }
     }
 
     fn set_of(&self, line: u32) -> usize {
@@ -55,7 +59,10 @@ impl TagStore {
     fn access(&mut self, line: u32, write: bool) -> (bool, Option<u32>) {
         let s = self.set_of(line);
         let slice = &mut self.tags[s * self.ways..(s + 1) * self.ways];
-        if let Some(pos) = slice.iter().position(|e| matches!(e, Some((l, _)) if *l == line)) {
+        if let Some(pos) = slice
+            .iter()
+            .position(|e| matches!(e, Some((l, _)) if *l == line))
+        {
             // Hit: move to MRU, merge dirty bit.
             let (l, d) = slice[pos].unwrap();
             slice.copy_within(0..pos, 1);
@@ -94,7 +101,12 @@ impl CacheConfig {
     /// of on-chip cache — the Table VI figure for the 128k x4
     /// configuration.
     pub fn default_module() -> Self {
-        Self { lines: 1024, ways: 8, line_words: 8, hit_latency: 2 }
+        Self {
+            lines: 1024,
+            ways: 8,
+            line_words: 8,
+            hit_latency: 2,
+        }
     }
 }
 
@@ -147,7 +159,12 @@ impl CacheBank {
         assert!(cfg.lines.is_power_of_two() && cfg.ways.is_power_of_two());
         assert!(cfg.ways <= cfg.lines);
         let sets = cfg.lines / cfg.ways;
-        Self { cfg, tags: TagStore::new(sets, cfg.ways), queue: VecDeque::new(), stats: CacheStats::default() }
+        Self {
+            cfg,
+            tags: TagStore::new(sets, cfg.ways),
+            queue: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration used.
@@ -197,7 +214,11 @@ impl CacheBank {
             if wb.is_some() {
                 self.stats.writebacks += 1;
             }
-            Some(Service::Miss { req, fill_line: line, writeback: wb })
+            Some(Service::Miss {
+                req,
+                fill_line: line,
+                writeback: wb,
+            })
         }
     }
 }
@@ -207,11 +228,20 @@ mod tests {
     use super::*;
 
     fn bank(lines: usize, ways: usize) -> CacheBank {
-        CacheBank::new(CacheConfig { lines, ways, line_words: 8, hit_latency: 2 })
+        CacheBank::new(CacheConfig {
+            lines,
+            ways,
+            line_words: 8,
+            hit_latency: 2,
+        })
     }
 
     fn req(addr: u32, write: bool) -> MemReq {
-        MemReq { addr, is_write: write, tag: addr as u64 }
+        MemReq {
+            addr,
+            is_write: write,
+            tag: addr as u64,
+        }
     }
 
     #[test]
@@ -220,7 +250,11 @@ mod tests {
         b.enqueue(req(100, false));
         b.enqueue(req(101, false)); // same 8-word line as 100? 100/8=12, 101/8=12 yes
         match b.service_one().unwrap() {
-            Service::Miss { fill_line, writeback, .. } => {
+            Service::Miss {
+                fill_line,
+                writeback,
+                ..
+            } => {
                 assert_eq!(fill_line, 12);
                 assert!(writeback.is_none());
             }

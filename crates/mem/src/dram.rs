@@ -46,12 +46,18 @@ pub struct DramConfig {
 impl DramConfig {
     /// The paper-calibrated channel: 8 B/cycle, 32-byte lines.
     pub fn ddr_like() -> Self {
-        Self { bytes_per_cycle: 8.0, access_latency: 200, line_bytes: 32 }
+        Self {
+            bytes_per_cycle: 8.0,
+            access_latency: 200,
+            line_bytes: 32,
+        }
     }
 
     /// Cycles the data burst occupies the channel.
     pub fn burst_cycles(&self) -> u64 {
-        (self.line_bytes as f64 / self.bytes_per_cycle).ceil().max(1.0) as u64
+        (self.line_bytes as f64 / self.bytes_per_cycle)
+            .ceil()
+            .max(1.0) as u64
     }
 }
 
@@ -85,7 +91,13 @@ pub struct DramChannel {
 impl DramChannel {
     /// Construct a new instance.
     pub fn new(cfg: DramConfig) -> Self {
-        Self { cfg, queue: VecDeque::new(), current: None, cycle: 0, stats: DramStats::default() }
+        Self {
+            cfg,
+            queue: VecDeque::new(),
+            current: None,
+            cycle: 0,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration used.
@@ -102,6 +114,41 @@ impl DramChannel {
     /// The `pending` value.
     pub fn pending(&self) -> usize {
         self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Earliest cycle (channel clock) at which `step` can change
+    /// state: the in-flight transfer's completion, or the very next
+    /// cycle when a queued transfer is waiting to start.
+    pub fn next_event(&self) -> Option<u64> {
+        match (&self.current, self.queue.is_empty()) {
+            (Some((_, done_at)), _) => Some(*done_at),
+            (None, false) => Some(self.cycle + 1),
+            (None, true) => None,
+        }
+    }
+
+    /// Align the clock of a channel left unstepped while empty. Must
+    /// be called before `enqueue` on a channel that was idle.
+    pub fn sync_to(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            debug_assert_eq!(self.pending(), 0, "clock jump on a busy channel");
+            self.cycle = cycle;
+        }
+    }
+
+    /// Advance `n` cycles across which the caller guarantees (via
+    /// [`DramChannel::next_event`]) no transfer starts or completes.
+    /// Busy-cycle accounting still accrues for an in-flight transfer,
+    /// exactly as per-cycle stepping would.
+    pub fn skip_idle(&mut self, n: u64) {
+        debug_assert!(
+            self.next_event().is_none_or(|e| e > self.cycle + n),
+            "skip_idle crossed a channel event"
+        );
+        if self.current.is_some() || !self.queue.is_empty() {
+            self.stats.busy_cycles += n;
+        }
+        self.cycle += n;
     }
 
     /// Advance one cycle; returns the transfer that completed, if any.
@@ -126,7 +173,10 @@ impl DramChannel {
                     self.stats.reads += 1;
                 }
                 self.stats.bytes += self.cfg.line_bytes as u64;
-                completed = Some(DramDone { req, finished_at: self.cycle });
+                completed = Some(DramDone {
+                    req,
+                    finished_at: self.cycle,
+                });
             }
         }
         if self.current.is_none() {
@@ -134,7 +184,11 @@ impl DramChannel {
                 // Back-to-back transfers hide the access latency behind
                 // the previous burst; a transfer starting on an idle
                 // channel pays it in full.
-                let lat = if completed.is_some() { 0 } else { self.cfg.access_latency as u64 };
+                let lat = if completed.is_some() {
+                    0
+                } else {
+                    self.cfg.access_latency as u64
+                };
                 let done_at = self.cycle + lat + self.cfg.burst_cycles();
                 self.current = Some((req, done_at));
             }
@@ -148,20 +202,32 @@ mod tests {
     use super::*;
 
     fn chan(lat: u32) -> DramChannel {
-        DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: lat, line_bytes: 32 })
+        DramChannel::new(DramConfig {
+            bytes_per_cycle: 8.0,
+            access_latency: lat,
+            line_bytes: 32,
+        })
     }
 
     #[test]
     fn burst_cycles_from_bandwidth() {
         assert_eq!(DramConfig::ddr_like().burst_cycles(), 4);
-        let slow = DramConfig { bytes_per_cycle: 2.0, access_latency: 0, line_bytes: 32 };
+        let slow = DramConfig {
+            bytes_per_cycle: 2.0,
+            access_latency: 0,
+            line_bytes: 32,
+        };
         assert_eq!(slow.burst_cycles(), 16);
     }
 
     #[test]
     fn single_transfer_timing() {
         let mut c = chan(10);
-        c.enqueue(DramReq { line: 5, is_write: false, tag: 1 });
+        c.enqueue(DramReq {
+            line: 5,
+            is_write: false,
+            tag: 1,
+        });
         let mut done = None;
         let mut cycles = 0;
         while done.is_none() && cycles < 100 {
@@ -178,7 +244,11 @@ mod tests {
     fn back_to_back_transfers_pipeline_at_burst_rate_plus_latency() {
         let mut c = chan(0);
         for i in 0..4 {
-            c.enqueue(DramReq { line: i, is_write: i % 2 == 1, tag: i as u64 });
+            c.enqueue(DramReq {
+                line: i,
+                is_write: i % 2 == 1,
+                tag: i as u64,
+            });
         }
         let mut completions = Vec::new();
         for _ in 0..100 {
@@ -202,11 +272,42 @@ mod tests {
             c.step();
         }
         assert_eq!(c.stats.busy_cycles, 0);
-        c.enqueue(DramReq { line: 0, is_write: false, tag: 0 });
+        c.enqueue(DramReq {
+            line: 0,
+            is_write: false,
+            tag: 0,
+        });
         while c.pending() > 0 {
             c.step();
         }
         assert!(c.stats.busy_cycles >= 4);
+    }
+
+    #[test]
+    fn skip_idle_matches_stepping_including_busy_cycles() {
+        let mut stepped = chan(10);
+        let mut skipped = chan(10);
+        for c in [&mut stepped, &mut skipped] {
+            c.enqueue(DramReq {
+                line: 3,
+                is_write: false,
+                tag: 7,
+            });
+            assert!(c.step().is_none(), "transfer just started");
+        }
+        let done_at = stepped.next_event().expect("transfer in flight");
+        // Reference: step cycle by cycle to completion.
+        let mut a = None;
+        while a.is_none() {
+            a = stepped.step();
+        }
+        // Skipper: jump to one cycle before the event, then step once.
+        skipped.skip_idle(done_at - skipped.cycle - 1);
+        let b = skipped.step().expect("completion on the event cycle");
+        assert_eq!(a.unwrap(), b);
+        assert_eq!(stepped.stats, skipped.stats, "busy accounting must match");
+        assert_eq!(stepped.next_event(), None);
+        assert_eq!(skipped.next_event(), None);
     }
 
     #[test]
@@ -216,7 +317,11 @@ mod tests {
         let mut c = chan(0);
         let total = 50u64;
         for i in 0..total {
-            c.enqueue(DramReq { line: i as u32, is_write: false, tag: i });
+            c.enqueue(DramReq {
+                line: i as u32,
+                is_write: false,
+                tag: i,
+            });
         }
         let mut cycles = 0u64;
         let mut done = 0u64;

@@ -21,14 +21,27 @@ pub struct AddressHash {
 impl AddressHash {
     /// Hashed placement (the XMT default).
     pub fn new(modules: usize, line_words: usize) -> Self {
-        assert!(modules.is_power_of_two(), "module count must be a power of two");
-        assert!(line_words.is_power_of_two(), "line size must be a power of two");
-        Self { modules, line_words, mix: true }
+        assert!(
+            modules.is_power_of_two(),
+            "module count must be a power of two"
+        );
+        assert!(
+            line_words.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            modules,
+            line_words,
+            mix: true,
+        }
     }
 
     /// Plain modulo interleaving (no bit mixing); for ablations.
     pub fn interleaved(modules: usize, line_words: usize) -> Self {
-        Self { mix: false, ..Self::new(modules, line_words) }
+        Self {
+            mix: false,
+            ..Self::new(modules, line_words)
+        }
     }
 
     /// Number of memory modules.
@@ -100,7 +113,10 @@ mod tests {
         let mut by_module: std::collections::HashMap<usize, Vec<u32>> = Default::default();
         for line in 0..4096u32 {
             let addr = line * 8;
-            by_module.entry(h.module_of(addr)).or_default().push(h.local_line(addr));
+            by_module
+                .entry(h.module_of(addr))
+                .or_default()
+                .push(h.local_line(addr));
         }
         for (m, ids) in by_module {
             let mut s = ids.clone();
@@ -136,7 +152,11 @@ mod tests {
             interleaved.insert(hi.module_of(addr));
         }
         assert_eq!(interleaved.len(), 1, "plain interleave hotspots on stride");
-        assert!(hashed.len() > 32, "hash must spread strided lines, got {}", hashed.len());
+        assert!(
+            hashed.len() > 32,
+            "hash must spread strided lines, got {}",
+            hashed.len()
+        );
     }
 
     #[test]

@@ -100,9 +100,53 @@ impl MemoryModule {
         self.bank.enqueue(req);
     }
 
+    /// True when `step` could do more than tick the clock: a queued
+    /// request to service (or MSHR-merge), or a response maturing.
+    /// A module waiting only on DRAM fills is *not* active — its next
+    /// event is delivered from outside via [`MemoryModule::on_fill`].
+    pub fn is_active(&self) -> bool {
+        self.bank.queue_len() > 0 || !self.ready.is_empty()
+    }
+
+    /// Earliest cycle (in this module's clock domain) at which a
+    /// `step` can change observable state, assuming nothing arrives.
+    pub fn next_event(&self) -> Option<u64> {
+        if self.bank.queue_len() > 0 {
+            Some(self.cycle + 1)
+        } else {
+            self.ready.peek().map(|Reverse(r)| r.at)
+        }
+    }
+
+    /// Align the clock of a module that was left unstepped while idle.
+    /// Callers must sync before `enqueue`/`on_fill` so latencies are
+    /// scheduled against the shared memory clock; jumping the clock of
+    /// an idle module is unobservable.
+    pub fn sync_to(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            debug_assert!(!self.is_active(), "clock jump on an active module");
+            self.cycle = cycle;
+        }
+    }
+
+    /// Advance `n` cycles across which the caller guarantees (via
+    /// [`MemoryModule::next_event`]) no request is serviced and no
+    /// response matures.
+    pub fn skip_idle(&mut self, n: u64) {
+        debug_assert!(
+            self.next_event().is_none_or(|e| e > self.cycle + n),
+            "skip_idle crossed a module event"
+        );
+        self.cycle += n;
+    }
+
     fn schedule(&mut self, resp: MemResp, at: u64) {
         self.seq += 1;
-        self.ready.push(Reverse(Ready { at, seq: self.seq, resp }));
+        self.ready.push(Reverse(Ready {
+            at,
+            seq: self.seq,
+            resp,
+        }));
     }
 
     /// Advance one cycle: service at most one bank access and release
@@ -131,11 +175,19 @@ impl MemoryModule {
             Some(Service::Hit(req)) => {
                 self.schedule(MemResp { req, hit: true }, self.cycle + hit_lat);
             }
-            Some(Service::Miss { req, fill_line, writeback }) => {
+            Some(Service::Miss {
+                req,
+                fill_line,
+                writeback,
+            }) => {
                 if let Some(wb) = writeback {
                     channel_out.push(ChannelRequest {
                         module: self.id,
-                        req: DramReq { line: wb, is_write: true, tag: 0 },
+                        req: DramReq {
+                            line: wb,
+                            is_write: true,
+                            tag: 0,
+                        },
                     });
                 }
                 match self.pending_fills.entry(fill_line) {
@@ -147,7 +199,11 @@ impl MemoryModule {
                         e.insert(vec![req]);
                         channel_out.push(ChannelRequest {
                             module: self.id,
-                            req: DramReq { line: fill_line, is_write: false, tag: 0 },
+                            req: DramReq {
+                                line: fill_line,
+                                is_write: false,
+                                tag: 0,
+                            },
                         });
                     }
                 }
@@ -191,14 +247,18 @@ mod tests {
     use crate::dram::{DramChannel, DramConfig};
 
     fn module() -> MemoryModule {
-        MemoryModule::new(0, CacheConfig { lines: 64, ways: 4, line_words: 8, hit_latency: 2 })
+        MemoryModule::new(
+            0,
+            CacheConfig {
+                lines: 64,
+                ways: 4,
+                line_words: 8,
+                hit_latency: 2,
+            },
+        )
     }
 
-    fn drive(
-        m: &mut MemoryModule,
-        chan: &mut DramChannel,
-        cycles: usize,
-    ) -> Vec<MemResp> {
+    fn drive(m: &mut MemoryModule, chan: &mut DramChannel, cycles: usize) -> Vec<MemResp> {
         let mut out = Vec::new();
         for _ in 0..cycles {
             let mut creqs = Vec::new();
@@ -216,13 +276,25 @@ mod tests {
     #[test]
     fn miss_then_hit_latency_ordering() {
         let mut m = module();
-        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 10, line_bytes: 32 });
-        m.enqueue(MemReq { addr: 0, is_write: false, tag: 1 });
+        let mut chan = DramChannel::new(DramConfig {
+            bytes_per_cycle: 8.0,
+            access_latency: 10,
+            line_bytes: 32,
+        });
+        m.enqueue(MemReq {
+            addr: 0,
+            is_write: false,
+            tag: 1,
+        });
         let r1 = drive(&mut m, &mut chan, 40);
         assert_eq!(r1.len(), 1);
         assert!(!r1[0].hit);
         // Second access to the same line is a fast hit.
-        m.enqueue(MemReq { addr: 3, is_write: false, tag: 2 });
+        m.enqueue(MemReq {
+            addr: 3,
+            is_write: false,
+            tag: 2,
+        });
         let r2 = drive(&mut m, &mut chan, 10);
         assert_eq!(r2.len(), 1);
         assert!(r2[0].hit);
@@ -231,9 +303,17 @@ mod tests {
     #[test]
     fn concurrent_misses_to_one_line_merge() {
         let mut m = module();
-        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 5, line_bytes: 32 });
+        let mut chan = DramChannel::new(DramConfig {
+            bytes_per_cycle: 8.0,
+            access_latency: 5,
+            line_bytes: 32,
+        });
         for t in 0..4 {
-            m.enqueue(MemReq { addr: t, is_write: false, tag: t as u64 });
+            m.enqueue(MemReq {
+                addr: t,
+                is_write: false,
+                tag: t as u64,
+            });
         }
         let resps = drive(&mut m, &mut chan, 60);
         assert_eq!(resps.len(), 4);
@@ -245,13 +325,73 @@ mod tests {
     #[test]
     fn responses_preserve_same_line_order() {
         let mut m = module();
-        let mut chan = DramChannel::new(DramConfig { bytes_per_cycle: 8.0, access_latency: 3, line_bytes: 32 });
+        let mut chan = DramChannel::new(DramConfig {
+            bytes_per_cycle: 8.0,
+            access_latency: 3,
+            line_bytes: 32,
+        });
         for t in 0..6 {
-            m.enqueue(MemReq { addr: 0, is_write: t % 2 == 0, tag: t as u64 });
+            m.enqueue(MemReq {
+                addr: 0,
+                is_write: t % 2 == 0,
+                tag: t as u64,
+            });
         }
         let resps = drive(&mut m, &mut chan, 60);
         let tags: Vec<u64> = resps.iter().map(|r| r.req.tag).collect();
-        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5], "same-location order must be preserved");
+        assert_eq!(
+            tags,
+            vec![0, 1, 2, 3, 4, 5],
+            "same-location order must be preserved"
+        );
+    }
+
+    #[test]
+    fn skip_and_sync_match_stepping() {
+        // A module waiting only on a DRAM fill is inactive; skipping
+        // its idle window must leave response timing identical to
+        // stepping through it.
+        let mut stepped = module();
+        let mut lazy = module();
+        let mut sink = Vec::new();
+        for m in [&mut stepped, &mut lazy] {
+            m.enqueue(MemReq {
+                addr: 0,
+                is_write: false,
+                tag: 1,
+            });
+            let r = m.step(&mut sink);
+            assert!(r.is_empty(), "miss cannot respond immediately");
+            assert!(!m.is_active(), "fill-waiting module is inactive");
+            assert_eq!(m.next_event(), None);
+        }
+        // 10 cycles pass while DRAM works: one module steps, the
+        // other is left alone and skipped.
+        for _ in 0..10 {
+            assert!(stepped.step(&mut sink).is_empty());
+        }
+        lazy.skip_idle(10);
+        let done = DramDone {
+            req: DramReq {
+                line: 0,
+                is_write: false,
+                tag: 0,
+            },
+            finished_at: 11,
+        };
+        stepped.on_fill(done);
+        lazy.on_fill(done);
+        let count_steps = |m: &mut MemoryModule| {
+            let mut creqs = Vec::new();
+            for k in 0..20 {
+                if !m.step(&mut creqs).is_empty() {
+                    return k;
+                }
+            }
+            panic!("response never matured");
+        };
+        assert_eq!(count_steps(&mut stepped), count_steps(&mut lazy));
+        assert_eq!(stepped.stats, lazy.stats);
     }
 
     #[test]
@@ -259,7 +399,11 @@ mod tests {
         let mut m = module();
         let mut chan = DramChannel::new(DramConfig::ddr_like());
         for t in 0..10u32 {
-            m.enqueue(MemReq { addr: t * 64, is_write: false, tag: t as u64 });
+            m.enqueue(MemReq {
+                addr: t * 64,
+                is_write: false,
+                tag: t as u64,
+            });
         }
         assert!(m.outstanding() > 0);
         let resps = drive(&mut m, &mut chan, 3000);

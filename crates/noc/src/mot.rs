@@ -9,8 +9,8 @@
 
 use crate::net::{Delivered, Flit, NetStats, Network};
 use crate::topology::Topology;
-use std::collections::{BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// In-flight flit ordered by arrival cycle at its destination queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,8 @@ pub struct MotNetwork {
     pipeline: BinaryHeap<Reverse<Arriving>>,
     /// Per-destination service queues (the fan-in tree roots).
     dst_queues: Vec<VecDeque<Arriving>>,
+    /// Total flits across `dst_queues` (O(1) emptiness/next-event).
+    queued: usize,
     /// Last injection cycle per source (rate limit 1/cycle).
     last_inject: Vec<u64>,
     /// Accumulated statistics.
@@ -52,7 +54,10 @@ pub struct MotNetwork {
 impl MotNetwork {
     /// Construct a new instance.
     pub fn new(topo: Topology) -> Self {
-        assert!(topo.is_nonblocking(), "MotNetwork models pure MoT topologies");
+        assert!(
+            topo.is_nonblocking(),
+            "MotNetwork models pure MoT topologies"
+        );
         Self {
             latency: topo.latency_cycles() as u64,
             topo,
@@ -60,6 +65,7 @@ impl MotNetwork {
             seq: 0,
             pipeline: BinaryHeap::new(),
             dst_queues: vec![VecDeque::new(); topo.modules],
+            queued: 0,
             last_inject: vec![u64::MAX; topo.clusters],
             stats: NetStats::default(),
         }
@@ -73,7 +79,10 @@ impl Network for MotNetwork {
 
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.topo.clusters, "source port out of range");
-        assert!(flit.dst < self.topo.modules, "destination port out of range");
+        assert!(
+            flit.dst < self.topo.modules,
+            "destination port out of range"
+        );
         if self.last_inject[flit.src] == self.cycle {
             self.stats.inject_rejections += 1;
             return false;
@@ -93,6 +102,10 @@ impl Network for MotNetwork {
 
     fn step(&mut self) -> Vec<Delivered> {
         self.cycle += 1;
+        // Fast path: nothing in flight, the step is a pure clock tick.
+        if self.queued == 0 && self.pipeline.is_empty() {
+            return Vec::new();
+        }
         // Move pipeline arrivals into their destination queues.
         while let Some(Reverse(a)) = self.pipeline.peek() {
             if a.arrive_at > self.cycle {
@@ -100,26 +113,30 @@ impl Network for MotNetwork {
             }
             let Reverse(a) = self.pipeline.pop().unwrap();
             self.dst_queues[a.flit.dst].push_back(a);
+            self.queued += 1;
         }
         // Each destination port serves one flit per cycle.
         let mut out = Vec::new();
-        for q in &mut self.dst_queues {
-            if let Some(a) = q.pop_front() {
-                let d = Delivered {
-                    flit: a.flit,
-                    injected_at: a.injected_at,
-                    delivered_at: self.cycle,
-                };
-                self.stats.delivered += 1;
-                self.stats.total_latency += d.latency();
-                out.push(d);
+        if self.queued > 0 {
+            for q in &mut self.dst_queues {
+                if let Some(a) = q.pop_front() {
+                    self.queued -= 1;
+                    let d = Delivered {
+                        flit: a.flit,
+                        injected_at: a.injected_at,
+                        delivered_at: self.cycle,
+                    };
+                    self.stats.delivered += 1;
+                    self.stats.total_latency += d.latency();
+                    out.push(d);
+                }
             }
         }
         out
     }
 
     fn in_flight(&self) -> usize {
-        self.pipeline.len() + self.dst_queues.iter().map(VecDeque::len).sum::<usize>()
+        self.pipeline.len() + self.queued
     }
 
     fn cycle(&self) -> u64 {
@@ -128,6 +145,26 @@ impl Network for MotNetwork {
 
     fn min_latency(&self) -> u64 {
         self.latency.max(1)
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        if self.queued > 0 {
+            // A destination port will serve on the very next step.
+            Some(self.cycle + 1)
+        } else {
+            // Earliest pipeline arrival: it enters its destination
+            // queue and is served the same cycle.
+            self.pipeline.peek().map(|Reverse(a)| a.arrive_at)
+        }
+    }
+
+    fn skip_idle(&mut self, n: u64) {
+        debug_assert_eq!(self.queued, 0, "skip_idle with queued flits");
+        debug_assert!(self
+            .pipeline
+            .peek()
+            .is_none_or(|Reverse(a)| a.arrive_at > self.cycle + n));
+        self.cycle += n;
     }
 }
 
@@ -142,7 +179,11 @@ mod tests {
     #[test]
     fn single_flit_sees_pipeline_latency() {
         let mut n = net(8, 8);
-        assert!(n.try_inject(Flit { src: 0, dst: 3, tag: 1 }));
+        assert!(n.try_inject(Flit {
+            src: 0,
+            dst: 3,
+            tag: 1
+        }));
         let lat = n.min_latency();
         let mut delivered = Vec::new();
         for _ in 0..lat + 2 {
@@ -156,10 +197,22 @@ mod tests {
     #[test]
     fn source_rate_limited_to_one_per_cycle() {
         let mut n = net(4, 4);
-        assert!(n.try_inject(Flit { src: 2, dst: 0, tag: 1 }));
-        assert!(!n.try_inject(Flit { src: 2, dst: 1, tag: 2 }));
+        assert!(n.try_inject(Flit {
+            src: 2,
+            dst: 0,
+            tag: 1
+        }));
+        assert!(!n.try_inject(Flit {
+            src: 2,
+            dst: 1,
+            tag: 2
+        }));
         n.step();
-        assert!(n.try_inject(Flit { src: 2, dst: 1, tag: 2 }));
+        assert!(n.try_inject(Flit {
+            src: 2,
+            dst: 1,
+            tag: 2
+        }));
         assert_eq!(n.stats.inject_rejections, 1);
     }
 
@@ -169,7 +222,11 @@ mod tests {
         // same cycle (non-blocking network).
         let mut n = net(4, 4);
         for s in 0..4 {
-            assert!(n.try_inject(Flit { src: s, dst: s, tag: s as u64 }));
+            assert!(n.try_inject(Flit {
+                src: s,
+                dst: s,
+                tag: s as u64
+            }));
         }
         let mut all = Vec::new();
         for _ in 0..n.min_latency() {
@@ -187,7 +244,11 @@ mod tests {
         // replication works around.
         let mut n = net(4, 4);
         for s in 0..4 {
-            assert!(n.try_inject(Flit { src: s, dst: 0, tag: s as u64 }));
+            assert!(n.try_inject(Flit {
+                src: s,
+                dst: 0,
+                tag: s as u64
+            }));
         }
         let mut times = Vec::new();
         for _ in 0..20 {
@@ -231,6 +292,41 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_port_panics() {
         let mut n = net(4, 4);
-        n.try_inject(Flit { src: 9, dst: 0, tag: 0 });
+        n.try_inject(Flit {
+            src: 9,
+            dst: 0,
+            tag: 0,
+        });
+    }
+
+    #[test]
+    fn next_event_and_skip_match_stepping() {
+        let mut a = net(8, 8);
+        let mut b = net(8, 8);
+        assert_eq!(a.next_event(), None);
+        for n in [&mut a, &mut b] {
+            assert!(n.try_inject(Flit {
+                src: 1,
+                dst: 6,
+                tag: 3
+            }));
+        }
+        // The first event is the pipeline arrival (delivered same
+        // cycle it reaches the empty destination queue).
+        let ev = a.next_event().expect("flit in flight");
+        assert!(ev > a.cycle());
+        // a: skip right up to the event; b: step one cycle at a time.
+        a.skip_idle(ev - a.cycle() - 1);
+        let mut b_out = Vec::new();
+        for _ in 0..(ev - b.cycle() - 1) {
+            b_out.extend(b.step());
+        }
+        assert!(b_out.is_empty(), "skipped window must be event-free");
+        let da = a.step();
+        let db = b.step();
+        assert_eq!(da, db, "skip must be invisible to deliveries");
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(a.next_event(), None);
+        assert_eq!(b.next_event(), None);
     }
 }

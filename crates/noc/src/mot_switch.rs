@@ -54,6 +54,8 @@ pub struct MotSwitchNetwork {
     trees: Vec<Vec<Vec<Switch>>>,
     /// Flits traversing the fan-out trees (pure latency).
     fanout: BinaryHeap<Reverse<Queued>>,
+    /// Total flits buffered inside the fan-in trees (O(1) next-event).
+    queued: usize,
     last_inject: Vec<u64>,
     cycle: u64,
     seq: u64,
@@ -82,6 +84,7 @@ impl MotSwitchNetwork {
             topo,
             trees,
             fanout: BinaryHeap::new(),
+            queued: 0,
             last_inject: vec![u64::MAX; topo.clusters],
             cycle: 0,
             seq: 0,
@@ -129,6 +132,10 @@ impl Network for MotSwitchNetwork {
             let sw = q.flit.src >> 1;
             let side = q.flit.src & 1;
             self.trees[q.flit.dst][0][sw].inputs[side].push_back(q);
+            self.queued += 1;
+        }
+        if self.queued == 0 {
+            return Vec::new();
         }
         // Advance every fan-in tree from root level back to leaves so a
         // flit moves one level per cycle.
@@ -153,6 +160,7 @@ impl Network for MotSwitchNetwork {
                     let q = self.trees[dst][l][s].inputs[pick].pop_front().unwrap();
                     if l + 1 == levels {
                         // Root: delivered.
+                        self.queued -= 1;
                         let d = Delivered {
                             flit: q.flit,
                             injected_at: q.injected_at,
@@ -172,14 +180,7 @@ impl Network for MotSwitchNetwork {
     }
 
     fn in_flight(&self) -> usize {
-        let queued: usize = self
-            .trees
-            .iter()
-            .flat_map(|t| t.iter())
-            .flat_map(|l| l.iter())
-            .map(|s| s.inputs[0].len() + s.inputs[1].len())
-            .sum();
-        queued + self.fanout.len()
+        self.queued + self.fanout.len()
     }
 
     fn cycle(&self) -> u64 {
@@ -189,6 +190,25 @@ impl Network for MotSwitchNetwork {
     fn min_latency(&self) -> u64 {
         // Arrival into level 0 and the first hop share a cycle.
         self.fanout_latency + self.levels() as u64 - 1
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        if self.queued > 0 {
+            Some(self.cycle + 1)
+        } else {
+            self.fanout.peek().map(|Reverse(q)| q.arrive_at)
+        }
+    }
+
+    fn skip_idle(&mut self, n: u64) {
+        debug_assert_eq!(self.queued, 0, "skip_idle with buffered flits");
+        debug_assert!(self
+            .fanout
+            .peek()
+            .is_none_or(|Reverse(q)| q.arrive_at > self.cycle + n));
+        // Switch `prefer` bits only toggle when both inputs are
+        // occupied, so an idle window leaves them untouched.
+        self.cycle += n;
     }
 }
 
@@ -205,7 +225,11 @@ mod tests {
     #[test]
     fn single_flit_traverses_both_tree_sides() {
         let mut n = net(16);
-        assert!(n.try_inject(Flit { src: 5, dst: 11, tag: 7 }));
+        assert!(n.try_inject(Flit {
+            src: 5,
+            dst: 11,
+            tag: 7
+        }));
         let mut got = Vec::new();
         for _ in 0..20 {
             got.extend(n.step());
@@ -221,7 +245,11 @@ mod tests {
         // network"): a permutation sustains one flit per port per cycle.
         let mut n = net(32);
         let s = measure_saturation(&mut n, Pattern::Transpose, 100, 400);
-        assert!(s.throughput > 0.99, "switch-level MoT permutation: {}", s.throughput);
+        assert!(
+            s.throughput > 0.99,
+            "switch-level MoT permutation: {}",
+            s.throughput
+        );
     }
 
     #[test]
@@ -251,9 +279,13 @@ mod tests {
         let mut injected = 0u64;
         for round in 0..50u64 {
             for src in 0..8 {
-                if (src + round as usize) % 3 != 0 {
+                if !(src + round as usize).is_multiple_of(3) {
                     let dst = (src * 5 + round as usize) % 8;
-                    if n.try_inject(Flit { src, dst, tag: round * 8 + src as u64 }) {
+                    if n.try_inject(Flit {
+                        src,
+                        dst,
+                        tag: round * 8 + src as u64,
+                    }) {
                         injected += 1;
                     }
                 }

@@ -52,6 +52,41 @@ pub trait Network {
     fn cycle(&self) -> u64;
     /// Minimum possible traversal latency in cycles.
     fn min_latency(&self) -> u64;
+
+    /// Earliest future cycle (in this network's clock domain) at which
+    /// a `step` could deliver a flit or move internal state, assuming
+    /// no further injections. `None` means the network is empty and
+    /// stepping it is a pure clock tick. The returned cycle may be
+    /// conservative (earlier than the true next event), never later.
+    fn next_event(&self) -> Option<u64> {
+        if self.in_flight() == 0 {
+            None
+        } else {
+            Some(self.cycle() + 1)
+        }
+    }
+
+    /// Advance the clock by `n` cycles during which the caller
+    /// guarantees (via [`Network::next_event`]) that no flit moves and
+    /// nothing is injected. Must leave the network in exactly the
+    /// state `n` successive event-free `step` calls would. The default
+    /// simply steps, which is always correct but forfeits the speedup.
+    fn skip_idle(&mut self, n: u64) {
+        for _ in 0..n {
+            let delivered = self.step();
+            debug_assert!(delivered.is_empty(), "skip_idle crossed a delivery");
+        }
+    }
+
+    /// Flits `src` could still successfully inject before the next
+    /// `step`, assuming it has not injected this cycle: the per-cycle
+    /// rate limit (always 1) minus any input-buffer backpressure.
+    /// Callers that batch a cycle's injections may rely on this to
+    /// predict `try_inject` outcomes exactly.
+    fn inject_budget(&self, src: usize) -> usize {
+        let _ = src;
+        1
+    }
 }
 
 /// Aggregate statistics a network keeps about its own operation.
@@ -87,7 +122,11 @@ mod tests {
     #[test]
     fn delivered_latency() {
         let d = Delivered {
-            flit: Flit { src: 0, dst: 1, tag: 9 },
+            flit: Flit {
+                src: 0,
+                dst: 1,
+                tag: 9,
+            },
             injected_at: 10,
             delivered_at: 25,
         };

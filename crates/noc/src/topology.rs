@@ -38,11 +38,15 @@ impl Topology {
     pub fn hybrid(clusters: usize, modules: usize, mot_levels: u32, butterfly_levels: u32) -> Self {
         assert!(clusters.is_power_of_two() && modules.is_power_of_two());
         assert!(
-            mot_levels + butterfly_levels
-                <= clusters.trailing_zeros() + modules.trailing_zeros(),
+            mot_levels + butterfly_levels <= clusters.trailing_zeros() + modules.trailing_zeros(),
             "more levels than a pure MoT would have"
         );
-        Self { clusters, modules, mot_levels, butterfly_levels }
+        Self {
+            clusters,
+            modules,
+            mot_levels,
+            butterfly_levels,
+        }
     }
 
     /// Total one-way traversal latency in cycles (one cycle per level,
@@ -122,7 +126,10 @@ impl NocAreaModel {
 
     /// The 14 nm node: logic area scales by 0.54 (Intel \[30\]).
     pub fn nm14() -> Self {
-        Self { tech_scale: 0.54, ..Self::nm22() }
+        Self {
+            tech_scale: 0.54,
+            ..Self::nm22()
+        }
     }
 
     /// Total NoC area in mm².
@@ -193,6 +200,9 @@ mod tests {
     #[test]
     fn crosspoint_count_quadratic_for_pure_mot() {
         assert_eq!(Topology::pure_mot(128, 128).mot_crosspoints(), 128 * 128);
-        assert_eq!(Topology::pure_mot(256, 256).mot_crosspoints(), 4 * 128 * 128);
+        assert_eq!(
+            Topology::pure_mot(256, 256).mot_crosspoints(),
+            4 * 128 * 128
+        );
     }
 }

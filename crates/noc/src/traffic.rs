@@ -34,7 +34,9 @@ impl Pattern {
         match *self {
             Pattern::Uniform => {
                 // SplitMix64-style mix of (src, round).
-                let mut z = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round);
+                let mut z = (src as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(round);
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 (z ^ (z >> 31)) as usize % ports
@@ -87,7 +89,11 @@ pub fn measure_saturation<N: Network>(
     for c in 0..warmup + measure {
         for s in 0..srcs {
             let d = pattern.dst(s, dsts, c);
-            let ok = net.try_inject(Flit { src: s, dst: d, tag: c * srcs as u64 + s as u64 });
+            let ok = net.try_inject(Flit {
+                src: s,
+                dst: d,
+                tag: c * srcs as u64 + s as u64,
+            });
             if ok && c >= warmup {
                 accepted += 1;
             }
@@ -103,7 +109,11 @@ pub fn measure_saturation<N: Network>(
     Saturation {
         offered: accepted as f64 / (measure as f64 * srcs as f64),
         throughput: delivered as f64 / (measure as f64 * dsts as f64),
-        mean_latency: if delivered == 0 { 0.0 } else { lat_sum as f64 / delivered as f64 },
+        mean_latency: if delivered == 0 {
+            0.0
+        } else {
+            lat_sum as f64 / delivered as f64
+        },
     }
 }
 
@@ -116,8 +126,12 @@ mod tests {
 
     #[test]
     fn patterns_stay_in_range() {
-        for p in [Pattern::Uniform, Pattern::Transpose, Pattern::BitReverse, Pattern::Hotspot(3)]
-        {
+        for p in [
+            Pattern::Uniform,
+            Pattern::Transpose,
+            Pattern::BitReverse,
+            Pattern::Hotspot(3),
+        ] {
             for src in 0..64 {
                 for round in 0..4 {
                     assert!(p.dst(src, 64, round) < 64);
@@ -129,7 +143,7 @@ mod tests {
     #[test]
     fn transpose_and_bitrev_are_permutations() {
         for p in [Pattern::Transpose, Pattern::BitReverse] {
-            let mut seen = vec![false; 64];
+            let mut seen = [false; 64];
             for src in 0..64 {
                 let d = p.dst(src, 64, 0);
                 assert!(!seen[d], "{p:?} repeated destination {d}");
@@ -144,14 +158,22 @@ mod tests {
         let s = measure_saturation(&mut n, Pattern::Uniform, 100, 400);
         // Random uniform traffic has transient same-destination
         // collisions but the steady-state service rate is 1/cycle/port.
-        assert!(s.throughput > 0.9, "MoT uniform throughput {}", s.throughput);
+        assert!(
+            s.throughput > 0.9,
+            "MoT uniform throughput {}",
+            s.throughput
+        );
     }
 
     #[test]
     fn mot_permutation_is_lossless_bandwidth() {
         let mut n = MotNetwork::new(Topology::pure_mot(16, 16));
         let s = measure_saturation(&mut n, Pattern::Transpose, 50, 200);
-        assert!(s.throughput > 0.99, "MoT permutation throughput {}", s.throughput);
+        assert!(
+            s.throughput > 0.99,
+            "MoT permutation throughput {}",
+            s.throughput
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ impl Platform {
     /// Construct a new instance.
     pub fn new(name: &'static str, peak_gflops: f64, peak_gbs: f64) -> Self {
         assert!(peak_gflops > 0.0 && peak_gbs > 0.0);
-        Self { name, peak_gflops, peak_gbs }
+        Self {
+            name,
+            peak_gflops,
+            peak_gbs,
+        }
     }
 
     /// Attainable GFLOPS at operational intensity `oi` (FLOPs/byte):
@@ -57,7 +61,11 @@ pub struct Point {
 impl Point {
     /// Construct a new instance.
     pub fn new(label: &'static str, intensity: f64, gflops: f64) -> Self {
-        Self { label, intensity, gflops }
+        Self {
+            label,
+            intensity,
+            gflops,
+        }
     }
 }
 
@@ -74,7 +82,10 @@ pub struct RooflineSeries {
 impl RooflineSeries {
     /// Construct a new instance.
     pub fn new(platform: Platform) -> Self {
-        Self { platform, points: Vec::new() }
+        Self {
+            platform,
+            points: Vec::new(),
+        }
     }
 
     /// The `push` value.

@@ -90,7 +90,10 @@ pub fn render_ascii(series: &[RooflineSeries], width: usize, height: usize) -> S
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("  [{si}] {}: ", s.platform.name));
         for p in &s.points {
-            out.push_str(&format!("{}=({:.2}, {:.0})  ", p.label, p.intensity, p.gflops));
+            out.push_str(&format!(
+                "{}=({:.2}, {:.0})  ",
+                p.label, p.intensity, p.gflops
+            ));
         }
         out.push('\n');
     }

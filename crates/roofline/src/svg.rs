@@ -5,7 +5,9 @@
 use crate::model::RooflineSeries;
 
 /// Styling palette: one stroke color per series, cycled.
-const COLORS: [&str; 6] = ["#1f6f8b", "#c0392b", "#27ae60", "#8e44ad", "#d35400", "#2c3e50"];
+const COLORS: [&str; 6] = [
+    "#1f6f8b", "#c0392b", "#27ae60", "#8e44ad", "#d35400", "#2c3e50",
+];
 
 fn log_pos(v: f64, min: f64, max: f64, lo_px: f64, hi_px: f64) -> f64 {
     let t = (v.ln() - min.ln()) / (max.ln() - min.ln());

@@ -196,7 +196,10 @@ impl XmtConfig {
         c.butterfly_levels = bfly;
         c.mot_levels = bits - bfly;
         c.mm_per_dram_ctrl = self.mm_per_dram_ctrl.min(modules);
-        c.dram = DramConfig { access_latency: 60, ..self.dram };
+        c.dram = DramConfig {
+            access_latency: 60,
+            ..self.dram
+        };
         c
     }
 }

@@ -137,7 +137,11 @@ mod tests {
         // data — the paper's premise.
         let cfg = XmtConfig::xmt_4k();
         let e = phase_energy(&cfg, &[demand(12.75e9, 5.75e9, 24e9)]);
-        assert!(e.data_movement_fraction() > 0.5, "{}", e.data_movement_fraction());
+        assert!(
+            e.data_movement_fraction() > 0.5,
+            "{}",
+            e.data_movement_fraction()
+        );
     }
 
     #[test]
@@ -187,7 +191,11 @@ mod tests {
         let n = 512f64 * 512.0 * 512.0;
         let demands: Vec<PhaseDemand> = (0..9)
             .map(|i| PhaseDemand {
-                name: if i % 3 == 2 { "rotation".into() } else { format!("s{i}") },
+                name: if i % 3 == 2 {
+                    "rotation".into()
+                } else {
+                    format!("s{i}")
+                },
                 flops: n * if i % 3 == 2 { 7.5 } else { 12.75 },
                 icn_words_up: 2.0 * n,
                 icn_words_down: if i % 3 == 2 { 2.0 * n } else { 3.75 * n },

@@ -25,6 +25,8 @@ pub mod physical;
 
 pub use config::XmtConfig;
 pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};
-pub use machine::{Machine, MachineStats, RunSummary, SimError, SpawnStats, UtilizationReport};
+pub use machine::{
+    Engine, Machine, MachineStats, RunSummary, SimError, SpawnStats, UtilizationReport,
+};
 pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
 pub use physical::{summarize, PhysicalSummary};

@@ -34,6 +34,9 @@ use xmt_isa::Program;
 use xmt_mem::{AddressHash, ChannelRequest, DramChannel, DramReq, MemReq, MemoryModule};
 use xmt_noc::{Flit, Network, Topology};
 
+#[path = "machine_threaded.rs"]
+mod threaded;
+
 /// FPU result latency in cycles.
 const FPU_LATENCY: u64 = 4;
 /// MDU (multiply/divide) latency in cycles.
@@ -136,29 +139,10 @@ impl Tcu {
         }
     }
 
-    fn ready(&self, ins: &Instr) -> bool {
-        for r in ins.iregs_read().into_iter().flatten() {
-            if self.pend_i & (1 << r.index()) != 0 {
-                return false;
-            }
-        }
-        for r in ins.fregs_read().into_iter().flatten() {
-            if self.pend_f & (1 << r.index()) != 0 {
-                return false;
-            }
-        }
-        // WAW on a pending load target also stalls.
-        if let Some(r) = ins.ireg_written() {
-            if self.pend_i & (1 << r.index()) != 0 {
-                return false;
-            }
-        }
-        if let Some(r) = ins.freg_written() {
-            if self.pend_f & (1 << r.index()) != 0 {
-                return false;
-            }
-        }
-        true
+    /// Scoreboard check against the precomputed per-pc hazard masks
+    /// (reads plus WAW target — see `Instr::hazard_masks`).
+    fn blocked(&self, masks: (u32, u32)) -> bool {
+        self.pend_i & masks.0 != 0 || self.pend_f & masks.1 != 0
     }
 }
 
@@ -166,9 +150,14 @@ impl Tcu {
 #[derive(Debug)]
 enum Mode {
     /// MTCU running; `resume_at` models multi-cycle serial operations.
-    Serial { pc: usize, resume_at: u64 },
+    Serial {
+        pc: usize,
+        resume_at: u64,
+    },
     /// Parallel section: TCUs executing threads of the current spawn.
-    Parallel { return_pc: usize },
+    Parallel {
+        return_pc: usize,
+    },
     Finished,
 }
 
@@ -299,6 +288,117 @@ struct SpawnTracker {
     threads_at_start: u64,
 }
 
+/// Which advance loop [`Machine::run`] uses. Every engine produces
+/// bit-identical [`RunSummary`] / memory / register state — the golden
+/// cycle tests pin this; engines only differ in wall-clock speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Plain cycle-by-cycle loop: every component steps every cycle.
+    /// The semantic baseline the optimized engines are checked against.
+    Reference,
+    /// Event-driven fast-forward: on cycles where nothing can issue,
+    /// jump straight to the next component event (FPU/MDU completion,
+    /// NoC arrival, cache-response maturation, DRAM completion, serial
+    /// resume) and accrue the skipped cycles' stall statistics in bulk.
+    #[default]
+    FastForward,
+    /// Two-phase parallel cluster stepping on worker threads: each
+    /// cycle the clusters compute locally in parallel, then the main
+    /// thread replays their memory-injection attempts in cluster order
+    /// so NoC arbitration and transaction tags match the serial
+    /// engines exactly. Includes the fast-forward optimization. Falls
+    /// back to [`Engine::FastForward`] for programs that mutate global
+    /// state from parallel mode (`ps`/`sspawn`).
+    Threaded {
+        /// Worker count; 0 picks one per available core (capped at
+        /// the cluster count).
+        threads: usize,
+    },
+}
+
+/// A matured reply headed for a TCU (cluster, tcu, kind, value).
+struct ReplyDelivery {
+    cluster: usize,
+    tcu: usize,
+    kind: TxnKind,
+    value: u32,
+}
+
+/// Result of scanning one cluster for fast-forward eligibility.
+struct ClusterScan {
+    /// Some TCU could issue (or fault) next cycle — cannot skip.
+    issue_next: bool,
+    /// Earliest `busy_until` among latency-stalled TCUs (`u64::MAX`
+    /// when none).
+    min_busy: u64,
+    /// TCUs that would burn a scoreboard-stall per skipped cycle.
+    blocked_scoreboard: u64,
+    /// TCUs that would burn an LSU-stall per skipped cycle (at the
+    /// outstanding-transaction cap).
+    blocked_lsu: u64,
+    /// Idle TCUs (would activate if thread IDs remained).
+    idle: u64,
+}
+
+/// Scan a cluster as it would be seen at the top of cycle `next`:
+/// classify every TCU as issuing, latency-stalled, scoreboard-stalled,
+/// LSU-capped, silently waiting (join with posted stores) or idle.
+/// Mirrors the issue tests of `step_cluster` exactly; any instruction
+/// that would issue *or fault* reports `issue_next` so the per-cycle
+/// path keeps sole ownership of side effects and errors. The scan
+/// always visits every TCU — the threaded engine sizes thread-ID
+/// grants from `idle`, so the counts must stay complete even once
+/// `issue_next` is set.
+fn scan_cluster(cluster: &[Tcu], prog: &Program, hazard: &[(u32, u32)], next: u64) -> ClusterScan {
+    let mut scan = ClusterScan {
+        issue_next: false,
+        min_busy: u64::MAX,
+        blocked_scoreboard: 0,
+        blocked_lsu: 0,
+        idle: 0,
+    };
+    for tcu in cluster {
+        if !tcu.active {
+            scan.idle += 1;
+            continue;
+        }
+        if tcu.busy_until > next {
+            scan.min_busy = scan.min_busy.min(tcu.busy_until);
+            continue;
+        }
+        if tcu.pc >= prog.len() {
+            scan.issue_next = true; // will fault: no skipping past it
+            continue;
+        }
+        let (im, fm) = hazard[tcu.pc];
+        if tcu.pend_i & im != 0 || tcu.pend_f & fm != 0 {
+            scan.blocked_scoreboard += 1;
+            continue;
+        }
+        let ins = prog.fetch(tcu.pc);
+        match ins.unit() {
+            Unit::Lsu if tcu.outstanding >= MAX_OUTSTANDING => {
+                scan.blocked_lsu += 1;
+            }
+            Unit::Lsu => {
+                scan.issue_next = true;
+            }
+            Unit::Control if matches!(ins, Instr::Join) && tcu.outstanding > 0 => {
+                // Join waiting on posted stores is silent: no stall
+                // counter, no issue. The reply that unblocks it is a
+                // tracked memory event.
+            }
+            // Every other unit issues (port budgets start ≥1 per
+            // cluster, and a budget only empties on a cycle that
+            // issued — which this, by construction, is not).
+            _ => {
+                scan.issue_next = true;
+            }
+        }
+    }
+    scan
+}
+
 /// The XMT machine.
 pub struct Machine {
     cfg: XmtConfig,
@@ -331,6 +431,39 @@ pub struct Machine {
     pub stats: MachineStats,
     spawn_log: Vec<SpawnStats>,
     tracker: Option<SpawnTracker>,
+    /// Advance-loop selection for [`Machine::run`].
+    pub engine: Engine,
+    /// Per-pc combined (integer, float) scoreboard hazard masks —
+    /// reads plus the WAW target — so the per-TCU ready check is two
+    /// AND/compare pairs instead of a register-list walk.
+    hazard: Vec<(u32, u32)>,
+    /// Program touches global state from parallel mode (`ps`/`sspawn`),
+    /// which the threaded engine cannot partition across workers.
+    has_global_ops: bool,
+    /// Completed memory-system steps. Trails `cycle` by the summed
+    /// spawn-broadcast cycles (which advance the machine clock without
+    /// stepping components); `cycle - mem_clock` converts component
+    /// clocks to machine clocks.
+    mem_clock: u64,
+    /// Sorted indices of modules with work (`MemoryModule::is_active`);
+    /// only these step each cycle. `module_active` mirrors membership.
+    active_modules: Vec<usize>,
+    module_active: Vec<bool>,
+    /// Sorted indices of channels with transfers pending.
+    active_channels: Vec<usize>,
+    channel_active: Vec<bool>,
+    /// Sorted indices of non-empty module outboxes.
+    active_outboxes: Vec<usize>,
+    outbox_active: Vec<bool>,
+}
+
+/// Insert `idx` into a sorted active list if not already present.
+fn activate(list: &mut Vec<usize>, flags: &mut [bool], idx: usize) {
+    if !flags[idx] {
+        flags[idx] = true;
+        let pos = list.partition_point(|&x| x < idx);
+        list.insert(pos, idx);
+    }
 }
 
 impl Machine {
@@ -351,13 +484,24 @@ impl Machine {
         let modules = (0..cfg.memory_modules)
             .map(|i| MemoryModule::new(i, cfg.cache))
             .collect();
-        let channels = (0..cfg.dram_channels()).map(|_| DramChannel::new(cfg.dram)).collect();
+        let channels: Vec<DramChannel> = (0..cfg.dram_channels())
+            .map(|_| DramChannel::new(cfg.dram))
+            .collect();
+        let hazard = (0..prog.len())
+            .map(|pc| prog.fetch(pc).hazard_masks())
+            .collect();
+        let has_global_ops = (0..prog.len())
+            .any(|pc| matches!(prog.fetch(pc), Instr::Ps { .. } | Instr::Sspawn { .. }));
+        let n_channels = channels.len();
         Self {
             prog,
             mem: vec![0; mem_words],
             gregs: [0; NUM_GREGS],
             mtcu_rf: RegFile::new(0),
-            mode: Mode::Serial { pc: 0, resume_at: 0 },
+            mode: Mode::Serial {
+                pc: 0,
+                resume_at: 0,
+            },
             cycle: 0,
             next_tid: 0,
             spawn_count: 0,
@@ -379,6 +523,16 @@ impl Machine {
             stats: MachineStats::default(),
             spawn_log: Vec::new(),
             tracker: None,
+            engine: Engine::default(),
+            hazard,
+            has_global_ops,
+            mem_clock: 0,
+            active_modules: Vec::new(),
+            module_active: vec![false; cfg.memory_modules],
+            active_channels: Vec::new(),
+            channel_active: vec![false; n_channels],
+            active_outboxes: Vec::new(),
+            outbox_active: vec![false; cfg.memory_modules],
             cfg: *cfg,
         }
     }
@@ -392,7 +546,10 @@ impl Machine {
 
     /// Read `len` f32s from word address `addr`.
     pub fn read_f32s(&self, addr: usize, len: usize) -> Vec<f32> {
-        self.mem[addr..addr + len].iter().map(|&w| f32::from_bits(w)).collect()
+        self.mem[addr..addr + len]
+            .iter()
+            .map(|&w| f32::from_bits(w))
+            .collect()
     }
 
     /// Store a `u32` slice at word address `addr`.
@@ -414,8 +571,11 @@ impl Machine {
     /// counts, per-module cache behaviour and DRAM-channel occupancy.
     pub fn utilization(&self) -> UtilizationReport {
         let cluster_instr = self.cluster_instr.clone();
-        let module_accesses: Vec<u64> =
-            self.modules.iter().map(|m| m.bank().stats.accesses).collect();
+        let module_accesses: Vec<u64> = self
+            .modules
+            .iter()
+            .map(|m| m.bank().stats.accesses)
+            .collect();
         let module_hit_rate: Vec<f64> = self
             .modules
             .iter()
@@ -443,8 +603,7 @@ impl Machine {
             0.0
         } else {
             self.stats.flops as f64
-                / (self.cycle as f64
-                    * (self.cfg.clusters * self.cfg.fpus_per_cluster) as f64)
+                / (self.cycle as f64 * (self.cfg.clusters * self.cfg.fpus_per_cluster) as f64)
         };
         UtilizationReport {
             cluster_instr,
@@ -460,15 +619,167 @@ impl Machine {
         self.channels.iter().map(|c| c.stats.bytes).sum()
     }
 
-    /// Run to `halt`. Returns overall and per-spawn statistics.
+    /// Run to `halt` with the selected [`Engine`]. Returns overall and
+    /// per-spawn statistics; the spawn log is moved out (use
+    /// [`Machine::spawn_log`] for any later inspection).
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        match self.engine {
+            Engine::Reference => self.run_reference(),
+            Engine::FastForward => self.run_ff(),
+            Engine::Threaded { threads } => {
+                if self.has_global_ops || self.clusters.len() < 2 {
+                    self.run_ff()
+                } else {
+                    threaded::run(self, threads)
+                }
+            }
+        }
+    }
+
+    /// The baseline advance loop: one `step` per simulated cycle.
+    fn run_reference(&mut self) -> Result<RunSummary, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             self.step()?;
             if self.cycle > self.max_cycles {
-                return Err(SimError::CycleLimit { at_cycle: self.cycle });
+                return Err(SimError::CycleLimit {
+                    at_cycle: self.cycle,
+                });
             }
         }
-        Ok(RunSummary { stats: self.stats, spawns: self.spawn_log.clone() })
+        Ok(self.summary())
+    }
+
+    /// Fast-forwarding advance loop: after any cycle that issued no
+    /// instruction and activated no thread, jump directly to the next
+    /// cycle on which anything can happen.
+    fn run_ff(&mut self) -> Result<RunSummary, SimError> {
+        while !matches!(self.mode, Mode::Finished) {
+            let instr_before = self.stats.instructions;
+            let threads_before = self.stats.threads;
+            self.step()?;
+            if self.cycle > self.max_cycles {
+                return Err(SimError::CycleLimit {
+                    at_cycle: self.cycle,
+                });
+            }
+            if instr_before == self.stats.instructions && threads_before == self.stats.threads {
+                self.fast_forward();
+                if self.cycle > self.max_cycles {
+                    return Err(SimError::CycleLimit {
+                        at_cycle: self.cycle,
+                    });
+                }
+            }
+        }
+        Ok(self.summary())
+    }
+
+    /// Move the clock from the end of a quiet cycle to just before the
+    /// next event, replicating the bulk effects per-cycle stepping
+    /// would have had: stall counters accrue per skipped cycle,
+    /// round-robin pointers advance, component clocks jump.
+    fn fast_forward(&mut self) {
+        let next = self.cycle + 1;
+        // The earliest cycle on which stepping could do something;
+        // capped so a totally event-free machine still trips the
+        // cycle-limit check exactly where the reference engine does.
+        let mut horizon = self.max_cycles + 1;
+        let mut blocked_scoreboard = 0u64;
+        let mut blocked_lsu = 0u64;
+        let parallel = match self.mode {
+            Mode::Finished => return,
+            Mode::Serial { resume_at, .. } => {
+                if resume_at <= next {
+                    return; // the MTCU issues next cycle
+                }
+                horizon = horizon.min(resume_at);
+                false
+            }
+            Mode::Parallel { .. } => {
+                for cluster in &self.clusters {
+                    let scan = scan_cluster(cluster, &self.prog, &self.hazard, next);
+                    if scan.issue_next || (scan.idle > 0 && self.next_tid < self.spawn_count) {
+                        return; // someone issues or activates next cycle
+                    }
+                    horizon = horizon.min(scan.min_busy);
+                    blocked_scoreboard += scan.blocked_scoreboard;
+                    blocked_lsu += scan.blocked_lsu;
+                }
+                true
+            }
+        };
+        if let Some(e) = self.memory_next_event() {
+            horizon = horizon.min(e);
+        }
+        if horizon <= next {
+            return;
+        }
+        let n = horizon - next;
+        self.req_net.skip_idle(n);
+        self.reply_net.skip_idle(n);
+        for &m in &self.active_modules {
+            self.modules[m].skip_idle(n);
+        }
+        for &c in &self.active_channels {
+            self.channels[c].skip_idle(n);
+        }
+        self.mem_clock += n;
+        if parallel {
+            self.stats.stall_scoreboard += n * blocked_scoreboard;
+            self.stats.stall_lsu += n * blocked_lsu;
+            let ntcus = self.cfg.tcus_per_cluster;
+            let adv = (n % ntcus as u64) as usize;
+            for rr in &mut self.cluster_rr {
+                *rr = (*rr + adv) % ntcus;
+            }
+        }
+        self.cycle += n;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Earliest machine-clock cycle at which the memory system can
+    /// change state on its own, or `None` when fully drained.
+    fn memory_next_event(&self) -> Option<u64> {
+        // A queued reply injection retries every cycle (it can be
+        // refused by backpressure, which mutates NoC stats).
+        if !self.active_outboxes.is_empty() {
+            return Some(self.cycle + 1);
+        }
+        let off = self.cycle - self.mem_clock;
+        let mut e = u64::MAX;
+        if let Some(x) = self.req_net.next_event() {
+            e = e.min(x + off);
+        }
+        if let Some(x) = self.reply_net.next_event() {
+            e = e.min(x + off);
+        }
+        for &m in &self.active_modules {
+            if let Some(x) = self.modules[m].next_event() {
+                e = e.min(x + off);
+            }
+        }
+        for &c in &self.active_channels {
+            if let Some(x) = self.channels[c].next_event() {
+                e = e.min(x + off);
+            }
+        }
+        (e != u64::MAX).then_some(e)
+    }
+
+    /// Per-spawn statistics accumulated so far. [`Machine::run`] moves
+    /// the log into its [`RunSummary`] rather than cloning it, so after
+    /// a completed run the summary owns the entries and this is empty;
+    /// it is useful when driving the machine manually via
+    /// [`Machine::step`].
+    pub fn spawn_log(&self) -> &[SpawnStats] {
+        &self.spawn_log
+    }
+
+    fn summary(&mut self) -> RunSummary {
+        RunSummary {
+            stats: self.stats,
+            spawns: std::mem::take(&mut self.spawn_log),
+        }
     }
 
     /// Advance the machine one cycle.
@@ -523,57 +834,85 @@ impl Machine {
                 Unit::Mdu => MDU_LATENCY,
                 _ => 1,
             };
-            self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + lat };
+            self.mode = Mode::Serial {
+                pc: pc + 1,
+                resume_at: self.cycle + lat,
+            };
             return Ok(());
         }
         match ins {
             Instr::WriteGr { rs, dst } => {
                 self.gregs[dst.index()] = self.mtcu_rf.read_i(rs);
-                self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + 1 };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + 1,
+                };
             }
             Instr::Lw { rd, base, off } => {
                 let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
                 let v = self.mem[a];
                 self.mtcu_rf.write_i(rd, v);
                 self.stats.mem_reads += 1;
-                self.mode =
-                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + SERIAL_MEM_LATENCY,
+                };
             }
             Instr::Sw { rs, base, off } => {
                 let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
                 self.mem[a] = self.mtcu_rf.read_i(rs);
                 self.stats.mem_writes += 1;
-                self.mode =
-                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + SERIAL_MEM_LATENCY,
+                };
             }
             Instr::Flw { fd, base, off } => {
                 let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
                 let v = f32::from_bits(self.mem[a]);
                 self.mtcu_rf.write_f(fd, v);
                 self.stats.mem_reads += 1;
-                self.mode =
-                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + SERIAL_MEM_LATENCY,
+                };
             }
             Instr::Fsw { fs, base, off } => {
                 let a = self.addr_of(pc, self.mtcu_rf.read_i(base), off)?;
                 self.mem[a] = self.mtcu_rf.read_f(fs).to_bits();
                 self.stats.mem_writes += 1;
-                self.mode =
-                    Mode::Serial { pc: pc + 1, resume_at: self.cycle + SERIAL_MEM_LATENCY };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + SERIAL_MEM_LATENCY,
+                };
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let t = eval_branch(cond, self.mtcu_rf.read_i(rs1), self.mtcu_rf.read_i(rs2));
                 let next = if t { target } else { pc + 1 };
-                self.mode = Mode::Serial { pc: next, resume_at: self.cycle + 1 };
+                self.mode = Mode::Serial {
+                    pc: next,
+                    resume_at: self.cycle + 1,
+                };
             }
             Instr::Jump { target } => {
-                self.mode = Mode::Serial { pc: target, resume_at: self.cycle + 1 };
+                self.mode = Mode::Serial {
+                    pc: target,
+                    resume_at: self.cycle + 1,
+                };
             }
             Instr::Ps { rd, inc, on } => {
                 let old = self.gregs[on.index()];
                 self.gregs[on.index()] = old.wrapping_add(self.mtcu_rf.read_i(inc));
                 self.mtcu_rf.write_i(rd, old);
-                self.mode = Mode::Serial { pc: pc + 1, resume_at: self.cycle + 1 };
+                self.mode = Mode::Serial {
+                    pc: pc + 1,
+                    resume_at: self.cycle + 1,
+                };
             }
             Instr::Spawn { count, entry } => {
                 let n = self.mtcu_rf.read_i(count);
@@ -597,10 +936,16 @@ impl Machine {
                 self.mode = Mode::Parallel { return_pc: pc + 1 };
             }
             Instr::Join => {
-                return Err(SimError::BadInstruction { pc, what: "join in serial mode" })
+                return Err(SimError::BadInstruction {
+                    pc,
+                    what: "join in serial mode",
+                })
             }
             Instr::Sspawn { .. } => {
-                return Err(SimError::BadInstruction { pc, what: "sspawn in serial mode" })
+                return Err(SimError::BadInstruction {
+                    pc,
+                    what: "sspawn in serial mode",
+                })
             }
             Instr::Halt => {
                 self.mode = Mode::Finished;
@@ -659,7 +1004,7 @@ impl Machine {
                 return Err(SimError::PcOutOfRange { pc });
             }
             let ins = self.prog.fetch(pc);
-            if !self.clusters[c][t].ready(&ins) {
+            if self.clusters[c][t].blocked(self.hazard[pc]) {
                 self.stats.stall_scoreboard += 1;
                 continue;
             }
@@ -721,9 +1066,13 @@ impl Machine {
                 Unit::Branch => {
                     let tcu = &mut self.clusters[c][t];
                     match ins {
-                        Instr::Branch { cond, rs1, rs2, target } => {
-                            let taken =
-                                eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                        Instr::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            target,
+                        } => {
+                            let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
                             tcu.pc = if taken { target } else { pc + 1 };
                         }
                         Instr::Jump { target } => tcu.pc = target,
@@ -746,8 +1095,7 @@ impl Machine {
                             // which idle TCUs pick up immediately.
                             let tcu = &mut self.clusters[c][t];
                             let old = self.spawn_count;
-                            self.spawn_count =
-                                self.spawn_count.wrapping_add(tcu.rf.read_i(count));
+                            self.spawn_count = self.spawn_count.wrapping_add(tcu.rf.read_i(count));
                             tcu.rf.write_i(rd, old);
                             tcu.pc += 1;
                         }
@@ -770,10 +1118,16 @@ impl Machine {
                         self.stats.instructions += 1;
                     }
                     Instr::Spawn { .. } => {
-                        return Err(SimError::BadInstruction { pc, what: "nested spawn" })
+                        return Err(SimError::BadInstruction {
+                            pc,
+                            what: "nested spawn",
+                        })
                     }
                     Instr::Halt => {
-                        return Err(SimError::BadInstruction { pc, what: "halt in parallel mode" })
+                        return Err(SimError::BadInstruction {
+                            pc,
+                            what: "halt in parallel mode",
+                        })
                     }
                     _ => {
                         return Err(SimError::BadInstruction {
@@ -821,13 +1175,23 @@ impl Machine {
         };
         let module = self.hash.module_of(addr as u32);
         let tag = self.next_txn;
-        if !self.req_net.try_inject(Flit { src: c, dst: module, tag }) {
+        if !self.req_net.try_inject(Flit {
+            src: c,
+            dst: module,
+            tag,
+        }) {
             return Ok(false);
         }
         self.next_txn += 1;
         self.txns.insert(
             tag,
-            Txn { cluster: c, tcu: t, addr: addr as u32, kind, value },
+            Txn {
+                cluster: c,
+                tcu: t,
+                addr: addr as u32,
+                kind,
+                value,
+            },
         );
         let tcu = &mut self.clusters[c][t];
         tcu.outstanding += 1;
@@ -852,6 +1216,31 @@ impl Machine {
 
     /// Advance the NoC, memory modules, DRAM channels and replies.
     fn step_memory_system(&mut self) {
+        let mut replies = Vec::new();
+        self.step_memory_system_collect(&mut replies);
+        for r in replies {
+            let tcu = &mut self.clusters[r.cluster][r.tcu];
+            match r.kind {
+                TxnKind::LoadI(rd) => {
+                    tcu.rf.write_i(rd, r.value);
+                    tcu.pend_i &= !(1u32 << rd.index());
+                }
+                TxnKind::LoadF(fd) => {
+                    tcu.rf.write_f(fd, f32::from_bits(r.value));
+                    tcu.pend_f &= !(1u32 << fd.index());
+                }
+                TxnKind::Store => {}
+            }
+            tcu.outstanding -= 1;
+        }
+    }
+
+    /// One memory-system cycle with matured replies pushed to `out`
+    /// instead of applied (the threaded engine routes them to the
+    /// worker that owns the target cluster). Only *active* modules,
+    /// channels and outboxes are visited; idle components are clock-
+    /// synced lazily when something arrives for them.
+    fn step_memory_system_collect(&mut self, out: &mut Vec<ReplyDelivery>) {
         // Request network → modules. Functional effect happens here
         // (arrival order at the home module defines the memory order;
         // kernels separate read and write sets between barriers).
@@ -865,55 +1254,95 @@ impl Machine {
                     self.mem[txn.addr as usize] = txn.value;
                 }
             }
+            // The module is about to take its step for this memory
+            // cycle, so align it to the *previous* one.
+            self.modules[d.flit.dst].sync_to(self.mem_clock);
             self.modules[d.flit.dst].enqueue(MemReq {
                 addr: txn.addr,
                 is_write: matches!(txn.kind, TxnKind::Store),
                 tag: d.flit.tag,
             });
+            activate(
+                &mut self.active_modules,
+                &mut self.module_active,
+                d.flit.dst,
+            );
         }
         // Modules: service + emit DRAM requests.
         let mut creqs: Vec<ChannelRequest> = Vec::new();
-        for (m, module) in self.modules.iter_mut().enumerate() {
-            for resp in module.step(&mut creqs) {
+        for &m in &self.active_modules {
+            for resp in self.modules[m].step(&mut creqs) {
                 self.module_outbox[m].push_back(resp.req.tag);
+                activate(&mut self.active_outboxes, &mut self.outbox_active, m);
             }
         }
+        let module_active = &mut self.module_active;
+        let modules = &self.modules;
+        self.active_modules.retain(|&m| {
+            let still = modules[m].is_active();
+            module_active[m] = still;
+            still
+        });
         for cr in creqs {
             let ch = cr.module / self.cfg.mm_per_dram_ctrl;
-            self.channels[ch].enqueue(DramReq { tag: cr.module as u64, ..cr.req });
+            self.channels[ch].sync_to(self.mem_clock);
+            self.channels[ch].enqueue(DramReq {
+                tag: cr.module as u64,
+                ..cr.req
+            });
+            activate(&mut self.active_channels, &mut self.channel_active, ch);
         }
+        self.mem_clock += 1;
         // DRAM channels → module fills.
-        for ch in &mut self.channels {
-            if let Some(done) = ch.step() {
-                self.modules[done.req.tag as usize].on_fill(done);
-            }
-        }
-        // Module outboxes → reply network (one injection per module
-        // port per cycle).
-        for m in 0..self.module_outbox.len() {
-            if let Some(&tag) = self.module_outbox[m].front() {
-                let cluster = self.txns[&tag].cluster;
-                if self.reply_net.try_inject(Flit { src: m, dst: cluster, tag }) {
-                    self.module_outbox[m].pop_front();
+        for &ch in &self.active_channels {
+            if let Some(done) = self.channels[ch].step() {
+                let m = done.req.tag as usize;
+                // Post-step: both module and channel clocks now sit at
+                // the current memory cycle.
+                self.modules[m].sync_to(self.mem_clock);
+                self.modules[m].on_fill(done);
+                if self.modules[m].is_active() {
+                    activate(&mut self.active_modules, &mut self.module_active, m);
                 }
             }
         }
+        let channel_active = &mut self.channel_active;
+        let channels = &self.channels;
+        self.active_channels.retain(|&ch| {
+            let still = channels[ch].pending() > 0;
+            channel_active[ch] = still;
+            still
+        });
+        // Module outboxes → reply network (one injection per module
+        // port per cycle).
+        let outbox_active = &mut self.outbox_active;
+        let module_outbox = &mut self.module_outbox;
+        let reply_net = &mut self.reply_net;
+        let txns = &self.txns;
+        self.active_outboxes.retain(|&m| {
+            if let Some(&tag) = module_outbox[m].front() {
+                let cluster = txns[&tag].cluster;
+                if reply_net.try_inject(Flit {
+                    src: m,
+                    dst: cluster,
+                    tag,
+                }) {
+                    module_outbox[m].pop_front();
+                }
+            }
+            let still = !module_outbox[m].is_empty();
+            outbox_active[m] = still;
+            still
+        });
         // Reply network → TCUs.
         for d in self.reply_net.step() {
             let txn = self.txns.remove(&d.flit.tag).expect("txn exists");
-            let tcu = &mut self.clusters[txn.cluster][txn.tcu];
-            match txn.kind {
-                TxnKind::LoadI(rd) => {
-                    tcu.rf.write_i(rd, txn.value);
-                    tcu.pend_i &= !(1u32 << rd.index());
-                }
-                TxnKind::LoadF(fd) => {
-                    tcu.rf.write_f(fd, f32::from_bits(txn.value));
-                    tcu.pend_f &= !(1u32 << fd.index());
-                }
-                TxnKind::Store => {}
-            }
-            tcu.outstanding -= 1;
+            out.push(ReplyDelivery {
+                cluster: txn.cluster,
+                tcu: txn.tcu,
+                kind: txn.kind,
+                value: txn.value,
+            });
         }
     }
 
@@ -925,13 +1354,25 @@ impl Machine {
         if self.clusters.iter().any(|cl| cl.iter().any(|t| t.active)) {
             return;
         }
-        if !self.txns.is_empty() {
+        self.maybe_finish_spawn_drained(return_pc);
+    }
+
+    /// Barrier tail shared with the threaded engine (which knows TCU
+    /// activity from its workers' scans): `txns` covers every request
+    /// or reply in a NoC or outbox; the active lists cover modules with
+    /// queued/maturing work and channels with fills or write-backs in
+    /// flight. A module waiting only on a DRAM fill is inactive, but
+    /// its channel stays active until the fill completes and `on_fill`
+    /// reactivates the module — so empty lists plus empty `txns` is
+    /// exactly the reference engine's full drain scan.
+    fn maybe_finish_spawn_drained(&mut self, return_pc: usize) {
+        if self.next_tid < self.spawn_count {
             return;
         }
-        if self.modules.iter().any(|m| m.outstanding() > 0) {
-            return;
-        }
-        if self.channels.iter().any(|ch| ch.pending() > 0) {
+        if !self.txns.is_empty()
+            || !self.active_modules.is_empty()
+            || !self.active_channels.is_empty()
+        {
             return;
         }
         // Section complete: log its stats and resume serial mode.
@@ -947,7 +1388,10 @@ impl Machine {
                 dram_bytes: self.dram_bytes() - tr.start_dram_bytes,
             });
         }
-        self.mode = Mode::Serial { pc: return_pc, resume_at: self.cycle + 1 };
+        self.mode = Mode::Serial {
+            pc: return_pc,
+            resume_at: self.cycle + 1,
+        };
     }
 }
 
@@ -1203,7 +1647,10 @@ mod tests {
         m.run().unwrap();
         let u = m.utilization();
         assert_eq!(u.cluster_instr.len(), 4);
-        assert!(u.cluster_instr.iter().all(|&c| c > 0), "every cluster worked");
+        assert!(
+            u.cluster_instr.iter().all(|&c| c > 0),
+            "every cluster worked"
+        );
         assert!(
             u.cluster_imbalance() < 1.5,
             "PS-based scheduling must balance: {}",

@@ -1,0 +1,794 @@
+//! Two-phase parallel cluster stepping (`Engine::Threaded`).
+//!
+//! Each simulated cycle splits into a *local compute* phase — worker
+//! threads step disjoint contiguous blocks of clusters, recording every
+//! memory-injection attempt instead of touching shared state — and a
+//! *merge* phase on the main thread, which replays those attempts into
+//! the request NoC in cluster order. Because thread-ID grants, NoC
+//! arbitration, transaction tags and reply routing are all resolved in
+//! the same deterministic order the serial engines use, the run is
+//! bit-identical to `Engine::Reference` regardless of worker count or
+//! OS scheduling (pinned by the golden cycle tests).
+//!
+//! Shared mutable state is confined to the main thread: workers own
+//! their TCUs outright (moved out of `Machine::clusters` for the
+//! duration of the run and moved back at shutdown) and see global
+//! registers only as a per-spawn snapshot. Programs that mutate global
+//! state from parallel mode (`ps`/`sspawn`) never reach this module —
+//! `Machine::run` falls back to the fast-forward engine for them.
+//!
+//! The fast-forward optimization composes with threading: when a cycle
+//! is quiet, the main thread combines the workers' per-cluster scans
+//! with its own memory-event horizon and broadcasts a `Skip`, which
+//! workers apply to their round-robin pointers and stall accruals.
+//!
+//! One intentional divergence: on a simulation *error* (out-of-bounds
+//! access, pc overflow), the reference engine stops mid-cycle, leaving
+//! later clusters unstepped; here, workers past the faulting one have
+//! already stepped. The returned error is still the first in cluster
+//! order, but machine state and statistics after a failed run may
+//! differ from the reference engine's. Successful runs are identical.
+
+use super::*;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Immutable per-run parameters every worker needs.
+#[derive(Clone, Copy)]
+struct WorkerParams {
+    ntcus: usize,
+    fpus: usize,
+    mdus: usize,
+    lsus: usize,
+    mem_len: usize,
+    hash: AddressHash,
+}
+
+/// A matured reply to apply to a worker-owned TCU at the start of the
+/// next cycle (equivalent to the reference engine applying it at the
+/// end of the previous one: no issue logic runs in between).
+struct Delivery {
+    tcu: usize,
+    kind: TxnKind,
+    value: u32,
+}
+
+/// One memory-instruction injection attempt, replayed by the main
+/// thread in cluster order. `accepted` is the worker's prediction
+/// (first attempt of the cluster this cycle and the port had budget);
+/// the replay asserts the real NoC agrees.
+struct Attempt {
+    cluster: usize,
+    tcu: usize,
+    addr: u32,
+    kind: TxnKind,
+    value: u32,
+    module: usize,
+    accepted: bool,
+}
+
+enum Cmd {
+    /// A parallel section begins: snapshot of the global registers and
+    /// the section's entry pc.
+    Spawn {
+        gregs: [u32; NUM_GREGS],
+        entry: usize,
+    },
+    /// Step every owned cluster one cycle.
+    Step {
+        cycle: u64,
+        /// Contiguous thread-ID grant per owned cluster.
+        grants: Vec<Range<u32>>,
+        /// Replies to apply before issue, per owned cluster.
+        deliveries: Vec<Vec<Delivery>>,
+        /// Request-NoC injection budget per owned cluster.
+        budgets: Vec<usize>,
+    },
+    /// Fast-forward `n` quiet cycles: advance round-robin pointers and
+    /// accrue the stall counters the last scan reported, in bulk.
+    Skip {
+        n: u64,
+    },
+    Stop,
+}
+
+struct StepReply {
+    attempts: Vec<Attempt>,
+    /// Statistics accumulated since the last reply (includes any
+    /// skip-accrued stalls; `cycles` stays 0 — the main thread owns
+    /// the clock).
+    delta: MachineStats,
+    /// Post-step scan per owned cluster, for grants and skip planning.
+    scans: Vec<ClusterScan>,
+    /// First error in cluster order, if any.
+    error: Option<SimError>,
+}
+
+enum Reply {
+    Step(StepReply),
+    /// Shutdown: the owned state moves back to the machine.
+    Final {
+        clusters: Vec<Vec<Tcu>>,
+        rrs: Vec<usize>,
+        cluster_instr: Vec<u64>,
+        delta: MachineStats,
+    },
+}
+
+/// Sum `d` into `into`, leaving the main-thread-owned fields
+/// (`cycles`, `spawns`) alone.
+fn add_stats(into: &mut MachineStats, d: &MachineStats) {
+    into.instructions += d.instructions;
+    into.flops += d.flops;
+    into.mem_reads += d.mem_reads;
+    into.mem_writes += d.mem_writes;
+    into.threads += d.threads;
+    into.stall_scoreboard += d.stall_scoreboard;
+    into.stall_fpu += d.stall_fpu;
+    into.stall_mdu += d.stall_mdu;
+    into.stall_lsu += d.stall_lsu;
+}
+
+pub(super) fn run(m: &mut Machine, threads: usize) -> Result<RunSummary, SimError> {
+    let nclusters = m.cfg.clusters;
+    let workers = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+    .clamp(1, nclusters);
+    let params = WorkerParams {
+        ntcus: m.cfg.tcus_per_cluster,
+        fpus: m.cfg.fpus_per_cluster,
+        mdus: m.cfg.mdus_per_cluster,
+        lsus: m.cfg.lsus_per_cluster,
+        mem_len: m.mem.len(),
+        hash: m.hash,
+    };
+    let prog = m.prog.clone();
+    let hazard = m.hazard.clone();
+
+    // Contiguous cluster ranges, one per worker.
+    let mut bounds: Vec<Range<usize>> = Vec::with_capacity(workers);
+    let base = nclusters / workers;
+    let extra = nclusters % workers;
+    let mut lo = 0;
+    for w in 0..workers {
+        let hi = lo + base + usize::from(w < extra);
+        bounds.push(lo..hi);
+        lo = hi;
+    }
+    let owner_of: Vec<usize> = (0..workers)
+        .flat_map(|w| std::iter::repeat_n(w, bounds[w].len()))
+        .collect();
+
+    // Move the TCU state out of the machine for the workers to own.
+    let mut all_clusters = std::mem::take(&mut m.clusters).into_iter();
+    let mut all_rr = std::mem::take(&mut m.cluster_rr).into_iter();
+    let mut chunks: Vec<(Vec<Vec<Tcu>>, Vec<usize>)> = bounds
+        .iter()
+        .map(|r| {
+            (
+                all_clusters.by_ref().take(r.len()).collect(),
+                all_rr.by_ref().take(r.len()).collect(),
+            )
+        })
+        .collect();
+
+    let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(workers);
+    let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(workers);
+    let (result, finals) = std::thread::scope(|s| {
+        for (w, (chunk, rrs)) in chunks.drain(..).enumerate() {
+            let (ctx, crx) = channel::<Cmd>();
+            let (rtx, rrx) = channel::<Reply>();
+            cmd_txs.push(ctx);
+            reply_rxs.push(rrx);
+            let lo = bounds[w].start;
+            let prog = &prog;
+            let hazard = &hazard;
+            s.spawn(move || worker_main(crx, rtx, chunk, rrs, lo, prog, hazard, params));
+        }
+        let result = main_loop(m, &cmd_txs, &reply_rxs, &bounds, &owner_of);
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        let mut finals = Vec::with_capacity(workers);
+        for rx in &reply_rxs {
+            loop {
+                match rx.recv() {
+                    Ok(Reply::Final {
+                        clusters,
+                        rrs,
+                        cluster_instr,
+                        delta,
+                    }) => {
+                        finals.push((clusters, rrs, cluster_instr, delta));
+                        break;
+                    }
+                    Ok(Reply::Step(_)) => continue, // stale (error shutdown)
+                    Err(_) => break,                // worker panicked; scope will propagate
+                }
+            }
+        }
+        (result, finals)
+    });
+
+    // Reassemble the machine (also on the error path, so the caller
+    // can still inspect memory and statistics).
+    for (w, (clusters, rrs, cluster_instr, delta)) in finals.into_iter().enumerate() {
+        for (local, ci) in cluster_instr.into_iter().enumerate() {
+            m.cluster_instr[bounds[w].start + local] += ci;
+        }
+        m.clusters.extend(clusters);
+        m.cluster_rr.extend(rrs);
+        add_stats(&mut m.stats, &delta);
+    }
+    result.map(|()| m.summary())
+}
+
+fn main_loop(
+    m: &mut Machine,
+    cmd_txs: &[Sender<Cmd>],
+    reply_rxs: &[Receiver<Reply>],
+    bounds: &[Range<usize>],
+    owner_of: &[usize],
+) -> Result<(), SimError> {
+    let nclusters = owner_of.len();
+    let ntcus = m.cfg.tcus_per_cluster;
+    // Post-cycle idle-TCU count per cluster (drives grant sizing) and
+    // the latest per-cluster scans (drive skip planning). Before the
+    // first spawn — and between sections — every TCU is idle.
+    let mut idle: Vec<u64> = vec![ntcus as u64; nclusters];
+    let mut scans: Vec<ClusterScan> = Vec::new();
+    // Replies awaiting application at the start of the next cycle,
+    // grouped per worker, per owned cluster.
+    let mut pending: Vec<Vec<Vec<Delivery>>> = bounds
+        .iter()
+        .map(|r| (0..r.len()).map(|_| Vec::new()).collect())
+        .collect();
+    let mut replies_buf: Vec<ReplyDelivery> = Vec::new();
+
+    loop {
+        match m.mode {
+            Mode::Finished => return Ok(()),
+            Mode::Serial { .. } => {
+                let instr_before = m.stats.instructions;
+                m.step()?;
+                if m.cycle > m.max_cycles {
+                    return Err(SimError::CycleLimit { at_cycle: m.cycle });
+                }
+                if let Mode::Parallel { .. } = m.mode {
+                    // A spawn just executed: broadcast the section.
+                    for tx in cmd_txs {
+                        let _ = tx.send(Cmd::Spawn {
+                            gregs: m.gregs,
+                            entry: m.spawn_entry,
+                        });
+                    }
+                } else if instr_before == m.stats.instructions {
+                    // Quiet serial cycle (waiting out an instruction
+                    // latency or a draining channel): fast-forward.
+                    // Only the Serial arm of `fast_forward` can run
+                    // here, which never touches the (empty) clusters.
+                    m.fast_forward();
+                    if m.cycle > m.max_cycles {
+                        return Err(SimError::CycleLimit { at_cycle: m.cycle });
+                    }
+                }
+            }
+            Mode::Parallel { return_pc } => {
+                m.cycle += 1;
+                m.stats.cycles = m.cycle;
+                // Phase 0 (main): size thread-ID grants from the idle
+                // counts — exactly the TCUs the serial scan would have
+                // activated, in the same global cluster order — and
+                // sample each cluster's injection budget.
+                for (w, r) in bounds.iter().enumerate() {
+                    let mut grants = Vec::with_capacity(r.len());
+                    let mut budgets = Vec::with_capacity(r.len());
+                    let mut deliveries = Vec::with_capacity(r.len());
+                    for (local, c) in r.clone().enumerate() {
+                        let avail = m.spawn_count - m.next_tid;
+                        let g = (idle[c].min(avail as u64)) as u32;
+                        grants.push(m.next_tid..m.next_tid + g);
+                        m.next_tid += g;
+                        budgets.push(m.req_net.inject_budget(c));
+                        deliveries.push(std::mem::take(&mut pending[w][local]));
+                    }
+                    let _ = cmd_txs[w].send(Cmd::Step {
+                        cycle: m.cycle,
+                        grants,
+                        deliveries,
+                        budgets,
+                    });
+                }
+                // Phase 1 runs in the workers; phase 2 (merge): replay
+                // attempts in cluster order so tags and NoC arbitration
+                // match the serial engines bit for bit.
+                let instr_before = m.stats.instructions;
+                let threads_before = m.stats.threads;
+                scans.clear();
+                let mut first_err: Option<SimError> = None;
+                for rx in reply_rxs.iter() {
+                    let rep = match rx.recv() {
+                        Ok(Reply::Step(rep)) => rep,
+                        _ => unreachable!("worker died without panicking"),
+                    };
+                    add_stats(&mut m.stats, &rep.delta);
+                    if first_err.is_none() {
+                        for a in &rep.attempts {
+                            let tag = m.next_txn;
+                            let accepted = m.req_net.try_inject(Flit {
+                                src: a.cluster,
+                                dst: a.module,
+                                tag,
+                            });
+                            debug_assert_eq!(
+                                accepted, a.accepted,
+                                "worker mispredicted NoC acceptance"
+                            );
+                            if accepted {
+                                m.next_txn += 1;
+                                m.txns.insert(
+                                    tag,
+                                    Txn {
+                                        cluster: a.cluster,
+                                        tcu: a.tcu,
+                                        addr: a.addr,
+                                        kind: a.kind,
+                                        value: a.value,
+                                    },
+                                );
+                            }
+                        }
+                        first_err = rep.error;
+                    }
+                    let base = scans.len();
+                    for (local, scan) in rep.scans.into_iter().enumerate() {
+                        idle[base + local] = scan.idle;
+                        scans.push(scan);
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                let total_active: u64 = nclusters as u64 * ntcus as u64 - idle.iter().sum::<u64>();
+                // Phase 3: the memory system, exactly as in the serial
+                // engines; matured replies are routed to the worker
+                // owning the target cluster for the next cycle.
+                replies_buf.clear();
+                m.step_memory_system_collect(&mut replies_buf);
+                let mut pending_count = 0usize;
+                for r in replies_buf.drain(..) {
+                    let w = owner_of[r.cluster];
+                    let local = r.cluster - bounds[w].start;
+                    pending[w][local].push(Delivery {
+                        tcu: r.tcu,
+                        kind: r.kind,
+                        value: r.value,
+                    });
+                    pending_count += 1;
+                }
+                if total_active == 0 {
+                    m.maybe_finish_spawn_drained(return_pc);
+                }
+                if m.cycle > m.max_cycles {
+                    return Err(SimError::CycleLimit { at_cycle: m.cycle });
+                }
+                // Fast-forward: quiet cycle, no replies about to land,
+                // nothing issuable and no thread to activate → jump to
+                // the next event. Stall accrual and round-robin
+                // advance happen worker-side from the same scans.
+                let quiet =
+                    instr_before == m.stats.instructions && threads_before == m.stats.threads;
+                if quiet && pending_count == 0 && matches!(m.mode, Mode::Parallel { .. }) {
+                    let mut horizon = m.max_cycles + 1;
+                    let mut can_skip = true;
+                    for scan in &scans {
+                        if scan.issue_next || (scan.idle > 0 && m.next_tid < m.spawn_count) {
+                            can_skip = false;
+                            break;
+                        }
+                        horizon = horizon.min(scan.min_busy);
+                    }
+                    if can_skip {
+                        if let Some(e) = m.memory_next_event() {
+                            horizon = horizon.min(e);
+                        }
+                        if horizon > m.cycle + 1 {
+                            let n = horizon - (m.cycle + 1);
+                            for tx in cmd_txs {
+                                let _ = tx.send(Cmd::Skip { n });
+                            }
+                            m.req_net.skip_idle(n);
+                            m.reply_net.skip_idle(n);
+                            for &mm in &m.active_modules {
+                                m.modules[mm].skip_idle(n);
+                            }
+                            for &ch in &m.active_channels {
+                                m.channels[ch].skip_idle(n);
+                            }
+                            m.mem_clock += n;
+                            m.cycle += n;
+                            m.stats.cycles = m.cycle;
+                            if m.cycle > m.max_cycles {
+                                return Err(SimError::CycleLimit { at_cycle: m.cycle });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+    mut clusters: Vec<Vec<Tcu>>,
+    mut rrs: Vec<usize>,
+    lo: usize,
+    prog: &Program,
+    hazard: &[(u32, u32)],
+    p: WorkerParams,
+) {
+    let mut gregs = [0u32; NUM_GREGS];
+    let mut entry = 0usize;
+    let mut cluster_instr = vec![0u64; clusters.len()];
+    // Stats accumulated since the last Step reply (skip accruals land
+    // here between replies).
+    let mut pending = MachineStats::default();
+    // (blocked_scoreboard, blocked_lsu) from the last scan, consumed
+    // by Skip for bulk stall accrual.
+    let mut last_blocked: Vec<(u64, u64)> = vec![(0, 0); clusters.len()];
+    loop {
+        match rx.recv() {
+            Ok(Cmd::Spawn { gregs: g, entry: e }) => {
+                gregs = g;
+                entry = e;
+            }
+            Ok(Cmd::Step {
+                cycle,
+                grants,
+                deliveries,
+                budgets,
+            }) => {
+                let mut rep = StepReply {
+                    attempts: Vec::new(),
+                    delta: std::mem::take(&mut pending),
+                    scans: Vec::with_capacity(clusters.len()),
+                    error: None,
+                };
+                for (local, ds) in deliveries.into_iter().enumerate() {
+                    for d in ds {
+                        let tcu = &mut clusters[local][d.tcu];
+                        match d.kind {
+                            TxnKind::LoadI(rd) => {
+                                tcu.rf.write_i(rd, d.value);
+                                tcu.pend_i &= !(1u32 << rd.index());
+                            }
+                            TxnKind::LoadF(fd) => {
+                                tcu.rf.write_f(fd, f32::from_bits(d.value));
+                                tcu.pend_f &= !(1u32 << fd.index());
+                            }
+                            TxnKind::Store => {}
+                        }
+                        tcu.outstanding -= 1;
+                    }
+                }
+                for local in 0..clusters.len() {
+                    if rep.error.is_none() {
+                        let mut grant = grants[local].clone();
+                        let mut budget = budgets[local];
+                        if let Err(e) = step_cluster_local(
+                            &mut clusters[local],
+                            &mut rrs[local],
+                            &mut grant,
+                            &mut budget,
+                            cycle,
+                            lo + local,
+                            &gregs,
+                            entry,
+                            prog,
+                            hazard,
+                            p,
+                            &mut rep.attempts,
+                            &mut rep.delta,
+                            &mut cluster_instr[local],
+                        ) {
+                            rep.error = Some(e);
+                        }
+                    }
+                    let scan = scan_cluster(&clusters[local], prog, hazard, cycle + 1);
+                    last_blocked[local] = (scan.blocked_scoreboard, scan.blocked_lsu);
+                    rep.scans.push(scan);
+                }
+                if std::env::var_os("XMT_TRACE").is_some() {
+                    let mut dg: u64 = 0;
+                    for cl in &clusters {
+                        for t in cl {
+                            dg = dg
+                                .wrapping_mul(1099511628211)
+                                .wrapping_add(t.active as u64)
+                                .wrapping_mul(1099511628211)
+                                .wrapping_add(t.pc as u64)
+                                .wrapping_mul(1099511628211)
+                                .wrapping_add(t.outstanding as u64)
+                                .wrapping_mul(1099511628211)
+                                .wrapping_add(t.busy_until)
+                                .wrapping_mul(1099511628211)
+                                .wrapping_add(t.pend_i as u64);
+                        }
+                    }
+                }
+                if tx.send(Reply::Step(rep)).is_err() {
+                    return; // main thread gone
+                }
+            }
+            Ok(Cmd::Skip { n }) => {
+                let adv = (n % p.ntcus as u64) as usize;
+                for (local, rr) in rrs.iter_mut().enumerate() {
+                    *rr = (*rr + adv) % p.ntcus;
+                    pending.stall_scoreboard += n * last_blocked[local].0;
+                    pending.stall_lsu += n * last_blocked[local].1;
+                }
+            }
+            Ok(Cmd::Stop) | Err(_) => {
+                let _ = tx.send(Reply::Final {
+                    clusters,
+                    rrs,
+                    cluster_instr,
+                    delta: pending,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Worker-side mirror of `Machine::step_cluster` + `issue_memory`.
+/// Must stay line-for-line equivalent in issue order, budget handling
+/// and statistics — the golden cycle tests pin the equivalence. The
+/// differences: thread IDs come from the pre-sized grant instead of
+/// the shared counter, and memory instructions record an `Attempt`
+/// (with a predicted accept/reject) instead of injecting.
+#[allow(clippy::too_many_arguments)]
+fn step_cluster_local(
+    cluster: &mut [Tcu],
+    rr: &mut usize,
+    grant: &mut Range<u32>,
+    inject_budget: &mut usize,
+    cycle: u64,
+    global_c: usize,
+    gregs: &[u32; NUM_GREGS],
+    entry: usize,
+    prog: &Program,
+    hazard: &[(u32, u32)],
+    p: WorkerParams,
+    attempts: &mut Vec<Attempt>,
+    acc: &mut MachineStats,
+    cluster_instr: &mut u64,
+) -> Result<(), SimError> {
+    let instr_at_entry = acc.instructions;
+    let ntcus = p.ntcus;
+    let mut fpu_budget = p.fpus;
+    let mut mdu_budget = p.mdus;
+    let mut lsu_budget = p.lsus;
+    let start = *rr;
+    *rr = (start + 1) % ntcus;
+
+    for i in 0..ntcus {
+        let t = (start + i) % ntcus;
+        if !cluster[t].active {
+            // The grant is this cluster's contiguous slice of the
+            // global thread-ID counter, sized to its idle-TCU count.
+            if grant.start < grant.end {
+                let tid = grant.start;
+                grant.start += 1;
+                let tcu = &mut cluster[t];
+                tcu.active = true;
+                tcu.rf = RegFile::new(tid);
+                tcu.pc = entry;
+                tcu.busy_until = 0;
+                tcu.pend_i = 0;
+                tcu.pend_f = 0;
+                acc.threads += 1;
+            } else {
+                continue;
+            }
+        }
+        if cluster[t].busy_until > cycle {
+            continue;
+        }
+        let pc = cluster[t].pc;
+        if pc >= prog.len() {
+            return Err(SimError::PcOutOfRange { pc });
+        }
+        let ins = prog.fetch(pc);
+        if cluster[t].blocked(hazard[pc]) {
+            acc.stall_scoreboard += 1;
+            continue;
+        }
+        match ins.unit() {
+            Unit::Alu => {
+                let tcu = &mut cluster[t];
+                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+                debug_assert!(ok, "ALU-class instruction must be compute-executable");
+                tcu.pc += 1;
+                acc.instructions += 1;
+            }
+            Unit::Fpu => {
+                if fpu_budget == 0 {
+                    acc.stall_fpu += 1;
+                    continue;
+                }
+                fpu_budget -= 1;
+                let tcu = &mut cluster[t];
+                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+                tcu.busy_until = cycle + FPU_LATENCY;
+                tcu.pc += 1;
+                acc.instructions += 1;
+                acc.flops += 1;
+            }
+            Unit::Mdu => {
+                if mdu_budget == 0 {
+                    acc.stall_mdu += 1;
+                    continue;
+                }
+                mdu_budget -= 1;
+                let tcu = &mut cluster[t];
+                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+                tcu.busy_until = cycle + MDU_LATENCY;
+                tcu.pc += 1;
+                acc.instructions += 1;
+            }
+            Unit::Lsu => {
+                if lsu_budget == 0 {
+                    acc.stall_lsu += 1;
+                    continue;
+                }
+                if cluster[t].outstanding >= MAX_OUTSTANDING {
+                    acc.stall_lsu += 1;
+                    continue;
+                }
+                // Mirror of `issue_memory`: address/kind first (the
+                // bounds fault precedes the injection attempt), then
+                // predict acceptance from the sampled budget — exact,
+                // because both NoCs accept at most one injection per
+                // source per cycle and refuse solely on the
+                // backpressure the budget reported.
+                let tcu = &cluster[t];
+                let (addr, kind, value) = match ins {
+                    Instr::Lw { rd, base, off } => (
+                        addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                        TxnKind::LoadI(rd),
+                        0,
+                    ),
+                    Instr::Flw { fd, base, off } => (
+                        addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                        TxnKind::LoadF(fd),
+                        0,
+                    ),
+                    Instr::Sw { rs, base, off } => (
+                        addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                        TxnKind::Store,
+                        tcu.rf.read_i(rs),
+                    ),
+                    Instr::Fsw { fs, base, off } => (
+                        addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                        TxnKind::Store,
+                        tcu.rf.read_f(fs).to_bits(),
+                    ),
+                    _ => unreachable!("LSU unit on non-memory instruction"),
+                };
+                let module = p.hash.module_of(addr as u32);
+                let accepted = *inject_budget > 0;
+                if accepted {
+                    *inject_budget -= 1;
+                }
+                attempts.push(Attempt {
+                    cluster: global_c,
+                    tcu: t,
+                    addr: addr as u32,
+                    kind,
+                    value,
+                    module,
+                    accepted,
+                });
+                lsu_budget -= 1;
+                if !accepted {
+                    // NoC refused: the attempt still consumed the slot.
+                    acc.stall_lsu += 1;
+                    continue;
+                }
+                let tcu = &mut cluster[t];
+                tcu.outstanding += 1;
+                match kind {
+                    TxnKind::LoadI(rd) => {
+                        if rd.index() != 0 {
+                            tcu.pend_i |= 1 << rd.index();
+                        }
+                        acc.mem_reads += 1;
+                    }
+                    TxnKind::LoadF(fd) => {
+                        tcu.pend_f |= 1 << fd.index();
+                        acc.mem_reads += 1;
+                    }
+                    TxnKind::Store => {
+                        acc.mem_writes += 1;
+                    }
+                }
+                tcu.pc += 1;
+                acc.instructions += 1;
+            }
+            Unit::Branch => {
+                let tcu = &mut cluster[t];
+                match ins {
+                    Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    } => {
+                        let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                        tcu.pc = if taken { target } else { pc + 1 };
+                    }
+                    Instr::Jump { target } => tcu.pc = target,
+                    _ => unreachable!(),
+                }
+                acc.instructions += 1;
+            }
+            Unit::Ps => {
+                // `Machine::run` routes ps/sspawn programs to the
+                // fast-forward engine; they cannot reach a worker.
+                unreachable!("global-state op in threaded worker")
+            }
+            Unit::Control => match ins {
+                Instr::Join => {
+                    if cluster[t].outstanding > 0 {
+                        continue;
+                    }
+                    cluster[t].active = false;
+                    acc.instructions += 1;
+                }
+                Instr::Nop => {
+                    cluster[t].pc += 1;
+                    acc.instructions += 1;
+                }
+                Instr::Spawn { .. } => {
+                    return Err(SimError::BadInstruction {
+                        pc,
+                        what: "nested spawn",
+                    })
+                }
+                Instr::Halt => {
+                    return Err(SimError::BadInstruction {
+                        pc,
+                        what: "halt in parallel mode",
+                    })
+                }
+                _ => {
+                    return Err(SimError::BadInstruction {
+                        pc,
+                        what: "instruction illegal in parallel mode",
+                    })
+                }
+            },
+        }
+    }
+    *cluster_instr += acc.instructions - instr_at_entry;
+    Ok(())
+}
+
+/// Worker-side mirror of `Machine::addr_of`.
+fn addr_of(pc: usize, base: u32, off: u32, mem_len: usize) -> Result<usize, SimError> {
+    let a = base as u64 + off as u64;
+    if (a as usize) < mem_len {
+        Ok(a as usize)
+    } else {
+        Err(SimError::MemOutOfBounds { pc, addr: a })
+    }
+}

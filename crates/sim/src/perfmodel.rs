@@ -84,8 +84,7 @@ pub fn phase_time(cfg: &XmtConfig, d: &PhaseDemand) -> PhaseTime {
     let usable_clusters = (d.parallelism / cfg.tcus_per_cluster as f64)
         .min(cfg.clusters as f64)
         .max(1.0);
-    let fpu_rate =
-        usable_clusters * cfg.fpus_per_cluster as f64 * COMPUTE_EFFICIENCY;
+    let fpu_rate = usable_clusters * cfg.fpus_per_cluster as f64 * COMPUTE_EFFICIENCY;
     let compute_cycles = d.flops / fpu_rate;
 
     // Interconnect ceiling: each direction independently sustains
@@ -94,8 +93,7 @@ pub fn phase_time(cfg: &XmtConfig, d: &PhaseDemand) -> PhaseTime {
     let icn_cycles = (d.icn_words_up.max(d.icn_words_down)) / icn_rate;
 
     // DRAM ceiling.
-    let dram_rate =
-        cfg.dram_channels() as f64 * cfg.dram.bytes_per_cycle * DRAM_EFFICIENCY;
+    let dram_rate = cfg.dram_channels() as f64 * cfg.dram.bytes_per_cycle * DRAM_EFFICIENCY;
     let dram_cycles = d.dram_bytes / dram_rate;
 
     // Startup: broadcast + one full memory round trip.

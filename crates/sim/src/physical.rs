@@ -75,7 +75,11 @@ fn io_pj_per_bit(cfg: &XmtConfig) -> f64 {
 /// Compute the physical summary for a configuration.
 pub fn summarize(cfg: &XmtConfig) -> PhysicalSummary {
     let s = tech_scale(cfg.tech_nm);
-    let noc_model = if cfg.tech_nm == 14 { NocAreaModel::nm14() } else { NocAreaModel::nm22() };
+    let noc_model = if cfg.tech_nm == 14 {
+        NocAreaModel::nm14()
+    } else {
+        NocAreaModel::nm22()
+    };
     let noc_area = noc_model.area_mm2(&cfg.topology());
 
     let logic_area = cfg.clusters as f64
@@ -139,8 +143,10 @@ mod tests {
 
     #[test]
     fn layer_counts_match_table3() {
-        let layers: Vec<u32> =
-            XmtConfig::paper_configs().iter().map(|c| summarize(c).si_layers).collect();
+        let layers: Vec<u32> = XmtConfig::paper_configs()
+            .iter()
+            .map(|c| summarize(c).si_layers)
+            .collect();
         assert_eq!(layers, vec![1, 2, 8, 9, 9]);
     }
 
@@ -170,7 +176,11 @@ mod tests {
     fn photonic_bandwidth_statements() {
         // Section V-B: the 8k configuration's 32 channels need 6.76 Tb/s.
         let s8 = summarize(&XmtConfig::xmt_8k());
-        assert!((s8.offchip_tbps - 6.76).abs() < 0.05, "8k {}", s8.offchip_tbps);
+        assert!(
+            (s8.offchip_tbps - 6.76).abs() < 0.05,
+            "8k {}",
+            s8.offchip_tbps
+        );
         // 224 serial pins for 32 channels at 7 pins each.
         assert_eq!(s8.serial_pins, 224);
         // Section V-C: 256 channels → 1792 pins.

@@ -134,7 +134,11 @@ impl Cg {
     /// Static type of an expression.
     fn type_of(&self, e: &Expr) -> R<Ty> {
         Ok(match e {
-            Expr::Int(_) | Expr::Tid | Expr::Global(_) | Expr::Mem(_) | Expr::Ps(..)
+            Expr::Int(_)
+            | Expr::Tid
+            | Expr::Global(_)
+            | Expr::Mem(_)
+            | Expr::Ps(..)
             | Expr::Sspawn(_) => Ty::Int,
             Expr::Float(_) | Expr::FMem(_) => Ty::Float,
             Expr::Var(n) => self.lookup(n)?.ty,
@@ -142,7 +146,9 @@ impl Cg {
             Expr::Bin(_, l, r) => {
                 let (tl, tr) = (self.type_of(l)?, self.type_of(r)?);
                 if tl != tr {
-                    return Err(CodegenError::TypeMismatch { what: "binary operator" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "binary operator",
+                    });
                 }
                 tl
             }
@@ -185,7 +191,9 @@ impl Cg {
             Expr::Var(n) => {
                 let v = self.lookup(n)?;
                 let Slot::I(reg) = v.slot else {
-                    return Err(CodegenError::TypeMismatch { what: "integer variable" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "integer variable",
+                    });
                 };
                 let t = self.alloc_itemp()?;
                 self.b.add(t, reg, ir(0));
@@ -243,9 +251,9 @@ impl Cg {
                 self.free_itemp();
                 Ok(lt)
             }
-            Expr::Float(_) | Expr::FMem(_) => {
-                Err(CodegenError::TypeMismatch { what: "integer expression" })
-            }
+            Expr::Float(_) | Expr::FMem(_) => Err(CodegenError::TypeMismatch {
+                what: "integer expression",
+            }),
         }
     }
 
@@ -260,7 +268,9 @@ impl Cg {
             Expr::Var(n) => {
                 let v = self.lookup(n)?;
                 let Slot::F(reg) = v.slot else {
-                    return Err(CodegenError::TypeMismatch { what: "float variable" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "float variable",
+                    });
                 };
                 let t = self.alloc_ftemp()?;
                 self.b.fmov(t, reg);
@@ -291,7 +301,9 @@ impl Cg {
                 self.free_ftemp();
                 Ok(lt)
             }
-            _ => Err(CodegenError::TypeMismatch { what: "float expression" }),
+            _ => Err(CodegenError::TypeMismatch {
+                what: "float expression",
+            }),
         }
     }
 
@@ -335,7 +347,9 @@ impl Cg {
                     }
                 }
                 if self.type_of(init)? != *ty {
-                    return Err(CodegenError::TypeMismatch { what: "initializer" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "initializer",
+                    });
                 }
                 let slot = match ty {
                     Ty::Int => {
@@ -363,7 +377,11 @@ impl Cg {
                 };
                 self.vars.insert(
                     name.clone(),
-                    VarInfo { ty: *ty, slot, parallel: self.parallel },
+                    VarInfo {
+                        ty: *ty,
+                        slot,
+                        parallel: self.parallel,
+                    },
                 );
             }
             Stmt::Assign { name, value } => {
@@ -386,7 +404,9 @@ impl Cg {
             }
             Stmt::Store { float, addr, value } => {
                 if self.type_of(addr)? != Ty::Int {
-                    return Err(CodegenError::TypeMismatch { what: "store address" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "store address",
+                    });
                 }
                 let a = self.eval_i(addr)?;
                 if *float {
@@ -411,13 +431,19 @@ impl Cg {
                     return Err(CodegenError::GlobalWriteInParallel);
                 }
                 if self.type_of(value)? != Ty::Int {
-                    return Err(CodegenError::TypeMismatch { what: "global write" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "global write",
+                    });
                 }
                 let t = self.eval_i(value)?;
                 self.b.write_gr(gr(*index), t);
                 self.free_itemp();
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let l_else = self.b.label();
                 let l_end = self.b.label();
                 self.branch_if_false(cond, l_else)?;
@@ -447,7 +473,9 @@ impl Cg {
                     return Err(CodegenError::NestedSpawn);
                 }
                 if self.type_of(count)? != Ty::Int {
-                    return Err(CodegenError::TypeMismatch { what: "spawn count" });
+                    return Err(CodegenError::TypeMismatch {
+                        what: "spawn count",
+                    });
                 }
                 let l_body = self.b.label();
                 let l_after = self.b.label();
@@ -473,18 +501,16 @@ impl Cg {
                 self.next_flocal = sf;
                 self.b.bind(l_after);
             }
-            Stmt::ExprStmt(e) => {
-                match self.type_of(e)? {
-                    Ty::Int => {
-                        self.eval_i(e)?;
-                        self.free_itemp();
-                    }
-                    Ty::Float => {
-                        self.eval_f(e)?;
-                        self.free_ftemp();
-                    }
+            Stmt::ExprStmt(e) => match self.type_of(e)? {
+                Ty::Int => {
+                    self.eval_i(e)?;
+                    self.free_itemp();
                 }
-            }
+                Ty::Float => {
+                    self.eval_f(e)?;
+                    self.free_ftemp();
+                }
+            },
         }
         Ok(())
     }
@@ -577,10 +603,7 @@ mod tests {
 
     #[test]
     fn ps_hands_out_tickets() {
-        let m = run(
-            "spawn (8) { int ticket = ps(g1, 1); mem[ticket] = 1; }",
-            16,
-        );
+        let m = run("spawn (8) { int ticket = ps(g1, 1); mem[ticket] = 1; }", 16);
         assert_eq!(&m.mem[..8], &[1; 8]);
         assert_eq!(m.gregs[1], 8);
     }
@@ -658,7 +681,10 @@ mod tests {
             compile_err("float f = 2.0; mem[0] = f;"),
             CodegenError::TypeMismatch { .. }
         ));
-        assert_eq!(compile_err("float f = 2.0 % 1.0; "), CodegenError::BadFloatOp);
+        assert_eq!(
+            compile_err("float f = 2.0 % 1.0; "),
+            CodegenError::BadFloatOp
+        );
     }
 
     #[test]
@@ -671,7 +697,10 @@ mod tests {
 
     #[test]
     fn unknown_variable_rejected() {
-        assert_eq!(compile_err("y = 3;"), CodegenError::UnknownVariable("y".into()));
+        assert_eq!(
+            compile_err("y = 3;"),
+            CodegenError::UnknownVariable("y".into())
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         text: src[start..i].to_string(),
                         pos: start,
                     })?;
-                    out.push(Token { kind: Tok::Int(v), pos: start });
+                    out.push(Token {
+                        kind: Tok::Int(v),
+                        pos: start,
+                    });
                 } else {
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
                         i += 1;
@@ -168,28 +171,39 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             text: text.to_string(),
                             pos: start,
                         })?;
-                        out.push(Token { kind: Tok::Float(v), pos: start });
+                        out.push(Token {
+                            kind: Tok::Float(v),
+                            pos: start,
+                        });
                     } else {
                         let text = &src[start..i];
                         let v: u32 = text.parse().map_err(|_| LexError::BadNumber {
                             text: text.to_string(),
                             pos: start,
                         })?;
-                        out.push(Token { kind: Tok::Int(v), pos: start });
+                        out.push(Token {
+                            kind: Tok::Int(v),
+                            pos: start,
+                        });
                     }
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                while i < b.len() && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
                 {
                     i += 1;
                 }
-                out.push(Token { kind: Tok::Ident(src[start..i].to_string()), pos: start });
+                out.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    pos: start,
+                });
             }
             '$' => {
-                out.push(Token { kind: Tok::Dollar, pos: i });
+                out.push(Token {
+                    kind: Tok::Dollar,
+                    pos: i,
+                });
                 i += 1;
             }
             _ => {
@@ -236,7 +250,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    out.push(Token { kind: Tok::Eof, pos: src.len() });
+    out.push(Token {
+        kind: Tok::Eof,
+        pos: src.len(),
+    });
     Ok(out)
 }
 
@@ -269,7 +286,10 @@ mod tests {
         assert_eq!(kinds("1.5"), vec![Tok::Float(1.5), Tok::Eof]);
         assert_eq!(kinds("0.25"), vec![Tok::Float(0.25), Tok::Eof]);
         // A lone dot is not a token.
-        assert!(matches!(lex("2 . 5"), Err(LexError::UnexpectedChar { ch: '.', .. })));
+        assert!(matches!(
+            lex("2 . 5"),
+            Err(LexError::UnexpectedChar { ch: '.', .. })
+        ));
     }
 
     #[test]
@@ -311,6 +331,9 @@ mod tests {
 
     #[test]
     fn bad_char_reported_with_position() {
-        assert_eq!(lex("a ~ b").unwrap_err(), LexError::UnexpectedChar { ch: '~', pos: 2 });
+        assert_eq!(
+            lex("a ~ b").unwrap_err(),
+            LexError::UnexpectedChar { ch: '~', pos: 2 }
+        );
     }
 }

@@ -116,6 +116,9 @@ mod tests {
     #[test]
     fn error_types_propagate() {
         assert!(matches!(compile("int x = ;"), Err(CompileError::Parse(_))));
-        assert!(matches!(compile("mem[0] = $;"), Err(CompileError::Codegen(_))));
+        assert!(matches!(
+            compile("mem[0] = $;"),
+            Err(CompileError::Codegen(_))
+        ));
     }
 }

@@ -24,7 +24,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, pos } => {
+            ParseError::Unexpected {
+                found,
+                expected,
+                pos,
+            } => {
                 write!(f, "expected {expected}, found {found} at byte {pos}")
             }
         }
@@ -288,7 +292,11 @@ impl Parser {
                     self.expect(Tok::Assign, "`=`")?;
                     let init = self.expr()?;
                     self.expect(Tok::Semi, "`;`")?;
-                    Ok(Stmt::Decl { ty, name: var, init })
+                    Ok(Stmt::Decl {
+                        ty,
+                        name: var,
+                        init,
+                    })
                 }
                 "if" => {
                     self.bump();
@@ -302,7 +310,11 @@ impl Parser {
                     } else {
                         Vec::new()
                     };
-                    Ok(Stmt::If { cond, then_body, else_body })
+                    Ok(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    })
                 }
                 "while" => {
                     self.bump();
@@ -328,7 +340,11 @@ impl Parser {
                     self.expect(Tok::Assign, "`=`")?;
                     let value = self.expr()?;
                     self.expect(Tok::Semi, "`;`")?;
-                    Ok(Stmt::Store { float: name == "fmem", addr, value })
+                    Ok(Stmt::Store {
+                        float: name == "fmem",
+                        addr,
+                        value,
+                    })
                 }
                 "ps" | "sspawn" => {
                     let e = self.expr()?;
@@ -375,7 +391,11 @@ mod tests {
         let p = parse("int x = 1 + 2 * 3; x = x << 4;").unwrap();
         assert_eq!(p.body.len(), 2);
         match &p.body[0] {
-            Stmt::Decl { ty: Ty::Int, name, init } => {
+            Stmt::Decl {
+                ty: Ty::Int,
+                name,
+                init,
+            } => {
                 assert_eq!(name, "x");
                 // 1 + (2*3) precedence.
                 assert!(matches!(init, Expr::Bin(BinOp::Add, _, _)));

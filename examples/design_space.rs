@@ -15,7 +15,10 @@ fn main() {
     let dims = [512usize, 512, 512];
 
     println!("Sweep 1: DRAM channels on the 64k machine (MMs per controller)");
-    println!("{:<10} {:>9} {:>12} {:>14}", "MM/ctrl", "channels", "GFLOPS", "bound(non-rot)");
+    println!(
+        "{:<10} {:>9} {:>12} {:>14}",
+        "MM/ctrl", "channels", "GFLOPS", "bound(non-rot)"
+    );
     for mm_per_ctrl in [32usize, 16, 8, 4, 2, 1] {
         let mut cfg = XmtConfig::xmt_64k();
         cfg.mm_per_dram_ctrl = mm_per_ctrl;
@@ -67,8 +70,9 @@ fn main() {
         // Keep the pure MoT while it fits, then go hybrid like the paper.
         if clusters > 256 {
             cfg.mot_levels = 8;
-            cfg.butterfly_levels =
-                (2 * clusters.trailing_zeros()).saturating_sub(8).min(clusters.trailing_zeros());
+            cfg.butterfly_levels = (2 * clusters.trailing_zeros())
+                .saturating_sub(8)
+                .min(clusters.trailing_zeros());
         } else {
             cfg.mot_levels = 2 * clusters.trailing_zeros();
             cfg.butterfly_levels = 0;

@@ -24,7 +24,11 @@ fn main() {
     for i in 0..n {
         for j in 0..n {
             for k in 0..n {
-                let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+                let (x, y, z) = (
+                    i as f64 / n as f64,
+                    j as f64 / n as f64,
+                    k as f64 / n as f64,
+                );
                 f.push(Complex64::new(lap_coeff * exact(x, y, z), 0.0));
             }
         }
@@ -39,7 +43,11 @@ fn main() {
     // Divide by the spectral Laplacian eigenvalues.
     let wave = |idx: usize| -> f64 {
         // Signed frequency for index in [0, n).
-        let s = if idx <= n / 2 { idx as f64 } else { idx as f64 - n as f64 };
+        let s = if idx <= n / 2 {
+            idx as f64
+        } else {
+            idx as f64 - n as f64
+        };
         tau * s
     };
     for i in 0..n {
@@ -64,13 +72,20 @@ fn main() {
     for i in 0..n {
         for j in 0..n {
             for k in 0..n {
-                let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+                let (x, y, z) = (
+                    i as f64 / n as f64,
+                    j as f64 / n as f64,
+                    k as f64 / n as f64,
+                );
                 let u = fhat[(i * n + j) * n + k].re * scale;
                 max_err = max_err.max((u - exact(x, y, z)).abs());
             }
         }
     }
     println!("grid {n}^3, max |u - u*| = {max_err:.3e}");
-    assert!(max_err < 1e-8, "spectral solve must be exact for a bandlimited RHS");
+    assert!(
+        max_err < 1e-8,
+        "spectral solve must be exact for a bandlimited RHS"
+    );
     println!("ok");
 }

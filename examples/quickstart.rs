@@ -25,8 +25,12 @@ fn main() {
     fft.process(&mut spectrum);
 
     // The two tones dominate the spectrum.
-    let mut mags: Vec<(usize, f64)> =
-        spectrum.iter().take(n / 2).map(|c| c.abs()).enumerate().collect();
+    let mut mags: Vec<(usize, f64)> = spectrum
+        .iter()
+        .take(n / 2)
+        .map(|c| c.abs())
+        .enumerate()
+        .collect();
     mags.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("strongest bins: {} and {}", mags[0].0, mags[1].0);
     assert_eq!(

@@ -10,7 +10,9 @@ use parafft::{Complex64, Fft, FftDirection, Normalization};
 
 /// Deterministic pseudo-noise in [-1, 1].
 fn noise(i: usize) -> f64 {
-    let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+    let mut z = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xDEAD_BEEF);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
@@ -32,7 +34,11 @@ fn main() {
                 + 0.6 * (std::f64::consts::TAU * 41.0 * t).cos()
         })
         .collect();
-    let noisy: Vec<f64> = clean.iter().enumerate().map(|(i, &c)| c + 0.8 * noise(i)).collect();
+    let noisy: Vec<f64> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c + 0.8 * noise(i))
+        .collect();
 
     // Forward transform.
     let fft = Fft::new(n, FftDirection::Forward);
@@ -42,8 +48,8 @@ fn main() {
 
     // Brick-wall low-pass: zero every bin at or above the cutoff
     // (respecting conjugate symmetry).
-    for k in cutoff..n - cutoff + 1 {
-        spec[k] = Complex64::zero();
+    for bin in &mut spec[cutoff..=n - cutoff] {
+        *bin = Complex64::zero();
     }
     let mut filtered = spec;
     ifft.process(&mut filtered);
@@ -55,6 +61,9 @@ fn main() {
     let snr_after = 20.0 * (rms(&clean) / rms(&err_after)).log10();
     println!("SNR before filtering: {snr_before:5.1} dB");
     println!("SNR after  filtering: {snr_after:5.1} dB");
-    assert!(snr_after > snr_before + 10.0, "filter must gain at least 10 dB");
+    assert!(
+        snr_after > snr_before + 10.0,
+        "filter must gain at least 10 dB"
+    );
     println!("ok (gained {:.1} dB)", snr_after - snr_before);
 }

@@ -13,22 +13,59 @@ use xmt_sim::{Machine, XmtConfig};
 /// One generated instruction in a restricted, always-terminating form.
 #[derive(Debug, Clone)]
 enum GenOp {
-    Li { rd: u8, imm: u32 },
-    Alu { which: u8, rd: u8, rs1: u8, rs2: u8 },
-    AluI { which: u8, rd: u8, rs1: u8, imm: u16 },
-    Mdu { which: u8, rd: u8, rs1: u8, rs2: u8 },
-    Fli { fd: u8, v: i16 },
-    Fpu { which: u8, fd: u8, fs1: u8, fs2: u8 },
+    Li {
+        rd: u8,
+        imm: u32,
+    },
+    Alu {
+        which: u8,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluI {
+        which: u8,
+        rd: u8,
+        rs1: u8,
+        imm: u16,
+    },
+    Mdu {
+        which: u8,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Fli {
+        fd: u8,
+        v: i16,
+    },
+    Fpu {
+        which: u8,
+        fd: u8,
+        fs1: u8,
+        fs2: u8,
+    },
     /// Load from the shared read-only region [0, 64).
-    LoadRo { rd: u8, addr: u8 },
+    LoadRo {
+        rd: u8,
+        addr: u8,
+    },
     /// Store to this context's private region (serial: [64,128);
     /// thread t: [128 + t*8, 128 + t*8 + 8)).
-    StorePriv { rs: u8, slot: u8 },
+    StorePriv {
+        rs: u8,
+        slot: u8,
+    },
     /// Float store to the private region.
-    FStorePriv { fs: u8, slot: u8 },
+    FStorePriv {
+        fs: u8,
+        slot: u8,
+    },
     /// Prefix-sum on g7 (commutative: final greg value is
     /// schedule-independent; the returned ticket is stored privately).
-    Ps { slot: u8 },
+    Ps {
+        slot: u8,
+    },
 }
 
 fn reg_strategy() -> impl Strategy<Value = u8> {
@@ -38,15 +75,39 @@ fn reg_strategy() -> impl Strategy<Value = u8> {
 fn op_strategy() -> impl Strategy<Value = GenOp> {
     prop_oneof![
         (reg_strategy(), any::<u32>()).prop_map(|(rd, imm)| GenOp::Li { rd, imm }),
-        (0u8..8, reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(which, rd, rs1, rs2)| GenOp::Alu { which, rd, rs1, rs2 }),
-        (0u8..8, reg_strategy(), reg_strategy(), any::<u16>())
-            .prop_map(|(which, rd, rs1, imm)| GenOp::AluI { which, rd, rs1, imm }),
-        (0u8..3, reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(which, rd, rs1, rs2)| GenOp::Mdu { which, rd, rs1, rs2 }),
+        (0u8..8, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(which, rd, rs1, rs2)| GenOp::Alu {
+                which,
+                rd,
+                rs1,
+                rs2
+            }
+        ),
+        (0u8..8, reg_strategy(), reg_strategy(), any::<u16>()).prop_map(|(which, rd, rs1, imm)| {
+            GenOp::AluI {
+                which,
+                rd,
+                rs1,
+                imm,
+            }
+        }),
+        (0u8..3, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(which, rd, rs1, rs2)| GenOp::Mdu {
+                which,
+                rd,
+                rs1,
+                rs2
+            }
+        ),
         (reg_strategy(), any::<i16>()).prop_map(|(fd, v)| GenOp::Fli { fd, v }),
-        (0u8..4, reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(which, fd, fs1, fs2)| GenOp::Fpu { which, fd, fs1, fs2 }),
+        (0u8..4, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(which, fd, fs1, fs2)| GenOp::Fpu {
+                which,
+                fd,
+                fs1,
+                fs2
+            }
+        ),
         (reg_strategy(), 0u8..64).prop_map(|(rd, addr)| GenOp::LoadRo { rd, addr }),
         (reg_strategy(), 0u8..8).prop_map(|(rs, slot)| GenOp::StorePriv { rs, slot }),
         (reg_strategy(), 0u8..8).prop_map(|(fs, slot)| GenOp::FStorePriv { fs, slot }),
@@ -76,7 +137,12 @@ fn emit(b: &mut ProgramBuilder, op: &GenOp, tid_reg: Option<xmt_isa::IReg>) {
         GenOp::Li { rd, imm } => {
             b.li(ir(rd as usize), imm);
         }
-        GenOp::Alu { which, rd, rs1, rs2 } => {
+        GenOp::Alu {
+            which,
+            rd,
+            rs1,
+            rs2,
+        } => {
             b.push(Instr::Alu {
                 op: alu(which),
                 rd: ir(rd as usize),
@@ -84,7 +150,12 @@ fn emit(b: &mut ProgramBuilder, op: &GenOp, tid_reg: Option<xmt_isa::IReg>) {
                 rs2: ir(rs2 as usize),
             });
         }
-        GenOp::AluI { which, rd, rs1, imm } => {
+        GenOp::AluI {
+            which,
+            rd,
+            rs1,
+            imm,
+        } => {
             b.push(Instr::AluI {
                 op: alu(which),
                 rd: ir(rd as usize),
@@ -92,7 +163,12 @@ fn emit(b: &mut ProgramBuilder, op: &GenOp, tid_reg: Option<xmt_isa::IReg>) {
                 imm: imm as u32,
             });
         }
-        GenOp::Mdu { which, rd, rs1, rs2 } => {
+        GenOp::Mdu {
+            which,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let mop = [MduOp::Mul, MduOp::Divu, MduOp::Remu][which as usize];
             b.push(Instr::Mdu {
                 op: mop,
@@ -104,7 +180,12 @@ fn emit(b: &mut ProgramBuilder, op: &GenOp, tid_reg: Option<xmt_isa::IReg>) {
         GenOp::Fli { fd, v } => {
             b.fli(fr(fd as usize), v as f32 * 0.125);
         }
-        GenOp::Fpu { which, fd, fs1, fs2 } => {
+        GenOp::Fpu {
+            which,
+            fd,
+            fs1,
+            fs2,
+        } => {
             let fop = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Div][which as usize];
             b.push(Instr::Fpu {
                 op: fop,

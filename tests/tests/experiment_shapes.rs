@@ -9,7 +9,10 @@ use xmt_sim::{summarize, XmtConfig};
 
 #[test]
 fn table4_series_monotone_with_diminishing_x4_return() {
-    let g: Vec<f64> = table4_projection().iter().map(|p| p.gflops_convention).collect();
+    let g: Vec<f64> = table4_projection()
+        .iter()
+        .map(|p| p.gflops_convention)
+        .collect();
     assert_eq!(g.len(), 5);
     for w in g.windows(2) {
         assert!(w[1] > w[0]);
@@ -28,7 +31,10 @@ fn table5_speedup_bands() {
     assert!((20.0..45.0).contains(&s4k.vs_serial), "{}", s4k.vs_serial);
     assert!((1.8..4.0).contains(&s4k.vs_parallel), "{}", s4k.vs_parallel);
     let sx4 = speedups(g[4].gflops_convention, &base);
-    assert!(sx4.vs_serial > 1000.0, "largest config beats serial by 3 orders");
+    assert!(
+        sx4.vs_serial > 1000.0,
+        "largest config beats serial by 3 orders"
+    );
 }
 
 #[test]
@@ -47,15 +53,25 @@ fn table6_single_chip_vs_cluster() {
 
     let phys = summarize(&xmt);
     let si_ratio = edison.silicon_cm2_at_22nm() / (phys.area_22nm_mm2 / 100.0);
-    assert!((600.0..1200.0).contains(&si_ratio), "silicon ratio {si_ratio:.0} (paper: 870)");
+    assert!(
+        (600.0..1200.0).contains(&si_ratio),
+        "silicon ratio {si_ratio:.0} (paper: 870)"
+    );
     let pw_ratio = edison.peak_power_kw / (phys.peak_power_w / 1000.0);
-    assert!((250.0..500.0).contains(&pw_ratio), "power ratio {pw_ratio:.0} (paper: 375)");
+    assert!(
+        (250.0..500.0).contains(&pw_ratio),
+        "power ratio {pw_ratio:.0} (paper: 375)"
+    );
 
     // Utilization asymmetry: XMT uses tens of percent of its peak,
     // Edison a fraction of one percent.
     let xmt_pct = xfft.gflops_convention / xmt.peak_gflops() * 100.0;
     assert!(xmt_pct > 15.0, "XMT at {xmt_pct:.0}% of peak (paper: 35%)");
-    assert!(efft.pct_of_machine_peak < 1.0, "Edison at {:.2}%", efft.pct_of_machine_peak);
+    assert!(
+        efft.pct_of_machine_peak < 1.0,
+        "Edison at {:.2}%",
+        efft.pct_of_machine_peak
+    );
 }
 
 #[test]
@@ -64,7 +80,11 @@ fn roofline_consistency_between_crates() {
     for cfg in XmtConfig::paper_configs() {
         let p = project(&cfg, &[512, 512, 512]);
         let plat = Platform::new(cfg.name, cfg.peak_gflops(), cfg.peak_dram_gbs());
-        for pt in [p.rotation_point(), p.non_rotation_point(), p.overall_point()] {
+        for pt in [
+            p.rotation_point(),
+            p.non_rotation_point(),
+            p.overall_point(),
+        ] {
             let roof = plat.attainable(pt.intensity);
             assert!(
                 pt.gflops <= roof * 1.001,
@@ -84,11 +104,14 @@ fn fft_intensity_respects_hong_kung_bound() {
     // (~0.5 FLOPs/byte) is far under the bound for any realistic S.
     for cfg in XmtConfig::paper_configs() {
         let p = project(&cfg, &[512, 512, 512]);
-        let s_words =
-            (cfg.memory_modules * cfg.cache.lines * cfg.cache.line_words) as f64;
+        let s_words = (cfg.memory_modules * cfg.cache.lines * cfg.cache.line_words) as f64;
         let bound = roofline::RooflineSeries::fft_intensity_bound(s_words);
         let oi = p.overall_point().intensity;
-        assert!(oi < bound, "{}: {oi} exceeds Hong-Kung bound {bound}", cfg.name);
+        assert!(
+            oi < bound,
+            "{}: {oi} exceeds Hong-Kung bound {bound}",
+            cfg.name
+        );
     }
 }
 

@@ -15,9 +15,18 @@ use xmt_sim::XmtConfig;
 /// DRAM channel shared by every module.
 fn starved() -> XmtConfig {
     let mut cfg = XmtConfig::xmt_4k().scaled_to(2);
-    cfg.cache = CacheConfig { lines: 32, ways: 2, line_words: 8, hit_latency: 2 };
+    cfg.cache = CacheConfig {
+        lines: 32,
+        ways: 2,
+        line_words: 8,
+        hit_latency: 2,
+    };
     cfg.mm_per_dram_ctrl = cfg.memory_modules;
-    cfg.dram = DramConfig { bytes_per_cycle: 2.0, access_latency: 150, line_bytes: 32 };
+    cfg.dram = DramConfig {
+        bytes_per_cycle: 2.0,
+        access_latency: 150,
+        line_bytes: 32,
+    };
     cfg
 }
 
@@ -66,9 +75,17 @@ fn dram_latency_spike_only_slows() {
     let plan = XmtFftPlan::new_1d(n, 2);
     let x = sample32(n, 3);
     let mut slow = XmtConfig::xmt_4k().scaled_to(4);
-    slow.dram = DramConfig { access_latency: 1000, ..slow.dram };
+    slow.dram = DramConfig {
+        access_latency: 1000,
+        ..slow.dram
+    };
     // Make data not fit in cache so latency actually matters.
-    slow.cache = CacheConfig { lines: 16, ways: 2, line_words: 8, hit_latency: 2 };
+    slow.cache = CacheConfig {
+        lines: 16,
+        ways: 2,
+        line_words: 8,
+        hit_latency: 2,
+    };
     let mut fast = XmtConfig::xmt_4k().scaled_to(4);
     fast.cache = slow.cache;
     let r_slow = run_on_machine(&plan, &slow, &x).unwrap();

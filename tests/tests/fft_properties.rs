@@ -4,9 +4,7 @@
 //! Bluestein ≡ naive DFT).
 
 use parafft::dft::{dft, idft_normalized, max_error};
-use parafft::{
-    fft, ifft, Complex64, Fft, FftDirection, Normalization, TwiddleTable,
-};
+use parafft::{fft, ifft, Complex64, Fft, FftDirection, Normalization, TwiddleTable};
 use proptest::prelude::*;
 use xmt_integration::sample64;
 
@@ -15,8 +13,7 @@ fn arb_complex() -> impl Strategy<Value = Complex64> {
 }
 
 fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Complex64>> {
-    (1..=max_log2)
-        .prop_flat_map(move |k| proptest::collection::vec(arb_complex(), 1 << k as usize))
+    (1..=max_log2).prop_flat_map(move |k| proptest::collection::vec(arb_complex(), 1 << k as usize))
 }
 
 /// Arbitrary (possibly non-power-of-two) length signal, 1..=96.
@@ -160,6 +157,9 @@ fn real_even_signal_has_real_spectrum() {
     let mut f = x;
     fft(&mut f);
     for v in &f {
-        assert!(v.im.abs() < 1e-9, "even real signal must have real spectrum");
+        assert!(
+            v.im.abs() < 1e-9,
+            "even real signal must have real spectrum"
+        );
     }
 }

@@ -182,7 +182,11 @@ fn hotspot_vs_spread_traffic_on_mot() {
 fn build_network_polymorphism() {
     for topo in [Topology::pure_mot(8, 8), Topology::hybrid(8, 8, 2, 3)] {
         let mut n = build_network(topo);
-        assert!(n.try_inject(Flit { src: 1, dst: 5, tag: 0 }));
+        assert!(n.try_inject(Flit {
+            src: 1,
+            dst: 5,
+            tag: 0
+        }));
         let mut delivered = 0;
         for _ in 0..50 {
             delivered += n.step().len();

@@ -3,7 +3,6 @@
 //! host FFT library for every shape, configuration and replication
 //! factor — and the two engines must agree bit-for-bit.
 
-use parafft::Complex32;
 use proptest::prelude::*;
 use xmt_fft::plan::XmtFftPlan;
 use xmt_fft::run::{host_reference, rel_error, run_on_interp, run_on_machine};
@@ -36,7 +35,12 @@ fn two_d_shapes_match_host_on_interp() {
 
 #[test]
 fn three_d_shapes_match_host_on_interp() {
-    for shape in [(8usize, 8usize, 8usize), (8, 16, 8), (16, 8, 32), (16, 16, 16)] {
+    for shape in [
+        (8usize, 8usize, 8usize),
+        (8, 16, 8),
+        (16, 8, 32),
+        (16, 16, 16),
+    ] {
         let plan = XmtFftPlan::new_3d(shape, 2);
         let x = sample32(shape.0 * shape.1 * shape.2, 99);
         let got = run_on_interp(&plan, &x).unwrap();
@@ -52,7 +56,11 @@ fn machine_agrees_with_interpreter_bitwise_across_configs() {
     let plan = XmtFftPlan::new_1d(n, 4);
     let x = sample32(n, 5);
     let interp = run_on_interp(&plan, &x).unwrap();
-    for base in [XmtConfig::xmt_4k(), XmtConfig::xmt_64k(), XmtConfig::xmt_128k_x4()] {
+    for base in [
+        XmtConfig::xmt_4k(),
+        XmtConfig::xmt_64k(),
+        XmtConfig::xmt_128k_x4(),
+    ] {
         for clusters in [2usize, 8] {
             let cfg = base.scaled_to(clusters);
             let mach = run_on_machine(&plan, &cfg, &x).unwrap();
@@ -97,7 +105,62 @@ fn rotation_stage_has_lower_flops_than_twiddled_stage() {
     let first = &run.summary.spawns[0]; // twiddled
     let meta_last = plan.stages.iter().position(|m| m.is_rotation).unwrap();
     let rot = &run.summary.spawns[meta_last];
-    assert!(rot.flops < first.flops, "rotation {} vs twiddled {}", rot.flops, first.flops);
+    assert!(
+        rot.flops < first.flops,
+        "rotation {} vs twiddled {}",
+        rot.flops,
+        first.flops
+    );
+}
+
+#[test]
+fn engines_agree_bitwise_on_spawn_heavy_programs() {
+    // The fast-forwarding and two-phase threaded engines must be
+    // indistinguishable from per-cycle reference stepping: identical
+    // statistics, per-spawn records, memory image and global registers
+    // on every golden program, for any worker count.
+    use xmt_fft::golden;
+    use xmt_sim::Engine;
+    let engines = [
+        Engine::Reference,
+        Engine::FastForward,
+        Engine::Threaded { threads: 1 },
+        Engine::Threaded { threads: 3 },
+        Engine::Threaded { threads: 0 }, // auto worker count
+    ];
+    for case in golden::cases() {
+        let mut runs = Vec::new();
+        for engine in engines {
+            let mut m = case.machine();
+            m.engine = engine;
+            let summary = m.run().unwrap();
+            let mem: Vec<u32> = m.read_f32s(0, 256).iter().map(|v| v.to_bits()).collect();
+            runs.push((engine, summary, mem, m.gregs_snapshot()));
+        }
+        let (_, ref_summary, ref_mem, ref_gregs) = &runs[0];
+        for (engine, summary, mem, gregs) in &runs[1..] {
+            assert_eq!(
+                summary.stats, ref_summary.stats,
+                "{}: stats diverge under {engine:?}",
+                case.name
+            );
+            assert_eq!(
+                summary.spawns, ref_summary.spawns,
+                "{}: spawn log diverges under {engine:?}",
+                case.name
+            );
+            assert_eq!(
+                mem, ref_mem,
+                "{}: memory diverges under {engine:?}",
+                case.name
+            );
+            assert_eq!(
+                gregs, ref_gregs,
+                "{}: gregs diverge under {engine:?}",
+                case.name
+            );
+        }
+    }
 }
 
 proptest! {

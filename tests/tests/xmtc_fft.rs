@@ -123,7 +123,7 @@ fn xmtc_fft_runs_on_the_cycle_simulator() {
     let n = 256usize;
     let (prog, tw_flat, input) = setup(n);
     let cfg = XmtConfig::xmt_4k().scaled_to(4);
-    let mut m = Machine::new(&cfg, prog, 4 * n + 2 * n + 16);
+    let m = Machine::new(&cfg, prog, 4 * n + 2 * n + 16);
     {
         let g = m.gregs_snapshot();
         let _ = g; // globals are set through serial code normally; the

@@ -88,20 +88,8 @@ fn eval(e: &Expr, a: u32, b: u32) -> u32 {
                 BinOp::Add => x.wrapping_add(y),
                 BinOp::Sub => x.wrapping_sub(y),
                 BinOp::Mul => x.wrapping_mul(y),
-                BinOp::Div => {
-                    if y == 0 {
-                        u32::MAX
-                    } else {
-                        x / y
-                    }
-                }
-                BinOp::Rem => {
-                    if y == 0 {
-                        x
-                    } else {
-                        x % y
-                    }
-                }
+                BinOp::Div => x.checked_div(y).unwrap_or(u32::MAX),
+                BinOp::Rem => x.checked_rem(y).unwrap_or(x),
                 BinOp::And => x & y,
                 BinOp::Or => x | y,
                 BinOp::Xor => x ^ y,

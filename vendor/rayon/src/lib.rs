@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the rayon API it actually
+//! uses: `par_chunks_mut` / `par_chunks_exact_mut` with
+//! `for_each` / `for_each_init` / `enumerate().for_each`, plus
+//! [`current_num_threads`]. Work is distributed over `std::thread`
+//! scoped workers pulling batches from a shared queue, so callers get
+//! genuine multi-core execution with the same ownership guarantees
+//! (each chunk is a disjoint `&mut [T]`).
+//!
+//! This is not a general rayon replacement: no `join`, no splitting
+//! adaptivity, no thread-pool reuse. Chunk-parallel FFT stages — the
+//! only users in this workspace — do coarse enough work per chunk
+//! that a shared-queue executor is within noise of real rayon.
+
+use std::sync::Mutex;
+use std::thread;
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(index, item)` for every item, distributing batches of items
+/// across up to [`current_num_threads`] scoped workers.
+fn for_each_indexed<I, S, F, N>(items: Vec<I>, new_state: N, f: F)
+where
+    I: Send,
+    S: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) + Sync,
+{
+    let total = items.len();
+    let workers = current_num_threads().min(total);
+    if workers <= 1 {
+        let mut state = new_state();
+        for (i, item) in items.into_iter().enumerate() {
+            f(&mut state, i, item);
+        }
+        return;
+    }
+    // Batched pull from a shared queue: bounds contention while still
+    // load-balancing uneven chunk costs.
+    let batch = (total / (4 * workers)).max(1);
+    let queue = Mutex::new(items.into_iter().enumerate());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut state = new_state();
+                let mut grabbed = Vec::with_capacity(batch);
+                loop {
+                    {
+                        let mut q = queue.lock().unwrap();
+                        for _ in 0..batch {
+                            match q.next() {
+                                Some(pair) => grabbed.push(pair),
+                                None => break,
+                            }
+                        }
+                    }
+                    if grabbed.is_empty() {
+                        return;
+                    }
+                    for (i, item) in grabbed.drain(..) {
+                        f(&mut state, i, item);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// [`ParChunksMut`] with chunk indices attached (from `.enumerate()`).
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attach the chunk index, as in `std`'s `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        for_each_indexed(self.chunks, || (), |(), _, chunk| f(chunk));
+    }
+
+    /// Apply `f` to every chunk in parallel with per-worker scratch
+    /// state created by `init` (rayon creates one per split; one per
+    /// worker thread is observably the same for scratch buffers).
+    pub fn for_each_init<S, N, F>(self, init: N, f: F)
+    where
+        S: Send,
+        N: Fn() -> S + Sync,
+        F: Fn(&mut S, &mut [T]) + Sync,
+    {
+        for_each_indexed(self.chunks, init, |state, _, chunk| f(state, chunk));
+    }
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        for_each_indexed(self.chunks, || (), |(), i, chunk| f((i, chunk)));
+    }
+}
+
+/// Slice extension trait providing the chunk-parallel entry points.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel version of `slice::chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    /// Parallel version of `slice::chunks_exact_mut` (the remainder,
+    /// if any, is not visited).
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_exact_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Rayon-style prelude; `use rayon::prelude::*` pulls in the traits.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_visit_everything_once() {
+        let mut v = vec![0u32; 1024];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x += 1 + i as u32;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + (i / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn exact_chunks_skip_remainder() {
+        let mut v = [0u32; 10];
+        v.par_chunks_exact_mut(4)
+            .for_each(|c| c.iter_mut().for_each(|x| *x = 1));
+        assert_eq!(v[..8], [1; 8]);
+        assert_eq!(v[8..], [0; 2]);
+    }
+
+    #[test]
+    fn for_each_init_gets_scratch() {
+        let mut v = vec![1u64; 64];
+        v.par_chunks_mut(3).for_each_init(
+            || vec![0u64; 4],
+            |scratch, c| {
+                scratch[0] = c.iter().sum();
+                c.iter_mut().for_each(|x| *x = scratch[0]);
+            },
+        );
+        assert_eq!(v[0], 3);
+        assert_eq!(v[63], 1);
+    }
+}
