@@ -20,6 +20,9 @@ echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== simulator throughput -> BENCH_sim.json =="
-cargo run --release -p xmt-bench --bin bench_sim BENCH_sim.json
+# --check regresses the gate against the committed baseline: exit 1 if
+# any workload's simulated cycle count drifts, or if the fast-forward
+# engine falls below 1.0x over reference on any golden workload.
+cargo run --release -p xmt-bench --bin bench_sim BENCH_sim.json --check BENCH_sim.json
 
 echo "ci.sh: all green"

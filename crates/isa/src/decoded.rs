@@ -1,0 +1,134 @@
+//! Predecoded instruction stream for the cycle simulator's hot path.
+//!
+//! The per-issue work in `xmt-sim` used to re-derive the functional
+//! unit, the scoreboard hazard masks and the FLOP flag from the raw
+//! [`Instr`] on every cycle of every TCU. [`DecodedProgram`] folds all
+//! of that into one flat, contiguous array computed once at machine
+//! construction, so the per-TCU issue test is a single indexed load of
+//! a [`DecodedInstr`] instead of three separate lookups and `match`
+//! walks.
+
+use crate::instr::{Instr, Unit};
+use crate::program::Program;
+
+/// One instruction with everything the issue logic needs precomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedInstr {
+    /// The instruction itself (still needed for execution).
+    pub instr: Instr,
+    /// Functional unit the instruction occupies ([`Instr::unit`]).
+    pub unit: Unit,
+    /// Integer-register scoreboard mask ([`Instr::hazard_masks`].0).
+    pub imask: u32,
+    /// FP-register scoreboard mask ([`Instr::hazard_masks`].1).
+    pub fmask: u32,
+    /// Counts as one FLOP ([`Instr::is_flop`]).
+    pub is_flop: bool,
+}
+
+impl DecodedInstr {
+    /// Decode a single instruction.
+    pub fn new(instr: Instr) -> Self {
+        let (imask, fmask) = instr.hazard_masks();
+        Self {
+            unit: instr.unit(),
+            imask,
+            fmask,
+            is_flop: instr.is_flop(),
+            instr,
+        }
+    }
+}
+
+/// A program predecoded into a flat [`DecodedInstr`] array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedProgram {
+    instrs: Vec<DecodedInstr>,
+}
+
+impl DecodedProgram {
+    /// Predecode every instruction of `prog`.
+    pub fn new(prog: &Program) -> Self {
+        Self {
+            instrs: prog
+                .instrs()
+                .iter()
+                .copied()
+                .map(DecodedInstr::new)
+                .collect(),
+        }
+    }
+
+    /// Fetch one decoded instruction (panics on out-of-range pc, like
+    /// [`Program::fetch`]).
+    #[inline(always)]
+    pub fn fetch(&self, pc: usize) -> &DecodedInstr {
+        &self.instrs[pc]
+    }
+
+    /// The decoded instruction stream.
+    pub fn instrs(&self) -> &[DecodedInstr] {
+        &self.instrs
+    }
+
+    /// Length/count of contained items.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::reg::{fr, gr, ir};
+
+    #[test]
+    fn decode_agrees_with_instr_queries() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(1), 8);
+        b.spawn(ir(1), par);
+        b.jump(after);
+        b.bind(par);
+        b.tid(ir(2));
+        b.flw(fr(0), ir(2), 0);
+        b.fmul(fr(1), fr(0), fr(0));
+        b.mul(ir(3), ir(2), ir(2));
+        b.ps(ir(4), ir(3), gr(1));
+        b.fsw(fr(1), ir(2), 16);
+        b.join();
+        b.bind(after);
+        b.halt();
+        let prog = b.build().unwrap();
+        let dec = DecodedProgram::new(&prog);
+        assert_eq!(dec.len(), prog.len());
+        assert!(!dec.is_empty());
+        for pc in 0..prog.len() {
+            let ins = prog.fetch(pc);
+            let d = dec.fetch(pc);
+            assert_eq!(d.instr, ins, "pc {pc}");
+            assert_eq!(d.unit, ins.unit(), "pc {pc}");
+            assert_eq!((d.imask, d.fmask), ins.hazard_masks(), "pc {pc}");
+            assert_eq!(d.is_flop, ins.is_flop(), "pc {pc}");
+        }
+    }
+
+    #[test]
+    fn decoded_stream_is_flat_and_indexable() {
+        let mut b = ProgramBuilder::new();
+        b.li(ir(1), 1).fadd(fr(0), fr(1), fr(2)).halt();
+        let prog = b.build().unwrap();
+        let dec = DecodedProgram::new(&prog);
+        assert_eq!(dec.instrs().len(), 3);
+        assert_eq!(dec.fetch(1).unit, Unit::Fpu);
+        assert!(dec.fetch(1).is_flop);
+        assert_eq!(dec.fetch(1).fmask, 0b0111);
+    }
+}

@@ -22,12 +22,14 @@
 
 #![warn(missing_docs)]
 pub mod codec;
+pub mod decoded;
 pub mod instr;
 pub mod interp;
 pub mod program;
 pub mod reg;
 
 pub use codec::{decode_program, encode_program, CodecError};
+pub use decoded::{DecodedInstr, DecodedProgram};
 pub use instr::{AluOp, BranchCond, FpuOp, Instr, MduOp, Unit};
 pub use interp::{ExecError, Interp, RunStats};
 pub use program::{BuildError, Label, Program, ProgramBuilder};

@@ -172,4 +172,49 @@ mod tests {
     fn rejects_non_power_of_two_modules() {
         AddressHash::new(12, 8);
     }
+
+    #[test]
+    fn single_module_absorbs_every_address() {
+        // modules = 1 makes the mask zero: every line must home to
+        // module 0 under both placements, and locality ids must still
+        // distinguish lines (the degenerate config a scaled-down
+        // machine can produce).
+        for h in [AddressHash::new(1, 8), AddressHash::interleaved(1, 8)] {
+            let mut locals = std::collections::HashSet::new();
+            for line in 0..512u32 {
+                let addr = line * 8 + (line % 8); // arbitrary in-line offset
+                assert_eq!(h.module_of(addr), 0);
+                locals.insert(h.local_line(line * 8));
+            }
+            assert_eq!(locals.len(), 512, "local line ids must stay distinct");
+        }
+    }
+
+    #[test]
+    fn power_of_two_aliasing_stays_bijective() {
+        // Lines exactly `modules` apart alias to one module under plain
+        // interleaving — the pathological stride. The (module,
+        // local_line) pair must remain a bijection anyway, and the
+        // hashed placement must break the alias class apart.
+        let modules = 16;
+        let h = AddressHash::new(modules as u32 as usize, 8);
+        let hi = AddressHash::interleaved(modules, 8);
+        let mut hashed_homes = std::collections::HashSet::new();
+        let mut pairs = std::collections::HashSet::new();
+        for i in 0..128u32 {
+            let line = i * modules as u32; // all alias under interleave
+            let addr = line * 8;
+            assert_eq!(hi.module_of(addr), 0, "interleave alias class");
+            assert!(
+                pairs.insert((hi.module_of(addr), hi.local_line(addr))),
+                "aliasing lines collapsed to one (module, local_line)"
+            );
+            hashed_homes.insert(h.module_of(addr));
+        }
+        assert!(
+            hashed_homes.len() > modules / 2,
+            "hashing left the power-of-two alias class on {} modules",
+            hashed_homes.len()
+        );
+    }
 }

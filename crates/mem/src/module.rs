@@ -150,9 +150,11 @@ impl MemoryModule {
     }
 
     /// Advance one cycle: service at most one bank access and release
-    /// any responses whose latency elapsed. DRAM fills/write-backs the
-    /// module needs are appended to `channel_out`.
-    pub fn step(&mut self, channel_out: &mut Vec<ChannelRequest>) -> Vec<MemResp> {
+    /// any responses whose latency elapsed into `resp_out`. DRAM
+    /// fills/write-backs the module needs are appended to
+    /// `channel_out`. Both vectors are append-only so the caller can
+    /// reuse them across modules and cycles without reallocating.
+    pub fn step(&mut self, channel_out: &mut Vec<ChannelRequest>, resp_out: &mut Vec<MemResp>) {
         self.cycle += 1;
         let hit_lat = self.bank.config().hit_latency as u64;
         // A request whose line already has a fill in flight merges into
@@ -168,7 +170,8 @@ impl MemoryModule {
                 self.stats.merged_misses += 1;
                 // Release matured responses and return early: the bank
                 // port was consumed by the merge.
-                return self.release();
+                self.release(resp_out);
+                return;
             }
         }
         match self.bank.service_one() {
@@ -210,12 +213,11 @@ impl MemoryModule {
             }
             None => {}
         }
-        self.release()
+        self.release(resp_out)
     }
 
-    /// Pop every response whose latency has matured.
-    fn release(&mut self) -> Vec<MemResp> {
-        let mut out = Vec::new();
+    /// Pop every response whose latency has matured into `out`.
+    fn release(&mut self, out: &mut Vec<MemResp>) {
         while let Some(Reverse(r)) = self.ready.peek() {
             if r.at > self.cycle {
                 break;
@@ -224,7 +226,6 @@ impl MemoryModule {
             self.stats.responses += 1;
             out.push(r.resp);
         }
-        out
     }
 
     /// A DRAM fill completed: wake every request waiting on the line.
@@ -260,10 +261,10 @@ mod tests {
 
     fn drive(m: &mut MemoryModule, chan: &mut DramChannel, cycles: usize) -> Vec<MemResp> {
         let mut out = Vec::new();
+        let mut creqs = Vec::new();
         for _ in 0..cycles {
-            let mut creqs = Vec::new();
-            out.extend(m.step(&mut creqs));
-            for cr in creqs {
+            m.step(&mut creqs, &mut out);
+            for cr in creqs.drain(..) {
                 chan.enqueue(cr.req);
             }
             if let Some(done) = chan.step() {
@@ -354,21 +355,23 @@ mod tests {
         let mut stepped = module();
         let mut lazy = module();
         let mut sink = Vec::new();
+        let mut resps = Vec::new();
         for m in [&mut stepped, &mut lazy] {
             m.enqueue(MemReq {
                 addr: 0,
                 is_write: false,
                 tag: 1,
             });
-            let r = m.step(&mut sink);
-            assert!(r.is_empty(), "miss cannot respond immediately");
+            m.step(&mut sink, &mut resps);
+            assert!(resps.is_empty(), "miss cannot respond immediately");
             assert!(!m.is_active(), "fill-waiting module is inactive");
             assert_eq!(m.next_event(), None);
         }
         // 10 cycles pass while DRAM works: one module steps, the
         // other is left alone and skipped.
         for _ in 0..10 {
-            assert!(stepped.step(&mut sink).is_empty());
+            stepped.step(&mut sink, &mut resps);
+            assert!(resps.is_empty());
         }
         lazy.skip_idle(10);
         let done = DramDone {
@@ -383,8 +386,10 @@ mod tests {
         lazy.on_fill(done);
         let count_steps = |m: &mut MemoryModule| {
             let mut creqs = Vec::new();
+            let mut out = Vec::new();
             for k in 0..20 {
-                if !m.step(&mut creqs).is_empty() {
+                m.step(&mut creqs, &mut out);
+                if !out.is_empty() {
                     return k;
                 }
             }

@@ -247,7 +247,7 @@ impl Network for ButterflyNetwork {
         true
     }
 
-    fn step(&mut self) -> Vec<Delivered> {
+    fn step_into(&mut self, out: &mut Vec<Delivered>) {
         self.cycle += 1;
         // Process stages from the last to the first so each flit moves
         // at most one stage per cycle (pipelined flow).
@@ -263,7 +263,6 @@ impl Network for ButterflyNetwork {
             self.dst_queues[a.flit.dst].push_back(a);
             self.queued += 1;
         }
-        let mut out = Vec::new();
         if self.queued > 0 {
             for q in &mut self.dst_queues {
                 if let Some(a) = q.pop_front() {
@@ -279,7 +278,6 @@ impl Network for ButterflyNetwork {
                 }
             }
         }
-        out
     }
 
     fn in_flight(&self) -> usize {

@@ -100,11 +100,11 @@ impl Network for MotNetwork {
         true
     }
 
-    fn step(&mut self) -> Vec<Delivered> {
+    fn step_into(&mut self, out: &mut Vec<Delivered>) {
         self.cycle += 1;
         // Fast path: nothing in flight, the step is a pure clock tick.
         if self.queued == 0 && self.pipeline.is_empty() {
-            return Vec::new();
+            return;
         }
         // Move pipeline arrivals into their destination queues.
         while let Some(Reverse(a)) = self.pipeline.peek() {
@@ -116,7 +116,6 @@ impl Network for MotNetwork {
             self.queued += 1;
         }
         // Each destination port serves one flit per cycle.
-        let mut out = Vec::new();
         if self.queued > 0 {
             for q in &mut self.dst_queues {
                 if let Some(a) = q.pop_front() {
@@ -132,7 +131,6 @@ impl Network for MotNetwork {
                 }
             }
         }
-        out
     }
 
     fn in_flight(&self) -> usize {

@@ -120,7 +120,7 @@ impl Network for MotSwitchNetwork {
         true
     }
 
-    fn step(&mut self) -> Vec<Delivered> {
+    fn step_into(&mut self, out: &mut Vec<Delivered>) {
         self.cycle += 1;
         // Fan-out arrivals enter level 0 of their destination tree at
         // the input matching their source port.
@@ -135,12 +135,11 @@ impl Network for MotSwitchNetwork {
             self.queued += 1;
         }
         if self.queued == 0 {
-            return Vec::new();
+            return;
         }
         // Advance every fan-in tree from root level back to leaves so a
         // flit moves one level per cycle.
         let levels = self.levels();
-        let mut out = Vec::new();
         for dst in 0..self.topo.modules {
             for l in (0..levels).rev() {
                 let n_sw = self.trees[dst][l].len();
@@ -176,7 +175,6 @@ impl Network for MotSwitchNetwork {
                 }
             }
         }
-        out
     }
 
     fn in_flight(&self) -> usize {

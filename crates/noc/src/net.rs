@@ -44,8 +44,18 @@ pub trait Network {
     fn ports(&self) -> (usize, usize);
     /// Attempt to inject a flit at the current cycle.
     fn try_inject(&mut self, flit: Flit) -> bool;
-    /// Advance one cycle; returns deliveries.
-    fn step(&mut self) -> Vec<Delivered>;
+    /// Advance one cycle, appending deliveries to `out` (which the
+    /// caller typically clears and reuses across cycles — the hot
+    /// simulator loop must not allocate per cycle).
+    fn step_into(&mut self, out: &mut Vec<Delivered>);
+    /// Advance one cycle; returns deliveries in a fresh `Vec`.
+    /// Convenience wrapper over [`Network::step_into`] for tests and
+    /// offline traffic harnesses.
+    fn step(&mut self) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        self.step_into(&mut out);
+        out
+    }
     /// Flits currently inside the network.
     fn in_flight(&self) -> usize;
     /// Current cycle number (starts at 0; incremented by `step`).

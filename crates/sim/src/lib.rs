@@ -22,6 +22,7 @@ pub mod energy;
 pub mod machine;
 pub mod perfmodel;
 pub mod physical;
+mod txn_slab;
 
 pub use config::XmtConfig;
 pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};

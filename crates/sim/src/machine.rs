@@ -25,14 +25,15 @@
 //!   handed out by the PS unit with unlimited same-cycle combining.
 
 use crate::config::XmtConfig;
-use std::collections::HashMap;
+use crate::txn_slab::TxnSlab;
 use std::collections::VecDeque;
+use xmt_isa::decoded::DecodedProgram;
 use xmt_isa::instr::{eval_branch, Instr, Unit};
 use xmt_isa::interp::exec_compute;
 use xmt_isa::reg::{FReg, IReg, RegFile, NUM_GREGS};
 use xmt_isa::Program;
-use xmt_mem::{AddressHash, ChannelRequest, DramChannel, DramReq, MemReq, MemoryModule};
-use xmt_noc::{Flit, Network, Topology};
+use xmt_mem::{AddressHash, ChannelRequest, DramChannel, DramReq, MemReq, MemResp, MemoryModule};
+use xmt_noc::{Delivered, Flit, Network, Topology};
 
 #[path = "machine_threaded.rs"]
 mod threaded;
@@ -111,39 +112,243 @@ struct Txn {
 }
 
 /// One TCU's execution context.
+///
+/// `repr(C)` pins the field order: every field the per-cycle issue
+/// loop and the fast-forward scan inspect sits in the first 32 bytes,
+/// so classifying a TCU (idle / latency-busy / scoreboard-blocked)
+/// touches one cache line; the register file only comes in when the
+/// TCU actually executes.
 #[derive(Debug)]
+#[repr(C)]
 struct Tcu {
-    active: bool,
-    rf: RegFile,
-    pc: usize,
     /// Cycle until which the TCU is busy (FPU/MDU latency).
     busy_until: u64,
+    pc: usize,
     /// Scoreboard: bitmask of integer registers with pending loads.
     pend_i: u32,
     /// Scoreboard: bitmask of FP registers with pending loads.
     pend_f: u32,
+    active: bool,
     /// Outstanding memory transactions (loads + stores).
     outstanding: u8,
+    /// Memoized issue classification of the instruction at `pc` against
+    /// the current scoreboard (see [`IssueClass`]). Kept current by
+    /// [`reclassify`] at every pc change and scoreboard clear, so the
+    /// per-cycle issue loop and the fast-forward scan classify a
+    /// stalled TCU from this one byte without refetching the program.
+    cls: IssueClass,
+    rf: RegFile,
 }
 
 impl Tcu {
     fn idle() -> Self {
         Self {
-            active: false,
-            rf: RegFile::new(0),
-            pc: 0,
             busy_until: 0,
+            pc: 0,
             pend_i: 0,
             pend_f: 0,
+            active: false,
             outstanding: 0,
+            cls: IssueClass::BadPc,
+            rf: RegFile::new(0),
+        }
+    }
+}
+
+/// What a TCU's next visit will do, resolved from (`pc`, scoreboard)
+/// whenever either changes. Latency (`busy_until`) and port budgets are
+/// deliberately excluded: they vary cycle-to-cycle and stay as direct
+/// checks in the issue loop. The payoff is on stall-dominated cycles —
+/// classifying a blocked TCU touches only its own cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueClass {
+    /// `pc` outside the program: the visit faults.
+    BadPc,
+    /// Scoreboard conflict: stall until a reply clears it.
+    Scoreboard,
+    /// Issues on the ALU (always has budget).
+    Alu,
+    /// Wants the shared FPU port.
+    Fpu,
+    /// Wants the shared MDU port.
+    Mdu,
+    /// Wants the shared LSU port.
+    Lsu,
+    /// Branch or jump: always issues.
+    Branch,
+    /// `ps`/`sspawn`: always issues (global-state ops).
+    Ps,
+    /// `join`: retires, or waits silently on posted stores.
+    Join,
+    /// `nop`: always issues.
+    Nop,
+    /// Illegal in parallel mode: the visit faults.
+    Illegal,
+}
+
+/// Classify the instruction at `pc` against the scoreboard masks.
+#[inline]
+fn classify(decoded: &DecodedProgram, pc: usize, pend_i: u32, pend_f: u32) -> IssueClass {
+    if pc >= decoded.len() {
+        return IssueClass::BadPc;
+    }
+    let d = decoded.fetch(pc);
+    if pend_i & d.imask != 0 || pend_f & d.fmask != 0 {
+        return IssueClass::Scoreboard;
+    }
+    match d.unit {
+        Unit::Alu => IssueClass::Alu,
+        Unit::Fpu => IssueClass::Fpu,
+        Unit::Mdu => IssueClass::Mdu,
+        Unit::Lsu => IssueClass::Lsu,
+        Unit::Branch => IssueClass::Branch,
+        Unit::Ps => IssueClass::Ps,
+        Unit::Control => match d.instr {
+            Instr::Join => IssueClass::Join,
+            Instr::Nop => IssueClass::Nop,
+            _ => IssueClass::Illegal,
+        },
+    }
+}
+
+/// Refresh a TCU's memoized [`IssueClass`] after its `pc` or scoreboard
+/// changed. Both engines' issue loops and the reply-application paths
+/// call this at every such mutation — the golden cross-engine tests pin
+/// that the memo never goes stale.
+#[inline(always)]
+fn reclassify(tcu: &mut Tcu, decoded: &DecodedProgram) {
+    tcu.cls = classify(decoded, tcu.pc, tcu.pend_i, tcu.pend_f);
+}
+
+/// Number of [`IssueClass`] variants (indexes [`ClusterMasks::cls`]).
+const NUM_ISSUE_CLASSES: usize = IssueClass::Illegal as usize + 1;
+
+/// Per-cluster bitmask mirror of the TCU hot state, bit `t` ↔ TCU `t`.
+///
+/// The masks let the issue loops reason about a whole cluster with a
+/// handful of word ops instead of touching one cache line per TCU: the
+/// reference loop uses `active & !busy` to visit only TCUs whose visit
+/// can have an effect, and the fast-forward engine issues straight off
+/// the per-class masks ([`Machine::step_cluster_bulk`]), accruing the
+/// stalls of losing contenders by popcount.
+///
+/// Invariants (maintained by every mutation path in this file; the
+/// threaded engine operates on worker-local cluster copies and never
+/// reads these):
+/// - `cls[k]` has bit `t` set iff `cluster[t].cls == k`, active or not.
+/// - `active` has bit `t` set iff `cluster[t].active`.
+/// - `busy` has bit `t` set iff `busy_until > cycle`, where `cycle` is
+///   the cycle currently being stepped; cleared via `wheel` at the top
+///   of each cluster step.
+/// - `out_nz` / `at_cap`: `outstanding > 0` / `>= MAX_OUTSTANDING`.
+#[derive(Debug, Clone)]
+struct ClusterMasks {
+    active: u64,
+    busy: u64,
+    /// TCUs whose `busy_until` equals a future cycle `x`, filed under
+    /// slot `x & 15`. Sound because issue latencies are ≤ 8 < 16 and
+    /// quiet skips never jump past the minimum live `busy_until`, so a
+    /// slot can never hold two generations at once. Skips replay the
+    /// wakes they jumped over via [`ClusterMasks::wake_through`].
+    wheel: [u64; 16],
+    cls: [u64; NUM_ISSUE_CLASSES],
+    out_nz: u64,
+    at_cap: u64,
+}
+
+impl ClusterMasks {
+    fn new(ntcus: usize) -> Self {
+        let mut cls = [0u64; NUM_ISSUE_CLASSES];
+        // Idle TCUs carry `IssueClass::BadPc` (see `Tcu::idle`).
+        cls[IssueClass::BadPc as usize] = ones(ntcus);
+        Self {
+            active: 0,
+            busy: 0,
+            wheel: [0; 16],
+            cls,
+            out_nz: 0,
+            at_cap: 0,
         }
     }
 
-    /// Scoreboard check against the precomputed per-pc hazard masks
-    /// (reads plus WAW target — see `Instr::hazard_masks`).
-    fn blocked(&self, masks: (u32, u32)) -> bool {
-        self.pend_i & masks.0 != 0 || self.pend_f & masks.1 != 0
+    /// Clear TCUs whose latency expires on `cycle` from `busy`.
+    /// Idempotent within a cycle (the slot zeroes), so the bulk path
+    /// can wake before deciding to fall back to the plain loop.
+    #[inline(always)]
+    fn wake(&mut self, cycle: u64) {
+        let slot = (cycle & 15) as usize;
+        self.busy &= !self.wheel[slot];
+        self.wheel[slot] = 0;
     }
+
+    /// Record `busy_until` for TCU `t` after a latency issue.
+    #[inline(always)]
+    fn set_busy(&mut self, t: usize, busy_until: u64) {
+        let bit = 1u64 << t;
+        self.busy |= bit;
+        self.wheel[(busy_until & 15) as usize] |= bit;
+    }
+
+    /// Perform the wakes of the `n` skipped cycles `next ..= next+n-1`
+    /// in one go, as quiet-cycle fast-forwarding must: per-cycle
+    /// stepping would have called [`ClusterMasks::wake`] on each. A TCU
+    /// whose `busy_until` equals a skipped cycle (typically `next`
+    /// itself — the skip horizon never passes a *later* live
+    /// `busy_until`) would otherwise keep a stale `busy` bit and be
+    /// invisible to the mask-driven issue loops until its wheel slot
+    /// happened to come around again, silently dropping its stall
+    /// accrual. Sixteen wakes visit every slot, so larger jumps clear
+    /// the whole wheel; waking a still-busy TCU early is harmless —
+    /// the issue loops re-check `busy_until` before acting.
+    #[inline]
+    fn wake_through(&mut self, next: u64, n: u64) {
+        for k in 0..n.min(16) {
+            self.wake(next + k);
+        }
+    }
+}
+
+/// A mask with the low `n` bits set (`n ≤ 64`).
+#[inline(always)]
+fn ones(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Rotate `mask` (defined over `ntcus` bits) so round-robin position
+/// `start` lands at bit 0; ascending trailing-zero extraction then
+/// yields TCU indices in round-robin visit order.
+#[inline(always)]
+fn rr_rotate(mask: u64, start: usize, ntcus: usize) -> u64 {
+    if start == 0 {
+        mask
+    } else {
+        ((mask >> start) | (mask << (ntcus - start))) & ones(ntcus)
+    }
+}
+
+/// Map a bit position of an [`rr_rotate`]d mask back to a TCU index.
+#[inline(always)]
+fn rr_unrotate(r: usize, start: usize, ntcus: usize) -> usize {
+    let t = start + r;
+    if t >= ntcus {
+        t - ntcus
+    } else {
+        t
+    }
+}
+
+/// [`reclassify`], mirroring the change into the cluster's class masks.
+#[inline(always)]
+fn reclassify_masked(tcu: &mut Tcu, m: &mut ClusterMasks, t: usize, decoded: &DecodedProgram) {
+    let new = classify(decoded, tcu.pc, tcu.pend_i, tcu.pend_f);
+    let bit = 1u64 << t;
+    m.cls[tcu.cls as usize] &= !bit;
+    m.cls[new as usize] |= bit;
+    tcu.cls = new;
 }
 
 /// Execution mode of the machine.
@@ -325,6 +530,7 @@ struct ReplyDelivery {
 }
 
 /// Result of scanning one cluster for fast-forward eligibility.
+#[derive(Debug, Clone, Copy)]
 struct ClusterScan {
     /// Some TCU could issue (or fault) next cycle — cannot skip.
     issue_next: bool,
@@ -345,11 +551,14 @@ struct ClusterScan {
 /// LSU-capped, silently waiting (join with posted stores) or idle.
 /// Mirrors the issue tests of `step_cluster` exactly; any instruction
 /// that would issue *or fault* reports `issue_next` so the per-cycle
-/// path keeps sole ownership of side effects and errors. The scan
-/// always visits every TCU — the threaded engine sizes thread-ID
-/// grants from `idle`, so the counts must stay complete even once
-/// `issue_next` is set.
-fn scan_cluster(cluster: &[Tcu], prog: &Program, hazard: &[(u32, u32)], next: u64) -> ClusterScan {
+/// path keeps sole ownership of side effects and errors.
+///
+/// With `COMPLETE` the scan visits every TCU — the threaded engine
+/// sizes thread-ID grants from `idle`, so its counts must stay complete
+/// even once `issue_next` is set. The fast-forward engine only uses the
+/// counts when nothing issues, so it passes `COMPLETE = false` and the
+/// scan returns the moment `issue_next` is decided.
+fn scan_cluster<const COMPLETE: bool>(cluster: &[Tcu], next: u64) -> ClusterScan {
     let mut scan = ClusterScan {
         issue_next: false,
         min_busy: u64::MAX,
@@ -366,37 +575,41 @@ fn scan_cluster(cluster: &[Tcu], prog: &Program, hazard: &[(u32, u32)], next: u6
             scan.min_busy = scan.min_busy.min(tcu.busy_until);
             continue;
         }
-        if tcu.pc >= prog.len() {
-            scan.issue_next = true; // will fault: no skipping past it
-            continue;
-        }
-        let (im, fm) = hazard[tcu.pc];
-        if tcu.pend_i & im != 0 || tcu.pend_f & fm != 0 {
-            scan.blocked_scoreboard += 1;
-            continue;
-        }
-        let ins = prog.fetch(tcu.pc);
-        match ins.unit() {
-            Unit::Lsu if tcu.outstanding >= MAX_OUTSTANDING => {
+        match tcu.cls {
+            IssueClass::Scoreboard => scan.blocked_scoreboard += 1,
+            IssueClass::Lsu if tcu.outstanding >= MAX_OUTSTANDING => {
                 scan.blocked_lsu += 1;
             }
-            Unit::Lsu => {
-                scan.issue_next = true;
-            }
-            Unit::Control if matches!(ins, Instr::Join) && tcu.outstanding > 0 => {
+            IssueClass::Join if tcu.outstanding > 0 => {
                 // Join waiting on posted stores is silent: no stall
                 // counter, no issue. The reply that unblocks it is a
                 // tracked memory event.
             }
-            // Every other unit issues (port budgets start ≥1 per
-            // cluster, and a budget only empties on a cycle that
-            // issued — which this, by construction, is not).
+            // Every other class issues or faults (port budgets start
+            // ≥1 per cluster, and a budget only empties on a cycle
+            // that issued — which this, by construction, is not).
             _ => {
                 scan.issue_next = true;
+                if !COMPLETE {
+                    return scan;
+                }
             }
         }
     }
     scan
+}
+
+/// Memoized aggregate of a completed all-clusters fast-forward scan
+/// that found nothing able to issue or activate. Valid until any TCU
+/// mutates (an instruction issues, a thread activates, or a memory
+/// reply is applied) or the clock reaches `min_busy`; quiet steps and
+/// bulk skips preserve it, so memory-bound stretches pay for one
+/// O(clusters × TCUs) scan instead of one per quiet cycle.
+#[derive(Debug, Clone, Copy)]
+struct FfScanCache {
+    min_busy: u64,
+    blocked_scoreboard: u64,
+    blocked_lsu: u64,
 }
 
 /// The XMT machine.
@@ -423,8 +636,12 @@ pub struct Machine {
     channels: Vec<DramChannel>,
     module_outbox: Vec<VecDeque<u64>>,
     hash: AddressHash,
-    txns: HashMap<u64, Txn>,
-    next_txn: u64,
+    /// In-flight memory transactions, keyed by the dense generational
+    /// tags the slab hands out. Tags travel through NoC flits, module
+    /// queues and DRAM requests exactly as before; every engine
+    /// allocates and frees them in the same order, so the tag stream —
+    /// and with it every stat — stays bit-identical across engines.
+    txns: TxnSlab<Txn>,
     /// The `max_cycles` value.
     pub max_cycles: u64,
     /// Accumulated statistics.
@@ -433,10 +650,11 @@ pub struct Machine {
     tracker: Option<SpawnTracker>,
     /// Advance-loop selection for [`Machine::run`].
     pub engine: Engine,
-    /// Per-pc combined (integer, float) scoreboard hazard masks —
-    /// reads plus the WAW target — so the per-TCU ready check is two
-    /// AND/compare pairs instead of a register-list walk.
-    hazard: Vec<(u32, u32)>,
+    /// Predecoded instruction stream: unit, hazard masks and flop flag
+    /// resolved once at construction so the issue loop does one
+    /// contiguous fetch per TCU instead of a program fetch plus a
+    /// hazard-table lookup plus per-instruction re-derivation.
+    decoded: DecodedProgram,
     /// Program touches global state from parallel mode (`ps`/`sspawn`),
     /// which the threaded engine cannot partition across workers.
     has_global_ops: bool,
@@ -455,6 +673,22 @@ pub struct Machine {
     /// Sorted indices of non-empty module outboxes.
     active_outboxes: Vec<usize>,
     outbox_active: Vec<bool>,
+    /// Per-cluster bitmask mirrors of TCU hot state (see
+    /// [`ClusterMasks`]); every mutation path in this file keeps them
+    /// current, so the issue loops can skip or bulk-process TCUs
+    /// without touching their cache lines.
+    masks: Vec<ClusterMasks>,
+    /// Memoized quiet-scan aggregates for [`Machine::fast_forward`].
+    ff_cache: Option<FfScanCache>,
+    /// Reusable per-cycle scratch: matured replies awaiting write-back.
+    scratch_replies: Vec<ReplyDelivery>,
+    /// Reusable per-cycle scratch: NoC deliveries (request and reply
+    /// nets alternate on the same buffer within a cycle).
+    scratch_deliveries: Vec<Delivered>,
+    /// Reusable per-cycle scratch: module → DRAM channel requests.
+    scratch_creqs: Vec<ChannelRequest>,
+    /// Reusable per-cycle scratch: module responses.
+    scratch_resps: Vec<MemResp>,
 }
 
 /// Insert `idx` into a sorted active list if not already present.
@@ -466,10 +700,102 @@ fn activate(list: &mut Vec<usize>, flags: &mut [bool], idx: usize) {
     }
 }
 
+/// Bounds-check a base+offset word address against the memory image.
+#[inline(always)]
+fn addr_of(pc: usize, base: u32, off: u32, mem_len: usize) -> Result<usize, SimError> {
+    let a = base as u64 + off as u64;
+    if (a as usize) < mem_len {
+        Ok(a as usize)
+    } else {
+        Err(SimError::MemOutOfBounds { pc, addr: a })
+    }
+}
+
+/// Issue a load/store into the request network. Returns false if the
+/// network refused it this cycle. A free function over the exact pieces
+/// it needs so `step_cluster` can keep its disjoint field borrows.
+///
+/// Tag protocol: the slab's next tag is *peeked* and stamped into the
+/// flit first; the transaction is only committed on a successful
+/// injection, so a refused attempt leaves the tag stream untouched —
+/// the same allocation order every engine observes.
+#[allow(clippy::too_many_arguments)]
+fn issue_memory(
+    tcu: &mut Tcu,
+    c: usize,
+    t: usize,
+    pc: usize,
+    ins: &Instr,
+    mem_len: usize,
+    hash: &AddressHash,
+    req_net: &mut dyn Network,
+    txns: &mut TxnSlab<Txn>,
+    stats: &mut MachineStats,
+) -> Result<bool, SimError> {
+    let (addr, kind, value) = match *ins {
+        Instr::Lw { rd, base, off } => {
+            let a = addr_of(pc, tcu.rf.read_i(base), off, mem_len)?;
+            (a, TxnKind::LoadI(rd), 0)
+        }
+        Instr::Flw { fd, base, off } => {
+            let a = addr_of(pc, tcu.rf.read_i(base), off, mem_len)?;
+            (a, TxnKind::LoadF(fd), 0)
+        }
+        Instr::Sw { rs, base, off } => {
+            let a = addr_of(pc, tcu.rf.read_i(base), off, mem_len)?;
+            (a, TxnKind::Store, tcu.rf.read_i(rs))
+        }
+        Instr::Fsw { fs, base, off } => {
+            let a = addr_of(pc, tcu.rf.read_i(base), off, mem_len)?;
+            (a, TxnKind::Store, tcu.rf.read_f(fs).to_bits())
+        }
+        _ => unreachable!("issue_memory on non-memory instruction"),
+    };
+    let module = hash.module_of(addr as u32);
+    let tag = txns.peek_tag();
+    if !req_net.try_inject(Flit {
+        src: c,
+        dst: module,
+        tag,
+    }) {
+        return Ok(false);
+    }
+    let committed = txns.insert(Txn {
+        cluster: c,
+        tcu: t,
+        addr: addr as u32,
+        kind,
+        value,
+    });
+    debug_assert_eq!(committed, tag);
+    tcu.outstanding += 1;
+    match kind {
+        TxnKind::LoadI(rd) => {
+            if rd.index() != 0 {
+                tcu.pend_i |= 1 << rd.index();
+            }
+            stats.mem_reads += 1;
+        }
+        TxnKind::LoadF(fd) => {
+            tcu.pend_f |= 1 << fd.index();
+            stats.mem_reads += 1;
+        }
+        TxnKind::Store => {
+            stats.mem_writes += 1;
+        }
+    }
+    Ok(true)
+}
+
 impl Machine {
     /// Build a machine for `cfg` with `mem_words` words of zeroed
     /// shared memory.
     pub fn new(cfg: &XmtConfig, prog: Program, mem_words: usize) -> Self {
+        assert!(
+            cfg.tcus_per_cluster <= 64,
+            "the mask-accelerated issue loop packs a cluster into u64 \
+             bitmasks; configs beyond 64 TCUs per cluster are unsupported"
+        );
         let topo = cfg.topology();
         let reply_topo = if topo.is_nonblocking() {
             Topology::pure_mot(cfg.memory_modules, cfg.clusters)
@@ -487,9 +813,7 @@ impl Machine {
         let channels: Vec<DramChannel> = (0..cfg.dram_channels())
             .map(|_| DramChannel::new(cfg.dram))
             .collect();
-        let hazard = (0..prog.len())
-            .map(|pc| prog.fetch(pc).hazard_masks())
-            .collect();
+        let decoded = DecodedProgram::new(&prog);
         let has_global_ops = (0..prog.len())
             .any(|pc| matches!(prog.fetch(pc), Instr::Ps { .. } | Instr::Sspawn { .. }));
         let n_channels = channels.len();
@@ -517,14 +841,13 @@ impl Machine {
             channels,
             module_outbox: vec![VecDeque::new(); cfg.memory_modules],
             hash: AddressHash::new(cfg.memory_modules, cfg.cache.line_words),
-            txns: HashMap::new(),
-            next_txn: 0,
+            txns: TxnSlab::new(),
             max_cycles: 200_000_000,
             stats: MachineStats::default(),
             spawn_log: Vec::new(),
             tracker: None,
             engine: Engine::default(),
-            hazard,
+            decoded,
             has_global_ops,
             mem_clock: 0,
             active_modules: Vec::new(),
@@ -533,6 +856,12 @@ impl Machine {
             channel_active: vec![false; n_channels],
             active_outboxes: Vec::new(),
             outbox_active: vec![false; cfg.memory_modules],
+            masks: vec![ClusterMasks::new(cfg.tcus_per_cluster); cfg.clusters],
+            ff_cache: None,
+            scratch_replies: Vec::new(),
+            scratch_deliveries: Vec::new(),
+            scratch_creqs: Vec::new(),
+            scratch_resps: Vec::new(),
             cfg: *cfg,
         }
     }
@@ -649,14 +978,17 @@ impl Machine {
         Ok(self.summary())
     }
 
-    /// Fast-forwarding advance loop: after any cycle that issued no
-    /// instruction and activated no thread, jump directly to the next
-    /// cycle on which anything can happen.
+    /// Fast-forwarding advance loop. Two optimizations over the
+    /// reference loop, both invisible in the stats: cycles that do step
+    /// use mask-driven bulk issue ([`Machine::step_fast`]), and after
+    /// any cycle that issued no instruction and activated no thread the
+    /// clock jumps directly to the next cycle on which anything can
+    /// happen.
     fn run_ff(&mut self) -> Result<RunSummary, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             let instr_before = self.stats.instructions;
             let threads_before = self.stats.threads;
-            self.step()?;
+            self.step_fast()?;
             if self.cycle > self.max_cycles {
                 return Err(SimError::CycleLimit {
                     at_cycle: self.cycle,
@@ -669,6 +1001,10 @@ impl Machine {
                         at_cycle: self.cycle,
                     });
                 }
+            } else {
+                // The step mutated TCU state (issue or activation), so
+                // any memoized quiet scan is stale.
+                self.ff_cache = None;
             }
         }
         Ok(self.summary())
@@ -696,15 +1032,35 @@ impl Machine {
                 false
             }
             Mode::Parallel { .. } => {
-                for cluster in &self.clusters {
-                    let scan = scan_cluster(cluster, &self.prog, &self.hazard, next);
-                    if scan.issue_next || (scan.idle > 0 && self.next_tid < self.spawn_count) {
-                        return; // someone issues or activates next cycle
+                // A memoized scan stays exact while nothing that feeds
+                // it changed: issues/activations/replies invalidate it,
+                // and past `min_busy` a latency-stalled TCU wakes.
+                let agg = match self.ff_cache.filter(|c| next < c.min_busy) {
+                    Some(c) => c,
+                    None => {
+                        let mut agg = FfScanCache {
+                            min_busy: u64::MAX,
+                            blocked_scoreboard: 0,
+                            blocked_lsu: 0,
+                        };
+                        for cluster in &self.clusters {
+                            let scan = scan_cluster::<false>(cluster, next);
+                            if scan.issue_next
+                                || (scan.idle > 0 && self.next_tid < self.spawn_count)
+                            {
+                                return; // someone issues or activates next cycle
+                            }
+                            agg.min_busy = agg.min_busy.min(scan.min_busy);
+                            agg.blocked_scoreboard += scan.blocked_scoreboard;
+                            agg.blocked_lsu += scan.blocked_lsu;
+                        }
+                        self.ff_cache = Some(agg);
+                        agg
                     }
-                    horizon = horizon.min(scan.min_busy);
-                    blocked_scoreboard += scan.blocked_scoreboard;
-                    blocked_lsu += scan.blocked_lsu;
-                }
+                };
+                horizon = horizon.min(agg.min_busy);
+                blocked_scoreboard = agg.blocked_scoreboard;
+                blocked_lsu = agg.blocked_lsu;
                 true
             }
         };
@@ -727,6 +1083,9 @@ impl Machine {
         if parallel {
             self.stats.stall_scoreboard += n * blocked_scoreboard;
             self.stats.stall_lsu += n * blocked_lsu;
+            for m in &mut self.masks {
+                m.wake_through(next, n);
+            }
             let ntcus = self.cfg.tcus_per_cluster;
             let adv = (n % ntcus as u64) as usize;
             for rr in &mut self.cluster_rr {
@@ -806,13 +1165,255 @@ impl Machine {
         Ok(())
     }
 
-    fn addr_of(&self, pc: usize, base: u32, off: u32) -> Result<usize, SimError> {
-        let a = base as u64 + off as u64;
-        if (a as usize) < self.mem.len() {
-            Ok(a as usize)
-        } else {
-            Err(SimError::MemOutOfBounds { pc, addr: a })
+    /// [`Machine::step`] with mask-driven bulk issue in parallel mode.
+    /// Only the fast-forward engine uses this; the reference engine
+    /// sticks to the per-TCU visit loop it is the baseline for.
+    fn step_fast(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        match self.mode {
+            Mode::Serial { pc, resume_at } => {
+                if self.cycle >= resume_at {
+                    self.step_serial(pc)?;
+                }
+                self.step_memory_system();
+            }
+            Mode::Parallel { return_pc } => {
+                self.step_parallel_fast()?;
+                self.step_memory_system();
+                self.maybe_finish_spawn(return_pc);
+            }
+            Mode::Finished => {}
         }
+        Ok(())
+    }
+
+    /// One parallel-mode cycle over every cluster, bulk-issuing off the
+    /// cluster masks wherever the per-TCU visit order is unobservable.
+    /// Falls back to the plain [`Machine::step_cluster`] loop for any
+    /// cluster where it could be observed: pending thread activations
+    /// interleave with issues in round-robin order, a ready `ps` /
+    /// `sspawn` mutates shared state in that order, and a ready fault
+    /// must surface at the reference engine's exact visit.
+    fn step_parallel_fast(&mut self) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        for c in 0..self.clusters.len() {
+            let activations = self.next_tid < self.spawn_count;
+            let m = &mut self.masks[c];
+            m.wake(cycle);
+            let ready = m.active & !m.busy;
+            let ordered = m.cls[IssueClass::Ps as usize]
+                | m.cls[IssueClass::BadPc as usize]
+                | m.cls[IssueClass::Illegal as usize];
+            if activations || ordered & ready != 0 {
+                self.step_cluster(c)?;
+            } else {
+                self.step_cluster_bulk(c, ready)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-issue one cluster cycle straight off the masks: stall
+    /// counters accrue by popcount without touching the stalled TCUs'
+    /// cache lines, port winners are picked in round-robin order by
+    /// rotate + trailing-zeros, and only TCUs that actually execute are
+    /// dereferenced. Exactly mirrors [`Machine::step_cluster`] (the
+    /// golden cross-engine tests pin this); the caller has already
+    /// woken the masks and excluded activations and order-sensitive
+    /// classes.
+    fn step_cluster_bulk(&mut self, c: usize, ready: u64) -> Result<(), SimError> {
+        let instr_at_entry = self.stats.instructions;
+        let ntcus = self.cfg.tcus_per_cluster;
+        let fpu_budget = self.cfg.fpus_per_cluster;
+        let mdu_budget = self.cfg.mdus_per_cluster;
+        let lsu_budget = self.cfg.lsus_per_cluster;
+        let start = self.cluster_rr[c];
+        self.cluster_rr[c] = (start + 1) % ntcus;
+        let Machine {
+            clusters,
+            masks,
+            decoded,
+            gregs,
+            stats,
+            mem,
+            hash,
+            req_net,
+            txns,
+            cycle,
+            ..
+        } = self;
+        let cluster = &mut clusters[c][..];
+        let m = &mut masks[c];
+        let mem_len = mem.len();
+        let cycle = *cycle;
+
+        // Snapshot the per-class ready sets before any issue mutates
+        // the masks: a TCU's class is stable until its own visit (no
+        // cross-TCU effect changes it inside a cluster cycle), so the
+        // snapshot is exactly what the plain loop observes per visit.
+        let sb = m.cls[IssueClass::Scoreboard as usize] & ready;
+        let alu = m.cls[IssueClass::Alu as usize] & ready;
+        let fpu = m.cls[IssueClass::Fpu as usize] & ready;
+        let mdu = m.cls[IssueClass::Mdu as usize] & ready;
+        let lsu = m.cls[IssueClass::Lsu as usize] & ready;
+        let br = m.cls[IssueClass::Branch as usize] & ready;
+        let join = m.cls[IssueClass::Join as usize] & ready;
+        let nop = m.cls[IssueClass::Nop as usize] & ready;
+
+        // Scoreboard-blocked TCUs burn one stall each, unvisited.
+        stats.stall_scoreboard += u64::from(sb.count_ones());
+
+        // ALU, branch and nop always issue (ALU ports are provisioned
+        // one per TCU) and only touch the owning TCU, so round-robin
+        // order among them is unobservable; ascending order is fine.
+        let mut bits = alu;
+        while bits != 0 {
+            let t = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let tcu = &mut cluster[t];
+            let d = decoded.fetch(tcu.pc);
+            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+            debug_assert!(ok, "ALU-class instruction must be compute-executable");
+            tcu.pc += 1;
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+        }
+        let mut bits = br;
+        while bits != 0 {
+            let t = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let tcu = &mut cluster[t];
+            let pc = tcu.pc;
+            match decoded.fetch(pc).instr {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                    tcu.pc = if taken { target } else { pc + 1 };
+                }
+                Instr::Jump { target } => tcu.pc = target,
+                _ => unreachable!(),
+            }
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+        }
+        let mut bits = nop;
+        while bits != 0 {
+            let t = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let tcu = &mut cluster[t];
+            tcu.pc += 1;
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+        }
+
+        // FPU/MDU: the port goes to the first contenders in round-robin
+        // order; every loser burns one stall, counted without a visit.
+        let mut rot = rr_rotate(fpu, start, ntcus);
+        let mut budget = fpu_budget;
+        while rot != 0 && budget > 0 {
+            let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+            rot &= rot - 1;
+            budget -= 1;
+            let tcu = &mut cluster[t];
+            let d = decoded.fetch(tcu.pc);
+            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+            debug_assert!(ok);
+            tcu.busy_until = cycle + FPU_LATENCY;
+            m.set_busy(t, cycle + FPU_LATENCY);
+            tcu.pc += 1;
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+            stats.flops += 1;
+        }
+        stats.stall_fpu += u64::from(rot.count_ones());
+        let mut rot = rr_rotate(mdu, start, ntcus);
+        let mut budget = mdu_budget;
+        while rot != 0 && budget > 0 {
+            let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+            rot &= rot - 1;
+            budget -= 1;
+            let tcu = &mut cluster[t];
+            let d = decoded.fetch(tcu.pc);
+            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+            debug_assert!(ok);
+            tcu.busy_until = cycle + MDU_LATENCY;
+            m.set_busy(t, cycle + MDU_LATENCY);
+            tcu.pc += 1;
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+        }
+        stats.stall_mdu += u64::from(rot.count_ones());
+
+        // LSU: same round-robin port arbitration, plus the per-TCU
+        // outstanding-transaction cap (stalls without consuming the
+        // port) and NoC backpressure (consumes the port and stalls).
+        let mut rot = rr_rotate(lsu, start, ntcus);
+        let mut budget = lsu_budget;
+        while rot != 0 {
+            if budget == 0 {
+                stats.stall_lsu += u64::from(rot.count_ones());
+                break;
+            }
+            let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+            rot &= rot - 1;
+            let bit = 1u64 << t;
+            if m.at_cap & bit != 0 {
+                stats.stall_lsu += 1;
+                continue;
+            }
+            let tcu = &mut cluster[t];
+            let pc = tcu.pc;
+            let d = decoded.fetch(pc);
+            if !issue_memory(
+                tcu,
+                c,
+                t,
+                pc,
+                &d.instr,
+                mem_len,
+                hash,
+                req_net.as_mut(),
+                txns,
+                stats,
+            )? {
+                budget -= 1;
+                stats.stall_lsu += 1;
+                continue;
+            }
+            budget -= 1;
+            m.out_nz |= bit;
+            if tcu.outstanding >= MAX_OUTSTANDING {
+                m.at_cap |= bit;
+            }
+            tcu.pc += 1;
+            reclassify_masked(tcu, m, t, decoded);
+            stats.instructions += 1;
+        }
+
+        // Joins with posted stores outstanding wait silently; the rest
+        // retire. (Plain loop leaves `cls` at `Join` on retire, so the
+        // class masks stay untouched here too.)
+        let retire = join & !m.out_nz;
+        let mut bits = retire;
+        while bits != 0 {
+            let t = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            cluster[t].active = false;
+        }
+        m.active &= !retire;
+        stats.instructions += u64::from(retire.count_ones());
+
+        self.cluster_instr[c] += self.stats.instructions - instr_at_entry;
+        Ok(())
+    }
+
+    fn addr_of(&self, pc: usize, base: u32, off: u32) -> Result<usize, SimError> {
+        addr_of(pc, base, off, self.mem.len())
     }
 
     fn step_serial(&mut self, pc: usize) -> Result<(), SimError> {
@@ -971,101 +1572,176 @@ impl Machine {
         let mut lsu_budget = self.cfg.lsus_per_cluster;
         let start = self.cluster_rr[c];
         self.cluster_rr[c] = (start + 1) % ntcus;
+        // Split `self` into disjoint field borrows so the issue loop
+        // holds one `&mut Tcu` per iteration instead of re-indexing
+        // `self.clusters[c][t]` (two bounds checks the optimizer cannot
+        // hoist past the interleaved shared-state writes) at every
+        // touch.
+        let Machine {
+            clusters,
+            masks,
+            decoded,
+            gregs,
+            stats,
+            mem,
+            hash,
+            req_net,
+            txns,
+            next_tid,
+            spawn_count,
+            spawn_entry,
+            cycle,
+            ..
+        } = self;
+        let cluster = &mut clusters[c][..];
+        let m = &mut masks[c];
+        let mem_len = mem.len();
+        let cycle = *cycle;
+        m.wake(cycle);
 
-        for i in 0..ntcus {
-            let t = (start + i) % ntcus;
+        // Visit order, built without the per-TCU `% ntcus` (an integer
+        // division the compiler cannot strength-reduce for a runtime
+        // cluster width). When no idle TCU can activate this cycle —
+        // thread IDs are exhausted and no ready `sspawn` could mint
+        // more mid-cycle — the loop walks only ready TCUs: the masks
+        // prove idle and latency-busy visits are no-ops, so their cache
+        // lines are never touched.
+        let ready = m.active & !m.busy;
+        let mut order = [0u8; 64];
+        let visits: &[u8] =
+            if *next_tid < *spawn_count || m.cls[IssueClass::Ps as usize] & ready != 0 {
+                for (i, t) in (start..ntcus).chain(0..start).enumerate() {
+                    order[i] = t as u8;
+                }
+                &order[..ntcus]
+            } else {
+                let mut rot = rr_rotate(ready, start, ntcus);
+                let mut n = 0;
+                while rot != 0 {
+                    order[n] = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus) as u8;
+                    rot &= rot - 1;
+                    n += 1;
+                }
+                &order[..n]
+            };
+
+        for &t in visits {
+            let t = t as usize;
+            let bit = 1u64 << t;
+            let tcu = &mut cluster[t];
             // Activate idle TCUs while thread IDs remain (the PS unit
             // allocates in constant time, so every idle TCU can pick up
             // a thread in the same cycle).
-            if !self.clusters[c][t].active {
+            if !tcu.active {
                 // Thread ids are handed out globally; cluster c TCU t
                 // competes with all others, which the central counter
                 // models exactly.
-                if self.next_tid < self.spawn_count {
-                    let tid = self.next_tid;
-                    self.next_tid += 1;
-                    let tcu = &mut self.clusters[c][t];
+                if *next_tid < *spawn_count {
+                    let tid = *next_tid;
+                    *next_tid += 1;
                     tcu.active = true;
+                    m.active |= bit;
                     tcu.rf = RegFile::new(tid);
-                    tcu.pc = self.spawn_entry;
+                    tcu.pc = *spawn_entry;
                     tcu.busy_until = 0;
                     tcu.pend_i = 0;
                     tcu.pend_f = 0;
-                    self.stats.threads += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.threads += 1;
                 } else {
                     continue;
                 }
             }
-            if self.clusters[c][t].busy_until > self.cycle {
+            if tcu.busy_until > cycle {
                 continue;
             }
-            let pc = self.clusters[c][t].pc;
-            if pc >= self.prog.len() {
-                return Err(SimError::PcOutOfRange { pc });
-            }
-            let ins = self.prog.fetch(pc);
-            if self.clusters[c][t].blocked(self.hazard[pc]) {
-                self.stats.stall_scoreboard += 1;
-                continue;
-            }
-            match ins.unit() {
-                Unit::Alu => {
-                    let tcu = &mut self.clusters[c][t];
-                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+            match tcu.cls {
+                IssueClass::BadPc => {
+                    return Err(SimError::PcOutOfRange { pc: tcu.pc });
+                }
+                IssueClass::Scoreboard => {
+                    stats.stall_scoreboard += 1;
+                }
+                IssueClass::Alu => {
+                    let d = decoded.fetch(tcu.pc);
+                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                     debug_assert!(ok, "ALU-class instruction must be compute-executable");
                     tcu.pc += 1;
-                    self.stats.instructions += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
                 }
-                Unit::Fpu => {
+                IssueClass::Fpu => {
                     if fpu_budget == 0 {
-                        self.stats.stall_fpu += 1;
+                        stats.stall_fpu += 1;
                         continue;
                     }
                     fpu_budget -= 1;
-                    let tcu = &mut self.clusters[c][t];
-                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+                    let d = decoded.fetch(tcu.pc);
+                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                     debug_assert!(ok);
-                    tcu.busy_until = self.cycle + FPU_LATENCY;
+                    tcu.busy_until = cycle + FPU_LATENCY;
+                    m.set_busy(t, cycle + FPU_LATENCY);
                     tcu.pc += 1;
-                    self.stats.instructions += 1;
-                    self.stats.flops += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
+                    stats.flops += 1;
                 }
-                Unit::Mdu => {
+                IssueClass::Mdu => {
                     if mdu_budget == 0 {
-                        self.stats.stall_mdu += 1;
+                        stats.stall_mdu += 1;
                         continue;
                     }
                     mdu_budget -= 1;
-                    let tcu = &mut self.clusters[c][t];
-                    let ok = exec_compute(&ins, &mut tcu.rf, &self.gregs);
+                    let d = decoded.fetch(tcu.pc);
+                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                     debug_assert!(ok);
-                    tcu.busy_until = self.cycle + MDU_LATENCY;
+                    tcu.busy_until = cycle + MDU_LATENCY;
+                    m.set_busy(t, cycle + MDU_LATENCY);
                     tcu.pc += 1;
-                    self.stats.instructions += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
                 }
-                Unit::Lsu => {
+                IssueClass::Lsu => {
                     if lsu_budget == 0 {
-                        self.stats.stall_lsu += 1;
+                        stats.stall_lsu += 1;
                         continue;
                     }
-                    if self.clusters[c][t].outstanding >= MAX_OUTSTANDING {
-                        self.stats.stall_lsu += 1;
+                    if tcu.outstanding >= MAX_OUTSTANDING {
+                        stats.stall_lsu += 1;
                         continue;
                     }
-                    if !self.issue_memory(c, t, pc, &ins)? {
+                    let pc = tcu.pc;
+                    let d = decoded.fetch(pc);
+                    if !issue_memory(
+                        tcu,
+                        c,
+                        t,
+                        pc,
+                        &d.instr,
+                        mem_len,
+                        hash,
+                        req_net.as_mut(),
+                        txns,
+                        stats,
+                    )? {
                         // NoC refused (rate limit/backpressure): the
                         // port attempt still consumed the LSU slot.
                         lsu_budget -= 1;
-                        self.stats.stall_lsu += 1;
+                        stats.stall_lsu += 1;
                         continue;
                     }
                     lsu_budget -= 1;
-                    self.clusters[c][t].pc += 1;
-                    self.stats.instructions += 1;
+                    m.out_nz |= bit;
+                    if tcu.outstanding >= MAX_OUTSTANDING {
+                        m.at_cap |= bit;
+                    }
+                    tcu.pc += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
                 }
-                Unit::Branch => {
-                    let tcu = &mut self.clusters[c][t];
-                    match ins {
+                IssueClass::Branch => {
+                    let pc = tcu.pc;
+                    match decoded.fetch(pc).instr {
                         Instr::Branch {
                             cond,
                             rs1,
@@ -1078,14 +1754,14 @@ impl Machine {
                         Instr::Jump { target } => tcu.pc = target,
                         _ => unreachable!(),
                     }
-                    self.stats.instructions += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
                 }
-                Unit::Ps => {
-                    match ins {
+                IssueClass::Ps => {
+                    match decoded.fetch(tcu.pc).instr {
                         Instr::Ps { rd, inc, on } => {
-                            let tcu = &mut self.clusters[c][t];
-                            let old = self.gregs[on.index()];
-                            self.gregs[on.index()] = old.wrapping_add(tcu.rf.read_i(inc));
+                            let old = gregs[on.index()];
+                            gregs[on.index()] = old.wrapping_add(tcu.rf.read_i(inc));
                             tcu.rf.write_i(rd, old);
                             tcu.pc += 1;
                         }
@@ -1093,133 +1769,72 @@ impl Machine {
                             // PS on the spawn bound: the barrier now
                             // also waits for the new virtual threads,
                             // which idle TCUs pick up immediately.
-                            let tcu = &mut self.clusters[c][t];
-                            let old = self.spawn_count;
-                            self.spawn_count = self.spawn_count.wrapping_add(tcu.rf.read_i(count));
+                            let old = *spawn_count;
+                            *spawn_count = spawn_count.wrapping_add(tcu.rf.read_i(count));
                             tcu.rf.write_i(rd, old);
                             tcu.pc += 1;
                         }
                         _ => unreachable!(),
                     }
-                    self.stats.instructions += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
                 }
-                Unit::Control => match ins {
-                    Instr::Join => {
-                        // Posted stores must drain before the thread
-                        // retires (the spawn barrier is a memory fence).
-                        if self.clusters[c][t].outstanding > 0 {
-                            continue;
-                        }
-                        self.clusters[c][t].active = false;
-                        self.stats.instructions += 1;
+                IssueClass::Join => {
+                    // Posted stores must drain before the thread
+                    // retires (the spawn barrier is a memory fence).
+                    if tcu.outstanding > 0 {
+                        continue;
                     }
-                    Instr::Nop => {
-                        self.clusters[c][t].pc += 1;
-                        self.stats.instructions += 1;
-                    }
-                    Instr::Spawn { .. } => {
-                        return Err(SimError::BadInstruction {
+                    tcu.active = false;
+                    m.active &= !bit;
+                    stats.instructions += 1;
+                }
+                IssueClass::Nop => {
+                    tcu.pc += 1;
+                    reclassify_masked(tcu, m, t, decoded);
+                    stats.instructions += 1;
+                }
+                IssueClass::Illegal => {
+                    let pc = tcu.pc;
+                    return Err(match decoded.fetch(pc).instr {
+                        Instr::Spawn { .. } => SimError::BadInstruction {
                             pc,
                             what: "nested spawn",
-                        })
-                    }
-                    Instr::Halt => {
-                        return Err(SimError::BadInstruction {
+                        },
+                        Instr::Halt => SimError::BadInstruction {
                             pc,
                             what: "halt in parallel mode",
-                        })
-                    }
-                    _ => {
-                        return Err(SimError::BadInstruction {
+                        },
+                        _ => SimError::BadInstruction {
                             pc,
                             what: "instruction illegal in parallel mode",
-                        })
-                    }
-                },
+                        },
+                    });
+                }
             }
         }
         self.cluster_instr[c] += self.stats.instructions - instr_at_entry;
         Ok(())
     }
 
-    /// Issue a load/store into the request network. Returns false if
-    /// the network refused it this cycle.
-    fn issue_memory(
-        &mut self,
-        c: usize,
-        t: usize,
-        pc: usize,
-        ins: &Instr,
-    ) -> Result<bool, SimError> {
-        let (addr, kind, value, is_write) = {
-            let tcu = &self.clusters[c][t];
-            match *ins {
-                Instr::Lw { rd, base, off } => {
-                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
-                    (a, TxnKind::LoadI(rd), 0, false)
-                }
-                Instr::Flw { fd, base, off } => {
-                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
-                    (a, TxnKind::LoadF(fd), 0, false)
-                }
-                Instr::Sw { rs, base, off } => {
-                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
-                    (a, TxnKind::Store, tcu.rf.read_i(rs), true)
-                }
-                Instr::Fsw { fs, base, off } => {
-                    let a = self.addr_of(pc, tcu.rf.read_i(base), off)?;
-                    (a, TxnKind::Store, tcu.rf.read_f(fs).to_bits(), true)
-                }
-                _ => unreachable!("issue_memory on non-memory instruction"),
-            }
-        };
-        let module = self.hash.module_of(addr as u32);
-        let tag = self.next_txn;
-        if !self.req_net.try_inject(Flit {
-            src: c,
-            dst: module,
-            tag,
-        }) {
-            return Ok(false);
-        }
-        self.next_txn += 1;
-        self.txns.insert(
-            tag,
-            Txn {
-                cluster: c,
-                tcu: t,
-                addr: addr as u32,
-                kind,
-                value,
-            },
-        );
-        let tcu = &mut self.clusters[c][t];
-        tcu.outstanding += 1;
-        match kind {
-            TxnKind::LoadI(rd) => {
-                if rd.index() != 0 {
-                    tcu.pend_i |= 1 << rd.index();
-                }
-                self.stats.mem_reads += 1;
-            }
-            TxnKind::LoadF(fd) => {
-                tcu.pend_f |= 1 << fd.index();
-                self.stats.mem_reads += 1;
-            }
-            TxnKind::Store => {
-                self.stats.mem_writes += 1;
-            }
-        }
-        let _ = is_write;
-        Ok(true)
-    }
-
     /// Advance the NoC, memory modules, DRAM channels and replies.
     fn step_memory_system(&mut self) {
-        let mut replies = Vec::new();
+        let mut replies = std::mem::take(&mut self.scratch_replies);
         self.step_memory_system_collect(&mut replies);
-        for r in replies {
-            let tcu = &mut self.clusters[r.cluster][r.tcu];
+        if !replies.is_empty() {
+            // Replies clear scoreboard bits and drop outstanding
+            // counts, so any memoized quiet scan is stale.
+            self.ff_cache = None;
+        }
+        let Machine {
+            clusters,
+            masks,
+            decoded,
+            ..
+        } = self;
+        for r in replies.drain(..) {
+            let tcu = &mut clusters[r.cluster][r.tcu];
+            let m = &mut masks[r.cluster];
             match r.kind {
                 TxnKind::LoadI(rd) => {
                     tcu.rf.write_i(rd, r.value);
@@ -1232,7 +1847,18 @@ impl Machine {
                 TxnKind::Store => {}
             }
             tcu.outstanding -= 1;
+            let bit = 1u64 << r.tcu;
+            m.at_cap &= !bit;
+            if tcu.outstanding == 0 {
+                m.out_nz &= !bit;
+            }
+            // A cleared scoreboard bit can only unblock; other classes
+            // are unaffected by replies.
+            if tcu.cls == IssueClass::Scoreboard {
+                reclassify_masked(tcu, m, r.tcu, decoded);
+            }
         }
+        self.scratch_replies = replies;
     }
 
     /// One memory-system cycle with matured replies pushed to `out`
@@ -1244,8 +1870,10 @@ impl Machine {
         // Request network → modules. Functional effect happens here
         // (arrival order at the home module defines the memory order;
         // kernels separate read and write sets between barriers).
-        for d in self.req_net.step() {
-            let txn = self.txns.get_mut(&d.flit.tag).expect("txn exists");
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        self.req_net.step_into(&mut deliveries);
+        for d in deliveries.drain(..) {
+            let txn = self.txns.get_mut(d.flit.tag).expect("txn exists");
             match txn.kind {
                 TxnKind::LoadI(_) | TxnKind::LoadF(_) => {
                     txn.value = self.mem[txn.addr as usize];
@@ -1254,12 +1882,14 @@ impl Machine {
                     self.mem[txn.addr as usize] = txn.value;
                 }
             }
+            let addr = txn.addr;
+            let is_write = matches!(txn.kind, TxnKind::Store);
             // The module is about to take its step for this memory
             // cycle, so align it to the *previous* one.
             self.modules[d.flit.dst].sync_to(self.mem_clock);
             self.modules[d.flit.dst].enqueue(MemReq {
-                addr: txn.addr,
-                is_write: matches!(txn.kind, TxnKind::Store),
+                addr,
+                is_write,
                 tag: d.flit.tag,
             });
             activate(
@@ -1269,13 +1899,16 @@ impl Machine {
             );
         }
         // Modules: service + emit DRAM requests.
-        let mut creqs: Vec<ChannelRequest> = Vec::new();
+        let mut creqs = std::mem::take(&mut self.scratch_creqs);
+        let mut resps = std::mem::take(&mut self.scratch_resps);
         for &m in &self.active_modules {
-            for resp in self.modules[m].step(&mut creqs) {
+            self.modules[m].step(&mut creqs, &mut resps);
+            for resp in resps.drain(..) {
                 self.module_outbox[m].push_back(resp.req.tag);
                 activate(&mut self.active_outboxes, &mut self.outbox_active, m);
             }
         }
+        self.scratch_resps = resps;
         let module_active = &mut self.module_active;
         let modules = &self.modules;
         self.active_modules.retain(|&m| {
@@ -1283,7 +1916,7 @@ impl Machine {
             module_active[m] = still;
             still
         });
-        for cr in creqs {
+        for cr in creqs.drain(..) {
             let ch = cr.module / self.cfg.mm_per_dram_ctrl;
             self.channels[ch].sync_to(self.mem_clock);
             self.channels[ch].enqueue(DramReq {
@@ -1292,6 +1925,7 @@ impl Machine {
             });
             activate(&mut self.active_channels, &mut self.channel_active, ch);
         }
+        self.scratch_creqs = creqs;
         self.mem_clock += 1;
         // DRAM channels → module fills.
         for &ch in &self.active_channels {
@@ -1321,7 +1955,7 @@ impl Machine {
         let txns = &self.txns;
         self.active_outboxes.retain(|&m| {
             if let Some(&tag) = module_outbox[m].front() {
-                let cluster = txns[&tag].cluster;
+                let cluster = txns.get(tag).expect("txn exists").cluster;
                 if reply_net.try_inject(Flit {
                     src: m,
                     dst: cluster,
@@ -1335,8 +1969,9 @@ impl Machine {
             still
         });
         // Reply network → TCUs.
-        for d in self.reply_net.step() {
-            let txn = self.txns.remove(&d.flit.tag).expect("txn exists");
+        self.reply_net.step_into(&mut deliveries);
+        for d in deliveries.drain(..) {
+            let txn = self.txns.remove(d.flit.tag).expect("txn exists");
             out.push(ReplyDelivery {
                 cluster: txn.cluster,
                 tcu: txn.tcu,
@@ -1344,6 +1979,7 @@ impl Machine {
                 value: txn.value,
             });
         }
+        self.scratch_deliveries = deliveries;
     }
 
     /// Close the parallel section when all work and memory drained.
@@ -1420,6 +2056,63 @@ mod tests {
         b.bind(after);
         b.halt();
         b.build().unwrap()
+    }
+
+    /// The sparse active sets (`active_modules` and friends) must stay
+    /// sorted, duplicate-free and in lockstep with their membership
+    /// flags under arbitrary insert/remove interleavings — `activate`
+    /// inserts, and the step loops remove via `retain` with flag
+    /// write-back. A `BTreeSet` mirror is the specification.
+    #[test]
+    fn active_set_survives_insert_remove_churn() {
+        const N: usize = 24;
+        let mut list: Vec<usize> = Vec::new();
+        let mut flags = vec![false; N];
+        let mut mirror = std::collections::BTreeSet::new();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..4000 {
+            let idx = (next() % N as u64) as usize;
+            if next() % 3 != 0 {
+                // Double-activation is the common case in the step
+                // loops (a module gets traffic every cycle); it must
+                // be idempotent.
+                activate(&mut list, &mut flags, idx);
+                mirror.insert(idx);
+            } else {
+                // The step loops drop members mid-iteration exactly
+                // like this: retain + flag write-back.
+                list.retain(|&x| {
+                    let still = x != idx;
+                    if !still {
+                        flags[x] = false;
+                    }
+                    still
+                });
+                mirror.remove(&idx);
+            }
+            let expect: Vec<usize> = mirror.iter().copied().collect();
+            assert_eq!(list, expect, "active list diverged from mirror");
+            for (i, &f) in flags.iter().enumerate() {
+                assert_eq!(f, mirror.contains(&i), "flag {i} out of sync");
+            }
+        }
+        // Drain to empty and verify reuse from a clean slate.
+        list.retain(|&x| {
+            flags[x] = false;
+            false
+        });
+        mirror.clear();
+        assert!(list.is_empty());
+        activate(&mut list, &mut flags, N - 1);
+        activate(&mut list, &mut flags, 0);
+        activate(&mut list, &mut flags, N - 1);
+        assert_eq!(list, [0, N - 1]);
     }
 
     #[test]

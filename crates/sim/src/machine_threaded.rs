@@ -67,6 +67,26 @@ struct Attempt {
     accepted: bool,
 }
 
+/// Per-worker scratch shuttled with every `Cmd::Step` and returned in
+/// the reply: the main thread fills `grants`/`deliveries`/`budgets`,
+/// the worker drains them and fills `attempts`/`scans`, and the whole
+/// bundle rides back for reuse — after warm-up no per-cycle Vec is
+/// allocated on either side. `Default` exists only so the main thread
+/// can `mem::take` a bundle out of its pool while it is in flight.
+#[derive(Default)]
+struct StepBuffers {
+    /// Contiguous thread-ID grant per owned cluster.
+    grants: Vec<Range<u32>>,
+    /// Replies to apply before issue, per owned cluster.
+    deliveries: Vec<Vec<Delivery>>,
+    /// Request-NoC injection budget per owned cluster.
+    budgets: Vec<usize>,
+    /// Memory-injection attempts recorded by the worker.
+    attempts: Vec<Attempt>,
+    /// Post-step scan per owned cluster, for grants and skip planning.
+    scans: Vec<ClusterScan>,
+}
+
 enum Cmd {
     /// A parallel section begins: snapshot of the global registers and
     /// the section's entry pc.
@@ -77,12 +97,7 @@ enum Cmd {
     /// Step every owned cluster one cycle.
     Step {
         cycle: u64,
-        /// Contiguous thread-ID grant per owned cluster.
-        grants: Vec<Range<u32>>,
-        /// Replies to apply before issue, per owned cluster.
-        deliveries: Vec<Vec<Delivery>>,
-        /// Request-NoC injection budget per owned cluster.
-        budgets: Vec<usize>,
+        bufs: StepBuffers,
     },
     /// Fast-forward `n` quiet cycles: advance round-robin pointers and
     /// accrue the stall counters the last scan reported, in bulk.
@@ -93,13 +108,12 @@ enum Cmd {
 }
 
 struct StepReply {
-    attempts: Vec<Attempt>,
+    /// The shuttled scratch, with `attempts`/`scans` filled.
+    bufs: StepBuffers,
     /// Statistics accumulated since the last reply (includes any
     /// skip-accrued stalls; `cycles` stays 0 — the main thread owns
     /// the clock).
     delta: MachineStats,
-    /// Post-step scan per owned cluster, for grants and skip planning.
-    scans: Vec<ClusterScan>,
     /// First error in cluster order, if any.
     error: Option<SimError>,
 }
@@ -145,8 +159,7 @@ pub(super) fn run(m: &mut Machine, threads: usize) -> Result<RunSummary, SimErro
         mem_len: m.mem.len(),
         hash: m.hash,
     };
-    let prog = m.prog.clone();
-    let hazard = m.hazard.clone();
+    let decoded = m.decoded.clone();
 
     // Contiguous cluster ranges, one per worker.
     let mut bounds: Vec<Range<usize>> = Vec::with_capacity(workers);
@@ -184,9 +197,8 @@ pub(super) fn run(m: &mut Machine, threads: usize) -> Result<RunSummary, SimErro
             cmd_txs.push(ctx);
             reply_rxs.push(rrx);
             let lo = bounds[w].start;
-            let prog = &prog;
-            let hazard = &hazard;
-            s.spawn(move || worker_main(crx, rtx, chunk, rrs, lo, prog, hazard, params));
+            let decoded = &decoded;
+            s.spawn(move || worker_main(crx, rtx, chunk, rrs, lo, decoded, params));
         }
         let result = main_loop(m, &cmd_txs, &reply_rxs, &bounds, &owner_of);
         for tx in &cmd_txs {
@@ -247,6 +259,18 @@ fn main_loop(
         .map(|r| (0..r.len()).map(|_| Vec::new()).collect())
         .collect();
     let mut replies_buf: Vec<ReplyDelivery> = Vec::new();
+    // One scratch bundle per worker, shuttled on every Step and
+    // recovered from its reply (ping-pong: no per-cycle allocation).
+    let mut bufs: Vec<StepBuffers> = bounds
+        .iter()
+        .map(|r| StepBuffers {
+            grants: Vec::with_capacity(r.len()),
+            deliveries: (0..r.len()).map(|_| Vec::new()).collect(),
+            budgets: Vec::with_capacity(r.len()),
+            attempts: Vec::new(),
+            scans: Vec::with_capacity(r.len()),
+        })
+        .collect();
 
     loop {
         match m.mode {
@@ -284,22 +308,25 @@ fn main_loop(
                 // activated, in the same global cluster order — and
                 // sample each cluster's injection budget.
                 for (w, r) in bounds.iter().enumerate() {
-                    let mut grants = Vec::with_capacity(r.len());
-                    let mut budgets = Vec::with_capacity(r.len());
-                    let mut deliveries = Vec::with_capacity(r.len());
+                    let mut b = std::mem::take(&mut bufs[w]);
+                    b.grants.clear();
+                    b.budgets.clear();
+                    b.attempts.clear();
+                    b.scans.clear();
                     for (local, c) in r.clone().enumerate() {
                         let avail = m.spawn_count - m.next_tid;
                         let g = (idle[c].min(avail as u64)) as u32;
-                        grants.push(m.next_tid..m.next_tid + g);
+                        b.grants.push(m.next_tid..m.next_tid + g);
                         m.next_tid += g;
-                        budgets.push(m.req_net.inject_budget(c));
-                        deliveries.push(std::mem::take(&mut pending[w][local]));
+                        b.budgets.push(m.req_net.inject_budget(c));
+                        // Hand the accumulated replies over and keep
+                        // the drained (capacity-retaining) Vec the
+                        // worker emptied last cycle.
+                        std::mem::swap(&mut b.deliveries[local], &mut pending[w][local]);
                     }
                     let _ = cmd_txs[w].send(Cmd::Step {
                         cycle: m.cycle,
-                        grants,
-                        deliveries,
-                        budgets,
+                        bufs: b,
                     });
                 }
                 // Phase 1 runs in the workers; phase 2 (merge): replay
@@ -309,15 +336,18 @@ fn main_loop(
                 let threads_before = m.stats.threads;
                 scans.clear();
                 let mut first_err: Option<SimError> = None;
-                for rx in reply_rxs.iter() {
+                for (w, rx) in reply_rxs.iter().enumerate() {
                     let rep = match rx.recv() {
                         Ok(Reply::Step(rep)) => rep,
                         _ => unreachable!("worker died without panicking"),
                     };
                     add_stats(&mut m.stats, &rep.delta);
                     if first_err.is_none() {
-                        for a in &rep.attempts {
-                            let tag = m.next_txn;
+                        for a in &rep.bufs.attempts {
+                            // Peek-then-commit, exactly as the serial
+                            // `issue_memory`: the tag stream only
+                            // advances on accepted injections.
+                            let tag = m.txns.peek_tag();
                             let accepted = m.req_net.try_inject(Flit {
                                 src: a.cluster,
                                 dst: a.module,
@@ -328,26 +358,23 @@ fn main_loop(
                                 "worker mispredicted NoC acceptance"
                             );
                             if accepted {
-                                m.next_txn += 1;
-                                m.txns.insert(
-                                    tag,
-                                    Txn {
-                                        cluster: a.cluster,
-                                        tcu: a.tcu,
-                                        addr: a.addr,
-                                        kind: a.kind,
-                                        value: a.value,
-                                    },
-                                );
+                                m.txns.insert(Txn {
+                                    cluster: a.cluster,
+                                    tcu: a.tcu,
+                                    addr: a.addr,
+                                    kind: a.kind,
+                                    value: a.value,
+                                });
                             }
                         }
                         first_err = rep.error;
                     }
                     let base = scans.len();
-                    for (local, scan) in rep.scans.into_iter().enumerate() {
+                    for (local, &scan) in rep.bufs.scans.iter().enumerate() {
                         idle[base + local] = scan.idle;
                         scans.push(scan);
                     }
+                    bufs[w] = rep.bufs;
                 }
                 if let Some(e) = first_err {
                     return Err(e);
@@ -422,15 +449,13 @@ fn main_loop(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_main(
     rx: Receiver<Cmd>,
     tx: Sender<Reply>,
     mut clusters: Vec<Vec<Tcu>>,
     mut rrs: Vec<usize>,
     lo: usize,
-    prog: &Program,
-    hazard: &[(u32, u32)],
+    decoded: &DecodedProgram,
     p: WorkerParams,
 ) {
     let mut gregs = [0u32; NUM_GREGS];
@@ -448,20 +473,11 @@ fn worker_main(
                 gregs = g;
                 entry = e;
             }
-            Ok(Cmd::Step {
-                cycle,
-                grants,
-                deliveries,
-                budgets,
-            }) => {
-                let mut rep = StepReply {
-                    attempts: Vec::new(),
-                    delta: std::mem::take(&mut pending),
-                    scans: Vec::with_capacity(clusters.len()),
-                    error: None,
-                };
-                for (local, ds) in deliveries.into_iter().enumerate() {
-                    for d in ds {
+            Ok(Cmd::Step { cycle, mut bufs }) => {
+                let mut delta = std::mem::take(&mut pending);
+                let mut error = None;
+                for (local, ds) in bufs.deliveries.iter_mut().enumerate() {
+                    for d in ds.drain(..) {
                         let tcu = &mut clusters[local][d.tcu];
                         match d.kind {
                             TxnKind::LoadI(rd) => {
@@ -475,12 +491,15 @@ fn worker_main(
                             TxnKind::Store => {}
                         }
                         tcu.outstanding -= 1;
+                        if tcu.cls == IssueClass::Scoreboard {
+                            reclassify(tcu, decoded);
+                        }
                     }
                 }
                 for local in 0..clusters.len() {
-                    if rep.error.is_none() {
-                        let mut grant = grants[local].clone();
-                        let mut budget = budgets[local];
+                    if error.is_none() {
+                        let mut grant = bufs.grants[local].clone();
+                        let mut budget = bufs.budgets[local];
                         if let Err(e) = step_cluster_local(
                             &mut clusters[local],
                             &mut rrs[local],
@@ -490,39 +509,23 @@ fn worker_main(
                             lo + local,
                             &gregs,
                             entry,
-                            prog,
-                            hazard,
+                            decoded,
                             p,
-                            &mut rep.attempts,
-                            &mut rep.delta,
+                            &mut bufs.attempts,
+                            &mut delta,
                             &mut cluster_instr[local],
                         ) {
-                            rep.error = Some(e);
+                            error = Some(e);
                         }
                     }
-                    let scan = scan_cluster(&clusters[local], prog, hazard, cycle + 1);
+                    let scan = scan_cluster::<true>(&clusters[local], cycle + 1);
                     last_blocked[local] = (scan.blocked_scoreboard, scan.blocked_lsu);
-                    rep.scans.push(scan);
+                    bufs.scans.push(scan);
                 }
-                if std::env::var_os("XMT_TRACE").is_some() {
-                    let mut dg: u64 = 0;
-                    for cl in &clusters {
-                        for t in cl {
-                            dg = dg
-                                .wrapping_mul(1099511628211)
-                                .wrapping_add(t.active as u64)
-                                .wrapping_mul(1099511628211)
-                                .wrapping_add(t.pc as u64)
-                                .wrapping_mul(1099511628211)
-                                .wrapping_add(t.outstanding as u64)
-                                .wrapping_mul(1099511628211)
-                                .wrapping_add(t.busy_until)
-                                .wrapping_mul(1099511628211)
-                                .wrapping_add(t.pend_i as u64);
-                        }
-                    }
-                }
-                if tx.send(Reply::Step(rep)).is_err() {
+                if tx
+                    .send(Reply::Step(StepReply { bufs, delta, error }))
+                    .is_err()
+                {
                     return; // main thread gone
                 }
             }
@@ -563,8 +566,7 @@ fn step_cluster_local(
     global_c: usize,
     gregs: &[u32; NUM_GREGS],
     entry: usize,
-    prog: &Program,
-    hazard: &[(u32, u32)],
+    decoded: &DecodedProgram,
     p: WorkerParams,
     attempts: &mut Vec<Attempt>,
     acc: &mut MachineStats,
@@ -578,79 +580,81 @@ fn step_cluster_local(
     let start = *rr;
     *rr = (start + 1) % ntcus;
 
-    for i in 0..ntcus {
-        let t = (start + i) % ntcus;
-        if !cluster[t].active {
+    // Round-robin order without the per-TCU `% ntcus` — mirror of the
+    // `step_cluster` loop shape.
+    for t in (start..ntcus).chain(0..start) {
+        let tcu = &mut cluster[t];
+        if !tcu.active {
             // The grant is this cluster's contiguous slice of the
             // global thread-ID counter, sized to its idle-TCU count.
             if grant.start < grant.end {
                 let tid = grant.start;
                 grant.start += 1;
-                let tcu = &mut cluster[t];
                 tcu.active = true;
                 tcu.rf = RegFile::new(tid);
                 tcu.pc = entry;
                 tcu.busy_until = 0;
                 tcu.pend_i = 0;
                 tcu.pend_f = 0;
+                reclassify(tcu, decoded);
                 acc.threads += 1;
             } else {
                 continue;
             }
         }
-        if cluster[t].busy_until > cycle {
+        if tcu.busy_until > cycle {
             continue;
         }
-        let pc = cluster[t].pc;
-        if pc >= prog.len() {
-            return Err(SimError::PcOutOfRange { pc });
-        }
-        let ins = prog.fetch(pc);
-        if cluster[t].blocked(hazard[pc]) {
-            acc.stall_scoreboard += 1;
-            continue;
-        }
-        match ins.unit() {
-            Unit::Alu => {
-                let tcu = &mut cluster[t];
-                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+        match tcu.cls {
+            IssueClass::BadPc => {
+                return Err(SimError::PcOutOfRange { pc: tcu.pc });
+            }
+            IssueClass::Scoreboard => {
+                acc.stall_scoreboard += 1;
+            }
+            IssueClass::Alu => {
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok, "ALU-class instruction must be compute-executable");
                 tcu.pc += 1;
+                reclassify(tcu, decoded);
                 acc.instructions += 1;
             }
-            Unit::Fpu => {
+            IssueClass::Fpu => {
                 if fpu_budget == 0 {
                     acc.stall_fpu += 1;
                     continue;
                 }
                 fpu_budget -= 1;
-                let tcu = &mut cluster[t];
-                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok);
                 tcu.busy_until = cycle + FPU_LATENCY;
                 tcu.pc += 1;
+                reclassify(tcu, decoded);
                 acc.instructions += 1;
                 acc.flops += 1;
             }
-            Unit::Mdu => {
+            IssueClass::Mdu => {
                 if mdu_budget == 0 {
                     acc.stall_mdu += 1;
                     continue;
                 }
                 mdu_budget -= 1;
-                let tcu = &mut cluster[t];
-                let ok = exec_compute(&ins, &mut tcu.rf, gregs);
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok);
                 tcu.busy_until = cycle + MDU_LATENCY;
                 tcu.pc += 1;
+                reclassify(tcu, decoded);
                 acc.instructions += 1;
             }
-            Unit::Lsu => {
+            IssueClass::Lsu => {
                 if lsu_budget == 0 {
                     acc.stall_lsu += 1;
                     continue;
                 }
-                if cluster[t].outstanding >= MAX_OUTSTANDING {
+                if tcu.outstanding >= MAX_OUTSTANDING {
                     acc.stall_lsu += 1;
                     continue;
                 }
@@ -660,7 +664,8 @@ fn step_cluster_local(
                 // because both NoCs accept at most one injection per
                 // source per cycle and refuse solely on the
                 // backpressure the budget reported.
-                let tcu = &cluster[t];
+                let pc = tcu.pc;
+                let ins = decoded.fetch(pc).instr;
                 let (addr, kind, value) = match ins {
                     Instr::Lw { rd, base, off } => (
                         addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
@@ -704,7 +709,6 @@ fn step_cluster_local(
                     acc.stall_lsu += 1;
                     continue;
                 }
-                let tcu = &mut cluster[t];
                 tcu.outstanding += 1;
                 match kind {
                     TxnKind::LoadI(rd) => {
@@ -722,11 +726,12 @@ fn step_cluster_local(
                     }
                 }
                 tcu.pc += 1;
+                reclassify(tcu, decoded);
                 acc.instructions += 1;
             }
-            Unit::Branch => {
-                let tcu = &mut cluster[t];
-                match ins {
+            IssueClass::Branch => {
+                let pc = tcu.pc;
+                match decoded.fetch(pc).instr {
                     Instr::Branch {
                         cond,
                         rs1,
@@ -739,56 +744,45 @@ fn step_cluster_local(
                     Instr::Jump { target } => tcu.pc = target,
                     _ => unreachable!(),
                 }
+                reclassify(tcu, decoded);
                 acc.instructions += 1;
             }
-            Unit::Ps => {
+            IssueClass::Ps => {
                 // `Machine::run` routes ps/sspawn programs to the
                 // fast-forward engine; they cannot reach a worker.
                 unreachable!("global-state op in threaded worker")
             }
-            Unit::Control => match ins {
-                Instr::Join => {
-                    if cluster[t].outstanding > 0 {
-                        continue;
-                    }
-                    cluster[t].active = false;
-                    acc.instructions += 1;
+            IssueClass::Join => {
+                if tcu.outstanding > 0 {
+                    continue;
                 }
-                Instr::Nop => {
-                    cluster[t].pc += 1;
-                    acc.instructions += 1;
-                }
-                Instr::Spawn { .. } => {
-                    return Err(SimError::BadInstruction {
+                tcu.active = false;
+                acc.instructions += 1;
+            }
+            IssueClass::Nop => {
+                tcu.pc += 1;
+                reclassify(tcu, decoded);
+                acc.instructions += 1;
+            }
+            IssueClass::Illegal => {
+                let pc = tcu.pc;
+                return Err(match decoded.fetch(pc).instr {
+                    Instr::Spawn { .. } => SimError::BadInstruction {
                         pc,
                         what: "nested spawn",
-                    })
-                }
-                Instr::Halt => {
-                    return Err(SimError::BadInstruction {
+                    },
+                    Instr::Halt => SimError::BadInstruction {
                         pc,
                         what: "halt in parallel mode",
-                    })
-                }
-                _ => {
-                    return Err(SimError::BadInstruction {
+                    },
+                    _ => SimError::BadInstruction {
                         pc,
                         what: "instruction illegal in parallel mode",
-                    })
-                }
-            },
+                    },
+                });
+            }
         }
     }
     *cluster_instr += acc.instructions - instr_at_entry;
     Ok(())
-}
-
-/// Worker-side mirror of `Machine::addr_of`.
-fn addr_of(pc: usize, base: u32, off: u32, mem_len: usize) -> Result<usize, SimError> {
-    let a = base as u64 + off as u64;
-    if (a as usize) < mem_len {
-        Ok(a as usize)
-    } else {
-        Err(SimError::MemOutOfBounds { pc, addr: a })
-    }
 }

@@ -1,0 +1,205 @@
+//! Generational slab for in-flight memory transactions.
+//!
+//! The simulator threads a `u64` tag through the request NoC, the
+//! memory modules and the reply NoC for every load/store in flight.
+//! Storing the transaction record in a `HashMap<u64, Txn>` put a hash
+//! probe on every hop of every memory access; this slab packs live
+//! transactions into a dense `Vec` and encodes `(generation << 32) |
+//! slot` in the tag, so each lookup is one bounds-checked index plus a
+//! generation compare.
+//!
+//! Determinism: tags are allocated via [`TxnSlab::peek_tag`] /
+//! [`TxnSlab::insert`] and released by [`TxnSlab::remove`]. Every
+//! engine performs these calls in the same machine-defined order
+//! (injection replay on the main thread, reply delivery in NoC order),
+//! and the free list is LIFO, so the tag sequence — and therefore every
+//! stat that could observe it — is identical across engines. No
+//! component ever orders on the numeric tag value; it is opaque.
+
+/// A generational slab keyed by dense `u64` tags.
+#[derive(Debug)]
+pub struct TxnSlab<T> {
+    slots: Vec<Option<T>>,
+    /// Generation per slot, bumped on free; stale tags never alias.
+    gens: Vec<u32>,
+    /// LIFO free list of slot indices.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for TxnSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TxnSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn tag_of(slot: u32, generation: u32) -> u64 {
+        (generation as u64) << 32 | slot as u64
+    }
+
+    /// The tag the next [`TxnSlab::insert`] will return. Callers that
+    /// must publish the tag before committing the insert (the NoC
+    /// injection protocol stamps the tag into the flit, and only a
+    /// successful injection records the transaction) use this to keep
+    /// allocation and commit separate.
+    #[inline]
+    pub fn peek_tag(&self) -> u64 {
+        match self.free.last() {
+            Some(&slot) => Self::tag_of(slot, self.gens[slot as usize]),
+            None => Self::tag_of(self.slots.len() as u32, 0),
+        }
+    }
+
+    /// Insert a value, returning its tag (== the preceding
+    /// [`TxnSlab::peek_tag`]).
+    #[inline]
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let s = slot as usize;
+                debug_assert!(self.slots[s].is_none());
+                self.slots[s] = Some(value);
+                Self::tag_of(slot, self.gens[s])
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(value));
+                self.gens.push(0);
+                Self::tag_of(slot, 0)
+            }
+        }
+    }
+
+    /// Shared access by tag; `None` for stale or never-issued tags.
+    #[inline(always)]
+    pub fn get(&self, tag: u64) -> Option<&T> {
+        let slot = tag as u32 as usize;
+        if self.gens.get(slot) != Some(&((tag >> 32) as u32)) {
+            return None;
+        }
+        self.slots[slot].as_ref()
+    }
+
+    /// Mutable access by tag.
+    #[inline(always)]
+    pub fn get_mut(&mut self, tag: u64) -> Option<&mut T> {
+        let slot = tag as u32 as usize;
+        if self.gens.get(slot) != Some(&((tag >> 32) as u32)) {
+            return None;
+        }
+        self.slots[slot].as_mut()
+    }
+
+    /// Remove and return the value for `tag`, freeing its slot.
+    #[inline]
+    pub fn remove(&mut self, tag: u64) -> Option<T> {
+        let slot = tag as u32 as usize;
+        if self.gens.get(slot) != Some(&((tag >> 32) as u32)) {
+            return None;
+        }
+        let v = self.slots[slot].take()?;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Live transactions.
+    #[inline(always)]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no transactions are live.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = TxnSlab::new();
+        assert!(s.is_empty());
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        *s.get_mut(a).unwrap() = "a2";
+        assert_eq!(s.remove(a), Some("a2"));
+        assert_eq!(s.get(a), None, "removed tag is dead");
+        assert_eq!(s.remove(a), None, "double remove is None");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(b), Some("b"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_tag_matches_insert() {
+        let mut s = TxnSlab::new();
+        for i in 0..10u32 {
+            let peeked = s.peek_tag();
+            assert_eq!(s.insert(i), peeked);
+        }
+        // Free a middle slot: the next allocation reuses it (LIFO) and
+        // peek still predicts the tag exactly.
+        let victim = 3u64; // slot 3, generation 0
+        assert_eq!(s.remove(victim), Some(3));
+        let peeked = s.peek_tag();
+        let tag = s.insert(99);
+        assert_eq!(tag, peeked);
+        assert_eq!(tag as u32, 3, "LIFO free list reuses slot 3");
+        assert_eq!((tag >> 32) as u32, 1, "generation bumped");
+    }
+
+    #[test]
+    fn stale_tags_never_alias_reused_slots() {
+        let mut s = TxnSlab::new();
+        let old = s.insert(1);
+        s.remove(old);
+        let new = s.insert(2);
+        assert_eq!(old as u32, new as u32, "same slot");
+        assert_ne!(old, new, "different generation");
+        assert_eq!(s.get(old), None);
+        assert_eq!(s.get(new), Some(&2));
+        assert_eq!(s.get_mut(old), None);
+        assert_eq!(s.remove(old), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lifo_reuse_keeps_slab_dense() {
+        let mut s = TxnSlab::new();
+        let tags: Vec<u64> = (0..8).map(|i| s.insert(i)).collect();
+        for &t in tags.iter().rev() {
+            s.remove(t);
+        }
+        // Re-inserting 8 values reuses the original 8 slots in FIFO
+        // slot order (LIFO over the reversed frees).
+        for i in 0..8u32 {
+            let t = s.insert(i);
+            assert_eq!(t as u32, i, "slot {i} reused, no growth");
+        }
+        assert_eq!(s.len(), 8);
+    }
+}

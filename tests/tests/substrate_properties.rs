@@ -129,7 +129,9 @@ proptest! {
         let mut responses = Vec::new();
         for _ in 0..20_000 {
             let mut creqs = Vec::new();
-            responses.extend(module.step(&mut creqs).into_iter().map(|r| r.req.tag));
+            let mut resps = Vec::new();
+            module.step(&mut creqs, &mut resps);
+            responses.extend(resps.into_iter().map(|r| r.req.tag));
             for cr in creqs {
                 chan.enqueue(DramReq { tag: cr.module as u64, ..cr.req });
             }
