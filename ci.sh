@@ -25,4 +25,10 @@ echo "== simulator throughput -> BENCH_sim.json =="
 # engine falls below 1.0x over reference on any golden workload.
 cargo run --release -p xmt-bench --bin bench_sim BENCH_sim.json --check BENCH_sim.json
 
+echo "== probe zero-interference check =="
+# Rerun every golden workload with an IntervalProbe attached: probed
+# cycle counts must be bit-identical to the unprobed runs and the
+# committed baseline, and probe totals must equal the run aggregates.
+cargo run --release -p xmt-bench --bin bench_sim -- --probe --check BENCH_sim.json
+
 echo "ci.sh: all green"

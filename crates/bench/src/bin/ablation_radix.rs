@@ -8,28 +8,22 @@
 //! Runs the real kernels on the cycle simulator (output checked
 //! against the host library every time).
 
-use parafft::Complex32;
-use xmt_bench::render_table;
+use xmt_bench::{render_table, run_plan_validated, sample_wave};
 use xmt_fft::plan::XmtFftPlan;
-use xmt_fft::run::{host_reference, rel_error, run_on_machine};
 use xmt_sim::XmtConfig;
 
 fn main() {
     let n = 4096usize; // 2^12 = 8^4 = 4^6 = 2^12: all three radices apply
     let cfg = XmtConfig::xmt_4k().scaled_to(8);
-    let x: Vec<Complex32> = (0..n)
-        .map(|i| Complex32::new((i as f32 * 0.11).sin(), (i as f32 * 0.07).cos()))
-        .collect();
+    let x = sample_wave(n, 0.11, 0.07);
 
     println!("Ablation — radix choice (1D {n}-point FFT, 4k config scaled to 8 clusters)\n");
     let mut rows = Vec::new();
     let mut r8_cycles = 0u64;
     for radix in [2u32, 4, 8] {
         let plan = XmtFftPlan::build_with(&[n], 4, Some(radix), true);
-        let run = run_on_machine(&plan, &cfg, &x).expect("simulation");
-        let err = rel_error(&host_reference(&plan, &x), &run.output);
-        assert!(err < 1e-3, "radix {radix} wrong: {err}");
-        let s = run.summary.stats;
+        let run = run_plan_validated(&plan, &cfg, &x, &format!("radix {radix}"));
+        let s = run.report.stats;
         if radix == 8 {
             r8_cycles = s.cycles;
         }

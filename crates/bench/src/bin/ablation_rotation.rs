@@ -6,10 +6,8 @@
 //! rotation-copy pass per dimension — one extra read+write of the
 //! whole array and one extra spawn barrier each.
 
-use parafft::Complex32;
-use xmt_bench::render_table;
+use xmt_bench::{render_table, run_plan_validated, sample_wave};
 use xmt_fft::plan::XmtFftPlan;
-use xmt_fft::run::{host_reference, rel_error, run_on_machine};
 use xmt_sim::XmtConfig;
 
 fn main() {
@@ -18,23 +16,19 @@ fn main() {
     let mut rows = Vec::new();
     for dims in [vec![64usize, 64], vec![16, 16, 16]] {
         let total: usize = dims.iter().product();
-        let x: Vec<Complex32> = (0..total)
-            .map(|i| Complex32::new((i as f32 * 0.017).sin(), (i as f32 * 0.041).cos()))
-            .collect();
+        let x = sample_wave(total, 0.017, 0.041);
         let mut cycles = [0u64; 2];
         for (slot, fused) in [(0usize, true), (1, false)] {
             let plan = XmtFftPlan::build_with(&dims, 4, None, fused);
-            let run = run_on_machine(&plan, &cfg, &x).expect("simulation");
-            let err = rel_error(&host_reference(&plan, &x), &run.output);
-            assert!(err < 1e-3, "{dims:?} fused={fused} wrong: {err}");
-            cycles[slot] = run.summary.stats.cycles;
+            let run = run_plan_validated(&plan, &cfg, &x, &format!("{dims:?} fused={fused}"));
+            cycles[slot] = run.report.stats.cycles;
             rows.push(vec![
                 format!("{dims:?}"),
                 if fused { "fused" } else { "separate" }.into(),
                 plan.num_stages().to_string(),
-                run.summary.stats.cycles.to_string(),
-                run.summary.stats.mem_reads.to_string(),
-                run.summary.stats.mem_writes.to_string(),
+                run.report.stats.cycles.to_string(),
+                run.report.stats.mem_reads.to_string(),
+                run.report.stats.mem_writes.to_string(),
             ]);
         }
         println!(

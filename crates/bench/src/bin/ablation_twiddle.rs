@@ -8,10 +8,8 @@
 //! line of it. This binary measures simulated cycles as the replica
 //! count grows.
 
-use parafft::Complex32;
-use xmt_bench::render_table;
+use xmt_bench::{render_table, run_plan_validated, sample_wave};
 use xmt_fft::plan::XmtFftPlan;
-use xmt_fft::run::{host_reference, rel_error, run_on_machine};
 use xmt_sim::XmtConfig;
 
 fn main() {
@@ -20,9 +18,7 @@ fn main() {
     // 32 cache modules serve every twiddle read.
     let (rows_n, cols) = (512usize, 16usize);
     let cfg = XmtConfig::xmt_4k().scaled_to(32);
-    let x: Vec<Complex32> = (0..rows_n * cols)
-        .map(|i| Complex32::new((i as f32 * 0.013).sin(), (i as f32 * 0.029).cos()))
-        .collect();
+    let x = sample_wave(rows_n * cols, 0.013, 0.029);
 
     println!(
         "Ablation — twiddle replication ({rows_n}x{cols} 2D FFT, {} cache modules)\n",
@@ -32,10 +28,8 @@ fn main() {
     let mut first_cycles = 0u64;
     for copies in [1u32, 2, 4, 8, 16] {
         let plan = XmtFftPlan::build_with(&[rows_n, cols], copies, None, true);
-        let run = run_on_machine(&plan, &cfg, &x).expect("simulation");
-        let err = rel_error(&host_reference(&plan, &x), &run.output);
-        assert!(err < 1e-3, "copies={copies} wrong: {err}");
-        let cycles = run.summary.stats.cycles;
+        let run = run_plan_validated(&plan, &cfg, &x, &format!("copies={copies}"));
+        let cycles = run.report.stats.cycles;
         if copies == 1 {
             first_cycles = cycles;
         }

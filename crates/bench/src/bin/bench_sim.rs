@@ -13,7 +13,7 @@
 //! capability, where a mean or median absorbs scheduler noise.
 //!
 //! ```text
-//! cargo run --release -p xmt-bench --bin bench_sim [out.json] [--check baseline.json]
+//! cargo run --release -p xmt-bench --bin bench_sim [out.json] [--check baseline.json] [--probe]
 //! ```
 //!
 //! With `--check`, after measuring, the run fails (exit 1) if any
@@ -21,12 +21,21 @@
 //! workload's simulated cycle count differs from the committed
 //! baseline — CI wires this to `BENCH_sim.json` so an engine change
 //! cannot silently regress the default engine or the golden cycle
-//! counts.
+//! counts. The unprobed fast-forward throughput must also stay within
+//! a (generous) factor of the baseline's, so probe hooks cannot creep
+//! into the `NoProbe` hot path unnoticed.
+//!
+//! With `--probe`, every workload additionally runs with an
+//! [`IntervalProbe`] attached, asserting the probed cycle counts are
+//! bit-identical to the unprobed (and baseline) ones and that the
+//! probe's cumulative totals equal the run's final statistics — the
+//! zero-interference contract of the observability layer. No JSON is
+//! written in this mode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xmt_fft::golden;
-use xmt_sim::Engine;
+use xmt_sim::{Engine, IntervalProbe};
 
 /// Keep sampling until this much measured time has accumulated.
 const TARGET_SECS: f64 = 0.25;
@@ -39,8 +48,7 @@ const MAX_REPS: usize = 1000;
 /// untimed warm-up run. Returns `(simulated_cycles, best_seconds)`.
 fn measure(case: &golden::GoldenCase, engine: Engine) -> (u64, f64) {
     let run_once = || {
-        let mut m = case.machine();
-        m.engine = engine;
+        let mut m = case.builder().engine(engine).build();
         let t0 = Instant::now();
         let s = m.run().expect("golden case must complete");
         (s.stats.cycles, t0.elapsed().as_secs_f64())
@@ -74,12 +82,95 @@ fn baseline_u64(baseline: &str, workload: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// The baseline's fast-forward `cycles_per_second` for a workload.
+fn baseline_ff_rate(baseline: &str, workload: &str) -> Option<u64> {
+    let start = baseline.find(&format!("\"name\": \"{workload}\""))?;
+    let tail = &baseline[start..];
+    let ff = tail.find("\"fast_forward\":")?;
+    let tail = &tail[ff..];
+    let f = tail.find("\"cycles_per_second\":")?;
+    let digits: String = tail[f..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Unprobed throughput may not fall below this fraction of the
+/// committed baseline's (generous: it must absorb host noise and CI
+/// contention, while still catching probe hooks leaking into the
+/// `NoProbe` hot path, which costs integer factors, not percents).
+const NOPROBE_RATE_FLOOR: f64 = 0.25;
+
+/// `--probe`: rerun every golden workload with an [`IntervalProbe`]
+/// attached and assert the observability layer changes nothing: cycle
+/// counts stay bit-identical to the unprobed run (and the committed
+/// baseline), and the probe's cumulative totals equal the run's final
+/// statistics. Returns failure messages.
+fn probe_check(baseline: Option<&str>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let engines: &[(&str, Engine)] = &[
+        ("reference", Engine::Reference),
+        ("fast_forward", Engine::FastForward),
+        ("threaded", Engine::Threaded { threads: 0 }),
+    ];
+    for case in golden::cases() {
+        let mut plain = case.builder().build();
+        let unprobed = plain.run().expect("golden case must complete");
+        for &(name, engine) in engines {
+            let mut m = case
+                .builder()
+                .engine(engine)
+                .build_probed(IntervalProbe::new(64, 1 << 14));
+            let rep = m.run().expect("probed golden case must complete");
+            let probe = m.probe();
+            if rep.stats.cycles != unprobed.stats.cycles {
+                failures.push(format!(
+                    "{}/{name}: probed cycles {} != unprobed {}",
+                    case.name, rep.stats.cycles, unprobed.stats.cycles
+                ));
+            }
+            if probe.totals() != rep.stats {
+                failures.push(format!(
+                    "{}/{name}: probe totals {:?} != run stats {:?}",
+                    case.name,
+                    probe.totals(),
+                    rep.stats
+                ));
+            }
+            if probe.samples() == 0 {
+                failures.push(format!("{}/{name}: probe recorded no samples", case.name));
+            }
+            if let Some(base) = baseline {
+                match baseline_u64(base, case.name, "simulated_cycles") {
+                    Some(want) if want != rep.stats.cycles => failures.push(format!(
+                        "{}/{name}: probed simulated_cycles {} != baseline {want}",
+                        case.name, rep.stats.cycles
+                    )),
+                    None => failures.push(format!("{}: missing from baseline", case.name)),
+                    _ => {}
+                }
+            }
+            eprintln!(
+                "{:16} {:13} {:>9} cycles  {:>6} samples  probe OK",
+                case.name,
+                name,
+                rep.stats.cycles,
+                probe.samples()
+            );
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_path = args
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check needs a baseline path"));
+    let probe_mode = args.iter().any(|a| a == "--probe");
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--") && check_path != Some(a))
@@ -89,6 +180,18 @@ fn main() {
     // are usually the same committed file.
     let baseline = check_path
         .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+
+    if probe_mode {
+        let failures = probe_check(baseline.as_deref());
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("PROBE CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("probe checks passed: probed runs bit-identical to unprobed");
+        return;
+    }
     let engines: &[(&str, Engine)] = &[
         ("reference", Engine::Reference),
         ("fast_forward", Engine::FastForward),
@@ -125,6 +228,19 @@ fn main() {
                 )),
                 None => failures.push(format!("{}: missing from baseline", case.name)),
                 _ => {}
+            }
+            if let Some(rate) = baseline_ff_rate(base, case.name) {
+                let floor = NOPROBE_RATE_FLOOR * rate as f64;
+                if rows[1].3 < floor {
+                    failures.push(format!(
+                        "{}: fast_forward {:.0} cycles/s below {:.0} \
+                         ({}% of baseline {rate}) — NoProbe hot path regressed",
+                        case.name,
+                        rows[1].3,
+                        floor,
+                        (NOPROBE_RATE_FLOOR * 100.0) as u32
+                    ));
+                }
             }
         }
         writeln!(json, "    {{").unwrap();

@@ -3,7 +3,7 @@
 //!
 //! Runs the golden programs (radix-8 FFT kernel and the spawn/join +
 //! prefix-sum microbenchmarks) on the cycle simulator and prints the
-//! resulting `RunSummary` statistics as Rust constants. If a future
+//! resulting `RunReport` statistics as Rust constants. If a future
 //! change *intentionally* alters simulator timing, rerun this tool
 //! and paste its output into the test; any unintentional drift shows
 //! up as a golden-test failure instead.

@@ -8,27 +8,23 @@
 //! * strong scaling of the Edison FFT with node count.
 
 use hpc_cluster::{model, Cluster, Fft3dJob};
-use xmt_bench::render_table;
+use xmt_bench::{render_table, ColumnTable};
 use xmt_fft::project;
 use xmt_sim::XmtConfig;
 
 fn main() {
     println!("XMT problem-size scaling (GFLOPS, 5N.log2N convention)\n");
     let sizes: [usize; 4] = [128, 256, 512, 1024];
-    let mut rows = Vec::new();
+    let mut t = ColumnTable::new("config", sizes.iter().map(|s| format!("{s}^3")));
     for cfg in XmtConfig::paper_configs() {
-        let mut row = vec![cfg.name.to_string()];
-        for &s in &sizes {
-            let p = project(&cfg, &[s, s, s]);
-            row.push(format!("{:.0}", p.gflops_convention));
-        }
-        rows.push(row);
+        t.row(
+            cfg.name,
+            sizes
+                .iter()
+                .map(|&s| format!("{:.0}", project(&cfg, &[s, s, s]).gflops_convention)),
+        );
     }
-    let headers: Vec<String> = std::iter::once("config".to_string())
-        .chain(sizes.iter().map(|s| format!("{s}^3")))
-        .collect();
-    let href: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("{}", render_table(&href, &rows));
+    println!("{}", t.render());
     println!("(small cubes fit in cache and leave the DRAM roofline; large ones stream)\n");
 
     println!("Cluster weak scaling (Edison model, 16 B complex, 24 cores/node)\n");

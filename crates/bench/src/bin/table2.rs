@@ -3,37 +3,40 @@
 //! Rows come straight from `xmt_sim::XmtConfig::paper_configs()` — the
 //! same presets the simulator and the projections run on.
 
-use xmt_bench::render_table;
+use xmt_bench::ColumnTable;
 use xmt_sim::XmtConfig;
 
 fn main() {
     let cfgs = XmtConfig::paper_configs();
-    let headers: Vec<&str> = std::iter::once("")
-        .chain(cfgs.iter().map(|c| c.name))
-        .collect();
-    let row = |name: &str, f: &dyn Fn(&XmtConfig) -> String| -> Vec<String> {
-        std::iter::once(name.to_string())
-            .chain(cfgs.iter().map(f))
-            .collect()
-    };
-    let rows = vec![
-        row("TCUs", &|c| c.tcus.to_string()),
-        row("Clusters", &|c| c.clusters.to_string()),
-        row("Memory Modules", &|c| c.memory_modules.to_string()),
-        row("NoC MoT Levels", &|c| c.mot_levels.to_string()),
-        row("NoC Butterfly Levels", &|c| c.butterfly_levels.to_string()),
-        row("MMs per DRAM Ctrl.", &|c| c.mm_per_dram_ctrl.to_string()),
-        row("DRAM Channels", &|c| c.dram_channels().to_string()),
-        row("FPUs per Cluster", &|c| c.fpus_per_cluster.to_string()),
-        row("TCUs per Cluster", &|c| c.tcus_per_cluster.to_string()),
-        row("ALUs per Cluster", &|c| c.alus_per_cluster.to_string()),
-        row("MDUs per Cluster", &|c| c.mdus_per_cluster.to_string()),
-        row("LSUs per Cluster", &|c| c.lsus_per_cluster.to_string()),
-        row("Peak GFLOPS", &|c| format!("{:.0}", c.peak_gflops())),
-        row("Peak DRAM GB/s", &|c| format!("{:.0}", c.peak_dram_gbs())),
-    ];
+    let mut t = ColumnTable::new("", cfgs.iter().map(|c| c.name));
+    t.row("TCUs", cfgs.iter().map(|c| c.tcus))
+        .row("Clusters", cfgs.iter().map(|c| c.clusters))
+        .row("Memory Modules", cfgs.iter().map(|c| c.memory_modules))
+        .row("NoC MoT Levels", cfgs.iter().map(|c| c.mot_levels))
+        .row(
+            "NoC Butterfly Levels",
+            cfgs.iter().map(|c| c.butterfly_levels),
+        )
+        .row(
+            "MMs per DRAM Ctrl.",
+            cfgs.iter().map(|c| c.mm_per_dram_ctrl),
+        )
+        .row("DRAM Channels", cfgs.iter().map(|c| c.dram_channels()))
+        .row("FPUs per Cluster", cfgs.iter().map(|c| c.fpus_per_cluster))
+        .row("TCUs per Cluster", cfgs.iter().map(|c| c.tcus_per_cluster))
+        .row("ALUs per Cluster", cfgs.iter().map(|c| c.alus_per_cluster))
+        .row("MDUs per Cluster", cfgs.iter().map(|c| c.mdus_per_cluster))
+        .row("LSUs per Cluster", cfgs.iter().map(|c| c.lsus_per_cluster))
+        .row(
+            "Peak GFLOPS",
+            cfgs.iter().map(|c| format!("{:.0}", c.peak_gflops())),
+        )
+        .row(
+            "Peak DRAM GB/s",
+            cfgs.iter().map(|c| format!("{:.0}", c.peak_dram_gbs())),
+        );
     println!("Table II — XMT architecture configurations\n");
-    println!("{}", render_table(&headers, &rows));
+    println!("{}", t.render());
     println!(
         "(The paper's rows are reproduced exactly; \"DRAM Channels\", \"Peak GFLOPS\" and\n\
          \"Peak DRAM GB/s\" are derived rows used by the Roofline analysis.)"

@@ -10,7 +10,7 @@
 //!
 //! Run with `--quick` to skip the slower calibration runs.
 
-use xmt_bench::{calibrate, render_table};
+use xmt_bench::{calibrate, render_table, ColumnTable};
 use xmt_fft::table4_projection;
 use xmt_sim::XmtConfig;
 
@@ -21,38 +21,34 @@ fn main() {
 
     println!("Table IV — FFT performance on XMT (3D FFT, 512^3, single precision)\n");
     let proj = table4_projection();
-    let headers: Vec<&str> = std::iter::once("")
-        .chain(proj.iter().map(|p| p.config_name))
-        .collect();
-    let rows = vec![
-        std::iter::once("GFLOPS (model)".to_string())
-            .chain(proj.iter().map(|p| format!("{:.0}", p.gflops_convention)))
-            .collect::<Vec<_>>(),
-        std::iter::once("GFLOPS (paper)".to_string())
-            .chain(PAPER_GFLOPS.iter().map(|v| format!("{v:.0}")))
-            .collect(),
-        std::iter::once("model / paper".to_string())
-            .chain(
-                proj.iter()
-                    .zip(PAPER_GFLOPS)
-                    .map(|(p, v)| format!("{:.2}", p.gflops_convention / v)),
-            )
-            .collect(),
-        std::iter::once("growth vs previous".to_string())
-            .chain(std::iter::once("-".to_string()))
-            .chain(
-                proj.windows(2)
-                    .map(|w| format!("{:.2}x", w[1].gflops_convention / w[0].gflops_convention)),
-            )
-            .collect(),
-        std::iter::once("rotation share of time".to_string())
-            .chain(
-                proj.iter()
-                    .map(|p| format!("{:.0}%", 100.0 * p.rotation_share())),
-            )
-            .collect(),
-    ];
-    println!("{}", render_table(&headers, &rows));
+    let mut t = ColumnTable::new("", proj.iter().map(|p| p.config_name));
+    t.row(
+        "GFLOPS (model)",
+        proj.iter().map(|p| format!("{:.0}", p.gflops_convention)),
+    )
+    .row(
+        "GFLOPS (paper)",
+        PAPER_GFLOPS.iter().map(|v| format!("{v:.0}")),
+    )
+    .row(
+        "model / paper",
+        proj.iter()
+            .zip(PAPER_GFLOPS)
+            .map(|(p, v)| format!("{:.2}", p.gflops_convention / v)),
+    )
+    .row(
+        "growth vs previous",
+        std::iter::once("-".to_string()).chain(
+            proj.windows(2)
+                .map(|w| format!("{:.2}x", w[1].gflops_convention / w[0].gflops_convention)),
+        ),
+    )
+    .row(
+        "rotation share of time",
+        proj.iter()
+            .map(|p| format!("{:.0}%", 100.0 * p.rotation_share())),
+    );
+    println!("{}", t.render());
 
     if quick {
         println!("(--quick: skipping cycle-simulator calibration runs)");

@@ -7,7 +7,7 @@
 //! second makes it honest about the machine you are on.
 
 use hpc_cluster::{measure_host, paper_pinned, speedups};
-use xmt_bench::render_table;
+use xmt_bench::ColumnTable;
 use xmt_fft::table4_projection;
 
 const PAPER_VS_SERIAL: [f64; 5] = [31.0, 66.0, 482.0, 1652.0, 2494.0];
@@ -23,29 +23,25 @@ fn main() {
         "Baseline (paper-pinned): serial {:.2} GFLOPS, {} threads {:.1} GFLOPS\n",
         pinned.serial_gflops, pinned.parallel_threads, pinned.parallel_gflops
     );
-    let headers: Vec<&str> = std::iter::once("")
-        .chain(proj.iter().map(|p| p.config_name))
-        .collect();
-    let mut rows = vec![
-        std::iter::once("vs serial (model)".to_string())
-            .chain(
-                proj.iter()
-                    .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &pinned).vs_serial)),
-            )
-            .collect::<Vec<_>>(),
-        std::iter::once("vs serial (paper)".to_string())
-            .chain(PAPER_VS_SERIAL.iter().map(|v| format!("{v:.0}X")))
-            .collect(),
-        std::iter::once("vs 32 threads (model)".to_string())
-            .chain(
-                proj.iter()
-                    .map(|p| format!("{:.1}X", speedups(p.gflops_convention, &pinned).vs_parallel)),
-            )
-            .collect(),
-        std::iter::once("vs 32 threads (paper)".to_string())
-            .chain(PAPER_VS_32T.iter().map(|v| format!("{v:.1}X")))
-            .collect(),
-    ];
+    let mut t = ColumnTable::new("", proj.iter().map(|p| p.config_name));
+    t.row(
+        "vs serial (model)",
+        proj.iter()
+            .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &pinned).vs_serial)),
+    )
+    .row(
+        "vs serial (paper)",
+        PAPER_VS_SERIAL.iter().map(|v| format!("{v:.0}X")),
+    )
+    .row(
+        "vs 32 threads (model)",
+        proj.iter()
+            .map(|p| format!("{:.1}X", speedups(p.gflops_convention, &pinned).vs_parallel)),
+    )
+    .row(
+        "vs 32 threads (paper)",
+        PAPER_VS_32T.iter().map(|v| format!("{v:.1}X")),
+    );
 
     if !quick {
         let host = measure_host(1 << 20, 3);
@@ -54,25 +50,18 @@ fn main() {
             host.serial_gflops, host.parallel_threads, host.parallel_gflops
         );
         println!("(absolute host rates differ from a 2016 Xeon; ratios are what transfer)\n");
-        rows.push(
-            std::iter::once("vs host serial (measured)".to_string())
-                .chain(
-                    proj.iter()
-                        .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &host).vs_serial)),
-                )
-                .collect(),
-        );
-        rows.push(
-            std::iter::once("vs host parallel (measured)".to_string())
-                .chain(
-                    proj.iter().map(|p| {
-                        format!("{:.1}X", speedups(p.gflops_convention, &host).vs_parallel)
-                    }),
-                )
-                .collect(),
+        t.row(
+            "vs host serial (measured)",
+            proj.iter()
+                .map(|p| format!("{:.0}X", speedups(p.gflops_convention, &host).vs_serial)),
+        )
+        .row(
+            "vs host parallel (measured)",
+            proj.iter()
+                .map(|p| format!("{:.1}X", speedups(p.gflops_convention, &host).vs_parallel)),
         );
     }
-    println!("{}", render_table(&headers, &rows));
+    println!("{}", t.render());
     println!(
         "Note: the paper's silicon argument also holds here — the 4k configuration\n\
          uses 227 mm^2 at 22 nm, i.e. 58% of the dual-E5-2690 baseline's silicon\n\

@@ -6,7 +6,7 @@
 //! the XMT projection (512³ single complex).
 
 use hpc_cluster::{model, Cluster, Fft3dJob};
-use xmt_bench::render_table;
+use xmt_bench::ColumnTable;
 use xmt_fft::project;
 use xmt_sim::{summarize, XmtConfig};
 
@@ -22,24 +22,31 @@ fn main() {
     let xmt_pct = xfft.gflops_convention / (xmt.peak_gflops()) * 100.0;
 
     println!("Table VI — comparison of Edison (Cray XC30) to XMT (128k x4)\n");
-    let rows: Vec<Vec<String>> = vec![
-        vec![
-            "# processing elements".into(),
+    let mut t = ColumnTable::new("", ["Edison", "XMT (128k x4)"]);
+    t.row(
+        "# processing elements",
+        [
             format!("{} cores", edison.cores()),
             format!("{} TCUs", xmt.tcus),
         ],
-        vec![
-            "# processor groups".into(),
+    )
+    .row(
+        "# processor groups",
+        [
             format!("{} nodes", edison.nodes),
             format!("{} clusters", xmt.clusters),
         ],
-        vec![
-            "Total cache memory".into(),
+    )
+    .row(
+        "Total cache memory",
+        [
             format!("{:.0} MB", edison.total_cache_mb()),
             format!("{:.0} MB", xmt.total_cache_mib()),
         ],
-        vec![
-            "# chips".into(),
+    )
+    .row(
+        "# chips",
+        [
             format!(
                 "{} CPU + {} router",
                 edison.cpu_chips(),
@@ -47,8 +54,10 @@ fn main() {
             ),
             "1".into(),
         ],
-        vec![
-            "Total silicon area".into(),
+    )
+    .row(
+        "Total silicon area",
+        [
             format!(
                 "{:.0} cm2 (22nm) + {:.0} cm2 (40nm)",
                 edison.cpu_silicon_cm2(),
@@ -56,43 +65,48 @@ fn main() {
             ),
             format!("{:.1} cm2 (14nm)", phys.total_area_mm2 / 100.0),
         ],
-        vec![
-            "Normalized Si area (22 nm)".into(),
+    )
+    .row(
+        "Normalized Si area (22 nm)",
+        [
             format!("{:.0} cm2", edison.silicon_cm2_at_22nm()),
             format!("{:.0} cm2", phys.area_22nm_mm2 / 100.0),
         ],
-        vec![
-            "Peak power".into(),
+    )
+    .row(
+        "Peak power",
+        [
             format!("{:.0} kW", edison.peak_power_kw),
             format!("{:.1} kW", phys.peak_power_w / 1000.0),
         ],
-        vec![
-            "Peak teraFLOPS".into(),
+    )
+    .row(
+        "Peak teraFLOPS",
+        [
             format!("{:.0}", edison.peak_tflops()),
             format!("{:.0}", xmt.peak_gflops() / 1000.0),
         ],
-        vec![
-            "TeraFLOPS for FFT (size), model".into(),
+    )
+    .row(
+        "TeraFLOPS for FFT (size), model",
+        [
             format!("{:.1} (1024^3)", efft.gflops / 1000.0),
             format!("{:.1} (512^3)", xmt_tf),
         ],
-        vec![
-            "TeraFLOPS for FFT, paper".into(),
-            "13.6 (1024^3)".into(),
-            "19.0 (512^3)".into(),
-        ],
-        vec![
-            "% of peak FLOPS, model".into(),
+    )
+    .row(
+        "TeraFLOPS for FFT, paper",
+        ["13.6 (1024^3)", "19.0 (512^3)"],
+    )
+    .row(
+        "% of peak FLOPS, model",
+        [
             format!("{:.2}%", efft.pct_of_machine_peak),
             format!("{:.0}%", xmt_pct),
         ],
-        vec![
-            "% of peak FLOPS, paper".into(),
-            "0.57%".into(),
-            "35%".into(),
-        ],
-    ];
-    println!("{}", render_table(&["", "Edison", "XMT (128k x4)"], &rows));
+    )
+    .row("% of peak FLOPS, paper", ["0.57%", "35%"]);
+    println!("{}", t.render());
 
     let factor = xmt_tf * 1000.0 / efft.gflops;
     let si = edison.silicon_cm2_at_22nm() / (phys.area_22nm_mm2 / 100.0);

@@ -46,7 +46,7 @@ pub fn calibrate(base: &XmtConfig, clusters: usize, dims: &[usize]) -> Calibrati
     assert!(err < 1e-3, "simulated FFT numerically wrong: rel err {err}");
 
     let projection = project(&cfg, dims);
-    let measured_cycles = run.summary.stats.cycles;
+    let measured_cycles = run.report.stats.cycles;
     let modeled = projection.total_cycles;
     Calibration {
         config_name: base.name,
@@ -55,7 +55,7 @@ pub fn calibrate(base: &XmtConfig, clusters: usize, dims: &[usize]) -> Calibrati
         measured_cycles,
         modeled_cycles: modeled,
         ratio: measured_cycles as f64 / modeled,
-        spawns: run.summary.spawns,
+        spawns: run.report.spawns,
         projection,
     }
 }

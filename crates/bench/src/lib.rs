@@ -7,6 +7,8 @@
 
 pub mod calibrate;
 pub mod fmt;
+pub mod runner;
 
 pub use calibrate::{calibrate, Calibration};
 pub use fmt::render_table;
+pub use runner::{run_plan_validated, run_validated, sample_wave, ColumnTable};

@@ -32,7 +32,7 @@
 //!     (0..16 * 64).map(|i| Complex32::new(i as f32, 0.0)).collect();
 //! let run = run_on_machine(&plan, &cfg, &input).unwrap();
 //! assert!(rel_error(&host_reference(&plan, &input), &run.output) < 1e-3);
-//! assert_eq!(run.summary.spawns.len(), plan.num_stages());
+//! assert_eq!(run.report.spawns.len(), plan.num_stages());
 //! ```
 
 #![warn(missing_docs)]
@@ -46,4 +46,7 @@ pub mod run;
 pub use kernels::{Rotation, StageKernel, TwiddleLayout};
 pub use phases::{project, stage_demands, table4_projection, FftProjection, RooflinePoint};
 pub use plan::{default_copies, radix_schedule, StageMeta, XmtFftPlan};
-pub use run::{host_reference, rel_error, run_on_interp, run_on_machine, InterpRun, MachineRun};
+pub use run::{
+    host_reference, plan_builder, read_result, rel_error, run_on_interp, run_on_machine, InterpRun,
+    MachineRun,
+};

@@ -4,7 +4,7 @@
 use crate::plan::XmtFftPlan;
 use parafft::Complex32;
 use xmt_isa::{ExecError, Interp, RunStats};
-use xmt_sim::{Machine, RunSummary, SimError, XmtConfig};
+use xmt_sim::{MachineBuilder, RunReport, SimError, XmtConfig};
 
 /// Result of running a plan: the transformed data plus engine stats.
 #[derive(Debug, Clone)]
@@ -20,8 +20,8 @@ pub struct InterpRun {
 pub struct MachineRun {
     /// The `output` value.
     pub output: Vec<Complex32>,
-    /// The `summary` value.
-    pub summary: RunSummary,
+    /// Statistics, spawn log and utilization for the run.
+    pub report: RunReport,
 }
 
 fn unpack(flat: &[f32]) -> Vec<Complex32> {
@@ -43,22 +43,39 @@ pub fn run_on_interp(plan: &XmtFftPlan, input: &[Complex32]) -> Result<InterpRun
     })
 }
 
+/// A [`MachineBuilder`] loaded with the plan's program, twiddle tables
+/// and packed input — attach an engine or probe, then build and run.
+pub fn plan_builder(plan: &XmtFftPlan, cfg: &XmtConfig, input: &[Complex32]) -> MachineBuilder {
+    let mut b = MachineBuilder::new(cfg, plan.program.clone())
+        .mem_words(plan.mem_words)
+        .write_f32s(plan.a_base as usize, &plan.input_image(input));
+    for (_, layout, flat) in &plan.twiddles {
+        b = b.write_f32s(layout.base as usize, flat);
+    }
+    b
+}
+
+/// Unpack the transform result from a finished machine's memory.
+pub fn read_result<P: xmt_sim::Probe>(
+    plan: &XmtFftPlan,
+    m: &xmt_sim::Machine<P>,
+) -> Vec<Complex32> {
+    let mut flat = vec![0.0f32; 2 * plan.total];
+    m.read_f32s_into(plan.result_base as usize, &mut flat);
+    unpack(&flat)
+}
+
 /// Run on the cycle simulator with the given machine configuration.
 pub fn run_on_machine(
     plan: &XmtFftPlan,
     cfg: &XmtConfig,
     input: &[Complex32],
 ) -> Result<MachineRun, SimError> {
-    let mut m = Machine::new(cfg, plan.program.clone(), plan.mem_words);
-    m.write_f32s(plan.a_base as usize, &plan.input_image(input));
-    for (_, layout, flat) in &plan.twiddles {
-        m.write_f32s(layout.base as usize, flat);
-    }
-    let summary = m.run()?;
-    let flat = m.read_f32s(plan.result_base as usize, 2 * plan.total);
+    let mut m = plan_builder(plan, cfg, input).build();
+    let report = m.run()?;
     Ok(MachineRun {
-        output: unpack(&flat),
-        summary,
+        output: read_result(plan, &m),
+        report,
     })
 }
 
@@ -187,7 +204,7 @@ mod tests {
             assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
         // One spawn per stage was recorded.
-        assert_eq!(mach.summary.spawns.len(), plan.num_stages());
+        assert_eq!(mach.report.spawns.len(), plan.num_stages());
     }
 
     #[test]
@@ -262,7 +279,7 @@ mod tests {
         assert!(e < 1e-4, "err={e}");
         // Rotation stages are flagged in the metadata and have fewer
         // FLOPs relative to their memory traffic.
-        let rot = &mach.summary.spawns[plan.stages.iter().position(|s| s.is_rotation).unwrap()];
+        let rot = &mach.report.spawns[plan.stages.iter().position(|s| s.is_rotation).unwrap()];
         assert!(rot.mem_reads > 0 && rot.mem_writes > 0);
     }
 }

@@ -215,6 +215,10 @@ impl Network for ButterflyNetwork {
         (self.ports, self.ports)
     }
 
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.ports, "source port out of range");
         assert!(flit.dst < self.ports, "destination port out of range");

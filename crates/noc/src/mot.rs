@@ -77,6 +77,10 @@ impl Network for MotNetwork {
         (self.topo.clusters, self.topo.modules)
     }
 
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.topo.clusters, "source port out of range");
         assert!(

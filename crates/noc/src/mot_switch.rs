@@ -102,6 +102,10 @@ impl Network for MotSwitchNetwork {
         (self.topo.clusters, self.topo.modules)
     }
 
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.topo.clusters && flit.dst < self.topo.modules);
         if self.last_inject[flit.src] == self.cycle {

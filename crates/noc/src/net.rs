@@ -97,6 +97,11 @@ pub trait Network {
         let _ = src;
         1
     }
+
+    /// Snapshot of the accumulated [`NetStats`]. Observability probes
+    /// sample this at interval boundaries; it must be cheap (a copy of
+    /// counters the model already maintains).
+    fn stats(&self) -> NetStats;
 }
 
 /// Aggregate statistics a network keeps about its own operation.

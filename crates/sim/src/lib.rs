@@ -15,6 +15,10 @@
 //! * [`perfmodel`] — the calibrated bottleneck model used to project
 //!   paper-scale (512³, 131,072-TCU) runs that the cycle simulator
 //!   cannot execute directly.
+//! * [`probe`] / [`trace`] — cycle-resolved observability: zero-cost
+//!   [`Probe`] hooks sampled every K cycles into fixed ring buffers,
+//!   exported as Chrome `trace_event` JSON or a per-phase roofline /
+//!   stall-attribution table.
 
 #![warn(missing_docs)]
 pub mod config;
@@ -22,12 +26,17 @@ pub mod energy;
 pub mod machine;
 pub mod perfmodel;
 pub mod physical;
+pub mod probe;
+pub mod trace;
 mod txn_slab;
 
 pub use config::XmtConfig;
 pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};
 pub use machine::{
-    Engine, Machine, MachineStats, RunSummary, SimError, SpawnStats, UtilizationReport,
+    Engine, Machine, MachineBuilder, MachineStats, RunReport, SimError, SpawnStats,
+    UtilizationReport,
 };
 pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
 pub use physical::{summarize, PhysicalSummary};
+pub use probe::{BlockedTcus, IntervalProbe, IntervalRow, NoProbe, Probe, SampleCtx};
+pub use trace::{chrome_trace, phase_table};

@@ -25,6 +25,7 @@
 //!   handed out by the PS unit with unlimited same-cycle combining.
 
 use crate::config::XmtConfig;
+use crate::probe::{BlockedTcus, NoProbe, Probe, SampleCtx};
 use crate::txn_slab::TxnSlab;
 use std::collections::VecDeque;
 use xmt_isa::decoded::DecodedProgram;
@@ -48,7 +49,10 @@ const SERIAL_MEM_LATENCY: u64 = 4;
 /// prefetch/decoupling capability).
 const MAX_OUTSTANDING: u8 = 8;
 
-/// Simulator errors.
+/// Simulator errors. Every variant carries the program counter of the
+/// fault (where one exists) and the machine cycle it surfaced on:
+/// deep construction sites that cannot see the clock leave `at_cycle`
+/// at 0 and the step boundary stamps it via [`SimError::stamped`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Memory access outside the configured memory image.
@@ -57,6 +61,8 @@ pub enum SimError {
         pc: usize,
         /// Faulting word address.
         addr: u64,
+        /// Machine cycle the fault surfaced on.
+        at_cycle: u64,
     },
     /// Nested spawn, halt-in-parallel, etc.
     BadInstruction {
@@ -64,6 +70,8 @@ pub enum SimError {
         pc: usize,
         /// Description of the illegal action.
         what: &'static str,
+        /// Machine cycle the fault surfaced on.
+        at_cycle: u64,
     },
     /// Cycle limit exceeded — deadlock or runaway program.
     CycleLimit {
@@ -74,18 +82,53 @@ pub enum SimError {
     PcOutOfRange {
         /// Program counter at the fault.
         pc: usize,
+        /// Machine cycle the fault surfaced on.
+        at_cycle: u64,
     },
+}
+
+impl SimError {
+    /// The machine cycle the error surfaced on.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            SimError::MemOutOfBounds { at_cycle, .. }
+            | SimError::BadInstruction { at_cycle, .. }
+            | SimError::CycleLimit { at_cycle }
+            | SimError::PcOutOfRange { at_cycle, .. } => at_cycle,
+        }
+    }
+
+    /// Fill in `at_cycle` if the construction site could not see the
+    /// clock (left it at 0). Applied at the step boundaries.
+    fn stamped(mut self, cycle: u64) -> Self {
+        match &mut self {
+            SimError::MemOutOfBounds { at_cycle, .. }
+            | SimError::BadInstruction { at_cycle, .. }
+            | SimError::CycleLimit { at_cycle }
+            | SimError::PcOutOfRange { at_cycle, .. } => {
+                if *at_cycle == 0 {
+                    *at_cycle = cycle;
+                }
+            }
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::MemOutOfBounds { pc, addr } => {
-                write!(f, "memory access at word {addr:#x} out of bounds (pc {pc})")
+            SimError::MemOutOfBounds { pc, addr, at_cycle } => write!(
+                f,
+                "memory access at word {addr:#x} out of bounds (pc {pc}, cycle {at_cycle})"
+            ),
+            SimError::BadInstruction { pc, what, at_cycle } => {
+                write!(f, "{what} at pc {pc} (cycle {at_cycle})")
             }
-            SimError::BadInstruction { pc, what } => write!(f, "{what} at pc {pc}"),
             SimError::CycleLimit { at_cycle } => write!(f, "cycle limit hit at {at_cycle}"),
-            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+            SimError::PcOutOfRange { pc, at_cycle } => {
+                write!(f, "pc {pc} out of range (cycle {at_cycle})")
+            }
         }
     }
 }
@@ -401,6 +444,9 @@ pub struct SpawnStats {
     pub index: usize,
     /// Virtual threads executed.
     pub threads: u64,
+    /// Machine cycle the spawn instruction issued on (start of the
+    /// broadcast) — positions the phase on a trace timeline.
+    pub start_cycle: u64,
     /// Wall cycles from spawn start to the barrier completing.
     pub cycles: u64,
     /// The `instructions` value.
@@ -413,6 +459,14 @@ pub struct SpawnStats {
     pub mem_writes: u64,
     /// Bytes actually transferred on the DRAM channels.
     pub dram_bytes: u64,
+    /// Scoreboard stall cycles accrued inside this section.
+    pub stall_scoreboard: u64,
+    /// FPU-port stall cycles accrued inside this section.
+    pub stall_fpu: u64,
+    /// MDU-port stall cycles accrued inside this section.
+    pub stall_mdu: u64,
+    /// LSU/NoC/memory stall cycles accrued inside this section.
+    pub stall_lsu: u64,
 }
 
 impl SpawnStats {
@@ -434,7 +488,7 @@ impl SpawnStats {
 }
 
 /// Post-run utilization snapshot (see [`Machine::utilization`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UtilizationReport {
     /// Instructions issued by each cluster.
     pub cluster_instr: Vec<u64>,
@@ -476,13 +530,21 @@ impl UtilizationReport {
     }
 }
 
-/// Result of a completed run.
+/// Everything a completed run reports: the overall counters, the
+/// per-phase (per-spawn) log behind the Roofline points of Fig. 3, and
+/// the component-utilization snapshot. One struct instead of the old
+/// `RunSummary` + separate `Machine::utilization()` accessor, so every
+/// caller — benches, tables, tests — gets the whole picture from
+/// [`Machine::run`] in one move.
 #[derive(Debug, Clone)]
-pub struct RunSummary {
+pub struct RunReport {
     /// Accumulated statistics.
     pub stats: MachineStats,
     /// The `spawns` value.
     pub spawns: Vec<SpawnStats>,
+    /// Per-component utilization (cluster issue balance, module cache
+    /// behaviour, DRAM-channel occupancy, FPU-ceiling fraction).
+    pub utilization: UtilizationReport,
 }
 
 struct SpawnTracker {
@@ -494,7 +556,7 @@ struct SpawnTracker {
 }
 
 /// Which advance loop [`Machine::run`] uses. Every engine produces
-/// bit-identical [`RunSummary`] / memory / register state — the golden
+/// bit-identical [`RunReport`] / memory / register state — the golden
 /// cycle tests pin this; engines only differ in wall-clock speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
@@ -612,8 +674,13 @@ struct FfScanCache {
     blocked_lsu: u64,
 }
 
-/// The XMT machine.
-pub struct Machine {
+/// The XMT machine. Built via [`MachineBuilder`].
+///
+/// The probe type parameter is the observability hook: [`NoProbe`]
+/// (the default) has `Probe::ENABLED == false`, so every probe branch
+/// in the advance loops constant-folds away and an unprobed machine is
+/// bit-for-bit and cycle-for-cycle the pre-observability simulator.
+pub struct Machine<P: Probe = NoProbe> {
     cfg: XmtConfig,
     prog: Program,
     /// Functional shared memory (word addressed).
@@ -689,6 +756,13 @@ pub struct Machine {
     scratch_creqs: Vec<ChannelRequest>,
     /// Reusable per-cycle scratch: module responses.
     scratch_resps: Vec<MemResp>,
+    /// The attached probe (zero-sized [`NoProbe`] by default).
+    probe: P,
+    /// Next sampling boundary (`u64::MAX` when the probe never fires).
+    next_sample: u64,
+    /// Cycle of the most recent sample, so the end-of-run flush in
+    /// [`Machine::report`] does not double-emit.
+    last_sample: u64,
 }
 
 /// Insert `idx` into a sorted active list if not already present.
@@ -707,7 +781,12 @@ fn addr_of(pc: usize, base: u32, off: u32, mem_len: usize) -> Result<usize, SimE
     if (a as usize) < mem_len {
         Ok(a as usize)
     } else {
-        Err(SimError::MemOutOfBounds { pc, addr: a })
+        // The clock is out of reach here; the step boundary stamps it.
+        Err(SimError::MemOutOfBounds {
+            pc,
+            addr: a,
+            at_cycle: 0,
+        })
     }
 }
 
@@ -787,15 +866,112 @@ fn issue_memory(
     Ok(true)
 }
 
-impl Machine {
-    /// Build a machine for `cfg` with `mem_words` words of zeroed
-    /// shared memory.
-    pub fn new(cfg: &XmtConfig, prog: Program, mem_words: usize) -> Self {
+/// Staged construction of a [`Machine`]: configuration, program,
+/// initial memory image, engine selection and probe registration in
+/// one chainable value, replacing the old `Machine::new(cfg, prog,
+/// mem_words)` plus post-hoc field pokes and write calls.
+///
+/// ```
+/// # use xmt_sim::{Engine, MachineBuilder, XmtConfig};
+/// # use xmt_isa::ProgramBuilder;
+/// # let mut b = ProgramBuilder::new();
+/// # b.halt();
+/// # let prog = b.build().unwrap();
+/// let mut m = MachineBuilder::new(&XmtConfig::xmt_4k().scaled_to(4), prog)
+///     .mem_words(1024)
+///     .write_f32s(16, &[1.0, 2.0])
+///     .engine(Engine::FastForward)
+///     .build();
+/// m.run().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: XmtConfig,
+    prog: Program,
+    mem: Vec<u32>,
+    engine: Engine,
+    max_cycles: Option<u64>,
+}
+
+impl MachineBuilder {
+    /// Start building a machine for `cfg` running `prog`. The memory
+    /// image starts empty; size it with [`MachineBuilder::mem_words`]
+    /// or implicitly via the `write_*` methods.
+    pub fn new(cfg: &XmtConfig, prog: Program) -> Self {
+        Self {
+            cfg: *cfg,
+            prog,
+            mem: Vec::new(),
+            engine: Engine::default(),
+            max_cycles: None,
+        }
+    }
+
+    /// Grow the memory image to at least `words` zeroed words.
+    pub fn mem_words(mut self, words: usize) -> Self {
+        if self.mem.len() < words {
+            self.mem.resize(words, 0);
+        }
+        self
+    }
+
+    /// Select the advance engine (default [`Engine::FastForward`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Override the runaway/deadlock cycle limit.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// Store an `f32` slice at word address `addr` (bit-cast), growing
+    /// the memory image to fit.
+    pub fn write_f32s(mut self, addr: usize, data: &[f32]) -> Self {
+        self = self.mem_words(addr + data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.mem[addr + i] = v.to_bits();
+        }
+        self
+    }
+
+    /// Store a `u32` slice at word address `addr`, growing the memory
+    /// image to fit.
+    pub fn write_u32s(mut self, addr: usize, data: &[u32]) -> Self {
+        self = self.mem_words(addr + data.len());
+        self.mem[addr..addr + data.len()].copy_from_slice(data);
+        self
+    }
+
+    /// Build an unprobed machine (the zero-overhead default).
+    pub fn build(self) -> Machine {
+        self.build_probed(NoProbe)
+    }
+
+    /// Build a machine with `probe` attached. The probe's
+    /// [`Probe::bind`] runs here, before the first cycle, so ring
+    /// buffers are sized once and the hot path never allocates.
+    pub fn build_probed<P: Probe>(self, mut probe: P) -> Machine<P> {
+        let MachineBuilder {
+            cfg,
+            prog,
+            mem,
+            engine,
+            max_cycles,
+        } = self;
         assert!(
             cfg.tcus_per_cluster <= 64,
             "the mask-accelerated issue loop packs a cluster into u64 \
              bitmasks; configs beyond 64 TCUs per cluster are unsupported"
         );
+        probe.bind(&cfg);
+        let next_sample = if P::ENABLED {
+            probe.interval().max(1)
+        } else {
+            u64::MAX
+        };
         let topo = cfg.topology();
         let reply_topo = if topo.is_nonblocking() {
             Topology::pure_mot(cfg.memory_modules, cfg.clusters)
@@ -817,9 +993,9 @@ impl Machine {
         let has_global_ops = (0..prog.len())
             .any(|pc| matches!(prog.fetch(pc), Instr::Ps { .. } | Instr::Sspawn { .. }));
         let n_channels = channels.len();
-        Self {
+        Machine {
             prog,
-            mem: vec![0; mem_words],
+            mem,
             gregs: [0; NUM_GREGS],
             mtcu_rf: RegFile::new(0),
             mode: Mode::Serial {
@@ -842,11 +1018,11 @@ impl Machine {
             module_outbox: vec![VecDeque::new(); cfg.memory_modules],
             hash: AddressHash::new(cfg.memory_modules, cfg.cache.line_words),
             txns: TxnSlab::new(),
-            max_cycles: 200_000_000,
+            max_cycles: max_cycles.unwrap_or(200_000_000),
             stats: MachineStats::default(),
             spawn_log: Vec::new(),
             tracker: None,
-            engine: Engine::default(),
+            engine,
             decoded,
             has_global_ops,
             mem_clock: 0,
@@ -862,10 +1038,15 @@ impl Machine {
             scratch_deliveries: Vec::new(),
             scratch_creqs: Vec::new(),
             scratch_resps: Vec::new(),
-            cfg: *cfg,
+            probe,
+            next_sample,
+            last_sample: 0,
+            cfg,
         }
     }
+}
 
+impl<P: Probe> Machine<P> {
     /// Store an `f32` slice at word address `addr` (bit-cast).
     pub fn write_f32s(&mut self, addr: usize, data: &[f32]) {
         for (i, &v) in data.iter().enumerate() {
@@ -881,9 +1062,25 @@ impl Machine {
             .collect()
     }
 
+    /// Read `out.len()` f32s from word address `addr` into `out` —
+    /// the allocation-free sibling of [`Machine::read_f32s`] for
+    /// repeated validation reads.
+    pub fn read_f32s_into(&self, addr: usize, out: &mut [f32]) {
+        let src = &self.mem[addr..addr + out.len()];
+        for (o, &w) in out.iter_mut().zip(src) {
+            *o = f32::from_bits(w);
+        }
+    }
+
     /// Store a `u32` slice at word address `addr`.
     pub fn write_u32s(&mut self, addr: usize, data: &[u32]) {
         self.mem[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// The attached probe (e.g. to pull [`crate::IntervalProbe::rows`]
+    /// after a run).
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// The configuration used.
@@ -896,9 +1093,10 @@ impl Machine {
         self.gregs
     }
 
-    /// Post-run utilization/observability report: per-cluster issue
-    /// counts, per-module cache behaviour and DRAM-channel occupancy.
-    pub fn utilization(&self) -> UtilizationReport {
+    /// Utilization snapshot: per-cluster issue counts, per-module
+    /// cache behaviour and DRAM-channel occupancy. Folded into the
+    /// [`RunReport`] so callers no longer query the machine post-run.
+    fn utilization(&self) -> UtilizationReport {
         let cluster_instr = self.cluster_instr.clone();
         let module_accesses: Vec<u64> = self
             .modules
@@ -948,15 +1146,21 @@ impl Machine {
         self.channels.iter().map(|c| c.stats.bytes).sum()
     }
 
-    /// Run to `halt` with the selected [`Engine`]. Returns overall and
-    /// per-spawn statistics; the spawn log is moved out (use
+    /// Run to `halt` with the selected [`Engine`]. Returns the full
+    /// [`RunReport`]; the spawn log is moved out (use
     /// [`Machine::spawn_log`] for any later inspection).
-    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
         match self.engine {
             Engine::Reference => self.run_reference(),
             Engine::FastForward => self.run_ff(),
             Engine::Threaded { threads } => {
-                if self.has_global_ops || self.clusters.len() < 2 {
+                // With a probe attached the threaded engine would lag
+                // samples: workers bank skip-accrued stall deltas until
+                // their next step reply, so mid-run boundaries see
+                // stale aggregates. Fast-forward samples exactly, so a
+                // probed Threaded selection falls back to it (the
+                // sample stream stays bit-identical to Reference).
+                if P::ENABLED || self.has_global_ops || self.clusters.len() < 2 {
                     self.run_ff()
                 } else {
                     threaded::run(self, threads)
@@ -966,7 +1170,7 @@ impl Machine {
     }
 
     /// The baseline advance loop: one `step` per simulated cycle.
-    fn run_reference(&mut self) -> Result<RunSummary, SimError> {
+    fn run_reference(&mut self) -> Result<RunReport, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             self.step()?;
             if self.cycle > self.max_cycles {
@@ -975,7 +1179,7 @@ impl Machine {
                 });
             }
         }
-        Ok(self.summary())
+        Ok(self.report())
     }
 
     /// Fast-forwarding advance loop. Two optimizations over the
@@ -984,7 +1188,7 @@ impl Machine {
     /// any cycle that issued no instruction and activated no thread the
     /// clock jumps directly to the next cycle on which anything can
     /// happen.
-    fn run_ff(&mut self) -> Result<RunSummary, SimError> {
+    fn run_ff(&mut self) -> Result<RunReport, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             let instr_before = self.stats.instructions;
             let threads_before = self.stats.threads;
@@ -1007,7 +1211,7 @@ impl Machine {
                 self.ff_cache = None;
             }
         }
-        Ok(self.summary())
+        Ok(self.report())
     }
 
     /// Move the clock from the end of a quiet cycle to just before the
@@ -1067,6 +1271,15 @@ impl Machine {
         if let Some(e) = self.memory_next_event() {
             horizon = horizon.min(e);
         }
+        if P::ENABLED {
+            // Sampling boundaries are events: stop the skip at the
+            // boundary so the probe records the same machine state
+            // per-cycle stepping would. Splitting a quiet skip is
+            // stats-invariant (stall accrual, wheel wakes and
+            // round-robin advance all split additively), so the run's
+            // aggregates — and the unprobed engine — are untouched.
+            horizon = horizon.min(self.next_sample.saturating_add(1));
+        }
         if horizon <= next {
             return;
         }
@@ -1094,6 +1307,7 @@ impl Machine {
         }
         self.cycle += n;
         self.stats.cycles = self.cycle;
+        self.poll_probe();
     }
 
     /// Earliest machine-clock cycle at which the memory system can
@@ -1126,23 +1340,94 @@ impl Machine {
     }
 
     /// Per-spawn statistics accumulated so far. [`Machine::run`] moves
-    /// the log into its [`RunSummary`] rather than cloning it, so after
-    /// a completed run the summary owns the entries and this is empty;
+    /// the log into its [`RunReport`] rather than cloning it, so after
+    /// a completed run the report owns the entries and this is empty;
     /// it is useful when driving the machine manually via
     /// [`Machine::step`].
     pub fn spawn_log(&self) -> &[SpawnStats] {
         &self.spawn_log
     }
 
-    fn summary(&mut self) -> RunSummary {
-        RunSummary {
+    /// Assemble the [`RunReport`], flushing the probe's final partial
+    /// interval first so interval totals equal the run aggregates.
+    fn report(&mut self) -> RunReport {
+        if P::ENABLED && self.cycle > self.last_sample {
+            self.emit_sample(self.cycle);
+        }
+        RunReport {
             stats: self.stats,
             spawns: std::mem::take(&mut self.spawn_log),
+            utilization: self.utilization(),
         }
+    }
+
+    /// Emit samples for every boundary the clock has reached. Behind
+    /// `P::ENABLED` so the `NoProbe` hot path compiles this away; the
+    /// `while` handles the serial spawn broadcast jumping the clock
+    /// across several boundaries at once (each gets a sample, from the
+    /// same post-step state — identically in every engine).
+    #[inline(always)]
+    fn poll_probe(&mut self) {
+        if !P::ENABLED {
+            return;
+        }
+        while self.cycle >= self.next_sample {
+            let boundary = self.next_sample;
+            self.next_sample = boundary.saturating_add(self.probe.interval().max(1));
+            self.emit_sample(boundary);
+        }
+    }
+
+    /// Build a [`SampleCtx`] from the live component state and hand it
+    /// to the probe. Split borrows keep this allocation-free.
+    fn emit_sample(&mut self, boundary: u64) {
+        let Machine {
+            probe,
+            stats,
+            cycle,
+            tracker,
+            req_net,
+            reply_net,
+            txns,
+            channels,
+            modules,
+            masks,
+            last_sample,
+            ..
+        } = self;
+        let mut blocked = BlockedTcus::default();
+        for m in masks.iter() {
+            let ready = m.active & !m.busy;
+            blocked.scoreboard +=
+                u64::from((m.cls[IssueClass::Scoreboard as usize] & ready).count_ones());
+            blocked.fpu += u64::from((m.cls[IssueClass::Fpu as usize] & ready).count_ones());
+            blocked.mdu += u64::from((m.cls[IssueClass::Mdu as usize] & ready).count_ones());
+            blocked.lsu += u64::from((m.cls[IssueClass::Lsu as usize] & ready).count_ones());
+        }
+        let ctx = SampleCtx {
+            boundary,
+            cycle: *cycle,
+            spawn: tracker.as_ref().map(|t| t.index as u64),
+            stats,
+            req_net: req_net.stats(),
+            reply_net: reply_net.stats(),
+            noc_in_flight: (req_net.in_flight() + reply_net.in_flight()) as u64,
+            txns_in_flight: txns.len() as u64,
+            blocked,
+            channels,
+            modules,
+        };
+        probe.record(&ctx);
+        *last_sample = *cycle;
     }
 
     /// Advance the machine one cycle.
     pub fn step(&mut self) -> Result<(), SimError> {
+        let r = self.step_inner();
+        r.map_err(|e| e.stamped(self.cycle))
+    }
+
+    fn step_inner(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         match self.mode {
@@ -1162,6 +1447,7 @@ impl Machine {
             }
             Mode::Finished => {}
         }
+        self.poll_probe();
         Ok(())
     }
 
@@ -1169,6 +1455,11 @@ impl Machine {
     /// Only the fast-forward engine uses this; the reference engine
     /// sticks to the per-TCU visit loop it is the baseline for.
     fn step_fast(&mut self) -> Result<(), SimError> {
+        let r = self.step_fast_inner();
+        r.map_err(|e| e.stamped(self.cycle))
+    }
+
+    fn step_fast_inner(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         match self.mode {
@@ -1185,6 +1476,7 @@ impl Machine {
             }
             Mode::Finished => {}
         }
+        self.poll_probe();
         Ok(())
     }
 
@@ -1418,7 +1710,10 @@ impl Machine {
 
     fn step_serial(&mut self, pc: usize) -> Result<(), SimError> {
         if pc >= self.prog.len() {
-            return Err(SimError::PcOutOfRange { pc });
+            return Err(SimError::PcOutOfRange {
+                pc,
+                at_cycle: self.cycle,
+            });
         }
         let ins = self.prog.fetch(pc);
         self.stats.instructions += 1;
@@ -1540,18 +1835,29 @@ impl Machine {
                 return Err(SimError::BadInstruction {
                     pc,
                     what: "join in serial mode",
+                    at_cycle: self.cycle,
                 })
             }
             Instr::Sspawn { .. } => {
                 return Err(SimError::BadInstruction {
                     pc,
                     what: "sspawn in serial mode",
+                    at_cycle: self.cycle,
                 })
             }
             Instr::Halt => {
                 self.mode = Mode::Finished;
             }
-            other => unreachable!("unhandled serial instruction {other:?}"),
+            // Everything executable lands in a prior arm; anything
+            // else is a trap, not a panic — the caller gets a typed
+            // error with cycle/PC context.
+            _ => {
+                return Err(SimError::BadInstruction {
+                    pc,
+                    what: "instruction not executable in serial mode",
+                    at_cycle: self.cycle,
+                })
+            }
         }
         Ok(())
     }
@@ -1657,7 +1963,10 @@ impl Machine {
             }
             match tcu.cls {
                 IssueClass::BadPc => {
-                    return Err(SimError::PcOutOfRange { pc: tcu.pc });
+                    return Err(SimError::PcOutOfRange {
+                        pc: tcu.pc,
+                        at_cycle: cycle,
+                    });
                 }
                 IssueClass::Scoreboard => {
                     stats.stall_scoreboard += 1;
@@ -1800,14 +2109,17 @@ impl Machine {
                         Instr::Spawn { .. } => SimError::BadInstruction {
                             pc,
                             what: "nested spawn",
+                            at_cycle: cycle,
                         },
                         Instr::Halt => SimError::BadInstruction {
                             pc,
                             what: "halt in parallel mode",
+                            at_cycle: cycle,
                         },
                         _ => SimError::BadInstruction {
                             pc,
                             what: "instruction illegal in parallel mode",
+                            at_cycle: cycle,
                         },
                     });
                 }
@@ -2016,12 +2328,17 @@ impl Machine {
             self.spawn_log.push(SpawnStats {
                 index: tr.index,
                 threads: self.stats.threads - tr.threads_at_start,
+                start_cycle: tr.start_cycle,
                 cycles: self.cycle - tr.start_cycle,
                 instructions: self.stats.instructions - tr.start.instructions,
                 flops: self.stats.flops - tr.start.flops,
                 mem_reads: self.stats.mem_reads - tr.start.mem_reads,
                 mem_writes: self.stats.mem_writes - tr.start.mem_writes,
                 dram_bytes: self.dram_bytes() - tr.start_dram_bytes,
+                stall_scoreboard: self.stats.stall_scoreboard - tr.start.stall_scoreboard,
+                stall_fpu: self.stats.stall_fpu - tr.start.stall_fpu,
+                stall_mdu: self.stats.stall_mdu - tr.start.stall_mdu,
+                stall_lsu: self.stats.stall_lsu - tr.start.stall_lsu,
             });
         }
         self.mode = Mode::Serial {
@@ -2120,7 +2437,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.li(ir(1), 6).li(ir(2), 7).mul(ir(3), ir(1), ir(2));
         b.li(ir(4), 10).sw(ir(3), ir(4), 0).halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(64)
+            .build();
         let s = m.run().unwrap();
         assert_eq!(m.mem[10], 42);
         assert!(s.stats.cycles >= 6);
@@ -2131,7 +2450,9 @@ mod tests {
     #[test]
     fn parallel_section_matches_interpreter() {
         let prog = spawn_store_tids(64);
-        let mut m = Machine::new(&tiny_config(), prog.clone(), 256);
+        let mut m = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
         let s = m.run().unwrap();
         for t in 0..64u32 {
             assert_eq!(m.mem[t as usize], t * 2, "tid {t}");
@@ -2163,7 +2484,9 @@ mod tests {
         b.join();
         b.bind(after);
         b.halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 256);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(256)
+            .build();
         for t in 0..32u32 {
             m.mem[t as usize] = 1000 + t;
         }
@@ -2193,7 +2516,9 @@ mod tests {
         b.join();
         b.bind(after);
         b.halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(64)
+            .build();
         let inputs: Vec<f32> = (0..8).map(|i| i as f32 + 0.5).collect();
         m.write_f32s(0, &inputs);
         let s = m.run().unwrap();
@@ -2220,7 +2545,9 @@ mod tests {
         b.join();
         b.bind(after);
         b.halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(64)
+            .build();
         m.run().unwrap();
         let mut tickets: Vec<u32> = m.mem[..16].to_vec();
         tickets.sort_unstable();
@@ -2232,7 +2559,9 @@ mod tests {
         let cfg = tiny_config();
         let total_tcus = cfg.tcus as u32;
         let prog = spawn_store_tids(total_tcus * 4);
-        let mut m = Machine::new(&cfg, prog, (total_tcus * 8) as usize);
+        let mut m = MachineBuilder::new(&cfg, prog)
+            .mem_words((total_tcus * 8) as usize)
+            .build();
         let s = m.run().unwrap();
         assert_eq!(s.stats.threads as u32, total_tcus * 4);
         for t in 0..(total_tcus * 4) {
@@ -2246,7 +2575,9 @@ mod tests {
         let top = b.label();
         b.bind(top);
         b.jump(top);
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(16)
+            .build();
         m.max_cycles = 10_000;
         assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
     }
@@ -2264,7 +2595,9 @@ mod tests {
         b.join();
         b.bind(after);
         b.halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(16)
+            .build();
         assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
     }
 
@@ -2272,7 +2605,9 @@ mod tests {
     fn out_of_bounds_reported() {
         let mut b = ProgramBuilder::new();
         b.li(ir(1), 9999).lw(ir(2), ir(1), 0).halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(16)
+            .build();
         assert!(matches!(m.run(), Err(SimError::MemOutOfBounds { .. })));
     }
 
@@ -2281,7 +2616,9 @@ mod tests {
         // After the spawn returns, all stores must be visible without
         // any further simulation.
         let prog = spawn_store_tids(128);
-        let mut m = Machine::new(&tiny_config(), prog, 512);
+        let mut m = MachineBuilder::new(&tiny_config(), prog)
+            .mem_words(512)
+            .build();
         m.run().unwrap();
         assert!(m.txns.is_empty());
         for t in 0..128u32 {
@@ -2312,7 +2649,9 @@ mod tests {
         b.halt();
         let prog = b.build().unwrap();
 
-        let mut m = Machine::new(&tiny_config(), prog.clone(), 64);
+        let mut m = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(64)
+            .build();
         let s = m.run().unwrap();
         assert_eq!(s.stats.threads, 8, "4 original + 4 sspawned");
         for t in 0..8u32 {
@@ -2329,16 +2668,19 @@ mod tests {
     fn sspawn_in_serial_is_error() {
         let mut b = ProgramBuilder::new();
         b.li(ir(1), 2).sspawn(ir(2), ir(1)).halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 16);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(16)
+            .build();
         assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
     }
 
     #[test]
     fn utilization_report_is_balanced_for_uniform_work() {
         let prog = spawn_store_tids(512);
-        let mut m = Machine::new(&tiny_config(), prog, 2048);
-        m.run().unwrap();
-        let u = m.utilization();
+        let mut m = MachineBuilder::new(&tiny_config(), prog)
+            .mem_words(2048)
+            .build();
+        let u = m.run().unwrap().utilization;
         assert_eq!(u.cluster_instr.len(), 4);
         assert!(
             u.cluster_instr.iter().all(|&c| c > 0),
@@ -2382,7 +2724,9 @@ mod tests {
         b.jump(after2);
         b.bind(after2);
         b.halt();
-        let mut m = Machine::new(&tiny_config(), b.build().unwrap(), 64);
+        let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
+            .mem_words(64)
+            .build();
         let s = m.run().unwrap();
         assert_eq!(s.spawns.len(), 2);
         assert_eq!(s.spawns[0].threads, 8);

@@ -143,7 +143,7 @@ fn add_stats(into: &mut MachineStats, d: &MachineStats) {
     into.stall_lsu += d.stall_lsu;
 }
 
-pub(super) fn run(m: &mut Machine, threads: usize) -> Result<RunSummary, SimError> {
+pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunReport, SimError> {
     let nclusters = m.cfg.clusters;
     let workers = if threads == 0 {
         rayon::current_num_threads()
@@ -235,11 +235,11 @@ pub(super) fn run(m: &mut Machine, threads: usize) -> Result<RunSummary, SimErro
         m.cluster_rr.extend(rrs);
         add_stats(&mut m.stats, &delta);
     }
-    result.map(|()| m.summary())
+    result.map(|()| m.report())
 }
 
-fn main_loop(
-    m: &mut Machine,
+fn main_loop<P: Probe>(
+    m: &mut Machine<P>,
     cmd_txs: &[Sender<Cmd>],
     reply_rxs: &[Receiver<Reply>],
     bounds: &[Range<usize>],
@@ -377,7 +377,9 @@ fn main_loop(
                     bufs[w] = rep.bufs;
                 }
                 if let Some(e) = first_err {
-                    return Err(e);
+                    // `addr_of` faults surface from workers without a
+                    // clock; stamp them with the merge-side cycle.
+                    return Err(e.stamped(m.cycle));
                 }
                 let total_active: u64 = nclusters as u64 * ntcus as u64 - idle.iter().sum::<u64>();
                 // Phase 3: the memory system, exactly as in the serial
@@ -607,7 +609,10 @@ fn step_cluster_local(
         }
         match tcu.cls {
             IssueClass::BadPc => {
-                return Err(SimError::PcOutOfRange { pc: tcu.pc });
+                return Err(SimError::PcOutOfRange {
+                    pc: tcu.pc,
+                    at_cycle: cycle,
+                });
             }
             IssueClass::Scoreboard => {
                 acc.stall_scoreboard += 1;
@@ -770,14 +775,17 @@ fn step_cluster_local(
                     Instr::Spawn { .. } => SimError::BadInstruction {
                         pc,
                         what: "nested spawn",
+                        at_cycle: cycle,
                     },
                     Instr::Halt => SimError::BadInstruction {
                         pc,
                         what: "halt in parallel mode",
+                        at_cycle: cycle,
                     },
                     _ => SimError::BadInstruction {
                         pc,
                         what: "instruction illegal in parallel mode",
+                        at_cycle: cycle,
                     },
                 });
             }

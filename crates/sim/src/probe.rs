@@ -1,0 +1,363 @@
+//! Cycle-resolved observability probes.
+//!
+//! A [`Probe`] is attached to a [`Machine`](crate::Machine) at build
+//! time ([`MachineBuilder::build_probed`](crate::MachineBuilder::build_probed))
+//! as a *generic parameter*, never a trait object. The disabled default
+//! [`NoProbe`] has `ENABLED = false`, so every probe hook in the engine
+//! hot paths sits behind `if P::ENABLED { ... }` and is constant-folded
+//! away — the allocation-free hot path stays allocation-free and the
+//! golden cycle counts and bench throughput are bit-for-bit those of an
+//! unprobed machine (`bench_sim --probe --check` enforces this).
+//!
+//! Sampling contract: the machine calls [`Probe::record`] once per
+//! elapsed interval of [`Probe::interval`] cycles, at the first moment
+//! the clock reaches or passes the interval boundary, plus one final
+//! flush when the run ends mid-interval. The [`SampleCtx`] passed in
+//! borrows live component state (cumulative [`MachineStats`], DRAM
+//! channels, memory modules, NoC counters, instantaneous stall masks),
+//! so a probe computes per-interval deltas by keeping its own previous
+//! snapshot. Because all three engines visit identical architectural
+//! states at every cycle boundary, the sample stream is bit-identical
+//! across engines (pinned by the `engine_agreement` proptest).
+//!
+//! [`IntervalProbe`] is the bundled implementation: a fixed-capacity
+//! ring of plain-old-data rows allocated once at bind time.
+
+use crate::config::XmtConfig;
+use crate::machine::MachineStats;
+use xmt_mem::{DramChannel, MemoryModule};
+use xmt_noc::NetStats;
+
+/// Instantaneous count of TCUs blocked at a sample boundary, split by
+/// the issue-class reason recorded in the per-cluster `ClusterMasks`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockedTcus {
+    /// Waiting on a scoreboarded register (outstanding load / in-flight
+    /// FPU or MDU result).
+    pub scoreboard: u64,
+    /// Next instruction is FPU-class: blocked on a shared FPU port (or
+    /// the scoreboard for its operands).
+    pub fpu: u64,
+    /// Next instruction is MDU-class: blocked on the shared MDU port.
+    pub mdu: u64,
+    /// Next instruction is LSU-class: blocked on an LSU port, NoC
+    /// injection backpressure, or the outstanding-request cap while
+    /// memory requests wait on DRAM.
+    pub lsu: u64,
+}
+
+/// Everything a probe may read at a sample boundary. All references
+/// borrow live machine state; copy what you need.
+pub struct SampleCtx<'a> {
+    /// The nominal interval boundary this sample accounts for. Strictly
+    /// increasing by [`Probe::interval`] except for the final flush,
+    /// where it equals the end-of-run cycle.
+    pub boundary: u64,
+    /// The machine clock when the sample was taken (`>= boundary`; the
+    /// serial spawn broadcast can jump the clock past a boundary).
+    pub cycle: u64,
+    /// Index of the parallel section in progress, `None` in serial mode.
+    pub spawn: Option<u64>,
+    /// Cumulative run statistics.
+    pub stats: &'a MachineStats,
+    /// Request-network counters (cumulative).
+    pub req_net: NetStats,
+    /// Reply-network counters (cumulative).
+    pub reply_net: NetStats,
+    /// Flits currently inside both NoCs.
+    pub noc_in_flight: u64,
+    /// Memory transactions currently in flight end to end.
+    pub txns_in_flight: u64,
+    /// TCUs blocked right now, by cause.
+    pub blocked: BlockedTcus,
+    /// DRAM channels (cumulative `stats` plus instantaneous `pending`).
+    pub channels: &'a [DramChannel],
+    /// Memory modules (instantaneous `outstanding` queue depths).
+    pub modules: &'a [MemoryModule],
+}
+
+impl SampleCtx<'_> {
+    /// Total bytes moved over all DRAM channels so far.
+    pub fn dram_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats.bytes).sum()
+    }
+}
+
+/// Observer attached to a machine as a zero-cost generic parameter.
+pub trait Probe {
+    /// `false` compiles every probe hook out of the engine hot paths.
+    const ENABLED: bool;
+
+    /// Called once, before the first cycle, with the machine
+    /// configuration — size ring buffers here so [`Probe::record`]
+    /// never allocates.
+    fn bind(&mut self, cfg: &XmtConfig) {
+        let _ = cfg;
+    }
+
+    /// Sampling period in cycles (clamped to ≥ 1 by the machine).
+    fn interval(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Record one sample. Must not allocate: this runs inside the
+    /// engine advance loops.
+    fn record(&mut self, ctx: &SampleCtx<'_>);
+}
+
+/// The zero-cost disabled probe (the default machine type parameter).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+
+    fn record(&mut self, _ctx: &SampleCtx<'_>) {}
+}
+
+/// One materialized sample: per-interval deltas plus instantaneous
+/// occupancy at the boundary. Produced by [`IntervalProbe::rows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRow {
+    /// Nominal interval boundary (see [`SampleCtx::boundary`]).
+    pub boundary: u64,
+    /// Machine clock at the sample (see [`SampleCtx::cycle`]).
+    pub cycle: u64,
+    /// Parallel-section index, `None` in serial mode.
+    pub spawn: Option<u64>,
+    /// Instructions issued during the interval.
+    pub instructions: u64,
+    /// FP operations completed during the interval.
+    pub flops: u64,
+    /// Memory reads issued during the interval.
+    pub mem_reads: u64,
+    /// Memory writes issued during the interval.
+    pub mem_writes: u64,
+    /// Threads started during the interval.
+    pub threads: u64,
+    /// Scoreboard stall cycles accrued during the interval.
+    pub stall_scoreboard: u64,
+    /// FPU-port stall cycles accrued during the interval.
+    pub stall_fpu: u64,
+    /// MDU-port stall cycles accrued during the interval.
+    pub stall_mdu: u64,
+    /// LSU/NoC/memory stall cycles accrued during the interval.
+    pub stall_lsu: u64,
+    /// DRAM bytes moved during the interval.
+    pub dram_bytes: u64,
+    /// Flits injected into either NoC during the interval.
+    pub noc_injected: u64,
+    /// Flits delivered by either NoC during the interval.
+    pub noc_delivered: u64,
+    /// NoC injection rejections (backpressure) during the interval.
+    pub noc_rejections: u64,
+    /// Flits inside both NoCs at the boundary.
+    pub noc_in_flight: u64,
+    /// Memory transactions in flight at the boundary.
+    pub txns_in_flight: u64,
+    /// TCUs blocked at the boundary, by cause.
+    pub blocked: BlockedTcus,
+    /// Requests queued inside memory modules at the boundary.
+    pub module_queue: u64,
+    /// Per-DRAM-channel busy cycles during the interval.
+    pub channel_busy: Vec<u64>,
+    /// Per-DRAM-channel queue depth at the boundary.
+    pub channel_queue: Vec<u64>,
+}
+
+/// Fixed-size portion of a ring slot (`Copy`, so the ring is a flat
+/// `Vec<RowFixed>` written in place — no per-sample allocation).
+#[derive(Debug, Clone, Copy, Default)]
+struct RowFixed {
+    boundary: u64,
+    cycle: u64,
+    /// Spawn index, or `u64::MAX` for serial mode.
+    spawn: u64,
+    instructions: u64,
+    flops: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    threads: u64,
+    stall_scoreboard: u64,
+    stall_fpu: u64,
+    stall_mdu: u64,
+    stall_lsu: u64,
+    dram_bytes: u64,
+    noc_injected: u64,
+    noc_delivered: u64,
+    noc_rejections: u64,
+    noc_in_flight: u64,
+    txns_in_flight: u64,
+    blocked: BlockedTcus,
+    module_queue: u64,
+}
+
+/// Cumulative counters as of the previous sample (for deltas).
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    stats: MachineStats,
+    dram_bytes: u64,
+    noc_injected: u64,
+    noc_delivered: u64,
+    noc_rejections: u64,
+}
+
+/// Time-sliced counter probe: samples every `interval` cycles into a
+/// fixed ring of `capacity` rows (oldest rows are overwritten once the
+/// ring is full; [`IntervalProbe::dropped`] reports how many).
+///
+/// All storage is allocated once in [`Probe::bind`]; the per-channel
+/// series live in flat `capacity × channels` arrays beside the ring.
+#[derive(Debug, Clone)]
+pub struct IntervalProbe {
+    interval: u64,
+    capacity: usize,
+    nchan: usize,
+    /// Samples recorded over the whole run (ring slot = `seq % capacity`).
+    seq: u64,
+    fixed: Vec<RowFixed>,
+    chan_busy: Vec<u64>,
+    chan_queue: Vec<u64>,
+    last: Snapshot,
+    last_chan_busy: Vec<u64>,
+}
+
+impl IntervalProbe {
+    /// Probe sampling every `interval` cycles, keeping the most recent
+    /// `capacity` samples.
+    pub fn new(interval: u64, capacity: usize) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            interval,
+            capacity,
+            nchan: 0,
+            seq: 0,
+            fixed: Vec::new(),
+            chan_busy: Vec::new(),
+            chan_queue: Vec::new(),
+            last: Snapshot::default(),
+            last_chan_busy: Vec::new(),
+        }
+    }
+
+    /// Samples recorded over the whole run (including overwritten ones).
+    pub fn samples(&self) -> u64 {
+        self.seq
+    }
+
+    /// Samples lost to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.seq.saturating_sub(self.capacity as u64)
+    }
+
+    /// Cumulative statistics as of the last sample. After the machine's
+    /// end-of-run flush this equals the run's final aggregates — the
+    /// invariant the probe-correctness tests pin (and unlike summing
+    /// [`IntervalProbe::rows`], it survives ring overwrite).
+    pub fn totals(&self) -> MachineStats {
+        self.last.stats
+    }
+
+    /// The retained samples, oldest first, materialized with their
+    /// per-channel series.
+    pub fn rows(&self) -> Vec<IntervalRow> {
+        let first = self.seq.saturating_sub(self.capacity as u64);
+        (first..self.seq)
+            .map(|s| {
+                let slot = (s % self.capacity as u64) as usize;
+                let f = &self.fixed[slot];
+                IntervalRow {
+                    boundary: f.boundary,
+                    cycle: f.cycle,
+                    spawn: (f.spawn != u64::MAX).then_some(f.spawn),
+                    instructions: f.instructions,
+                    flops: f.flops,
+                    mem_reads: f.mem_reads,
+                    mem_writes: f.mem_writes,
+                    threads: f.threads,
+                    stall_scoreboard: f.stall_scoreboard,
+                    stall_fpu: f.stall_fpu,
+                    stall_mdu: f.stall_mdu,
+                    stall_lsu: f.stall_lsu,
+                    dram_bytes: f.dram_bytes,
+                    noc_injected: f.noc_injected,
+                    noc_delivered: f.noc_delivered,
+                    noc_rejections: f.noc_rejections,
+                    noc_in_flight: f.noc_in_flight,
+                    txns_in_flight: f.txns_in_flight,
+                    blocked: f.blocked,
+                    module_queue: f.module_queue,
+                    channel_busy: self.chan_busy[slot * self.nchan..(slot + 1) * self.nchan]
+                        .to_vec(),
+                    channel_queue: self.chan_queue[slot * self.nchan..(slot + 1) * self.nchan]
+                        .to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Probe for IntervalProbe {
+    const ENABLED: bool = true;
+
+    fn bind(&mut self, cfg: &XmtConfig) {
+        self.nchan = cfg.dram_channels();
+        self.fixed = vec![RowFixed::default(); self.capacity];
+        self.chan_busy = vec![0; self.capacity * self.nchan];
+        self.chan_queue = vec![0; self.capacity * self.nchan];
+        self.last_chan_busy = vec![0; self.nchan];
+        self.seq = 0;
+        self.last = Snapshot::default();
+    }
+
+    fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    fn record(&mut self, ctx: &SampleCtx<'_>) {
+        let slot = (self.seq % self.capacity as u64) as usize;
+        let s = ctx.stats;
+        let p = &self.last.stats;
+        let dram_bytes = ctx.dram_bytes();
+        let injected = ctx.req_net.injected + ctx.reply_net.injected;
+        let delivered = ctx.req_net.delivered + ctx.reply_net.delivered;
+        let rejections = ctx.req_net.inject_rejections + ctx.reply_net.inject_rejections;
+        self.fixed[slot] = RowFixed {
+            boundary: ctx.boundary,
+            cycle: ctx.cycle,
+            spawn: ctx.spawn.unwrap_or(u64::MAX),
+            instructions: s.instructions - p.instructions,
+            flops: s.flops - p.flops,
+            mem_reads: s.mem_reads - p.mem_reads,
+            mem_writes: s.mem_writes - p.mem_writes,
+            threads: s.threads - p.threads,
+            stall_scoreboard: s.stall_scoreboard - p.stall_scoreboard,
+            stall_fpu: s.stall_fpu - p.stall_fpu,
+            stall_mdu: s.stall_mdu - p.stall_mdu,
+            stall_lsu: s.stall_lsu - p.stall_lsu,
+            dram_bytes: dram_bytes - self.last.dram_bytes,
+            noc_injected: injected - self.last.noc_injected,
+            noc_delivered: delivered - self.last.noc_delivered,
+            noc_rejections: rejections - self.last.noc_rejections,
+            noc_in_flight: ctx.noc_in_flight,
+            txns_in_flight: ctx.txns_in_flight,
+            blocked: ctx.blocked,
+            module_queue: ctx.modules.iter().map(|m| m.outstanding() as u64).sum(),
+        };
+        let base = slot * self.nchan;
+        for (k, ch) in ctx.channels.iter().enumerate() {
+            self.chan_busy[base + k] = ch.stats.busy_cycles - self.last_chan_busy[k];
+            self.chan_queue[base + k] = ch.pending() as u64;
+            self.last_chan_busy[k] = ch.stats.busy_cycles;
+        }
+        self.last = Snapshot {
+            stats: *s,
+            dram_bytes,
+            noc_injected: injected,
+            noc_delivered: delivered,
+            noc_rejections: rejections,
+        };
+        self.seq += 1;
+    }
+}

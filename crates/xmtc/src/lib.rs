@@ -100,7 +100,9 @@ mod tests {
         )
         .unwrap();
         let cfg = xmt_sim::XmtConfig::xmt_4k().scaled_to(2);
-        let mut m = xmt_sim::Machine::new(&cfg, prog.clone(), 64);
+        let mut m = xmt_sim::MachineBuilder::new(&cfg, prog.clone())
+            .mem_words(64)
+            .build();
         let summary = m.run().unwrap();
         for t in 0..32u32 {
             assert_eq!(m.mem[t as usize], t * 5);

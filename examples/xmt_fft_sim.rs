@@ -48,7 +48,7 @@ fn main() {
         "{:<22} {:>8} {:>9} {:>9} {:>8} {:>9} {:>8}",
         "stage", "threads", "cycles", "instrs", "flops", "dram B", "GFLOPS"
     );
-    for (meta, s) in plan.stages.iter().zip(&run.summary.spawns) {
+    for (meta, s) in plan.stages.iter().zip(&run.report.spawns) {
         let label = format!(
             "dim{} stage{}{}",
             meta.dim,
@@ -67,7 +67,7 @@ fn main() {
         );
     }
 
-    let st = &run.summary.stats;
+    let st = &run.report.stats;
     println!(
         "\ntotals: {} cycles, {} instructions, {} flops, {} reads, {} writes",
         st.cycles, st.instructions, st.flops, st.mem_reads, st.mem_writes
@@ -77,17 +77,7 @@ fn main() {
         st.stall_scoreboard, st.stall_fpu, st.stall_mdu, st.stall_lsu
     );
 
-    let u = {
-        // Re-run on a fresh machine to collect the utilization report
-        // (run_on_machine consumes its machine internally).
-        let mut m = xmt_sim::Machine::new(&cfg, plan.program.clone(), plan.mem_words);
-        m.write_f32s(plan.a_base as usize, &plan.input_image(&input));
-        for (_, layout, flat) in &plan.twiddles {
-            m.write_f32s(layout.base as usize, flat);
-        }
-        m.run().expect("simulation");
-        m.utilization()
-    };
+    let u = &run.report.utilization;
     println!(
         "\nutilization: cluster imbalance {:.2}, module imbalance {:.2}, FPU {:.0}%, \
          mean hit rate {:.0}%",
@@ -99,7 +89,7 @@ fn main() {
 
     // Roofline placement of the whole run on the scaled machine.
     let plat = Platform::new("scaled 4k", cfg.peak_gflops(), cfg.peak_dram_gbs());
-    let dram_bytes: u64 = run.summary.spawns.iter().map(|s| s.dram_bytes).sum();
+    let dram_bytes: u64 = run.report.spawns.iter().map(|s| s.dram_bytes).sum();
     let oi = st.flops as f64 / dram_bytes.max(1) as f64;
     let gf = st.flops as f64 * cfg.clock_ghz / st.cycles as f64;
     println!(

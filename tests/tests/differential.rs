@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use xmt_isa::reg::{fr, gr, ir};
 use xmt_isa::{Interp, Program, ProgramBuilder};
-use xmt_sim::{Machine, XmtConfig};
+use xmt_sim::{MachineBuilder, XmtConfig};
 
 /// One generated instruction in a restricted, always-terminating form.
 #[derive(Debug, Clone)]
@@ -304,8 +304,10 @@ proptest! {
         interp.run(&prog).unwrap();
 
         let cfg = XmtConfig::xmt_4k().scaled_to(1 << clusters_log);
-        let mut mach = Machine::new(&cfg, prog, mem_words);
-        mach.write_u32s(0, &ro);
+        let mut mach = MachineBuilder::new(&cfg, prog)
+            .mem_words(mem_words)
+            .write_u32s(0, &ro)
+            .build();
         mach.run().unwrap();
 
         // PS tickets may be assigned in different orders; compare them

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use xmt_isa::reg::{fr, ir};
 use xmt_isa::{AluOp, FpuOp, Instr, MduOp, Program, ProgramBuilder};
-use xmt_sim::{Engine, Machine, RunSummary, XmtConfig};
+use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineBuilder, RunReport, XmtConfig};
 
 /// One generated instruction in a restricted, always-terminating form.
 /// Deliberately no `ps`/`sspawn`: see module docs.
@@ -224,20 +224,27 @@ fn build(serial: &[GenOp], par_ops: &[GenOp], threads: u8, epilogue: &[GenOp]) -
     b.build().unwrap()
 }
 
-/// Run `prog` under `engine`, returning the summary and final state.
+/// Run `prog` under `engine` with an [`IntervalProbe`] attached,
+/// returning the report, probe sample stream and final state. The
+/// probe stream is part of the cross-engine contract: every engine
+/// must emit bit-identical interval rows, not just matching totals.
 fn run_engine(
     prog: &Program,
     cfg: &XmtConfig,
     ro: &[u32],
     mem_words: usize,
     engine: Engine,
-) -> (RunSummary, Vec<u32>, [u32; 16]) {
-    let mut m = Machine::new(cfg, prog.clone(), mem_words);
-    m.engine = engine;
-    m.write_u32s(0, ro);
-    let summary = m.run().expect("generated program must complete");
+) -> (RunReport, Vec<IntervalRow>, Vec<u32>, [u32; 16]) {
+    let mut m = MachineBuilder::new(cfg, prog.clone())
+        .mem_words(mem_words)
+        .engine(engine)
+        .write_u32s(0, ro)
+        .build_probed(IntervalProbe::new(32, 1 << 12));
+    let report = m.run().expect("generated program must complete");
+    let rows = m.probe().rows();
     let mem = m.mem.clone();
-    (summary, mem, m.gregs_snapshot())
+    let gregs = m.gregs_snapshot();
+    (report, rows, mem, gregs)
 }
 
 proptest! {
@@ -264,11 +271,11 @@ proptest! {
 
         // clusters ≥ 2 so the threaded engine actually partitions.
         let cfg = XmtConfig::xmt_4k().scaled_to(1 << clusters_log);
-        let (s_ref, mem_ref, gr_ref) =
+        let (s_ref, rows_ref, mem_ref, gr_ref) =
             run_engine(&prog, &cfg, &ro, mem_words, Engine::Reference);
-        let (s_ff, mem_ff, gr_ff) =
+        let (s_ff, rows_ff, mem_ff, gr_ff) =
             run_engine(&prog, &cfg, &ro, mem_words, Engine::FastForward);
-        let (s_thr, mem_thr, gr_thr) =
+        let (s_thr, rows_thr, mem_thr, gr_thr) =
             run_engine(&prog, &cfg, &ro, mem_words, Engine::Threaded { threads: 2 });
 
         prop_assert_eq!(s_ref.stats, s_ff.stats, "fast-forward stats diverge");
@@ -279,5 +286,7 @@ proptest! {
         prop_assert_eq!(&mem_ref, &mem_thr, "threaded memory diverges");
         prop_assert_eq!(gr_ref, gr_ff, "fast-forward gregs diverge");
         prop_assert_eq!(gr_ref, gr_thr, "threaded gregs diverge");
+        prop_assert_eq!(&rows_ref, &rows_ff, "fast-forward probe stream diverges");
+        prop_assert_eq!(&rows_ref, &rows_thr, "threaded probe stream diverges");
     }
 }

@@ -47,14 +47,14 @@ fn fft_correct_under_memory_starvation() {
 
     // And measurably slower: capacity misses + one slow channel.
     assert!(
-        starvedr.summary.stats.cycles as f64 > 1.3 * healthy.summary.stats.cycles as f64,
+        starvedr.report.stats.cycles as f64 > 1.3 * healthy.report.stats.cycles as f64,
         "starved {} vs healthy {}",
-        starvedr.summary.stats.cycles,
-        healthy.summary.stats.cycles
+        starvedr.report.stats.cycles,
+        healthy.report.stats.cycles
     );
     // The tiny cache forces real DRAM traffic.
-    let starved_dram: u64 = starvedr.summary.spawns.iter().map(|s| s.dram_bytes).sum();
-    let healthy_dram: u64 = healthy.summary.spawns.iter().map(|s| s.dram_bytes).sum();
+    let starved_dram: u64 = starvedr.report.spawns.iter().map(|s| s.dram_bytes).sum();
+    let healthy_dram: u64 = healthy.report.spawns.iter().map(|s| s.dram_bytes).sum();
     assert!(starved_dram > healthy_dram);
 }
 
@@ -66,7 +66,7 @@ fn single_cluster_machine_still_correct() {
     let run = run_on_machine(&plan, &cfg, &x).unwrap();
     assert!(rel_error(&host_reference(&plan, &x), &run.output) < 1e-3);
     // All 32 TCUs of the single cluster were exercised by >32 threads.
-    assert_eq!(run.summary.stats.threads, plan.total_threads());
+    assert_eq!(run.report.stats.threads, plan.total_threads());
 }
 
 #[test]
@@ -93,7 +93,7 @@ fn dram_latency_spike_only_slows() {
     for (a, b) in r_slow.output.iter().zip(&r_fast.output) {
         assert_eq!(a.re.to_bits(), b.re.to_bits());
     }
-    assert!(r_slow.summary.stats.cycles > r_fast.summary.stats.cycles);
+    assert!(r_slow.report.stats.cycles > r_fast.report.stats.cycles);
 }
 
 #[test]
@@ -131,7 +131,9 @@ fn zero_thread_spawn_is_a_clean_noop() {
     b.li(ir(3), 1).sw(ir(3), ir(0), 8);
     b.halt();
     let prog = b.build().unwrap();
-    let mut m = xmt_sim::Machine::new(&XmtConfig::xmt_4k().scaled_to(2), prog, 16);
+    let mut m = xmt_sim::MachineBuilder::new(&XmtConfig::xmt_4k().scaled_to(2), prog)
+        .mem_words(16)
+        .build();
     let s = m.run().unwrap();
     assert_eq!(s.stats.threads, 0);
     assert_eq!(m.mem[8], 1, "serial code after the empty spawn still runs");

@@ -21,7 +21,7 @@
 
 use xmt_isa::reg::{fr, ir};
 use xmt_isa::{AluOp, FpuOp, Instr, MduOp, Program, ProgramBuilder};
-use xmt_sim::{Engine, Machine, XmtConfig};
+use xmt_sim::{Engine, MachineBuilder, XmtConfig};
 
 fn program() -> Program {
     let mut b = ProgramBuilder::new();
@@ -110,9 +110,11 @@ fn skip_boundary_wake_preserves_scoreboard_stalls() {
         .collect();
     let cfg = XmtConfig::xmt_4k().scaled_to(4);
     let run = |engine: Engine| {
-        let mut m = Machine::new(&cfg, prog.clone(), mem_words);
-        m.engine = engine;
-        m.write_u32s(0, &ro);
+        let mut m = MachineBuilder::new(&cfg, prog.clone())
+            .mem_words(mem_words)
+            .engine(engine)
+            .write_u32s(0, &ro)
+            .build();
         m.run().expect("must complete")
     };
     let s_ref = run(Engine::Reference);

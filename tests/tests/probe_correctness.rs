@@ -1,0 +1,168 @@
+//! Correctness of the observability layer (probes): interval sampling
+//! must be an *accounting identity*, not an approximation.
+//!
+//! * The probe's cumulative totals after the end-of-run flush equal the
+//!   run's final statistics, on every golden workload under every
+//!   engine.
+//! * Summing the retained interval rows reconstructs the same totals
+//!   when the ring did not overwrite (capacity ≥ samples).
+//! * The sample stream is bit-identical across engines — the same
+//!   contract the engines already honour for stats/spawns/memory.
+//! * Attaching a probe never changes the simulated cycle count.
+
+use xmt_fft::golden;
+use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineStats, RunReport};
+
+const ENGINES: [Engine; 3] = [
+    Engine::Reference,
+    Engine::FastForward,
+    Engine::Threaded { threads: 2 },
+];
+
+/// Run one golden case probed, returning the report, the probe's
+/// cumulative totals and the retained sample rows.
+fn run_probed(
+    case: &golden::GoldenCase,
+    engine: Engine,
+    interval: u64,
+) -> (RunReport, MachineStats, Vec<IntervalRow>) {
+    let mut m = case
+        .builder()
+        .engine(engine)
+        .build_probed(IntervalProbe::new(interval, 1 << 14));
+    let report = m.run().expect("golden case must complete");
+    let totals = m.probe().totals();
+    let rows = m.probe().rows();
+    (report, totals, rows)
+}
+
+#[test]
+fn probe_totals_equal_run_aggregates_on_all_engines() {
+    for case in golden::cases() {
+        for engine in ENGINES {
+            let (report, totals, rows) = run_probed(&case, engine, 64);
+            assert_eq!(
+                totals, report.stats,
+                "{} under {engine:?}: probe totals diverge from run stats",
+                case.name
+            );
+            assert!(
+                !rows.is_empty(),
+                "{} under {engine:?}: no samples recorded",
+                case.name
+            );
+            // The final flush lands exactly on the end-of-run cycle.
+            let last = rows.last().unwrap();
+            assert_eq!(
+                last.cycle, report.stats.cycles,
+                "{} under {engine:?}: last sample not at end of run",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_rows_sum_to_totals_without_overwrite() {
+    for case in golden::cases() {
+        let (report, _, rows) = run_probed(&case, Engine::FastForward, 32);
+        let sum = |f: fn(&IntervalRow) -> u64| rows.iter().map(f).sum::<u64>();
+        assert_eq!(
+            sum(|r| r.instructions),
+            report.stats.instructions,
+            "{}",
+            case.name
+        );
+        assert_eq!(sum(|r| r.flops), report.stats.flops, "{}", case.name);
+        assert_eq!(
+            sum(|r| r.mem_reads),
+            report.stats.mem_reads,
+            "{}",
+            case.name
+        );
+        assert_eq!(
+            sum(|r| r.mem_writes),
+            report.stats.mem_writes,
+            "{}",
+            case.name
+        );
+        assert_eq!(sum(|r| r.threads), report.stats.threads, "{}", case.name);
+        assert_eq!(
+            sum(|r| r.stall_scoreboard),
+            report.stats.stall_scoreboard,
+            "{}",
+            case.name
+        );
+        assert_eq!(
+            sum(|r| r.stall_fpu),
+            report.stats.stall_fpu,
+            "{}",
+            case.name
+        );
+        assert_eq!(
+            sum(|r| r.stall_mdu),
+            report.stats.stall_mdu,
+            "{}",
+            case.name
+        );
+        assert_eq!(
+            sum(|r| r.stall_lsu),
+            report.stats.stall_lsu,
+            "{}",
+            case.name
+        );
+        // DRAM bytes: rows carry per-interval deltas of the same
+        // cumulative counter the spawn log reports.
+        let spawn_bytes: u64 = report.spawns.iter().map(|s| s.dram_bytes).sum();
+        assert!(
+            sum(|r| r.dram_bytes) >= spawn_bytes,
+            "{}: interval DRAM bytes {} < spawn-attributed {}",
+            case.name,
+            rows.iter().map(|r| r.dram_bytes).sum::<u64>(),
+            spawn_bytes
+        );
+    }
+}
+
+#[test]
+fn sample_stream_bit_identical_across_engines() {
+    for case in golden::cases() {
+        let (_, _, rows_ref) = run_probed(&case, ENGINES[0], 64);
+        for engine in &ENGINES[1..] {
+            let (_, _, rows) = run_probed(&case, *engine, 64);
+            assert_eq!(
+                rows, rows_ref,
+                "{}: probe stream diverges under {engine:?}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn probing_does_not_change_cycle_counts() {
+    for case in golden::cases() {
+        let unprobed = case.builder().build().run().unwrap();
+        for interval in [1, 7, 64, 1 << 20] {
+            let (report, _, _) = run_probed(&case, Engine::FastForward, interval);
+            assert_eq!(
+                report.stats, unprobed.stats,
+                "{} @interval {interval}: probed stats diverge from unprobed",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_overwrite_keeps_totals_and_reports_drops() {
+    // A tiny ring on a long workload: rows are dropped, totals are not.
+    let cases = golden::cases();
+    let case = &cases[0];
+    let mut m = case.builder().build_probed(IntervalProbe::new(16, 8));
+    let report = m.run().unwrap();
+    let probe = m.probe();
+    assert!(probe.dropped() > 0, "expected ring overwrite");
+    assert_eq!(probe.rows().len(), 8);
+    assert_eq!(probe.totals(), report.stats);
+}

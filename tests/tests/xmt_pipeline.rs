@@ -88,8 +88,8 @@ fn machine_3d_with_rotation_matches_host() {
     let e = rel_error(&want, &got.output);
     assert!(e < 1e-3, "err {e}");
     // Every stage produced a spawn record with the planned thread count.
-    assert_eq!(got.summary.spawns.len(), plan.num_stages());
-    for (meta, s) in plan.stages.iter().zip(&got.summary.spawns) {
+    assert_eq!(got.report.spawns.len(), plan.num_stages());
+    for (meta, s) in plan.stages.iter().zip(&got.report.spawns) {
         assert_eq!(s.threads, meta.kernel.threads() as u64);
     }
 }
@@ -102,9 +102,9 @@ fn rotation_stage_has_lower_flops_than_twiddled_stage() {
     let x = sample32(16 * 64, 23);
     let cfg = XmtConfig::xmt_4k().scaled_to(4);
     let run = run_on_machine(&plan, &cfg, &x).unwrap();
-    let first = &run.summary.spawns[0]; // twiddled
+    let first = &run.report.spawns[0]; // twiddled
     let meta_last = plan.stages.iter().position(|m| m.is_rotation).unwrap();
-    let rot = &run.summary.spawns[meta_last];
+    let rot = &run.report.spawns[meta_last];
     assert!(
         rot.flops < first.flops,
         "rotation {} vs twiddled {}",

@@ -11,7 +11,7 @@
 
 use parafft::{Complex32, FftDirection, TwiddleTable};
 use xmt_isa::Interp;
-use xmt_sim::{Machine, XmtConfig};
+use xmt_sim::{MachineBuilder, XmtConfig};
 
 const FFT_XMTC: &str = r#"
 // Radix-2 DIF Stockham FFT over n points, ping-ponging A <-> B.
@@ -123,7 +123,9 @@ fn xmtc_fft_runs_on_the_cycle_simulator() {
     let n = 256usize;
     let (prog, tw_flat, input) = setup(n);
     let cfg = XmtConfig::xmt_4k().scaled_to(4);
-    let m = Machine::new(&cfg, prog, 4 * n + 2 * n + 16);
+    let m = MachineBuilder::new(&cfg, prog)
+        .mem_words(4 * n + 2 * n + 16)
+        .build();
     {
         let g = m.gregs_snapshot();
         let _ = g; // globals are set through serial code normally; the
@@ -142,10 +144,12 @@ fn xmtc_fft_runs_on_the_cycle_simulator() {
     );
     let full_src = format!("{prologue}\n{FFT_XMTC}");
     let prog = xmtc::compile(&full_src).unwrap();
-    let mut m = Machine::new(&cfg, prog, 4 * n + 2 * n + 16);
     let flat: Vec<f32> = input.iter().flat_map(|c| [c.re, c.im]).collect();
-    m.write_f32s(0, &flat);
-    m.write_f32s(4 * n, &tw_flat);
+    let mut m = MachineBuilder::new(&cfg, prog)
+        .mem_words(4 * n + 2 * n + 16)
+        .write_f32s(0, &flat)
+        .write_f32s(4 * n, &tw_flat)
+        .build();
     let summary = m.run().unwrap();
     let base = m.gregs_snapshot()[7] as usize;
     let out: Vec<Complex32> = m
