@@ -19,6 +19,12 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== static kernel verification (xmt-lint) =="
+# Structure / def-before-use / data-race analysis over every golden
+# workload and the experiment FFT plans; nonzero exit on any error-
+# severity finding (see DESIGN.md §12).
+cargo run --release -p xmt-bench --bin xmt_lint
+
 echo "== simulator throughput -> BENCH_sim.json =="
 # --check regresses the gate against the committed baseline: exit 1 if
 # any workload's simulated cycle count drifts, or if the fast-forward

@@ -56,6 +56,13 @@ impl GoldenCase {
         b
     }
 
+    /// The program this case runs, for static analysis (`xmt-verify`/
+    /// `xmt-lint`) or disassembly.
+    pub fn program(&self) -> Program {
+        let (_, prog, _, _) = (self.build)();
+        prog
+    }
+
     /// Construct the machine for this case, ready to run.
     pub fn machine(&self) -> Machine {
         self.builder().build()

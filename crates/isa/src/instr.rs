@@ -71,6 +71,20 @@ pub enum BranchCond {
 /// A resolved branch/jump target: an instruction index in the program.
 pub type Target = usize;
 
+/// The memory effect of a load/store instruction, destructured for
+/// analysis passes: the word address is `base + off` with `base` read
+/// from a register and `off` a constant folded in at code-generation
+/// time. Returned by [`Instr::mem_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Base-address register.
+    pub base: IReg,
+    /// Constant word offset added to the base.
+    pub off: u32,
+    /// True for stores (`Sw`/`Fsw`), false for loads (`Lw`/`Flw`).
+    pub is_write: bool,
+}
+
 /// The instruction set. Memory is word-addressed (32-bit words).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
@@ -323,6 +337,36 @@ impl Instr {
     /// statistic; Fneg/Fmov are free moves).
     pub fn is_flop(&self) -> bool {
         matches!(self, Instr::Fpu { .. })
+    }
+
+    /// The memory effect of this instruction (`base + off` word
+    /// address, read or write), or `None` for non-memory instructions.
+    /// `Flw`/`Fsw` move FP data but compute their address from an
+    /// integer base, so all four memory forms are covered uniformly.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        match *self {
+            Instr::Lw { base, off, .. } | Instr::Flw { base, off, .. } => Some(MemAccess {
+                base,
+                off,
+                is_write: false,
+            }),
+            Instr::Sw { base, off, .. } | Instr::Fsw { base, off, .. } => Some(MemAccess {
+                base,
+                off,
+                is_write: true,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The static control-flow target of this instruction, if it has
+    /// one: the branch/jump destination or the spawn section entry.
+    pub fn control_target(&self) -> Option<Target> {
+        match *self {
+            Instr::Branch { target, .. } | Instr::Jump { target } => Some(target),
+            Instr::Spawn { entry, .. } => Some(entry),
+            _ => None,
+        }
     }
 
     /// Integer registers this instruction reads (for scoreboarding).
@@ -624,6 +668,59 @@ mod tests {
             fs: fr(1)
         }
         .is_flop());
+    }
+
+    #[test]
+    fn mem_access_destructures_all_four_forms() {
+        let lw = Instr::Lw {
+            rd: ir(1),
+            base: ir(2),
+            off: 3,
+        };
+        assert_eq!(
+            lw.mem_access(),
+            Some(MemAccess {
+                base: ir(2),
+                off: 3,
+                is_write: false
+            })
+        );
+        let fsw = Instr::Fsw {
+            fs: fr(4),
+            base: ir(5),
+            off: 6,
+        };
+        assert_eq!(
+            fsw.mem_access(),
+            Some(MemAccess {
+                base: ir(5),
+                off: 6,
+                is_write: true
+            })
+        );
+        // Agreement with the unit predicate: exactly the LSU-class
+        // instructions have a memory effect.
+        for ins in [lw, fsw, Instr::Nop, Instr::Join, Instr::Tid { rd: ir(1) }] {
+            assert_eq!(ins.mem_access().is_some(), ins.is_memory(), "{ins:?}");
+        }
+    }
+
+    #[test]
+    fn control_target_covers_branch_jump_spawn() {
+        let b = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: ir(1),
+            rs2: ir(2),
+            target: 9,
+        };
+        assert_eq!(b.control_target(), Some(9));
+        assert_eq!(Instr::Jump { target: 4 }.control_target(), Some(4));
+        let sp = Instr::Spawn {
+            count: ir(1),
+            entry: 7,
+        };
+        assert_eq!(sp.control_target(), Some(7));
+        assert_eq!(Instr::Join.control_target(), None);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod reg;
 
 pub use codec::{decode_program, encode_program, CodecError};
 pub use decoded::{DecodedInstr, DecodedProgram};
-pub use instr::{AluOp, BranchCond, FpuOp, Instr, MduOp, Unit};
+pub use instr::{AluOp, BranchCond, FpuOp, Instr, MduOp, MemAccess, Unit};
 pub use interp::{ExecError, Interp, RunStats};
 pub use program::{BuildError, Label, Program, ProgramBuilder};
 pub use reg::{fr, gr, ir, FReg, GReg, IReg, RegFile, NUM_FREGS, NUM_GREGS, NUM_IREGS};

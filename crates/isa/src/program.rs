@@ -112,6 +112,11 @@ impl ProgramBuilder {
 
     /// Bind `label` to the current position.
     pub fn bind(&mut self, label: Label) {
+        assert!(
+            label.0 < self.bound.len(),
+            "label {} was not allocated by this builder",
+            label.0
+        );
         assert!(self.bound[label.0].is_none(), "label bound twice");
         self.bound[label.0] = Some(self.instrs.len());
     }
@@ -417,7 +422,11 @@ impl ProgramBuilder {
             return Err(BuildError::Empty);
         }
         for (at, label_id) in &self.fixups {
-            let Some(target) = self.bound[*label_id] else {
+            // `.get` rather than indexing: a `Label` smuggled in from
+            // another builder has an id this builder never allocated,
+            // and must surface as the same typed error as a label that
+            // was allocated but never bound — not a panic.
+            let Some(target) = self.bound.get(*label_id).copied().flatten() else {
                 return Err(BuildError::UnboundLabel(*label_id));
             };
             if target > self.instrs.len() {
@@ -470,6 +479,21 @@ mod tests {
         let l = b.label();
         b.jump(l);
         assert!(matches!(b.build(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn foreign_label_is_unbound_not_a_panic() {
+        // A label allocated by one builder means nothing to another:
+        // using it must produce the typed error, not an index panic.
+        let mut other = ProgramBuilder::new();
+        other.label();
+        let foreign = other.label(); // id 1: out of range for `b`
+        let mut b = ProgramBuilder::new();
+        let own = b.label();
+        b.bind(own);
+        b.jump(foreign);
+        b.halt();
+        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel(1));
     }
 
     #[test]

@@ -38,5 +38,7 @@ pub use machine::{
 };
 pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
 pub use physical::{summarize, PhysicalSummary};
-pub use probe::{BlockedTcus, IntervalProbe, IntervalRow, NoProbe, Probe, SampleCtx};
+pub use probe::{
+    BlockedTcus, Conflict, IntervalProbe, IntervalRow, NoProbe, Probe, RaceCheck, SampleCtx,
+};
 pub use trace::{chrome_trace, phase_table};

@@ -2196,6 +2196,16 @@ impl<P: Probe> Machine<P> {
             }
             let addr = txn.addr;
             let is_write = matches!(txn.kind, TxnKind::Store);
+            if P::ENABLED {
+                // Oracle hook at the exact point that defines memory
+                // order. The issuing TCU still carries the thread's
+                // tid: a virtual thread only retires at `join` once
+                // its outstanding count drains to zero.
+                let (cluster, tcu) = (txn.cluster, txn.tcu);
+                let tid = self.clusters[cluster][tcu].rf.tid;
+                let spawn = self.tracker.as_ref().map(|t| t.index as u64);
+                self.probe.mem_access(spawn, tid, addr, is_write);
+            }
             // The module is about to take its step for this memory
             // cycle, so align it to the *previous* one.
             self.modules[d.flit.dst].sync_to(self.mem_clock);

@@ -25,6 +25,7 @@
 
 use crate::config::XmtConfig;
 use crate::machine::MachineStats;
+use std::collections::HashMap;
 use xmt_mem::{DramChannel, MemoryModule};
 use xmt_noc::NetStats;
 
@@ -103,6 +104,21 @@ pub trait Probe {
     /// Record one sample. Must not allocate: this runs inside the
     /// engine advance loops.
     fn record(&mut self, ctx: &SampleCtx<'_>);
+
+    /// Called for every memory transaction issued from a parallel
+    /// section, at the moment the request reaches its home memory
+    /// module — the point that defines the global memory order.
+    /// `spawn` is the parallel-section index (`None` would mean serial
+    /// mode, but the MTCU touches memory directly and never routes
+    /// through here), `tid` the issuing virtual thread. Default: no-op
+    /// (and compiled out entirely when `ENABLED` is false).
+    ///
+    /// Unlike [`Probe::record`] this is a *correctness-oracle* hook,
+    /// not a sampling hook: it is only intended for test probes such
+    /// as [`RaceCheck`], which may allocate.
+    fn mem_access(&mut self, spawn: Option<u64>, tid: u32, addr: u32, is_write: bool) {
+        let _ = (spawn, tid, addr, is_write);
+    }
 }
 
 /// The zero-cost disabled probe (the default machine type parameter).
@@ -295,6 +311,116 @@ impl IntervalProbe {
                 }
             })
             .collect()
+    }
+}
+
+/// A same-word, cross-thread conflict observed by [`RaceCheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// Parallel-section index the conflict occurred in.
+    pub spawn: u64,
+    /// The contested word address.
+    pub addr: u32,
+    /// Thread whose access reached the word's home module first.
+    pub first_tid: u32,
+    /// Thread whose access completed the conflict.
+    pub second_tid: u32,
+    /// True when the earlier access was a write.
+    pub first_is_write: bool,
+    /// True when the later access was a write.
+    pub second_is_write: bool,
+}
+
+/// Which threads have touched one word within the current spawn.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordState {
+    writer: Option<u32>,
+    reader: Option<u32>,
+    /// One conflict per word is enough evidence; don't flood.
+    reported: bool,
+}
+
+/// Dynamic happens-before oracle for the static race detector in
+/// `xmt-verify`: records, per parallel section, the first writer and
+/// first reader of every touched word in the order requests arrive at
+/// their home memory modules (the machine's definition of memory
+/// order), and materializes a [`Conflict`] whenever two *distinct*
+/// threads touch the same word and at least one of them writes.
+///
+/// Within a spawn there is no ordering between threads, so any such
+/// pair is a data race *witnessed on this execution* — the oracle has
+/// no false positives, and a static `race` finding it cannot reproduce
+/// is either input-dependent or a conservative ⊤-widening. Word state
+/// resets at each spawn boundary: the `spawn`/`join` barrier orders
+/// everything across sections.
+///
+/// Test-only by design: it allocates per touched word and therefore
+/// perturbs nothing it measures (the functional memory order is
+/// engine-invariant), but it is not part of the zero-cost sampling
+/// path and should not be attached to benchmark runs.
+#[derive(Debug, Clone, Default)]
+pub struct RaceCheck {
+    cur_spawn: Option<u64>,
+    words: HashMap<u32, WordState>,
+    conflicts: Vec<Conflict>,
+}
+
+impl RaceCheck {
+    /// A fresh oracle with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every conflict observed, in memory order.
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// Number of conflicts observed (at most one per word per spawn).
+    pub fn conflict_count(&self) -> usize {
+        self.conflicts.len()
+    }
+}
+
+impl Probe for RaceCheck {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, _ctx: &SampleCtx<'_>) {}
+
+    fn mem_access(&mut self, spawn: Option<u64>, tid: u32, addr: u32, is_write: bool) {
+        let Some(spawn) = spawn else {
+            return; // serial mode: single-threaded by construction
+        };
+        if self.cur_spawn != Some(spawn) {
+            self.words.clear();
+            self.cur_spawn = Some(spawn);
+        }
+        let w = self.words.entry(addr).or_default();
+        let prior = match (w.writer, w.reader) {
+            // A prior *write* by another thread conflicts with
+            // anything; a prior read only conflicts with a write.
+            (Some(pw), _) if pw != tid => Some((pw, true)),
+            (_, Some(pr)) if pr != tid && is_write => Some((pr, false)),
+            _ => None,
+        };
+        if let Some((first_tid, first_is_write)) = prior {
+            if !w.reported {
+                w.reported = true;
+                self.conflicts.push(Conflict {
+                    spawn,
+                    addr,
+                    first_tid,
+                    second_tid: tid,
+                    first_is_write,
+                    second_is_write: is_write,
+                });
+            }
+        }
+        if is_write {
+            w.writer.get_or_insert(tid);
+        } else {
+            w.reader.get_or_insert(tid);
+        }
     }
 }
 

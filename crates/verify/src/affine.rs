@@ -1,0 +1,536 @@
+//! The abstract value domain of the race detector.
+//!
+//! Spawn-region address arithmetic in this workspace is built from the
+//! thread id with shifts, masks and adds (the kernel generator bakes
+//! every stage constant in as an immediate — see `xmt-fft::kernels`).
+//! The domain therefore tracks each integer register as one of:
+//!
+//! * [`AbsVal::Lin`] — a value **linear in the bits of the thread id**,
+//!   `c0 + Σ ci·bi` where `bi` is bit `i` of `tid` (all arithmetic
+//!   wrapping mod 2³²). This strictly generalizes the classic
+//!   `base + stride·tid` affine form: `tid` itself is `Σ 2^i·bi`, and
+//!   bit-decompositions like `tid & (n-1)` / `tid >> log2(n)` stay
+//!   exactly representable, which plain affine forms cannot do.
+//! * [`AbsVal::Range`] — only numeric bounds are known (e.g. the
+//!   result of masking a non-disjoint linear form: `x & m` is always
+//!   in `[0, m]`). Sound for disjointness, not enumerable.
+//! * [`AbsVal::PsTicket`] — derived from a `ps` prefix-sum result.
+//!   `ps` is the architecture's sanctioned inter-thread coordination
+//!   primitive (each ticket is globally unique), so addresses tainted
+//!   by it are excluded from static race reports; the dynamic
+//!   `RaceCheck` oracle in `xmt-sim` still observes them.
+//! * [`AbsVal::Top`] — anything else (loaded values, global-register
+//!   reads, data-dependent arithmetic). ⊤ means "any address": a pair
+//!   involving ⊤ can never be *proved* disjoint and is reported as a
+//!   potential race unless numeric ranges separate it.
+//!
+//! Exactness conditions: add/sub/multiply-by-constant/shift-left are
+//! always exact on `Lin` (wrapping arithmetic is linear); `and`/`or`/
+//! `xor`/`srl` by a constant are exact only when the base and all
+//! coefficients have pairwise-disjoint bit support (no carries cross
+//! between terms, so the bitwise op distributes over the sum); every
+//! other case widens to [`AbsVal::Range`] or [`AbsVal::Top`].
+//!
+//! ```
+//! use xmt_verify::affine::AbsVal;
+//!
+//! // Abstract `128 + (tid << 3)` for a spawn of ≤ 256 threads — the
+//! // address expression of a thread-private 8-word slot.
+//! let bits = 8; // 256 threads → tid has 8 significant bits
+//! let addr = AbsVal::tid(bits)
+//!     .shl_const(3)
+//!     .add(&AbsVal::constant(128));
+//! // The form is exactly linear: evaluating it at a concrete tid
+//! // reproduces the concrete address.
+//! assert_eq!(addr.eval(5), Some(128 + 5 * 8));
+//! assert_eq!(addr.eval(17), Some(128 + 17 * 8));
+//! // Numeric bounds follow from the coefficients.
+//! assert_eq!(addr.bounds(bits), Some((128, 128 + 255 * 8)));
+//! // Masking with a value that splits a coefficient's bit support is
+//! // no longer linear in the tid bits: the domain keeps only bounds.
+//! let masked = addr.and_const(0x15);
+//! assert_eq!(masked.eval(5), None);
+//! assert_eq!(masked.bounds(bits), Some((0, 0x15)));
+//! ```
+
+use xmt_isa::{AluOp, MduOp};
+
+/// Maximum thread-id bits the linear form tracks. Spawn counts above
+/// `2^MAX_TID_BITS` fall back to [`AbsVal::Range`] for the thread id.
+pub const MAX_TID_BITS: usize = 20;
+
+/// A value linear in the bits of the thread id:
+/// `base + Σ coef[i]·bit_i(tid)`, all arithmetic wrapping mod 2³².
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinTid {
+    /// The constant term `c0`.
+    pub base: u32,
+    /// Per-tid-bit coefficients `ci` (wrapping; a "negative" stride
+    /// shows up as its two's-complement).
+    pub coef: [u32; MAX_TID_BITS],
+}
+
+impl LinTid {
+    fn constant(c: u32) -> Self {
+        Self {
+            base: c,
+            coef: [0; MAX_TID_BITS],
+        }
+    }
+
+    /// The constant value, if no tid bit contributes.
+    pub fn as_const(&self) -> Option<u32> {
+        self.coef.iter().all(|&c| c == 0).then_some(self.base)
+    }
+
+    /// Evaluate at a concrete thread id (wrapping).
+    pub fn eval(&self, tid: u32) -> u32 {
+        let mut v = self.base;
+        for (i, &c) in self.coef.iter().enumerate() {
+            if tid & (1 << i) != 0 {
+                v = v.wrapping_add(c);
+            }
+        }
+        v
+    }
+
+    /// Numeric bounds over all tids with `bits` significant bits, or
+    /// `None` if the sum can wrap mod 2³² (bounds meaningless then).
+    pub fn bounds(&self, bits: u32) -> Option<(u64, u64)> {
+        let hi: u64 = self.base as u64
+            + self
+                .coef
+                .iter()
+                .take(bits.min(MAX_TID_BITS as u32) as usize)
+                .map(|&c| c as u64)
+                .sum::<u64>();
+        (hi <= u32::MAX as u64).then_some((self.base as u64, hi))
+    }
+
+    /// True when base and coefficients occupy pairwise-disjoint bit
+    /// positions: the sum has no carries, so it equals the bitwise OR
+    /// of its terms and bitwise ops distribute over it.
+    fn disjoint_support(&self) -> bool {
+        let mut seen = self.base;
+        for &c in &self.coef {
+            if seen & c != 0 {
+                return false;
+            }
+            seen |= c;
+        }
+        true
+    }
+
+    /// True when the coefficients alone occupy pairwise-disjoint bit
+    /// positions (the base may overlap them — it only translates).
+    fn coef_disjoint(&self) -> bool {
+        let mut seen = 0u32;
+        for &c in &self.coef {
+            if seen & c != 0 {
+                return false;
+            }
+            seen |= c;
+        }
+        true
+    }
+
+    /// Distinct tids below `2^bits` always produce distinct values:
+    /// every tracked bit has a nonzero coefficient with disjoint
+    /// support, so the varying part is a bitwise embedding of the tid,
+    /// and adding the base is a bijection mod 2³².
+    pub fn injective(&self, bits: u32) -> bool {
+        let bits = bits.min(MAX_TID_BITS as u32) as usize;
+        self.coef_disjoint() && self.coef[..bits].iter().all(|&c| c != 0)
+    }
+
+    fn map2(&self, other: &Self, f: impl Fn(u32, u32) -> u32) -> Self {
+        let mut out = Self {
+            base: f(self.base, other.base),
+            coef: [0; MAX_TID_BITS],
+        };
+        for i in 0..MAX_TID_BITS {
+            out.coef[i] = f(self.coef[i], other.coef[i]);
+        }
+        out
+    }
+
+    fn map(&self, f: impl Fn(u32) -> u32) -> Self {
+        let mut out = Self {
+            base: f(self.base),
+            coef: [0; MAX_TID_BITS],
+        };
+        for i in 0..MAX_TID_BITS {
+            out.coef[i] = f(self.coef[i]);
+        }
+        out
+    }
+
+    /// Smallest power of two dividing every varying term and the
+    /// *difference* of the bases of `self` and `other` decides
+    /// congruence-based disjointness; this returns the minimum
+    /// trailing-zero count over all nonzero coefficients (32 if none).
+    pub fn stride_zeros(&self) -> u32 {
+        self.coef
+            .iter()
+            .filter(|&&c| c != 0)
+            .map(|c| c.trailing_zeros())
+            .min()
+            .unwrap_or(32)
+    }
+}
+
+/// Abstract value of one integer register at one program point. See
+/// the [module docs](self) for the lattice and exactness conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Linear in the tid bits — exact, enumerable.
+    Lin(LinTid),
+    /// Only numeric bounds known (inclusive).
+    Range {
+        /// Smallest possible value.
+        lo: u64,
+        /// Largest possible value.
+        hi: u64,
+    },
+    /// Derived from a `ps` prefix-sum ticket: sanctioned cross-thread
+    /// coordination, excluded from static race reports.
+    PsTicket,
+    /// Unknown — any value.
+    Top,
+}
+
+impl AbsVal {
+    /// The constant `c`.
+    pub fn constant(c: u32) -> Self {
+        AbsVal::Lin(LinTid::constant(c))
+    }
+
+    /// The thread id, known to have at most `bits` significant bits
+    /// (i.e. the spawn count is ≤ `2^bits`).
+    pub fn tid(bits: u32) -> Self {
+        if bits as usize > MAX_TID_BITS {
+            return AbsVal::Range {
+                lo: 0,
+                hi: (1u64 << bits.min(32)) - 1,
+            };
+        }
+        let mut l = LinTid::constant(0);
+        for i in 0..bits as usize {
+            l.coef[i] = 1 << i;
+        }
+        AbsVal::Lin(l)
+    }
+
+    /// The constant value, if exactly known.
+    pub fn as_const(&self) -> Option<u32> {
+        match self {
+            AbsVal::Lin(l) => l.as_const(),
+            _ => None,
+        }
+    }
+
+    /// Evaluate at a concrete tid; `None` unless the form is linear.
+    pub fn eval(&self, tid: u32) -> Option<u32> {
+        match self {
+            AbsVal::Lin(l) => Some(l.eval(tid)),
+            _ => None,
+        }
+    }
+
+    /// Inclusive numeric bounds over all tids with `bits` significant
+    /// bits, when wrap-free bounds exist.
+    pub fn bounds(&self, bits: u32) -> Option<(u64, u64)> {
+        match self {
+            AbsVal::Lin(l) => l.bounds(bits),
+            AbsVal::Range { lo, hi } => Some((*lo, *hi)),
+            AbsVal::PsTicket | AbsVal::Top => None,
+        }
+    }
+
+    /// Wrapping addition (always exact on linear forms).
+    pub fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (AbsVal::PsTicket, _) | (_, AbsVal::PsTicket) => AbsVal::PsTicket,
+            (AbsVal::Lin(a), AbsVal::Lin(b)) => AbsVal::Lin(a.map2(b, |x, y| x.wrapping_add(y))),
+            _ => match (self.bounds(32), other.bounds(32)) {
+                (Some((alo, ahi)), Some((blo, bhi))) if ahi + bhi <= u32::MAX as u64 => {
+                    AbsVal::Range {
+                        lo: alo + blo,
+                        hi: ahi + bhi,
+                    }
+                }
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// Wrapping addition of a constant.
+    pub fn add_const(&self, c: u32) -> Self {
+        self.add(&AbsVal::constant(c))
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        match (self, other) {
+            (AbsVal::PsTicket, _) | (_, AbsVal::PsTicket) => AbsVal::PsTicket,
+            (AbsVal::Lin(a), AbsVal::Lin(b)) => AbsVal::Lin(a.map2(b, |x, y| x.wrapping_sub(y))),
+            _ => match (self.bounds(32), other.bounds(32)) {
+                (Some((alo, ahi)), Some((blo, bhi))) if alo >= bhi => AbsVal::Range {
+                    lo: alo - bhi,
+                    hi: ahi - blo,
+                },
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// Wrapping multiplication by a constant (exact on linear forms).
+    pub fn mul_const(&self, c: u32) -> Self {
+        match self {
+            AbsVal::PsTicket => AbsVal::PsTicket,
+            AbsVal::Lin(l) => AbsVal::Lin(l.map(|x| x.wrapping_mul(c))),
+            AbsVal::Range { lo, hi } => {
+                let (nlo, nhi) = (lo * c as u64, hi * c as u64);
+                if nhi <= u32::MAX as u64 {
+                    AbsVal::Range { lo: nlo, hi: nhi }
+                } else {
+                    AbsVal::Top
+                }
+            }
+            AbsVal::Top => AbsVal::Top,
+        }
+    }
+
+    /// Shift left by a constant (= multiply by `2^k`, always exact on
+    /// linear forms).
+    pub fn shl_const(&self, k: u32) -> Self {
+        self.mul_const(1u32.wrapping_shl(k & 31))
+    }
+
+    /// Logical shift right by a constant: exact on linear forms with
+    /// disjoint bit support, bounds-only otherwise.
+    pub fn shr_const(&self, k: u32) -> Self {
+        let k = k & 31;
+        match self {
+            AbsVal::PsTicket => AbsVal::PsTicket,
+            AbsVal::Lin(l) if l.disjoint_support() => AbsVal::Lin(l.map(|x| x >> k)),
+            _ => match self.bounds(32) {
+                Some((lo, hi)) => AbsVal::Range {
+                    lo: lo >> k,
+                    hi: hi >> k,
+                },
+                None => AbsVal::Range {
+                    lo: 0,
+                    hi: (u32::MAX >> k) as u64,
+                },
+            },
+        }
+    }
+
+    /// Bitwise AND with a constant mask: exact on linear forms with
+    /// disjoint bit support; otherwise the result is bounded by the
+    /// mask (and by the operand's own upper bound).
+    pub fn and_const(&self, m: u32) -> Self {
+        match self {
+            AbsVal::PsTicket => AbsVal::PsTicket,
+            AbsVal::Lin(l) if l.disjoint_support() => AbsVal::Lin(l.map(|x| x & m)),
+            _ => {
+                let hi = self.bounds(32).map_or(m as u64, |(_, h)| h.min(m as u64));
+                AbsVal::Range { lo: 0, hi }
+            }
+        }
+    }
+
+    /// Bitwise OR with a constant: exact only when the constant's bits
+    /// are disjoint from the whole linear form (then OR is addition).
+    pub fn or_const(&self, m: u32) -> Self {
+        match self {
+            AbsVal::PsTicket => AbsVal::PsTicket,
+            AbsVal::Lin(l)
+                if l.disjoint_support()
+                    && l.base & m == 0
+                    && l.coef.iter().all(|&c| c & m == 0) =>
+            {
+                let mut out = *l;
+                out.base |= m;
+                AbsVal::Lin(out)
+            }
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Bitwise XOR with a constant: same exactness condition as
+    /// [`AbsVal::or_const`] (disjoint bits make XOR an addition).
+    pub fn xor_const(&self, m: u32) -> Self {
+        self.or_const(m)
+    }
+
+    /// Apply a two-register ALU op. Constants reduce to the immediate
+    /// forms; anything not exactly representable widens.
+    pub fn alu(op: AluOp, a: &Self, b: &Self) -> Self {
+        if let Some(c) = b.as_const() {
+            return Self::alu_imm(op, a, c);
+        }
+        match op {
+            AluOp::Add => a.add(b),
+            AluOp::Sub => a.sub(b),
+            AluOp::Sltu => AbsVal::Range { lo: 0, hi: 1 },
+            AluOp::And => match (a, b) {
+                (AbsVal::PsTicket, _) | (_, AbsVal::PsTicket) => AbsVal::PsTicket,
+                _ => match (a.bounds(32), b.bounds(32)) {
+                    (Some((_, ah)), Some((_, bh))) => AbsVal::Range {
+                        lo: 0,
+                        hi: ah.min(bh),
+                    },
+                    _ => AbsVal::Top,
+                },
+            },
+            _ if matches!(a, AbsVal::PsTicket) || matches!(b, AbsVal::PsTicket) => AbsVal::PsTicket,
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Apply an immediate-form ALU op.
+    pub fn alu_imm(op: AluOp, a: &Self, imm: u32) -> Self {
+        match op {
+            AluOp::Add => a.add_const(imm),
+            AluOp::Sub => a.sub(&AbsVal::constant(imm)),
+            AluOp::And => a.and_const(imm),
+            AluOp::Or => a.or_const(imm),
+            AluOp::Xor => a.xor_const(imm),
+            AluOp::Sll => a.shl_const(imm),
+            AluOp::Srl => a.shr_const(imm),
+            AluOp::Sltu => AbsVal::Range { lo: 0, hi: 1 },
+        }
+    }
+
+    /// Apply an MDU op: multiplication by an exactly-known constant is
+    /// linear; everything else is data-dependent and widens to ⊤
+    /// (`remu` by a constant keeps its range).
+    pub fn mdu(op: MduOp, a: &Self, b: &Self) -> Self {
+        if matches!(a, AbsVal::PsTicket) || matches!(b, AbsVal::PsTicket) {
+            return AbsVal::PsTicket;
+        }
+        match op {
+            MduOp::Mul => match (a.as_const(), b.as_const()) {
+                (_, Some(c)) => a.mul_const(c),
+                (Some(c), _) => b.mul_const(c),
+                _ => AbsVal::Top,
+            },
+            MduOp::Remu => match b.as_const() {
+                Some(c) if c > 0 => AbsVal::Range {
+                    lo: 0,
+                    hi: (c - 1) as u64,
+                },
+                _ => AbsVal::Top,
+            },
+            MduOp::Divu => AbsVal::Top,
+        }
+    }
+
+    /// Lattice meet at a control-flow join. `widen` forces any
+    /// disagreement straight to ⊤ (used after the fixpoint iteration
+    /// budget is exhausted so growing ranges terminate).
+    pub fn meet(&self, other: &Self, widen: bool) -> Self {
+        if self == other {
+            return *self;
+        }
+        if widen {
+            return AbsVal::Top;
+        }
+        match (self, other) {
+            (AbsVal::PsTicket, AbsVal::PsTicket) => AbsVal::PsTicket,
+            _ => match (self.bounds(32), other.bounds(32)) {
+                (Some((alo, ahi)), Some((blo, bhi))) => AbsVal::Range {
+                    lo: alo.min(blo),
+                    hi: ahi.max(bhi),
+                },
+                _ => AbsVal::Top,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_decomposition_stays_linear() {
+        // within = tid & (nr-1); row = tid >> log2(nr): the pattern
+        // every kernel opens with. Both must stay exactly linear.
+        let bits = 9; // 512 threads
+        let tid = AbsVal::tid(bits);
+        let within = tid.and_const(63);
+        let row = tid.shr_const(6);
+        for t in [0u32, 1, 63, 64, 200, 511] {
+            assert_eq!(within.eval(t), Some(t & 63));
+            assert_eq!(row.eval(t), Some(t >> 6));
+        }
+    }
+
+    #[test]
+    fn affine_combinations_are_exact() {
+        let bits = 8;
+        let t = AbsVal::tid(bits);
+        // 3·tid − (tid & 3) + 100, evaluated exactly.
+        let v = t.mul_const(3).sub(&t.and_const(3)).add_const(100);
+        for tid in [0u32, 5, 77, 255] {
+            assert_eq!(
+                v.eval(tid),
+                Some(100 + 3u32.wrapping_mul(tid).wrapping_sub(tid & 3))
+            );
+        }
+    }
+
+    #[test]
+    fn non_disjoint_mask_widens_to_bounds() {
+        let v = AbsVal::tid(4).mul_const(3); // coefs 3, 6, 12, 24: overlap
+        let masked = v.and_const(7);
+        assert_eq!(masked.eval(1), None);
+        assert_eq!(masked.bounds(4), Some((0, 7)));
+    }
+
+    #[test]
+    fn injectivity_of_disjoint_full_rank_forms() {
+        let bits = 6;
+        match AbsVal::tid(bits).shl_const(3).add_const(128) {
+            AbsVal::Lin(l) => {
+                assert!(l.injective(bits));
+                assert_eq!(l.stride_zeros(), 3);
+            }
+            other => panic!("expected Lin, got {other:?}"),
+        }
+        // A coefficient collision breaks injectivity.
+        let folded = AbsVal::tid(2).and_const(1); // bit 1 masked away
+        match folded {
+            AbsVal::Lin(l) => assert!(!l.injective(2)),
+            other => panic!("expected Lin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ps_taints_through_arithmetic() {
+        let t = AbsVal::PsTicket.shl_const(1).add_const(64);
+        assert_eq!(t, AbsVal::PsTicket);
+    }
+
+    #[test]
+    fn meet_prefers_hull_then_top() {
+        let a = AbsVal::constant(4);
+        let b = AbsVal::constant(9);
+        assert_eq!(a.meet(&b, false), AbsVal::Range { lo: 4, hi: 9 });
+        assert_eq!(a.meet(&b, true), AbsVal::Top);
+        assert_eq!(a.meet(&a, false), a);
+    }
+
+    #[test]
+    fn wrapping_forms_lose_bounds_not_exactness() {
+        // tid − 1 wraps for tid = 0: bounds are meaningless, but the
+        // linear evaluation still matches the wrapping semantics.
+        let v = AbsVal::tid(4).sub(&AbsVal::constant(1));
+        assert_eq!(v.bounds(4), None);
+        assert_eq!(v.eval(0), Some(u32::MAX));
+        assert_eq!(v.eval(7), Some(6));
+    }
+}

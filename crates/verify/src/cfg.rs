@@ -1,0 +1,278 @@
+//! Control-flow structure of an XMT program: the serial/parallel mode
+//! partition, spawn sites and their regions, and the structural checks
+//! (target ranges, mode legality, join reachability, unreachable code,
+//! missing `halt`).
+//!
+//! The machine has exactly two execution modes. Serial code starts at
+//! pc 0 on the MTCU; a `spawn` broadcasts its section entry to the
+//! TCUs and serial execution resumes at the next instruction once the
+//! barrier drains. Parallel code runs from the section entry until
+//! `join` terminates the virtual thread. Several instructions are only
+//! legal in one mode (mirroring the simulator's runtime errors):
+//! `join`/`sspawn` only in parallel code, `spawn`/`halt`/`write_gr`
+//! only in serial code.
+
+use crate::{Diag, Kind};
+use xmt_isa::reg::IReg;
+use xmt_isa::Instr;
+
+/// One `spawn` instruction found in serial code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnSite {
+    /// pc of the `spawn` itself.
+    pub at: usize,
+    /// Entry pc of the parallel section it broadcasts.
+    pub entry: usize,
+    /// Register holding the thread count at spawn time.
+    pub count: IReg,
+}
+
+/// Mode-partitioned control-flow information for one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `serial[pc]`: reachable in serial (MTCU) mode.
+    pub serial: Vec<bool>,
+    /// `parallel[pc]`: reachable inside some parallel section.
+    pub parallel: Vec<bool>,
+    /// Every `spawn` site reachable in serial code, in pc order.
+    pub spawns: Vec<SpawnSite>,
+}
+
+/// Successor pcs of `instrs[pc]` in the given mode. Mode-illegal
+/// instructions and the thread/machine terminators (`join`, `halt`)
+/// get no successors, so structural errors do not cascade.
+pub fn successors(ins: &Instr, pc: usize, parallel: bool) -> [Option<usize>; 2] {
+    match *ins {
+        Instr::Branch { target, .. } => [Some(target), Some(pc + 1)],
+        Instr::Jump { target } => [Some(target), None],
+        Instr::Join => [None, None],
+        Instr::Halt => [None, None],
+        // In serial mode the spawn's parallel entry is a *region root*,
+        // not a serial successor; serial flow resumes after the barrier.
+        Instr::Spawn { .. } => [(!parallel).then(|| pc + 1), None],
+        _ => [Some(pc + 1), None],
+    }
+}
+
+impl Cfg {
+    /// Build the mode partition and run all structural checks,
+    /// appending findings to `diags`.
+    pub fn build(instrs: &[Instr], diags: &mut Vec<Diag>) -> Self {
+        let len = instrs.len();
+        let mut cfg = Cfg {
+            serial: vec![false; len],
+            parallel: vec![false; len],
+            spawns: Vec::new(),
+        };
+        if len == 0 {
+            diags.push(Diag::error(Kind::Structure, 0, "program is empty".into()));
+            return cfg;
+        }
+
+        // Serial walk from pc 0.
+        let mut work = vec![0usize];
+        while let Some(pc) = work.pop() {
+            if cfg.serial[pc] {
+                continue;
+            }
+            cfg.serial[pc] = true;
+            let ins = &instrs[pc];
+            match ins {
+                Instr::Join => diags.push(Diag::error(
+                    Kind::Structure,
+                    pc,
+                    format!(
+                        "`{ins}` in serial code: `join` is only legal inside a parallel section"
+                    ),
+                )),
+                Instr::Sspawn { .. } => diags.push(Diag::error(
+                    Kind::Structure,
+                    pc,
+                    format!(
+                        "`{ins}` in serial code: `sspawn` is only legal inside a parallel section"
+                    ),
+                )),
+                Instr::Spawn { count, entry } => {
+                    cfg.spawns.push(SpawnSite {
+                        at: pc,
+                        entry: *entry,
+                        count: *count,
+                    });
+                }
+                _ => {}
+            }
+            for succ in successors(ins, pc, false).into_iter().flatten() {
+                if succ >= len {
+                    diags.push(Diag::error(
+                        Kind::Structure,
+                        pc,
+                        format!("`{ins}`: control continues to pc {succ}, past the end of the program ({len} instructions)"),
+                    ));
+                } else {
+                    work.push(succ);
+                }
+            }
+        }
+
+        // Parallel walk from every spawn entry.
+        for site in cfg.spawns.clone() {
+            if site.entry >= len {
+                diags.push(Diag::error(
+                    Kind::Structure,
+                    site.at,
+                    format!(
+                        "spawn entry pc {} is outside the program ({len} instructions)",
+                        site.entry
+                    ),
+                ));
+                continue;
+            }
+            let mut work = vec![site.entry];
+            while let Some(pc) = work.pop() {
+                if cfg.parallel[pc] {
+                    continue;
+                }
+                cfg.parallel[pc] = true;
+                let ins = &instrs[pc];
+                match ins {
+                    Instr::Spawn { .. } => diags.push(Diag::error(
+                        Kind::Structure,
+                        pc,
+                        format!("`{ins}` inside the parallel section entered at pc {}: nested `spawn` is illegal (use `sspawn`)", site.entry),
+                    )),
+                    Instr::Halt => diags.push(Diag::error(
+                        Kind::Structure,
+                        pc,
+                        format!("`halt` inside the parallel section entered at pc {}: only serial code may halt the machine", site.entry),
+                    )),
+                    Instr::WriteGr { .. } => diags.push(Diag::error(
+                        Kind::Structure,
+                        pc,
+                        format!("`{ins}` inside the parallel section entered at pc {}: global registers are written from serial code only (threads coordinate through `ps`)", site.entry),
+                    )),
+                    _ => {}
+                }
+                for succ in successors(ins, pc, true).into_iter().flatten() {
+                    if succ >= len {
+                        diags.push(Diag::error(
+                            Kind::Structure,
+                            pc,
+                            format!("`{ins}`: thread control continues to pc {succ}, past the end of the program ({len} instructions)"),
+                        ));
+                    } else {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+
+        // Mode overlap: an instruction reachable both ways would run
+        // under two different sets of legality/semantics rules.
+        for (pc, ins) in instrs.iter().enumerate() {
+            if cfg.serial[pc] && cfg.parallel[pc] {
+                diags.push(Diag::error(
+                    Kind::Structure,
+                    pc,
+                    format!("`{ins}` is reachable in both serial and parallel mode"),
+                ));
+            }
+        }
+
+        // Every spawn region must reach `join` from every node.
+        for site in &cfg.spawns {
+            if site.entry >= len {
+                continue;
+            }
+            let region = region_of(instrs, site.entry, len);
+            let mut reaches_join = vec![false; len];
+            for &pc in &region {
+                if matches!(instrs[pc], Instr::Join) {
+                    reaches_join[pc] = true;
+                }
+            }
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &pc in &region {
+                    if reaches_join[pc] {
+                        continue;
+                    }
+                    let ok = successors(&instrs[pc], pc, true)
+                        .into_iter()
+                        .flatten()
+                        .any(|s| s < len && reaches_join[s]);
+                    if ok {
+                        reaches_join[pc] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(&bad) = region.iter().find(|&&pc| !reaches_join[pc]) {
+                diags.push(Diag::error(
+                    Kind::Structure,
+                    bad,
+                    format!(
+                        "the parallel section entered at pc {} cannot reach `join` from pc {bad} (`{}`): the barrier would never drain",
+                        site.entry, instrs[bad]
+                    ),
+                ));
+            }
+        }
+
+        // Missing halt: serial control that never halts spins forever.
+        let halts = (0..len).any(|pc| cfg.serial[pc] && matches!(instrs[pc], Instr::Halt));
+        if !halts {
+            diags.push(Diag::warning(
+                Kind::MissingHalt,
+                0,
+                "no `halt` is reachable from serial entry: the machine can never stop".into(),
+            ));
+        }
+
+        // Unreachable code, reported as contiguous runs.
+        let mut pc = 0;
+        while pc < len {
+            if cfg.serial[pc] || cfg.parallel[pc] {
+                pc += 1;
+                continue;
+            }
+            let start = pc;
+            while pc < len && !cfg.serial[pc] && !cfg.parallel[pc] {
+                pc += 1;
+            }
+            diags.push(Diag::warning(
+                Kind::Unreachable,
+                start,
+                if pc - start == 1 {
+                    format!("instruction {start} (`{}`) is unreachable", instrs[start])
+                } else {
+                    format!("instructions {start}..={} are unreachable", pc - 1)
+                },
+            ));
+        }
+
+        cfg
+    }
+
+    /// The pcs of the parallel section entered at `entry`, in
+    /// ascending order (every pc reachable from the entry before a
+    /// `join` terminates the thread).
+    pub fn region(&self, instrs: &[Instr], entry: usize) -> Vec<usize> {
+        region_of(instrs, entry, instrs.len())
+    }
+}
+
+fn region_of(instrs: &[Instr], entry: usize, len: usize) -> Vec<usize> {
+    let mut seen = vec![false; len];
+    let mut work = vec![entry];
+    while let Some(pc) = work.pop() {
+        if pc >= len || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        for succ in successors(&instrs[pc], pc, true).into_iter().flatten() {
+            work.push(succ);
+        }
+    }
+    (0..len).filter(|&pc| seen[pc]).collect()
+}

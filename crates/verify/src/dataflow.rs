@@ -1,0 +1,129 @@
+//! Intra-thread def-before-use: a forward **must-initialize** dataflow
+//! over the region CFG.
+//!
+//! Registers are physically zeroed at machine reset, but TCU register
+//! files are *not* cleared between the virtual threads a TCU executes,
+//! so a parallel section reading a register it never wrote observes
+//! whatever the previous thread left behind. Serial code reading an
+//! unwritten register silently depends on the reset value. Both are
+//! almost certainly kernel-generator bugs, so every read of a register
+//! that is not written on **all** paths from the region entry is
+//! reported ([`Kind::UninitRead`]). `r0` is hardwired zero and always
+//! counts as initialized; writes to it are discarded by the hardware
+//! and therefore initialize nothing.
+
+use crate::cfg::successors;
+use crate::{Diag, Kind};
+use xmt_isa::Instr;
+
+/// Registers known-initialized on every path: one bit per integer and
+/// FP register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InitSet {
+    i: u32,
+    f: u32,
+}
+
+const ALL: InitSet = InitSet {
+    i: u32::MAX,
+    f: u32::MAX,
+};
+
+impl InitSet {
+    fn entry() -> Self {
+        InitSet { i: 1, f: 0 } // only r0 is defined at region entry
+    }
+
+    fn intersect(&self, o: &Self) -> Self {
+        InitSet {
+            i: self.i & o.i,
+            f: self.f & o.f,
+        }
+    }
+
+    fn after(&self, ins: &Instr) -> Self {
+        let mut out = *self;
+        if let Some(r) = ins.ireg_written() {
+            if r.index() != 0 {
+                out.i |= 1 << r.index();
+            }
+        }
+        if let Some(r) = ins.freg_written() {
+            out.f |= 1 << r.index();
+        }
+        out
+    }
+}
+
+/// Check one region (`pcs`, entered at `entry`, executed in serial or
+/// parallel mode) and append one diagnostic per `(pc, register)` read
+/// that may happen before initialization.
+pub(crate) fn check_region(
+    instrs: &[Instr],
+    pcs: &[usize],
+    entry: usize,
+    parallel: bool,
+    diags: &mut Vec<Diag>,
+) {
+    let len = instrs.len();
+    let mut member = vec![false; len];
+    for &pc in pcs {
+        member[pc] = true;
+    }
+    // IN[pc] starts at ⊤ (all-initialized) so the intersection meet
+    // converges from above; the entry is pinned to {r0}.
+    let mut inset = vec![ALL; len];
+    if entry >= len {
+        return;
+    }
+    inset[entry] = InitSet::entry();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &pc in pcs {
+            let out = inset[pc].after(&instrs[pc]);
+            for succ in successors(&instrs[pc], pc, parallel).into_iter().flatten() {
+                if succ >= len || !member[succ] {
+                    continue;
+                }
+                let met = inset[succ].intersect(&out);
+                if met != inset[succ] {
+                    inset[succ] = met;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mode = if parallel {
+        "parallel section"
+    } else {
+        "serial code"
+    };
+    for &pc in pcs {
+        let ins = &instrs[pc];
+        let have = inset[pc];
+        for r in ins.iregs_read().into_iter().flatten() {
+            if have.i & (1 << r.index()) == 0 {
+                diags.push(Diag::error(
+                    Kind::UninitRead,
+                    pc,
+                    format!(
+                        "`{ins}` reads {r} before any write on some path from the {mode} entry at pc {entry}"
+                    ),
+                ));
+            }
+        }
+        for r in ins.fregs_read().into_iter().flatten() {
+            if have.f & (1 << r.index()) == 0 {
+                diags.push(Diag::error(
+                    Kind::UninitRead,
+                    pc,
+                    format!(
+                        "`{ins}` reads {r} before any write on some path from the {mode} entry at pc {entry}"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The symbolic data-race detector for spawn regions.
+//!
+//! For every `spawn` site the pass (1) recovers the thread count from
+//! a constant propagation over the serial code, (2) runs an abstract
+//! interpretation of the parallel section in the [`crate::affine`]
+//! domain, (3) abstracts each `lw`/`sw`/`flw`/`fsw` into an
+//! [`Access`] (`base-register value + constant offset`, read or
+//! write), and (4) proves every write-write and read-write pair
+//! **disjoint across distinct thread ids** — or reports it.
+//!
+//! Disjointness is decided in layers: for a statically-known thread
+//! count `T ≤ 4096` the linear forms are enumerated exactly (the
+//! verdict is then definite, with a concrete witness on failure);
+//! otherwise congruence (stride/offset), injectivity and numeric-range
+//! arguments are tried, and a pair none of them can separate is
+//! reported as a *potential* race — ⊤ means "the address could not be
+//! tracked", not "a race exists" (see DESIGN.md on soundness).
+//!
+//! `ps` is the architecture's sanctioned cross-thread communication:
+//! accesses whose address derives from a prefix-sum ticket are skipped
+//! statically (tickets are globally unique by construction) and left
+//! to the dynamic `RaceCheck` oracle.
+
+use crate::affine::AbsVal;
+use crate::cfg::{successors, Cfg, SpawnSite};
+use crate::{Diag, Kind};
+use std::collections::HashMap;
+use xmt_isa::reg::NUM_IREGS;
+use xmt_isa::Instr;
+
+/// Largest statically-known thread count the checker enumerates
+/// exactly; larger (or unknown) counts fall back to algebraic proofs.
+pub const ENUM_CAP: u64 = 4096;
+
+/// One abstracted memory access inside a parallel section.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// pc of the load/store.
+    pub pc: usize,
+    /// True for `sw`/`fsw`.
+    pub is_write: bool,
+    /// Abstract word address (base-register value plus the folded-in
+    /// constant offset).
+    pub addr: AbsVal,
+}
+
+/// Abstract per-register state at every pc of a region, computed by
+/// fixpoint abstract interpretation. `bits` is the tid width (0 for
+/// serial code, where `tid` is not meaningful).
+fn affine_fixpoint(
+    instrs: &[Instr],
+    pcs: &[usize],
+    entry: usize,
+    parallel: bool,
+    bits: u32,
+) -> Vec<Option<Box<[AbsVal; NUM_IREGS]>>> {
+    let len = instrs.len();
+    let mut member = vec![false; len];
+    for &pc in pcs {
+        member[pc] = true;
+    }
+    let mut state: Vec<Option<Box<[AbsVal; NUM_IREGS]>>> = (0..len).map(|_| None).collect();
+    let mut top_state = Box::new([AbsVal::Top; NUM_IREGS]);
+    top_state[0] = AbsVal::constant(0);
+    state[entry] = Some(top_state);
+    // The lattice has finite height per register except for range
+    // hulls, which can creep: past the iteration budget every meet
+    // that still changes a value widens straight to ⊤.
+    let budget = 2 * pcs.len() + 8;
+    let mut round = 0usize;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        round += 1;
+        let widen = round > budget;
+        for &pc in pcs {
+            let Some(cur) = state[pc].clone() else {
+                continue;
+            };
+            let out = transfer(&instrs[pc], &cur, parallel, bits);
+            for succ in successors(&instrs[pc], pc, parallel).into_iter().flatten() {
+                if succ >= len || !member[succ] {
+                    continue;
+                }
+                match &mut state[succ] {
+                    None => {
+                        state[succ] = Some(out.clone());
+                        changed = true;
+                    }
+                    Some(prev) => {
+                        let mut any = false;
+                        for r in 0..NUM_IREGS {
+                            let met = prev[r].meet(&out[r], widen);
+                            if met != prev[r] {
+                                prev[r] = met;
+                                any = true;
+                            }
+                        }
+                        changed |= any;
+                    }
+                }
+            }
+        }
+    }
+    state
+}
+
+fn transfer(
+    ins: &Instr,
+    s: &[AbsVal; NUM_IREGS],
+    parallel: bool,
+    bits: u32,
+) -> Box<[AbsVal; NUM_IREGS]> {
+    let mut out = Box::new(*s);
+    let val = match *ins {
+        Instr::Li { imm, .. } => Some(AbsVal::constant(imm)),
+        Instr::Alu { op, rs1, rs2, .. } => Some(AbsVal::alu(op, &s[rs1.index()], &s[rs2.index()])),
+        Instr::AluI { op, rs1, imm, .. } => Some(AbsVal::alu_imm(op, &s[rs1.index()], imm)),
+        Instr::Mdu { op, rs1, rs2, .. } => Some(AbsVal::mdu(op, &s[rs1.index()], &s[rs2.index()])),
+        Instr::Tid { .. } if parallel => Some(AbsVal::tid(bits)),
+        Instr::Tid { .. } => Some(AbsVal::Top),
+        Instr::Ps { .. } => Some(AbsVal::PsTicket),
+        // Loaded values, broadcast reads and sspawn-allocated tids are
+        // data-dependent: ⊤.
+        Instr::Lw { .. } | Instr::ReadGr { .. } | Instr::Sspawn { .. } => Some(AbsVal::Top),
+        _ => None,
+    };
+    // Any integer writer the match above does not model (fmvif, …)
+    // must clobber its destination to ⊤, never keep the stale value.
+    if let Some(rd) = ins.ireg_written() {
+        if rd.index() != 0 {
+            out[rd.index()] = val.unwrap_or(AbsVal::Top);
+        }
+    }
+    out
+}
+
+/// The statically-propagated thread count of a spawn site, if the
+/// serial constant propagation pins it.
+fn spawn_count(serial_state: &[Option<Box<[AbsVal; NUM_IREGS]>>], site: &SpawnSite) -> Option<u64> {
+    serial_state.get(site.at)?.as_ref()?[site.count.index()]
+        .as_const()
+        .map(u64::from)
+}
+
+/// Abstract every memory access of one region.
+fn region_accesses(
+    instrs: &[Instr],
+    pcs: &[usize],
+    state: &[Option<Box<[AbsVal; NUM_IREGS]>>],
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for &pc in pcs {
+        let Some(m) = instrs[pc].mem_access() else {
+            continue;
+        };
+        let addr = match &state[pc] {
+            Some(s) => s[m.base.index()].add_const(m.off),
+            None => AbsVal::Top,
+        };
+        out.push(Access {
+            pc,
+            is_write: m.is_write,
+            addr,
+        });
+    }
+    out
+}
+
+/// `addr → (min tid, max tid)` producing it — each tid produces
+/// exactly one address per access, so two entries per address suffice
+/// to decide whether two *distinct* tids collide.
+type AddrMap = HashMap<u32, (u32, u32)>;
+
+fn addr_map(a: &Access, threads: u64) -> Option<AddrMap> {
+    if threads > ENUM_CAP {
+        return None;
+    }
+    let mut map = AddrMap::with_capacity(threads as usize);
+    for t in 0..threads as u32 {
+        let v = a.addr.eval(t)?;
+        map.entry(v)
+            .and_modify(|e| {
+                e.0 = e.0.min(t);
+                e.1 = e.1.max(t);
+            })
+            .or_insert((t, t));
+    }
+    Some(map)
+}
+
+/// Why a pair of accesses is (or may be) racy.
+enum Verdict {
+    Safe,
+    /// Definite: two distinct tids hit the same word (witness).
+    Definite {
+        addr: u32,
+        t1: u32,
+        t2: u32,
+    },
+    /// Could not be proven disjoint.
+    Unproven(String),
+}
+
+fn kind_str(w: bool) -> &'static str {
+    if w {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+fn check_pair(
+    a: &Access,
+    b: &Access,
+    same: bool,
+    bits: u32,
+    maps: (Option<&AddrMap>, Option<&AddrMap>),
+) -> Verdict {
+    // Exact enumeration, when both maps exist.
+    if let (Some(ma), Some(mb)) = maps {
+        if same {
+            for (&addr, &(lo, hi)) in ma {
+                if lo != hi {
+                    return Verdict::Definite {
+                        addr,
+                        t1: lo,
+                        t2: hi,
+                    };
+                }
+            }
+            return Verdict::Safe;
+        }
+        let (small, big) = if ma.len() <= mb.len() {
+            (ma, mb)
+        } else {
+            (mb, ma)
+        };
+        for (&addr, &(slo, shi)) in small {
+            if let Some(&(blo, bhi)) = big.get(&addr) {
+                // Safe only if exactly one tid on each side, and the
+                // same one (a thread may revisit its own word).
+                if slo != shi || blo != bhi || slo != blo {
+                    let t1 = slo;
+                    let t2 = if blo != slo { blo } else { shi.max(bhi) };
+                    return Verdict::Definite { addr, t1, t2 };
+                }
+            }
+        }
+        return Verdict::Safe;
+    }
+
+    // Algebraic layer. Numeric ranges first: they also separate
+    // bounded-but-not-linear addresses (masked twiddle indices).
+    if let (Some((alo, ahi)), Some((blo, bhi))) = (a.addr.bounds(bits), b.addr.bounds(bits)) {
+        if ahi < blo || bhi < alo {
+            return Verdict::Safe;
+        }
+    }
+    if let (AbsVal::Lin(la), AbsVal::Lin(lb)) = (&a.addr, &b.addr) {
+        // Congruence: all varying terms are multiples of 2^z, so the
+        // addresses stay in fixed residue classes mod 2^z.
+        let z = la.stride_zeros().min(lb.stride_zeros());
+        if z > 0 && z < 32 {
+            let m = (1u32 << z) - 1;
+            if la.base & m != lb.base & m {
+                return Verdict::Safe;
+            }
+        }
+        if same && la.injective(bits) {
+            return Verdict::Safe;
+        }
+        if !same && la == lb && la.injective(bits) {
+            // Identical injective expressions collide only at t = u.
+            return Verdict::Safe;
+        }
+    }
+    let why = match (&a.addr, &b.addr) {
+        (AbsVal::Top, _) | (_, AbsVal::Top) => {
+            "an address widened to ⊤ (data-dependent or untracked arithmetic)".to_string()
+        }
+        _ => "no stride, injectivity or range argument separates them".to_string(),
+    };
+    Verdict::Unproven(why)
+}
+
+/// Run the race analysis over every spawn site, appending findings.
+pub(crate) fn check_races(instrs: &[Instr], cfg: &Cfg, diags: &mut Vec<Diag>) {
+    if cfg.spawns.is_empty() {
+        return;
+    }
+    let serial_pcs: Vec<usize> = (0..instrs.len()).filter(|&pc| cfg.serial[pc]).collect();
+    let serial_state = affine_fixpoint(instrs, &serial_pcs, 0, false, 0);
+
+    for site in &cfg.spawns {
+        if site.entry >= instrs.len() {
+            continue;
+        }
+        let region = cfg.region(instrs, site.entry);
+        let has_sspawn = region
+            .iter()
+            .any(|&pc| matches!(instrs[pc], Instr::Sspawn { .. }));
+        let threads = if has_sspawn {
+            None // sspawn extends the bound at run time
+        } else {
+            spawn_count(&serial_state, site)
+        };
+        if let Some(t) = threads {
+            if t < 2 {
+                continue; // a single thread cannot race with itself
+            }
+        }
+        let bits = match threads {
+            Some(t) => 64 - (t - 1).leading_zeros(),
+            None => 32,
+        };
+        let state = affine_fixpoint(instrs, &region, site.entry, true, bits);
+        let accesses = region_accesses(instrs, &region, &state);
+
+        // Per-access enumeration maps, built once and shared by every
+        // pair involving the access.
+        let maps: Vec<Option<AddrMap>> = accesses
+            .iter()
+            .map(|a| threads.and_then(|t| addr_map(a, t)))
+            .collect();
+
+        for i in 0..accesses.len() {
+            for j in i..accesses.len() {
+                let (a, b) = (&accesses[i], &accesses[j]);
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if matches!(a.addr, AbsVal::PsTicket) || matches!(b.addr, AbsVal::PsTicket) {
+                    continue; // sanctioned: ps tickets are unique
+                }
+                let verdict = check_pair(a, b, i == j, bits, (maps[i].as_ref(), maps[j].as_ref()));
+                match verdict {
+                    Verdict::Safe => {}
+                    Verdict::Definite { addr, t1, t2 } => diags.push(Diag::error(
+                        Kind::Race,
+                        a.pc,
+                        format!(
+                            "data race in the parallel section entered at pc {}: {} at pc {} (`{}`) and {} at pc {} (`{}`) both touch word {addr} — e.g. threads {t1} and {t2}",
+                            site.entry,
+                            kind_str(a.is_write),
+                            a.pc,
+                            instrs[a.pc],
+                            kind_str(b.is_write),
+                            b.pc,
+                            instrs[b.pc],
+                        ),
+                    )),
+                    Verdict::Unproven(why) => diags.push(Diag::error(
+                        Kind::Race,
+                        a.pc,
+                        format!(
+                            "potential data race in the parallel section entered at pc {}: cannot prove {} at pc {} (`{}`) disjoint from {} at pc {} (`{}`): {why}",
+                            site.entry,
+                            kind_str(a.is_write),
+                            a.pc,
+                            instrs[a.pc],
+                            kind_str(b.is_write),
+                            b.pc,
+                            instrs[b.pc],
+                        ),
+                    )),
+                }
+            }
+        }
+    }
+}

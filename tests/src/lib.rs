@@ -1,6 +1,8 @@
 //! Integration-test crate: shared helpers for the cross-crate tests in
 //! `tests/`.
 
+pub mod genprog;
+
 use parafft::{Complex32, Complex64};
 
 /// Deterministic pseudo-random complex sample (f64).

@@ -1,10 +1,10 @@
 //! Cross-engine agreement: on randomly generated programs, the
 //! reference, fast-forward and threaded advance loops must produce
 //! bitwise-identical run statistics, spawn logs, memory images and
-//! global registers. The generator avoids `ps`/`sspawn` so the
-//! threaded engine genuinely partitions clusters across workers
-//! instead of falling back to fast-forward, and uses ≥ 2 clusters for
-//! the same reason.
+//! global registers. The generator (`xmt_integration::genprog`) avoids
+//! `ps`/`sspawn` so the threaded engine genuinely partitions clusters
+//! across workers instead of falling back to fast-forward, and uses
+//! ≥ 2 clusters for the same reason.
 //!
 //! This is the property the optimized engines are *defined* by (see
 //! `Engine`): fast-forward's bulk skips and mask-driven issue, and the
@@ -12,217 +12,9 @@
 //! optimizations with no observable effect.
 
 use proptest::prelude::*;
-use xmt_isa::reg::{fr, ir};
-use xmt_isa::{AluOp, FpuOp, Instr, MduOp, Program, ProgramBuilder};
+use xmt_integration::genprog::{build, op_strategy};
+use xmt_isa::Program;
 use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineBuilder, RunReport, XmtConfig};
-
-/// One generated instruction in a restricted, always-terminating form.
-/// Deliberately no `ps`/`sspawn`: see module docs.
-#[derive(Debug, Clone)]
-enum GenOp {
-    Li {
-        rd: u8,
-        imm: u32,
-    },
-    Alu {
-        which: u8,
-        rd: u8,
-        rs1: u8,
-        rs2: u8,
-    },
-    Mdu {
-        which: u8,
-        rd: u8,
-        rs1: u8,
-        rs2: u8,
-    },
-    Fli {
-        fd: u8,
-        v: i16,
-    },
-    Fpu {
-        which: u8,
-        fd: u8,
-        fs1: u8,
-        fs2: u8,
-    },
-    /// Load from the shared read-only region [0, 64).
-    LoadRo {
-        rd: u8,
-        addr: u8,
-    },
-    /// Store to this context's private region (serial: [64,128);
-    /// thread t: [128 + t*8, 128 + t*8 + 8)).
-    StorePriv {
-        rs: u8,
-        slot: u8,
-    },
-    /// Float store to the private region.
-    FStorePriv {
-        fs: u8,
-        slot: u8,
-    },
-    /// A load immediately consumed: exercises scoreboard stalls.
-    LoadUse {
-        rd: u8,
-        addr: u8,
-    },
-}
-
-fn reg_strategy() -> impl Strategy<Value = u8> {
-    1u8..16
-}
-
-fn op_strategy() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (reg_strategy(), any::<u32>()).prop_map(|(rd, imm)| GenOp::Li { rd, imm }),
-        (0u8..8, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
-            |(which, rd, rs1, rs2)| GenOp::Alu {
-                which,
-                rd,
-                rs1,
-                rs2
-            }
-        ),
-        (0u8..3, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
-            |(which, rd, rs1, rs2)| GenOp::Mdu {
-                which,
-                rd,
-                rs1,
-                rs2
-            }
-        ),
-        (reg_strategy(), any::<i16>()).prop_map(|(fd, v)| GenOp::Fli { fd, v }),
-        (0u8..4, reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
-            |(which, fd, fs1, fs2)| GenOp::Fpu {
-                which,
-                fd,
-                fs1,
-                fs2
-            }
-        ),
-        (reg_strategy(), 0u8..64).prop_map(|(rd, addr)| GenOp::LoadRo { rd, addr }),
-        (reg_strategy(), 0u8..8).prop_map(|(rs, slot)| GenOp::StorePriv { rs, slot }),
-        (reg_strategy(), 0u8..8).prop_map(|(fs, slot)| GenOp::FStorePriv { fs, slot }),
-        (reg_strategy(), 0u8..64).prop_map(|(rd, addr)| GenOp::LoadUse { rd, addr }),
-    ]
-}
-
-/// Emit one generated op; r20 is reserved as the private-base pointer.
-fn emit(b: &mut ProgramBuilder, op: &GenOp) {
-    let alu = |w: u8| {
-        [
-            AluOp::Add,
-            AluOp::Sub,
-            AluOp::And,
-            AluOp::Or,
-            AluOp::Xor,
-            AluOp::Sll,
-            AluOp::Srl,
-            AluOp::Sltu,
-        ][w as usize]
-    };
-    let base = ir(20);
-    match *op {
-        GenOp::Li { rd, imm } => {
-            b.li(ir(rd as usize), imm);
-        }
-        GenOp::Alu {
-            which,
-            rd,
-            rs1,
-            rs2,
-        } => {
-            b.push(Instr::Alu {
-                op: alu(which),
-                rd: ir(rd as usize),
-                rs1: ir(rs1 as usize),
-                rs2: ir(rs2 as usize),
-            });
-        }
-        GenOp::Mdu {
-            which,
-            rd,
-            rs1,
-            rs2,
-        } => {
-            let mop = [MduOp::Mul, MduOp::Divu, MduOp::Remu][which as usize];
-            b.push(Instr::Mdu {
-                op: mop,
-                rd: ir(rd as usize),
-                rs1: ir(rs1 as usize),
-                rs2: ir(rs2 as usize),
-            });
-        }
-        GenOp::Fli { fd, v } => {
-            b.fli(fr(fd as usize), v as f32 * 0.125);
-        }
-        GenOp::Fpu {
-            which,
-            fd,
-            fs1,
-            fs2,
-        } => {
-            let fop = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Div][which as usize];
-            b.push(Instr::Fpu {
-                op: fop,
-                fd: fr(fd as usize),
-                fs1: fr(fs1 as usize),
-                fs2: fr(fs2 as usize),
-            });
-        }
-        GenOp::LoadRo { rd, addr } => {
-            b.lw(ir(rd as usize), ir(0), addr as u32);
-        }
-        GenOp::StorePriv { rs, slot } => {
-            b.sw(ir(rs as usize), base, slot as u32);
-        }
-        GenOp::FStorePriv { fs, slot } => {
-            b.fsw(fr(fs as usize), base, slot as u32);
-        }
-        GenOp::LoadUse { rd, addr } => {
-            let rd = ir(rd as usize);
-            b.lw(rd, ir(0), addr as u32);
-            b.push(Instr::Alu {
-                op: AluOp::Add,
-                rd,
-                rs1: rd,
-                rs2: rd,
-            });
-        }
-    }
-}
-
-/// Serial prologue ops, a spawn of `threads` running `par_ops`, serial
-/// epilogue ops.
-fn build(serial: &[GenOp], par_ops: &[GenOp], threads: u8, epilogue: &[GenOp]) -> Program {
-    let mut b = ProgramBuilder::new();
-    let par = b.label();
-    let after = b.label();
-    b.li(ir(20), 64);
-    for op in serial {
-        emit(&mut b, op);
-    }
-    b.li(ir(22), threads as u32);
-    b.spawn(ir(22), par);
-    b.jump(after);
-    b.bind(par);
-    // Thread-private base: 128 + tid*8.
-    b.tid(ir(19));
-    b.slli(ir(20), ir(19), 3);
-    b.addi(ir(20), ir(20), 128);
-    for op in par_ops {
-        emit(&mut b, op);
-    }
-    b.join();
-    b.bind(after);
-    b.li(ir(20), 64);
-    for op in epilogue {
-        emit(&mut b, op);
-    }
-    b.halt();
-    b.build().unwrap()
-}
 
 /// Run `prog` under `engine` with an [`IntervalProbe`] attached,
 /// returning the report, probe sample stream and final state. The

@@ -9,9 +9,16 @@
 //! * The sample stream is bit-identical across engines — the same
 //!   contract the engines already honour for stats/spawns/memory.
 //! * Attaching a probe never changes the simulated cycle count.
+//! * The [`RaceCheck`] oracle agrees with the static verdict of
+//!   `xmt-verify`: zero observed conflicts on every (statically
+//!   race-free) golden workload, and at least one on a seeded racy
+//!   program that the static analysis also rejects.
 
 use xmt_fft::golden;
-use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineStats, RunReport};
+use xmt_isa::{ir, ProgramBuilder};
+use xmt_sim::{
+    Engine, IntervalProbe, IntervalRow, MachineBuilder, MachineStats, RaceCheck, RunReport,
+};
 
 const ENGINES: [Engine; 3] = [
     Engine::Reference,
@@ -151,6 +158,76 @@ fn probing_does_not_change_cycle_counts() {
                 case.name
             );
         }
+    }
+}
+
+#[test]
+fn race_oracle_is_silent_on_all_golden_cases() {
+    // The static verifier proves every golden program race-free
+    // (`crates/core/tests/verify_kernels.rs`); the dynamic oracle must
+    // agree on the executions themselves, under every engine.
+    for case in golden::cases() {
+        for engine in ENGINES {
+            let mut m = case.builder().engine(engine).build_probed(RaceCheck::new());
+            m.run().expect("golden case must complete");
+            assert_eq!(
+                m.probe().conflicts(),
+                &[],
+                "{} under {engine:?}: oracle observed a conflict on a statically race-free program",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn race_oracle_and_static_verdict_agree_on_a_seeded_race() {
+    // The same shared-accumulator kernel the static tests seed: every
+    // thread read-modify-writes word 512 without `ps`.
+    let mut b = ProgramBuilder::new();
+    let par = b.label();
+    let done = b.label();
+    b.li(ir(1), 64);
+    b.spawn(ir(1), par);
+    b.jump(done);
+    b.bind(par);
+    b.tid(ir(2));
+    b.li(ir(3), 512);
+    b.lw(ir(4), ir(3), 0);
+    b.add(ir(4), ir(4), ir(2));
+    b.sw(ir(4), ir(3), 0);
+    b.join();
+    b.bind(done);
+    b.halt();
+    let prog = b.build().unwrap();
+
+    // Static: rejected.
+    let report = xmt_verify::verify(&prog);
+    assert!(
+        report.errors().any(|d| d.kind == xmt_verify::Kind::Race),
+        "static analysis missed the seeded race:\n{report}"
+    );
+
+    // Dynamic: the oracle witnesses it on the actual execution, under
+    // every engine, on the contested word.
+    let cfg = golden::golden_config();
+    for engine in ENGINES {
+        let mut m = MachineBuilder::new(&cfg, prog.clone())
+            .mem_words(1024)
+            .engine(engine)
+            .build_probed(RaceCheck::new());
+        m.run().expect("racy program still completes");
+        let conflicts = m.probe().conflicts();
+        assert!(
+            !conflicts.is_empty(),
+            "{engine:?}: oracle observed no conflict on a racy program"
+        );
+        assert!(
+            conflicts.iter().all(|c| c.addr == 512),
+            "{engine:?}: conflict on an unexpected word: {conflicts:?}"
+        );
+        let c = conflicts[0];
+        assert_ne!(c.first_tid, c.second_tid);
     }
 }
 
