@@ -37,4 +37,19 @@ echo "== probe zero-interference check =="
 # committed baseline, and probe totals must equal the run aggregates.
 cargo run --release -p xmt-bench --bin bench_sim -- --probe --check BENCH_sim.json
 
+echo "== fault layer: zero interference + deterministic replay =="
+# Benign fault plans must not perturb a single cycle of any golden
+# workload (vs the committed baseline), and fixed-seed soft-fault runs
+# must replay bit-identically under all three engines (DESIGN.md §13).
+cargo run --release -p xmt-bench --bin bench_sim -- --faults --check BENCH_sim.json
+
+echo "== fault smoke: sweep + checkpoint round-trip =="
+# fault_sweep validates the golden FFT under escalating soft-fault
+# rates, degraded topologies and a watchdog-tripping stuck TCU; the
+# fault_resilience suite (rerun explicitly here as the resilience gate)
+# covers seeded replay on generated programs and checkpoint/restore
+# equivalence on every golden case.
+cargo run --release -p xmt-bench --bin fault_sweep
+cargo test --release -p xmt-integration --test fault_resilience -q
+
 echo "ci.sh: all green"

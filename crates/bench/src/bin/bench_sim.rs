@@ -13,7 +13,7 @@
 //! capability, where a mean or median absorbs scheduler noise.
 //!
 //! ```text
-//! cargo run --release -p xmt-bench --bin bench_sim [out.json] [--check baseline.json] [--probe]
+//! cargo run --release -p xmt-bench --bin bench_sim [out.json] [--check baseline.json] [--probe] [--faults]
 //! ```
 //!
 //! With `--check`, after measuring, the run fails (exit 1) if any
@@ -31,11 +31,20 @@
 //! probe's cumulative totals equal the run's final statistics — the
 //! zero-interference contract of the observability layer. No JSON is
 //! written in this mode.
+//!
+//! With `--faults`, every workload runs once with a *benign*
+//! [`FaultPlan`] (seeded but all rates zero, no dead components) and
+//! the cycle count, full statistics and spawn digest must be
+//! bit-identical to a plain build — the fault layer's own
+//! zero-interference contract. Each workload then runs with a
+//! fixed-seed soft-fault plan (DRAM bit flips + NoC corruption) under
+//! all three engines, which must agree bit-for-bit on the faulted
+//! statistics: deterministic replay. No JSON is written in this mode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xmt_fft::golden;
-use xmt_sim::{Engine, IntervalProbe};
+use xmt_sim::{Engine, FaultPlan, IntervalProbe};
 
 /// Keep sampling until this much measured time has accumulated.
 const TARGET_SECS: f64 = 0.25;
@@ -164,6 +173,85 @@ fn probe_check(baseline: Option<&str>) -> Vec<String> {
     failures
 }
 
+/// `--faults`: check the fault layer's two contracts on every golden
+/// workload. (1) Zero interference: a benign seeded [`FaultPlan`]
+/// changes nothing — stats and spawn digest bit-identical to a plain
+/// build (and the committed baseline's cycle count). (2) Deterministic
+/// replay: a fixed-seed soft-fault plan produces bit-identical faulted
+/// statistics under reference, fast-forward and threaded advance.
+/// Returns failure messages.
+fn fault_check(baseline: Option<&str>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let engines: &[(&str, Engine)] = &[
+        ("reference", Engine::Reference),
+        ("fast_forward", Engine::FastForward),
+        ("threaded", Engine::Threaded { threads: 0 }),
+    ];
+    for case in golden::cases() {
+        let mut plain = case.builder().build();
+        let healthy = plain.run().expect("golden case must complete");
+
+        // (1) Benign plan: the fault layer must not perturb anything.
+        let mut m = case.builder().faults(FaultPlan::new(0xB1A5)).build();
+        let benign = m.run().expect("benign-fault golden case must complete");
+        if benign.stats != healthy.stats {
+            failures.push(format!(
+                "{}: benign fault plan perturbed stats ({:?} != {:?})",
+                case.name, benign.stats, healthy.stats
+            ));
+        }
+        if golden::spawn_digest(&benign) != golden::spawn_digest(&healthy) {
+            failures.push(format!(
+                "{}: benign fault plan perturbed the spawn log",
+                case.name
+            ));
+        }
+        if let Some(base) = baseline {
+            match baseline_u64(base, case.name, "simulated_cycles") {
+                Some(want) if want != benign.stats.cycles => failures.push(format!(
+                    "{}: benign-fault simulated_cycles {} != baseline {want}",
+                    case.name, benign.stats.cycles
+                )),
+                None => failures.push(format!("{}: missing from baseline", case.name)),
+                _ => {}
+            }
+        }
+
+        // (2) Fixed-seed soft faults: every engine replays identically.
+        let plan = || {
+            FaultPlan::new(0xFEED_5EED)
+                .dram_flips(0.02, 0.002)
+                .noc_corrupt(0.01)
+        };
+        let mut faulted = Vec::new();
+        for &(name, engine) in engines {
+            let mut m = case.builder().engine(engine).faults(plan()).build();
+            let rep = m.run().expect("soft-faulted golden case must complete");
+            eprintln!(
+                "{:16} {:13} healthy {:>8} cycles  faulted {:>8} cycles",
+                case.name, name, healthy.stats.cycles, rep.stats.cycles
+            );
+            faulted.push((name, rep));
+        }
+        let (ref_name, ref_rep) = &faulted[0];
+        for (name, rep) in &faulted[1..] {
+            if rep.stats != ref_rep.stats {
+                failures.push(format!(
+                    "{}: faulted stats diverge between {ref_name} and {name}",
+                    case.name
+                ));
+            }
+            if golden::spawn_digest(rep) != golden::spawn_digest(ref_rep) {
+                failures.push(format!(
+                    "{}: faulted spawn log diverges between {ref_name} and {name}",
+                    case.name
+                ));
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_path = args
@@ -171,6 +259,7 @@ fn main() {
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check needs a baseline path"));
     let probe_mode = args.iter().any(|a| a == "--probe");
+    let fault_mode = args.iter().any(|a| a == "--faults");
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--") && check_path != Some(a))
@@ -190,6 +279,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("probe checks passed: probed runs bit-identical to unprobed");
+        return;
+    }
+    if fault_mode {
+        let failures = fault_check(baseline.as_deref());
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAULT CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "fault checks passed: benign plans are zero-interference, \
+             faulted runs replay bit-identically across engines"
+        );
         return;
     }
     let engines: &[(&str, Engine)] = &[

@@ -72,7 +72,7 @@ pub fn run_on_machine(
     input: &[Complex32],
 ) -> Result<MachineRun, SimError> {
     let mut m = plan_builder(plan, cfg, input).build();
-    let report = m.run()?;
+    let report = m.run().map_err(|f| f.error)?;
     Ok(MachineRun {
         output: read_result(plan, &m),
         report,

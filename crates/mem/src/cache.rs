@@ -200,6 +200,40 @@ impl CacheBank {
         addr / self.cfg.line_words as u32
     }
 
+    /// Flat snapshot of the tag store for checkpointing. One word per
+    /// (set, way) slot in LRU order (way 0 = MRU): `0` for an empty
+    /// slot, else `(line << 2) | (dirty << 1) | 1`. Because the tag
+    /// store keeps recency by position, the raw vector round-trips the
+    /// complete replacement state.
+    pub fn tag_snapshot(&self) -> Vec<u64> {
+        self.tags
+            .tags
+            .iter()
+            .map(|slot| match slot {
+                None => 0,
+                Some((line, dirty)) => ((*line as u64) << 2) | ((*dirty as u64) << 1) | 1,
+            })
+            .collect()
+    }
+
+    /// Restore a [`CacheBank::tag_snapshot`] into a freshly built bank
+    /// of the same geometry (queue must be empty).
+    pub fn restore_tags(&mut self, snapshot: &[u64]) {
+        assert_eq!(
+            snapshot.len(),
+            self.tags.tags.len(),
+            "tag snapshot geometry mismatch"
+        );
+        assert!(self.queue.is_empty(), "restore into a busy bank");
+        for (slot, &word) in self.tags.tags.iter_mut().zip(snapshot) {
+            *slot = if word & 1 == 0 {
+                None
+            } else {
+                Some(((word >> 2) as u32, word & 2 != 0))
+            };
+        }
+    }
+
     /// Service at most one request this cycle (bank port = 1/cycle).
     pub fn service_one(&mut self) -> Option<Service> {
         let req = self.queue.pop_front()?;
@@ -321,6 +355,34 @@ mod tests {
             other => panic!("expected miss, got {other:?}"),
         }
         assert_eq!(b.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn tag_snapshot_round_trips_lru_and_dirty_state() {
+        let mut b = bank(8, 4);
+        for line in [0u32, 1, 2, 0, 3, 4] {
+            b.enqueue(req(line * 8, line % 2 == 1));
+            b.service_one();
+        }
+        let snap = b.tag_snapshot();
+        let mut r = bank(8, 4);
+        r.restore_tags(&snap);
+        // The restored bank must behave identically from here on.
+        for line in [0u32, 4, 5, 1, 2, 6] {
+            b.enqueue(req(line * 8, false));
+            r.enqueue(req(line * 8, false));
+            let a = b.service_one().unwrap();
+            let x = r.service_one().unwrap();
+            assert_eq!(a, x, "divergence after restore at line {line}");
+        }
+        assert_eq!(b.tag_snapshot(), r.tag_snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let mut b = bank(8, 4);
+        b.restore_tags(&[0; 4]);
     }
 
     #[test]

@@ -6,8 +6,71 @@
 //! and several memory modules share one channel ("MMs per DRAM Ctrl."
 //! in Table II) — the off-chip bandwidth wall the enabling technologies
 //! (serial links, photonics) progressively remove.
+//!
+//! An optional SECDED ECC model ([`EccConfig`]) injects seeded,
+//! replayable bit-flip faults against completed transfers: single-bit
+//! flips are corrected in place (counted, no timing effect), double-bit
+//! flips are detected and the transfer is re-run up to a retry budget,
+//! after which it completes anyway as an unrecoverable error (counted;
+//! end-to-end recovery is the caller's problem). Fault decisions are
+//! keyed to the per-channel completed-transfer index through a
+//! stateless hash, so they replay bit-identically across simulator
+//! engines and across checkpoint restores.
 
 use std::collections::VecDeque;
+
+/// Stateless splitmix64-finalizer hash keying ECC fault decisions to
+/// `(seed, transfer index)`. Same family as the NoC link-fault hash;
+/// each fault site gets its own seed stream so the functions need only
+/// be individually uniform, not shared.
+fn ecc_hash(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded SECDED error-injection parameters for one [`DramChannel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccConfig {
+    /// Seed for the per-transfer fault hash.
+    pub seed: u64,
+    /// Single-bit-flip threshold: transfer `k` takes a correctable
+    /// flip iff the *high* 32 bits of the hash fall below this.
+    pub p_single: u32,
+    /// Double-bit-flip threshold: transfer `k` takes a detected
+    /// uncorrectable flip iff the *low* 32 bits fall below this.
+    /// A double flip takes precedence over a single on the same index.
+    pub p_double: u32,
+    /// Re-reads attempted for a double-bit error before the transfer
+    /// is completed anyway and counted unrecoverable.
+    pub retry_limit: u32,
+}
+
+impl EccConfig {
+    /// ECC injection with the given per-transfer single/double flip
+    /// probabilities and a default retry budget of 2 re-reads.
+    pub fn new(seed: u64, p_single: f64, p_double: f64) -> Self {
+        let th = |p: f64| {
+            assert!((0.0..=1.0).contains(&p), "probability out of [0,1]: {p}");
+            (p * u32::MAX as f64) as u32
+        };
+        Self {
+            seed,
+            p_single: th(p_single),
+            p_double: th(p_double),
+            retry_limit: 2,
+        }
+    }
+
+    /// Override the double-bit retry budget.
+    pub fn retry_limit(mut self, limit: u32) -> Self {
+        self.retry_limit = limit;
+        self
+    }
+}
 
 /// A line transfer requested from a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +137,15 @@ pub struct DramStats {
     pub busy_cycles: u64,
     /// The `peak_queue` value.
     pub peak_queue: usize,
+    /// Single-bit errors corrected in place (no timing effect).
+    pub ecc_corrected: u64,
+    /// Double-bit errors detected by SECDED.
+    pub ecc_detected: u64,
+    /// Transfer re-runs triggered by detected double-bit errors.
+    pub ecc_retries: u64,
+    /// Double-bit errors whose retry budget was exhausted; the
+    /// transfer completed anyway, leaving recovery to the caller.
+    pub ecc_unrecoverable: u64,
 }
 
 /// One DRAM channel: a FIFO of line transfers, one in flight at a time.
@@ -86,6 +158,12 @@ pub struct DramChannel {
     cycle: u64,
     /// Accumulated statistics.
     pub stats: DramStats,
+    /// Optional seeded SECDED fault injection.
+    ecc: Option<EccConfig>,
+    /// Completed-transfer attempts so far — the ECC fault-hash index.
+    transfers: u64,
+    /// Re-reads already burned by the in-flight transfer.
+    current_retries: u32,
 }
 
 impl DramChannel {
@@ -97,12 +175,36 @@ impl DramChannel {
             current: None,
             cycle: 0,
             stats: DramStats::default(),
+            ecc: None,
+            transfers: 0,
+            current_retries: 0,
         }
     }
 
     /// The configuration used.
     pub fn config(&self) -> DramConfig {
         self.cfg
+    }
+
+    /// Enable seeded SECDED fault injection on this channel.
+    pub fn enable_ecc(&mut self, ecc: EccConfig) {
+        self.ecc = Some(ecc);
+    }
+
+    /// Checkpointable state: accumulated stats plus the ECC fault-hash
+    /// cursor. Only meaningful on an idle channel.
+    pub fn state(&self) -> (DramStats, u64) {
+        debug_assert_eq!(self.pending(), 0, "checkpoint of a busy channel");
+        (self.stats, self.transfers)
+    }
+
+    /// Restore state captured by [`DramChannel::state`] into a freshly
+    /// built, idle channel.
+    pub fn restore_state(&mut self, stats: DramStats, transfers: u64) {
+        assert_eq!(self.pending(), 0, "restore into a busy channel");
+        self.stats = stats;
+        self.transfers = transfers;
+        self.current_retries = 0;
     }
 
     /// Queue a transfer.
@@ -166,7 +268,30 @@ impl DramChannel {
         let mut completed = None;
         if let Some((req, done_at)) = self.current {
             if self.cycle >= done_at {
+                if let Some(ecc) = self.ecc {
+                    let k = self.transfers;
+                    self.transfers += 1;
+                    let h = ecc_hash(ecc.seed, k);
+                    let double = (h as u32) < ecc.p_double;
+                    let single = ((h >> 32) as u32) < ecc.p_single;
+                    if double {
+                        self.stats.ecc_detected += 1;
+                        if self.current_retries < ecc.retry_limit {
+                            // Detected double-bit error: re-read the
+                            // line. The row is still open, so the
+                            // retry pays the burst only.
+                            self.stats.ecc_retries += 1;
+                            self.current_retries += 1;
+                            self.current = Some((req, self.cycle + self.cfg.burst_cycles()));
+                            return None;
+                        }
+                        self.stats.ecc_unrecoverable += 1;
+                    } else if single {
+                        self.stats.ecc_corrected += 1;
+                    }
+                }
                 self.current = None;
+                self.current_retries = 0;
                 if req.is_write {
                     self.stats.writes += 1;
                 } else {
@@ -333,5 +458,118 @@ mod tests {
         }
         let bw = c.stats.bytes as f64 / cycles as f64;
         assert!((bw - 8.0).abs() < 0.5, "sustained {bw} B/cycle");
+    }
+
+    fn run_to_done(c: &mut DramChannel) -> DramDone {
+        for _ in 0..10_000 {
+            if let Some(d) = c.step() {
+                return d;
+            }
+        }
+        panic!("transfer never completed");
+    }
+
+    #[test]
+    fn ecc_single_bit_corrects_without_timing_effect() {
+        let mut clean = chan(10);
+        let mut faulty = chan(10);
+        faulty.enable_ecc(EccConfig::new(1, 1.0, 0.0));
+        for c in [&mut clean, &mut faulty] {
+            c.enqueue(DramReq {
+                line: 0,
+                is_write: false,
+                tag: 0,
+            });
+        }
+        let a = run_to_done(&mut clean);
+        let b = run_to_done(&mut faulty);
+        assert_eq!(a.finished_at, b.finished_at, "correction is free");
+        assert_eq!(faulty.stats.ecc_corrected, 1);
+        assert_eq!(faulty.stats.ecc_detected, 0);
+    }
+
+    #[test]
+    fn ecc_double_bit_retries_then_gives_up() {
+        let mut clean = chan(10);
+        let mut faulty = chan(10);
+        faulty.enable_ecc(EccConfig::new(2, 0.0, 1.0).retry_limit(3));
+        for c in [&mut clean, &mut faulty] {
+            c.enqueue(DramReq {
+                line: 9,
+                is_write: false,
+                tag: 4,
+            });
+        }
+        let a = run_to_done(&mut clean);
+        let b = run_to_done(&mut faulty);
+        // Three re-reads, each one burst (4 cycles) with the row open.
+        assert_eq!(b.finished_at, a.finished_at + 3 * 4);
+        assert_eq!(b.req, a.req);
+        assert_eq!(faulty.stats.ecc_detected, 4);
+        assert_eq!(faulty.stats.ecc_retries, 3);
+        assert_eq!(faulty.stats.ecc_unrecoverable, 1);
+        assert_eq!(faulty.stats.reads, 1, "the transfer still completes once");
+    }
+
+    #[test]
+    fn ecc_same_seed_replays_identically() {
+        let run = |seed| {
+            let mut c = chan(0);
+            c.enable_ecc(EccConfig::new(seed, 0.3, 0.1));
+            for i in 0..32 {
+                c.enqueue(DramReq {
+                    line: i,
+                    is_write: false,
+                    tag: i as u64,
+                });
+            }
+            let mut finishes = Vec::new();
+            while c.pending() > 0 {
+                if let Some(d) = c.step() {
+                    finishes.push(d.finished_at);
+                }
+            }
+            (finishes, c.stats)
+        };
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn ecc_state_round_trip_resumes_the_fault_stream() {
+        let mut whole = chan(0);
+        whole.enable_ecc(EccConfig::new(5, 0.4, 0.2));
+        let mut split = chan(0);
+        split.enable_ecc(EccConfig::new(5, 0.4, 0.2));
+        let reqs: Vec<DramReq> = (0..16)
+            .map(|i| DramReq {
+                line: i,
+                is_write: false,
+                tag: i as u64,
+            })
+            .collect();
+        for r in &reqs {
+            whole.enqueue(*r);
+            run_to_done(&mut whole);
+        }
+        // Split run: first half, checkpoint, restore into a fresh
+        // channel, second half.
+        for r in &reqs[..8] {
+            split.enqueue(*r);
+            run_to_done(&mut split);
+        }
+        let (stats, transfers) = split.state();
+        let mut resumed = chan(0);
+        resumed.enable_ecc(EccConfig::new(5, 0.4, 0.2));
+        resumed.restore_state(stats, transfers);
+        for r in &reqs[8..] {
+            resumed.enqueue(*r);
+            run_to_done(&mut resumed);
+        }
+        // Counter totals (not busy cycles: the resumed channel's clock
+        // restarted) must match the uninterrupted run.
+        assert_eq!(resumed.stats.ecc_corrected, whole.stats.ecc_corrected);
+        assert_eq!(resumed.stats.ecc_detected, whole.stats.ecc_detected);
+        assert_eq!(resumed.stats.ecc_retries, whole.stats.ecc_retries);
+        assert_eq!(resumed.stats.reads, whole.stats.reads);
     }
 }

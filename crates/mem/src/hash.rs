@@ -16,6 +16,13 @@ pub struct AddressHash {
     /// If false, use the low line bits directly (interleaving without
     /// mixing) — the ablation baseline that exposes stride hotspots.
     mix: bool,
+    /// Bit `m` set ⇔ module `m` accepts lines. `u64::MAX` is the
+    /// healthy sentinel: every module online, selection stays the
+    /// bit-exact mask of the original placement. Degraded placement
+    /// (some bits clear) requires `modules ≤ 64`.
+    online_mask: u64,
+    /// Popcount of `online_mask` restricted to real modules.
+    online_count: u32,
 }
 
 impl AddressHash {
@@ -33,7 +40,35 @@ impl AddressHash {
             modules,
             line_words,
             mix: true,
+            online_mask: u64::MAX,
+            online_count: modules.min(64) as u32,
         }
+    }
+
+    /// Hashed placement that routes around offline modules: lines are
+    /// spread over the surviving modules only, so a machine with dead
+    /// DRAM channels (and hence dead module groups) still serves the
+    /// whole address space at reduced aggregate bandwidth. With an
+    /// empty `offline` list this is bit-identical to [`AddressHash::new`].
+    pub fn degraded(modules: usize, line_words: usize, offline: &[usize]) -> Self {
+        let mut h = Self::new(modules, line_words);
+        if offline.is_empty() {
+            return h;
+        }
+        assert!(modules <= 64, "degraded placement requires ≤ 64 modules");
+        let mut mask = if modules == 64 {
+            u64::MAX
+        } else {
+            (1u64 << modules) - 1
+        };
+        for &m in offline {
+            assert!(m < modules, "offline module {m} out of range");
+            mask &= !(1u64 << m);
+        }
+        assert!(mask != 0, "at least one module must stay online");
+        h.online_mask = mask;
+        h.online_count = mask.count_ones();
+        h
     }
 
     /// Plain modulo interleaving (no bit mixing); for ablations.
@@ -71,12 +106,34 @@ impl AddressHash {
         x
     }
 
-    /// Home module of a word address.
+    /// Home module of a word address. Healthy machines take the
+    /// original mask path bit-for-bit; a degraded hash folds the key
+    /// over the surviving modules instead.
     #[inline(always)]
     pub fn module_of(&self, addr: u32) -> usize {
         let line = self.line_of(addr);
         let key = if self.mix { Self::mix32(line) } else { line };
-        (key as usize) & (self.modules - 1)
+        if self.online_mask == u64::MAX {
+            return (key as usize) & (self.modules - 1);
+        }
+        // Select the idx-th surviving module. O(modules) worst case,
+        // but degraded runs trade throughput for availability anyway.
+        let idx = key % self.online_count;
+        let mut mask = self.online_mask;
+        for _ in 0..idx {
+            mask &= mask - 1;
+        }
+        mask.trailing_zeros() as usize
+    }
+
+    /// Number of modules currently accepting lines.
+    pub fn online_modules(&self) -> u32 {
+        self.online_count
+    }
+
+    /// True iff module `m` is online under this placement.
+    pub fn module_online(&self, m: usize) -> bool {
+        self.online_mask == u64::MAX || (self.online_mask >> m) & 1 == 1
     }
 
     /// Module-local line identifier (used as the cache index/tag key
@@ -171,6 +228,50 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_modules() {
         AddressHash::new(12, 8);
+    }
+
+    #[test]
+    fn degraded_with_no_offline_modules_is_bit_identical() {
+        let healthy = AddressHash::new(16, 8);
+        let degraded = AddressHash::degraded(16, 8, &[]);
+        for line in 0..4096u32 {
+            let addr = line * 8;
+            assert_eq!(healthy.module_of(addr), degraded.module_of(addr));
+            assert_eq!(healthy.local_line(addr), degraded.local_line(addr));
+        }
+    }
+
+    #[test]
+    fn degraded_routes_around_offline_modules() {
+        let h = AddressHash::degraded(16, 8, &[0, 5, 6, 7]);
+        assert_eq!(h.online_modules(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..4096u32 {
+            let m = h.module_of(line * 8);
+            assert!(!([0usize, 5, 6, 7].contains(&m)), "offline module {m} hit");
+            seen.insert(m);
+        }
+        assert_eq!(seen.len(), 12, "all survivors must take traffic");
+        assert!(h.module_online(1) && !h.module_online(5));
+    }
+
+    #[test]
+    fn degraded_placement_stays_bijective() {
+        let h = AddressHash::degraded(8, 8, &[2, 3]);
+        let mut pairs = std::collections::HashSet::new();
+        for line in 0..4096u32 {
+            let addr = line * 8;
+            assert!(
+                pairs.insert((h.module_of(addr), h.local_line(addr))),
+                "degraded placement collapsed two lines"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn degraded_rejects_all_modules_offline() {
+        AddressHash::degraded(2, 8, &[0, 1]);
     }
 
     #[test]

@@ -15,6 +15,6 @@ pub mod hash;
 pub mod module;
 
 pub use cache::{CacheBank, CacheConfig, CacheStats, MemReq, MemResp, Service};
-pub use dram::{DramChannel, DramConfig, DramDone, DramReq, DramStats};
+pub use dram::{DramChannel, DramConfig, DramDone, DramReq, DramStats, EccConfig};
 pub use hash::AddressHash;
 pub use module::{ChannelRequest, MemoryModule, ModuleStats};

@@ -88,6 +88,12 @@ impl MemoryModule {
         &self.bank
     }
 
+    /// Mutable access to the bank, for checkpoint restore (stats and
+    /// tag-store state live on the bank).
+    pub fn bank_mut(&mut self) -> &mut CacheBank {
+        &mut self.bank
+    }
+
     /// Requests and fills still outstanding.
     pub fn outstanding(&self) -> usize {
         self.bank.queue_len()

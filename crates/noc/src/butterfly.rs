@@ -219,6 +219,11 @@ impl Network for ButterflyNetwork {
         self.stats
     }
 
+    fn restore_stats(&mut self, stats: NetStats) {
+        debug_assert_eq!(self.in_flight(), 0, "restore into a busy network");
+        self.stats = stats;
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.ports, "source port out of range");
         assert!(flit.dst < self.ports, "destination port out of range");

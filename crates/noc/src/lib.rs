@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 pub mod analytic;
 pub mod butterfly;
+pub mod faulty;
 pub mod mot;
 pub mod mot_switch;
 pub mod net;
@@ -29,6 +30,7 @@ pub mod traffic;
 
 pub use analytic::{aggregate_flit_rate, effective_throughput, TrafficClass};
 pub use butterfly::ButterflyNetwork;
+pub use faulty::{fault_hash, probability_threshold, FaultyNetwork, LinkFaults};
 pub use mot::MotNetwork;
 pub use mot_switch::MotSwitchNetwork;
 pub use net::{Delivered, Flit, NetStats, Network};

@@ -81,6 +81,11 @@ impl Network for MotNetwork {
         self.stats
     }
 
+    fn restore_stats(&mut self, stats: NetStats) {
+        debug_assert_eq!(self.in_flight(), 0, "restore into a busy network");
+        self.stats = stats;
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.topo.clusters, "source port out of range");
         assert!(

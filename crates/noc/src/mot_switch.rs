@@ -106,6 +106,11 @@ impl Network for MotSwitchNetwork {
         self.stats
     }
 
+    fn restore_stats(&mut self, stats: NetStats) {
+        debug_assert_eq!(self.in_flight(), 0, "restore into a busy network");
+        self.stats = stats;
+    }
+
     fn try_inject(&mut self, flit: Flit) -> bool {
         assert!(flit.src < self.topo.clusters && flit.dst < self.topo.modules);
         if self.last_inject[flit.src] == self.cycle {

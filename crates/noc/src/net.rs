@@ -102,6 +102,15 @@ pub trait Network {
     /// sample this at interval boundaries; it must be cheap (a copy of
     /// counters the model already maintains).
     fn stats(&self) -> NetStats;
+
+    /// Overwrite the accumulated [`NetStats`] wholesale. Checkpoint
+    /// restore uses this to resume a run with the counters it had at
+    /// the save point; the network itself must be empty (`in_flight ==
+    /// 0`) when called. The default is a no-op for models that keep no
+    /// restorable counters.
+    fn restore_stats(&mut self, stats: NetStats) {
+        let _ = stats;
+    }
 }
 
 /// Aggregate statistics a network keeps about its own operation.
@@ -117,6 +126,15 @@ pub struct NetStats {
     pub peak_in_flight: usize,
     /// Injections refused due to per-port rate or buffer backpressure.
     pub inject_rejections: u64,
+    /// Deliveries detected as corrupted by the link-fault layer (see
+    /// `faulty::FaultyNetwork`); zero on a fault-free network.
+    pub corrupted: u64,
+    /// Redeliveries scheduled after a corrupted delivery (bounded
+    /// retry with exponential backoff).
+    pub retried: u64,
+    /// Corrupted deliveries whose retry budget was exhausted; the flit
+    /// is delivered anyway (end-to-end recovery) and counted here.
+    pub retry_exhausted: u64,
 }
 
 impl NetStats {

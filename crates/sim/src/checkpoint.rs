@@ -1,0 +1,537 @@
+//! Quiescent-state checkpointing.
+//!
+//! A [`Checkpoint`] captures everything a machine needs to resume a run
+//! bit-identically: the architectural state (memory image, global and
+//! MTCU registers, mode PC, PS-unit counters), the accumulated
+//! statistics, and the replayable component state (cache tag stores,
+//! DRAM-channel stats plus the ECC fault-stream cursor, NoC counters
+//! plus the link-fault cursor). Checkpoints are only taken at
+//! *quiescent* points — serial mode with the whole memory system
+//! drained — so no in-flight transaction, NoC flit or DRAM transfer
+//! ever needs to be serialized; [`crate::Machine::run_until`] finds
+//! such a point on request.
+//!
+//! The byte format ([`Checkpoint::to_bytes`]) is versioned
+//! little-endian with explicit geometry, so a stale or mismatched blob
+//! is rejected with a typed [`SimError`] instead of resuming garbage.
+
+use crate::machine::{MachineStats, SimError, SpawnStats};
+use xmt_mem::{CacheStats, DramStats, ModuleStats};
+use xmt_noc::NetStats;
+
+/// Format magic: "XMTCKPT" plus a format version byte.
+const MAGIC: u64 = 0x584D_5443_4B50_5401;
+
+/// Per-module replayable state: the cache tag store and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ModuleState {
+    pub(crate) tags: Vec<u64>,
+    pub(crate) cache: CacheStats,
+    pub(crate) module: ModuleStats,
+}
+
+/// Per-channel replayable state: counters plus the ECC fault cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChannelState {
+    pub(crate) stats: DramStats,
+    pub(crate) transfers: u64,
+}
+
+/// A resumable snapshot of a quiescent [`crate::Machine`]. Produced by
+/// [`crate::Machine::checkpoint`], consumed by
+/// [`crate::MachineBuilder::resume`]; serializable via
+/// [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    // Geometry — validated against the resuming builder's config.
+    pub(crate) clusters: u32,
+    pub(crate) tcus_per_cluster: u32,
+    pub(crate) memory_modules: u32,
+    pub(crate) dram_channels: u32,
+    pub(crate) prog_len: u32,
+    // Architectural state.
+    pub(crate) cycle: u64,
+    pub(crate) pc: u32,
+    pub(crate) next_tid: u32,
+    pub(crate) spawn_count: u32,
+    pub(crate) spawn_entry: u32,
+    pub(crate) gregs: Vec<u32>,
+    pub(crate) mtcu_iregs: Vec<u32>,
+    pub(crate) mtcu_fregs: Vec<u32>,
+    pub(crate) mem: Vec<u32>,
+    // Accumulated observables.
+    pub(crate) stats: MachineStats,
+    pub(crate) spawn_log: Vec<SpawnStats>,
+    pub(crate) cluster_rr: Vec<u32>,
+    pub(crate) cluster_instr: Vec<u64>,
+    pub(crate) modules: Vec<ModuleState>,
+    pub(crate) channels: Vec<ChannelState>,
+    pub(crate) req_stats: NetStats,
+    pub(crate) reply_stats: NetStats,
+}
+
+impl Checkpoint {
+    /// The machine cycle the checkpoint was taken at.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Serialize to the versioned little-endian byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64 + self.mem.len() * 4);
+        put_u64(&mut b, MAGIC);
+        for v in [
+            self.clusters,
+            self.tcus_per_cluster,
+            self.memory_modules,
+            self.dram_channels,
+            self.prog_len,
+            self.pc,
+            self.next_tid,
+            self.spawn_count,
+            self.spawn_entry,
+        ] {
+            put_u32(&mut b, v);
+        }
+        put_u64(&mut b, self.cycle);
+        put_u32s(&mut b, &self.gregs);
+        put_u32s(&mut b, &self.mtcu_iregs);
+        put_u32s(&mut b, &self.mtcu_fregs);
+        put_u32s(&mut b, &self.mem);
+        put_machine_stats(&mut b, &self.stats);
+        put_u32(&mut b, self.spawn_log.len() as u32);
+        for s in &self.spawn_log {
+            put_spawn_stats(&mut b, s);
+        }
+        put_u32s(&mut b, &self.cluster_rr);
+        put_u64s(&mut b, &self.cluster_instr);
+        put_u32(&mut b, self.modules.len() as u32);
+        for m in &self.modules {
+            put_u64s(&mut b, &m.tags);
+            for v in [
+                m.cache.accesses,
+                m.cache.hits,
+                m.cache.misses,
+                m.cache.writebacks,
+            ] {
+                put_u64(&mut b, v);
+            }
+            put_u64(&mut b, m.cache.peak_queue as u64);
+            put_u64(&mut b, m.module.merged_misses);
+            put_u64(&mut b, m.module.responses);
+        }
+        put_u32(&mut b, self.channels.len() as u32);
+        for c in &self.channels {
+            put_dram_stats(&mut b, &c.stats);
+            put_u64(&mut b, c.transfers);
+        }
+        put_net_stats(&mut b, &self.req_stats);
+        put_net_stats(&mut b, &self.reply_stats);
+        b
+    }
+
+    /// Parse the byte format; rejects truncated, corrupt or
+    /// differently-versioned blobs with a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, SimError> {
+        let mut r = Reader { b: bytes, pos: 0 };
+        if r.u64()? != MAGIC {
+            return Err(corrupt("checkpoint magic/version mismatch"));
+        }
+        let clusters = r.u32()?;
+        let tcus_per_cluster = r.u32()?;
+        let memory_modules = r.u32()?;
+        let dram_channels = r.u32()?;
+        let prog_len = r.u32()?;
+        let pc = r.u32()?;
+        let next_tid = r.u32()?;
+        let spawn_count = r.u32()?;
+        let spawn_entry = r.u32()?;
+        let cycle = r.u64()?;
+        let gregs = r.u32s()?;
+        let mtcu_iregs = r.u32s()?;
+        let mtcu_fregs = r.u32s()?;
+        let mem = r.u32s()?;
+        let stats = r.machine_stats()?;
+        let n_spawns = r.len()?;
+        let mut spawn_log = Vec::with_capacity(n_spawns.min(1 << 16));
+        for _ in 0..n_spawns {
+            spawn_log.push(r.spawn_stats()?);
+        }
+        let cluster_rr = r.u32s()?;
+        let cluster_instr = r.u64s()?;
+        let n_modules = r.len()?;
+        let mut modules = Vec::with_capacity(n_modules.min(1 << 16));
+        for _ in 0..n_modules {
+            let tags = r.u64s()?;
+            let cache = CacheStats {
+                accesses: r.u64()?,
+                hits: r.u64()?,
+                misses: r.u64()?,
+                writebacks: r.u64()?,
+                peak_queue: r.u64()? as usize,
+            };
+            let module = ModuleStats {
+                merged_misses: r.u64()?,
+                responses: r.u64()?,
+            };
+            modules.push(ModuleState {
+                tags,
+                cache,
+                module,
+            });
+        }
+        let n_channels = r.len()?;
+        let mut channels = Vec::with_capacity(n_channels.min(1 << 16));
+        for _ in 0..n_channels {
+            let stats = r.dram_stats()?;
+            let transfers = r.u64()?;
+            channels.push(ChannelState { stats, transfers });
+        }
+        let req_stats = r.net_stats()?;
+        let reply_stats = r.net_stats()?;
+        if r.pos != bytes.len() {
+            return Err(corrupt("trailing bytes after checkpoint payload"));
+        }
+        Ok(Checkpoint {
+            clusters,
+            tcus_per_cluster,
+            memory_modules,
+            dram_channels,
+            prog_len,
+            cycle,
+            pc,
+            next_tid,
+            spawn_count,
+            spawn_entry,
+            gregs,
+            mtcu_iregs,
+            mtcu_fregs,
+            mem,
+            stats,
+            spawn_log,
+            cluster_rr,
+            cluster_instr,
+            modules,
+            channels,
+            req_stats,
+            reply_stats,
+        })
+    }
+}
+
+fn corrupt(what: &'static str) -> SimError {
+    SimError::InvalidConfig { what }
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32s(b: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(b, vs.len() as u32);
+    for &v in vs {
+        put_u32(b, v);
+    }
+}
+
+fn put_u64s(b: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(b, vs.len() as u32);
+    for &v in vs {
+        put_u64(b, v);
+    }
+}
+
+fn put_machine_stats(b: &mut Vec<u8>, s: &MachineStats) {
+    for v in [
+        s.cycles,
+        s.instructions,
+        s.flops,
+        s.mem_reads,
+        s.mem_writes,
+        s.threads,
+        s.spawns,
+        s.stall_scoreboard,
+        s.stall_fpu,
+        s.stall_mdu,
+        s.stall_lsu,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn put_spawn_stats(b: &mut Vec<u8>, s: &SpawnStats) {
+    for v in [
+        s.index as u64,
+        s.threads,
+        s.start_cycle,
+        s.cycles,
+        s.instructions,
+        s.flops,
+        s.mem_reads,
+        s.mem_writes,
+        s.dram_bytes,
+        s.stall_scoreboard,
+        s.stall_fpu,
+        s.stall_mdu,
+        s.stall_lsu,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn put_dram_stats(b: &mut Vec<u8>, s: &DramStats) {
+    for v in [
+        s.reads,
+        s.writes,
+        s.bytes,
+        s.busy_cycles,
+        s.peak_queue as u64,
+        s.ecc_corrected,
+        s.ecc_detected,
+        s.ecc_retries,
+        s.ecc_unrecoverable,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn put_net_stats(b: &mut Vec<u8>, s: &NetStats) {
+    for v in [
+        s.injected,
+        s.delivered,
+        s.total_latency,
+        s.peak_in_flight as u64,
+        s.inject_rejections,
+        s.corrupted,
+        s.retried,
+        s.retry_exhausted,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u32(&mut self) -> Result<u32, SimError> {
+        let end = self.pos + 4;
+        if end > self.b.len() {
+            return Err(corrupt("checkpoint truncated"));
+        }
+        let v = u32::from_le_bytes(self.b[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, SimError> {
+        let end = self.pos + 8;
+        if end > self.b.len() {
+            return Err(corrupt("checkpoint truncated"));
+        }
+        let v = u64::from_le_bytes(self.b[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// A length prefix, sanity-bounded by the remaining payload so a
+    /// corrupt count cannot drive a huge allocation.
+    fn len(&mut self) -> Result<usize, SimError> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() - self.pos {
+            return Err(corrupt("checkpoint length prefix exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, SimError> {
+        let n = self.len()?;
+        if n * 4 > self.b.len() - self.pos {
+            return Err(corrupt("checkpoint truncated inside u32 array"));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, SimError> {
+        let n = self.len()?;
+        if n * 8 > self.b.len() - self.pos {
+            return Err(corrupt("checkpoint truncated inside u64 array"));
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn machine_stats(&mut self) -> Result<MachineStats, SimError> {
+        Ok(MachineStats {
+            cycles: self.u64()?,
+            instructions: self.u64()?,
+            flops: self.u64()?,
+            mem_reads: self.u64()?,
+            mem_writes: self.u64()?,
+            threads: self.u64()?,
+            spawns: self.u64()?,
+            stall_scoreboard: self.u64()?,
+            stall_fpu: self.u64()?,
+            stall_mdu: self.u64()?,
+            stall_lsu: self.u64()?,
+        })
+    }
+
+    fn spawn_stats(&mut self) -> Result<SpawnStats, SimError> {
+        Ok(SpawnStats {
+            index: self.u64()? as usize,
+            threads: self.u64()?,
+            start_cycle: self.u64()?,
+            cycles: self.u64()?,
+            instructions: self.u64()?,
+            flops: self.u64()?,
+            mem_reads: self.u64()?,
+            mem_writes: self.u64()?,
+            dram_bytes: self.u64()?,
+            stall_scoreboard: self.u64()?,
+            stall_fpu: self.u64()?,
+            stall_mdu: self.u64()?,
+            stall_lsu: self.u64()?,
+        })
+    }
+
+    fn dram_stats(&mut self) -> Result<DramStats, SimError> {
+        Ok(DramStats {
+            reads: self.u64()?,
+            writes: self.u64()?,
+            bytes: self.u64()?,
+            busy_cycles: self.u64()?,
+            peak_queue: self.u64()? as usize,
+            ecc_corrected: self.u64()?,
+            ecc_detected: self.u64()?,
+            ecc_retries: self.u64()?,
+            ecc_unrecoverable: self.u64()?,
+        })
+    }
+
+    fn net_stats(&mut self) -> Result<NetStats, SimError> {
+        Ok(NetStats {
+            injected: self.u64()?,
+            delivered: self.u64()?,
+            total_latency: self.u64()?,
+            peak_in_flight: self.u64()? as usize,
+            inject_rejections: self.u64()?,
+            corrupted: self.u64()?,
+            retried: self.u64()?,
+            retry_exhausted: self.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            clusters: 4,
+            tcus_per_cluster: 32,
+            memory_modules: 4,
+            dram_channels: 1,
+            prog_len: 17,
+            cycle: 12345,
+            pc: 9,
+            next_tid: 64,
+            spawn_count: 64,
+            spawn_entry: 4,
+            gregs: (0..16).collect(),
+            mtcu_iregs: (100..132).collect(),
+            mtcu_fregs: (200..232).collect(),
+            mem: (0..512).collect(),
+            stats: MachineStats {
+                cycles: 12345,
+                instructions: 999,
+                threads: 64,
+                ..Default::default()
+            },
+            spawn_log: vec![SpawnStats {
+                index: 0,
+                threads: 64,
+                start_cycle: 10,
+                cycles: 400,
+                ..Default::default()
+            }],
+            cluster_rr: vec![1, 2, 3, 4],
+            cluster_instr: vec![10, 20, 30, 40],
+            modules: (0..4)
+                .map(|i| ModuleState {
+                    tags: vec![i, 0, i << 2 | 3],
+                    cache: CacheStats {
+                        accesses: 100 + i,
+                        hits: 90,
+                        misses: 10,
+                        writebacks: 2,
+                        peak_queue: 5,
+                    },
+                    module: ModuleStats {
+                        merged_misses: 1,
+                        responses: 100,
+                    },
+                })
+                .collect(),
+            channels: vec![ChannelState {
+                stats: DramStats {
+                    reads: 10,
+                    bytes: 640,
+                    ecc_detected: 1,
+                    ..Default::default()
+                },
+                transfers: 12,
+            }],
+            req_stats: NetStats {
+                injected: 128,
+                delivered: 128,
+                total_latency: 900,
+                peak_in_flight: 17,
+                inject_rejections: 3,
+                ..Default::default()
+            },
+            reply_stats: NetStats {
+                injected: 128,
+                delivered: 128,
+                corrupted: 2,
+                retried: 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let cp = sample();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 7, 8, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+        bytes[0] ^= 0xFF;
+        bytes.push(0);
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+}

@@ -19,10 +19,17 @@
 //!   [`Probe`] hooks sampled every K cycles into fixed ring buffers,
 //!   exported as Chrome `trace_event` JSON or a per-phase roofline /
 //!   stall-attribution table.
+//! * [`fault`] / [`checkpoint`] — deterministic resilience: seeded
+//!   [`FaultPlan`]s (ECC-checked DRAM flips, NoC corruption + retry,
+//!   dead/stuck components), graceful degradation around offline
+//!   clusters and channels, and quiescent-point [`Checkpoint`]
+//!   snapshots that resume bit-identically.
 
 #![warn(missing_docs)]
+pub mod checkpoint;
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod machine;
 pub mod perfmodel;
 pub mod physical;
@@ -30,11 +37,13 @@ pub mod probe;
 pub mod trace;
 mod txn_slab;
 
+pub use checkpoint::Checkpoint;
 pub use config::XmtConfig;
 pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};
+pub use fault::{FaultPlan, TcuId};
 pub use machine::{
-    Engine, Machine, MachineBuilder, MachineStats, RunReport, SimError, SpawnStats,
-    UtilizationReport,
+    Engine, FailedRun, Machine, MachineBuilder, MachineStats, RunReport, RunStatus, SimError,
+    SpawnStats, UtilizationReport,
 };
 pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
 pub use physical::{summarize, PhysicalSummary};

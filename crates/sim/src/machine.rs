@@ -24,17 +24,19 @@
 //! * `spawn` broadcast costs log₂(clusters) cycles; thread IDs are
 //!   handed out by the PS unit with unlimited same-cycle combining.
 
+use crate::checkpoint::{ChannelState, Checkpoint, ModuleState};
 use crate::config::XmtConfig;
+use crate::fault::FaultPlan;
 use crate::probe::{BlockedTcus, NoProbe, Probe, SampleCtx};
 use crate::txn_slab::TxnSlab;
 use std::collections::VecDeque;
 use xmt_isa::decoded::DecodedProgram;
 use xmt_isa::instr::{eval_branch, Instr, Unit};
 use xmt_isa::interp::exec_compute;
-use xmt_isa::reg::{FReg, IReg, RegFile, NUM_GREGS};
+use xmt_isa::reg::{fr, ir, FReg, IReg, RegFile, NUM_GREGS};
 use xmt_isa::Program;
 use xmt_mem::{AddressHash, ChannelRequest, DramChannel, DramReq, MemReq, MemResp, MemoryModule};
-use xmt_noc::{Delivered, Flit, Network, Topology};
+use xmt_noc::{Delivered, FaultyNetwork, Flit, Network, Topology};
 
 #[path = "machine_threaded.rs"]
 mod threaded;
@@ -48,6 +50,11 @@ const SERIAL_MEM_LATENCY: u64 = 4;
 /// Maximum outstanding memory operations per TCU (models the XMT
 /// prefetch/decoupling capability).
 const MAX_OUTSTANDING: u8 = 8;
+/// Default watchdog no-progress horizon in cycles. Generous: legitimate
+/// quiet stretches are bounded by DRAM latency (hundreds of cycles), so
+/// two million cycles without one instruction retiring or one thread
+/// starting is always a hang.
+const DEFAULT_WATCHDOG: u64 = 2_000_000;
 
 /// Simulator errors. Every variant carries the program counter of the
 /// fault (where one exists) and the machine cycle it surfaced on:
@@ -85,16 +92,46 @@ pub enum SimError {
         /// Machine cycle the fault surfaced on.
         at_cycle: u64,
     },
+    /// The watchdog saw no forward progress (no instruction retired and
+    /// no thread started) for a whole no-progress horizon — a hang that
+    /// would otherwise burn the entire cycle budget, e.g. a stuck-at
+    /// TCU holding the spawn barrier open forever.
+    Stalled {
+        /// Cycle the watchdog fired on.
+        at_cycle: u64,
+        /// Instructions retired when progress last advanced.
+        last_retired: u64,
+    },
+    /// An internal protocol invariant broke (e.g. a NoC delivery whose
+    /// transaction tag is unknown). Always a simulator bug, surfaced as
+    /// a typed error instead of a panic so long sweeps keep their
+    /// partial results.
+    Protocol {
+        /// Which invariant broke.
+        what: &'static str,
+        /// Machine cycle the fault surfaced on.
+        at_cycle: u64,
+    },
+    /// The builder was asked for an impossible machine (fault indices
+    /// out of range, every TCU disabled, all DRAM channels dead, …).
+    InvalidConfig {
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl SimError {
-    /// The machine cycle the error surfaced on.
+    /// The machine cycle the error surfaced on (0 for construction-time
+    /// errors, which precede the first cycle).
     pub fn cycle(&self) -> u64 {
         match *self {
             SimError::MemOutOfBounds { at_cycle, .. }
             | SimError::BadInstruction { at_cycle, .. }
             | SimError::CycleLimit { at_cycle }
-            | SimError::PcOutOfRange { at_cycle, .. } => at_cycle,
+            | SimError::PcOutOfRange { at_cycle, .. }
+            | SimError::Stalled { at_cycle, .. }
+            | SimError::Protocol { at_cycle, .. } => at_cycle,
+            SimError::InvalidConfig { .. } => 0,
         }
     }
 
@@ -105,11 +142,14 @@ impl SimError {
             SimError::MemOutOfBounds { at_cycle, .. }
             | SimError::BadInstruction { at_cycle, .. }
             | SimError::CycleLimit { at_cycle }
-            | SimError::PcOutOfRange { at_cycle, .. } => {
+            | SimError::PcOutOfRange { at_cycle, .. }
+            | SimError::Stalled { at_cycle, .. }
+            | SimError::Protocol { at_cycle, .. } => {
                 if *at_cycle == 0 {
                     *at_cycle = cycle;
                 }
             }
+            SimError::InvalidConfig { .. } => {}
         }
         self
     }
@@ -129,11 +169,62 @@ impl std::fmt::Display for SimError {
             SimError::PcOutOfRange { pc, at_cycle } => {
                 write!(f, "pc {pc} out of range (cycle {at_cycle})")
             }
+            SimError::Stalled {
+                at_cycle,
+                last_retired,
+            } => write!(
+                f,
+                "no forward progress: watchdog fired at cycle {at_cycle} \
+                 ({last_retired} instructions retired)"
+            ),
+            SimError::Protocol { what, at_cycle } => {
+                write!(f, "protocol invariant broken: {what} (cycle {at_cycle})")
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// A failed [`Machine::run`]: the typed error plus everything the
+/// machine can still report about the partial execution — the counters,
+/// spawn log and utilization accumulated up to the failure, so a swept
+/// or faulted run that times out still yields its data.
+#[derive(Debug, Clone)]
+pub struct FailedRun {
+    /// Why the run stopped.
+    pub error: SimError,
+    /// The report as of the failure cycle (boxed: the error path
+    /// should not inflate the `Result` on the hot return).
+    pub partial: Box<RunReport>,
+}
+
+impl std::fmt::Display for FailedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for FailedRun {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Outcome of [`Machine::run_until`].
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// The program halted before the pause point; the run is complete
+    /// (boxed: the enum otherwise dwarfs its `Paused` variant).
+    Done(Box<RunReport>),
+    /// The machine paused at the first quiescent cycle at or after the
+    /// requested pause point; [`Machine::checkpoint`] can snapshot it.
+    Paused {
+        /// Cycle the machine paused on.
+        at_cycle: u64,
+    },
+}
 
 /// What a memory transaction will do when its reply arrives.
 #[derive(Debug, Clone, Copy)]
@@ -180,6 +271,11 @@ struct Tcu {
     /// per-cycle issue loop and the fast-forward scan classify a
     /// stalled TCU from this one byte without refetching the program.
     cls: IssueClass,
+    /// Hard-fault: never activates; threads remap around it.
+    disabled: bool,
+    /// Hard-fault: accepts a thread, then never issues (holds the spawn
+    /// barrier open until the watchdog fires).
+    stuck: bool,
     rf: RegFile,
 }
 
@@ -193,6 +289,8 @@ impl Tcu {
             active: false,
             outstanding: 0,
             cls: IssueClass::BadPc,
+            disabled: false,
+            stuck: false,
             rf: RegFile::new(0),
         }
     }
@@ -297,6 +395,14 @@ struct ClusterMasks {
     cls: [u64; NUM_ISSUE_CLASSES],
     out_nz: u64,
     at_cap: u64,
+    /// Stuck-at TCUs: excluded from every mask-driven issue path (a
+    /// stuck TCU activates but never issues). Not folded into `busy` —
+    /// the 16-slot wheel would alias a forever-busy sentinel.
+    stuck: u64,
+    /// Disabled TCUs: never activate. Mirrors `Tcu::disabled` so
+    /// cluster-level idle capacity can be sized without touching the
+    /// TCU array (the threaded engine's initial grant sizing).
+    disabled: u64,
 }
 
 impl ClusterMasks {
@@ -311,6 +417,8 @@ impl ClusterMasks {
             cls,
             out_nz: 0,
             at_cap: 0,
+            stuck: 0,
+            disabled: 0,
         }
     }
 
@@ -630,11 +738,20 @@ fn scan_cluster<const COMPLETE: bool>(cluster: &[Tcu], next: u64) -> ClusterScan
     };
     for tcu in cluster {
         if !tcu.active {
-            scan.idle += 1;
+            // A disabled TCU never activates: it is not idle capacity,
+            // so thread-ID grant sizing must not count it.
+            if !tcu.disabled {
+                scan.idle += 1;
+            }
             continue;
         }
         if tcu.busy_until > next {
             scan.min_busy = scan.min_busy.min(tcu.busy_until);
+            continue;
+        }
+        if tcu.stuck {
+            // Stuck-at: active but never issues — no stall counter, no
+            // issue, no event. Only the watchdog ends this.
             continue;
         }
         match tcu.cls {
@@ -711,6 +828,14 @@ pub struct Machine<P: Probe = NoProbe> {
     txns: TxnSlab<Txn>,
     /// The `max_cycles` value.
     pub max_cycles: u64,
+    /// Watchdog no-progress horizon: if no instruction retires and no
+    /// thread starts for this many cycles, the run fails with
+    /// [`SimError::Stalled`] instead of burning the whole cycle budget.
+    pub watchdog: u64,
+    /// Cycle on which the progress fingerprint last advanced.
+    progress_cycle: u64,
+    /// Progress fingerprint (instructions retired + threads started).
+    progress_mark: u64,
     /// Accumulated statistics.
     pub stats: MachineStats,
     spawn_log: Vec<SpawnStats>,
@@ -891,6 +1016,8 @@ pub struct MachineBuilder {
     mem: Vec<u32>,
     engine: Engine,
     max_cycles: Option<u64>,
+    faults: FaultPlan,
+    watchdog: Option<u64>,
 }
 
 impl MachineBuilder {
@@ -904,6 +1031,8 @@ impl MachineBuilder {
             mem: Vec::new(),
             engine: Engine::default(),
             max_cycles: None,
+            faults: FaultPlan::default(),
+            watchdog: None,
         }
     }
 
@@ -927,6 +1056,36 @@ impl MachineBuilder {
         self
     }
 
+    /// Override the watchdog no-progress horizon (default two million
+    /// cycles; see [`SimError::Stalled`]).
+    pub fn watchdog(mut self, horizon: u64) -> Self {
+        self.watchdog = Some(horizon);
+        self
+    }
+
+    /// Attach a deterministic [`FaultPlan`]. A benign plan (the
+    /// default) interposes nothing: the machine is bit-identical to one
+    /// built without faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Graceful-degradation shorthand: take whole clusters and DRAM
+    /// channels offline. Spawned threads remap around the dead clusters
+    /// and the address hash spreads lines over the surviving module
+    /// groups, so a correct program still produces correct output at
+    /// reduced throughput. Merges into the current fault plan.
+    pub fn degraded(mut self, dead_clusters: &[usize], dead_channels: &[usize]) -> Self {
+        for &c in dead_clusters {
+            self.faults.dead_clusters.push(c);
+        }
+        for &ch in dead_channels {
+            self.faults.dead_channels.push(ch);
+        }
+        self
+    }
+
     /// Store an `f32` slice at word address `addr` (bit-cast), growing
     /// the memory image to fit.
     pub fn write_f32s(mut self, addr: usize, data: &[f32]) -> Self {
@@ -945,21 +1104,98 @@ impl MachineBuilder {
         self
     }
 
-    /// Build an unprobed machine (the zero-overhead default).
+    /// Build an unprobed machine (the zero-overhead default). Panics on
+    /// an invalid fault plan; use [`MachineBuilder::try_build`] for a
+    /// typed error instead.
     pub fn build(self) -> Machine {
-        self.build_probed(NoProbe)
+        self.try_build().expect("invalid machine configuration")
+    }
+
+    /// Build an unprobed machine, returning
+    /// [`SimError::InvalidConfig`] when the configuration or fault plan
+    /// is impossible (indices out of range, every TCU disabled, …).
+    pub fn try_build(self) -> Result<Machine, SimError> {
+        self.try_build_probed(NoProbe)
+    }
+
+    /// Build a machine with `probe` attached. Panicking sibling of
+    /// [`MachineBuilder::try_build_probed`].
+    pub fn build_probed<P: Probe>(self, probe: P) -> Machine<P> {
+        self.try_build_probed(probe)
+            .expect("invalid machine configuration")
+    }
+
+    /// Validate the fault plan against the configuration.
+    fn validate_faults(&self) -> Result<(), SimError> {
+        let f = &self.faults;
+        let err = |what| Err(SimError::InvalidConfig { what });
+        if f.dead_clusters.iter().any(|&c| c >= self.cfg.clusters) {
+            return err("dead cluster index out of range");
+        }
+        if f.dead_tcus
+            .iter()
+            .chain(&f.stuck_tcus)
+            .any(|id| id.cluster >= self.cfg.clusters || id.tcu >= self.cfg.tcus_per_cluster)
+        {
+            return err("faulted TCU index out of range");
+        }
+        if f.dead_channels
+            .iter()
+            .any(|&ch| ch >= self.cfg.dram_channels())
+        {
+            return err("dead DRAM channel index out of range");
+        }
+        let p_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !p_ok(f.dram_single) || !p_ok(f.dram_double) || !p_ok(f.noc_corrupt) {
+            return err("fault probability out of [0, 1]");
+        }
+        if !f.dead_channels.is_empty() {
+            if self.cfg.memory_modules > 64 {
+                return err("degraded placement requires \u{2264} 64 memory modules");
+            }
+            let mut dead = f.dead_channels.clone();
+            dead.sort_unstable();
+            dead.dedup();
+            if dead.len() >= self.cfg.dram_channels() {
+                return err("at least one DRAM channel must stay online");
+            }
+        }
+        // At least one TCU must be able to run threads.
+        let mut dead_clusters = f.dead_clusters.clone();
+        dead_clusters.sort_unstable();
+        dead_clusters.dedup();
+        let mut dead_tcus: Vec<(usize, usize)> = f
+            .dead_tcus
+            .iter()
+            .map(|id| (id.cluster, id.tcu))
+            .filter(|&(c, _)| !dead_clusters.contains(&c))
+            .collect();
+        dead_tcus.sort_unstable();
+        dead_tcus.dedup();
+        let total = self.cfg.clusters * self.cfg.tcus_per_cluster;
+        let dead = dead_clusters.len() * self.cfg.tcus_per_cluster + dead_tcus.len();
+        if dead >= total {
+            return err("every TCU is disabled");
+        }
+        Ok(())
     }
 
     /// Build a machine with `probe` attached. The probe's
     /// [`Probe::bind`] runs here, before the first cycle, so ring
-    /// buffers are sized once and the hot path never allocates.
-    pub fn build_probed<P: Probe>(self, mut probe: P) -> Machine<P> {
+    /// buffers are sized once and the hot path never allocates. With a
+    /// benign fault plan the constructed machine is bit-identical to
+    /// the pre-fault-injection simulator: no fault layer is interposed
+    /// anywhere.
+    pub fn try_build_probed<P: Probe>(self, mut probe: P) -> Result<Machine<P>, SimError> {
+        self.validate_faults()?;
         let MachineBuilder {
             cfg,
             prog,
             mem,
             engine,
             max_cycles,
+            faults,
+            watchdog,
         } = self;
         assert!(
             cfg.tcus_per_cluster <= 64,
@@ -986,14 +1222,39 @@ impl MachineBuilder {
         let modules = (0..cfg.memory_modules)
             .map(|i| MemoryModule::new(i, cfg.cache))
             .collect();
-        let channels: Vec<DramChannel> = (0..cfg.dram_channels())
+        let mut channels: Vec<DramChannel> = (0..cfg.dram_channels())
             .map(|_| DramChannel::new(cfg.dram))
             .collect();
+        for (ch, channel) in channels.iter_mut().enumerate() {
+            if let Some(ecc) = faults.ecc_for_channel(ch) {
+                channel.enable_ecc(ecc);
+            }
+        }
+        // Dead DRAM channels take their whole memory-module group
+        // offline; the hash spreads lines over the survivors.
+        let offline_modules: Vec<usize> = faults
+            .dead_channels
+            .iter()
+            .flat_map(|&ch| ch * cfg.mm_per_dram_ctrl..(ch + 1) * cfg.mm_per_dram_ctrl)
+            .collect();
+        let hash = if offline_modules.is_empty() {
+            AddressHash::new(cfg.memory_modules, cfg.cache.line_words)
+        } else {
+            AddressHash::degraded(cfg.memory_modules, cfg.cache.line_words, &offline_modules)
+        };
+        let mut req_net = xmt_noc::build_network(topo);
+        let mut reply_net = xmt_noc::build_network(reply_topo);
+        if let Some(lf) = faults.req_net_faults() {
+            req_net = Box::new(FaultyNetwork::new(req_net, lf));
+        }
+        if let Some(lf) = faults.reply_net_faults() {
+            reply_net = Box::new(FaultyNetwork::new(reply_net, lf));
+        }
         let decoded = DecodedProgram::new(&prog);
         let has_global_ops = (0..prog.len())
             .any(|pc| matches!(prog.fetch(pc), Instr::Ps { .. } | Instr::Sspawn { .. }));
         let n_channels = channels.len();
-        Machine {
+        let mut m = Machine {
             prog,
             mem,
             gregs: [0; NUM_GREGS],
@@ -1011,14 +1272,17 @@ impl MachineBuilder {
                 .collect(),
             cluster_rr: vec![0; cfg.clusters],
             cluster_instr: vec![0; cfg.clusters],
-            req_net: xmt_noc::build_network(topo),
-            reply_net: xmt_noc::build_network(reply_topo),
+            req_net,
+            reply_net,
             modules,
             channels,
             module_outbox: vec![VecDeque::new(); cfg.memory_modules],
-            hash: AddressHash::new(cfg.memory_modules, cfg.cache.line_words),
+            hash,
             txns: TxnSlab::new(),
             max_cycles: max_cycles.unwrap_or(200_000_000),
+            watchdog: watchdog.unwrap_or(DEFAULT_WATCHDOG),
+            progress_cycle: 0,
+            progress_mark: 0,
             stats: MachineStats::default(),
             spawn_log: Vec::new(),
             tracker: None,
@@ -1042,7 +1306,88 @@ impl MachineBuilder {
             next_sample,
             last_sample: 0,
             cfg,
+        };
+        for &c in &faults.dead_clusters {
+            for tcu in &mut m.clusters[c] {
+                tcu.disabled = true;
+            }
+            m.masks[c].disabled = ones(m.cfg.tcus_per_cluster);
         }
+        for id in &faults.dead_tcus {
+            m.clusters[id.cluster][id.tcu].disabled = true;
+            m.masks[id.cluster].disabled |= 1u64 << id.tcu;
+        }
+        for id in &faults.stuck_tcus {
+            let tcu = &mut m.clusters[id.cluster][id.tcu];
+            if !tcu.disabled {
+                tcu.stuck = true;
+                m.masks[id.cluster].stuck |= 1u64 << id.tcu;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build a machine and restore `cp` into it, resuming the run the
+    /// checkpoint was taken from. The builder must describe the same
+    /// machine (config, program, fault plan) that produced the
+    /// checkpoint — geometry is validated, and the fault layers rewind
+    /// their deterministic streams to the saved cursors, so the resumed
+    /// run finishes with the same final cycle count and spawn digest as
+    /// the uninterrupted one under every engine.
+    pub fn resume(self, cp: &Checkpoint) -> Result<Machine, SimError> {
+        let mut m = self.try_build()?;
+        let geometry_ok = cp.clusters as usize == m.cfg.clusters
+            && cp.tcus_per_cluster as usize == m.cfg.tcus_per_cluster
+            && cp.memory_modules as usize == m.cfg.memory_modules
+            && cp.dram_channels as usize == m.cfg.dram_channels()
+            && cp.prog_len as usize == m.prog.len()
+            && cp.gregs.len() == NUM_GREGS
+            && cp.mtcu_iregs.len() == 32
+            && cp.mtcu_fregs.len() == 32
+            && cp.cluster_rr.len() == m.cfg.clusters
+            && cp.cluster_instr.len() == m.cfg.clusters
+            && cp.modules.len() == m.cfg.memory_modules
+            && cp.channels.len() == m.cfg.dram_channels();
+        if !geometry_ok {
+            return Err(SimError::InvalidConfig {
+                what: "checkpoint geometry does not match the machine",
+            });
+        }
+        m.mem = cp.mem.clone();
+        m.gregs.copy_from_slice(&cp.gregs);
+        for i in 0..32 {
+            m.mtcu_rf.write_i(ir(i), cp.mtcu_iregs[i]);
+            m.mtcu_rf.write_f(fr(i), f32::from_bits(cp.mtcu_fregs[i]));
+        }
+        m.cycle = cp.cycle;
+        m.next_tid = cp.next_tid;
+        m.spawn_count = cp.spawn_count;
+        m.spawn_entry = cp.spawn_entry as usize;
+        m.stats = cp.stats;
+        m.spawn_log = cp.spawn_log.clone();
+        m.cluster_rr = cp.cluster_rr.iter().map(|&r| r as usize).collect();
+        m.cluster_instr = cp.cluster_instr.clone();
+        m.mode = Mode::Serial {
+            pc: cp.pc as usize,
+            resume_at: cp.cycle + 1,
+        };
+        // The restored clock counts as fresh progress; component clocks
+        // restart at 0 and `cycle - mem_clock` absorbs the offset.
+        m.progress_cycle = cp.cycle;
+        m.progress_mark = cp.stats.instructions + cp.stats.threads;
+        m.last_sample = cp.cycle;
+        for (module, ms) in m.modules.iter_mut().zip(&cp.modules) {
+            let bank = module.bank_mut();
+            bank.restore_tags(&ms.tags);
+            bank.stats = ms.cache;
+            module.stats = ms.module;
+        }
+        for (channel, cs) in m.channels.iter_mut().zip(&cp.channels) {
+            channel.restore_state(cs.stats, cs.transfers);
+        }
+        m.req_net.restore_stats(cp.req_stats);
+        m.reply_net.restore_stats(cp.reply_stats);
+        Ok(m)
     }
 }
 
@@ -1148,8 +1493,17 @@ impl<P: Probe> Machine<P> {
 
     /// Run to `halt` with the selected [`Engine`]. Returns the full
     /// [`RunReport`]; the spawn log is moved out (use
-    /// [`Machine::spawn_log`] for any later inspection).
-    pub fn run(&mut self) -> Result<RunReport, SimError> {
+    /// [`Machine::spawn_log`] for any later inspection). On failure the
+    /// [`FailedRun`] carries both the typed [`SimError`] and the
+    /// partial report accumulated up to the failure cycle.
+    pub fn run(&mut self) -> Result<RunReport, FailedRun> {
+        self.run_inner().map_err(|error| FailedRun {
+            partial: Box::new(self.report()),
+            error,
+        })
+    }
+
+    fn run_inner(&mut self) -> Result<RunReport, SimError> {
         match self.engine {
             Engine::Reference => self.run_reference(),
             Engine::FastForward => self.run_ff(),
@@ -1169,15 +1523,44 @@ impl<P: Probe> Machine<P> {
         }
     }
 
+    /// Cycle-budget and watchdog check, run at every step boundary in
+    /// every engine. The progress fingerprint is instructions retired
+    /// plus threads started: any cycle that advances neither for a
+    /// whole watchdog horizon is a hang (legitimate quiet stretches are
+    /// bounded by DRAM latency), reported as [`SimError::Stalled`] at
+    /// exactly `progress_cycle + watchdog` — the fast-forward and
+    /// threaded engines cap their skip horizons there so all three
+    /// engines fail on the identical cycle.
+    fn check_progress(&mut self) -> Result<(), SimError> {
+        if self.cycle > self.max_cycles {
+            return Err(SimError::CycleLimit {
+                at_cycle: self.cycle,
+            });
+        }
+        let mark = self.stats.instructions + self.stats.threads;
+        if mark != self.progress_mark {
+            self.progress_mark = mark;
+            self.progress_cycle = self.cycle;
+        } else if self.cycle >= self.progress_cycle + self.watchdog {
+            return Err(SimError::Stalled {
+                at_cycle: self.cycle,
+                last_retired: self.stats.instructions,
+            });
+        }
+        Ok(())
+    }
+
+    /// The skip horizon the watchdog imposes: one past the firing
+    /// cycle, so a fast-forward lands exactly on it.
+    fn watchdog_horizon(&self) -> u64 {
+        (self.progress_cycle + self.watchdog).saturating_add(1)
+    }
+
     /// The baseline advance loop: one `step` per simulated cycle.
     fn run_reference(&mut self) -> Result<RunReport, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             self.step()?;
-            if self.cycle > self.max_cycles {
-                return Err(SimError::CycleLimit {
-                    at_cycle: self.cycle,
-                });
-            }
+            self.check_progress()?;
         }
         Ok(self.report())
     }
@@ -1190,28 +1573,149 @@ impl<P: Probe> Machine<P> {
     /// happen.
     fn run_ff(&mut self) -> Result<RunReport, SimError> {
         while !matches!(self.mode, Mode::Finished) {
-            let instr_before = self.stats.instructions;
-            let threads_before = self.stats.threads;
-            self.step_fast()?;
-            if self.cycle > self.max_cycles {
-                return Err(SimError::CycleLimit {
+            self.ff_advance()?;
+        }
+        Ok(self.report())
+    }
+
+    /// One fast-forward iteration: a stepped cycle, then (if it was
+    /// quiet) a bulk skip to the next event.
+    fn ff_advance(&mut self) -> Result<(), SimError> {
+        let instr_before = self.stats.instructions;
+        let threads_before = self.stats.threads;
+        self.step_fast()?;
+        self.check_progress()?;
+        if instr_before == self.stats.instructions && threads_before == self.stats.threads {
+            self.fast_forward();
+            self.check_progress()?;
+        } else {
+            // The step mutated TCU state (issue or activation), so
+            // any memoized quiet scan is stale.
+            self.ff_cache = None;
+        }
+        Ok(())
+    }
+
+    /// Run until the first *quiescent* cycle at or after `pause_at`
+    /// (serial mode, every transaction, NoC flit, module queue and
+    /// DRAM transfer drained), or to completion if the program halts
+    /// first. A paused machine can be snapshotted with
+    /// [`Machine::checkpoint`] and later resumed via
+    /// [`MachineBuilder::resume`], or simply run onward. Always
+    /// advances with the fast-forward engine; the pause point is
+    /// normalized so the checkpoint bytes are engine-invariant and the
+    /// final results match an uninterrupted run bit-for-bit.
+    pub fn run_until(&mut self, pause_at: u64) -> Result<RunStatus, FailedRun> {
+        self.run_until_inner(pause_at).map_err(|error| FailedRun {
+            partial: Box::new(self.report()),
+            error,
+        })
+    }
+
+    fn run_until_inner(&mut self, pause_at: u64) -> Result<RunStatus, SimError> {
+        while !matches!(self.mode, Mode::Finished) {
+            if self.cycle >= pause_at && self.quiescent() {
+                self.normalize_pause();
+                return Ok(RunStatus::Paused {
                     at_cycle: self.cycle,
                 });
             }
-            if instr_before == self.stats.instructions && threads_before == self.stats.threads {
-                self.fast_forward();
-                if self.cycle > self.max_cycles {
-                    return Err(SimError::CycleLimit {
-                        at_cycle: self.cycle,
-                    });
-                }
-            } else {
-                // The step mutated TCU state (issue or activation), so
-                // any memoized quiet scan is stale.
-                self.ff_cache = None;
-            }
+            self.ff_advance()?;
         }
-        Ok(self.report())
+        Ok(RunStatus::Done(Box::new(self.report())))
+    }
+
+    /// True when nothing is in flight anywhere: serial mode, no
+    /// transactions, every module/channel/outbox idle, both NoCs empty
+    /// (including fault-layer retries) and no open spawn section. At
+    /// such a cycle the whole machine state is captured by the
+    /// architectural registers plus the component counters.
+    fn quiescent(&self) -> bool {
+        matches!(self.mode, Mode::Serial { .. })
+            && self.txns.is_empty()
+            && self.active_modules.is_empty()
+            && self.active_channels.is_empty()
+            && self.active_outboxes.is_empty()
+            && self.req_net.in_flight() == 0
+            && self.reply_net.in_flight() == 0
+            && self.tracker.is_none()
+    }
+
+    /// Canonicalize a quiescent pause point: jump the clock to the eve
+    /// of the MTCU's resume cycle (where the fast-forward engine would
+    /// naturally land) and re-anchor `resume_at`. Unobservable in the
+    /// final results — it only moves the clock within a stretch where
+    /// nothing can happen — and it makes checkpoint bytes independent
+    /// of how the pause cycle was reached.
+    fn normalize_pause(&mut self) {
+        if let Mode::Serial { pc, resume_at } = self.mode {
+            let c = self.cycle.max(resume_at.saturating_sub(1));
+            self.cycle = c;
+            self.stats.cycles = c;
+            self.mode = Mode::Serial {
+                pc,
+                resume_at: c + 1,
+            };
+            self.poll_probe();
+        }
+    }
+
+    /// Snapshot a quiescent machine into a [`Checkpoint`]. Fails with
+    /// [`SimError::Protocol`] when called with work in flight — use
+    /// [`Machine::run_until`] to reach a quiescent cycle first.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, SimError> {
+        if !self.quiescent() {
+            return Err(SimError::Protocol {
+                what: "checkpoint of a non-quiescent machine",
+                at_cycle: self.cycle,
+            });
+        }
+        self.normalize_pause();
+        let pc = match self.mode {
+            Mode::Serial { pc, .. } => pc,
+            _ => unreachable!("quiescent() guarantees serial mode"),
+        };
+        Ok(Checkpoint {
+            clusters: self.cfg.clusters as u32,
+            tcus_per_cluster: self.cfg.tcus_per_cluster as u32,
+            memory_modules: self.cfg.memory_modules as u32,
+            dram_channels: self.cfg.dram_channels() as u32,
+            prog_len: self.prog.len() as u32,
+            cycle: self.cycle,
+            pc: pc as u32,
+            next_tid: self.next_tid,
+            spawn_count: self.spawn_count,
+            spawn_entry: self.spawn_entry as u32,
+            gregs: self.gregs.to_vec(),
+            mtcu_iregs: (0..32).map(|i| self.mtcu_rf.read_i(ir(i))).collect(),
+            mtcu_fregs: (0..32)
+                .map(|i| self.mtcu_rf.read_f(fr(i)).to_bits())
+                .collect(),
+            mem: self.mem.clone(),
+            stats: self.stats,
+            spawn_log: self.spawn_log.clone(),
+            cluster_rr: self.cluster_rr.iter().map(|&r| r as u32).collect(),
+            cluster_instr: self.cluster_instr.clone(),
+            modules: self
+                .modules
+                .iter()
+                .map(|m| ModuleState {
+                    tags: m.bank().tag_snapshot(),
+                    cache: m.bank().stats,
+                    module: m.stats,
+                })
+                .collect(),
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| {
+                    let (stats, transfers) = ch.state();
+                    ChannelState { stats, transfers }
+                })
+                .collect(),
+            req_stats: self.req_net.stats(),
+            reply_stats: self.reply_net.stats(),
+        })
     }
 
     /// Move the clock from the end of a quiet cycle to just before the
@@ -1222,8 +1726,10 @@ impl<P: Probe> Machine<P> {
         let next = self.cycle + 1;
         // The earliest cycle on which stepping could do something;
         // capped so a totally event-free machine still trips the
-        // cycle-limit check exactly where the reference engine does.
-        let mut horizon = self.max_cycles + 1;
+        // cycle-limit check exactly where the reference engine does,
+        // and so the watchdog fires on the identical cycle (a stuck
+        // TCU never issues, which a quiet-scan would skip past).
+        let mut horizon = (self.max_cycles + 1).min(self.watchdog_horizon());
         let mut blocked_scoreboard = 0u64;
         let mut blocked_lsu = 0u64;
         let parallel = match self.mode {
@@ -1397,7 +1903,7 @@ impl<P: Probe> Machine<P> {
         } = self;
         let mut blocked = BlockedTcus::default();
         for m in masks.iter() {
-            let ready = m.active & !m.busy;
+            let ready = m.active & !m.busy & !m.stuck;
             blocked.scoreboard +=
                 u64::from((m.cls[IssueClass::Scoreboard as usize] & ready).count_ones());
             blocked.fpu += u64::from((m.cls[IssueClass::Fpu as usize] & ready).count_ones());
@@ -1438,11 +1944,11 @@ impl<P: Probe> Machine<P> {
                 // Serial mode still drains the memory system (posted
                 // writes from the previous section are already done by
                 // the barrier, but channels may be finishing refills).
-                self.step_memory_system();
+                self.step_memory_system()?;
             }
             Mode::Parallel { return_pc } => {
                 self.step_parallel()?;
-                self.step_memory_system();
+                self.step_memory_system()?;
                 self.maybe_finish_spawn(return_pc);
             }
             Mode::Finished => {}
@@ -1467,11 +1973,11 @@ impl<P: Probe> Machine<P> {
                 if self.cycle >= resume_at {
                     self.step_serial(pc)?;
                 }
-                self.step_memory_system();
+                self.step_memory_system()?;
             }
             Mode::Parallel { return_pc } => {
                 self.step_parallel_fast()?;
-                self.step_memory_system();
+                self.step_memory_system()?;
                 self.maybe_finish_spawn(return_pc);
             }
             Mode::Finished => {}
@@ -1493,7 +1999,7 @@ impl<P: Probe> Machine<P> {
             let activations = self.next_tid < self.spawn_count;
             let m = &mut self.masks[c];
             m.wake(cycle);
-            let ready = m.active & !m.busy;
+            let ready = m.active & !m.busy & !m.stuck;
             let ordered = m.cls[IssueClass::Ps as usize]
                 | m.cls[IssueClass::BadPc as usize]
                 | m.cls[IssueClass::Illegal as usize];
@@ -1912,7 +2418,7 @@ impl<P: Probe> Machine<P> {
         // more mid-cycle — the loop walks only ready TCUs: the masks
         // prove idle and latency-busy visits are no-ops, so their cache
         // lines are never touched.
-        let ready = m.active & !m.busy;
+        let ready = m.active & !m.busy & !m.stuck;
         let mut order = [0u8; 64];
         let visits: &[u8] =
             if *next_tid < *spawn_count || m.cls[IssueClass::Ps as usize] & ready != 0 {
@@ -1939,6 +2445,9 @@ impl<P: Probe> Machine<P> {
             // allocates in constant time, so every idle TCU can pick up
             // a thread in the same cycle).
             if !tcu.active {
+                if tcu.disabled {
+                    continue;
+                }
                 // Thread ids are handed out globally; cluster c TCU t
                 // competes with all others, which the central counter
                 // models exactly.
@@ -1959,6 +2468,12 @@ impl<P: Probe> Machine<P> {
                 }
             }
             if tcu.busy_until > cycle {
+                continue;
+            }
+            // A stuck-at TCU holds its thread but never issues; it
+            // makes no progress and no noise (the watchdog catches the
+            // barrier it will never reach).
+            if tcu.stuck {
                 continue;
             }
             match tcu.cls {
@@ -2130,9 +2645,9 @@ impl<P: Probe> Machine<P> {
     }
 
     /// Advance the NoC, memory modules, DRAM channels and replies.
-    fn step_memory_system(&mut self) {
+    fn step_memory_system(&mut self) -> Result<(), SimError> {
         let mut replies = std::mem::take(&mut self.scratch_replies);
-        self.step_memory_system_collect(&mut replies);
+        self.step_memory_system_collect(&mut replies)?;
         if !replies.is_empty() {
             // Replies clear scoreboard bits and drop outstanding
             // counts, so any memoized quiet scan is stale.
@@ -2171,6 +2686,7 @@ impl<P: Probe> Machine<P> {
             }
         }
         self.scratch_replies = replies;
+        Ok(())
     }
 
     /// One memory-system cycle with matured replies pushed to `out`
@@ -2178,14 +2694,24 @@ impl<P: Probe> Machine<P> {
     /// worker that owns the target cluster). Only *active* modules,
     /// channels and outboxes are visited; idle components are clock-
     /// synced lazily when something arrives for them.
-    fn step_memory_system_collect(&mut self, out: &mut Vec<ReplyDelivery>) {
+    ///
+    /// Every NoC delivery must map to a live transaction; a dangling
+    /// tag (e.g. a fault layer exhausting its retry budget and
+    /// dropping a flit) is a broken protocol invariant and surfaces as
+    /// [`SimError::Protocol`] rather than a panic.
+    fn step_memory_system_collect(&mut self, out: &mut Vec<ReplyDelivery>) -> Result<(), SimError> {
         // Request network → modules. Functional effect happens here
         // (arrival order at the home module defines the memory order;
         // kernels separate read and write sets between barriers).
         let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         self.req_net.step_into(&mut deliveries);
         for d in deliveries.drain(..) {
-            let txn = self.txns.get_mut(d.flit.tag).expect("txn exists");
+            let Some(txn) = self.txns.get_mut(d.flit.tag) else {
+                return Err(SimError::Protocol {
+                    what: "request delivery for a dead transaction",
+                    at_cycle: 0,
+                });
+            };
             match txn.kind {
                 TxnKind::LoadI(_) | TxnKind::LoadF(_) => {
                     txn.value = self.mem[txn.addr as usize];
@@ -2275,25 +2801,41 @@ impl<P: Probe> Machine<P> {
         let module_outbox = &mut self.module_outbox;
         let reply_net = &mut self.reply_net;
         let txns = &self.txns;
+        let mut dead_tag = false;
         self.active_outboxes.retain(|&m| {
             if let Some(&tag) = module_outbox[m].front() {
-                let cluster = txns.get(tag).expect("txn exists").cluster;
-                if reply_net.try_inject(Flit {
-                    src: m,
-                    dst: cluster,
-                    tag,
-                }) {
-                    module_outbox[m].pop_front();
+                match txns.get(tag) {
+                    Some(txn) => {
+                        if reply_net.try_inject(Flit {
+                            src: m,
+                            dst: txn.cluster,
+                            tag,
+                        }) {
+                            module_outbox[m].pop_front();
+                        }
+                    }
+                    None => dead_tag = true,
                 }
             }
             let still = !module_outbox[m].is_empty();
             outbox_active[m] = still;
             still
         });
+        if dead_tag {
+            return Err(SimError::Protocol {
+                what: "module reply for a dead transaction",
+                at_cycle: 0,
+            });
+        }
         // Reply network → TCUs.
         self.reply_net.step_into(&mut deliveries);
         for d in deliveries.drain(..) {
-            let txn = self.txns.remove(d.flit.tag).expect("txn exists");
+            let Some(txn) = self.txns.remove(d.flit.tag) else {
+                return Err(SimError::Protocol {
+                    what: "reply delivery for a dead transaction",
+                    at_cycle: 0,
+                });
+            };
             out.push(ReplyDelivery {
                 cluster: txn.cluster,
                 tcu: txn.tcu,
@@ -2302,6 +2844,7 @@ impl<P: Probe> Machine<P> {
             });
         }
         self.scratch_deliveries = deliveries;
+        Ok(())
     }
 
     /// Close the parallel section when all work and memory drained.
@@ -2589,7 +3132,13 @@ mod tests {
             .mem_words(16)
             .build();
         m.max_cycles = 10_000;
-        assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
+        assert!(matches!(
+            m.run(),
+            Err(FailedRun {
+                error: SimError::CycleLimit { .. },
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -2608,7 +3157,13 @@ mod tests {
         let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
             .mem_words(16)
             .build();
-        assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
+        assert!(matches!(
+            m.run(),
+            Err(FailedRun {
+                error: SimError::BadInstruction { .. },
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -2618,7 +3173,13 @@ mod tests {
         let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
             .mem_words(16)
             .build();
-        assert!(matches!(m.run(), Err(SimError::MemOutOfBounds { .. })));
+        assert!(matches!(
+            m.run(),
+            Err(FailedRun {
+                error: SimError::MemOutOfBounds { .. },
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -2681,7 +3242,13 @@ mod tests {
         let mut m = MachineBuilder::new(&tiny_config(), b.build().unwrap())
             .mem_words(16)
             .build();
-        assert!(matches!(m.run(), Err(SimError::BadInstruction { .. })));
+        assert!(matches!(
+            m.run(),
+            Err(FailedRun {
+                error: SimError::BadInstruction { .. },
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -2742,5 +3309,240 @@ mod tests {
         assert_eq!(s.spawns[0].threads, 8);
         assert_eq!(s.spawns[1].threads, 16);
         assert_eq!(s.stats.spawns, 2);
+    }
+
+    /// A benign fault plan must not perturb the machine at all: same
+    /// cycles, stats and memory as a build with no plan.
+    #[test]
+    fn benign_fault_plan_is_bit_identical() {
+        let prog = spawn_store_tids(64);
+        let mut base = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
+        let sb = base.run().unwrap();
+        let mut planned = MachineBuilder::new(&tiny_config(), prog)
+            .mem_words(256)
+            .faults(FaultPlan::new(0xDEAD_BEEF))
+            .build();
+        let sp = planned.run().unwrap();
+        assert_eq!(sb.stats, sp.stats);
+        assert_eq!(base.mem, planned.mem);
+    }
+
+    /// A stuck TCU holds the spawn barrier open forever; the watchdog
+    /// must convert that hang into `Stalled` — on the same cycle for
+    /// every engine — and the partial report must still be delivered.
+    #[test]
+    fn stuck_tcu_trips_watchdog_in_every_engine() {
+        let mut stall_cycles = Vec::new();
+        for engine in [
+            Engine::Reference,
+            Engine::FastForward,
+            Engine::Threaded { threads: 2 },
+        ] {
+            let mut m = MachineBuilder::new(&tiny_config(), spawn_store_tids(64))
+                .mem_words(256)
+                .faults(FaultPlan::new(1).stuck_tcu(1, 3))
+                .watchdog(5_000)
+                .build();
+            m.engine = engine;
+            match m.run() {
+                Err(FailedRun {
+                    error: SimError::Stalled { at_cycle, .. },
+                    partial,
+                }) => {
+                    stall_cycles.push(at_cycle);
+                    // Everyone but the stuck TCU's thread retired work.
+                    assert!(partial.stats.instructions > 0);
+                    assert_eq!(partial.stats.threads, 64);
+                }
+                other => panic!("expected Stalled, got {other:?}"),
+            }
+        }
+        assert_eq!(stall_cycles[0], stall_cycles[1]);
+        assert_eq!(stall_cycles[0], stall_cycles[2]);
+    }
+
+    /// Disabled TCUs and clusters shed capacity, not correctness:
+    /// threads remap onto the survivors and the results are exact.
+    #[test]
+    fn degraded_tcus_still_compute_correctly() {
+        for engine in [
+            Engine::Reference,
+            Engine::FastForward,
+            Engine::Threaded { threads: 2 },
+        ] {
+            let mut healthy = MachineBuilder::new(&tiny_config(), spawn_store_tids(64))
+                .mem_words(256)
+                .build();
+            healthy.engine = engine;
+            let sh = healthy.run().unwrap();
+            let mut degraded = MachineBuilder::new(&tiny_config(), spawn_store_tids(64))
+                .mem_words(256)
+                .faults(FaultPlan::new(1).dead_cluster(2).dead_tcu(0, 1))
+                .build();
+            degraded.engine = engine;
+            let sd = degraded.run().unwrap();
+            assert_eq!(healthy.mem, degraded.mem, "engine {engine:?}");
+            assert_eq!(sd.stats.threads, 64);
+            // A quarter of the machine is gone; it cannot be faster.
+            assert!(sd.stats.cycles >= sh.stats.cycles);
+        }
+    }
+
+    /// Dead DRAM channels remap the address hash around the offline
+    /// module group; memory results stay exact.
+    #[test]
+    fn degraded_channel_routes_around() {
+        let cfg = XmtConfig::xmt_4k().scaled_to(16);
+        assert!(cfg.dram_channels() >= 2, "need two channels to kill one");
+        let mut m = MachineBuilder::new(&cfg, spawn_store_tids(64))
+            .mem_words(256)
+            .degraded(&[], &[1])
+            .build();
+        m.run().unwrap();
+        for t in 0..64u32 {
+            assert_eq!(m.mem[t as usize], t * 2, "tid {t}");
+        }
+    }
+
+    /// Impossible fault plans are rejected up front, not at cycle N.
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let cfg = tiny_config();
+        let prog = spawn_store_tids(4);
+        let bad = [
+            FaultPlan::new(0).dead_cluster(99),
+            FaultPlan::new(0).dead_tcu(0, 99),
+            FaultPlan::new(0).stuck_tcu(99, 0),
+            FaultPlan::new(0).dead_channel(99),
+            FaultPlan::new(0)
+                .dead_cluster(0)
+                .dead_cluster(1)
+                .dead_cluster(2)
+                .dead_cluster(3),
+            FaultPlan::new(0).dram_flips(1.5, 0.0),
+            FaultPlan::new(0).noc_corrupt(-0.1),
+        ];
+        for plan in bad {
+            let r = MachineBuilder::new(&cfg, prog.clone())
+                .mem_words(64)
+                .faults(plan.clone())
+                .try_build();
+            assert!(
+                matches!(r, Err(SimError::InvalidConfig { .. })),
+                "plan {plan:?} should be rejected"
+            );
+        }
+    }
+
+    /// Seeded DRAM flips and NoC corruption replay bit-identically and
+    /// still produce functionally exact results (ECC corrects, the
+    /// link layer retries).
+    #[test]
+    fn injected_soft_faults_replay_bit_identically() {
+        let plan = FaultPlan::new(0xFEED)
+            .dram_flips(0.05, 0.01)
+            .noc_corrupt(0.02);
+        let mut reports = Vec::new();
+        for engine in [
+            Engine::Reference,
+            Engine::FastForward,
+            Engine::Threaded { threads: 2 },
+        ] {
+            let mut m = MachineBuilder::new(&tiny_config(), spawn_store_tids(64))
+                .mem_words(256)
+                .faults(plan.clone())
+                .build();
+            m.engine = engine;
+            let s = m.run().unwrap();
+            for t in 0..64u32 {
+                assert_eq!(m.mem[t as usize], t * 2, "tid {t} under {engine:?}");
+            }
+            reports.push(s.stats);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    /// Pause at a quiescent point, checkpoint, restore into a fresh
+    /// machine, finish: final cycle count, stats and memory must match
+    /// an uninterrupted run exactly.
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted_run() {
+        let prog = spawn_store_tids(64);
+        let mut straight = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
+        let ss = straight.run().unwrap();
+
+        let mut first = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
+        let status = first.run_until(40).unwrap();
+        let at = match status {
+            RunStatus::Paused { at_cycle } => at_cycle,
+            RunStatus::Done(_) => panic!("run finished before the pause point"),
+        };
+        let cp = first.checkpoint().unwrap();
+        assert_eq!(cp.cycle(), at);
+        let bytes = cp.to_bytes();
+        let cp2 = Checkpoint::from_bytes(&bytes).unwrap();
+
+        let mut resumed = MachineBuilder::new(&tiny_config(), prog)
+            .mem_words(256)
+            .resume(&cp2)
+            .unwrap();
+        let sr = resumed.run().unwrap();
+        assert_eq!(ss.stats, sr.stats);
+        assert_eq!(straight.mem, resumed.mem);
+    }
+
+    /// A checkpoint taken mid-flight must be refused, and a checkpoint
+    /// from a different geometry must not restore.
+    #[test]
+    fn checkpoint_guards_protocol_and_geometry() {
+        let prog = spawn_store_tids(64);
+        let mut m = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
+        // Step into the parallel section: work is in flight.
+        while !matches!(m.mode, Mode::Parallel { .. }) {
+            m.step().unwrap();
+        }
+        assert!(matches!(m.checkpoint(), Err(SimError::Protocol { .. })));
+        // Finish cleanly, checkpoint, then try to restore into a
+        // machine with different geometry.
+        while !matches!(m.mode, Mode::Finished) {
+            m.step().unwrap();
+        }
+        let mut m2 = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(256)
+            .build();
+        let st = m2.run_until(10).unwrap();
+        assert!(matches!(st, RunStatus::Paused { .. }));
+        let cp = m2.checkpoint().unwrap();
+        let r = MachineBuilder::new(&XmtConfig::xmt_4k().scaled_to(8), prog)
+            .mem_words(256)
+            .resume(&cp);
+        assert!(matches!(r, Err(SimError::InvalidConfig { .. })));
+    }
+
+    /// `run_until` with a pause point past the program's end completes
+    /// the run and reports `Done` with the same results as `run`.
+    #[test]
+    fn run_until_past_end_is_done() {
+        let prog = spawn_store_tids(16);
+        let mut a = MachineBuilder::new(&tiny_config(), prog.clone())
+            .mem_words(64)
+            .build();
+        let sa = a.run().unwrap();
+        let mut b = MachineBuilder::new(&tiny_config(), prog)
+            .mem_words(64)
+            .build();
+        match b.run_until(u64::MAX).unwrap() {
+            RunStatus::Done(sb) => assert_eq!(sa.stats, sb.stats),
+            RunStatus::Paused { at_cycle } => panic!("spurious pause at {at_cycle}"),
+        }
     }
 }

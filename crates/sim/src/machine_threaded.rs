@@ -249,8 +249,15 @@ fn main_loop<P: Probe>(
     let ntcus = m.cfg.tcus_per_cluster;
     // Post-cycle idle-TCU count per cluster (drives grant sizing) and
     // the latest per-cluster scans (drive skip planning). Before the
-    // first spawn — and between sections — every TCU is idle.
-    let mut idle: Vec<u64> = vec![ntcus as u64; nclusters];
+    // first spawn — and between sections — every non-disabled TCU is
+    // idle (disabled TCUs are not idle capacity; the worker scans
+    // exclude them too).
+    let mut idle: Vec<u64> = (0..nclusters)
+        .map(|c| ntcus as u64 - u64::from(m.masks[c].disabled.count_ones()))
+        .collect();
+    // Healthy (non-disabled) TCU capacity: `idle` sums to this when
+    // every live TCU has drained, which is the barrier condition.
+    let healthy_tcus: u64 = idle.iter().sum();
     let mut scans: Vec<ClusterScan> = Vec::new();
     // Replies awaiting application at the start of the next cycle,
     // grouped per worker, per owned cluster.
@@ -278,9 +285,7 @@ fn main_loop<P: Probe>(
             Mode::Serial { .. } => {
                 let instr_before = m.stats.instructions;
                 m.step()?;
-                if m.cycle > m.max_cycles {
-                    return Err(SimError::CycleLimit { at_cycle: m.cycle });
-                }
+                m.check_progress()?;
                 if let Mode::Parallel { .. } = m.mode {
                     // A spawn just executed: broadcast the section.
                     for tx in cmd_txs {
@@ -295,9 +300,7 @@ fn main_loop<P: Probe>(
                     // Only the Serial arm of `fast_forward` can run
                     // here, which never touches the (empty) clusters.
                     m.fast_forward();
-                    if m.cycle > m.max_cycles {
-                        return Err(SimError::CycleLimit { at_cycle: m.cycle });
-                    }
+                    m.check_progress()?;
                 }
             }
             Mode::Parallel { return_pc } => {
@@ -339,7 +342,12 @@ fn main_loop<P: Probe>(
                 for (w, rx) in reply_rxs.iter().enumerate() {
                     let rep = match rx.recv() {
                         Ok(Reply::Step(rep)) => rep,
-                        _ => unreachable!("worker died without panicking"),
+                        _ => {
+                            return Err(SimError::Protocol {
+                                what: "worker channel closed mid-cycle",
+                                at_cycle: m.cycle,
+                            });
+                        }
                     };
                     add_stats(&mut m.stats, &rep.delta);
                     if first_err.is_none() {
@@ -381,12 +389,12 @@ fn main_loop<P: Probe>(
                     // clock; stamp them with the merge-side cycle.
                     return Err(e.stamped(m.cycle));
                 }
-                let total_active: u64 = nclusters as u64 * ntcus as u64 - idle.iter().sum::<u64>();
+                let total_active: u64 = healthy_tcus - idle.iter().sum::<u64>();
                 // Phase 3: the memory system, exactly as in the serial
                 // engines; matured replies are routed to the worker
                 // owning the target cluster for the next cycle.
                 replies_buf.clear();
-                m.step_memory_system_collect(&mut replies_buf);
+                m.step_memory_system_collect(&mut replies_buf)?;
                 let mut pending_count = 0usize;
                 for r in replies_buf.drain(..) {
                     let w = owner_of[r.cluster];
@@ -401,9 +409,7 @@ fn main_loop<P: Probe>(
                 if total_active == 0 {
                     m.maybe_finish_spawn_drained(return_pc);
                 }
-                if m.cycle > m.max_cycles {
-                    return Err(SimError::CycleLimit { at_cycle: m.cycle });
-                }
+                m.check_progress()?;
                 // Fast-forward: quiet cycle, no replies about to land,
                 // nothing issuable and no thread to activate → jump to
                 // the next event. Stall accrual and round-robin
@@ -411,7 +417,11 @@ fn main_loop<P: Probe>(
                 let quiet =
                     instr_before == m.stats.instructions && threads_before == m.stats.threads;
                 if quiet && pending_count == 0 && matches!(m.mode, Mode::Parallel { .. }) {
-                    let mut horizon = m.max_cycles + 1;
+                    // Same watchdog cap as `fast_forward`: the skip
+                    // may not leap past the cycle on which the
+                    // watchdog would fire (a stuck TCU looks
+                    // permanently quiet).
+                    let mut horizon = (m.max_cycles + 1).min(m.watchdog_horizon());
                     let mut can_skip = true;
                     for scan in &scans {
                         if scan.issue_next || (scan.idle > 0 && m.next_tid < m.spawn_count) {
@@ -440,9 +450,7 @@ fn main_loop<P: Probe>(
                             m.mem_clock += n;
                             m.cycle += n;
                             m.stats.cycles = m.cycle;
-                            if m.cycle > m.max_cycles {
-                                return Err(SimError::CycleLimit { at_cycle: m.cycle });
-                            }
+                            m.check_progress()?;
                         }
                     }
                 }
@@ -587,8 +595,12 @@ fn step_cluster_local(
     for t in (start..ntcus).chain(0..start) {
         let tcu = &mut cluster[t];
         if !tcu.active {
+            if tcu.disabled {
+                continue;
+            }
             // The grant is this cluster's contiguous slice of the
-            // global thread-ID counter, sized to its idle-TCU count.
+            // global thread-ID counter, sized to its idle-TCU count
+            // (which already excludes disabled TCUs).
             if grant.start < grant.end {
                 let tid = grant.start;
                 grant.start += 1;
@@ -605,6 +617,11 @@ fn step_cluster_local(
             }
         }
         if tcu.busy_until > cycle {
+            continue;
+        }
+        // Stuck-at TCUs hold their thread and never issue (mirror of
+        // `step_cluster`; the watchdog detects the hang).
+        if tcu.stuck {
             continue;
         }
         match tcu.cls {

@@ -175,6 +175,14 @@ pub struct IntervalRow {
     pub blocked: BlockedTcus,
     /// Requests queued inside memory modules at the boundary.
     pub module_queue: u64,
+    /// DRAM single-bit errors corrected by ECC during the interval.
+    pub ecc_corrected: u64,
+    /// DRAM double-bit errors detected by SECDED during the interval.
+    pub ecc_detected: u64,
+    /// NoC flits corrupted in flight during the interval.
+    pub noc_corrupted: u64,
+    /// NoC flit redeliveries (fault retries) during the interval.
+    pub noc_retried: u64,
     /// Per-DRAM-channel busy cycles during the interval.
     pub channel_busy: Vec<u64>,
     /// Per-DRAM-channel queue depth at the boundary.
@@ -206,6 +214,10 @@ struct RowFixed {
     txns_in_flight: u64,
     blocked: BlockedTcus,
     module_queue: u64,
+    ecc_corrected: u64,
+    ecc_detected: u64,
+    noc_corrupted: u64,
+    noc_retried: u64,
 }
 
 /// Cumulative counters as of the previous sample (for deltas).
@@ -216,6 +228,10 @@ struct Snapshot {
     noc_injected: u64,
     noc_delivered: u64,
     noc_rejections: u64,
+    ecc_corrected: u64,
+    ecc_detected: u64,
+    noc_corrupted: u64,
+    noc_retried: u64,
 }
 
 /// Time-sliced counter probe: samples every `interval` cycles into a
@@ -304,6 +320,10 @@ impl IntervalProbe {
                     txns_in_flight: f.txns_in_flight,
                     blocked: f.blocked,
                     module_queue: f.module_queue,
+                    ecc_corrected: f.ecc_corrected,
+                    ecc_detected: f.ecc_detected,
+                    noc_corrupted: f.noc_corrupted,
+                    noc_retried: f.noc_retried,
                     channel_busy: self.chan_busy[slot * self.nchan..(slot + 1) * self.nchan]
                         .to_vec(),
                     channel_queue: self.chan_queue[slot * self.nchan..(slot + 1) * self.nchan]
@@ -449,6 +469,10 @@ impl Probe for IntervalProbe {
         let injected = ctx.req_net.injected + ctx.reply_net.injected;
         let delivered = ctx.req_net.delivered + ctx.reply_net.delivered;
         let rejections = ctx.req_net.inject_rejections + ctx.reply_net.inject_rejections;
+        let ecc_corrected: u64 = ctx.channels.iter().map(|c| c.stats.ecc_corrected).sum();
+        let ecc_detected: u64 = ctx.channels.iter().map(|c| c.stats.ecc_detected).sum();
+        let corrupted = ctx.req_net.corrupted + ctx.reply_net.corrupted;
+        let retried = ctx.req_net.retried + ctx.reply_net.retried;
         self.fixed[slot] = RowFixed {
             boundary: ctx.boundary,
             cycle: ctx.cycle,
@@ -470,6 +494,10 @@ impl Probe for IntervalProbe {
             txns_in_flight: ctx.txns_in_flight,
             blocked: ctx.blocked,
             module_queue: ctx.modules.iter().map(|m| m.outstanding() as u64).sum(),
+            ecc_corrected: ecc_corrected - self.last.ecc_corrected,
+            ecc_detected: ecc_detected - self.last.ecc_detected,
+            noc_corrupted: corrupted - self.last.noc_corrupted,
+            noc_retried: retried - self.last.noc_retried,
         };
         let base = slot * self.nchan;
         for (k, ch) in ctx.channels.iter().enumerate() {
@@ -483,6 +511,10 @@ impl Probe for IntervalProbe {
             noc_injected: injected,
             noc_delivered: delivered,
             noc_rejections: rejections,
+            ecc_corrected,
+            ecc_detected,
+            noc_corrupted: corrupted,
+            noc_retried: retried,
         };
         self.seq += 1;
     }

@@ -104,6 +104,21 @@ pub fn chrome_trace(rows: &[IntervalRow], report: &RunReport, cfg: &XmtConfig) -
                 ("txns_in_flight", r.txns_in_flight),
             ],
         );
+        // Fault events only appear when fault injection is active, so
+        // healthy traces don't carry four all-zero counter tracks.
+        if r.ecc_corrected | r.ecc_detected | r.noc_corrupted | r.noc_retried != 0 {
+            counter(
+                &mut out,
+                "faults",
+                ts,
+                &[
+                    ("ecc_corrected", r.ecc_corrected),
+                    ("ecc_detected", r.ecc_detected),
+                    ("noc_corrupted", r.noc_corrupted),
+                    ("noc_retried", r.noc_retried),
+                ],
+            );
+        }
     }
     for s in &report.spawns {
         let _ = writeln!(
@@ -254,6 +269,10 @@ mod tests {
             txns_in_flight: 6,
             blocked: BlockedTcus::default(),
             module_queue: 3,
+            ecc_corrected: 0,
+            ecc_detected: 0,
+            noc_corrupted: 0,
+            noc_retried: 0,
             channel_busy: vec![17, 9],
             channel_queue: vec![1, 0],
         }
@@ -277,6 +296,19 @@ mod tests {
         assert!(t.contains(r#""ph":"X""#));
         // No trailing comma before the closing bracket.
         assert!(!t.contains(",\n]"));
+        // Healthy rows emit no fault track.
+        assert!(!t.contains(r#""name":"faults""#));
+    }
+
+    #[test]
+    fn fault_counters_get_their_own_track() {
+        let mut r = row();
+        r.ecc_corrected = 3;
+        r.noc_retried = 2;
+        let t = chrome_trace(&[r], &report(), &XmtConfig::xmt_4k().scaled_to(8));
+        assert!(t.contains(r#""name":"faults""#));
+        assert!(t.contains(r#""ecc_corrected":3"#));
+        assert!(t.contains(r#""noc_retried":2"#));
     }
 
     #[test]
