@@ -25,11 +25,22 @@ echo "== static kernel verification (xmt-lint) =="
 # severity finding (see DESIGN.md §12).
 cargo run --release -p xmt-bench --bin xmt_lint
 
-echo "== simulator throughput -> BENCH_sim.json =="
+echo "== simulator throughput + paper-scale scaling gate -> BENCH_sim.json =="
 # --check regresses the gate against the committed baseline: exit 1 if
 # any workload's simulated cycle count drifts, or if the fast-forward
 # engine falls below 1.0x over reference on any golden workload.
-cargo run --release -p xmt-bench --bin bench_sim BENCH_sim.json --check BENCH_sim.json
+# --scaling additionally runs the 4096/8192/65536-TCU golden FFTs under
+# all three engines, asserts identical cycles and spawn digests, and
+# fails if the threaded engine falls below 0.9x reference cycles/s on
+# any of them (the "Threaded must win at paper scale" gate, with slack
+# for CI jitter; see DESIGN.md §14).
+cargo run --release -p xmt-bench --bin bench_sim -- --scaling BENCH_sim.json --check BENCH_sim.json
+
+echo "== paper-scale golden constants (release profile) =="
+# The debug-profile workspace run covers the threaded engine on the
+# cheap scaling cases; the release-only (#[ignore]) tests pin the
+# reference/fast-forward engines and the dense 65536-point case too.
+cargo test --release -p xmt-integration --test golden_scaling -q -- --ignored
 
 echo "== probe zero-interference check =="
 # Rerun every golden workload with an IntervalProbe attached: probed

@@ -8,12 +8,18 @@
 //! Timing discipline: each (case, engine) pair gets one untimed warm-up
 //! run (page faults, allocator growth, branch-predictor training), then
 //! repeated timed runs until ~250 ms of aggregate measurement or the
-//! rep cap, whichever first. The *minimum* rep time is reported — on a
+//! rep cap, whichever first. Workloads whose single run is shorter than
+//! ~2 ms (spawn_storm, ps_tickets) are timed in *batches* sized to
+//! ≥ 10 ms and the per-run time is the batch mean — a lone 100 µs run
+//! is mostly timer quantization and scheduler noise, which used to make
+//! `speedup_vs_reference` on the tiny workloads meaningless. The
+//! *minimum* per-run time across reps/batches is reported — on a
 //! shared/throttling host the minimum tracks the machine's actual
 //! capability, where a mean or median absorbs scheduler noise.
 //!
 //! ```text
-//! cargo run --release -p xmt-bench --bin bench_sim [out.json] [--check baseline.json] [--probe] [--faults]
+//! cargo run --release -p xmt-bench --bin bench_sim [out.json] \
+//!     [--check baseline.json] [--engine <name>] [--scaling] [--probe] [--faults]
 //! ```
 //!
 //! With `--check`, after measuring, the run fails (exit 1) if any
@@ -24,6 +30,22 @@
 //! counts. The unprobed fast-forward throughput must also stay within
 //! a (generous) factor of the baseline's, so probe hooks cannot creep
 //! into the `NoProbe` hot path unnoticed.
+//!
+//! With `--engine <name>` (reference | fast_forward | threaded), only
+//! that engine is measured. No JSON is written and no cross-engine
+//! checks run — the mode exists so CI and local runs can benchmark one
+//! engine without paying for all three.
+//!
+//! With `--scaling`, the paper-scale workloads (`golden::scaling_cases`:
+//! FFT plans on the 4096-, 8192- and 65536-TCU configurations) are
+//! additionally measured — under reference, fast-forward, and the
+//! threaded engine at both auto and 2 host threads — and a `"scaling"`
+//! section (cycles/s vs TCU count vs host threads) is appended to the
+//! JSON. The mode always asserts that every engine produces identical
+//! simulated cycles and spawn digests on every scaling case, and fails
+//! if the threaded engine's throughput drops below
+//! [`SCALING_GATE_FLOOR`] × reference on any of them (the "Threaded
+//! must win at paper scale" gate, with slack for CI jitter).
 //!
 //! With `--probe`, every workload additionally runs with an
 //! [`IntervalProbe`] attached, asserting the probed cycle counts are
@@ -48,32 +70,51 @@ use xmt_sim::{Engine, FaultPlan, IntervalProbe};
 
 /// Keep sampling until this much measured time has accumulated.
 const TARGET_SECS: f64 = 0.25;
-/// Never fewer timed reps than this (variance floor)...
+/// Never fewer timed reps (batches) than this (variance floor)...
 const MIN_REPS: usize = 3;
 /// ...and never more than this (fast cases would spin forever).
 const MAX_REPS: usize = 1000;
+/// Single runs shorter than this are timer-noise-dominated: batch them.
+const BATCH_FLOOR_SECS: f64 = 0.002;
+/// Size batches of tiny runs to at least this much wall clock.
+const BATCH_TARGET_SECS: f64 = 0.010;
+/// Upper bound on runs per timed batch.
+const MAX_BATCH: usize = 512;
 
-/// Min-of-N wall-clock seconds for one engine on one case, after one
-/// untimed warm-up run. Returns `(simulated_cycles, best_seconds)`.
-fn measure(case: &golden::GoldenCase, engine: Engine) -> (u64, f64) {
+/// Min per-run wall-clock seconds for one engine on one case, after one
+/// untimed warm-up run. Tiny runs are timed in batches (see module
+/// docs). Returns `(simulated_cycles, spawn_digest, best_seconds)`.
+fn measure(case: &golden::GoldenCase, engine: Engine) -> (u64, u64, f64) {
     let run_once = || {
         let mut m = case.builder().engine(engine).build();
         let t0 = Instant::now();
         let s = m.run().expect("golden case must complete");
-        (s.stats.cycles, t0.elapsed().as_secs_f64())
+        let secs = t0.elapsed().as_secs_f64();
+        (s.stats.cycles, golden::spawn_digest(&s), secs)
     };
-    let (cycles, _) = run_once(); // warm-up, untimed
+    // Warm-up (untimed result-wise, but its duration sizes the batch).
+    let (cycles, digest, warm_secs) = run_once();
+    let batch = if warm_secs < BATCH_FLOOR_SECS {
+        ((BATCH_TARGET_SECS / warm_secs.max(1e-7)).ceil() as usize).clamp(1, MAX_BATCH)
+    } else {
+        1
+    };
     let mut best = f64::INFINITY;
     let mut total = 0.0;
     let mut reps = 0;
     while reps < MIN_REPS || (total < TARGET_SECS && reps < MAX_REPS) {
-        let (c, secs) = run_once();
-        assert_eq!(c, cycles, "nondeterministic cycle count on {}", case.name);
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let (c, d, _) = run_once();
+            assert_eq!(c, cycles, "nondeterministic cycle count on {}", case.name);
+            assert_eq!(d, digest, "nondeterministic spawn log on {}", case.name);
+        }
+        let secs = t0.elapsed().as_secs_f64() / batch as f64;
         best = best.min(secs);
-        total += secs;
+        total += secs * batch as f64;
         reps += 1;
     }
-    (cycles, best)
+    (cycles, digest, best)
 }
 
 /// Extract `"field": <digits>` following `"name": "<workload>"` from a
@@ -111,6 +152,11 @@ fn baseline_ff_rate(baseline: &str, workload: &str) -> Option<u64> {
 /// contention, while still catching probe hooks leaking into the
 /// `NoProbe` hot path, which costs integer factors, not percents).
 const NOPROBE_RATE_FLOOR: f64 = 0.25;
+
+/// `--scaling` gate: the threaded engine's throughput must stay at or
+/// above this fraction of reference on every paper-scale workload —
+/// nominally ≥ 1.0× ("Threaded must win"), with slack for CI jitter.
+const SCALING_GATE_FLOOR: f64 = 0.9;
 
 /// `--probe`: rerun every golden workload with an [`IntervalProbe`]
 /// attached and assert the observability layer changes nothing: cycle
@@ -252,17 +298,61 @@ fn fault_check(baseline: Option<&str>) -> Vec<String> {
     failures
 }
 
+/// One measured row: engine label, cycles, digest, best secs, rate.
+type Row = (&'static str, u64, u64, f64, f64);
+
+/// Measure `case` under `engines`, logging each rate to stderr.
+fn measure_case(case: &golden::GoldenCase, engines: &[(&'static str, Engine)]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(name, engine) in engines {
+        let (cycles, digest, secs) = measure(case, engine);
+        let rate = cycles as f64 / secs;
+        eprintln!(
+            "{:18} {:13} {:>9} cycles  {:>10.0} cycles/s",
+            case.name, name, cycles, rate
+        );
+        rows.push((name, cycles, digest, secs, rate));
+    }
+    rows
+}
+
+/// Render one workload's `"engines"` JSON object. `ref_rate` is the
+/// reference engine's rate when it was measured (speedup denominator).
+fn render_engines(json: &mut String, rows: &[Row], ref_rate: Option<f64>) {
+    writeln!(json, "      \"engines\": {{").unwrap();
+    for (ei, (name, _, _, secs, rate)) in rows.iter().enumerate() {
+        let comma = if ei + 1 < rows.len() { "," } else { "" };
+        let speedup = ref_rate.map_or_else(String::new, |r| {
+            format!(", \"speedup_vs_reference\": {:.2}", rate / r)
+        });
+        writeln!(
+            json,
+            "        \"{name}\": {{ \"host_seconds\": {secs:.6}, \
+             \"cycles_per_second\": {rate:.0}{speedup} }}{comma}",
+        )
+        .unwrap();
+    }
+    writeln!(json, "      }}").unwrap();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_path = args
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check needs a baseline path"));
+    let engine_filter = args
+        .iter()
+        .position(|a| a == "--engine")
+        .map(|i| args.get(i + 1).expect("--engine needs a name").as_str());
     let probe_mode = args.iter().any(|a| a == "--probe");
     let fault_mode = args.iter().any(|a| a == "--faults");
+    let scaling_mode = args.iter().any(|a| a == "--scaling");
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with("--") && check_path != Some(a))
+        .find(|a| {
+            !a.starts_with("--") && check_path != Some(a) && engine_filter != Some(a.as_str())
+        })
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     // Read the baseline *before* measuring: out_path and the baseline
@@ -295,29 +385,47 @@ fn main() {
         );
         return;
     }
-    let engines: &[(&str, Engine)] = &[
+    let all_engines: &[(&'static str, Engine)] = &[
         ("reference", Engine::Reference),
         ("fast_forward", Engine::FastForward),
         ("threaded", Engine::Threaded { threads: 0 }),
     ];
+    let engines: Vec<(&'static str, Engine)> = match engine_filter {
+        Some(want) => {
+            let picked: Vec<_> = all_engines
+                .iter()
+                .copied()
+                .filter(|(n, _)| *n == want)
+                .collect();
+            assert!(
+                !picked.is_empty(),
+                "--engine {want}: unknown engine (expected one of reference, \
+                 fast_forward, threaded)"
+            );
+            picked
+        }
+        None => all_engines.to_vec(),
+    };
 
     let mut failures = Vec::new();
-    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n  \"workloads\": [\n");
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = String::from("{\n  \"benchmark\": \"sim_throughput\",\n");
+    writeln!(json, "  \"machine\": {{").unwrap();
+    writeln!(json, "    \"host_threads\": {host_threads},").unwrap();
+    writeln!(json, "    \"os\": \"{}\",", std::env::consts::OS).unwrap();
+    writeln!(json, "    \"arch\": \"{}\"", std::env::consts::ARCH).unwrap();
+    writeln!(json, "  }},").unwrap();
+    json.push_str("  \"workloads\": [\n");
     let cases = golden::cases();
     for (ci, case) in cases.iter().enumerate() {
-        let mut rows = Vec::new();
-        for &(name, engine) in engines {
-            let (cycles, secs) = measure(case, engine);
-            let rate = cycles as f64 / secs;
-            eprintln!(
-                "{:16} {:13} {:>9} cycles  {:>10.0} cycles/s",
-                case.name, name, cycles, rate
-            );
-            rows.push((name, cycles, secs, rate));
-        }
-        let ref_rate = rows[0].3;
-        let ff_speedup = rows[1].3 / ref_rate;
-        if let Some(base) = &baseline {
+        let rows = measure_case(case, &engines);
+        let ref_rate = rows
+            .iter()
+            .find(|r| r.0 == "reference")
+            .map(|r| r.4)
+            .filter(|_| engine_filter.is_none());
+        if let (Some(base), None) = (&baseline, engine_filter) {
+            let ff_speedup = rows[1].4 / rows[0].4;
             if ff_speedup < 1.0 {
                 failures.push(format!(
                     "{}: fast_forward speedup {ff_speedup:.2}x < 1.0x vs reference",
@@ -334,12 +442,12 @@ fn main() {
             }
             if let Some(rate) = baseline_ff_rate(base, case.name) {
                 let floor = NOPROBE_RATE_FLOOR * rate as f64;
-                if rows[1].3 < floor {
+                if rows[1].4 < floor {
                     failures.push(format!(
                         "{}: fast_forward {:.0} cycles/s below {:.0} \
                          ({}% of baseline {rate}) — NoProbe hot path regressed",
                         case.name,
-                        rows[1].3,
+                        rows[1].4,
                         floor,
                         (NOPROBE_RATE_FLOOR * 100.0) as u32
                     ));
@@ -349,24 +457,88 @@ fn main() {
         writeln!(json, "    {{").unwrap();
         writeln!(json, "      \"name\": \"{}\",", case.name).unwrap();
         writeln!(json, "      \"simulated_cycles\": {},", rows[0].1).unwrap();
-        writeln!(json, "      \"engines\": {{").unwrap();
-        for (ei, (name, _, secs, rate)) in rows.iter().enumerate() {
-            let comma = if ei + 1 < rows.len() { "," } else { "" };
-            writeln!(
-                json,
-                "        \"{name}\": {{ \"host_seconds\": {secs:.6}, \
-                 \"cycles_per_second\": {rate:.0}, \"speedup_vs_reference\": {:.2} }}{comma}",
-                rate / ref_rate
-            )
-            .unwrap();
-        }
-        writeln!(json, "      }}").unwrap();
+        render_engines(&mut json, &rows, ref_rate);
         let comma = if ci + 1 < cases.len() { "," } else { "" };
         writeln!(json, "    }}{comma}").unwrap();
     }
+    if scaling_mode {
+        json.push_str("  ],\n  \"scaling\": [\n");
+        // The host-thread axis of the curve: the threaded engine at
+        // auto (all cores) and at a pinned 2 workers, alongside the
+        // serial engines.
+        let scaling_engines: Vec<(&'static str, Engine)> = {
+            let base: &[(&'static str, Engine)] = &[
+                ("reference", Engine::Reference),
+                ("fast_forward", Engine::FastForward),
+                ("threaded", Engine::Threaded { threads: 0 }),
+                ("threaded_2", Engine::Threaded { threads: 2 }),
+            ];
+            match engine_filter {
+                Some(want) => base
+                    .iter()
+                    .copied()
+                    .filter(|(n, _)| n.starts_with(want))
+                    .collect(),
+                None => base.to_vec(),
+            }
+        };
+        let scases = golden::scaling_cases();
+        for (ci, case) in scases.iter().enumerate() {
+            let cfg = case.config();
+            let rows = measure_case(case, &scaling_engines);
+            // Bit-identity across every engine, unconditionally.
+            for r in &rows[1..] {
+                if r.1 != rows[0].1 {
+                    failures.push(format!(
+                        "{}: {} cycles {} != {} cycles {}",
+                        case.name, r.0, r.1, rows[0].0, rows[0].1
+                    ));
+                }
+                if r.2 != rows[0].2 {
+                    failures.push(format!(
+                        "{}: {} spawn digest {:#018x} != {} {:#018x}",
+                        case.name, r.0, r.2, rows[0].0, rows[0].2
+                    ));
+                }
+            }
+            let ref_rate = rows.iter().find(|r| r.0 == "reference").map(|r| r.4);
+            if let (Some(rr), Some(thr)) = (ref_rate, rows.iter().find(|r| r.0 == "threaded")) {
+                let ratio = thr.4 / rr;
+                if ratio < SCALING_GATE_FLOOR {
+                    failures.push(format!(
+                        "{}: threaded {:.2}x reference < {SCALING_GATE_FLOOR}x floor \
+                         — the sharded engine must win at paper scale",
+                        case.name, ratio
+                    ));
+                }
+            }
+            if let (Some(base), None) = (&baseline, engine_filter) {
+                match baseline_u64(base, case.name, "simulated_cycles") {
+                    Some(want) if want != rows[0].1 => failures.push(format!(
+                        "{}: simulated_cycles {} != baseline {want}",
+                        case.name, rows[0].1
+                    )),
+                    None => failures.push(format!("{}: missing from baseline", case.name)),
+                    _ => {}
+                }
+            }
+            writeln!(json, "    {{").unwrap();
+            writeln!(json, "      \"name\": \"{}\",", case.name).unwrap();
+            writeln!(json, "      \"tcus\": {},", cfg.tcus).unwrap();
+            writeln!(json, "      \"simulated_cycles\": {},", rows[0].1).unwrap();
+            writeln!(json, "      \"spawn_digest\": \"{:#018x}\",", rows[0].2).unwrap();
+            render_engines(&mut json, &rows, ref_rate);
+            let comma = if ci + 1 < scases.len() { "," } else { "" };
+            writeln!(json, "    }}{comma}").unwrap();
+        }
+    }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
-    eprintln!("wrote {out_path}");
+    if engine_filter.is_some() {
+        eprintln!("--engine filter active: measurements printed, no JSON written");
+    } else {
+        std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+        eprintln!("wrote {out_path}");
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("BENCH CHECK FAILED: {f}");

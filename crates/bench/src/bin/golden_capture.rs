@@ -15,8 +15,14 @@
 use xmt_fft::golden;
 
 fn main() {
+    let scaling = std::env::args().any(|a| a == "--scaling");
     let mut out = String::new();
-    for case in golden::cases() {
+    let cases = if scaling {
+        golden::scaling_cases()
+    } else {
+        golden::cases()
+    };
+    for case in cases {
         let t0 = std::time::Instant::now();
         let summary = case.run();
         let host = t0.elapsed();

@@ -56,6 +56,13 @@ impl GoldenCase {
         b
     }
 
+    /// The machine configuration this case runs on (for reporting,
+    /// e.g. the TCU count axis of the scaling curve).
+    pub fn config(&self) -> XmtConfig {
+        let (cfg, _, _, _) = (self.build)();
+        cfg
+    }
+
     /// The program this case runs, for static analysis (`xmt-verify`/
     /// `xmt-lint`) or disassembly.
     pub fn program(&self) -> Program {
@@ -94,7 +101,10 @@ pub fn golden_config() -> XmtConfig {
 }
 
 fn fft_build(n: usize) -> CaseSetup {
-    let cfg = golden_config();
+    fft_build_on(golden_config(), n)
+}
+
+fn fft_build_on(cfg: XmtConfig, n: usize) -> CaseSetup {
     let plan = XmtFftPlan::new_1d(n, crate::plan::default_copies(n, cfg.memory_modules));
     let input = sample_input(n, 0xF0F7);
     let mut images = vec![(plan.a_base as usize, plan.input_image(&input))];
@@ -247,6 +257,36 @@ pub fn cases() -> Vec<GoldenCase> {
         GoldenCase {
             name: "mem_chase",
             build: mem_chase_build,
+        },
+    ]
+}
+
+/// Large-configuration scaling workloads: FFT plans on the paper's
+/// full-scale 4096-, 8192- and 65536-TCU machines, in both a *dense*
+/// regime (n large enough that every cluster runs threads all stage
+/// long) and a *sparse* one (thread count well under the TCU count, so
+/// most clusters sit idle — the regime where the threaded engine's
+/// active-cluster work list pays off most). Not part of [`cases`] (the
+/// per-commit golden suite stays cheap); `tests/tests/golden_scaling.rs`
+/// pins their cycle counts and spawn digests across engines, and
+/// `bench_sim --scaling` measures them into `BENCH_sim.json`.
+pub fn scaling_cases() -> Vec<GoldenCase> {
+    vec![
+        GoldenCase {
+            name: "fft_xmt4k_n32768",
+            build: || fft_build_on(XmtConfig::xmt_4k(), 32768),
+        },
+        GoldenCase {
+            name: "fft_xmt8k_n8192",
+            build: || fft_build_on(XmtConfig::xmt_8k(), 8192),
+        },
+        GoldenCase {
+            name: "fft_xmt8k_n65536",
+            build: || fft_build_on(XmtConfig::xmt_8k(), 65536),
+        },
+        GoldenCase {
+            name: "fft_xmt64k_n8192",
+            build: || fft_build_on(XmtConfig::xmt_64k(), 8192),
         },
     ]
 }

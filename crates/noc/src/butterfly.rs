@@ -64,8 +64,14 @@ pub struct ButterflyNetwork {
     cycle: u64,
     seq: u64,
     extra_latency: u64,
-    /// Per-switch alternating priority bit for fair arbitration.
-    priority: Vec<Vec<bool>>,
+    /// Per-stage flit counts (skip empty stages in `step_into`).
+    staged_per: Vec<usize>,
+    /// Per-stage occupancy bitmap over switch indices: bit `w` set iff
+    /// either input queue of switch `w` is non-empty. Lets a stage
+    /// advance visit only occupied switches.
+    occ: Vec<Vec<u64>>,
+    /// Occupancy bitmap over `dst_queues` (serve without scanning).
+    dst_occ: Vec<u64>,
     /// Accumulated statistics.
     pub stats: NetStats,
     /// Stage-move stalls due to contention or full downstream queues.
@@ -109,7 +115,9 @@ impl ButterflyNetwork {
             cycle: 0,
             seq: 0,
             extra_latency: topo.mot_levels as u64,
-            priority: vec![vec![false; ports / 2]; (stages as usize).max(1)],
+            staged_per: vec![0; stages as usize],
+            occ: vec![vec![0u64; (ports / 2).div_ceil(64).max(1)]; stages as usize],
+            dst_occ: vec![0u64; ports.div_ceil(64)],
             stats: NetStats::default(),
             stalls: 0,
         }
@@ -138,64 +146,81 @@ impl ButterflyNetwork {
 
     /// Advance one stage: move head flits toward stage `s+1` (or the
     /// outer pipeline for the last stage), arbitrating switch outputs.
+    /// Only switches with a queued flit are visited (`occ`); the
+    /// alternating arbitration bit toggles once per cycle at every
+    /// switch whether or not flits are present, so it is uniform
+    /// across the network and derived from the clock parity instead of
+    /// materialized per switch.
     fn advance_stage(&mut self, s: u32) {
         let bit = self.route_bit(s);
         let mask = 1usize << bit;
         let si = s as usize;
-        for w in 0..self.ports / 2 {
-            // The two rows of switch w at this stage differ in `bit`.
-            let r0 = insert_zero_bit(w, bit);
-            debug_assert_eq!(r0 & mask, 0);
-            let r1 = r0 | mask;
+        // Value the old per-switch bit would hold after `cycle - 1`
+        // toggles from an all-false start.
+        let pri = self.cycle & 1 == 0;
+        for wi in 0..self.occ[si].len() {
+            let mut bits = self.occ[si][wi];
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = (wi << 6) | slot;
+                // The two rows of switch w at this stage differ in
+                // `bit`.
+                let r0 = insert_zero_bit(w, bit);
+                debug_assert_eq!(r0 & mask, 0);
+                let r1 = r0 | mask;
 
-            // Desired outputs of the two head flits.
-            let want = |q: &VecDeque<InFlight>| -> Option<usize> {
-                q.front().map(|f| {
-                    let dbit = f.flit.dst & mask;
-                    (r0 & !mask) | dbit
-                })
-            };
-            let w0 = want(&self.queues[si][r0]);
-            let w1 = want(&self.queues[si][r1]);
-
-            // Arbitration: if both want the same output, alternate.
-            let (first, second) = if self.priority[si][w] {
-                (r1, r0)
-            } else {
-                (r0, r1)
-            };
-            let mut taken: Option<usize> = None;
-            for &row in &[first, second] {
-                let desired = if row == r0 { w0 } else { w1 };
-                let Some(out) = desired else { continue };
-                if taken == Some(out) {
-                    self.stalls += 1;
-                    continue; // lost arbitration this cycle
-                }
-                // Check downstream space.
-                let can_move = if s + 1 < self.stages {
-                    self.queues[si + 1][out].len() < self.qcap
-                } else {
-                    true // outer pipeline is unbounded
+                // Desired outputs of the two head flits.
+                let want = |q: &VecDeque<InFlight>| -> Option<usize> {
+                    q.front().map(|f| {
+                        let dbit = f.flit.dst & mask;
+                        (r0 & !mask) | dbit
+                    })
                 };
-                if !can_move {
-                    self.stalls += 1;
-                    continue;
+                let w0 = want(&self.queues[si][r0]);
+                let w1 = want(&self.queues[si][r1]);
+
+                // Arbitration: if both want the same output, alternate.
+                let (first, second) = if pri { (r1, r0) } else { (r0, r1) };
+                let mut taken: Option<usize> = None;
+                for &row in &[first, second] {
+                    let desired = if row == r0 { w0 } else { w1 };
+                    let Some(out) = desired else { continue };
+                    if taken == Some(out) {
+                        self.stalls += 1;
+                        continue; // lost arbitration this cycle
+                    }
+                    // Check downstream space.
+                    let can_move = if s + 1 < self.stages {
+                        self.queues[si + 1][out].len() < self.qcap
+                    } else {
+                        true // outer pipeline is unbounded
+                    };
+                    if !can_move {
+                        self.stalls += 1;
+                        continue;
+                    }
+                    let f = self.queues[si][row].pop_front().expect("head exists");
+                    self.staged_per[si] -= 1;
+                    if s + 1 < self.stages {
+                        self.queues[si + 1][out].push_back(f);
+                        self.staged_per[si + 1] += 1;
+                        let nw = remove_bit(out, self.route_bit(s + 1));
+                        self.occ[si + 1][nw >> 6] |= 1u64 << (nw & 63);
+                    } else {
+                        self.staged -= 1;
+                        self.push_outer_pipeline(f);
+                    }
+                    if taken.is_none() {
+                        taken = Some(out);
+                    } else {
+                        taken = Some(usize::MAX); // both outputs used
+                    }
                 }
-                let f = self.queues[si][row].pop_front().expect("head exists");
-                if s + 1 < self.stages {
-                    self.queues[si + 1][out].push_back(f);
-                } else {
-                    self.staged -= 1;
-                    self.push_outer_pipeline(f);
-                }
-                if taken.is_none() {
-                    taken = Some(out);
-                } else {
-                    taken = Some(usize::MAX); // both outputs used
+                if self.queues[si][r0].is_empty() && self.queues[si][r1].is_empty() {
+                    self.occ[si][wi] &= !(1u64 << slot);
                 }
             }
-            self.priority[si][w] = !self.priority[si][w];
         }
     }
 }
@@ -208,6 +233,14 @@ fn insert_zero_bit(w: usize, bit: u32) -> usize {
     let low = w & low_mask;
     let high = (w & !low_mask) << 1;
     high | low
+}
+
+/// Inverse of [`insert_zero_bit`]: drop the bit at position `bit` from
+/// a row id, yielding the switch index.
+#[inline]
+fn remove_bit(row: usize, bit: u32) -> usize {
+    let low_mask = (1usize << bit) - 1;
+    ((row >> 1) & !low_mask) | (row & low_mask)
 }
 
 impl Network for ButterflyNetwork {
@@ -251,6 +284,9 @@ impl Network for ButterflyNetwork {
             injected_at: self.cycle,
         });
         self.staged += 1;
+        self.staged_per[0] += 1;
+        let w = remove_bit(flit.src, self.route_bit(0));
+        self.occ[0][w >> 6] |= 1u64 << (w & 63);
         self.stats.injected += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight());
         true
@@ -259,9 +295,14 @@ impl Network for ButterflyNetwork {
     fn step_into(&mut self, out: &mut Vec<Delivered>) {
         self.cycle += 1;
         // Process stages from the last to the first so each flit moves
-        // at most one stage per cycle (pipelined flow).
-        for s in (0..self.stages).rev() {
-            self.advance_stage(s);
+        // at most one stage per cycle (pipelined flow). Empty stages
+        // have nothing to move (their arbitration bit is virtual).
+        if self.staged > 0 {
+            for s in (0..self.stages).rev() {
+                if self.staged_per[s as usize] > 0 {
+                    self.advance_stage(s);
+                }
+            }
         }
         // Outer pipeline → destination queues.
         while let Some(Reverse(a)) = self.pipeline.peek() {
@@ -269,12 +310,22 @@ impl Network for ButterflyNetwork {
                 break;
             }
             let Reverse(a) = self.pipeline.pop().unwrap();
-            self.dst_queues[a.flit.dst].push_back(a);
+            let dst = a.flit.dst;
+            self.dst_queues[dst].push_back(a);
+            self.dst_occ[dst >> 6] |= 1u64 << (dst & 63);
             self.queued += 1;
         }
+        // Each non-empty destination port serves one flit per cycle
+        // (ascending port order, same as the full scan).
         if self.queued > 0 {
-            for q in &mut self.dst_queues {
-                if let Some(a) = q.pop_front() {
+            for wi in 0..self.dst_occ.len() {
+                let mut bits = self.dst_occ[wi];
+                while bits != 0 {
+                    let slot = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let dst = (wi << 6) | slot;
+                    let q = &mut self.dst_queues[dst];
+                    let a = q.pop_front().expect("occupied destination queue");
                     self.queued -= 1;
                     let d = Delivered {
                         flit: a.flit,
@@ -284,6 +335,9 @@ impl Network for ButterflyNetwork {
                     self.stats.delivered += 1;
                     self.stats.total_latency += d.latency();
                     out.push(d);
+                    if q.is_empty() {
+                        self.dst_occ[wi] &= !(1u64 << slot);
+                    }
                 }
             }
         }
@@ -317,17 +371,10 @@ impl Network for ButterflyNetwork {
             .pipeline
             .peek()
             .is_none_or(|Reverse(a)| a.arrive_at > self.cycle + n));
+        // The arbitration parity is derived from the clock, so the
+        // skip advances it implicitly (odd skips flip it, exactly as
+        // stepping would).
         self.cycle += n;
-        // `advance_stage` alternates every switch's priority bit each
-        // cycle whether or not flits are present; an odd-length skip
-        // must leave the arbitration state as stepping would.
-        if n % 2 == 1 {
-            for si in 0..self.stages as usize {
-                for p in &mut self.priority[si] {
-                    *p = !*p;
-                }
-            }
-        }
     }
 
     fn inject_budget(&self, src: usize) -> usize {

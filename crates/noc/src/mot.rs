@@ -45,6 +45,8 @@ pub struct MotNetwork {
     dst_queues: Vec<VecDeque<Arriving>>,
     /// Total flits across `dst_queues` (O(1) emptiness/next-event).
     queued: usize,
+    /// Occupancy bitmap over `dst_queues` (serve without scanning).
+    dst_occ: Vec<u64>,
     /// Last injection cycle per source (rate limit 1/cycle).
     last_inject: Vec<u64>,
     /// Accumulated statistics.
@@ -66,6 +68,7 @@ impl MotNetwork {
             pipeline: BinaryHeap::new(),
             dst_queues: vec![VecDeque::new(); topo.modules],
             queued: 0,
+            dst_occ: vec![0u64; topo.modules.div_ceil(64)],
             last_inject: vec![u64::MAX; topo.clusters],
             stats: NetStats::default(),
         }
@@ -121,13 +124,22 @@ impl Network for MotNetwork {
                 break;
             }
             let Reverse(a) = self.pipeline.pop().unwrap();
-            self.dst_queues[a.flit.dst].push_back(a);
+            let dst = a.flit.dst;
+            self.dst_queues[dst].push_back(a);
+            self.dst_occ[dst >> 6] |= 1u64 << (dst & 63);
             self.queued += 1;
         }
-        // Each destination port serves one flit per cycle.
+        // Each non-empty destination port serves one flit per cycle
+        // (ascending port order, same as the full scan).
         if self.queued > 0 {
-            for q in &mut self.dst_queues {
-                if let Some(a) = q.pop_front() {
+            for wi in 0..self.dst_occ.len() {
+                let mut bits = self.dst_occ[wi];
+                while bits != 0 {
+                    let slot = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let dst = (wi << 6) | slot;
+                    let q = &mut self.dst_queues[dst];
+                    let a = q.pop_front().expect("occupied destination queue");
                     self.queued -= 1;
                     let d = Delivered {
                         flit: a.flit,
@@ -137,6 +149,9 @@ impl Network for MotNetwork {
                     self.stats.delivered += 1;
                     self.stats.total_latency += d.latency();
                     out.push(d);
+                    if q.is_empty() {
+                        self.dst_occ[wi] &= !(1u64 << slot);
+                    }
                 }
             }
         }

@@ -352,15 +352,6 @@ fn classify(decoded: &DecodedProgram, pc: usize, pend_i: u32, pend_f: u32) -> Is
     }
 }
 
-/// Refresh a TCU's memoized [`IssueClass`] after its `pc` or scoreboard
-/// changed. Both engines' issue loops and the reply-application paths
-/// call this at every such mutation — the golden cross-engine tests pin
-/// that the memo never goes stale.
-#[inline(always)]
-fn reclassify(tcu: &mut Tcu, decoded: &DecodedProgram) {
-    tcu.cls = classify(decoded, tcu.pc, tcu.pend_i, tcu.pend_f);
-}
-
 /// Number of [`IssueClass`] variants (indexes [`ClusterMasks::cls`]).
 const NUM_ISSUE_CLASSES: usize = IssueClass::Illegal as usize + 1;
 
@@ -374,8 +365,8 @@ const NUM_ISSUE_CLASSES: usize = IssueClass::Illegal as usize + 1;
 /// stalls of losing contenders by popcount.
 ///
 /// Invariants (maintained by every mutation path in this file; the
-/// threaded engine operates on worker-local cluster copies and never
-/// reads these):
+/// threaded engine moves each cluster's masks into its shard for the
+/// run and maintains them through the same mutation paths):
 /// - `cls[k]` has bit `t` set iff `cluster[t].cls == k`, active or not.
 /// - `active` has bit `t` set iff `cluster[t].active`.
 /// - `busy` has bit `t` set iff `busy_until > cycle`, where `cycle` is
@@ -2700,9 +2691,16 @@ impl<P: Probe> Machine<P> {
     /// dropping a flit) is a broken protocol invariant and surfaces as
     /// [`SimError::Protocol`] rather than a panic.
     fn step_memory_system_collect(&mut self, out: &mut Vec<ReplyDelivery>) -> Result<(), SimError> {
-        // Request network → modules. Functional effect happens here
-        // (arrival order at the home module defines the memory order;
-        // kernels separate read and write sets between barriers).
+        self.mem_route_requests()?;
+        self.mem_step_modules();
+        self.mem_drain_collect(out)
+    }
+
+    /// Memory-cycle stage 1: request network → modules. The functional
+    /// effect happens here (arrival order at the home module defines
+    /// the memory order; kernels separate read and write sets between
+    /// barriers).
+    fn mem_route_requests(&mut self) -> Result<(), SimError> {
         let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         self.req_net.step_into(&mut deliveries);
         for d in deliveries.drain(..) {
@@ -2746,7 +2744,19 @@ impl<P: Probe> Machine<P> {
                 d.flit.dst,
             );
         }
-        // Modules: service + emit DRAM requests.
+        self.scratch_deliveries = deliveries;
+        Ok(())
+    }
+
+    /// Memory-cycle stage 2: active modules service their queues and
+    /// emit DRAM requests (accumulated into `scratch_creqs`, in active-
+    /// module order) and replies (routed to the per-module outboxes).
+    /// The threaded engine replaces this stage with a work-stealing
+    /// pass over the same active list — each module's step is
+    /// independent, and the creq/outbox merge is re-serialized in
+    /// module order — so both paths leave identical state for
+    /// [`Machine::mem_drain_collect`].
+    fn mem_step_modules(&mut self) {
         let mut creqs = std::mem::take(&mut self.scratch_creqs);
         let mut resps = std::mem::take(&mut self.scratch_resps);
         for &m in &self.active_modules {
@@ -2757,6 +2767,13 @@ impl<P: Probe> Machine<P> {
             }
         }
         self.scratch_resps = resps;
+        self.scratch_creqs = creqs;
+        self.retire_inactive_modules();
+    }
+
+    /// Drop modules that went quiescent from the active list (shared
+    /// tail of the serial and threaded module-step stages).
+    fn retire_inactive_modules(&mut self) {
         let module_active = &mut self.module_active;
         let modules = &self.modules;
         self.active_modules.retain(|&m| {
@@ -2764,6 +2781,13 @@ impl<P: Probe> Machine<P> {
             module_active[m] = still;
             still
         });
+    }
+
+    /// Memory-cycle stage 3: DRAM channels, module fills, reply
+    /// injection and reply delivery. Consumes the channel requests
+    /// stage 2 left in `scratch_creqs`.
+    fn mem_drain_collect(&mut self, out: &mut Vec<ReplyDelivery>) -> Result<(), SimError> {
+        let mut creqs = std::mem::take(&mut self.scratch_creqs);
         for cr in creqs.drain(..) {
             let ch = cr.module / self.cfg.mm_per_dram_ctrl;
             self.channels[ch].sync_to(self.mem_clock);
@@ -2828,6 +2852,7 @@ impl<P: Probe> Machine<P> {
             });
         }
         // Reply network → TCUs.
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         self.reply_net.step_into(&mut deliveries);
         for d in deliveries.drain(..) {
             let Some(txn) = self.txns.remove(d.flit.tag) else {

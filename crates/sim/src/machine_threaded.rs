@@ -1,39 +1,69 @@
-//! Two-phase parallel cluster stepping (`Engine::Threaded`).
+//! Sharded parallel advance loop (`Engine::Threaded`).
 //!
-//! Each simulated cycle splits into a *local compute* phase — worker
-//! threads step disjoint contiguous blocks of clusters, recording every
-//! memory-injection attempt instead of touching shared state — and a
-//! *merge* phase on the main thread, which replays those attempts into
-//! the request NoC in cluster order. Because thread-ID grants, NoC
-//! arbitration, transaction tags and reply routing are all resolved in
-//! the same deterministic order the serial engines use, the run is
-//! bit-identical to `Engine::Reference` regardless of worker count or
-//! OS scheduling (pinned by the golden cycle tests).
+//! The machine is partitioned into *shards*: every cluster (with its
+//! TCUs, round-robin pointer and issue scratch) and every memory
+//! module lives in its own padded cell, and a pool of persistent
+//! workers claims cells from a per-cycle work list with an atomic
+//! cursor — work-stealing restricted to the **active-cluster list**,
+//! so clusters with no running threads are never touched (the
+//! reference engine walks every cluster every cycle; here an idle
+//! shard costs nothing, not even a cache line).
 //!
-//! Shared mutable state is confined to the main thread: workers own
-//! their TCUs outright (moved out of `Machine::clusters` for the
-//! duration of the run and moved back at shutdown) and see global
-//! registers only as a per-spawn snapshot. Programs that mutate global
-//! state from parallel mode (`ps`/`sspawn`) never reach this module —
+//! Synchronization is epoch-based, not message-based: the coordinator
+//! publishes a command (step clusters / step modules / stop) by
+//! bumping an epoch counter, participates in the claim loop itself,
+//! and spin-waits for the workers' done counter — two atomic waves per
+//! stepped cycle instead of the two mpsc round trips per worker the
+//! previous engine paid (which cost it a ~10x slowdown at small
+//! cluster counts). Quiet cycles do not step shards at all: the
+//! coordinator scans the active shards — lazily, only once a cycle
+//! has proven quiet — folds the scans into the same fast-forward
+//! horizon the `FastForward` engine computes, and jumps the clock in
+//! bulk, so barriers are amortized across entire memory-latency
+//! stretches. With one participant (the resolved default when the
+//! host has one CPU) the same loop runs inline with no
+//! synchronization at all, and memory instructions inject straight
+//! into the NoC instead of going through the record/replay path.
+//!
+//! Bit-identity with `Engine::Reference` is preserved by
+//! re-serializing every globally-ordered decision on the coordinator:
+//! thread-ID grants are sized in global cluster order before each
+//! cycle, memory-injection attempts are recorded per shard and
+//! replayed into the request NoC in cluster order (transaction tags
+//! only advance on accepted injections, exactly as `issue_memory`),
+//! and module steps — independent per module — are merged back in
+//! module order before DRAM channels and reply routing run serially.
+//! Round-robin pointers of unstepped clusters catch up lazily: the
+//! pointer advances once per parallel cycle in every engine, so a
+//! shard rejoining the work list (or the run ending) adds the number
+//! of parallel cycles it sat out, modulo the cluster's TCU count.
+//!
+//! Programs that mutate global state from parallel mode
+//! (`ps`/`sspawn`) and probed machines never reach this module —
 //! `Machine::run` falls back to the fast-forward engine for them.
-//!
-//! The fast-forward optimization composes with threading: when a cycle
-//! is quiet, the main thread combines the workers' per-cluster scans
-//! with its own memory-event horizon and broadcasts a `Skip`, which
-//! workers apply to their round-robin pointers and stall accruals.
 //!
 //! One intentional divergence: on a simulation *error* (out-of-bounds
 //! access, pc overflow), the reference engine stops mid-cycle, leaving
-//! later clusters unstepped; here, workers past the faulting one have
-//! already stepped. The returned error is still the first in cluster
-//! order, but machine state and statistics after a failed run may
-//! differ from the reference engine's. Successful runs are identical.
+//! later clusters unstepped; here, every claimed shard of the faulting
+//! cycle has already stepped. The returned error is still the first in
+//! cluster order, but machine state and statistics after a failed run
+//! may differ from the reference engine's. Successful runs are
+//! identical.
 
 use super::*;
+use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
-/// Immutable per-run parameters every worker needs.
+/// Spin iterations before a waiting worker parks (the coordinator's
+/// inter-epoch turnaround is usually far shorter than this).
+const SPIN_ROUNDS: u32 = 1 << 12;
+/// Minimum active-module count before the module-step stage is worth
+/// an extra epoch (below it, the coordinator steps modules inline).
+const MEM_PAR_MIN: usize = 8;
+
+/// Immutable per-run parameters every participant needs.
 #[derive(Clone, Copy)]
 struct WorkerParams {
     ntcus: usize,
@@ -44,21 +74,19 @@ struct WorkerParams {
     hash: AddressHash,
 }
 
-/// A matured reply to apply to a worker-owned TCU at the start of the
-/// next cycle (equivalent to the reference engine applying it at the
-/// end of the previous one: no issue logic runs in between).
+/// A matured reply to apply to a shard's TCU at the start of the next
+/// cycle (equivalent to the reference engine applying it at the end of
+/// the previous one: no issue logic runs in between).
 struct Delivery {
     tcu: usize,
     kind: TxnKind,
     value: u32,
 }
 
-/// One memory-instruction injection attempt, replayed by the main
-/// thread in cluster order. `accepted` is the worker's prediction
-/// (first attempt of the cluster this cycle and the port had budget);
-/// the replay asserts the real NoC agrees.
+/// One memory-instruction injection attempt, replayed by the
+/// coordinator in cluster order. `accepted` is the shard's prediction
+/// (the port had budget); the replay asserts the real NoC agrees.
 struct Attempt {
-    cluster: usize,
     tcu: usize,
     addr: u32,
     kind: TxnKind,
@@ -67,69 +95,124 @@ struct Attempt {
     accepted: bool,
 }
 
-/// Per-worker scratch shuttled with every `Cmd::Step` and returned in
-/// the reply: the main thread fills `grants`/`deliveries`/`budgets`,
-/// the worker drains them and fills `attempts`/`scans`, and the whole
-/// bundle rides back for reuse — after warm-up no per-cycle Vec is
-/// allocated on either side. `Default` exists only so the main thread
-/// can `mem::take` a bundle out of its pool while it is in flight.
-#[derive(Default)]
-struct StepBuffers {
-    /// Contiguous thread-ID grant per owned cluster.
-    grants: Vec<Range<u32>>,
-    /// Replies to apply before issue, per owned cluster.
-    deliveries: Vec<Vec<Delivery>>,
-    /// Request-NoC injection budget per owned cluster.
-    budgets: Vec<usize>,
-    /// Memory-injection attempts recorded by the worker.
+/// One cluster shard: the TCU state moved out of the machine for the
+/// run, plus everything a participant needs to step it and everything
+/// the coordinator reads back afterwards. Padded so two shards never
+/// share a cache line.
+struct ClusterShard {
+    tcus: Vec<Tcu>,
+    /// The cluster's issue masks, moved out of the machine together
+    /// with the TCUs and maintained by the exact mutation paths
+    /// `step_cluster` uses — the mask-driven visit order is what makes
+    /// a shard step as cheap as a reference step.
+    masks: ClusterMasks,
+    rr: usize,
+    /// Parallel-cycle count `rr` reflects (lazy catch-up).
+    synced: u64,
+    /// Instructions issued by this cluster (merged at shutdown).
+    instr: u64,
+    /// Contiguous thread-ID grant for this cycle.
+    grant: Range<u32>,
+    /// Grant size, kept for the coordinator's idle bookkeeping.
+    granted: u64,
+    /// Request-NoC injection budget sampled for this cycle.
+    budget: usize,
+    /// Threads that retired (`join`) this cycle.
+    joined: u64,
+    /// Replies to apply before issue.
+    deliveries: Vec<Delivery>,
+    /// Injection attempts recorded this cycle (record/replay path).
     attempts: Vec<Attempt>,
-    /// Post-step scan per owned cluster, for grants and skip planning.
-    scans: Vec<ClusterScan>,
-}
-
-enum Cmd {
-    /// A parallel section begins: snapshot of the global registers and
-    /// the section's entry pc.
-    Spawn {
-        gregs: [u32; NUM_GREGS],
-        entry: usize,
-    },
-    /// Step every owned cluster one cycle.
-    Step {
-        cycle: u64,
-        bufs: StepBuffers,
-    },
-    /// Fast-forward `n` quiet cycles: advance round-robin pointers and
-    /// accrue the stall counters the last scan reported, in bulk.
-    Skip {
-        n: u64,
-    },
-    Stop,
-}
-
-struct StepReply {
-    /// The shuttled scratch, with `attempts`/`scans` filled.
-    bufs: StepBuffers,
-    /// Statistics accumulated since the last reply (includes any
-    /// skip-accrued stalls; `cycles` stays 0 — the main thread owns
-    /// the clock).
-    delta: MachineStats,
-    /// First error in cluster order, if any.
+    /// First error this shard hit this cycle.
     error: Option<SimError>,
 }
 
-enum Reply {
-    Step(StepReply),
-    /// Shutdown: the owned state moves back to the machine.
-    Final {
-        clusters: Vec<Vec<Tcu>>,
-        rrs: Vec<usize>,
-        cluster_instr: Vec<u64>,
-        delta: MachineStats,
-    },
+/// Per-module scratch for the parallel module-step stage.
+#[derive(Default)]
+struct ModuleShard {
+    creqs: Vec<ChannelRequest>,
+    resps: Vec<MemResp>,
 }
 
-/// Sum `d` into `into`, leaving the main-thread-owned fields
+/// What an epoch asks the participants to do.
+#[derive(Clone, Copy)]
+enum EpochCmd {
+    /// Claim clusters from the work list and step them one cycle.
+    /// `pcyc` is the parallel-cycle count before this cycle, for lazy
+    /// round-robin catch-up.
+    Clusters {
+        cycle: u64,
+        pcyc: u64,
+    },
+    /// Claim modules from the work list and step each one memory
+    /// cycle into its [`ModuleShard`].
+    Modules,
+    Stop,
+}
+
+/// Global-register snapshot and entry pc of the current section.
+struct Section {
+    gregs: [u32; NUM_GREGS],
+    entry: usize,
+}
+
+#[repr(align(128))]
+struct Pad<T>(UnsafeCell<T>);
+
+/// State shared between the coordinator and the worker pool. All
+/// `UnsafeCell` access follows the epoch protocol: the coordinator
+/// owns every cell between epochs; during an epoch, each work-list
+/// index is claimed by exactly one participant via `cursor`, and the
+/// coordinator only touches cells through its own claim loop. The
+/// `Release` epoch store / `Acquire` epoch load pair publishes the
+/// coordinator's writes to workers; the `Release` done increment /
+/// `Acquire` done load pair publishes the workers' writes back.
+struct Shared<'a> {
+    epoch: AtomicU64,
+    done: AtomicU64,
+    poisoned: AtomicBool,
+    cmd: UnsafeCell<EpochCmd>,
+    cursor: AtomicUsize,
+    /// Cluster indices (Clusters epochs) or module indices (Modules
+    /// epochs) to claim.
+    work: UnsafeCell<Vec<u32>>,
+    section: UnsafeCell<Section>,
+    clusters: Vec<Pad<ClusterShard>>,
+    modules: Vec<Pad<ModuleShard>>,
+    /// Base pointer of `Machine::modules`, re-derived before every
+    /// Modules epoch (never dereferenced outside one).
+    modules_ptr: UnsafeCell<*mut MemoryModule>,
+    /// Per-worker stat deltas for the current epoch.
+    deltas: Vec<Pad<MachineStats>>,
+    /// Per-worker parked flags (coordinator only unparks sleepers).
+    parked: Vec<AtomicBool>,
+    decoded: &'a DecodedProgram,
+    params: WorkerParams,
+}
+
+// SAFETY: every UnsafeCell is accessed under the epoch protocol
+// documented on the struct; the raw module pointer is only
+// dereferenced during a Modules epoch, at distinct indices per
+// participant.
+unsafe impl Sync for Shared<'_> {}
+
+/// Signals epoch completion even if the participant's work panicked,
+/// so the coordinator's spin-wait terminates (it then reports the
+/// poisoning; the scope re-raises the panic at join).
+struct DoneGuard<'a> {
+    sh: &'a Shared<'a>,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.sh.poisoned.store(true, Ordering::Release);
+        }
+        self.sh.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Sum `d` into `into`, leaving the coordinator-owned fields
 /// (`cycles`, `spawns`) alone.
 fn add_stats(into: &mut MachineStats, d: &MachineStats) {
     into.instructions += d.instructions;
@@ -144,13 +227,15 @@ fn add_stats(into: &mut MachineStats, d: &MachineStats) {
 }
 
 pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunReport, SimError> {
+    debug_assert!(!P::ENABLED, "probed runs fall back before reaching here");
     let nclusters = m.cfg.clusters;
-    let workers = if threads == 0 {
+    let participants = if threads == 0 {
         rayon::current_num_threads()
     } else {
         threads
     }
     .clamp(1, nclusters);
+    let spawned = participants - 1;
     let params = WorkerParams {
         ntcus: m.cfg.tcus_per_cluster,
         fpus: m.cfg.fpus_per_cluster,
@@ -161,123 +246,376 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
     };
     let decoded = m.decoded.clone();
 
-    // Contiguous cluster ranges, one per worker.
-    let mut bounds: Vec<Range<usize>> = Vec::with_capacity(workers);
-    let base = nclusters / workers;
-    let extra = nclusters % workers;
-    let mut lo = 0;
-    for w in 0..workers {
-        let hi = lo + base + usize::from(w < extra);
-        bounds.push(lo..hi);
-        lo = hi;
-    }
-    let owner_of: Vec<usize> = (0..workers)
-        .flat_map(|w| std::iter::repeat_n(w, bounds[w].len()))
-        .collect();
-
-    // Move the TCU state out of the machine for the workers to own.
-    let mut all_clusters = std::mem::take(&mut m.clusters).into_iter();
-    let mut all_rr = std::mem::take(&mut m.cluster_rr).into_iter();
-    let mut chunks: Vec<(Vec<Vec<Tcu>>, Vec<usize>)> = bounds
+    // Move the TCU state (and the issue masks) out of the machine
+    // into the shards.
+    let healthy: Vec<u64> = m
+        .masks
         .iter()
-        .map(|r| {
-            (
-                all_clusters.by_ref().take(r.len()).collect(),
-                all_rr.by_ref().take(r.len()).collect(),
-            )
+        .map(|mk| params.ntcus as u64 - u64::from(mk.disabled.count_ones()))
+        .collect();
+    let cluster_shards: Vec<Pad<ClusterShard>> = std::mem::take(&mut m.clusters)
+        .into_iter()
+        .zip(std::mem::take(&mut m.cluster_rr))
+        .zip(std::mem::take(&mut m.masks))
+        .map(|((tcus, rr), masks)| {
+            Pad(UnsafeCell::new(ClusterShard {
+                tcus,
+                masks,
+                rr,
+                synced: 0,
+                instr: 0,
+                grant: 0..0,
+                granted: 0,
+                budget: 0,
+                joined: 0,
+                deliveries: Vec::new(),
+                attempts: Vec::new(),
+                error: None,
+            }))
         })
         .collect();
 
-    let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(workers);
-    let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(workers);
-    let (result, finals) = std::thread::scope(|s| {
-        for (w, (chunk, rrs)) in chunks.drain(..).enumerate() {
-            let (ctx, crx) = channel::<Cmd>();
-            let (rtx, rrx) = channel::<Reply>();
-            cmd_txs.push(ctx);
-            reply_rxs.push(rrx);
-            let lo = bounds[w].start;
-            let decoded = &decoded;
-            s.spawn(move || worker_main(crx, rtx, chunk, rrs, lo, decoded, params));
-        }
-        let result = main_loop(m, &cmd_txs, &reply_rxs, &bounds, &owner_of);
-        for tx in &cmd_txs {
-            let _ = tx.send(Cmd::Stop);
-        }
-        let mut finals = Vec::with_capacity(workers);
-        for rx in &reply_rxs {
-            loop {
-                match rx.recv() {
-                    Ok(Reply::Final {
-                        clusters,
-                        rrs,
-                        cluster_instr,
-                        delta,
-                    }) => {
-                        finals.push((clusters, rrs, cluster_instr, delta));
-                        break;
-                    }
-                    Ok(Reply::Step(_)) => continue, // stale (error shutdown)
-                    Err(_) => break,                // worker panicked; scope will propagate
-                }
-            }
-        }
-        (result, finals)
+    let shared = Shared {
+        epoch: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        poisoned: AtomicBool::new(false),
+        cmd: UnsafeCell::new(EpochCmd::Stop),
+        cursor: AtomicUsize::new(0),
+        work: UnsafeCell::new(Vec::with_capacity(nclusters.max(m.modules.len()))),
+        section: UnsafeCell::new(Section {
+            gregs: [0; NUM_GREGS],
+            entry: 0,
+        }),
+        clusters: cluster_shards,
+        modules: (0..m.modules.len())
+            .map(|_| Pad(UnsafeCell::new(ModuleShard::default())))
+            .collect(),
+        modules_ptr: UnsafeCell::new(std::ptr::null_mut()),
+        deltas: (0..spawned)
+            .map(|_| Pad(UnsafeCell::new(MachineStats::default())))
+            .collect(),
+        parked: (0..spawned).map(|_| AtomicBool::new(false)).collect(),
+        decoded: &decoded,
+        params,
+    };
+
+    let mut pcyc = 0u64;
+    let result = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spawned)
+            .map(|w| {
+                s.spawn({
+                    let shared = &shared;
+                    move || worker_main(shared, w)
+                })
+            })
+            .collect();
+        let worker_threads: Vec<std::thread::Thread> =
+            handles.iter().map(|h| h.thread().clone()).collect();
+        let mut pool = Pool {
+            sh: &shared,
+            worker_threads,
+            done_target: 0,
+        };
+        let result = main_loop(m, &mut pool, &healthy, &mut pcyc);
+        // Shut the pool down without waiting for the Stop epoch (a
+        // panicked worker would never acknowledge it); the scope join
+        // below is the real barrier and surfaces worker panics.
+        pool.dispatch(EpochCmd::Stop, &mut MachineStats::default());
+        result
     });
 
     // Reassemble the machine (also on the error path, so the caller
-    // can still inspect memory and statistics).
-    for (w, (clusters, rrs, cluster_instr, delta)) in finals.into_iter().enumerate() {
-        for (local, ci) in cluster_instr.into_iter().enumerate() {
-            m.cluster_instr[bounds[w].start + local] += ci;
-        }
-        m.clusters.extend(clusters);
-        m.cluster_rr.extend(rrs);
-        add_stats(&mut m.stats, &delta);
+    // can still inspect memory and statistics). Round-robin pointers
+    // catch up to the final parallel-cycle count here.
+    for (c, cell) in shared.clusters.into_iter().enumerate() {
+        let mut shard = cell.0.into_inner();
+        let lag = (pcyc - shard.synced) % params.ntcus as u64;
+        shard.rr = (shard.rr + lag as usize) % params.ntcus;
+        m.clusters.push(shard.tcus);
+        m.masks.push(shard.masks);
+        m.cluster_rr.push(shard.rr);
+        m.cluster_instr[c] += shard.instr;
     }
     result.map(|()| m.report())
 }
 
+/// The epoch-dispatch half of the coordinator: publish a command,
+/// participate in it, and wait for the pool.
+struct Pool<'s, 'a> {
+    sh: &'s Shared<'a>,
+    worker_threads: Vec<std::thread::Thread>,
+    done_target: u64,
+}
+
+impl Pool<'_, '_> {
+    /// Publish `cmd`, run the coordinator's own claim loop, and leave
+    /// the workers running theirs. Caller must `wait()` before
+    /// touching any shard. The coordinator's stat delta accumulates
+    /// into `delta`.
+    fn dispatch(&mut self, cmd: EpochCmd, delta: &mut MachineStats) {
+        let sh = self.sh;
+        sh.cursor.store(0, Ordering::Relaxed);
+        // SAFETY: coordinator owns the cells between epochs.
+        unsafe { *sh.cmd.get() = cmd };
+        if !self.worker_threads.is_empty() {
+            sh.epoch.fetch_add(1, Ordering::Release);
+            self.done_target += self.worker_threads.len() as u64;
+            for (w, t) in self.worker_threads.iter().enumerate() {
+                if sh.parked[w].load(Ordering::Acquire) {
+                    t.unpark();
+                }
+            }
+        }
+        run_cmd(sh, cmd, delta);
+    }
+
+    /// Wait for every worker to finish the current epoch.
+    fn wait(&self) -> Result<(), SimError> {
+        let sh = self.sh;
+        let mut spins = 0u32;
+        while sh.done.load(Ordering::Acquire) < self.done_target {
+            spins = spins.wrapping_add(1);
+            if spins & 0x3FF == 0 {
+                // Let workers run on oversubscribed hosts.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        if sh.poisoned.load(Ordering::Acquire) {
+            return Err(SimError::Protocol {
+                what: "threaded worker panicked",
+                at_cycle: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn worker_main(sh: &Shared<'_>, wid: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next epoch: spin briefly, then park. A parked
+        // worker is woken by the coordinator's targeted unpark; the
+        // timeout only covers the benign race where the flag was read
+        // before the store landed.
+        let mut spins = 0u32;
+        loop {
+            let e = sh.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                sh.parked[wid].store(true, Ordering::Release);
+                if sh.epoch.load(Ordering::Acquire) == seen {
+                    std::thread::park_timeout(Duration::from_millis(1));
+                }
+                sh.parked[wid].store(false, Ordering::Relaxed);
+            }
+        }
+        let guard = DoneGuard { sh };
+        // SAFETY: published before the epoch bump; coordinator does
+        // not write it again until after `wait()`.
+        let cmd = unsafe { *sh.cmd.get() };
+        let stop = matches!(cmd, EpochCmd::Stop);
+        if !stop {
+            let mut delta = MachineStats::default();
+            run_cmd(sh, cmd, &mut delta);
+            // SAFETY: this worker's own delta slot.
+            unsafe { *sh.deltas[wid].0.get() = delta };
+        }
+        drop(guard);
+        if stop {
+            return;
+        }
+    }
+}
+
+/// The claim loop every participant (workers and coordinator) runs.
+fn run_cmd(sh: &Shared<'_>, cmd: EpochCmd, delta: &mut MachineStats) {
+    // SAFETY: work list is written by the coordinator before the epoch
+    // and read-only during it.
+    let work = unsafe { &*sh.work.get() };
+    match cmd {
+        EpochCmd::Clusters { cycle, pcyc } => loop {
+            let i = sh.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= work.len() {
+                break;
+            }
+            let c = work[i] as usize;
+            // SAFETY: index `i` (hence cluster `c`) is claimed by
+            // exactly one participant this epoch.
+            let shard = unsafe { &mut *sh.clusters[c].0.get() };
+            step_shard_recording(sh, shard, cycle, pcyc, delta);
+        },
+        EpochCmd::Modules => {
+            // SAFETY: re-derived by the coordinator for this epoch.
+            let base = unsafe { *sh.modules_ptr.get() };
+            loop {
+                let i = sh.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let mm = work[i] as usize;
+                // SAFETY: module `mm` and its shard are claimed by
+                // exactly one participant this epoch; `base` points at
+                // the live `Machine::modules` buffer, untouched by the
+                // coordinator during the epoch.
+                let module = unsafe { &mut *base.add(mm) };
+                let ms = unsafe { &mut *sh.modules[mm].0.get() };
+                module.step(&mut ms.creqs, &mut ms.resps);
+            }
+        }
+        EpochCmd::Stop => {}
+    }
+}
+
+/// Step one shard in record/replay mode: injection attempts land in
+/// `shard.attempts` with a budget-predicted accept/reject for the
+/// coordinator to replay in cluster order.
+fn step_shard_recording(
+    sh: &Shared<'_>,
+    shard: &mut ClusterShard,
+    cycle: u64,
+    pcyc: u64,
+    delta: &mut MachineStats,
+) {
+    let ClusterShard {
+        tcus,
+        masks,
+        rr,
+        synced,
+        instr,
+        grant,
+        budget,
+        joined,
+        deliveries,
+        attempts,
+        error,
+        ..
+    } = shard;
+    let mut sink = |tcu: usize, addr: u32, kind: TxnKind, value: u32, module: usize| {
+        let accepted = *budget > 0;
+        if accepted {
+            *budget -= 1;
+        }
+        attempts.push(Attempt {
+            tcu,
+            addr,
+            kind,
+            value,
+            module,
+            accepted,
+        });
+        accepted
+    };
+    step_shard(
+        sh, tcus, masks, rr, synced, instr, grant, joined, deliveries, error, &mut sink, cycle,
+        pcyc, delta,
+    );
+}
+
+/// Step one cluster shard one cycle: lazy round-robin catch-up, reply
+/// application, and the issue loop. `sink` receives every memory
+/// injection and reports acceptance.
+#[allow(clippy::too_many_arguments)]
+fn step_shard<F>(
+    sh: &Shared<'_>,
+    tcus: &mut [Tcu],
+    masks: &mut ClusterMasks,
+    rr: &mut usize,
+    synced: &mut u64,
+    instr: &mut u64,
+    grant: &mut Range<u32>,
+    joined: &mut u64,
+    deliveries: &mut Vec<Delivery>,
+    error: &mut Option<SimError>,
+    sink: &mut F,
+    cycle: u64,
+    pcyc: u64,
+    delta: &mut MachineStats,
+) where
+    F: FnMut(usize, u32, TxnKind, u32, usize) -> bool,
+{
+    let ntcus = sh.params.ntcus;
+    let lag = (pcyc - *synced) % ntcus as u64;
+    *rr = (*rr + lag as usize) % ntcus;
+    *synced = pcyc + 1; // step_cluster_local advances rr once more
+    for d in deliveries.drain(..) {
+        let tcu = &mut tcus[d.tcu];
+        match d.kind {
+            TxnKind::LoadI(rd) => {
+                tcu.rf.write_i(rd, d.value);
+                tcu.pend_i &= !(1u32 << rd.index());
+            }
+            TxnKind::LoadF(fd) => {
+                tcu.rf.write_f(fd, f32::from_bits(d.value));
+                tcu.pend_f &= !(1u32 << fd.index());
+            }
+            TxnKind::Store => {}
+        }
+        tcu.outstanding -= 1;
+        let bit = 1u64 << d.tcu;
+        masks.at_cap &= !bit;
+        if tcu.outstanding == 0 {
+            masks.out_nz &= !bit;
+        }
+        // A cleared scoreboard bit can only unblock; other classes
+        // are unaffected by replies.
+        if tcu.cls == IssueClass::Scoreboard {
+            reclassify_masked(tcu, masks, d.tcu, sh.decoded);
+        }
+    }
+    // SAFETY: written by the coordinator before the epoch (at spawn
+    // time), read-only during it.
+    let section = unsafe { &*sh.section.get() };
+    if let Err(e) = step_cluster_local(
+        tcus,
+        masks,
+        rr,
+        grant,
+        joined,
+        cycle,
+        &section.gregs,
+        section.entry,
+        sh.decoded,
+        sh.params,
+        sink,
+        delta,
+        instr,
+    ) {
+        *error = Some(e);
+    }
+}
+
 fn main_loop<P: Probe>(
     m: &mut Machine<P>,
-    cmd_txs: &[Sender<Cmd>],
-    reply_rxs: &[Receiver<Reply>],
-    bounds: &[Range<usize>],
-    owner_of: &[usize],
+    pool: &mut Pool<'_, '_>,
+    healthy: &[u64],
+    pcyc: &mut u64,
 ) -> Result<(), SimError> {
-    let nclusters = owner_of.len();
-    let ntcus = m.cfg.tcus_per_cluster;
-    // Post-cycle idle-TCU count per cluster (drives grant sizing) and
-    // the latest per-cluster scans (drive skip planning). Before the
+    let sh = pool.sh;
+    let nclusters = healthy.len();
+    let healthy_total: u64 = healthy.iter().sum();
+    let inline = pool.worker_threads.is_empty();
+    // Post-cycle idle-TCU count per cluster, maintained incrementally
+    // from grants and joins (drives grant sizing and the active-work
+    // decision — full scans only happen on quiet cycles). Before the
     // first spawn — and between sections — every non-disabled TCU is
-    // idle (disabled TCUs are not idle capacity; the worker scans
-    // exclude them too).
-    let mut idle: Vec<u64> = (0..nclusters)
-        .map(|c| ntcus as u64 - u64::from(m.masks[c].disabled.count_ones()))
-        .collect();
-    // Healthy (non-disabled) TCU capacity: `idle` sums to this when
-    // every live TCU has drained, which is the barrier condition.
-    let healthy_tcus: u64 = idle.iter().sum();
-    let mut scans: Vec<ClusterScan> = Vec::new();
-    // Replies awaiting application at the start of the next cycle,
-    // grouped per worker, per owned cluster.
-    let mut pending: Vec<Vec<Vec<Delivery>>> = bounds
-        .iter()
-        .map(|r| (0..r.len()).map(|_| Vec::new()).collect())
-        .collect();
+    // idle.
+    let mut idle: Vec<u64> = healthy.to_vec();
+    let mut sum_idle: u64 = healthy_total;
     let mut replies_buf: Vec<ReplyDelivery> = Vec::new();
-    // One scratch bundle per worker, shuttled on every Step and
-    // recovered from its reply (ping-pong: no per-cycle allocation).
-    let mut bufs: Vec<StepBuffers> = bounds
-        .iter()
-        .map(|r| StepBuffers {
-            grants: Vec::with_capacity(r.len()),
-            deliveries: (0..r.len()).map(|_| Vec::new()).collect(),
-            budgets: Vec::with_capacity(r.len()),
-            attempts: Vec::new(),
-            scans: Vec::with_capacity(r.len()),
-        })
-        .collect();
+    // Coordinator-side copy of the active-cluster list: `sh.work` is
+    // repurposed for module indices during Modules epochs, so the
+    // merge and skip phases read this one.
+    let mut active: Vec<u32> = Vec::with_capacity(nclusters);
+    // Quiet-cycle scans of the active clusters (skip planning).
+    let mut scans: Vec<ClusterScan> = Vec::with_capacity(nclusters);
 
     loop {
         match m.mode {
@@ -287,12 +625,14 @@ fn main_loop<P: Probe>(
                 m.step()?;
                 m.check_progress()?;
                 if let Mode::Parallel { .. } = m.mode {
-                    // A spawn just executed: broadcast the section.
-                    for tx in cmd_txs {
-                        let _ = tx.send(Cmd::Spawn {
+                    // A spawn just executed: publish the section for
+                    // the shards to read on their next epoch.
+                    // SAFETY: no epoch is in flight.
+                    unsafe {
+                        *sh.section.get() = Section {
                             gregs: m.gregs,
                             entry: m.spawn_entry,
-                        });
+                        };
                     }
                 } else if instr_before == m.stats.instructions {
                     // Quiet serial cycle (waiting out an instruction
@@ -306,105 +646,232 @@ fn main_loop<P: Probe>(
             Mode::Parallel { return_pc } => {
                 m.cycle += 1;
                 m.stats.cycles = m.cycle;
-                // Phase 0 (main): size thread-ID grants from the idle
-                // counts — exactly the TCUs the serial scan would have
-                // activated, in the same global cluster order — and
-                // sample each cluster's injection budget.
-                for (w, r) in bounds.iter().enumerate() {
-                    let mut b = std::mem::take(&mut bufs[w]);
-                    b.grants.clear();
-                    b.budgets.clear();
-                    b.attempts.clear();
-                    b.scans.clear();
-                    for (local, c) in r.clone().enumerate() {
-                        let avail = m.spawn_count - m.next_tid;
-                        let g = (idle[c].min(avail as u64)) as u32;
-                        b.grants.push(m.next_tid..m.next_tid + g);
-                        m.next_tid += g;
-                        b.budgets.push(m.req_net.inject_budget(c));
-                        // Hand the accumulated replies over and keep
-                        // the drained (capacity-retaining) Vec the
-                        // worker emptied last cycle.
-                        std::mem::swap(&mut b.deliveries[local], &mut pending[w][local]);
+                // Phase 0: build the active work list and size the
+                // thread-ID grants from the idle counts — exactly the
+                // TCUs the serial scan would have activated, in the
+                // same global cluster order. A cluster joins the list
+                // iff it has running TCUs or receives a grant; all
+                // others are untouched this cycle.
+                active.clear();
+                for c in 0..nclusters {
+                    let has_active = idle[c] < healthy[c];
+                    let avail = (m.spawn_count - m.next_tid) as u64;
+                    let g = if avail > 0 {
+                        idle[c].min(avail) as u32
+                    } else {
+                        0
+                    };
+                    if !has_active && g == 0 {
+                        continue;
                     }
-                    let _ = cmd_txs[w].send(Cmd::Step {
-                        cycle: m.cycle,
-                        bufs: b,
-                    });
+                    // SAFETY: no epoch in flight; coordinator owns
+                    // every cell.
+                    let shard = unsafe { &mut *sh.clusters[c].0.get() };
+                    shard.grant = m.next_tid..m.next_tid + g;
+                    shard.granted = u64::from(g);
+                    m.next_tid += g;
+                    shard.joined = 0;
+                    shard.error = None;
+                    if !inline {
+                        shard.budget = m.req_net.inject_budget(c);
+                        shard.attempts.clear();
+                    }
+                    active.push(c as u32);
                 }
-                // Phase 1 runs in the workers; phase 2 (merge): replay
-                // attempts in cluster order so tags and NoC arbitration
-                // match the serial engines bit for bit.
                 let instr_before = m.stats.instructions;
                 let threads_before = m.stats.threads;
-                scans.clear();
+                let mut main_delta = MachineStats::default();
                 let mut first_err: Option<SimError> = None;
-                for (w, rx) in reply_rxs.iter().enumerate() {
-                    let rep = match rx.recv() {
-                        Ok(Reply::Step(rep)) => rep,
-                        _ => {
-                            return Err(SimError::Protocol {
-                                what: "worker channel closed mid-cycle",
-                                at_cycle: m.cycle,
-                            });
-                        }
-                    };
-                    add_stats(&mut m.stats, &rep.delta);
-                    if first_err.is_none() {
-                        for a in &rep.bufs.attempts {
-                            // Peek-then-commit, exactly as the serial
-                            // `issue_memory`: the tag stream only
-                            // advances on accepted injections.
-                            let tag = m.txns.peek_tag();
-                            let accepted = m.req_net.try_inject(Flit {
-                                src: a.cluster,
-                                dst: a.module,
-                                tag,
-                            });
-                            debug_assert_eq!(
-                                accepted, a.accepted,
-                                "worker mispredicted NoC acceptance"
-                            );
-                            if accepted {
-                                m.txns.insert(Txn {
-                                    cluster: a.cluster,
-                                    tcu: a.tcu,
-                                    addr: a.addr,
-                                    kind: a.kind,
-                                    value: a.value,
+                if inline {
+                    // Phase 1+2, inline: the coordinator steps every
+                    // active shard itself and injects directly — the
+                    // sink is the exact `issue_memory` protocol, so no
+                    // attempt recording or replay happens. Cluster
+                    // order is the iteration order, and the first
+                    // error stops the cycle just like the reference
+                    // engine.
+                    let txns = &mut m.txns;
+                    let req_net = &mut m.req_net;
+                    for &c in &active {
+                        let c = c as usize;
+                        // SAFETY: no workers exist; the coordinator
+                        // owns every cell.
+                        let shard = unsafe { &mut *sh.clusters[c].0.get() };
+                        let ClusterShard {
+                            tcus,
+                            masks,
+                            rr,
+                            synced,
+                            instr,
+                            grant,
+                            joined,
+                            deliveries,
+                            error,
+                            ..
+                        } = shard;
+                        let mut sink =
+                            |tcu: usize, addr: u32, kind: TxnKind, value: u32, module: usize| {
+                                let tag = txns.peek_tag();
+                                let accepted = req_net.try_inject(Flit {
+                                    src: c,
+                                    dst: module,
+                                    tag,
                                 });
-                            }
+                                if accepted {
+                                    txns.insert(Txn {
+                                        cluster: c,
+                                        tcu,
+                                        addr,
+                                        kind,
+                                        value,
+                                    });
+                                }
+                                accepted
+                            };
+                        step_shard(
+                            sh,
+                            tcus,
+                            masks,
+                            rr,
+                            synced,
+                            instr,
+                            grant,
+                            joined,
+                            deliveries,
+                            error,
+                            &mut sink,
+                            m.cycle,
+                            *pcyc,
+                            &mut main_delta,
+                        );
+                        sum_idle += shard.joined;
+                        sum_idle -= shard.granted;
+                        idle[c] = idle[c] + shard.joined - shard.granted;
+                        if let Some(e) = shard.error.take() {
+                            first_err = Some(e);
+                            break;
                         }
-                        first_err = rep.error;
                     }
-                    let base = scans.len();
-                    for (local, &scan) in rep.bufs.scans.iter().enumerate() {
-                        idle[base + local] = scan.idle;
-                        scans.push(scan);
+                    *pcyc += 1;
+                    add_stats(&mut m.stats, &main_delta);
+                } else {
+                    {
+                        // SAFETY: no epoch in flight.
+                        let work = unsafe { &mut *sh.work.get() };
+                        work.clear();
+                        work.extend_from_slice(&active);
                     }
-                    bufs[w] = rep.bufs;
+                    // Phase 1: step the shards (workers+coordinator).
+                    pool.dispatch(
+                        EpochCmd::Clusters {
+                            cycle: m.cycle,
+                            pcyc: *pcyc,
+                        },
+                        &mut main_delta,
+                    );
+                    pool.wait()?;
+                    *pcyc += 1;
+                    add_stats(&mut m.stats, &main_delta);
+                    for d in &sh.deltas {
+                        // SAFETY: epoch done; workers are waiting.
+                        add_stats(&mut m.stats, unsafe { &*d.0.get() });
+                    }
+                    // Phase 2 (merge): replay attempts in cluster
+                    // order so tags and NoC arbitration match the
+                    // serial engines bit for bit, and fold the idle
+                    // deltas back in.
+                    for &c in &active {
+                        let c = c as usize;
+                        // SAFETY: epoch done; coordinator owns cells.
+                        let shard = unsafe { &mut *sh.clusters[c].0.get() };
+                        if first_err.is_none() {
+                            for a in shard.attempts.drain(..) {
+                                // Peek-then-commit, exactly as the
+                                // serial `issue_memory`: the tag
+                                // stream only advances on accepted
+                                // injections.
+                                let tag = m.txns.peek_tag();
+                                let accepted = m.req_net.try_inject(Flit {
+                                    src: c,
+                                    dst: a.module,
+                                    tag,
+                                });
+                                debug_assert_eq!(
+                                    accepted, a.accepted,
+                                    "shard mispredicted NoC acceptance"
+                                );
+                                if accepted {
+                                    m.txns.insert(Txn {
+                                        cluster: c,
+                                        tcu: a.tcu,
+                                        addr: a.addr,
+                                        kind: a.kind,
+                                        value: a.value,
+                                    });
+                                }
+                            }
+                            first_err = shard.error.take();
+                        }
+                        sum_idle += shard.joined;
+                        sum_idle -= shard.granted;
+                        idle[c] = idle[c] + shard.joined - shard.granted;
+                    }
                 }
                 if let Some(e) = first_err {
-                    // `addr_of` faults surface from workers without a
+                    // `addr_of` faults surface from shards without a
                     // clock; stamp them with the merge-side cycle.
                     return Err(e.stamped(m.cycle));
                 }
-                let total_active: u64 = healthy_tcus - idle.iter().sum::<u64>();
-                // Phase 3: the memory system, exactly as in the serial
-                // engines; matured replies are routed to the worker
-                // owning the target cluster for the next cycle.
+                let total_active = healthy_total - sum_idle;
+                // Phase 3: the memory system. Module steps are
+                // independent per module, so a big enough active set
+                // gets its own work-stealing epoch; everything with a
+                // global order (request routing, DRAM channels, reply
+                // injection) stays on the coordinator.
                 replies_buf.clear();
-                m.step_memory_system_collect(&mut replies_buf)?;
-                let mut pending_count = 0usize;
+                m.mem_route_requests()?;
+                if !inline && m.active_modules.len() >= MEM_PAR_MIN {
+                    {
+                        // SAFETY: no epoch in flight.
+                        let work = unsafe { &mut *sh.work.get() };
+                        work.clear();
+                        work.extend(m.active_modules.iter().map(|&mm| mm as u32));
+                    }
+                    // SAFETY: re-derive the buffer pointer for this
+                    // epoch; the coordinator leaves `m.modules` alone
+                    // until `wait()` returns.
+                    unsafe { *sh.modules_ptr.get() = m.modules.as_mut_ptr() };
+                    pool.dispatch(EpochCmd::Modules, &mut main_delta);
+                    pool.wait()?;
+                    // Merge in module order: responses to outboxes,
+                    // channel requests into the serial creq stream.
+                    let mut creqs = std::mem::take(&mut m.scratch_creqs);
+                    for &mm in &m.active_modules {
+                        // SAFETY: epoch done; coordinator owns cells.
+                        let ms = unsafe { &mut *sh.modules[mm].0.get() };
+                        for resp in ms.resps.drain(..) {
+                            m.module_outbox[mm].push_back(resp.req.tag);
+                            activate(&mut m.active_outboxes, &mut m.outbox_active, mm);
+                        }
+                        creqs.append(&mut ms.creqs);
+                    }
+                    m.scratch_creqs = creqs;
+                    m.retire_inactive_modules();
+                } else {
+                    m.mem_step_modules();
+                }
+                m.mem_drain_collect(&mut replies_buf)?;
+                // Matured replies land in the owning shard for the
+                // next cycle.
+                let pending_count = replies_buf.len();
                 for r in replies_buf.drain(..) {
-                    let w = owner_of[r.cluster];
-                    let local = r.cluster - bounds[w].start;
-                    pending[w][local].push(Delivery {
+                    // SAFETY: no epoch in flight.
+                    let shard = unsafe { &mut *sh.clusters[r.cluster].0.get() };
+                    shard.deliveries.push(Delivery {
                         tcu: r.tcu,
                         kind: r.kind,
                         value: r.value,
                     });
-                    pending_count += 1;
                 }
                 if total_active == 0 {
                     m.maybe_finish_spawn_drained(return_pc);
@@ -412,8 +879,13 @@ fn main_loop<P: Probe>(
                 m.check_progress()?;
                 // Fast-forward: quiet cycle, no replies about to land,
                 // nothing issuable and no thread to activate → jump to
-                // the next event. Stall accrual and round-robin
-                // advance happen worker-side from the same scans.
+                // the next event. Only now are the active shards
+                // scanned (busy cycles never pay for a scan); clusters
+                // outside the work list are fully idle and would
+                // report `issue_next: false`, `min_busy: MAX` and zero
+                // blocked counts, so only work-list shards constrain
+                // the horizon. Round-robin pointers catch up lazily
+                // from the parallel-cycle count.
                 let quiet =
                     instr_before == m.stats.instructions && threads_before == m.stats.threads;
                 if quiet && pending_count == 0 && matches!(m.mode, Mode::Parallel { .. }) {
@@ -422,13 +894,21 @@ fn main_loop<P: Probe>(
                     // watchdog would fire (a stuck TCU looks
                     // permanently quiet).
                     let mut horizon = (m.max_cycles + 1).min(m.watchdog_horizon());
-                    let mut can_skip = true;
-                    for scan in &scans {
-                        if scan.issue_next || (scan.idle > 0 && m.next_tid < m.spawn_count) {
-                            can_skip = false;
-                            break;
+                    let mut can_skip = !(m.next_tid < m.spawn_count && sum_idle > 0);
+                    scans.clear();
+                    if can_skip {
+                        for &c in &active {
+                            // SAFETY: no epoch in flight.
+                            let shard = unsafe { &*sh.clusters[c as usize].0.get() };
+                            let scan = scan_cluster::<true>(&shard.tcus, m.cycle + 1);
+                            debug_assert_eq!(scan.idle, idle[c as usize]);
+                            if scan.issue_next {
+                                can_skip = false;
+                                break;
+                            }
+                            horizon = horizon.min(scan.min_busy);
+                            scans.push(scan);
                         }
-                        horizon = horizon.min(scan.min_busy);
                     }
                     if can_skip {
                         if let Some(e) = m.memory_next_event() {
@@ -436,8 +916,19 @@ fn main_loop<P: Probe>(
                         }
                         if horizon > m.cycle + 1 {
                             let n = horizon - (m.cycle + 1);
-                            for tx in cmd_txs {
-                                let _ = tx.send(Cmd::Skip { n });
+                            for scan in &scans {
+                                m.stats.stall_scoreboard += n * scan.blocked_scoreboard;
+                                m.stats.stall_lsu += n * scan.blocked_lsu;
+                            }
+                            // Busy bits of skipped cycles must clear,
+                            // exactly as `fast_forward` does, or the
+                            // mask-driven issue loop would skip TCUs
+                            // whose units finished during the jump.
+                            // Non-work clusters have no busy bits set.
+                            for &c in &active {
+                                // SAFETY: no epoch in flight.
+                                let shard = unsafe { &mut *sh.clusters[c as usize].0.get() };
+                                shard.masks.wake_through(m.cycle + 1, n);
                             }
                             m.req_net.skip_idle(n);
                             m.reply_net.skip_idle(n);
@@ -450,6 +941,7 @@ fn main_loop<P: Probe>(
                             m.mem_clock += n;
                             m.cycle += n;
                             m.stats.cycles = m.cycle;
+                            *pcyc += n;
                             m.check_progress()?;
                         }
                     }
@@ -459,129 +951,31 @@ fn main_loop<P: Probe>(
     }
 }
 
-fn worker_main(
-    rx: Receiver<Cmd>,
-    tx: Sender<Reply>,
-    mut clusters: Vec<Vec<Tcu>>,
-    mut rrs: Vec<usize>,
-    lo: usize,
-    decoded: &DecodedProgram,
-    p: WorkerParams,
-) {
-    let mut gregs = [0u32; NUM_GREGS];
-    let mut entry = 0usize;
-    let mut cluster_instr = vec![0u64; clusters.len()];
-    // Stats accumulated since the last Step reply (skip accruals land
-    // here between replies).
-    let mut pending = MachineStats::default();
-    // (blocked_scoreboard, blocked_lsu) from the last scan, consumed
-    // by Skip for bulk stall accrual.
-    let mut last_blocked: Vec<(u64, u64)> = vec![(0, 0); clusters.len()];
-    loop {
-        match rx.recv() {
-            Ok(Cmd::Spawn { gregs: g, entry: e }) => {
-                gregs = g;
-                entry = e;
-            }
-            Ok(Cmd::Step { cycle, mut bufs }) => {
-                let mut delta = std::mem::take(&mut pending);
-                let mut error = None;
-                for (local, ds) in bufs.deliveries.iter_mut().enumerate() {
-                    for d in ds.drain(..) {
-                        let tcu = &mut clusters[local][d.tcu];
-                        match d.kind {
-                            TxnKind::LoadI(rd) => {
-                                tcu.rf.write_i(rd, d.value);
-                                tcu.pend_i &= !(1u32 << rd.index());
-                            }
-                            TxnKind::LoadF(fd) => {
-                                tcu.rf.write_f(fd, f32::from_bits(d.value));
-                                tcu.pend_f &= !(1u32 << fd.index());
-                            }
-                            TxnKind::Store => {}
-                        }
-                        tcu.outstanding -= 1;
-                        if tcu.cls == IssueClass::Scoreboard {
-                            reclassify(tcu, decoded);
-                        }
-                    }
-                }
-                for local in 0..clusters.len() {
-                    if error.is_none() {
-                        let mut grant = bufs.grants[local].clone();
-                        let mut budget = bufs.budgets[local];
-                        if let Err(e) = step_cluster_local(
-                            &mut clusters[local],
-                            &mut rrs[local],
-                            &mut grant,
-                            &mut budget,
-                            cycle,
-                            lo + local,
-                            &gregs,
-                            entry,
-                            decoded,
-                            p,
-                            &mut bufs.attempts,
-                            &mut delta,
-                            &mut cluster_instr[local],
-                        ) {
-                            error = Some(e);
-                        }
-                    }
-                    let scan = scan_cluster::<true>(&clusters[local], cycle + 1);
-                    last_blocked[local] = (scan.blocked_scoreboard, scan.blocked_lsu);
-                    bufs.scans.push(scan);
-                }
-                if tx
-                    .send(Reply::Step(StepReply { bufs, delta, error }))
-                    .is_err()
-                {
-                    return; // main thread gone
-                }
-            }
-            Ok(Cmd::Skip { n }) => {
-                let adv = (n % p.ntcus as u64) as usize;
-                for (local, rr) in rrs.iter_mut().enumerate() {
-                    *rr = (*rr + adv) % p.ntcus;
-                    pending.stall_scoreboard += n * last_blocked[local].0;
-                    pending.stall_lsu += n * last_blocked[local].1;
-                }
-            }
-            Ok(Cmd::Stop) | Err(_) => {
-                let _ = tx.send(Reply::Final {
-                    clusters,
-                    rrs,
-                    cluster_instr,
-                    delta: pending,
-                });
-                return;
-            }
-        }
-    }
-}
-
-/// Worker-side mirror of `Machine::step_cluster` + `issue_memory`.
+/// Shard-side mirror of `Machine::step_cluster` + `issue_memory`.
 /// Must stay line-for-line equivalent in issue order, budget handling
 /// and statistics — the golden cycle tests pin the equivalence. The
 /// differences: thread IDs come from the pre-sized grant instead of
-/// the shared counter, and memory instructions record an `Attempt`
-/// (with a predicted accept/reject) instead of injecting.
+/// the shared counter, and memory instructions go through `sink`
+/// (direct injection inline, record/replay under workers).
 #[allow(clippy::too_many_arguments)]
-fn step_cluster_local(
+fn step_cluster_local<F>(
     cluster: &mut [Tcu],
+    m: &mut ClusterMasks,
     rr: &mut usize,
     grant: &mut Range<u32>,
-    inject_budget: &mut usize,
+    joined: &mut u64,
     cycle: u64,
-    global_c: usize,
     gregs: &[u32; NUM_GREGS],
     entry: usize,
     decoded: &DecodedProgram,
     p: WorkerParams,
-    attempts: &mut Vec<Attempt>,
+    sink: &mut F,
     acc: &mut MachineStats,
     cluster_instr: &mut u64,
-) -> Result<(), SimError> {
+) -> Result<(), SimError>
+where
+    F: FnMut(usize, u32, TxnKind, u32, usize) -> bool,
+{
     let instr_at_entry = acc.instructions;
     let ntcus = p.ntcus;
     let mut fpu_budget = p.fpus;
@@ -589,10 +983,53 @@ fn step_cluster_local(
     let mut lsu_budget = p.lsus;
     let start = *rr;
     *rr = (start + 1) % ntcus;
+    m.wake(cycle);
 
-    // Round-robin order without the per-TCU `% ntcus` — mirror of the
-    // `step_cluster` loop shape.
-    for t in (start..ntcus).chain(0..start) {
+    let ready = m.active & !m.busy & !m.stuck;
+    // Bulk path, mirror of the fast-forward engine's
+    // `step_cluster_bulk`: when no idle TCU can activate this cycle
+    // (the shard's grant is empty — the pre-sized equivalent of
+    // `next_tid >= spawn_count`) and no ready TCU is in an
+    // order-sensitive class, the per-TCU visit order is unobservable
+    // and the cluster issues straight off the masks.
+    if grant.start >= grant.end
+        && (m.cls[IssueClass::Ps as usize]
+            | m.cls[IssueClass::BadPc as usize]
+            | m.cls[IssueClass::Illegal as usize])
+            & ready
+            == 0
+    {
+        step_cluster_bulk_local(
+            cluster, m, ready, start, joined, cycle, gregs, decoded, p, sink, acc,
+        )?;
+        *cluster_instr += acc.instructions - instr_at_entry;
+        return Ok(());
+    }
+
+    // Visit order, mirror of `step_cluster`: walk every TCU only when
+    // an idle one could activate this cycle; otherwise (a ready
+    // `BadPc`/`Illegal` kept us off the bulk path) walk only ready
+    // TCUs in round-robin order, which surfaces the same first error.
+    let mut order = [0u8; 64];
+    let visits: &[u8] = if grant.start < grant.end || m.cls[IssueClass::Ps as usize] & ready != 0 {
+        for (i, t) in (start..ntcus).chain(0..start).enumerate() {
+            order[i] = t as u8;
+        }
+        &order[..ntcus]
+    } else {
+        let mut rot = rr_rotate(ready, start, ntcus);
+        let mut n = 0;
+        while rot != 0 {
+            order[n] = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus) as u8;
+            rot &= rot - 1;
+            n += 1;
+        }
+        &order[..n]
+    };
+
+    for &t in visits {
+        let t = t as usize;
+        let bit = 1u64 << t;
         let tcu = &mut cluster[t];
         if !tcu.active {
             if tcu.disabled {
@@ -605,12 +1042,13 @@ fn step_cluster_local(
                 let tid = grant.start;
                 grant.start += 1;
                 tcu.active = true;
+                m.active |= bit;
                 tcu.rf = RegFile::new(tid);
                 tcu.pc = entry;
                 tcu.busy_until = 0;
                 tcu.pend_i = 0;
                 tcu.pend_f = 0;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.threads += 1;
             } else {
                 continue;
@@ -639,7 +1077,7 @@ fn step_cluster_local(
                 let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok, "ALU-class instruction must be compute-executable");
                 tcu.pc += 1;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
             }
             IssueClass::Fpu => {
@@ -652,8 +1090,9 @@ fn step_cluster_local(
                 let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok);
                 tcu.busy_until = cycle + FPU_LATENCY;
+                m.set_busy(t, cycle + FPU_LATENCY);
                 tcu.pc += 1;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
                 acc.flops += 1;
             }
@@ -667,8 +1106,9 @@ fn step_cluster_local(
                 let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
                 debug_assert!(ok);
                 tcu.busy_until = cycle + MDU_LATENCY;
+                m.set_busy(t, cycle + MDU_LATENCY);
                 tcu.pc += 1;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
             }
             IssueClass::Lsu => {
@@ -682,10 +1122,11 @@ fn step_cluster_local(
                 }
                 // Mirror of `issue_memory`: address/kind first (the
                 // bounds fault precedes the injection attempt), then
-                // predict acceptance from the sampled budget — exact,
-                // because both NoCs accept at most one injection per
-                // source per cycle and refuse solely on the
-                // backpressure the budget reported.
+                // the sink decides acceptance — by direct injection
+                // inline, or by budget prediction under workers
+                // (exact, because both NoCs accept at most one
+                // injection per source per cycle and refuse solely on
+                // the backpressure the budget reported).
                 let pc = tcu.pc;
                 let ins = decoded.fetch(pc).instr;
                 let (addr, kind, value) = match ins {
@@ -712,19 +1153,7 @@ fn step_cluster_local(
                     _ => unreachable!("LSU unit on non-memory instruction"),
                 };
                 let module = p.hash.module_of(addr as u32);
-                let accepted = *inject_budget > 0;
-                if accepted {
-                    *inject_budget -= 1;
-                }
-                attempts.push(Attempt {
-                    cluster: global_c,
-                    tcu: t,
-                    addr: addr as u32,
-                    kind,
-                    value,
-                    module,
-                    accepted,
-                });
+                let accepted = sink(t, addr as u32, kind, value, module);
                 lsu_budget -= 1;
                 if !accepted {
                     // NoC refused: the attempt still consumed the slot.
@@ -747,8 +1176,12 @@ fn step_cluster_local(
                         acc.mem_writes += 1;
                     }
                 }
+                m.out_nz |= bit;
+                if tcu.outstanding >= MAX_OUTSTANDING {
+                    m.at_cap |= bit;
+                }
                 tcu.pc += 1;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
             }
             IssueClass::Branch => {
@@ -766,24 +1199,26 @@ fn step_cluster_local(
                     Instr::Jump { target } => tcu.pc = target,
                     _ => unreachable!(),
                 }
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
             }
             IssueClass::Ps => {
                 // `Machine::run` routes ps/sspawn programs to the
-                // fast-forward engine; they cannot reach a worker.
-                unreachable!("global-state op in threaded worker")
+                // fast-forward engine; they cannot reach a shard.
+                unreachable!("global-state op in threaded shard")
             }
             IssueClass::Join => {
                 if tcu.outstanding > 0 {
                     continue;
                 }
                 tcu.active = false;
+                m.active &= !bit;
+                *joined += 1;
                 acc.instructions += 1;
             }
             IssueClass::Nop => {
                 tcu.pc += 1;
-                reclassify(tcu, decoded);
+                reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
             }
             IssueClass::Illegal => {
@@ -809,5 +1244,222 @@ fn step_cluster_local(
         }
     }
     *cluster_instr += acc.instructions - instr_at_entry;
+    Ok(())
+}
+
+/// Shard-side mirror of `Machine::step_cluster_bulk`: stall counters
+/// accrue by popcount without touching the stalled TCUs' cache lines,
+/// port winners are picked in round-robin order by rotate +
+/// trailing-zeros, and only TCUs that actually execute are
+/// dereferenced. The caller has already woken the masks and excluded
+/// activations and order-sensitive classes; memory instructions go
+/// through `sink` exactly as in the per-TCU walk.
+#[allow(clippy::too_many_arguments)]
+fn step_cluster_bulk_local<F>(
+    cluster: &mut [Tcu],
+    m: &mut ClusterMasks,
+    ready: u64,
+    start: usize,
+    joined: &mut u64,
+    cycle: u64,
+    gregs: &[u32; NUM_GREGS],
+    decoded: &DecodedProgram,
+    p: WorkerParams,
+    sink: &mut F,
+    acc: &mut MachineStats,
+) -> Result<(), SimError>
+where
+    F: FnMut(usize, u32, TxnKind, u32, usize) -> bool,
+{
+    let ntcus = p.ntcus;
+
+    // Snapshot the per-class ready sets before any issue mutates the
+    // masks: a TCU's class is stable until its own visit, so the
+    // snapshot is exactly what the per-TCU walk observes per visit.
+    let sb = m.cls[IssueClass::Scoreboard as usize] & ready;
+    let alu = m.cls[IssueClass::Alu as usize] & ready;
+    let fpu = m.cls[IssueClass::Fpu as usize] & ready;
+    let mdu = m.cls[IssueClass::Mdu as usize] & ready;
+    let lsu = m.cls[IssueClass::Lsu as usize] & ready;
+    let br = m.cls[IssueClass::Branch as usize] & ready;
+    let join = m.cls[IssueClass::Join as usize] & ready;
+    let nop = m.cls[IssueClass::Nop as usize] & ready;
+
+    // Scoreboard-blocked TCUs burn one stall each, unvisited.
+    acc.stall_scoreboard += u64::from(sb.count_ones());
+
+    // ALU, branch and nop always issue (ALU ports are provisioned one
+    // per TCU) and only touch the owning TCU, so round-robin order
+    // among them is unobservable; ascending order is fine.
+    let mut bits = alu;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let tcu = &mut cluster[t];
+        let d = decoded.fetch(tcu.pc);
+        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        debug_assert!(ok, "ALU-class instruction must be compute-executable");
+        tcu.pc += 1;
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+    }
+    let mut bits = br;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let tcu = &mut cluster[t];
+        let pc = tcu.pc;
+        match decoded.fetch(pc).instr {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                tcu.pc = if taken { target } else { pc + 1 };
+            }
+            Instr::Jump { target } => tcu.pc = target,
+            _ => unreachable!(),
+        }
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+    }
+    let mut bits = nop;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let tcu = &mut cluster[t];
+        tcu.pc += 1;
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+    }
+
+    // FPU/MDU: the port goes to the first contenders in round-robin
+    // order; every loser burns one stall, counted without a visit.
+    let mut rot = rr_rotate(fpu, start, ntcus);
+    let mut budget = p.fpus;
+    while rot != 0 && budget > 0 {
+        let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+        rot &= rot - 1;
+        budget -= 1;
+        let tcu = &mut cluster[t];
+        let d = decoded.fetch(tcu.pc);
+        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        debug_assert!(ok);
+        tcu.busy_until = cycle + FPU_LATENCY;
+        m.set_busy(t, cycle + FPU_LATENCY);
+        tcu.pc += 1;
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+        acc.flops += 1;
+    }
+    acc.stall_fpu += u64::from(rot.count_ones());
+    let mut rot = rr_rotate(mdu, start, ntcus);
+    let mut budget = p.mdus;
+    while rot != 0 && budget > 0 {
+        let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+        rot &= rot - 1;
+        budget -= 1;
+        let tcu = &mut cluster[t];
+        let d = decoded.fetch(tcu.pc);
+        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        debug_assert!(ok);
+        tcu.busy_until = cycle + MDU_LATENCY;
+        m.set_busy(t, cycle + MDU_LATENCY);
+        tcu.pc += 1;
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+    }
+    acc.stall_mdu += u64::from(rot.count_ones());
+
+    // LSU: same round-robin port arbitration, plus the per-TCU
+    // outstanding-transaction cap (stalls without consuming the port)
+    // and NoC backpressure (consumes the port and stalls).
+    let mut rot = rr_rotate(lsu, start, ntcus);
+    let mut budget = p.lsus;
+    while rot != 0 {
+        if budget == 0 {
+            acc.stall_lsu += u64::from(rot.count_ones());
+            break;
+        }
+        let t = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus);
+        rot &= rot - 1;
+        let bit = 1u64 << t;
+        if m.at_cap & bit != 0 {
+            acc.stall_lsu += 1;
+            continue;
+        }
+        let tcu = &mut cluster[t];
+        let pc = tcu.pc;
+        let ins = decoded.fetch(pc).instr;
+        let (addr, kind, value) = match ins {
+            Instr::Lw { rd, base, off } => (
+                addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                TxnKind::LoadI(rd),
+                0,
+            ),
+            Instr::Flw { fd, base, off } => (
+                addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                TxnKind::LoadF(fd),
+                0,
+            ),
+            Instr::Sw { rs, base, off } => (
+                addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                TxnKind::Store,
+                tcu.rf.read_i(rs),
+            ),
+            Instr::Fsw { fs, base, off } => (
+                addr_of(pc, tcu.rf.read_i(base), off, p.mem_len)?,
+                TxnKind::Store,
+                tcu.rf.read_f(fs).to_bits(),
+            ),
+            _ => unreachable!("LSU unit on non-memory instruction"),
+        };
+        let module = p.hash.module_of(addr as u32);
+        let accepted = sink(t, addr as u32, kind, value, module);
+        budget -= 1;
+        if !accepted {
+            acc.stall_lsu += 1;
+            continue;
+        }
+        tcu.outstanding += 1;
+        match kind {
+            TxnKind::LoadI(rd) => {
+                if rd.index() != 0 {
+                    tcu.pend_i |= 1 << rd.index();
+                }
+                acc.mem_reads += 1;
+            }
+            TxnKind::LoadF(fd) => {
+                tcu.pend_f |= 1 << fd.index();
+                acc.mem_reads += 1;
+            }
+            TxnKind::Store => {
+                acc.mem_writes += 1;
+            }
+        }
+        m.out_nz |= bit;
+        if tcu.outstanding >= MAX_OUTSTANDING {
+            m.at_cap |= bit;
+        }
+        tcu.pc += 1;
+        reclassify_masked(tcu, m, t, decoded);
+        acc.instructions += 1;
+    }
+
+    // Joins with posted stores outstanding wait silently; the rest
+    // retire. (The per-TCU walk leaves `cls` at `Join` on retire, so
+    // the class masks stay untouched here too.)
+    let retire = join & !m.out_nz;
+    let mut bits = retire;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        cluster[t].active = false;
+    }
+    m.active &= !retire;
+    *joined += u64::from(retire.count_ones());
+    acc.instructions += u64::from(retire.count_ones());
     Ok(())
 }

@@ -233,6 +233,49 @@ pub fn build(serial: &[GenOp], par_ops: &[GenOp], threads: u8, epilogue: &[GenOp
     build_with_init(serial, par_ops, threads, epilogue, false)
 }
 
+/// Serial prologue, then one spawn/join block per entry in
+/// `thread_counts` (each running `par_ops` over its own thread-private
+/// region), then a serial epilogue. Successive spawns of very different
+/// widths make the set of active clusters — and therefore the threaded
+/// engine's shard work lists — churn mid-run, which is exactly the
+/// regression surface the shard-churn agreement test pins.
+pub fn build_multi_spawn(
+    serial: &[GenOp],
+    par_ops: &[GenOp],
+    thread_counts: &[u32],
+    epilogue: &[GenOp],
+) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(ir(20), 64);
+    for op in serial {
+        emit(&mut b, op);
+    }
+    for &n in thread_counts {
+        let par = b.label();
+        let after = b.label();
+        b.li(ir(22), n);
+        b.spawn(ir(22), par);
+        b.jump(after);
+        b.bind(par);
+        // Thread-private base: 128 + tid*8. Spawns are serialized by
+        // join, so reuse of the regions across blocks is race-free.
+        b.tid(ir(19));
+        b.slli(ir(20), ir(19), 3);
+        b.addi(ir(20), ir(20), 128);
+        for op in par_ops {
+            emit(&mut b, op);
+        }
+        b.join();
+        b.bind(after);
+        b.li(ir(20), 64);
+    }
+    for op in epilogue {
+        emit(&mut b, op);
+    }
+    b.halt();
+    b.build().unwrap()
+}
+
 /// Like [`build`], but `init_regs` first writes every register the
 /// generator can read (r1–r15, f1–f15) at each region entry — the
 /// variant the def-before-use property test uses, since raw generated

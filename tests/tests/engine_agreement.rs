@@ -12,7 +12,7 @@
 //! optimizations with no observable effect.
 
 use proptest::prelude::*;
-use xmt_integration::genprog::{build, op_strategy};
+use xmt_integration::genprog::{build, build_multi_spawn, op_strategy};
 use xmt_isa::Program;
 use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineBuilder, RunReport, XmtConfig};
 
@@ -81,4 +81,133 @@ proptest! {
         prop_assert_eq!(&rows_ref, &rows_ff, "fast-forward probe stream diverges");
         prop_assert_eq!(&rows_ref, &rows_thr, "threaded probe stream diverges");
     }
+}
+
+/// Unprobed variant of [`run_engine`]: a probed machine never reaches
+/// the threaded engine's sharded path (it falls back to fast-forward —
+/// see `Machine::run_inner`), so the tests below that exist to exercise
+/// sharding must run without a probe. The probe stream's cross-engine
+/// identity is already pinned by `all_engines_agree_bitwise` and the
+/// ci.sh probe gate.
+fn run_engine_unprobed(
+    prog: &Program,
+    cfg: &XmtConfig,
+    ro: &[u32],
+    mem_words: usize,
+    engine: Engine,
+) -> (RunReport, Vec<u32>, [u32; 16]) {
+    let mut m = MachineBuilder::new(cfg, prog.clone())
+        .mem_words(mem_words)
+        .engine(engine)
+        .write_u32s(0, ro)
+        .build();
+    let report = m.run().expect("generated program must complete");
+    let mem = m.mem.clone();
+    let gregs = m.gregs_snapshot();
+    (report, mem, gregs)
+}
+
+proptest! {
+    // The full 4096-TCU config simulates 128 clusters per cycle, so
+    // keep the sample count and program sizes small: the point is to
+    // exercise the threaded engine's sharding (128 clusters across
+    // workers, wide spawns spanning shard boundaries) on the same
+    // machine the scaling benchmarks use, not to redo the small-config
+    // sweep above.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn all_engines_agree_on_full_4k_config(
+        serial in proptest::collection::vec(op_strategy(), 0..4),
+        par_ops in proptest::collection::vec(op_strategy(), 0..8),
+        epilogue in proptest::collection::vec(op_strategy(), 0..4),
+        threads in 1u8..=200,
+        ro_seed in any::<u64>(),
+    ) {
+        let prog = build(&serial, &par_ops, threads, &epilogue);
+        let mem_words = 128 + 256 * 8 + 16;
+        let ro: Vec<u32> = (0..64u64)
+            .map(|i| {
+                let mut z = ro_seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 31;
+                z as u32
+            })
+            .collect();
+
+        let cfg = XmtConfig::xmt_4k();
+        let (s_ref, mem_ref, gr_ref) =
+            run_engine_unprobed(&prog, &cfg, &ro, mem_words, Engine::Reference);
+        let (s_thr, mem_thr, gr_thr) =
+            run_engine_unprobed(&prog, &cfg, &ro, mem_words, Engine::Threaded { threads: 2 });
+
+        prop_assert_eq!(s_ref.stats, s_thr.stats, "threaded stats diverge on xmt_4k");
+        prop_assert_eq!(&s_ref.spawns, &s_thr.spawns, "threaded spawn log diverges on xmt_4k");
+        prop_assert_eq!(&mem_ref, &mem_thr, "threaded memory diverges on xmt_4k");
+        prop_assert_eq!(gr_ref, gr_thr, "threaded gregs diverge on xmt_4k");
+    }
+}
+
+/// Shard-churn regression: successive spawns of wildly different widths
+/// on the full 4096-TCU machine, so clusters enter and leave the
+/// threaded engine's active work list — and migrate across shard
+/// boundaries as the partition is rebuilt — mid-run. A stale shard mask
+/// (e.g. a cluster whose busy/ready bits survived from a previous
+/// spawn's tenancy) shows up here as a stats or memory divergence.
+#[test]
+fn shard_churn_across_spawn_widths() {
+    use xmt_integration::genprog::GenOp;
+    let par_ops = [
+        GenOp::LoadRo { rd: 3, addr: 17 },
+        GenOp::Alu {
+            which: 0,
+            rd: 4,
+            rs1: 3,
+            rs2: 3,
+        },
+        GenOp::StorePriv { rs: 4, slot: 2 },
+        GenOp::Fli { fd: 2, v: 24 },
+        GenOp::Fpu {
+            which: 2,
+            fd: 3,
+            fs1: 2,
+            fs2: 2,
+        },
+        GenOp::FStorePriv { fs: 3, slot: 5 },
+    ];
+    // 3000 threads floods nearly every cluster; 40 leaves most shards
+    // idle; 500/96 land in between. Each transition rebuilds the
+    // active-cluster partition.
+    let widths = [500u32, 96, 3000, 40, 1024];
+    let prog = build_multi_spawn(&[], &par_ops, &widths, &[]);
+    let mem_words = 128 + 3000 * 8 + 16;
+    let ro: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let cfg = XmtConfig::xmt_4k();
+
+    let (s_ref, mem_ref, gr_ref) =
+        run_engine_unprobed(&prog, &cfg, &ro, mem_words, Engine::Reference);
+    for threads in [0usize, 2, 3] {
+        let (s_thr, mem_thr, gr_thr) =
+            run_engine_unprobed(&prog, &cfg, &ro, mem_words, Engine::Threaded { threads });
+        assert_eq!(
+            s_ref.stats, s_thr.stats,
+            "threaded({threads}) stats diverge under shard churn"
+        );
+        assert_eq!(
+            s_ref.spawns, s_thr.spawns,
+            "threaded({threads}) spawn log diverges under shard churn"
+        );
+        assert_eq!(
+            mem_ref, mem_thr,
+            "threaded({threads}) memory diverges under shard churn"
+        );
+        assert_eq!(
+            gr_ref, gr_thr,
+            "threaded({threads}) gregs diverge under shard churn"
+        );
+    }
+    let (s_ff, mem_ff, gr_ff) =
+        run_engine_unprobed(&prog, &cfg, &ro, mem_words, Engine::FastForward);
+    assert_eq!(s_ref.stats, s_ff.stats);
+    assert_eq!(mem_ref, mem_ff);
+    assert_eq!(gr_ref, gr_ff);
 }
