@@ -48,6 +48,14 @@ echo "== probe zero-interference check =="
 # committed baseline, and probe totals must equal the run aggregates.
 cargo run --release -p xmt-bench --bin bench_sim -- --probe --check BENCH_sim.json
 
+echo "== block-compiled tier: zero interference + throughput gate =="
+# Tier-on runs must be bit-identical to tier-off under all three
+# engines on every golden workload (stats, spawn digests, seeded fault
+# replay), trace-cache statistics must be deterministic across repeated
+# runs, no paper-scale FFT may regress past 0.9x with the tier on, and
+# the best tier-on fast-forward speedup must clear 1.5x (DESIGN.md §15).
+cargo run --release -p xmt-bench --bin bench_sim -- --tier --check BENCH_sim.json
+
 echo "== fault layer: zero interference + deterministic replay =="
 # Benign fault plans must not perturb a single cycle of any golden
 # workload (vs the committed baseline), and fixed-seed soft-fault runs

@@ -19,7 +19,8 @@
 //!
 //! ```text
 //! cargo run --release -p xmt-bench --bin bench_sim [out.json] \
-//!     [--check baseline.json] [--engine <name>] [--scaling] [--probe] [--faults]
+//!     [--check baseline.json] [--engine <name>] [--scaling] [--probe] \
+//!     [--faults] [--tier]
 //! ```
 //!
 //! With `--check`, after measuring, the run fails (exit 1) if any
@@ -62,11 +63,21 @@
 //! fixed-seed soft-fault plan (DRAM bit flips + NoC corruption) under
 //! all three engines, which must agree bit-for-bit on the faulted
 //! statistics: deterministic replay. No JSON is written in this mode.
+//!
+//! With `--tier`, the block-compiled execution tier's contracts are
+//! checked on every golden workload: tier-on runs (the default
+//! [`TranslationTier::Block`]) must be bit-identical in statistics and
+//! spawn digest to tier-off ([`TranslationTier::Interpreter`]) runs
+//! under all three engines, trace-cache statistics must be byte-equal
+//! across repeated runs (deterministic exercise), a fixed-seed
+//! soft-fault replay must not be perturbed by the tier, and tier-on
+//! fast-forward throughput must reach [`TIER_GATE_FLOOR`] × tier-off
+//! on the paper-scale FFT workloads. No JSON is written in this mode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xmt_fft::golden;
-use xmt_sim::{Engine, FaultPlan, IntervalProbe};
+use xmt_sim::{Engine, FaultPlan, IntervalProbe, TranslationTier};
 
 /// Keep sampling until this much measured time has accumulated.
 const TARGET_SECS: f64 = 0.25;
@@ -157,6 +168,19 @@ const NOPROBE_RATE_FLOOR: f64 = 0.25;
 /// above this fraction of reference on every paper-scale workload —
 /// nominally ≥ 1.0× ("Threaded must win"), with slack for CI jitter.
 const SCALING_GATE_FLOOR: f64 = 0.9;
+
+/// `--tier` gate: tier-on fast-forward must beat tier-off by at least
+/// this factor on the issue-bound paper-scale FFT workloads (best case
+/// across the set — the dense-regime cases are memory-system-bound,
+/// where the tier is throughput-neutral by design). The tier lands
+/// ≥ 3× on a quiet host; 1.5× leaves room for CI contention while
+/// still catching the tier being silently disabled or de-optimized.
+const TIER_GATE_FLOOR: f64 = 1.5;
+
+/// `--tier` gate: no paper-scale FFT workload may run slower with the
+/// tier on than off beyond host jitter — even the memory-bound ones
+/// where the replay path is not expected to win.
+const TIER_REGRESS_FLOOR: f64 = 0.9;
 
 /// `--probe`: rerun every golden workload with an [`IntervalProbe`]
 /// attached and assert the observability layer changes nothing: cycle
@@ -298,6 +322,160 @@ fn fault_check(baseline: Option<&str>) -> Vec<String> {
     failures
 }
 
+/// Best-of-3 wall-clock seconds for one run of `case` under `engine`
+/// with the translation tier pinned. Lighter than [`measure`] (no
+/// time-accumulation target): the `--tier` gate only compares the two
+/// tiers on the long paper-scale runs, where a single run is far above
+/// timer noise.
+fn measure_tier(case: &golden::GoldenCase, engine: Engine, tier: TranslationTier) -> f64 {
+    let run_once = || {
+        let mut m = case.builder().engine(engine).tier(tier).build();
+        let t0 = Instant::now();
+        m.run().expect("golden case must complete");
+        t0.elapsed().as_secs_f64()
+    };
+    let _ = run_once(); // warm-up
+    (0..3).map(|_| run_once()).fold(f64::INFINITY, f64::min)
+}
+
+/// `--tier`: check the block-compiled tier's contracts. (1) Zero
+/// interference: tier-on statistics and spawn digests are bit-identical
+/// to tier-off under reference, fast-forward and threaded advance, on
+/// every golden workload (and match the committed baseline's cycle
+/// counts). (2) Determinism: the trace cache's exercise counters are
+/// byte-equal across repeated tier-on runs. (3) Fault transparency: a
+/// fixed-seed soft-fault replay is unchanged by the tier. (4) Speed:
+/// tier-on fast-forward reaches [`TIER_GATE_FLOOR`] × tier-off on the
+/// paper-scale FFT workloads. Returns failure messages.
+fn tier_check(baseline: Option<&str>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let engines: &[(&str, Engine)] = &[
+        ("reference", Engine::Reference),
+        ("fast_forward", Engine::FastForward),
+        ("threaded", Engine::Threaded { threads: 0 }),
+    ];
+    for case in golden::cases() {
+        let mut off = case.builder().tier(TranslationTier::Interpreter).build();
+        let off_rep = off.run().expect("tier-off golden case must complete");
+        for &(name, engine) in engines {
+            let run_on = || {
+                let mut m = case
+                    .builder()
+                    .engine(engine)
+                    .tier(TranslationTier::Block)
+                    .build();
+                let rep = m.run().expect("tier-on golden case must complete");
+                let ts = m.trace_stats().expect("Block tier must expose trace stats");
+                (rep, ts)
+            };
+            let (on_rep, ts) = run_on();
+            if on_rep.stats != off_rep.stats {
+                failures.push(format!(
+                    "{}/{name}: tier-on stats {:?} != tier-off {:?}",
+                    case.name, on_rep.stats, off_rep.stats
+                ));
+            }
+            if golden::spawn_digest(&on_rep) != golden::spawn_digest(&off_rep) {
+                failures.push(format!(
+                    "{}/{name}: tier-on spawn log differs from tier-off",
+                    case.name
+                ));
+            }
+            let mut m = case
+                .builder()
+                .engine(engine)
+                .tier(TranslationTier::Interpreter)
+                .build();
+            let rep = m.run().expect("tier-off golden case must complete");
+            if rep.stats != off_rep.stats {
+                failures.push(format!(
+                    "{}/{name}: tier-off stats diverge across engines",
+                    case.name
+                ));
+            }
+            // Determinism: the cache's exercise counters are a pure
+            // function of (program, config, engine).
+            let (_, ts2) = run_on();
+            if ts != ts2 {
+                failures.push(format!(
+                    "{}/{name}: trace stats nondeterministic ({ts:?} != {ts2:?})",
+                    case.name
+                ));
+            }
+            if let Some(base) = baseline {
+                match baseline_u64(base, case.name, "simulated_cycles") {
+                    Some(want) if want != on_rep.stats.cycles => failures.push(format!(
+                        "{}/{name}: tier-on simulated_cycles {} != baseline {want}",
+                        case.name, on_rep.stats.cycles
+                    )),
+                    None => failures.push(format!("{}: missing from baseline", case.name)),
+                    _ => {}
+                }
+            }
+            let entries = ts.entries + on_rep.stats.threads;
+            eprintln!(
+                "{:16} {:13} {:>9} cycles  {:>4} blocks {:>4} lowered {:>8} entries  tier OK",
+                case.name, name, on_rep.stats.cycles, ts.blocks, ts.lowered, entries
+            );
+        }
+        // Fault transparency: the tier must be invisible to a seeded
+        // soft-fault replay, bit for bit.
+        let plan = || {
+            FaultPlan::new(0xFEED_5EED)
+                .dram_flips(0.02, 0.002)
+                .noc_corrupt(0.01)
+        };
+        let mut a = case
+            .builder()
+            .faults(plan())
+            .tier(TranslationTier::Interpreter)
+            .build();
+        let fa = a.run().expect("faulted tier-off run must complete");
+        let mut b = case
+            .builder()
+            .faults(plan())
+            .tier(TranslationTier::Block)
+            .build();
+        let fb = b.run().expect("faulted tier-on run must complete");
+        if fa.stats != fb.stats || golden::spawn_digest(&fa) != golden::spawn_digest(&fb) {
+            failures.push(format!(
+                "{}: soft-fault replay perturbed by the tier",
+                case.name
+            ));
+        }
+    }
+    // Throughput gate on the paper-scale FFTs, fast-forward engine:
+    // no case may regress past TIER_REGRESS_FLOOR, and the best case
+    // must clear TIER_GATE_FLOOR (the dense-regime workloads spend
+    // their host time in the NoC/DRAM model, which the tier leaves
+    // untouched; the issue-bound ones are where replay must pay).
+    let mut best = 0.0_f64;
+    for case in golden::scaling_cases() {
+        let off = measure_tier(&case, Engine::FastForward, TranslationTier::Interpreter);
+        let on = measure_tier(&case, Engine::FastForward, TranslationTier::Block);
+        let ratio = off / on;
+        eprintln!(
+            "{:18} fast_forward  tier-off {:>7.3}s  tier-on {:>7.3}s  {ratio:.2}x",
+            case.name, off, on
+        );
+        if ratio < TIER_REGRESS_FLOOR {
+            failures.push(format!(
+                "{}: tier-on fast-forward {ratio:.2}x tier-off < {TIER_REGRESS_FLOOR}x \
+                 — the tier must never cost throughput",
+                case.name
+            ));
+        }
+        best = best.max(ratio);
+    }
+    if best < TIER_GATE_FLOOR {
+        failures.push(format!(
+            "best tier-on speedup {best:.2}x < {TIER_GATE_FLOOR}x floor \
+             — the block-compiled tier is not paying for itself"
+        ));
+    }
+    failures
+}
+
 /// One measured row: engine label, cycles, digest, best secs, rate.
 type Row = (&'static str, u64, u64, f64, f64);
 
@@ -314,6 +492,31 @@ fn measure_case(case: &golden::GoldenCase, engines: &[(&'static str, Engine)]) -
         rows.push((name, cycles, digest, secs, rate));
     }
     rows
+}
+
+/// Render one workload's `"trace"` JSON object from a single tier-on
+/// fast-forward run: superblock count, lowerings, micro-ops, total
+/// trace entries (branch resolutions plus thread activations) and the
+/// hit rate — the fraction of entries that found an already-lowered
+/// block (each lazy lowering is the miss that warmed it).
+fn render_trace(json: &mut String, case: &golden::GoldenCase) {
+    let mut m = case.builder().engine(Engine::FastForward).build();
+    let rep = m.run().expect("golden case must complete");
+    let ts = m.trace_stats().expect("default tier must be Block");
+    let entries = ts.entries + rep.stats.threads;
+    let hits = entries.saturating_sub(ts.lowered);
+    let hit_rate = if entries > 0 {
+        hits as f64 / entries as f64
+    } else {
+        1.0
+    };
+    writeln!(
+        json,
+        "      \"trace\": {{ \"blocks\": {}, \"lowered\": {}, \"uops\": {}, \
+         \"entries\": {entries}, \"hit_rate\": {hit_rate:.4} }},",
+        ts.blocks, ts.lowered, ts.uops
+    )
+    .unwrap();
 }
 
 /// Render one workload's `"engines"` JSON object. `ref_rate` is the
@@ -347,6 +550,7 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--engine needs a name").as_str());
     let probe_mode = args.iter().any(|a| a == "--probe");
     let fault_mode = args.iter().any(|a| a == "--faults");
+    let tier_mode = args.iter().any(|a| a == "--tier");
     let scaling_mode = args.iter().any(|a| a == "--scaling");
     let out_path = args
         .iter()
@@ -382,6 +586,20 @@ fn main() {
         eprintln!(
             "fault checks passed: benign plans are zero-interference, \
              faulted runs replay bit-identically across engines"
+        );
+        return;
+    }
+    if tier_mode {
+        let failures = tier_check(baseline.as_deref());
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("TIER CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "tier checks passed: block-compiled runs bit-identical to \
+             interpreted, trace stats deterministic, throughput gate met"
         );
         return;
     }
@@ -457,6 +675,9 @@ fn main() {
         writeln!(json, "    {{").unwrap();
         writeln!(json, "      \"name\": \"{}\",", case.name).unwrap();
         writeln!(json, "      \"simulated_cycles\": {},", rows[0].1).unwrap();
+        if engine_filter.is_none() {
+            render_trace(&mut json, case);
+        }
         render_engines(&mut json, &rows, ref_rate);
         let comma = if ci + 1 < cases.len() { "," } else { "" };
         writeln!(json, "    }}{comma}").unwrap();
@@ -527,6 +748,9 @@ fn main() {
             writeln!(json, "      \"tcus\": {},", cfg.tcus).unwrap();
             writeln!(json, "      \"simulated_cycles\": {},", rows[0].1).unwrap();
             writeln!(json, "      \"spawn_digest\": \"{:#018x}\",", rows[0].2).unwrap();
+            if engine_filter.is_none() {
+                render_trace(&mut json, case);
+            }
             render_engines(&mut json, &rows, ref_rate);
             let comma = if ci + 1 < scases.len() { "," } else { "" };
             writeln!(json, "    }}{comma}").unwrap();

@@ -11,6 +11,61 @@
 use crate::instr::{Instr, Unit};
 use crate::program::Program;
 
+/// The *static* issue class of an instruction as seen by a parallel
+/// TCU: what [`Instr::unit`] resolves to once the control subcases
+/// (`join` vs `nop` vs everything a TCU may not execute) are split out.
+/// Precomputed per program counter so the simulator's issue
+/// classification is a byte load plus the two dynamic tests (pc bounds
+/// and scoreboard masks) instead of a fresh `match` walk every time a
+/// masked TCU is reclassified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StepClass {
+    /// Per-TCU integer ALU (includes the register moves and immediate
+    /// loads that share it).
+    Alu = 0,
+    /// Shared floating-point unit.
+    Fpu,
+    /// Shared multiply/divide unit.
+    Mdu,
+    /// Shared load/store port.
+    Lsu,
+    /// Branch/jump resolution.
+    Branch,
+    /// Prefix-sum unit (`ps`/`sspawn`).
+    Ps,
+    /// Thread termination barrier.
+    Join,
+    /// No operation.
+    Nop,
+    /// Serial-only instruction reaching a TCU (`spawn`/`halt`/…).
+    Illegal,
+}
+
+/// Number of [`StepClass`] variants (sized lookup tables).
+pub const NUM_STEP_CLASSES: usize = StepClass::Illegal as usize + 1;
+
+impl StepClass {
+    /// Classify one instruction. Mirrors the unit mapping the simulator
+    /// uses for issue: every [`Unit::Control`] instruction a TCU may
+    /// legally run is split out, the rest fault as [`StepClass::Illegal`].
+    pub fn of(instr: &Instr) -> Self {
+        match instr.unit() {
+            Unit::Alu => StepClass::Alu,
+            Unit::Fpu => StepClass::Fpu,
+            Unit::Mdu => StepClass::Mdu,
+            Unit::Lsu => StepClass::Lsu,
+            Unit::Branch => StepClass::Branch,
+            Unit::Ps => StepClass::Ps,
+            Unit::Control => match instr {
+                Instr::Join => StepClass::Join,
+                Instr::Nop => StepClass::Nop,
+                _ => StepClass::Illegal,
+            },
+        }
+    }
+}
+
 /// One instruction with everything the issue logic needs precomputed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodedInstr {
@@ -24,6 +79,8 @@ pub struct DecodedInstr {
     pub fmask: u32,
     /// Counts as one FLOP ([`Instr::is_flop`]).
     pub is_flop: bool,
+    /// Static issue class ([`StepClass::of`]).
+    pub step: StepClass,
 }
 
 impl DecodedInstr {
@@ -35,6 +92,7 @@ impl DecodedInstr {
             imask,
             fmask,
             is_flop: instr.is_flop(),
+            step: StepClass::of(&instr),
             instr,
         }
     }
@@ -117,7 +175,24 @@ mod tests {
             assert_eq!(d.unit, ins.unit(), "pc {pc}");
             assert_eq!((d.imask, d.fmask), ins.hazard_masks(), "pc {pc}");
             assert_eq!(d.is_flop, ins.is_flop(), "pc {pc}");
+            assert_eq!(d.step, StepClass::of(&ins), "pc {pc}");
         }
+    }
+
+    #[test]
+    fn step_class_splits_control() {
+        assert_eq!(StepClass::of(&Instr::Join), StepClass::Join);
+        assert_eq!(StepClass::of(&Instr::Nop), StepClass::Nop);
+        assert_eq!(StepClass::of(&Instr::Halt), StepClass::Illegal);
+        assert_eq!(
+            StepClass::of(&Instr::Spawn {
+                count: ir(1),
+                entry: 0
+            }),
+            StepClass::Illegal
+        );
+        assert_eq!(StepClass::of(&Instr::Tid { rd: ir(1) }), StepClass::Alu);
+        assert_eq!(StepClass::of(&Instr::Join) as usize + 3, NUM_STEP_CLASSES);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! construction.
 
 #![warn(missing_docs)]
+pub mod block;
 pub mod codec;
 pub mod decoded;
 pub mod instr;
@@ -28,8 +29,11 @@ pub mod interp;
 pub mod program;
 pub mod reg;
 
+pub use block::{
+    eval_branch_uop, exec_uop, lower_op, BlockMap, MicroOp, UnitLat, UopKind, UOP_ENDS_BLOCK,
+};
 pub use codec::{decode_program, encode_program, CodecError};
-pub use decoded::{DecodedInstr, DecodedProgram};
+pub use decoded::{DecodedInstr, DecodedProgram, StepClass, NUM_STEP_CLASSES};
 pub use instr::{AluOp, BranchCond, FpuOp, Instr, MduOp, MemAccess, Unit};
 pub use interp::{ExecError, Interp, RunStats};
 pub use program::{BuildError, Label, Program, ProgramBuilder};

@@ -143,6 +143,38 @@ impl RegFile {
     pub fn write_f(&mut self, r: FReg, v: f32) {
         self.fregs[r.index()] = v;
     }
+
+    /// Raw-index integer read for pre-extracted micro-op operands
+    /// (`r0` hardwired to zero; indices are masked to range, matching
+    /// the typed accessors for every index a [`IReg`] can hold).
+    #[inline(always)]
+    pub fn read_i_raw(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.iregs[(r & 31) as usize]
+        }
+    }
+
+    /// Raw-index integer write (writes to `r0` are discarded).
+    #[inline(always)]
+    pub fn write_i_raw(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.iregs[(r & 31) as usize] = v;
+        }
+    }
+
+    /// Raw-index FP read for pre-extracted micro-op operands.
+    #[inline(always)]
+    pub fn read_f_raw(&self, r: u8) -> f32 {
+        self.fregs[(r & 31) as usize]
+    }
+
+    /// Raw-index FP write.
+    #[inline(always)]
+    pub fn write_f_raw(&mut self, r: u8, v: f32) {
+        self.fregs[(r & 31) as usize] = v;
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@
 //!   [`Probe`] hooks sampled every K cycles into fixed ring buffers,
 //!   exported as Chrome `trace_event` JSON or a per-phase roofline /
 //!   stall-attribution table.
+//! * [`tier`] — the block-compiled execution tier: a per-program trace
+//!   cache of superblock micro-ops that the issue loops replay via
+//!   dense dispatch, bit-identical to per-instruction interpretation.
 //! * [`fault`] / [`checkpoint`] — deterministic resilience: seeded
 //!   [`FaultPlan`]s (ECC-checked DRAM flips, NoC corruption + retry,
 //!   dead/stuck components), graceful degradation around offline
@@ -34,6 +37,7 @@ pub mod machine;
 pub mod perfmodel;
 pub mod physical;
 pub mod probe;
+pub mod tier;
 pub mod trace;
 mod txn_slab;
 
@@ -50,4 +54,5 @@ pub use physical::{summarize, PhysicalSummary};
 pub use probe::{
     BlockedTcus, Conflict, IntervalProbe, IntervalRow, NoProbe, Probe, RaceCheck, SampleCtx,
 };
+pub use tier::{TraceCache, TraceStats, TranslationTier};
 pub use trace::{chrome_trace, phase_table};

@@ -28,9 +28,11 @@ use crate::checkpoint::{ChannelState, Checkpoint, ModuleState};
 use crate::config::XmtConfig;
 use crate::fault::FaultPlan;
 use crate::probe::{BlockedTcus, NoProbe, Probe, SampleCtx};
+use crate::tier::{TraceCache, TraceStats, TranslationTier};
 use crate::txn_slab::TxnSlab;
 use std::collections::VecDeque;
-use xmt_isa::decoded::DecodedProgram;
+use xmt_isa::block::{eval_branch_uop, exec_uop};
+use xmt_isa::decoded::{DecodedProgram, NUM_STEP_CLASSES};
 use xmt_isa::instr::{eval_branch, Instr, Unit};
 use xmt_isa::interp::exec_compute;
 use xmt_isa::reg::{fr, ir, FReg, IReg, RegFile, NUM_GREGS};
@@ -327,6 +329,22 @@ enum IssueClass {
     Illegal,
 }
 
+/// [`StepClass`] → [`IssueClass`] lookup. The static half of issue
+/// classification is precomputed per pc at decode time, so classifying
+/// (and in particular *re*classifying after every issue) is the two
+/// dynamic tests plus this table — no `Instr` match in the hot loop.
+const STEP_TO_ISSUE: [IssueClass; NUM_STEP_CLASSES] = [
+    IssueClass::Alu,
+    IssueClass::Fpu,
+    IssueClass::Mdu,
+    IssueClass::Lsu,
+    IssueClass::Branch,
+    IssueClass::Ps,
+    IssueClass::Join,
+    IssueClass::Nop,
+    IssueClass::Illegal,
+];
+
 /// Classify the instruction at `pc` against the scoreboard masks.
 #[inline]
 fn classify(decoded: &DecodedProgram, pc: usize, pend_i: u32, pend_f: u32) -> IssueClass {
@@ -337,19 +355,7 @@ fn classify(decoded: &DecodedProgram, pc: usize, pend_i: u32, pend_f: u32) -> Is
     if pend_i & d.imask != 0 || pend_f & d.fmask != 0 {
         return IssueClass::Scoreboard;
     }
-    match d.unit {
-        Unit::Alu => IssueClass::Alu,
-        Unit::Fpu => IssueClass::Fpu,
-        Unit::Mdu => IssueClass::Mdu,
-        Unit::Lsu => IssueClass::Lsu,
-        Unit::Branch => IssueClass::Branch,
-        Unit::Ps => IssueClass::Ps,
-        Unit::Control => match d.instr {
-            Instr::Join => IssueClass::Join,
-            Instr::Nop => IssueClass::Nop,
-            _ => IssueClass::Illegal,
-        },
-    }
+    STEP_TO_ISSUE[d.step as usize]
 }
 
 /// Number of [`IssueClass`] variants (indexes [`ClusterMasks::cls`]).
@@ -879,6 +885,22 @@ pub struct Machine<P: Probe = NoProbe> {
     /// Cycle of the most recent sample, so the end-of-run flush in
     /// [`Machine::report`] does not double-emit.
     last_sample: u64,
+    /// Block-compiled execution tier (DESIGN.md §15): `Some` when the
+    /// builder selected [`TranslationTier::Block`]. Holds the lazily
+    /// warmed superblock trace cache the issue loops replay from; the
+    /// interpreter path remains the fallback at every cold slot and
+    /// machine-level boundary.
+    trace: Option<Box<TraceCache>>,
+    /// Tier-only worklist of clusters with any active TCU, maintained by
+    /// `step_parallel_fast` so fully idle clusters (proven quiescent:
+    /// no busy TCUs, empty wake wheel) are never visited or skip-woken.
+    par_active: Vec<usize>,
+    /// Parallel cycles elapsed in the current section (tier bookkeeping
+    /// for the lazy round-robin advance; always 0 when the tier is off).
+    pcyc: u64,
+    /// Per-cluster section cycle through which `cluster_rr` has been
+    /// advanced; `sync_rr` settles the arrears before a cluster steps.
+    rr_synced: Vec<u64>,
 }
 
 /// Insert `idx` into a sorted active list if not already present.
@@ -1009,6 +1031,7 @@ pub struct MachineBuilder {
     max_cycles: Option<u64>,
     faults: FaultPlan,
     watchdog: Option<u64>,
+    tier: TranslationTier,
 }
 
 impl MachineBuilder {
@@ -1024,6 +1047,7 @@ impl MachineBuilder {
             max_cycles: None,
             faults: FaultPlan::default(),
             watchdog: None,
+            tier: TranslationTier::default(),
         }
     }
 
@@ -1038,6 +1062,16 @@ impl MachineBuilder {
     /// Select the advance engine (default [`Engine::FastForward`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select the execution tier (default [`TranslationTier::Block`],
+    /// the trace-cache replay path). [`TranslationTier::Interpreter`]
+    /// restores per-instruction dispatch; the two are bit-identical in
+    /// every architectural and statistical output, differing only in
+    /// host-side speed.
+    pub fn tier(mut self, tier: TranslationTier) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -1187,6 +1221,7 @@ impl MachineBuilder {
             max_cycles,
             faults,
             watchdog,
+            tier,
         } = self;
         assert!(
             cfg.tcus_per_cluster <= 64,
@@ -1242,6 +1277,8 @@ impl MachineBuilder {
             reply_net = Box::new(FaultyNetwork::new(reply_net, lf));
         }
         let decoded = DecodedProgram::new(&prog);
+        let trace = (tier == TranslationTier::Block)
+            .then(|| Box::new(TraceCache::new(&decoded, FPU_LATENCY, MDU_LATENCY)));
         let has_global_ops = (0..prog.len())
             .any(|pc| matches!(prog.fetch(pc), Instr::Ps { .. } | Instr::Sspawn { .. }));
         let n_channels = channels.len();
@@ -1296,6 +1333,10 @@ impl MachineBuilder {
             probe,
             next_sample,
             last_sample: 0,
+            trace,
+            par_active: Vec::new(),
+            pcyc: 0,
+            rr_synced: vec![0; cfg.clusters],
             cfg,
         };
         for &c in &faults.dead_clusters {
@@ -1744,8 +1785,17 @@ impl<P: Probe> Machine<P> {
                             blocked_scoreboard: 0,
                             blocked_lsu: 0,
                         };
-                        for cluster in &self.clusters {
-                            let scan = scan_cluster::<false>(cluster, next);
+                        // With the tier on and thread IDs exhausted,
+                        // clusters off the worklist have no active TCUs:
+                        // nothing to issue, wake or attribute stalls to,
+                        // so the scan covers the worklist only.
+                        let members: Option<&[usize]> = (self.trace.is_some()
+                            && self.next_tid >= self.spawn_count)
+                            .then_some(self.par_active.as_slice());
+                        let n_scan = members.map_or(self.clusters.len(), |m| m.len());
+                        for i in 0..n_scan {
+                            let c = members.map_or(i, |m| m[i]);
+                            let scan = scan_cluster::<false>(&self.clusters[c], next);
                             if scan.issue_next
                                 || (scan.idle > 0 && self.next_tid < self.spawn_count)
                             {
@@ -1793,13 +1843,25 @@ impl<P: Probe> Machine<P> {
         if parallel {
             self.stats.stall_scoreboard += n * blocked_scoreboard;
             self.stats.stall_lsu += n * blocked_lsu;
-            for m in &mut self.masks {
-                m.wake_through(next, n);
-            }
-            let ntcus = self.cfg.tcus_per_cluster;
-            let adv = (n % ntcus as u64) as usize;
-            for rr in &mut self.cluster_rr {
-                *rr = (*rr + adv) % ntcus;
+            if self.trace.is_some() {
+                // Only worklist clusters can hold a non-empty wake
+                // wheel (inactive ⇒ empty, the worklist invariant), and
+                // the round-robin pointers catch up lazily via `pcyc`
+                // instead of an O(clusters) advance per skip.
+                let masks = &mut self.masks;
+                for &c in &self.par_active {
+                    masks[c].wake_through(next, n);
+                }
+                self.pcyc += n;
+            } else {
+                for m in &mut self.masks {
+                    m.wake_through(next, n);
+                }
+                let ntcus = self.cfg.tcus_per_cluster;
+                let adv = (n % ntcus as u64) as usize;
+                for rr in &mut self.cluster_rr {
+                    *rr = (*rr + adv) % ntcus;
+                }
             }
         }
         self.cycle += n;
@@ -1843,6 +1905,14 @@ impl<P: Probe> Machine<P> {
     /// [`Machine::step`].
     pub fn spawn_log(&self) -> &[SpawnStats] {
         &self.spawn_log
+    }
+
+    /// Trace-cache exercise counters of the block-compiled tier, or
+    /// `None` when the machine was built with
+    /// [`TranslationTier::Interpreter`]. Deterministic for a given
+    /// (program, config, engine) — the CI tier stage pins this.
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.trace.as_deref().map(TraceCache::stats)
     }
 
     /// Assemble the [`RunReport`], flushing the probe's final partial
@@ -1985,21 +2055,127 @@ impl<P: Probe> Machine<P> {
     /// `sspawn` mutates shared state in that order, and a ready fault
     /// must surface at the reference engine's exact visit.
     fn step_parallel_fast(&mut self) -> Result<(), SimError> {
-        let cycle = self.cycle;
-        for c in 0..self.clusters.len() {
-            let activations = self.next_tid < self.spawn_count;
-            let m = &mut self.masks[c];
-            m.wake(cycle);
-            let ready = m.active & !m.busy & !m.stuck;
-            let ordered = m.cls[IssueClass::Ps as usize]
-                | m.cls[IssueClass::BadPc as usize]
-                | m.cls[IssueClass::Illegal as usize];
-            if activations || ordered & ready != 0 {
-                self.step_cluster(c)?;
-            } else {
-                self.step_cluster_bulk(c, ready)?;
+        if self.trace.is_none() {
+            for c in 0..self.clusters.len() {
+                self.step_cluster_fast(c)?;
             }
+            return Ok(());
         }
+        self.step_parallel_fast_tiered()
+    }
+
+    /// One cluster's slice of a fast parallel cycle: wake the wheel,
+    /// then dispatch to the plain or bulk issue loop (see
+    /// [`Machine::step_parallel_fast`] for the criteria).
+    #[inline]
+    fn step_cluster_fast(&mut self, c: usize) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let ntcus = self.cfg.tcus_per_cluster;
+        let want_threads = self.next_tid < self.spawn_count;
+        let tier_on = self.trace.is_some();
+        let m = &mut self.masks[c];
+        m.wake(cycle);
+        let ready = m.active & !m.busy & !m.stuck;
+        // Tier refinement (bit-identical): an activation needs an idle
+        // enabled TCU in *this* cluster. Idle TCUs appearing mid-cycle
+        // (a join) are never revisited, and a mid-cycle `sspawn` mint
+        // is covered by the `ordered` full walk, so the cycle-start
+        // masks decide exactly.
+        let activations =
+            want_threads && (!tier_on || (!m.active & !m.disabled & ones(ntcus)) != 0);
+        let ordered = m.cls[IssueClass::Ps as usize]
+            | m.cls[IssueClass::BadPc as usize]
+            | m.cls[IssueClass::Illegal as usize];
+        if activations || ordered & ready != 0 {
+            self.step_cluster(c)
+        } else {
+            self.step_cluster_bulk(c, ready)
+        }
+    }
+
+    /// Settle a cluster's round-robin arrears before it steps. With the
+    /// tier on, skipped clusters and bulk fast-forwards no longer eagerly
+    /// advance every `cluster_rr` each cycle; `pcyc` counts the parallel
+    /// cycles of the current section and each cluster catches up lazily
+    /// (same scheme as the threaded engine's shard `synced` field).
+    #[inline]
+    fn sync_rr(&mut self, c: usize) {
+        let ntcus = self.cfg.tcus_per_cluster;
+        let lag = (self.pcyc - self.rr_synced[c]) % ntcus as u64;
+        if lag > 0 {
+            self.cluster_rr[c] = (self.cluster_rr[c] + lag as usize) % ntcus;
+        }
+        // The step about to run advances the pointer once more.
+        self.rr_synced[c] = self.pcyc + 1;
+    }
+
+    /// Tiered fast parallel cycle: only clusters on the `par_active`
+    /// worklist are visited. A cluster leaves the list when its last
+    /// thread joins (proven quiescent: joins drain posted stores first,
+    /// and an empty active mask implies an empty wake wheel, so an
+    /// unvisited cluster is a guaranteed no-op) and can only rejoin via
+    /// activation, which rebuilds the list under a full walk.
+    fn step_parallel_fast_tiered(&mut self) -> Result<(), SimError> {
+        let nclusters = self.clusters.len();
+        if self.next_tid < self.spawn_count {
+            // Thread IDs remain: any cluster may activate an idle TCU,
+            // so walk them all and rebuild the worklist.
+            self.par_active.clear();
+            for c in 0..nclusters {
+                self.sync_rr(c);
+                self.step_cluster_fast(c)?;
+            }
+            for c in 0..nclusters {
+                if self.masks[c].active != 0 {
+                    self.par_active.push(c);
+                }
+            }
+            self.pcyc += 1;
+            return Ok(());
+        }
+        // Steady state: compact the worklist in place while stepping.
+        let mut list = std::mem::take(&mut self.par_active);
+        let mut w = 0;
+        for i in 0..list.len() {
+            let c = list[i];
+            if self.masks[c].active == 0 {
+                continue;
+            }
+            self.sync_rr(c);
+            if let Err(e) = self.step_cluster_fast(c) {
+                self.par_active = list;
+                return Err(e);
+            }
+            if self.next_tid < self.spawn_count {
+                // An `sspawn` minted thread IDs mid-cycle. The
+                // reference walk visits clusters in ascending order, so
+                // every cluster after `c` — listed or not — may now
+                // activate idle TCUs this same cycle; clusters at or
+                // before `c` already had their visit.
+                list.truncate(w);
+                for c2 in c + 1..nclusters {
+                    self.sync_rr(c2);
+                    if let Err(e) = self.step_cluster_fast(c2) {
+                        self.par_active = list;
+                        return Err(e);
+                    }
+                }
+                for c2 in 0..nclusters {
+                    if self.masks[c2].active != 0 && list.binary_search(&c2).is_err() {
+                        list.push(c2);
+                    }
+                }
+                list.sort_unstable();
+                self.par_active = list;
+                self.pcyc += 1;
+                return Ok(());
+            }
+            list[w] = c;
+            w += 1;
+        }
+        list.truncate(w);
+        self.par_active = list;
+        self.pcyc += 1;
         Ok(())
     }
 
@@ -2030,8 +2206,10 @@ impl<P: Probe> Machine<P> {
             req_net,
             txns,
             cycle,
+            trace,
             ..
         } = self;
+        let mut trace = trace.as_deref_mut();
         let cluster = &mut clusters[c][..];
         let m = &mut masks[c];
         let mem_len = mem.len();
@@ -2061,9 +2239,15 @@ impl<P: Probe> Machine<P> {
             let t = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             let tcu = &mut cluster[t];
-            let d = decoded.fetch(tcu.pc);
-            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-            debug_assert!(ok, "ALU-class instruction must be compute-executable");
+            if let Some(tc) = trace.as_deref_mut() {
+                let u = tc.fetch_warm(decoded, tcu.pc);
+                let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                debug_assert!(ok, "ALU-class instruction must be compute-executable");
+            } else {
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                debug_assert!(ok, "ALU-class instruction must be compute-executable");
+            }
             tcu.pc += 1;
             reclassify_masked(tcu, m, t, decoded);
             stats.instructions += 1;
@@ -2074,18 +2258,24 @@ impl<P: Probe> Machine<P> {
             bits &= bits - 1;
             let tcu = &mut cluster[t];
             let pc = tcu.pc;
-            match decoded.fetch(pc).instr {
-                Instr::Branch {
-                    cond,
-                    rs1,
-                    rs2,
-                    target,
-                } => {
-                    let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
-                    tcu.pc = if taken { target } else { pc + 1 };
+            if let Some(tc) = trace.as_deref_mut() {
+                let u = tc.fetch_warm(decoded, pc);
+                tcu.pc = eval_branch_uop(&u, &tcu.rf).unwrap_or(pc + 1);
+                tc.note_entry();
+            } else {
+                match decoded.fetch(pc).instr {
+                    Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    } => {
+                        let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                        tcu.pc = if taken { target } else { pc + 1 };
+                    }
+                    Instr::Jump { target } => tcu.pc = target,
+                    _ => unreachable!(),
                 }
-                Instr::Jump { target } => tcu.pc = target,
-                _ => unreachable!(),
             }
             reclassify_masked(tcu, m, t, decoded);
             stats.instructions += 1;
@@ -2109,9 +2299,15 @@ impl<P: Probe> Machine<P> {
             rot &= rot - 1;
             budget -= 1;
             let tcu = &mut cluster[t];
-            let d = decoded.fetch(tcu.pc);
-            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-            debug_assert!(ok);
+            if let Some(tc) = trace.as_deref_mut() {
+                let u = tc.fetch_warm(decoded, tcu.pc);
+                let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+            } else {
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+            }
             tcu.busy_until = cycle + FPU_LATENCY;
             m.set_busy(t, cycle + FPU_LATENCY);
             tcu.pc += 1;
@@ -2127,9 +2323,15 @@ impl<P: Probe> Machine<P> {
             rot &= rot - 1;
             budget -= 1;
             let tcu = &mut cluster[t];
-            let d = decoded.fetch(tcu.pc);
-            let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-            debug_assert!(ok);
+            if let Some(tc) = trace.as_deref_mut() {
+                let u = tc.fetch_warm(decoded, tcu.pc);
+                let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+            } else {
+                let d = decoded.fetch(tcu.pc);
+                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                debug_assert!(ok);
+            }
             tcu.busy_until = cycle + MDU_LATENCY;
             m.set_busy(t, cycle + MDU_LATENCY);
             tcu.pc += 1;
@@ -2313,6 +2515,14 @@ impl<P: Probe> Machine<P> {
                 self.spawn_count = n;
                 self.spawn_entry = entry;
                 self.next_tid = 0;
+                if self.trace.is_some() {
+                    // Fresh section: restart the lazy round-robin clock
+                    // and the cluster worklist (rebuilt on the first
+                    // parallel cycle, when thread IDs are available).
+                    self.pcyc = 0;
+                    self.rr_synced.fill(0);
+                    self.par_active.clear();
+                }
                 // Broadcast: the parallel section reaches every cluster
                 // in log₂(clusters) cycles (Section II-A: "start all
                 // TCUs at once in the same time it takes to start one").
@@ -2394,8 +2604,10 @@ impl<P: Probe> Machine<P> {
             spawn_count,
             spawn_entry,
             cycle,
+            trace,
             ..
         } = self;
+        let mut trace = trace.as_deref_mut();
         let cluster = &mut clusters[c][..];
         let m = &mut masks[c];
         let mem_len = mem.len();
@@ -2410,23 +2622,28 @@ impl<P: Probe> Machine<P> {
         // prove idle and latency-busy visits are no-ops, so their cache
         // lines are never touched.
         let ready = m.active & !m.busy & !m.stuck;
+        // With the tier on, an activation additionally needs an idle
+        // enabled TCU here (see `step_cluster_fast` for why cycle-start
+        // masks decide exactly); disabled TCUs never take a thread, but
+        // stuck TCUs do — they hold it without issuing.
+        let can_activate = *next_tid < *spawn_count
+            && (trace.is_none() || (!m.active & !m.disabled & ones(ntcus)) != 0);
         let mut order = [0u8; 64];
-        let visits: &[u8] =
-            if *next_tid < *spawn_count || m.cls[IssueClass::Ps as usize] & ready != 0 {
-                for (i, t) in (start..ntcus).chain(0..start).enumerate() {
-                    order[i] = t as u8;
-                }
-                &order[..ntcus]
-            } else {
-                let mut rot = rr_rotate(ready, start, ntcus);
-                let mut n = 0;
-                while rot != 0 {
-                    order[n] = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus) as u8;
-                    rot &= rot - 1;
-                    n += 1;
-                }
-                &order[..n]
-            };
+        let visits: &[u8] = if can_activate || m.cls[IssueClass::Ps as usize] & ready != 0 {
+            for (i, t) in (start..ntcus).chain(0..start).enumerate() {
+                order[i] = t as u8;
+            }
+            &order[..ntcus]
+        } else {
+            let mut rot = rr_rotate(ready, start, ntcus);
+            let mut n = 0;
+            while rot != 0 {
+                order[n] = rr_unrotate(rot.trailing_zeros() as usize, start, ntcus) as u8;
+                rot &= rot - 1;
+                n += 1;
+            }
+            &order[..n]
+        };
 
         for &t in visits {
             let t = t as usize;
@@ -2478,9 +2695,15 @@ impl<P: Probe> Machine<P> {
                     stats.stall_scoreboard += 1;
                 }
                 IssueClass::Alu => {
-                    let d = decoded.fetch(tcu.pc);
-                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-                    debug_assert!(ok, "ALU-class instruction must be compute-executable");
+                    if let Some(tc) = trace.as_deref_mut() {
+                        let u = tc.fetch_warm(decoded, tcu.pc);
+                        let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                        debug_assert!(ok, "ALU-class instruction must be compute-executable");
+                    } else {
+                        let d = decoded.fetch(tcu.pc);
+                        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                        debug_assert!(ok, "ALU-class instruction must be compute-executable");
+                    }
                     tcu.pc += 1;
                     reclassify_masked(tcu, m, t, decoded);
                     stats.instructions += 1;
@@ -2491,9 +2714,16 @@ impl<P: Probe> Machine<P> {
                         continue;
                     }
                     fpu_budget -= 1;
-                    let d = decoded.fetch(tcu.pc);
-                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-                    debug_assert!(ok);
+                    if let Some(tc) = trace.as_deref_mut() {
+                        let u = tc.fetch_warm(decoded, tcu.pc);
+                        let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                        debug_assert!(ok);
+                        debug_assert_eq!(u.lat as u64, FPU_LATENCY);
+                    } else {
+                        let d = decoded.fetch(tcu.pc);
+                        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                        debug_assert!(ok);
+                    }
                     tcu.busy_until = cycle + FPU_LATENCY;
                     m.set_busy(t, cycle + FPU_LATENCY);
                     tcu.pc += 1;
@@ -2507,9 +2737,16 @@ impl<P: Probe> Machine<P> {
                         continue;
                     }
                     mdu_budget -= 1;
-                    let d = decoded.fetch(tcu.pc);
-                    let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
-                    debug_assert!(ok);
+                    if let Some(tc) = trace.as_deref_mut() {
+                        let u = tc.fetch_warm(decoded, tcu.pc);
+                        let ok = exec_uop(&u, &mut tcu.rf, gregs);
+                        debug_assert!(ok);
+                        debug_assert_eq!(u.lat as u64, MDU_LATENCY);
+                    } else {
+                        let d = decoded.fetch(tcu.pc);
+                        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                        debug_assert!(ok);
+                    }
                     tcu.busy_until = cycle + MDU_LATENCY;
                     m.set_busy(t, cycle + MDU_LATENCY);
                     tcu.pc += 1;
@@ -2556,18 +2793,25 @@ impl<P: Probe> Machine<P> {
                 }
                 IssueClass::Branch => {
                     let pc = tcu.pc;
-                    match decoded.fetch(pc).instr {
-                        Instr::Branch {
-                            cond,
-                            rs1,
-                            rs2,
-                            target,
-                        } => {
-                            let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
-                            tcu.pc = if taken { target } else { pc + 1 };
+                    if let Some(tc) = trace.as_deref_mut() {
+                        let u = tc.fetch_warm(decoded, pc);
+                        tcu.pc = eval_branch_uop(&u, &tcu.rf).unwrap_or(pc + 1);
+                        tc.note_entry();
+                    } else {
+                        match decoded.fetch(pc).instr {
+                            Instr::Branch {
+                                cond,
+                                rs1,
+                                rs2,
+                                target,
+                            } => {
+                                let taken =
+                                    eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                                tcu.pc = if taken { target } else { pc + 1 };
+                            }
+                            Instr::Jump { target } => tcu.pc = target,
+                            _ => unreachable!(),
                         }
-                        Instr::Jump { target } => tcu.pc = target,
-                        _ => unreachable!(),
                     }
                     reclassify_masked(tcu, m, t, decoded);
                     stats.instructions += 1;
@@ -2918,6 +3162,19 @@ impl<P: Probe> Machine<P> {
                 stall_mdu: self.stats.stall_mdu - tr.start.stall_mdu,
                 stall_lsu: self.stats.stall_lsu - tr.start.stall_lsu,
             });
+        }
+        if self.trace.is_some() {
+            // Settle every cluster's lazy round-robin arrears so the
+            // serial-mode `cluster_rr` bytes (checkpointed, compared
+            // across engines) match eager per-cycle advancing exactly.
+            let ntcus = self.cfg.tcus_per_cluster;
+            for c in 0..self.cluster_rr.len() {
+                let lag = (self.pcyc - self.rr_synced[c]) % ntcus as u64;
+                if lag > 0 {
+                    self.cluster_rr[c] = (self.cluster_rr[c] + lag as usize) % ntcus;
+                }
+                self.rr_synced[c] = self.pcyc;
+            }
         }
         self.mode = Mode::Serial {
             pc: return_pc,

@@ -55,6 +55,16 @@ use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
+use xmt_isa::block::{MicroOp, UopKind};
+
+/// Shard-side trace fetch: `None` selects the interpreter path —
+/// either the tier is off or the slot is cold (the latter cannot
+/// happen after `lower_all`, but the fallback keeps every seam safe).
+#[inline(always)]
+fn fetch_uop(trace: Option<&TraceCache>, pc: usize) -> Option<MicroOp> {
+    let u = trace?.fetch(pc);
+    (u.kind != UopKind::Cold).then_some(u)
+}
 
 /// Spin iterations before a waiting worker parks (the coordinator's
 /// inter-epoch turnaround is usually far shorter than this).
@@ -119,6 +129,8 @@ struct ClusterShard {
     budget: usize,
     /// Threads that retired (`join`) this cycle.
     joined: u64,
+    /// Trace entries via branch/jump resolution (merged at shutdown).
+    trace_entries: u64,
     /// Replies to apply before issue.
     deliveries: Vec<Delivery>,
     /// Injection attempts recorded this cycle (record/replay path).
@@ -187,6 +199,9 @@ struct Shared<'a> {
     /// Per-worker parked flags (coordinator only unparks sleepers).
     parked: Vec<AtomicBool>,
     decoded: &'a DecodedProgram,
+    /// Pre-lowered trace cache, shared read-only by every participant
+    /// (`None` when the machine runs the interpreter tier).
+    trace: Option<&'a TraceCache>,
     params: WorkerParams,
 }
 
@@ -245,6 +260,15 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
         hash: m.hash,
     };
     let decoded = m.decoded.clone();
+    // Pre-lower every superblock so the shards' read-only fetches never
+    // see a cold slot; the workers share one immutable cache.
+    let trace: Option<TraceCache> = match m.trace.as_deref_mut() {
+        Some(tc) => {
+            tc.lower_all(&decoded);
+            Some(tc.clone())
+        }
+        None => None,
+    };
 
     // Move the TCU state (and the issue masks) out of the machine
     // into the shards.
@@ -268,6 +292,7 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
                 granted: 0,
                 budget: 0,
                 joined: 0,
+                trace_entries: 0,
                 deliveries: Vec::new(),
                 attempts: Vec::new(),
                 error: None,
@@ -296,6 +321,7 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
             .collect(),
         parked: (0..spawned).map(|_| AtomicBool::new(false)).collect(),
         decoded: &decoded,
+        trace: trace.as_ref(),
         params,
     };
 
@@ -327,6 +353,7 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
     // Reassemble the machine (also on the error path, so the caller
     // can still inspect memory and statistics). Round-robin pointers
     // catch up to the final parallel-cycle count here.
+    let mut trace_entries = 0u64;
     for (c, cell) in shared.clusters.into_iter().enumerate() {
         let mut shard = cell.0.into_inner();
         let lag = (pcyc - shard.synced) % params.ntcus as u64;
@@ -335,6 +362,10 @@ pub(super) fn run<P: Probe>(m: &mut Machine<P>, threads: usize) -> Result<RunRep
         m.masks.push(shard.masks);
         m.cluster_rr.push(shard.rr);
         m.cluster_instr[c] += shard.instr;
+        trace_entries += shard.trace_entries;
+    }
+    if let Some(tc) = m.trace.as_deref_mut() {
+        tc.add_entries(trace_entries);
     }
     result.map(|()| m.report())
 }
@@ -493,6 +524,7 @@ fn step_shard_recording(
         grant,
         budget,
         joined,
+        trace_entries,
         deliveries,
         attempts,
         error,
@@ -514,8 +546,21 @@ fn step_shard_recording(
         accepted
     };
     step_shard(
-        sh, tcus, masks, rr, synced, instr, grant, joined, deliveries, error, &mut sink, cycle,
-        pcyc, delta,
+        sh,
+        tcus,
+        masks,
+        rr,
+        synced,
+        instr,
+        grant,
+        joined,
+        trace_entries,
+        deliveries,
+        error,
+        &mut sink,
+        cycle,
+        pcyc,
+        delta,
     );
 }
 
@@ -532,6 +577,7 @@ fn step_shard<F>(
     instr: &mut u64,
     grant: &mut Range<u32>,
     joined: &mut u64,
+    trace_entries: &mut u64,
     deliveries: &mut Vec<Delivery>,
     error: &mut Option<SimError>,
     sink: &mut F,
@@ -583,6 +629,8 @@ fn step_shard<F>(
         &section.gregs,
         section.entry,
         sh.decoded,
+        sh.trace,
+        trace_entries,
         sh.params,
         sink,
         delta,
@@ -705,6 +753,7 @@ fn main_loop<P: Probe>(
                             instr,
                             grant,
                             joined,
+                            trace_entries,
                             deliveries,
                             error,
                             ..
@@ -737,6 +786,7 @@ fn main_loop<P: Probe>(
                             instr,
                             grant,
                             joined,
+                            trace_entries,
                             deliveries,
                             error,
                             &mut sink,
@@ -968,6 +1018,8 @@ fn step_cluster_local<F>(
     gregs: &[u32; NUM_GREGS],
     entry: usize,
     decoded: &DecodedProgram,
+    trace: Option<&TraceCache>,
+    trace_entries: &mut u64,
     p: WorkerParams,
     sink: &mut F,
     acc: &mut MachineStats,
@@ -1000,7 +1052,19 @@ where
             == 0
     {
         step_cluster_bulk_local(
-            cluster, m, ready, start, joined, cycle, gregs, decoded, p, sink, acc,
+            cluster,
+            m,
+            ready,
+            start,
+            joined,
+            cycle,
+            gregs,
+            decoded,
+            trace,
+            trace_entries,
+            p,
+            sink,
+            acc,
         )?;
         *cluster_instr += acc.instructions - instr_at_entry;
         return Ok(());
@@ -1073,8 +1137,12 @@ where
                 acc.stall_scoreboard += 1;
             }
             IssueClass::Alu => {
-                let d = decoded.fetch(tcu.pc);
-                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+                    exec_uop(&u, &mut tcu.rf, gregs)
+                } else {
+                    let d = decoded.fetch(tcu.pc);
+                    exec_compute(&d.instr, &mut tcu.rf, gregs)
+                };
                 debug_assert!(ok, "ALU-class instruction must be compute-executable");
                 tcu.pc += 1;
                 reclassify_masked(tcu, m, t, decoded);
@@ -1086,8 +1154,12 @@ where
                     continue;
                 }
                 fpu_budget -= 1;
-                let d = decoded.fetch(tcu.pc);
-                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+                    exec_uop(&u, &mut tcu.rf, gregs)
+                } else {
+                    let d = decoded.fetch(tcu.pc);
+                    exec_compute(&d.instr, &mut tcu.rf, gregs)
+                };
                 debug_assert!(ok);
                 tcu.busy_until = cycle + FPU_LATENCY;
                 m.set_busy(t, cycle + FPU_LATENCY);
@@ -1102,8 +1174,12 @@ where
                     continue;
                 }
                 mdu_budget -= 1;
-                let d = decoded.fetch(tcu.pc);
-                let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+                let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+                    exec_uop(&u, &mut tcu.rf, gregs)
+                } else {
+                    let d = decoded.fetch(tcu.pc);
+                    exec_compute(&d.instr, &mut tcu.rf, gregs)
+                };
                 debug_assert!(ok);
                 tcu.busy_until = cycle + MDU_LATENCY;
                 m.set_busy(t, cycle + MDU_LATENCY);
@@ -1186,18 +1262,23 @@ where
             }
             IssueClass::Branch => {
                 let pc = tcu.pc;
-                match decoded.fetch(pc).instr {
-                    Instr::Branch {
-                        cond,
-                        rs1,
-                        rs2,
-                        target,
-                    } => {
-                        let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
-                        tcu.pc = if taken { target } else { pc + 1 };
+                if let Some(u) = fetch_uop(trace, pc) {
+                    tcu.pc = eval_branch_uop(&u, &tcu.rf).unwrap_or(pc + 1);
+                    *trace_entries += 1;
+                } else {
+                    match decoded.fetch(pc).instr {
+                        Instr::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            target,
+                        } => {
+                            let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                            tcu.pc = if taken { target } else { pc + 1 };
+                        }
+                        Instr::Jump { target } => tcu.pc = target,
+                        _ => unreachable!(),
                     }
-                    Instr::Jump { target } => tcu.pc = target,
-                    _ => unreachable!(),
                 }
                 reclassify_masked(tcu, m, t, decoded);
                 acc.instructions += 1;
@@ -1264,6 +1345,8 @@ fn step_cluster_bulk_local<F>(
     cycle: u64,
     gregs: &[u32; NUM_GREGS],
     decoded: &DecodedProgram,
+    trace: Option<&TraceCache>,
+    trace_entries: &mut u64,
     p: WorkerParams,
     sink: &mut F,
     acc: &mut MachineStats,
@@ -1296,8 +1379,12 @@ where
         let t = bits.trailing_zeros() as usize;
         bits &= bits - 1;
         let tcu = &mut cluster[t];
-        let d = decoded.fetch(tcu.pc);
-        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+            exec_uop(&u, &mut tcu.rf, gregs)
+        } else {
+            let d = decoded.fetch(tcu.pc);
+            exec_compute(&d.instr, &mut tcu.rf, gregs)
+        };
         debug_assert!(ok, "ALU-class instruction must be compute-executable");
         tcu.pc += 1;
         reclassify_masked(tcu, m, t, decoded);
@@ -1309,18 +1396,23 @@ where
         bits &= bits - 1;
         let tcu = &mut cluster[t];
         let pc = tcu.pc;
-        match decoded.fetch(pc).instr {
-            Instr::Branch {
-                cond,
-                rs1,
-                rs2,
-                target,
-            } => {
-                let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
-                tcu.pc = if taken { target } else { pc + 1 };
+        if let Some(u) = fetch_uop(trace, pc) {
+            tcu.pc = eval_branch_uop(&u, &tcu.rf).unwrap_or(pc + 1);
+            *trace_entries += 1;
+        } else {
+            match decoded.fetch(pc).instr {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let taken = eval_branch(cond, tcu.rf.read_i(rs1), tcu.rf.read_i(rs2));
+                    tcu.pc = if taken { target } else { pc + 1 };
+                }
+                Instr::Jump { target } => tcu.pc = target,
+                _ => unreachable!(),
             }
-            Instr::Jump { target } => tcu.pc = target,
-            _ => unreachable!(),
         }
         reclassify_masked(tcu, m, t, decoded);
         acc.instructions += 1;
@@ -1344,8 +1436,12 @@ where
         rot &= rot - 1;
         budget -= 1;
         let tcu = &mut cluster[t];
-        let d = decoded.fetch(tcu.pc);
-        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+            exec_uop(&u, &mut tcu.rf, gregs)
+        } else {
+            let d = decoded.fetch(tcu.pc);
+            exec_compute(&d.instr, &mut tcu.rf, gregs)
+        };
         debug_assert!(ok);
         tcu.busy_until = cycle + FPU_LATENCY;
         m.set_busy(t, cycle + FPU_LATENCY);
@@ -1362,8 +1458,12 @@ where
         rot &= rot - 1;
         budget -= 1;
         let tcu = &mut cluster[t];
-        let d = decoded.fetch(tcu.pc);
-        let ok = exec_compute(&d.instr, &mut tcu.rf, gregs);
+        let ok = if let Some(u) = fetch_uop(trace, tcu.pc) {
+            exec_uop(&u, &mut tcu.rf, gregs)
+        } else {
+            let d = decoded.fetch(tcu.pc);
+            exec_compute(&d.instr, &mut tcu.rf, gregs)
+        };
         debug_assert!(ok);
         tcu.busy_until = cycle + MDU_LATENCY;
         m.set_busy(t, cycle + MDU_LATENCY);

@@ -98,10 +98,37 @@ pub enum GenOp {
         /// Word address in the read-only region.
         addr: u8,
     },
+    /// A conditional forward branch over a single `li`. Both outcomes
+    /// are race-free; the skip splits the body into back-to-back
+    /// one-instruction superblocks, the worst case for the trace cache.
+    BrSkip {
+        /// Condition selector (0..4: eq/ne/ltu/geu).
+        cond: u8,
+        /// First compared register index.
+        rs1: u8,
+        /// Second compared register index.
+        rs2: u8,
+        /// Destination of the skipped `li`.
+        rd: u8,
+        /// Immediate of the skipped `li`.
+        imm: u32,
+    },
+    /// A bounded countdown loop on reserved r21: 1–4 iterations of an
+    /// ALU op plus the backward branch. Short blocks re-entered many
+    /// times — the trace cache must replay them without drift.
+    Loop {
+        /// Iteration count selector (mapped to 1..=4).
+        n: u8,
+        /// Accumulator register index.
+        rd: u8,
+        /// Addend register index.
+        rs: u8,
+    },
 }
 
 /// Strategy over the register indices the generator may touch (r1–r15;
-/// r19/r20/r22 are reserved for the skeleton).
+/// r19/r20/r22 are reserved for the skeleton, r21 for [`GenOp::Loop`]'s
+/// countdown).
 pub fn reg_strategy() -> impl Strategy<Value = u8> {
     1u8..16
 }
@@ -139,6 +166,36 @@ pub fn op_strategy() -> impl Strategy<Value = GenOp> {
         (reg_strategy(), 0u8..8).prop_map(|(rs, slot)| GenOp::StorePriv { rs, slot }),
         (reg_strategy(), 0u8..8).prop_map(|(fs, slot)| GenOp::FStorePriv { fs, slot }),
         (reg_strategy(), 0u8..64).prop_map(|(rd, addr)| GenOp::LoadUse { rd, addr }),
+    ]
+}
+
+/// Strategy biased toward control flow: two thirds of the draws are
+/// forward skips or bounded loops, so generated bodies are
+/// branch-dense with very short straight-line runs — the adversarial
+/// shape for the block-compiled tier, whose superblocks degenerate to
+/// one or two micro-ops and whose fallback seams fire constantly.
+pub fn branchy_op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        op_strategy(),
+        (
+            0u8..4,
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            any::<u32>()
+        )
+            .prop_map(|(cond, rs1, rs2, rd, imm)| GenOp::BrSkip {
+                cond,
+                rs1,
+                rs2,
+                rd,
+                imm
+            }),
+        (any::<u8>(), reg_strategy(), reg_strategy()).prop_map(|(n, rd, rs)| GenOp::Loop {
+            n,
+            rd,
+            rs
+        }),
     ]
 }
 
@@ -223,6 +280,37 @@ pub fn emit(b: &mut ProgramBuilder, op: &GenOp) {
                 rs1: rd,
                 rs2: rd,
             });
+        }
+        GenOp::BrSkip {
+            cond,
+            rs1,
+            rs2,
+            rd,
+            imm,
+        } => {
+            let skip = b.label();
+            let (rs1, rs2) = (ir(rs1 as usize), ir(rs2 as usize));
+            match cond % 4 {
+                0 => b.beq(rs1, rs2, skip),
+                1 => b.bne(rs1, rs2, skip),
+                2 => b.bltu(rs1, rs2, skip),
+                _ => b.bgeu(rs1, rs2, skip),
+            };
+            b.li(ir(rd as usize), imm);
+            b.bind(skip);
+        }
+        GenOp::Loop { n, rd, rs } => {
+            b.li(ir(21), 1 + (n % 4) as u32);
+            let top = b.label();
+            b.bind(top);
+            b.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: ir(rd as usize),
+                rs1: ir(rd as usize),
+                rs2: ir(rs as usize),
+            });
+            b.addi(ir(21), ir(21), u32::MAX); // r21 -= 1 (wrapping)
+            b.bne(ir(21), ir(0), top);
         }
     }
 }

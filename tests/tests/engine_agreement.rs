@@ -12,9 +12,11 @@
 //! optimizations with no observable effect.
 
 use proptest::prelude::*;
-use xmt_integration::genprog::{build, build_multi_spawn, op_strategy};
+use xmt_integration::genprog::{branchy_op_strategy, build, build_multi_spawn, op_strategy};
 use xmt_isa::Program;
-use xmt_sim::{Engine, IntervalProbe, IntervalRow, MachineBuilder, RunReport, XmtConfig};
+use xmt_sim::{
+    Engine, IntervalProbe, IntervalRow, MachineBuilder, RunReport, TranslationTier, XmtConfig,
+};
 
 /// Run `prog` under `engine` with an [`IntervalProbe`] attached,
 /// returning the report, probe sample stream and final state. The
@@ -144,6 +146,89 @@ proptest! {
         prop_assert_eq!(&s_ref.spawns, &s_thr.spawns, "threaded spawn log diverges on xmt_4k");
         prop_assert_eq!(&mem_ref, &mem_thr, "threaded memory diverges on xmt_4k");
         prop_assert_eq!(gr_ref, gr_thr, "threaded gregs diverge on xmt_4k");
+    }
+}
+
+/// Variant of [`run_engine_unprobed`] that also pins the translation
+/// tier.
+fn run_engine_tiered(
+    prog: &Program,
+    cfg: &XmtConfig,
+    ro: &[u32],
+    mem_words: usize,
+    engine: Engine,
+    tier: TranslationTier,
+) -> (RunReport, Vec<u32>, [u32; 16]) {
+    let mut m = MachineBuilder::new(cfg, prog.clone())
+        .mem_words(mem_words)
+        .engine(engine)
+        .tier(tier)
+        .write_u32s(0, ro)
+        .build();
+    let report = m.run().expect("generated program must complete");
+    let mem = m.mem.clone();
+    let gregs = m.gregs_snapshot();
+    (report, mem, gregs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Branch-dense and short-block programs — forward skips over a
+    /// single instruction and 1–4-iteration countdown loops — are the
+    /// worst case for the block-compiled tier: superblocks degenerate
+    /// to one or two micro-ops and every branch resolution crosses a
+    /// fallback seam. Tier-on and tier-off runs must be bitwise
+    /// identical (stats, spawn log, memory image, global registers)
+    /// under all three engines.
+    #[test]
+    fn tier_agrees_on_branch_dense_programs(
+        serial in proptest::collection::vec(branchy_op_strategy(), 0..8),
+        par_ops in proptest::collection::vec(branchy_op_strategy(), 0..10),
+        epilogue in proptest::collection::vec(branchy_op_strategy(), 0..5),
+        threads in 1u8..24,
+        clusters_log in 1u32..3,
+        ro_seed in any::<u64>(),
+    ) {
+        let prog = build(&serial, &par_ops, threads, &epilogue);
+        let mem_words = 128 + 24 * 8 + 16;
+        let ro: Vec<u32> = (0..64u64)
+            .map(|i| {
+                let mut z = ro_seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 31;
+                z as u32
+            })
+            .collect();
+        let cfg = XmtConfig::xmt_4k().scaled_to(1 << clusters_log);
+
+        let (s_base, mem_base, gr_base) = run_engine_tiered(
+            &prog, &cfg, &ro, mem_words, Engine::Reference, TranslationTier::Interpreter,
+        );
+        for engine in [
+            Engine::Reference,
+            Engine::FastForward,
+            Engine::Threaded { threads: 2 },
+        ] {
+            for tier in [TranslationTier::Interpreter, TranslationTier::Block] {
+                let (s, mem, gr) = run_engine_tiered(&prog, &cfg, &ro, mem_words, engine, tier);
+                prop_assert_eq!(
+                    &s_base.stats, &s.stats,
+                    "stats diverge under {:?}/{:?}", engine, tier
+                );
+                prop_assert_eq!(
+                    &s_base.spawns, &s.spawns,
+                    "spawn log diverges under {:?}/{:?}", engine, tier
+                );
+                prop_assert_eq!(
+                    &mem_base, &mem,
+                    "memory diverges under {:?}/{:?}", engine, tier
+                );
+                prop_assert_eq!(
+                    gr_base, gr,
+                    "gregs diverge under {:?}/{:?}", engine, tier
+                );
+            }
+        }
     }
 }
 

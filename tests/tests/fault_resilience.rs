@@ -14,7 +14,9 @@ use xmt_fft::run::{host_reference, plan_builder, read_result, rel_error};
 use xmt_integration::genprog::{build, op_strategy};
 use xmt_integration::sample32;
 use xmt_isa::Program;
-use xmt_sim::{Checkpoint, Engine, FaultPlan, MachineBuilder, RunReport, RunStatus, XmtConfig};
+use xmt_sim::{
+    Checkpoint, Engine, FaultPlan, MachineBuilder, RunReport, RunStatus, TranslationTier, XmtConfig,
+};
 
 /// Soft-fault plan exercised by most tests: DRAM single/double bit
 /// flips plus NoC flit corruption, all recoverable.
@@ -221,6 +223,60 @@ fn checkpoint_restore_matches_uninterrupted_golden_runs() {
                 case.name
             );
             assert_eq!(resumed.mem, mem_full, "{} pause@{pause}", case.name);
+        }
+    }
+}
+
+/// Checkpoint/restore composes with the block-compiled tier: pausing a
+/// tier-on run mid-program — after the trace cache has warmed and with
+/// parallel sections still ahead — must yield the same checkpoint
+/// bytes as a tier-off run paused at the same cycle (the cache is
+/// derived state, never serialized), and resuming that checkpoint with
+/// either tier must finish bit-identically to an uninterrupted run.
+/// The resumed tier-on machine starts from a cold cache and re-lowers
+/// on first entry, which is exactly the mid-trace seam being pinned.
+#[test]
+fn checkpoint_mid_trace_resumes_bit_identically_across_tiers() {
+    let case = golden::cases()
+        .into_iter()
+        .find(|c| c.name == "fft_radix8_n512")
+        .unwrap();
+    let uninterrupted = case.run();
+    let mut full = case.machine();
+    full.run().unwrap();
+    let mem_full = full.mem.clone();
+
+    // Pause depths chosen to land between FFT stages: the cache is
+    // warm (blocks already lowered by earlier stages) and later spawns
+    // will re-enter those same traces after resume.
+    for pause in [500u64, 3000, 7000] {
+        let mut snaps = Vec::new();
+        for tier in [TranslationTier::Block, TranslationTier::Interpreter] {
+            let mut m = case.builder().tier(tier).build();
+            match m.run_until(pause).unwrap() {
+                RunStatus::Paused { at_cycle } => assert!(at_cycle >= pause),
+                RunStatus::Done(_) => panic!("paused too late at {pause}"),
+            }
+            snaps.push(m.checkpoint().unwrap().to_bytes());
+        }
+        assert_eq!(
+            snaps[0], snaps[1],
+            "checkpoint bytes differ by tier at pause {pause}"
+        );
+
+        let restored = Checkpoint::from_bytes(&snaps[0]).unwrap();
+        for tier in [TranslationTier::Block, TranslationTier::Interpreter] {
+            let mut resumed = case.builder().tier(tier).resume(&restored).unwrap();
+            let rep = resumed
+                .run()
+                .unwrap_or_else(|f| panic!("resume@{pause}/{tier:?}: {:?}", f.error));
+            assert_eq!(rep.stats, uninterrupted.stats, "pause {pause} {tier:?}");
+            assert_eq!(
+                golden::spawn_digest(&rep),
+                golden::spawn_digest(&uninterrupted),
+                "pause {pause} {tier:?}"
+            );
+            assert_eq!(resumed.mem, mem_full, "pause {pause} {tier:?}");
         }
     }
 }
