@@ -71,4 +71,13 @@ echo "== fault smoke: sweep + checkpoint round-trip =="
 cargo run --release -p xmt-bench --bin fault_sweep
 cargo test --release -p xmt-integration --test fault_resilience -q
 
+echo "== job server smoke: preemption, cache identity, worker kill =="
+# The simulation-as-a-service gate (DESIGN.md §16): submits the five
+# paper configurations as one batch, kills a worker mid-job, and
+# asserts the preempted/resumed results are bit-identical to direct
+# runs; resubmitting the sweep must be served from the content cache
+# byte-equal, probe streams must be identical across preemption, and
+# concurrent submitters must observe identical bytes (proptest).
+cargo test --release -p xmt-integration --test server_jobs -q
+
 echo "ci.sh: all green"

@@ -77,7 +77,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use xmt_fft::golden;
-use xmt_sim::{Engine, FaultPlan, IntervalProbe, TranslationTier};
+use xmt_sim::{Engine, FaultPlan, TranslationTier};
 
 /// Keep sampling until this much measured time has accumulated.
 const TARGET_SECS: f64 = 0.25;
@@ -96,8 +96,9 @@ const MAX_BATCH: usize = 512;
 /// untimed warm-up run. Tiny runs are timed in batches (see module
 /// docs). Returns `(simulated_cycles, spawn_digest, best_seconds)`.
 fn measure(case: &golden::GoldenCase, engine: Engine) -> (u64, u64, f64) {
+    let sim = case.sim_config().engine(engine);
     let run_once = || {
-        let mut m = case.builder().engine(engine).build();
+        let mut m = case.builder_cfg(&sim).build();
         let t0 = Instant::now();
         let s = m.run().expect("golden case must complete");
         let secs = t0.elapsed().as_secs_f64();
@@ -195,13 +196,12 @@ fn probe_check(baseline: Option<&str>) -> Vec<String> {
         ("threaded", Engine::Threaded { threads: 0 }),
     ];
     for case in golden::cases() {
-        let mut plain = case.builder().build();
+        let mut plain = case.builder_cfg(&case.sim_config()).build();
         let unprobed = plain.run().expect("golden case must complete");
         for &(name, engine) in engines {
-            let mut m = case
-                .builder()
-                .engine(engine)
-                .build_probed(IntervalProbe::new(64, 1 << 14));
+            let sim = case.sim_config().engine(engine).probed(64);
+            let probe = sim.interval_probe().expect("probed request value");
+            let mut m = case.builder_cfg(&sim).build_probed(probe);
             let rep = m.run().expect("probed golden case must complete");
             let probe = m.probe();
             if rep.stats.cycles != unprobed.stats.cycles {
@@ -258,11 +258,12 @@ fn fault_check(baseline: Option<&str>) -> Vec<String> {
         ("threaded", Engine::Threaded { threads: 0 }),
     ];
     for case in golden::cases() {
-        let mut plain = case.builder().build();
+        let mut plain = case.builder_cfg(&case.sim_config()).build();
         let healthy = plain.run().expect("golden case must complete");
 
         // (1) Benign plan: the fault layer must not perturb anything.
-        let mut m = case.builder().faults(FaultPlan::new(0xB1A5)).build();
+        let benign_sim = case.sim_config().faults(FaultPlan::new(0xB1A5));
+        let mut m = case.builder_cfg(&benign_sim).build();
         let benign = m.run().expect("benign-fault golden case must complete");
         if benign.stats != healthy.stats {
             failures.push(format!(
@@ -295,7 +296,8 @@ fn fault_check(baseline: Option<&str>) -> Vec<String> {
         };
         let mut faulted = Vec::new();
         for &(name, engine) in engines {
-            let mut m = case.builder().engine(engine).faults(plan()).build();
+            let sim = case.sim_config().engine(engine).faults(plan());
+            let mut m = case.builder_cfg(&sim).build();
             let rep = m.run().expect("soft-faulted golden case must complete");
             eprintln!(
                 "{:16} {:13} healthy {:>8} cycles  faulted {:>8} cycles",
@@ -328,8 +330,9 @@ fn fault_check(baseline: Option<&str>) -> Vec<String> {
 /// tiers on the long paper-scale runs, where a single run is far above
 /// timer noise.
 fn measure_tier(case: &golden::GoldenCase, engine: Engine, tier: TranslationTier) -> f64 {
+    let sim = case.sim_config().engine(engine).tier(tier);
     let run_once = || {
-        let mut m = case.builder().engine(engine).tier(tier).build();
+        let mut m = case.builder_cfg(&sim).build();
         let t0 = Instant::now();
         m.run().expect("golden case must complete");
         t0.elapsed().as_secs_f64()
@@ -355,15 +358,16 @@ fn tier_check(baseline: Option<&str>) -> Vec<String> {
         ("threaded", Engine::Threaded { threads: 0 }),
     ];
     for case in golden::cases() {
-        let mut off = case.builder().tier(TranslationTier::Interpreter).build();
+        let off_sim = case.sim_config().tier(TranslationTier::Interpreter);
+        let mut off = case.builder_cfg(&off_sim).build();
         let off_rep = off.run().expect("tier-off golden case must complete");
         for &(name, engine) in engines {
             let run_on = || {
-                let mut m = case
-                    .builder()
+                let sim = case
+                    .sim_config()
                     .engine(engine)
-                    .tier(TranslationTier::Block)
-                    .build();
+                    .tier(TranslationTier::Block);
+                let mut m = case.builder_cfg(&sim).build();
                 let rep = m.run().expect("tier-on golden case must complete");
                 let ts = m.trace_stats().expect("Block tier must expose trace stats");
                 (rep, ts)
@@ -381,11 +385,7 @@ fn tier_check(baseline: Option<&str>) -> Vec<String> {
                     case.name
                 ));
             }
-            let mut m = case
-                .builder()
-                .engine(engine)
-                .tier(TranslationTier::Interpreter)
-                .build();
+            let mut m = case.builder_cfg(&off_sim.clone().engine(engine)).build();
             let rep = m.run().expect("tier-off golden case must complete");
             if rep.stats != off_rep.stats {
                 failures.push(format!(
@@ -425,17 +425,17 @@ fn tier_check(baseline: Option<&str>) -> Vec<String> {
                 .dram_flips(0.02, 0.002)
                 .noc_corrupt(0.01)
         };
-        let mut a = case
-            .builder()
+        let fault_off = case
+            .sim_config()
             .faults(plan())
-            .tier(TranslationTier::Interpreter)
-            .build();
+            .tier(TranslationTier::Interpreter);
+        let mut a = case.builder_cfg(&fault_off).build();
         let fa = a.run().expect("faulted tier-off run must complete");
-        let mut b = case
-            .builder()
+        let fault_on = case
+            .sim_config()
             .faults(plan())
-            .tier(TranslationTier::Block)
-            .build();
+            .tier(TranslationTier::Block);
+        let mut b = case.builder_cfg(&fault_on).build();
         let fb = b.run().expect("faulted tier-on run must complete");
         if fa.stats != fb.stats || golden::spawn_digest(&fa) != golden::spawn_digest(&fb) {
             failures.push(format!(
@@ -500,7 +500,8 @@ fn measure_case(case: &golden::GoldenCase, engines: &[(&'static str, Engine)]) -
 /// hit rate — the fraction of entries that found an already-lowered
 /// block (each lazy lowering is the miss that warmed it).
 fn render_trace(json: &mut String, case: &golden::GoldenCase) {
-    let mut m = case.builder().engine(Engine::FastForward).build();
+    let sim = case.sim_config().engine(Engine::FastForward);
+    let mut m = case.builder_cfg(&sim).build();
     let rep = m.run().expect("golden case must complete");
     let ts = m.trace_stats().expect("default tier must be Block");
     let entries = ts.entries + rep.stats.threads;

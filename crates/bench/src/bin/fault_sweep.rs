@@ -28,8 +28,8 @@
 use parafft::Complex32;
 use xmt_fft::golden;
 use xmt_fft::plan::XmtFftPlan;
-use xmt_fft::run::{host_reference, plan_builder, read_result, rel_error};
-use xmt_sim::{FaultPlan, IntervalProbe, SimError, XmtConfig};
+use xmt_fft::run::{host_reference, plan_builder_cfg, read_result, rel_error};
+use xmt_sim::{FaultPlan, SimConfig, SimError, XmtConfig};
 
 /// Transform shape for the sweep: the golden 512-point radix-8 FFT.
 fn fft_plan() -> XmtFftPlan {
@@ -41,17 +41,17 @@ fn total(rows: &[xmt_sim::IntervalRow], f: impl Fn(&xmt_sim::IntervalRow) -> u64
     rows.iter().map(f).sum()
 }
 
-/// Run the golden FFT on `cfg` with `plan` applied to the builder,
-/// returning `(cycles, rows, rel_err)` or the error.
+/// Run the golden FFT described by the [`SimConfig`] request value,
+/// returning `(cycles, rows, rel_err)` or the error. Each sweep row is
+/// a config — the same values the job server hashes and caches.
 fn run_fft(
-    cfg: &XmtConfig,
+    sim: &SimConfig,
     input: &[Complex32],
-    shape: impl FnOnce(xmt_sim::MachineBuilder) -> xmt_sim::MachineBuilder,
 ) -> Result<(u64, Vec<xmt_sim::IntervalRow>, f64), SimError> {
     let plan = fft_plan();
-    let mut m =
-        shape(plan_builder(&plan, cfg, input)).build_probed(IntervalProbe::new(64, 1 << 14));
-    let rep = m.run().map_err(|f| f.error)?;
+    let probe = sim.interval_probe().expect("sweep configs are probed");
+    let mut m = plan_builder_cfg(&plan, sim, input).build_probed(probe);
+    let rep = m.run().into_result()?;
     let err = rel_error(&host_reference(&plan, input), &read_result(&plan, &m));
     Ok((rep.stats.cycles, m.probe().rows(), err))
 }
@@ -83,7 +83,8 @@ fn main() {
         let plan = FaultPlan::new(seed)
             .dram_flips(rate, rate / 10.0)
             .noc_corrupt(rate);
-        match run_fft(&cfg, &input, |b| b.faults(plan)) {
+        let sim = SimConfig::new(&cfg).faults(plan).probed(64);
+        match run_fft(&sim, &input) {
             Ok((cycles, rows, err)) => {
                 if rate == 0.0 {
                     healthy_cycles = cycles;
@@ -131,7 +132,8 @@ fn main() {
         ("cluster 3 + channel 1", &[3], &[1]),
     ];
     for &(label, clusters, channels) in shapes {
-        match run_fft(&big, &big_input, |b| b.degraded(clusters, channels)) {
+        let sim = SimConfig::new(&big).degraded(clusters, channels).probed(64);
+        match run_fft(&sim, &big_input) {
             Ok((cycles, _, err)) => {
                 if base == 0 {
                     base = cycles;
@@ -153,7 +155,11 @@ fn main() {
     println!();
     println!("watchdog (stuck-at TCU holds the spawn barrier open):");
     let stuck = FaultPlan::new(seed).stuck_tcu(1, 3);
-    match run_fft(&cfg, &input, |b| b.faults(stuck).watchdog(20_000)) {
+    let sim = SimConfig::new(&cfg)
+        .faults(stuck)
+        .watchdog(20_000)
+        .probed(64);
+    match run_fft(&sim, &input) {
         Ok((cycles, _, _)) => println!("  unexpectedly completed in {cycles} cycles"),
         Err(SimError::Stalled {
             at_cycle,

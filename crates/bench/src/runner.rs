@@ -30,9 +30,7 @@ pub fn run_validated(
     what: &str,
 ) -> MachineRun {
     let mut m = builder.build();
-    let report = m
-        .run()
-        .unwrap_or_else(|e| panic!("{what}: simulation failed: {e}"));
+    let report = m.run().expect(what);
     let output = read_result(plan, &m);
     let err = rel_error(&host_reference(plan, input), &output);
     assert!(err < 1e-3, "{what}: simulated FFT wrong: rel err {err}");

@@ -18,7 +18,7 @@ use crate::plan::XmtFftPlan;
 use parafft::Complex32;
 use xmt_isa::reg::{fr, gr, ir};
 use xmt_isa::{Program, ProgramBuilder};
-use xmt_sim::{Machine, MachineBuilder, RunReport, XmtConfig};
+use xmt_sim::{Machine, MachineBuilder, RunReport, SimConfig, XmtConfig};
 
 /// Initial memory images: (word base, f32 words) pairs.
 type MemImages = Vec<(usize, Vec<f32>)>;
@@ -61,6 +61,28 @@ impl GoldenCase {
     pub fn config(&self) -> XmtConfig {
         let (cfg, _, _, _) = (self.build)();
         cfg
+    }
+
+    /// This case as a [`SimConfig`] request value: its architecture and
+    /// memory size with every other knob at the default. Shape it
+    /// (engine, tier, faults, probe) and hand it back to
+    /// [`GoldenCase::builder_cfg`] — or submit it to the job server.
+    pub fn sim_config(&self) -> SimConfig {
+        let (cfg, _, mem_words, _) = (self.build)();
+        SimConfig::new(&cfg).mem_words(mem_words)
+    }
+
+    /// A [`MachineBuilder`] for this case lowered from a request value:
+    /// `sim` supplies every knob, the case supplies program and memory
+    /// images. `sim.arch` must keep the geometry the case's program was
+    /// generated for (start from [`GoldenCase::sim_config`]).
+    pub fn builder_cfg(&self, sim: &SimConfig) -> MachineBuilder {
+        let (_, prog, mem_words, images) = (self.build)();
+        let mut b = sim.builder(prog).mem_words(mem_words);
+        for (base, flat) in &images {
+            b = b.write_f32s(*base, flat);
+        }
+        b
     }
 
     /// The program this case runs, for static analysis (`xmt-verify`/

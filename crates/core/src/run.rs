@@ -4,7 +4,7 @@
 use crate::plan::XmtFftPlan;
 use parafft::Complex32;
 use xmt_isa::{ExecError, Interp, RunStats};
-use xmt_sim::{MachineBuilder, RunReport, SimError, XmtConfig};
+use xmt_sim::{MachineBuilder, RunReport, SimConfig, SimError, XmtConfig};
 
 /// Result of running a plan: the transformed data plus engine stats.
 #[derive(Debug, Clone)]
@@ -55,6 +55,21 @@ pub fn plan_builder(plan: &XmtFftPlan, cfg: &XmtConfig, input: &[Complex32]) -> 
     b
 }
 
+/// [`plan_builder`] for a [`SimConfig`] request value: lowers the
+/// config (engine, tier, faults, watchdog, limits) onto a builder and
+/// loads the plan's program, twiddles and packed input on top. The
+/// single seam through which request values become FFT machines.
+pub fn plan_builder_cfg(plan: &XmtFftPlan, sim: &SimConfig, input: &[Complex32]) -> MachineBuilder {
+    let mut b = sim
+        .builder(plan.program.clone())
+        .mem_words(plan.mem_words)
+        .write_f32s(plan.a_base as usize, &plan.input_image(input));
+    for (_, layout, flat) in &plan.twiddles {
+        b = b.write_f32s(layout.base as usize, flat);
+    }
+    b
+}
+
 /// Unpack the transform result from a finished machine's memory.
 pub fn read_result<P: xmt_sim::Probe>(
     plan: &XmtFftPlan,
@@ -72,7 +87,7 @@ pub fn run_on_machine(
     input: &[Complex32],
 ) -> Result<MachineRun, SimError> {
     let mut m = plan_builder(plan, cfg, input).build();
-    let report = m.run().map_err(|f| f.error)?;
+    let report = m.run().into_result()?;
     Ok(MachineRun {
         output: read_result(plan, &m),
         report,

@@ -1,0 +1,176 @@
+//! Content-addressed result cache: LRU in memory, optionally persisted
+//! to disk.
+//!
+//! Keys are the 64-bit content addresses from [`crate::SimRequest::digest`]
+//! — `(workload, program digest, config cache key)` — and values are
+//! canonical report bytes ([`crate::wire::encode_report`]). The memory
+//! tier is a bounded LRU; when a persistence directory is configured,
+//! every insert also lands in `<key>.rep` on disk and a memory miss
+//! falls back to the file before declaring a true miss. Eviction only
+//! trims memory — persisted files survive, so a server restart (or an
+//! evicted-but-resubmitted sweep row) still hits.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+/// Hit/miss counters for the cache, split by tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident in memory.
+    pub entries: usize,
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups served from the persistence directory.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Memory-tier evictions (persisted files are never evicted).
+    pub evictions: u64,
+}
+
+/// The server's result cache. Not thread-safe by itself — the server
+/// wraps it in a mutex.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, Vec<u8>>,
+    /// LRU order: front is the coldest key.
+    order: VecDeque<u64>,
+    dir: Option<PathBuf>,
+    hits: u64,
+    disk_hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries in memory,
+    /// persisting to `dir` when given (the directory is created).
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        if let Some(d) = &dir {
+            // Best-effort: a read-only filesystem degrades the cache
+            // to memory-only rather than failing the server.
+            let _ = std::fs::create_dir_all(d);
+        }
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            dir,
+            hits: 0,
+            disk_hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.rep")))
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(i) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(i);
+        }
+        self.order.push_back(key);
+    }
+
+    /// Look a key up, refreshing its LRU position. Falls back to the
+    /// persistence directory on a memory miss (re-admitting the bytes
+    /// to memory on success).
+    pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        if let Some(bytes) = self.map.get(&key).cloned() {
+            self.hits += 1;
+            self.touch(key);
+            return Some(bytes);
+        }
+        if let Some(path) = self.path_for(key) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                self.disk_hits += 1;
+                self.admit(key, bytes.clone());
+                return Some(bytes);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Insert (or overwrite) an entry, persisting it when a directory
+    /// is configured and evicting the coldest memory entry past
+    /// capacity.
+    pub fn insert(&mut self, key: u64, bytes: Vec<u8>) {
+        if let Some(path) = self.path_for(key) {
+            let _ = std::fs::write(&path, &bytes);
+        }
+        self.admit(key, bytes);
+    }
+
+    /// Memory-tier insert + LRU bookkeeping (no disk write).
+    fn admit(&mut self, key: u64, bytes: Vec<u8>) {
+        self.map.insert(key, bytes);
+        self.touch(key);
+        while self.map.len() > self.capacity {
+            if let Some(cold) = self.order.pop_front() {
+                self.map.remove(&cold);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            hits: self.hits,
+            disk_hits: self.disk_hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory under the system temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "xmt-server-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn lru_evicts_coldest_and_counts() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(1, vec![1]);
+        c.insert(2, vec![2]);
+        assert_eq!(c.get(1), Some(vec![1]), "touch key 1");
+        c.insert(3, vec![3]); // evicts 2 (coldest)
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(vec![1]));
+        assert_eq!(c.get(3), Some(vec![3]));
+        let s = c.stats();
+        assert_eq!((s.entries, s.evictions, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn persistence_survives_eviction_and_restart() {
+        let dir = scratch("persist");
+        let mut c = ResultCache::new(1, Some(dir.clone()));
+        c.insert(7, vec![7, 7]);
+        c.insert(8, vec![8, 8]); // evicts 7 from memory only
+        assert_eq!(c.get(7), Some(vec![7, 7]), "disk fallback after eviction");
+        assert_eq!(c.stats().disk_hits, 1);
+        drop(c);
+        // A fresh cache over the same directory still hits.
+        let mut c2 = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(c2.get(8), Some(vec![8, 8]));
+        assert_eq!(c2.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

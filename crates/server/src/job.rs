@@ -1,0 +1,78 @@
+//! Job-level data types: identity, lifecycle state, status snapshots
+//! and terminal results. The live handle ([`crate::JobHandle`]) lives
+//! with the server; these are the plain values it traffics in.
+
+use xmt_sim::RunOutcome;
+
+/// Server-assigned job identity (dense, submission-ordered).
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// In the run queue, never run.
+    Queued,
+    /// A worker is running a slice right now.
+    Running,
+    /// Preempted at a quiescent checkpoint; requeued for its next
+    /// slice.
+    Paused,
+    /// Completed; the result carries a full report.
+    Done,
+    /// The simulation stopped on a typed error; the result carries the
+    /// partial report.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+/// A point-in-time snapshot of a job, from [`crate::JobHandle::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Lifecycle state at the time of the poll.
+    pub state: JobState,
+    /// The simulated cycle the job has reached (last slice boundary).
+    pub at_cycle: u64,
+    /// Completed worker slices so far (0 for a cache hit).
+    pub slices: u32,
+    /// True when the result was served from the content cache.
+    pub from_cache: bool,
+}
+
+/// Why a job produced no simulation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was cancelled via [`crate::JobHandle::cancel`].
+    Cancelled,
+    /// The server shut down before the job finished.
+    Shutdown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::Shutdown => write!(f, "server shut down before the job finished"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A finished job, from [`crate::JobHandle::wait`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// How the run ended ([`xmt_sim::RunStatus::Completed`] or
+    /// [`xmt_sim::RunStatus::Failed`] with a partial report — a pause
+    /// never escapes the server).
+    pub outcome: RunOutcome,
+    /// The canonical encoded report ([`crate::wire::encode_report`]) —
+    /// exactly the bytes the result cache stores, so byte-equality
+    /// across cache hits is directly checkable.
+    pub bytes: Vec<u8>,
+    /// True when served from the content cache without running.
+    pub from_cache: bool,
+    /// Worker slices the job took (preemption count + 1, 0 on a cache
+    /// hit).
+    pub slices: u32,
+}

@@ -1,0 +1,52 @@
+//! Simulation-as-a-service: a batch job server over the XMT simulator.
+//!
+//! The simulator crates expose one-machine-at-a-time APIs: build a
+//! [`xmt_sim::Machine`], run it, read the report. Reproducing the
+//! paper's tables means running *batches* — the five golden
+//! configurations, fault sweeps, scaling curves — and long paper-scale
+//! runs monopolize whatever thread they run on. This crate turns those
+//! requests into *jobs*:
+//!
+//! - A [`SimRequest`] names a workload ([`WorkloadSpec`]) plus a
+//!   [`xmt_sim::SimConfig`] request value — the same value the bench
+//!   binaries lower onto builders, here used additionally as the
+//!   content-address of the result.
+//! - [`Server::submit`] queues the request and returns a [`JobHandle`]
+//!   to poll, wait on, stream probe rows from, or cancel.
+//! - A pool of host worker threads drains the queue. Long jobs are
+//!   **preempted at quiescent checkpoints** every `quantum` simulated
+//!   cycles: the worker serializes the machine to checkpoint bytes and
+//!   requeues the job at the back — round-robin fairness, so a
+//!   paper-scale FFT cannot starve the rest of a sweep. Machines never
+//!   cross threads; only checkpoint bytes do.
+//! - Completed unprobed runs are stored in a **content-addressed
+//!   result cache** (LRU in memory, optionally persisted to disk),
+//!   keyed by `(workload, program digest, SimConfig cache key)`.
+//!   Resubmitting a bit-identical request is served from cache with
+//!   byte-identical report bytes; changing only the advance engine
+//!   still hits (engines are bit-identical by contract).
+//! - Probed requests stream their [`xmt_sim::IntervalRow`]s to the
+//!   handle incrementally, slice by slice; preemption is invisible in
+//!   the stream (the probe resyncs across resume).
+//! - A worker killed mid-job ([`Server::kill_worker`]) loses only its
+//!   in-flight slice: the job resumes from its last checkpoint on the
+//!   surviving workers and still produces bit-identical results.
+//!   Failed simulations surface through the partial-report path of
+//!   [`xmt_sim::RunOutcome`] rather than poisoning the queue.
+//!
+//! See DESIGN.md §16 for the service architecture and the cache-key
+//! contract.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod request;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, ResultCache};
+pub use job::{JobError, JobId, JobResult, JobState, JobStatus};
+pub use request::{SimRequest, WorkloadSpec};
+pub use server::{JobHandle, Server, ServerConfig};
+pub use wire::{decode_report, encode_report};

@@ -1,0 +1,736 @@
+//! The job server: a sharded pool of host worker threads over a
+//! round-robin preemptive scheduler.
+//!
+//! Scheduling model: one global FIFO run queue of job ids under a
+//! mutex+condvar. A worker pops the head, rebuilds the job's machine —
+//! from scratch on its first slice, from its serialized checkpoint on
+//! later ones — and advances it by one *quantum* of simulated cycles
+//! ([`Machine::run_until`]). A job that outlives its quantum is
+//! checkpointed at the quiescent pause point, serialized back to
+//! bytes, and pushed to the *back* of the queue: round-robin fairness,
+//! so paper-scale runs interleave with short sweep rows instead of
+//! starving them. Machines never cross threads — only requests and
+//! checkpoint bytes live in shared state, which keeps every worker's
+//! machine fully thread-local (the threaded engine's `Box<dyn
+//! Network>` internals are never `Send`-required).
+//!
+//! Failure injection: [`Server::kill_worker`] marks one pending kill
+//! and spawns a replacement thread. The next worker to finish a slice
+//! consumes the kill *instead of committing*: its slice's results
+//! (checkpoint, streamed rows, even a terminal report) are discarded
+//! as if the thread had died mid-job, the job is requeued exactly as
+//! it was popped, and the thread exits. Because every slice starts
+//! from a deterministic checkpoint, the rerun is bit-identical — the
+//! contract the server smoke test pins.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::{JobError, JobId, JobResult, JobState, JobStatus};
+use crate::request::SimRequest;
+use crate::wire;
+use xmt_sim::{
+    Checkpoint, IntervalProbe, IntervalRow, Machine, MachineStats, Probe, RunOutcome, RunStatus,
+    SimError, UtilizationReport,
+};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Preemption quantum in *simulated* cycles: a job is checkpointed
+    /// and requeued after at most this many cycles per slice.
+    pub quantum: u64,
+    /// Result-cache capacity (entries resident in memory).
+    pub cache_entries: usize,
+    /// Persistence directory for the result cache (`None` =
+    /// memory-only).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            quantum: 100_000,
+            cache_entries: 64,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Everything the server knows about one job.
+struct JobEntry {
+    req: SimRequest,
+    digest: u64,
+    state: JobState,
+    at_cycle: u64,
+    slices: u32,
+    from_cache: bool,
+    /// Serialized checkpoint between slices (`None` before the first
+    /// slice and after a terminal state).
+    checkpoint: Option<Vec<u8>>,
+    /// The paused machine's probe, carried across slices so the
+    /// resumed sample stream is bit-identical to an uninterrupted
+    /// run's (see [`IntervalProbe::into_carried`]). `None` for
+    /// unprobed jobs and before the first probed slice.
+    probe: Option<IntervalProbe>,
+    /// Probe samples already streamed to the subscriber — the carried
+    /// probe's ring holds the whole history, so each commit sends only
+    /// the rows past this watermark.
+    rows_sent: u64,
+    cancelled: bool,
+    /// Live end of the probe-row stream; dropped at terminal states so
+    /// the receiver's iteration ends.
+    stream: Option<mpsc::Sender<IntervalRow>>,
+    result: Option<Result<JobResult, JobError>>,
+}
+
+/// Scheduler state under the mutex.
+struct State {
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+    next_id: JobId,
+    shutdown: bool,
+    /// Pending worker kills ([`Server::kill_worker`]); consumed at
+    /// slice commit.
+    kill_requests: usize,
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    cache: Mutex<ResultCache>,
+    quantum: u64,
+}
+
+/// What one worker slice produced (built outside the lock).
+struct SliceOut {
+    /// `Some` when the run ended (completed or failed) this slice.
+    terminal: Option<RunOutcome>,
+    /// Serialized checkpoint when the job was preempted instead.
+    cp_bytes: Option<Vec<u8>>,
+    at_cycle: u64,
+    /// Probe rows not yet streamed (the tail past the job's
+    /// `rows_sent` watermark).
+    rows: Vec<IntervalRow>,
+    /// The machine's probe, to carry into the next slice.
+    probe: Option<IntervalProbe>,
+    /// The new `rows_sent` watermark after `rows` are delivered.
+    rows_sent: u64,
+}
+
+/// The batch job server. Dropping it shuts the pool down: pending jobs
+/// resolve to [`JobError::Shutdown`] and all workers are joined.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A submitted job: poll, wait, stream, cancel. Handles outlive the
+/// server (they hold the shared state), but a job can only make
+/// progress while the server is alive.
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+    stream: Option<mpsc::Receiver<IntervalRow>>,
+}
+
+impl Server {
+    /// Start a server with the given pool shape.
+    pub fn start(cfg: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 0,
+                shutdown: false,
+                kill_requests: 0,
+            }),
+            cv: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(cfg.cache_entries, cfg.cache_dir)),
+            quantum: cfg.quantum.max(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Queue one request; returns immediately with its handle.
+    pub fn submit(&self, req: SimRequest) -> JobHandle {
+        let digest = req.digest();
+        let (tx, rx) = if req.sim.probe_interval.is_some() {
+            let (tx, rx) = mpsc::channel();
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let id = {
+            let mut st = self.shared.state.lock().unwrap();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.jobs.insert(
+                id,
+                JobEntry {
+                    req,
+                    digest,
+                    state: JobState::Queued,
+                    at_cycle: 0,
+                    slices: 0,
+                    from_cache: false,
+                    checkpoint: None,
+                    probe: None,
+                    rows_sent: 0,
+                    cancelled: false,
+                    stream: tx,
+                    result: None,
+                },
+            );
+            st.queue.push_back(id);
+            id
+        };
+        self.shared.cv.notify_all();
+        JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+            stream: rx,
+        }
+    }
+
+    /// Queue a batch (e.g. [`SimRequest::paper_batch`]) in submission
+    /// order.
+    pub fn submit_batch(&self, reqs: Vec<SimRequest>) -> Vec<JobHandle> {
+        reqs.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Kill one worker mid-job (failure-injection hook): the next
+    /// slice to finish anywhere in the pool is discarded as if its
+    /// thread died, the job rolls back to its last checkpoint, and the
+    /// thread exits. A replacement worker is spawned immediately so
+    /// the pool keeps its strength.
+    pub fn kill_worker(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.kill_requests += 1;
+        }
+        let sh = Arc::clone(&self.shared);
+        self.workers
+            .lock()
+            .unwrap()
+            .push(std::thread::spawn(move || worker_loop(&sh)));
+        self.shared.cv.notify_all();
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().unwrap().stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            st.queue.clear();
+            for e in st.jobs.values_mut() {
+                if e.result.is_none() {
+                    e.result = Some(Err(JobError::Shutdown));
+                    e.stream = None;
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl JobHandle {
+    /// The server-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// A snapshot of the job's current state.
+    pub fn poll(&self) -> JobStatus {
+        let st = self.shared.state.lock().unwrap();
+        let e = st.jobs.get(&self.id).expect("job entry exists");
+        JobStatus {
+            state: e.state,
+            at_cycle: e.at_cycle,
+            slices: e.slices,
+            from_cache: e.from_cache,
+        }
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(&self) -> Result<JobResult, JobError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(r) = &st.jobs.get(&self.id).expect("job entry exists").result {
+                return r.clone();
+            }
+            if st.shutdown {
+                return Err(JobError::Shutdown);
+            }
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Ask the server to cancel the job. Queued jobs cancel
+    /// immediately; a running slice is abandoned at its next commit
+    /// point. A job that already finished keeps its result.
+    pub fn cancel(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            let e = st.jobs.get_mut(&self.id).expect("job entry exists");
+            if e.result.is_some() {
+                return;
+            }
+            e.cancelled = true;
+            if e.state != JobState::Running {
+                e.state = JobState::Cancelled;
+                e.checkpoint = None;
+                e.probe = None;
+                e.stream = None;
+                e.result = Some(Err(JobError::Cancelled));
+                let id = self.id;
+                st.queue.retain(|&q| q != id);
+            }
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Take the probe-row stream (probed requests only; `None` for
+    /// unprobed requests or if already taken). Rows arrive slice by
+    /// slice as the job runs; the channel closes at the terminal
+    /// state.
+    pub fn take_stream(&mut self) -> Option<mpsc::Receiver<IntervalRow>> {
+        self.stream.take()
+    }
+}
+
+/// One popped unit of work: everything a worker needs to run a slice
+/// without holding the lock.
+struct Popped {
+    id: JobId,
+    req: SimRequest,
+    digest: u64,
+    cp_bytes: Option<Vec<u8>>,
+    probe: Option<IntervalProbe>,
+    rows_sent: u64,
+}
+
+/// Pop the next runnable job, blocking on the condvar. `None` = this
+/// worker should exit (shutdown).
+fn next_job(shared: &Shared) -> Option<Popped> {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.shutdown {
+            return None;
+        }
+        if let Some(id) = st.queue.pop_front() {
+            let e = st.jobs.get_mut(&id).expect("queued job entry exists");
+            if e.cancelled {
+                e.state = JobState::Cancelled;
+                e.checkpoint = None;
+                e.probe = None;
+                e.stream = None;
+                e.result = Some(Err(JobError::Cancelled));
+                shared.cv.notify_all();
+                continue;
+            }
+            e.state = JobState::Running;
+            // Clone (not take) the checkpoint and probe: if this slice
+            // is discarded by a worker kill, the entry still holds the
+            // job's last committed state.
+            return Some(Popped {
+                id,
+                req: e.req.clone(),
+                digest: e.digest,
+                cp_bytes: e.checkpoint.clone(),
+                probe: e.probe.clone(),
+                rows_sent: e.rows_sent,
+            });
+        }
+        st = shared.cv.wait(st).unwrap();
+    }
+}
+
+/// An empty report for failures that precede the first cycle
+/// (builder/resume rejections).
+fn empty_report() -> xmt_sim::RunReport {
+    xmt_sim::RunReport {
+        stats: MachineStats::default(),
+        spawns: Vec::new(),
+        utilization: UtilizationReport::default(),
+    }
+}
+
+/// How far one quantum got: either preempted with checkpoint bytes, or
+/// a terminal outcome. Shared by the probed and unprobed paths.
+struct Advanced {
+    terminal: Option<RunOutcome>,
+    cp_bytes: Option<Vec<u8>>,
+    at_cycle: u64,
+}
+
+/// Advance a machine by one quantum.
+fn advance<P: Probe>(m: &mut Machine<P>, target: u64) -> Result<Advanced, SimError> {
+    let outcome = m.run_until(target);
+    match outcome.status {
+        RunStatus::Paused { at_cycle } => Ok(Advanced {
+            terminal: None,
+            cp_bytes: Some(m.checkpoint()?.to_bytes()),
+            at_cycle,
+        }),
+        _ => Ok(Advanced {
+            at_cycle: outcome.at_cycle(),
+            cp_bytes: None,
+            terminal: Some(outcome),
+        }),
+    }
+}
+
+/// Build (or resume) the job's machine and run one quantum. Every
+/// error along the way — corrupt checkpoint, invalid config, run
+/// failure — funnels into the returned `Result`; run failures are
+/// *not* errors here (they arrive as terminal outcomes with partial
+/// reports).
+///
+/// Probed jobs carry their `IntervalProbe` across slices
+/// ([`IntervalProbe::into_carried`]): the probe's delta baseline stays
+/// at the last emitted boundary and the checkpoint restores every
+/// cumulative counter it refers to, so the sample stream — including
+/// the interval each pause splits — is bit-identical to an
+/// uninterrupted run's. `rows_sent` is the subscriber's watermark;
+/// only rows past it are returned for streaming.
+fn run_slice(
+    req: &SimRequest,
+    cp_bytes: Option<&[u8]>,
+    carried: Option<IntervalProbe>,
+    rows_sent: u64,
+    quantum: u64,
+) -> Result<SliceOut, SimError> {
+    let cp = cp_bytes.map(Checkpoint::from_bytes).transpose()?;
+    let target = cp
+        .as_ref()
+        .map_or(0, Checkpoint::cycle)
+        .saturating_add(quantum);
+    let builder = req.builder();
+    if let Some(fresh) = req.sim.interval_probe() {
+        let probe = carried.map_or(fresh, IntervalProbe::into_carried);
+        let mut m = match &cp {
+            Some(c) => builder.resume_probed(c, probe)?,
+            None => builder.try_build_probed(probe)?,
+        };
+        let a = advance(&mut m, target)?;
+        let probe = m.into_probe();
+        let all = probe.rows();
+        // The ring holds the newest `all.len()` of `samples()` rows;
+        // skip the ones the subscriber already has (rows lost to ring
+        // overwrite are simply gone — same contract as `rows()`).
+        let first = probe.samples() - all.len() as u64;
+        let skip = rows_sent.saturating_sub(first) as usize;
+        Ok(SliceOut {
+            terminal: a.terminal,
+            cp_bytes: a.cp_bytes,
+            at_cycle: a.at_cycle,
+            rows: all.into_iter().skip(skip).collect(),
+            rows_sent: probe.samples(),
+            probe: Some(probe),
+        })
+    } else {
+        let mut m = match &cp {
+            Some(c) => builder.resume(c)?,
+            None => builder.try_build()?,
+        };
+        let a = advance(&mut m, target)?;
+        Ok(SliceOut {
+            terminal: a.terminal,
+            cp_bytes: a.cp_bytes,
+            at_cycle: a.at_cycle,
+            rows: Vec::new(),
+            probe: None,
+            rows_sent: 0,
+        })
+    }
+}
+
+/// One worker thread: pop, slice, commit, repeat.
+fn worker_loop(shared: &Shared) {
+    while let Some(Popped {
+        id,
+        req,
+        digest,
+        cp_bytes,
+        probe,
+        rows_sent,
+    }) = next_job(shared)
+    {
+        // First slice of an unprobed run: try the content cache before
+        // building anything. (Probed runs bypass the cache — their
+        // value is the stream.)
+        if cp_bytes.is_none() && req.sim.probe_interval.is_none() {
+            let cached = shared.cache.lock().unwrap().get(digest);
+            if let Some(bytes) = cached {
+                if let Ok(report) = wire::decode_report(&bytes) {
+                    let mut st = shared.state.lock().unwrap();
+                    let e = st.jobs.get_mut(&id).expect("running job entry exists");
+                    e.state = JobState::Done;
+                    e.from_cache = true;
+                    e.at_cycle = report.stats.cycles;
+                    e.result = Some(Ok(JobResult {
+                        outcome: RunOutcome {
+                            status: RunStatus::Completed,
+                            report,
+                        },
+                        bytes,
+                        from_cache: true,
+                        slices: 0,
+                    }));
+                    drop(st);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                // A corrupt cached blob falls through and recomputes.
+            }
+        }
+
+        let slice = run_slice(&req, cp_bytes.as_deref(), probe, rows_sent, shared.quantum);
+
+        let mut st = shared.state.lock().unwrap();
+        // A pending kill consumes this slice instead of committing it:
+        // roll the job back to its pre-slice state and die.
+        if st.kill_requests > 0 {
+            st.kill_requests -= 1;
+            let e = st.jobs.get_mut(&id).expect("running job entry exists");
+            if e.result.is_none() {
+                e.state = if e.checkpoint.is_some() {
+                    JobState::Paused
+                } else {
+                    JobState::Queued
+                };
+                st.queue.push_front(id);
+            }
+            drop(st);
+            shared.cv.notify_all();
+            return;
+        }
+        let e = st.jobs.get_mut(&id).expect("running job entry exists");
+        if e.cancelled {
+            e.state = JobState::Cancelled;
+            e.checkpoint = None;
+            e.probe = None;
+            e.stream = None;
+            e.result = Some(Err(JobError::Cancelled));
+            drop(st);
+            shared.cv.notify_all();
+            continue;
+        }
+        e.slices += 1;
+        match slice {
+            Err(err) => {
+                // Construction/resume-level failure: terminal, with an
+                // empty partial report.
+                let outcome = RunOutcome {
+                    status: RunStatus::Failed(err),
+                    report: empty_report(),
+                };
+                let bytes = wire::encode_report(&outcome.report);
+                e.state = JobState::Failed;
+                e.checkpoint = None;
+                e.probe = None;
+                e.stream = None;
+                e.result = Some(Ok(JobResult {
+                    outcome,
+                    bytes,
+                    from_cache: false,
+                    slices: e.slices,
+                }));
+            }
+            Ok(s) => {
+                e.at_cycle = s.at_cycle;
+                e.rows_sent = s.rows_sent;
+                if let Some(tx) = &e.stream {
+                    for row in s.rows {
+                        // A dropped receiver is fine — rows are
+                        // best-effort observability, not results.
+                        let _ = tx.send(row);
+                    }
+                }
+                match s.terminal {
+                    None => {
+                        // Preempted: commit the checkpoint and the
+                        // carried probe, go to the back of the line.
+                        e.checkpoint = s.cp_bytes;
+                        e.probe = s.probe;
+                        e.state = JobState::Paused;
+                        st.queue.push_back(id);
+                    }
+                    Some(outcome) => {
+                        let bytes = wire::encode_report(&outcome.report);
+                        let completed = outcome.is_completed();
+                        e.state = if completed {
+                            JobState::Done
+                        } else {
+                            JobState::Failed
+                        };
+                        e.checkpoint = None;
+                        e.probe = None;
+                        e.stream = None;
+                        e.result = Some(Ok(JobResult {
+                            outcome,
+                            bytes: bytes.clone(),
+                            from_cache: false,
+                            slices: e.slices,
+                        }));
+                        drop(st);
+                        if completed && req.sim.probe_interval.is_none() {
+                            shared.cache.lock().unwrap().insert(digest, bytes);
+                        }
+                        shared.cv.notify_all();
+                        continue;
+                    }
+                }
+            }
+        }
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SimRequest;
+
+    fn tiny_server(workers: usize, quantum: u64) -> Server {
+        Server::start(ServerConfig {
+            workers,
+            quantum,
+            cache_entries: 8,
+            cache_dir: None,
+        })
+    }
+
+    #[test]
+    fn single_job_completes_with_report() {
+        let srv = tiny_server(1, 1_000_000);
+        let h = srv.submit(SimRequest::golden("ps_tickets").unwrap());
+        let r = h.wait().unwrap();
+        assert!(r.outcome.is_completed());
+        assert!(r.outcome.report.stats.cycles > 0);
+        assert!(!r.from_cache);
+        assert_eq!(r.slices, 1, "fits in one quantum");
+        let status = h.poll();
+        assert_eq!(status.state, JobState::Done);
+    }
+
+    #[test]
+    fn preempted_job_matches_uninterrupted_run() {
+        let whole = tiny_server(1, u64::MAX)
+            .submit(SimRequest::golden("fft_radix8_n512").unwrap())
+            .wait()
+            .unwrap();
+        let srv = tiny_server(2, 1_000);
+        let h = srv.submit(SimRequest::golden("fft_radix8_n512").unwrap());
+        let sliced = h.wait().unwrap();
+        assert!(
+            sliced.slices > 1,
+            "quantum 1000 must preempt a 10k-cycle run"
+        );
+        assert_eq!(sliced.bytes, whole.bytes, "byte-identical report");
+    }
+
+    #[test]
+    fn second_submit_hits_the_cache_byte_equal() {
+        let srv = tiny_server(1, u64::MAX);
+        let first = srv
+            .submit(SimRequest::golden("ps_tickets").unwrap())
+            .wait()
+            .unwrap();
+        let second = srv
+            .submit(SimRequest::golden("ps_tickets").unwrap())
+            .wait()
+            .unwrap();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(second.slices, 0);
+        assert_eq!(first.bytes, second.bytes);
+        let cs = srv.cache_stats();
+        assert!(cs.hits >= 1, "cache counters: {cs:?}");
+    }
+
+    #[test]
+    fn failed_job_surfaces_partial_report() {
+        // A stuck TCU + watchdog: the run fails with Stalled but the
+        // partial report still carries the cycles burned.
+        let req = SimRequest::golden("fft_radix8_n512")
+            .unwrap()
+            .with_sim(|s| {
+                s.faults(xmt_sim::FaultPlan::new(7).stuck_tcu(1, 3))
+                    .watchdog(5_000)
+            });
+        let srv = tiny_server(1, u64::MAX);
+        let r = srv.submit(req).wait().unwrap();
+        match &r.outcome.status {
+            RunStatus::Failed(SimError::Stalled { at_cycle, .. }) => {
+                assert!(*at_cycle > 0);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert!(r.outcome.report.stats.cycles > 0, "partial report present");
+        // Failures are not cached: resubmit computes again.
+        let again = srv
+            .submit(
+                SimRequest::golden("fft_radix8_n512")
+                    .unwrap()
+                    .with_sim(|s| {
+                        s.faults(xmt_sim::FaultPlan::new(7).stuck_tcu(1, 3))
+                            .watchdog(5_000)
+                    }),
+            )
+            .wait()
+            .unwrap();
+        assert!(!again.from_cache);
+        assert_eq!(again.bytes, r.bytes, "failure replays deterministically");
+    }
+
+    #[test]
+    fn cancel_queued_job() {
+        // Single worker busy with a long job; the queued one cancels
+        // without ever running.
+        let srv = tiny_server(1, 500);
+        let long = srv.submit(SimRequest::golden("fft_radix8_n512").unwrap());
+        let victim = srv.submit(SimRequest::golden("spawn_storm").unwrap());
+        victim.cancel();
+        assert_eq!(victim.wait().unwrap_err(), JobError::Cancelled);
+        assert!(long.wait().unwrap().outcome.is_completed());
+    }
+
+    #[test]
+    fn shutdown_resolves_pending_jobs() {
+        let srv = tiny_server(1, 100);
+        let h = srv.submit(SimRequest::golden("fft_radix8_n512").unwrap());
+        drop(srv);
+        // Either it finished before the drop, or it reports Shutdown.
+        match h.wait() {
+            Ok(r) => assert!(r.outcome.is_completed()),
+            Err(e) => assert_eq!(e, JobError::Shutdown),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Binary serialization of [`RunReport`] — the result cache's value
+//! format.
+//!
+//! Same idiom as the simulator's checkpoint codec: versioned magic,
+//! little-endian fixed-width fields, length-prefixed arrays, floats
+//! bit-exact via `to_bits`. Encoding is canonical — equal reports
+//! encode to equal bytes — which is what makes "a cache hit returns a
+//! byte-identical report" a checkable contract rather than a hope.
+
+use xmt_sim::{MachineStats, RunReport, SpawnStats, UtilizationReport};
+
+/// Format magic: "XMTREP" plus a format version byte.
+const MAGIC: u64 = 0x584D_5452_4550_0001;
+
+/// Serialize a report to the versioned little-endian byte format.
+pub fn encode_report(r: &RunReport) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256 + r.spawns.len() * 13 * 8);
+    put_u64(&mut b, MAGIC);
+    put_machine_stats(&mut b, &r.stats);
+    put_u32(&mut b, r.spawns.len() as u32);
+    for s in &r.spawns {
+        put_spawn_stats(&mut b, s);
+    }
+    put_u64s(&mut b, &r.utilization.cluster_instr);
+    put_u64s(&mut b, &r.utilization.module_accesses);
+    put_f64s(&mut b, &r.utilization.module_hit_rate);
+    put_f64s(&mut b, &r.utilization.channel_busy);
+    put_u64(&mut b, r.utilization.fpu_utilization.to_bits());
+    b
+}
+
+/// Parse the byte format; rejects truncated, corrupt or
+/// differently-versioned blobs (e.g. a stale persisted cache file).
+pub fn decode_report(bytes: &[u8]) -> Result<RunReport, &'static str> {
+    let mut r = Reader { b: bytes, pos: 0 };
+    if r.u64()? != MAGIC {
+        return Err("report magic/version mismatch");
+    }
+    let stats = r.machine_stats()?;
+    let n = r.len()?;
+    let mut spawns = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        spawns.push(r.spawn_stats()?);
+    }
+    let utilization = UtilizationReport {
+        cluster_instr: r.u64s()?,
+        module_accesses: r.u64s()?,
+        module_hit_rate: r.f64s()?,
+        channel_busy: r.f64s()?,
+        fpu_utilization: f64::from_bits(r.u64()?),
+    };
+    if r.pos != bytes.len() {
+        return Err("trailing bytes after report payload");
+    }
+    Ok(RunReport {
+        stats,
+        spawns,
+        utilization,
+    })
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64s(b: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(b, vs.len() as u32);
+    for &v in vs {
+        put_u64(b, v);
+    }
+}
+
+fn put_f64s(b: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(b, vs.len() as u32);
+    for &v in vs {
+        put_u64(b, v.to_bits());
+    }
+}
+
+fn put_machine_stats(b: &mut Vec<u8>, s: &MachineStats) {
+    for v in [
+        s.cycles,
+        s.instructions,
+        s.flops,
+        s.mem_reads,
+        s.mem_writes,
+        s.threads,
+        s.spawns,
+        s.stall_scoreboard,
+        s.stall_fpu,
+        s.stall_mdu,
+        s.stall_lsu,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn put_spawn_stats(b: &mut Vec<u8>, s: &SpawnStats) {
+    for v in [
+        s.index as u64,
+        s.threads,
+        s.start_cycle,
+        s.cycles,
+        s.instructions,
+        s.flops,
+        s.mem_reads,
+        s.mem_writes,
+        s.dram_bytes,
+        s.stall_scoreboard,
+        s.stall_fpu,
+        s.stall_mdu,
+        s.stall_lsu,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        let end = self.pos + 4;
+        if end > self.b.len() {
+            return Err("report truncated");
+        }
+        let v = u32::from_le_bytes(self.b[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, &'static str> {
+        let end = self.pos + 8;
+        if end > self.b.len() {
+            return Err("report truncated");
+        }
+        let v = u64::from_le_bytes(self.b[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// A length prefix, bounded by the remaining payload so a corrupt
+    /// count cannot drive a huge allocation.
+    fn len(&mut self) -> Result<usize, &'static str> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() - self.pos {
+            return Err("report length prefix exceeds payload");
+        }
+        Ok(n)
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, &'static str> {
+        let n = self.len()?;
+        if n * 8 > self.b.len() - self.pos {
+            return Err("report truncated inside u64 array");
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, &'static str> {
+        Ok(self.u64s()?.into_iter().map(f64::from_bits).collect())
+    }
+
+    fn machine_stats(&mut self) -> Result<MachineStats, &'static str> {
+        Ok(MachineStats {
+            cycles: self.u64()?,
+            instructions: self.u64()?,
+            flops: self.u64()?,
+            mem_reads: self.u64()?,
+            mem_writes: self.u64()?,
+            threads: self.u64()?,
+            spawns: self.u64()?,
+            stall_scoreboard: self.u64()?,
+            stall_fpu: self.u64()?,
+            stall_mdu: self.u64()?,
+            stall_lsu: self.u64()?,
+        })
+    }
+
+    fn spawn_stats(&mut self) -> Result<SpawnStats, &'static str> {
+        Ok(SpawnStats {
+            index: self.u64()? as usize,
+            threads: self.u64()?,
+            start_cycle: self.u64()?,
+            cycles: self.u64()?,
+            instructions: self.u64()?,
+            flops: self.u64()?,
+            mem_reads: self.u64()?,
+            mem_writes: self.u64()?,
+            dram_bytes: self.u64()?,
+            stall_scoreboard: self.u64()?,
+            stall_fpu: self.u64()?,
+            stall_mdu: self.u64()?,
+            stall_lsu: self.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            stats: MachineStats {
+                cycles: 12_345,
+                instructions: 999,
+                flops: 420,
+                threads: 64,
+                ..Default::default()
+            },
+            spawns: vec![
+                SpawnStats {
+                    index: 0,
+                    threads: 64,
+                    start_cycle: 10,
+                    cycles: 400,
+                    dram_bytes: 4096,
+                    ..Default::default()
+                },
+                SpawnStats {
+                    index: 1,
+                    threads: 32,
+                    start_cycle: 500,
+                    ..Default::default()
+                },
+            ],
+            utilization: UtilizationReport {
+                cluster_instr: vec![10, 20, 30, 40],
+                module_accesses: vec![5, 5, 6, 4],
+                module_hit_rate: vec![0.5, 1.0, 0.875, 0.0],
+                channel_busy: vec![0.25],
+                fpu_utilization: 0.125,
+            },
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let rep = sample();
+        let bytes = encode_report(&rep);
+        let back = decode_report(&bytes).unwrap();
+        assert_eq!(back.stats, rep.stats);
+        assert_eq!(back.spawns, rep.spawns);
+        assert_eq!(back.utilization, rep.utilization);
+        assert_eq!(
+            encode_report(&back),
+            bytes,
+            "re-encoding is byte-identical (canonical form)"
+        );
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_rejected() {
+        let bytes = encode_report(&sample());
+        for cut in [0, 4, 8, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_report(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_report(&bad).is_err());
+        let mut long = bytes;
+        long.push(0);
+        assert!(decode_report(&long).is_err());
+    }
+}

@@ -37,6 +37,7 @@ pub mod machine;
 pub mod perfmodel;
 pub mod physical;
 pub mod probe;
+pub mod simcfg;
 pub mod tier;
 pub mod trace;
 mod txn_slab;
@@ -46,7 +47,7 @@ pub use config::XmtConfig;
 pub use energy::{gflops_per_watt, phase_energy, EnergyBreakdown, EnergyModel};
 pub use fault::{FaultPlan, TcuId};
 pub use machine::{
-    Engine, FailedRun, Machine, MachineBuilder, MachineStats, RunReport, RunStatus, SimError,
+    Engine, Machine, MachineBuilder, MachineStats, RunOutcome, RunReport, RunStatus, SimError,
     SpawnStats, UtilizationReport,
 };
 pub use perfmodel::{phase_time, run_phases, Bottleneck, PhaseDemand, PhaseTime};
@@ -54,5 +55,6 @@ pub use physical::{summarize, PhysicalSummary};
 pub use probe::{
     BlockedTcus, Conflict, IntervalProbe, IntervalRow, NoProbe, Probe, RaceCheck, SampleCtx,
 };
+pub use simcfg::{program_digest, SimConfig};
 pub use tier::{TraceCache, TraceStats, TranslationTier};
 pub use trace::{chrome_trace, phase_table};

@@ -189,43 +189,108 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// A failed [`Machine::run`]: the typed error plus everything the
-/// machine can still report about the partial execution — the counters,
-/// spawn log and utilization accumulated up to the failure, so a swept
-/// or faulted run that times out still yields its data.
-#[derive(Debug, Clone)]
-pub struct FailedRun {
-    /// Why the run stopped.
-    pub error: SimError,
-    /// The report as of the failure cycle (boxed: the error path
-    /// should not inflate the `Result` on the hot return).
-    pub partial: Box<RunReport>,
-}
-
-impl std::fmt::Display for FailedRun {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.error)
-    }
-}
-
-impl std::error::Error for FailedRun {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.error)
-    }
-}
-
-/// Outcome of [`Machine::run_until`].
-#[derive(Debug, Clone)]
+/// Typed status of a [`RunOutcome`]: how the run ended.
+///
+/// Replaces the old `Result<RunReport, FailedRun>` pair (and the
+/// `Done`/`Paused` enum `run_until` used to return) with one surface:
+/// every way a run can stop is a variant here, and the partial report
+/// travels alongside in the [`RunOutcome`] rather than inside an error
+/// type.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunStatus {
-    /// The program halted before the pause point; the run is complete
-    /// (boxed: the enum otherwise dwarfs its `Paused` variant).
-    Done(Box<RunReport>),
-    /// The machine paused at the first quiescent cycle at or after the
-    /// requested pause point; [`Machine::checkpoint`] can snapshot it.
+    /// The program reached `halt`; the report is complete.
+    Completed,
+    /// [`Machine::run_until`] paused at the first quiescent cycle at or
+    /// after the requested pause point; [`Machine::checkpoint`] can
+    /// snapshot the machine, or the run can simply continue.
     Paused {
         /// Cycle the machine paused on.
         at_cycle: u64,
     },
+    /// The run stopped on a typed error ([`SimError::cycle`] gives the
+    /// failure cycle); the report is partial, as of that cycle.
+    Failed(SimError),
+}
+
+/// Everything [`Machine::run`] / [`Machine::run_until`] reports: a
+/// typed [`RunStatus`] plus the [`RunReport`] — complete on success,
+/// partial at a pause or failure — so a swept or faulted run that
+/// times out still yields its counters, spawn log and utilization.
+///
+/// Subsumes the old `RunReport`-on-`Ok` / `FailedRun`-on-`Err` pair:
+/// one value, with combinators for the common call shapes
+/// ([`RunOutcome::expect`], [`RunOutcome::unwrap`],
+/// [`RunOutcome::into_result`]).
+#[derive(Debug, Clone)]
+#[must_use = "a RunOutcome may carry a failure; check its status"]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// The run's report — complete when `status` is
+    /// [`RunStatus::Completed`], otherwise partial as of the pause or
+    /// failure cycle.
+    pub report: RunReport,
+}
+
+impl RunOutcome {
+    /// True when the program ran to `halt`.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.status, RunStatus::Completed)
+    }
+
+    /// True when the run paused at a quiescent cycle (only
+    /// [`Machine::run_until`] produces this).
+    pub fn is_paused(&self) -> bool {
+        matches!(self.status, RunStatus::Paused { .. })
+    }
+
+    /// The typed error, when the run failed.
+    pub fn error(&self) -> Option<&SimError> {
+        match &self.status {
+            RunStatus::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The cycle the outcome was decided on: the failure cycle, the
+    /// pause cycle, or the final cycle of a completed run.
+    pub fn at_cycle(&self) -> u64 {
+        match &self.status {
+            RunStatus::Completed => self.report.stats.cycles,
+            RunStatus::Paused { at_cycle } => *at_cycle,
+            RunStatus::Failed(e) => e.cycle(),
+        }
+    }
+
+    /// The completed report, or a panic naming `what` and the error —
+    /// the moral equivalent of `Result::expect` for call sites that
+    /// treat anything but completion as a bug.
+    #[track_caller]
+    pub fn expect(self, what: &str) -> RunReport {
+        match self.status {
+            RunStatus::Completed => self.report,
+            RunStatus::Paused { at_cycle } => {
+                panic!("{what}: run paused at cycle {at_cycle}")
+            }
+            RunStatus::Failed(e) => panic!("{what}: {e}"),
+        }
+    }
+
+    /// The completed report, or a panic carrying the error.
+    #[track_caller]
+    pub fn unwrap(self) -> RunReport {
+        self.expect("run did not complete")
+    }
+
+    /// Split back into the old `Result` shape for `?`-style callers:
+    /// a failure becomes `Err` with its typed error, anything else
+    /// (completed *or* paused) yields the report.
+    pub fn into_result(self) -> Result<RunReport, SimError> {
+        match self.status {
+            RunStatus::Failed(e) => Err(e),
+            _ => Ok(self.report),
+        }
+    }
 }
 
 /// What a memory transaction will do when its reply arrives.
@@ -1367,7 +1432,29 @@ impl MachineBuilder {
     /// run finishes with the same final cycle count and spawn digest as
     /// the uninterrupted one under every engine.
     pub fn resume(self, cp: &Checkpoint) -> Result<Machine, SimError> {
-        let mut m = self.try_build()?;
+        self.resume_probed(cp, NoProbe)
+    }
+
+    /// [`MachineBuilder::resume`] with `probe` attached. The probe's
+    /// sampling clock is aligned to the *next* interval boundary after
+    /// the checkpoint cycle (no catch-up samples for the skipped
+    /// prefix), and [`Probe::resync`] is called once with the restored
+    /// cumulative state so interval deltas continue from the
+    /// checkpoint — a *fresh* [`crate::IntervalProbe`] resumes as the
+    /// tail of the uninterrupted run's stream, with the interval the
+    /// checkpoint split accounting only its post-checkpoint fraction.
+    /// Re-attaching the paused machine's own probe
+    /// ([`Machine::into_probe`] +
+    /// [`IntervalProbe::into_carried`](crate::IntervalProbe::into_carried))
+    /// strengthens that to full bit-identity: the split interval's row
+    /// comes out exactly as the uninterrupted run would have emitted
+    /// it.
+    pub fn resume_probed<P: Probe>(
+        self,
+        cp: &Checkpoint,
+        probe: P,
+    ) -> Result<Machine<P>, SimError> {
+        let mut m = self.try_build_probed(probe)?;
         let geometry_ok = cp.clusters as usize == m.cfg.clusters
             && cp.tcus_per_cluster as usize == m.cfg.tcus_per_cluster
             && cp.memory_modules as usize == m.cfg.memory_modules
@@ -1419,6 +1506,15 @@ impl MachineBuilder {
         }
         m.req_net.restore_stats(cp.req_stats);
         m.reply_net.restore_stats(cp.reply_stats);
+        if P::ENABLED {
+            // Jump the sampling clock past the restored prefix (else
+            // `poll_probe` would emit a catch-up sample for every
+            // boundary below `cp.cycle`) and re-prime the probe's
+            // delta baseline from the restored cumulative counters.
+            let iv = m.probe.interval().max(1);
+            m.next_sample = (cp.cycle / iv).saturating_add(1).saturating_mul(iv);
+            m.emit_sample_with(cp.cycle, true);
+        }
         Ok(m)
     }
 }
@@ -1458,6 +1554,14 @@ impl<P: Probe> Machine<P> {
     /// after a run).
     pub fn probe(&self) -> &P {
         &self.probe
+    }
+
+    /// Consume the machine and hand back its probe — used when a
+    /// paused machine is torn down but its probe should continue on
+    /// the checkpoint-restored successor (see
+    /// [`IntervalProbe::into_carried`](crate::IntervalProbe::into_carried)).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// The configuration used.
@@ -1523,16 +1627,22 @@ impl<P: Probe> Machine<P> {
         self.channels.iter().map(|c| c.stats.bytes).sum()
     }
 
-    /// Run to `halt` with the selected [`Engine`]. Returns the full
-    /// [`RunReport`]; the spawn log is moved out (use
-    /// [`Machine::spawn_log`] for any later inspection). On failure the
-    /// [`FailedRun`] carries both the typed [`SimError`] and the
-    /// partial report accumulated up to the failure cycle.
-    pub fn run(&mut self) -> Result<RunReport, FailedRun> {
-        self.run_inner().map_err(|error| FailedRun {
-            partial: Box::new(self.report()),
-            error,
-        })
+    /// Run to `halt` with the selected [`Engine`]. The [`RunOutcome`]
+    /// always carries a [`RunReport`]: complete on
+    /// [`RunStatus::Completed`] (the spawn log is moved into it — use
+    /// [`Machine::spawn_log`] for any later inspection), partial up to
+    /// the failure cycle on [`RunStatus::Failed`].
+    pub fn run(&mut self) -> RunOutcome {
+        match self.run_inner() {
+            Ok(report) => RunOutcome {
+                status: RunStatus::Completed,
+                report,
+            },
+            Err(error) => RunOutcome {
+                status: RunStatus::Failed(error),
+                report: self.report(),
+            },
+        }
     }
 
     fn run_inner(&mut self) -> Result<RunReport, SimError> {
@@ -1637,24 +1747,37 @@ impl<P: Probe> Machine<P> {
     /// advances with the fast-forward engine; the pause point is
     /// normalized so the checkpoint bytes are engine-invariant and the
     /// final results match an uninterrupted run bit-for-bit.
-    pub fn run_until(&mut self, pause_at: u64) -> Result<RunStatus, FailedRun> {
-        self.run_until_inner(pause_at).map_err(|error| FailedRun {
-            partial: Box::new(self.report()),
-            error,
-        })
+    ///
+    /// On [`RunStatus::Paused`] the report is a *snapshot* (the spawn
+    /// log is cloned, not moved) so the machine can be checkpointed or
+    /// run onward without losing history.
+    pub fn run_until(&mut self, pause_at: u64) -> RunOutcome {
+        match self.run_until_inner(pause_at) {
+            Ok(Some(at_cycle)) => RunOutcome {
+                status: RunStatus::Paused { at_cycle },
+                report: self.report_snapshot(),
+            },
+            Ok(None) => RunOutcome {
+                status: RunStatus::Completed,
+                report: self.report(),
+            },
+            Err(error) => RunOutcome {
+                status: RunStatus::Failed(error),
+                report: self.report(),
+            },
+        }
     }
 
-    fn run_until_inner(&mut self, pause_at: u64) -> Result<RunStatus, SimError> {
+    /// `Some(pause_cycle)` on a quiescent pause, `None` on completion.
+    fn run_until_inner(&mut self, pause_at: u64) -> Result<Option<u64>, SimError> {
         while !matches!(self.mode, Mode::Finished) {
             if self.cycle >= pause_at && self.quiescent() {
                 self.normalize_pause();
-                return Ok(RunStatus::Paused {
-                    at_cycle: self.cycle,
-                });
+                return Ok(Some(self.cycle));
             }
             self.ff_advance()?;
         }
-        Ok(RunStatus::Done(Box::new(self.report())))
+        Ok(None)
     }
 
     /// True when nothing is in flight anywhere: serial mode, no
@@ -1928,6 +2051,18 @@ impl<P: Probe> Machine<P> {
         }
     }
 
+    /// A cloning report of the machine *as of now*, without flushing
+    /// the probe or consuming the spawn log — the pause-path report:
+    /// the machine keeps its history and can run onward or be
+    /// checkpointed.
+    fn report_snapshot(&self) -> RunReport {
+        RunReport {
+            stats: self.stats,
+            spawns: self.spawn_log.clone(),
+            utilization: self.utilization(),
+        }
+    }
+
     /// Emit samples for every boundary the clock has reached. Behind
     /// `P::ENABLED` so the `NoProbe` hot path compiles this away; the
     /// `while` handles the serial spawn broadcast jumping the clock
@@ -1948,6 +2083,13 @@ impl<P: Probe> Machine<P> {
     /// Build a [`SampleCtx`] from the live component state and hand it
     /// to the probe. Split borrows keep this allocation-free.
     fn emit_sample(&mut self, boundary: u64) {
+        self.emit_sample_with(boundary, false);
+    }
+
+    /// [`Machine::emit_sample`], or (with `resync`) the same context
+    /// handed to [`Probe::resync`] instead — used once after a
+    /// checkpoint restore to re-prime the probe's delta baseline.
+    fn emit_sample_with(&mut self, boundary: u64, resync: bool) {
         let Machine {
             probe,
             stats,
@@ -1984,8 +2126,12 @@ impl<P: Probe> Machine<P> {
             channels,
             modules,
         };
-        probe.record(&ctx);
-        *last_sample = *cycle;
+        if resync {
+            probe.resync(&ctx);
+        } else {
+            probe.record(&ctx);
+            *last_sample = *cycle;
+        }
     }
 
     /// Advance the machine one cycle.
@@ -3415,11 +3561,8 @@ mod tests {
             .build();
         m.max_cycles = 10_000;
         assert!(matches!(
-            m.run(),
-            Err(FailedRun {
-                error: SimError::CycleLimit { .. },
-                ..
-            })
+            m.run().status,
+            RunStatus::Failed(SimError::CycleLimit { .. })
         ));
     }
 
@@ -3440,11 +3583,8 @@ mod tests {
             .mem_words(16)
             .build();
         assert!(matches!(
-            m.run(),
-            Err(FailedRun {
-                error: SimError::BadInstruction { .. },
-                ..
-            })
+            m.run().status,
+            RunStatus::Failed(SimError::BadInstruction { .. })
         ));
     }
 
@@ -3456,11 +3596,8 @@ mod tests {
             .mem_words(16)
             .build();
         assert!(matches!(
-            m.run(),
-            Err(FailedRun {
-                error: SimError::MemOutOfBounds { .. },
-                ..
-            })
+            m.run().status,
+            RunStatus::Failed(SimError::MemOutOfBounds { .. })
         ));
     }
 
@@ -3525,11 +3662,8 @@ mod tests {
             .mem_words(16)
             .build();
         assert!(matches!(
-            m.run(),
-            Err(FailedRun {
-                error: SimError::BadInstruction { .. },
-                ..
-            })
+            m.run().status,
+            RunStatus::Failed(SimError::BadInstruction { .. })
         ));
     }
 
@@ -3628,15 +3762,13 @@ mod tests {
                 .watchdog(5_000)
                 .build();
             m.engine = engine;
-            match m.run() {
-                Err(FailedRun {
-                    error: SimError::Stalled { at_cycle, .. },
-                    partial,
-                }) => {
+            let outcome = m.run();
+            match outcome.status {
+                RunStatus::Failed(SimError::Stalled { at_cycle, .. }) => {
                     stall_cycles.push(at_cycle);
                     // Everyone but the stuck TCU's thread retired work.
-                    assert!(partial.stats.instructions > 0);
-                    assert_eq!(partial.stats.threads, 64);
+                    assert!(outcome.report.stats.instructions > 0);
+                    assert_eq!(outcome.report.stats.threads, 64);
                 }
                 other => panic!("expected Stalled, got {other:?}"),
             }
@@ -3761,10 +3893,10 @@ mod tests {
         let mut first = MachineBuilder::new(&tiny_config(), prog.clone())
             .mem_words(256)
             .build();
-        let status = first.run_until(40).unwrap();
-        let at = match status {
+        let paused = first.run_until(40);
+        let at = match paused.status {
             RunStatus::Paused { at_cycle } => at_cycle,
-            RunStatus::Done(_) => panic!("run finished before the pause point"),
+            other => panic!("expected a pause, got {other:?}"),
         };
         let cp = first.checkpoint().unwrap();
         assert_eq!(cp.cycle(), at);
@@ -3801,8 +3933,8 @@ mod tests {
         let mut m2 = MachineBuilder::new(&tiny_config(), prog.clone())
             .mem_words(256)
             .build();
-        let st = m2.run_until(10).unwrap();
-        assert!(matches!(st, RunStatus::Paused { .. }));
+        let st = m2.run_until(10);
+        assert!(matches!(st.status, RunStatus::Paused { .. }));
         let cp = m2.checkpoint().unwrap();
         let r = MachineBuilder::new(&XmtConfig::xmt_4k().scaled_to(8), prog)
             .mem_words(256)
@@ -3811,7 +3943,7 @@ mod tests {
     }
 
     /// `run_until` with a pause point past the program's end completes
-    /// the run and reports `Done` with the same results as `run`.
+    /// the run and reports `Completed` with the same results as `run`.
     #[test]
     fn run_until_past_end_is_done() {
         let prog = spawn_store_tids(16);
@@ -3822,9 +3954,12 @@ mod tests {
         let mut b = MachineBuilder::new(&tiny_config(), prog)
             .mem_words(64)
             .build();
-        match b.run_until(u64::MAX).unwrap() {
-            RunStatus::Done(sb) => assert_eq!(sa.stats, sb.stats),
-            RunStatus::Paused { at_cycle } => panic!("spurious pause at {at_cycle}"),
-        }
+        let ob = b.run_until(u64::MAX);
+        assert!(
+            ob.is_completed(),
+            "spurious pause/failure at {}",
+            ob.at_cycle()
+        );
+        assert_eq!(sa.stats, ob.report.stats);
     }
 }

@@ -1,0 +1,381 @@
+//! [`SimConfig`] — a simulation request as a plain value.
+//!
+//! `MachineBuilder` grew one chainable knob per PR (engine, tier,
+//! faults, degradation, watchdog, probe interval, …); composing a run
+//! therefore meant threading a closure that "shapes" a builder, and
+//! every bench bin re-derived the same wiring. [`SimConfig`] replaces
+//! that: every knob is a field, the whole value is `Clone + PartialEq`,
+//! and it lowers onto a builder in exactly one place
+//! ([`SimConfig::builder`]).
+//!
+//! Because the workspace is vendored-offline (no serde), the value
+//! carries its own canonical encoding: [`SimConfig::canon`] renders
+//! every field — floats bit-exactly via `to_bits` — into a stable
+//! `key=value` text, and [`SimConfig::digest`] folds that text together
+//! with a program digest into the content address the result cache and
+//! job queue key on. The cache key deliberately **excludes the engine
+//! and the probe interval**: all three engines are bit-identical (so an
+//! engine change must *hit* the cache), and probed/streaming runs
+//! bypass the cache entirely; it **includes the tier**, matching the
+//! service contract in DESIGN.md §16.
+
+use crate::config::XmtConfig;
+use crate::fault::FaultPlan;
+use crate::machine::{Engine, MachineBuilder};
+use crate::probe::IntervalProbe;
+use crate::tier::TranslationTier;
+use xmt_isa::codec::encode_program;
+use xmt_isa::Program;
+
+/// 64-bit FNV-1a over a byte string — the workspace's standard
+/// content-digest primitive (same family as `spawn_digest`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Content digest of a program: FNV-1a over its canonical instruction
+/// encoding (`xmt_isa::codec::encode_program`). Two programs with the
+/// same digest execute identically on every engine.
+pub fn program_digest(prog: &Program) -> u64 {
+    fnv1a(&encode_program(prog))
+}
+
+/// A complete, self-contained description of one simulation run.
+///
+/// Everything [`MachineBuilder`] can be told, as data: architecture,
+/// engine, execution tier, fault plan (including degradation), watchdog
+/// and cycle-limit overrides, memory-image size, and an optional probe
+/// interval for streaming runs. A `SimConfig` plus a program is a
+/// *request* — hashable, comparable, and replayable bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The architecture configuration (Table II row or scaled variant).
+    pub arch: XmtConfig,
+    /// Advance engine. Not part of the cache key: engines are
+    /// bit-identical by contract.
+    pub engine: Engine,
+    /// Execution tier. Part of the cache key (service contract).
+    pub tier: TranslationTier,
+    /// Deterministic fault plan; carries the seed and all hard faults.
+    pub faults: FaultPlan,
+    /// Watchdog no-progress horizon override (`None` = default).
+    pub watchdog: Option<u64>,
+    /// Runaway cycle-limit override (`None` = default).
+    pub max_cycles: Option<u64>,
+    /// Sampling interval for streamed [`IntervalProbe`] rows; `None`
+    /// runs unprobed (the zero-overhead default). Not part of the
+    /// cache key: probed runs bypass the result cache.
+    pub probe_interval: Option<u64>,
+    /// Ring capacity for the interval probe (rows retained).
+    pub probe_capacity: usize,
+    /// Words of zeroed data memory the machine starts with (program
+    /// inputs are written on top of this by the workload).
+    pub mem_words: usize,
+}
+
+impl SimConfig {
+    /// A config for `arch` with every knob at its default: FastForward
+    /// engine, Block tier, benign faults, default watchdog/limits,
+    /// unprobed, no memory.
+    pub fn new(arch: &XmtConfig) -> Self {
+        Self {
+            arch: *arch,
+            engine: Engine::default(),
+            tier: TranslationTier::default(),
+            faults: FaultPlan::default(),
+            watchdog: None,
+            max_cycles: None,
+            probe_interval: None,
+            probe_capacity: 1 << 14,
+            mem_words: 0,
+        }
+    }
+
+    /// Select the advance engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Select the execution tier.
+    pub fn tier(mut self, tier: TranslationTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Graceful-degradation shorthand: merge dead clusters and DRAM
+    /// channels into the fault plan (mirrors
+    /// [`MachineBuilder::degraded`]).
+    pub fn degraded(mut self, dead_clusters: &[usize], dead_channels: &[usize]) -> Self {
+        self.faults.dead_clusters.extend_from_slice(dead_clusters);
+        self.faults.dead_channels.extend_from_slice(dead_channels);
+        self
+    }
+
+    /// Override the watchdog horizon.
+    pub fn watchdog(mut self, horizon: u64) -> Self {
+        self.watchdog = Some(horizon);
+        self
+    }
+
+    /// Override the runaway cycle limit.
+    pub fn max_cycles(mut self, max: u64) -> Self {
+        self.max_cycles = Some(max);
+        self
+    }
+
+    /// Request streamed interval sampling every `interval` cycles.
+    pub fn probed(mut self, interval: u64) -> Self {
+        self.probe_interval = Some(interval);
+        self
+    }
+
+    /// Set the interval-probe ring capacity.
+    pub fn probe_capacity(mut self, rows: usize) -> Self {
+        self.probe_capacity = rows;
+        self
+    }
+
+    /// Require at least `words` words of data memory.
+    pub fn mem_words(mut self, words: usize) -> Self {
+        self.mem_words = self.mem_words.max(words);
+        self
+    }
+
+    /// Lower this config onto a [`MachineBuilder`] for `prog` — the
+    /// single place request values become machines. Workloads write
+    /// their inputs on the returned builder and `build`/`resume` as
+    /// usual.
+    pub fn builder(&self, prog: Program) -> MachineBuilder {
+        let mut b = MachineBuilder::new(&self.arch, prog)
+            .engine(self.engine)
+            .tier(self.tier)
+            .faults(self.faults.clone())
+            .mem_words(self.mem_words);
+        if let Some(w) = self.watchdog {
+            b = b.watchdog(w);
+        }
+        if let Some(c) = self.max_cycles {
+            b = b.max_cycles(c);
+        }
+        b
+    }
+
+    /// The interval probe this config asks for, or `None` for an
+    /// unprobed run.
+    pub fn interval_probe(&self) -> Option<IntervalProbe> {
+        self.probe_interval
+            .map(|iv| IntervalProbe::new(iv, self.probe_capacity.max(1)))
+    }
+
+    /// Canonical text encoding of the *whole* config (including the
+    /// engine and probe settings): stable across runs and platforms,
+    /// floats rendered bit-exactly. Suitable for logs, golden files
+    /// and wire framing.
+    pub fn canon(&self) -> String {
+        let mut s = self.cache_canon();
+        s.push_str(&format!("engine={}\n", engine_canon(&self.engine)));
+        s.push_str(&format!(
+            "probe_interval={}\n",
+            self.probe_interval.map_or(0, |v| v)
+        ));
+        s.push_str(&format!("probe_capacity={}\n", self.probe_capacity));
+        s
+    }
+
+    /// The cache-key portion of the canonical encoding: everything
+    /// that can change the run's *results* — architecture, tier, fault
+    /// plan (seed included), watchdog, cycle limit, memory size — and
+    /// nothing that cannot (engine, probe settings).
+    pub fn cache_canon(&self) -> String {
+        let a = &self.arch;
+        let f = &self.faults;
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "arch={} clusters={} tpc={} mm={} mmpc={} fpus={} alus={} mdus={} lsus={} \
+             mot={} bfly={} clock={:016x} nm={} layers={}\n",
+            a.name,
+            a.clusters,
+            a.tcus_per_cluster,
+            a.memory_modules,
+            a.mm_per_dram_ctrl,
+            a.fpus_per_cluster,
+            a.alus_per_cluster,
+            a.mdus_per_cluster,
+            a.lsus_per_cluster,
+            a.mot_levels,
+            a.butterfly_levels,
+            a.clock_ghz.to_bits(),
+            a.tech_nm,
+            a.si_layers,
+        ));
+        s.push_str(&format!(
+            "cache_lines={} cache_ways={} cache_lw={} cache_hit={}\n",
+            a.cache.lines, a.cache.ways, a.cache.line_words, a.cache.hit_latency,
+        ));
+        s.push_str(&format!(
+            "dram_bpc={:016x} dram_lat={} dram_lb={}\n",
+            a.dram.bytes_per_cycle.to_bits(),
+            a.dram.access_latency,
+            a.dram.line_bytes,
+        ));
+        s.push_str(&format!("tier={}\n", tier_canon(&self.tier)));
+        s.push_str(&format!(
+            "seed={} dram_single={:016x} dram_double={:016x} dram_retry={} \
+             noc_corrupt={:016x} noc_retry={} noc_backoff={}\n",
+            f.seed,
+            f.dram_single.to_bits(),
+            f.dram_double.to_bits(),
+            f.dram_retry_limit,
+            f.noc_corrupt.to_bits(),
+            f.noc_retry_limit,
+            f.noc_backoff_base,
+        ));
+        s.push_str(&format!(
+            "dead_clusters={:?} dead_tcus={:?} stuck_tcus={:?} dead_channels={:?}\n",
+            f.dead_clusters,
+            f.dead_tcus
+                .iter()
+                .map(|t| (t.cluster, t.tcu))
+                .collect::<Vec<_>>(),
+            f.stuck_tcus
+                .iter()
+                .map(|t| (t.cluster, t.tcu))
+                .collect::<Vec<_>>(),
+            f.dead_channels,
+        ));
+        s.push_str(&format!(
+            "watchdog={} max_cycles={} mem_words={}\n",
+            self.watchdog.map_or(0, |v| v),
+            self.max_cycles.map_or(0, |v| v),
+            self.mem_words,
+        ));
+        s
+    }
+
+    /// The content address of `(program, this config)`: FNV-1a over
+    /// the program digest and [`SimConfig::cache_canon`]. This is the
+    /// cache key `(program digest, config, seed, fault plan, tier)`
+    /// from the service contract — bit-identical requests collide, and
+    /// an engine change alone does not change the address.
+    pub fn digest(&self, prog_digest: u64) -> u64 {
+        let mut bytes = prog_digest.to_le_bytes().to_vec();
+        bytes.extend_from_slice(self.cache_canon().as_bytes());
+        fnv1a(&bytes)
+    }
+}
+
+fn engine_canon(e: &Engine) -> String {
+    match e {
+        Engine::Reference => "reference".into(),
+        Engine::FastForward => "fastforward".into(),
+        Engine::Threaded { threads } => format!("threaded:{threads}"),
+    }
+}
+
+fn tier_canon(t: &TranslationTier) -> &'static str {
+    match t {
+        TranslationTier::Interpreter => "interpreter",
+        TranslationTier::Block => "block",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::ProgramBuilder;
+
+    fn prog() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn digest_ignores_engine_and_probe_but_not_tier_or_seed() {
+        let arch = XmtConfig::xmt_4k().scaled_to(4);
+        let base = SimConfig::new(&arch).mem_words(64);
+        let pd = program_digest(&prog());
+        let d0 = base.digest(pd);
+        assert_eq!(
+            base.clone().engine(Engine::Reference).digest(pd),
+            d0,
+            "engine must not change the content address"
+        );
+        assert_eq!(
+            base.clone().probed(64).digest(pd),
+            d0,
+            "probe settings must not change the content address"
+        );
+        assert_ne!(
+            base.clone().tier(TranslationTier::Interpreter).digest(pd),
+            d0,
+            "tier is part of the service contract key"
+        );
+        assert_ne!(
+            base.clone().faults(FaultPlan::new(7)).digest(pd),
+            d0,
+            "fault seed is part of the key"
+        );
+        assert_ne!(base.clone().mem_words(128).digest(pd), d0);
+        assert_ne!(
+            base.digest(pd.wrapping_add(1)),
+            d0,
+            "program digest is part of the key"
+        );
+    }
+
+    #[test]
+    fn canon_is_stable_and_complete() {
+        let arch = XmtConfig::xmt_8k().scaled_to(8);
+        let c = SimConfig::new(&arch)
+            .engine(Engine::Threaded { threads: 3 })
+            .tier(TranslationTier::Interpreter)
+            .faults(FaultPlan::new(9).dram_flips(1e-6, 1e-9).stuck_tcu(1, 2))
+            .degraded(&[3], &[0])
+            .watchdog(10_000)
+            .max_cycles(1 << 20)
+            .probed(128)
+            .mem_words(4096);
+        assert_eq!(c.canon(), c.clone().canon(), "encoding is deterministic");
+        for needle in [
+            "tier=interpreter",
+            "engine=threaded:3",
+            "seed=9",
+            "stuck_tcus=[(1, 2)]",
+            "dead_clusters=[3]",
+            "watchdog=10000",
+            "probe_interval=128",
+            "mem_words=4096",
+        ] {
+            assert!(c.canon().contains(needle), "canon missing {needle}");
+        }
+    }
+
+    #[test]
+    fn builder_lowering_matches_hand_wiring() {
+        let arch = XmtConfig::xmt_4k().scaled_to(4);
+        let cfg = SimConfig::new(&arch)
+            .engine(Engine::Reference)
+            .mem_words(64);
+        let a = cfg.builder(prog()).build().run().unwrap();
+        let b = MachineBuilder::new(&arch, prog())
+            .engine(Engine::Reference)
+            .mem_words(64)
+            .build()
+            .run()
+            .unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -43,9 +43,10 @@ fn run_faulted(
         .faults(plan)
         .write_u32s(0, ro)
         .build();
-    match m.run() {
-        Ok(report) => Ok((report, m.mem.clone(), m.gregs_snapshot())),
-        Err(f) => Err(format!("{:?}", f.error)),
+    let outcome = m.run();
+    match outcome.error() {
+        None => Ok((outcome.report, m.mem.clone(), m.gregs_snapshot())),
+        Some(e) => Err(format!("{e:?}")),
     }
 }
 
@@ -120,8 +121,7 @@ fn soft_faulted_fft_validates_against_host() {
         let mut m = plan_builder(&plan, &cfg, &x)
             .faults(soft_plan(seed))
             .build();
-        m.run()
-            .unwrap_or_else(|f| panic!("seed {seed:#x}: {:?}", f.error));
+        m.run().expect(&format!("seed {seed:#x}"));
         let got = read_result(&plan, &m);
         assert!(rel_error(&host_reference(&plan, &x), &got) < 1e-3);
         for (a, b) in want.iter().zip(&got) {
@@ -155,8 +155,7 @@ fn degraded_fft_validates_on_every_engine() {
                 .engine(engine)
                 .degraded(clusters, channels)
                 .build();
-            m.run()
-                .unwrap_or_else(|f| panic!("{clusters:?}/{channels:?}: {:?}", f.error));
+            m.run().expect(&format!("{clusters:?}/{channels:?}"));
             outs.push(read_result(&plan, &m));
         }
         assert!(
@@ -191,18 +190,17 @@ fn checkpoint_restore_matches_uninterrupted_golden_runs() {
         }
         for pause in pauses {
             let mut m = case.machine();
-            let status = m
-                .run_until(pause)
-                .unwrap_or_else(|f| panic!("{} pause@{pause}: {:?}", case.name, f.error));
-            let cp = match status {
-                RunStatus::Done(rep) => {
-                    assert_eq!(rep.stats, uninterrupted.stats, "{}", case.name);
+            let outcome = m.run_until(pause);
+            let cp = match outcome.status {
+                RunStatus::Completed => {
+                    assert_eq!(outcome.report.stats, uninterrupted.stats, "{}", case.name);
                     continue;
                 }
                 RunStatus::Paused { at_cycle } => {
                     assert!(at_cycle >= pause, "{}", case.name);
                     m.checkpoint().unwrap()
                 }
+                RunStatus::Failed(e) => panic!("{} pause@{pause}: {e:?}", case.name),
             };
             let bytes = cp.to_bytes();
             let restored = Checkpoint::from_bytes(&bytes).unwrap();
@@ -210,7 +208,7 @@ fn checkpoint_restore_matches_uninterrupted_golden_runs() {
             let mut resumed = case.builder().resume(&restored).unwrap();
             let rep = resumed
                 .run()
-                .unwrap_or_else(|f| panic!("{} resume@{pause}: {:?}", case.name, f.error));
+                .expect(&format!("{} resume@{pause}", case.name));
             assert_eq!(
                 rep.stats, uninterrupted.stats,
                 "{} pause@{pause}",
@@ -253,9 +251,9 @@ fn checkpoint_mid_trace_resumes_bit_identically_across_tiers() {
         let mut snaps = Vec::new();
         for tier in [TranslationTier::Block, TranslationTier::Interpreter] {
             let mut m = case.builder().tier(tier).build();
-            match m.run_until(pause).unwrap() {
+            match m.run_until(pause).status {
                 RunStatus::Paused { at_cycle } => assert!(at_cycle >= pause),
-                RunStatus::Done(_) => panic!("paused too late at {pause}"),
+                other => panic!("expected pause at {pause}, got {other:?}"),
             }
             snaps.push(m.checkpoint().unwrap().to_bytes());
         }
@@ -267,9 +265,7 @@ fn checkpoint_mid_trace_resumes_bit_identically_across_tiers() {
         let restored = Checkpoint::from_bytes(&snaps[0]).unwrap();
         for tier in [TranslationTier::Block, TranslationTier::Interpreter] {
             let mut resumed = case.builder().tier(tier).resume(&restored).unwrap();
-            let rep = resumed
-                .run()
-                .unwrap_or_else(|f| panic!("resume@{pause}/{tier:?}: {:?}", f.error));
+            let rep = resumed.run().expect(&format!("resume@{pause}/{tier:?}"));
             assert_eq!(rep.stats, uninterrupted.stats, "pause {pause} {tier:?}");
             assert_eq!(
                 golden::spawn_digest(&rep),
@@ -296,9 +292,9 @@ fn faulted_checkpoint_resume_is_bit_identical() {
     let uninterrupted = full.run().unwrap();
 
     let mut m = case.builder().faults(plan()).build();
-    let cp = match m.run_until(uninterrupted.stats.cycles / 3).unwrap() {
+    let cp = match m.run_until(uninterrupted.stats.cycles / 3).status {
         RunStatus::Paused { .. } => m.checkpoint().unwrap(),
-        RunStatus::Done(_) => panic!("paused too late"),
+        other => panic!("expected pause, got {other:?}"),
     };
     let restored = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
     let mut resumed = case.builder().faults(plan()).resume(&restored).unwrap();
