@@ -19,11 +19,17 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== static kernel verification (xmt-lint) =="
-# Structure / def-before-use / data-race analysis over every golden
-# workload and the experiment FFT plans; nonzero exit on any error-
-# severity finding (see DESIGN.md §12).
-cargo run --release -p xmt-bench --bin xmt_lint
+echo "== static analysis: front half + transval + traffic (xmt-lint) =="
+# Two-pass pipeline over every golden workload, scaling case, FFT plan
+# and XMTC sample: structure / def-before-use / dead-store / race
+# analysis, symbolic translation validation of the block-compiled
+# lowering (including the trace cache a probed run actually replayed),
+# and the static traffic/roofline analyzer cross-checked against
+# IntervalProbe measurements — the paper-scale FFT must classify
+# bandwidth-bound (DESIGN.md §12, §17). Clean results are cached under
+# target/xmt-lint-cache/ keyed by program digest; the JSON artifact is
+# CI-archivable. Exit 1 on any finding or failed cross-check.
+cargo run --release -p xmt-bench --bin xmt_lint -- --artifact target/xmt-lint.json
 
 echo "== simulator throughput + paper-scale scaling gate -> BENCH_sim.json =="
 # --check regresses the gate against the committed baseline: exit 1 if

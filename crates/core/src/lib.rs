@@ -42,6 +42,7 @@ pub mod kernels;
 pub mod phases;
 pub mod plan;
 pub mod run;
+pub mod traffic;
 
 pub use kernels::{Rotation, StageKernel, TwiddleLayout};
 pub use phases::{project, stage_demands, table4_projection, FftProjection, RooflinePoint};

@@ -1,0 +1,83 @@
+//! Bridge from the simulator's [`XmtConfig`] architecture description
+//! to the static traffic analyzer's machine parameters.
+//!
+//! `xmt-verify` deliberately depends on `xmt-isa` alone, so its
+//! [`TrafficParams`] is a plain bag of numbers; this module is where
+//! those numbers come from — the same derating constants and rate
+//! formulas the analytic performance model (`xmt_sim::perfmodel`) and
+//! the cycle simulator's memory system use, so static predictions and
+//! `IntervalProbe` measurements are comparable on the same machine.
+
+use xmt_noc::{effective_throughput, TrafficClass};
+use xmt_sim::XmtConfig;
+use xmt_verify::traffic::TrafficParams;
+
+/// Derating applied to peak issue/FPU rates (mirrors
+/// `xmt_sim::perfmodel::COMPUTE_EFFICIENCY`).
+pub const COMPUTE_EFFICIENCY: f64 = 0.90;
+/// Sustainable fraction of peak DRAM bandwidth (mirrors
+/// `xmt_sim::perfmodel::DRAM_EFFICIENCY`).
+pub const DRAM_EFFICIENCY: f64 = 0.80;
+/// Sustainable fraction of per-port NoC bandwidth (mirrors
+/// `xmt_sim::perfmodel::ICN_EFFICIENCY`).
+pub const ICN_EFFICIENCY: f64 = 0.90;
+
+/// Build the static analyzer's machine parameters for `cfg`, assuming
+/// hashed (address-interleaved) NoC traffic — the class every memory
+/// access stream on this machine falls into, since lines are striped
+/// across modules by address.
+pub fn traffic_params(cfg: &XmtConfig) -> TrafficParams {
+    let topo = cfg.topology();
+    TrafficParams {
+        line_words: cfg.cache.line_words as u64,
+        cache_lines: (cfg.cache.lines * cfg.memory_modules) as u64,
+        clusters: cfg.clusters as u64,
+        tcus_per_cluster: cfg.tcus_per_cluster as u64,
+        fpus_per_cluster: cfg.fpus_per_cluster as u64,
+        lsus_per_cluster: cfg.lsus_per_cluster as u64,
+        icn_words_per_cluster: effective_throughput(&topo, TrafficClass::Hashed) * ICN_EFFICIENCY,
+        dram_bytes_per_cycle: cfg.dram_channels() as f64
+            * cfg.dram.bytes_per_cycle
+            * DRAM_EFFICIENCY,
+        startup_cycles: (cfg.clusters as f64).log2().ceil()
+            + 2.0 * topo.latency_cycles() as f64
+            + cfg.dram.access_latency as f64,
+        compute_efficiency: COMPUTE_EFFICIENCY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_config_params_match_the_perf_model_constants() {
+        let p = traffic_params(&crate::golden::golden_config());
+        assert_eq!(p.line_words, 8);
+        assert_eq!(p.clusters, 4);
+        assert_eq!(p.tcus_per_cluster, 32);
+        assert_eq!(p.fpus_per_cluster, 1);
+        // 1 channel × 8 B/cyc × 0.8.
+        assert!((p.dram_bytes_per_cycle - 6.4).abs() < 1e-9);
+        // Pure MoT sustains full per-port bandwidth.
+        assert!((p.icn_words_per_cluster - 0.9).abs() < 1e-9);
+        // Ridge = 4 × 1 × 0.9 / 6.4.
+        assert!((p.ridge_intensity() - 0.5625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_ridge_is_stable_across_configs() {
+        // 4k: 128 FPUs, 16 channels; 8k: 256 FPUs, 32 channels — the
+        // flop:byte ridge is the same 1.125 on both (Table II scales
+        // compute and DRAM together).
+        for cfg in [XmtConfig::xmt_4k(), XmtConfig::xmt_8k()] {
+            let p = traffic_params(&cfg);
+            assert!(
+                (p.ridge_intensity() - 1.125).abs() < 1e-9,
+                "{}: {}",
+                cfg.name,
+                p.ridge_intensity()
+            );
+        }
+    }
+}

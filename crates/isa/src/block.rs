@@ -438,12 +438,20 @@ fn terminates(step: StepClass) -> bool {
 impl BlockMap {
     /// Partition `decoded` into superblocks.
     pub fn new(decoded: &DecodedProgram) -> Self {
-        let n = decoded.len();
+        Self::from_instrs(decoded.instrs())
+    }
+
+    /// Partition a decoded instruction slice into superblocks — the
+    /// same partition [`BlockMap::new`] computes, exposed so external
+    /// validators (`xmt-verify`'s translation-validation pass) can
+    /// recompute the canonical partition without a [`DecodedProgram`].
+    pub fn from_instrs(instrs: &[DecodedInstr]) -> Self {
+        let n = instrs.len();
         let mut leader = vec![false; n];
         if n > 0 {
             leader[0] = true;
         }
-        for (pc, d) in decoded.instrs().iter().enumerate() {
+        for (pc, d) in instrs.iter().enumerate() {
             if let Some(t) = d.instr.control_target() {
                 if t < n {
                     leader[t] = true;

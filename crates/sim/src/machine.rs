@@ -47,6 +47,14 @@ mod threaded;
 const FPU_LATENCY: u64 = 4;
 /// MDU (multiply/divide) latency in cycles.
 const MDU_LATENCY: u64 = 8;
+/// The unit latencies above as the [`xmt_isa::UnitLat`] value baked
+/// into every lowered micro-op — exported so external validators
+/// (`xmt-verify`'s translation-validation pass, `xmt_lint`) recompute
+/// the canonical lowering with the machine's own numbers.
+pub const UNIT_LAT: xmt_isa::UnitLat = xmt_isa::UnitLat {
+    fpu: FPU_LATENCY as u8,
+    mdu: MDU_LATENCY as u8,
+};
 /// MTCU private-cache access latency for serial-mode memory ops.
 const SERIAL_MEM_LATENCY: u64 = 4;
 /// Maximum outstanding memory operations per TCU (models the XMT
@@ -2036,6 +2044,14 @@ impl<P: Probe> Machine<P> {
     /// (program, config, engine) — the CI tier stage pins this.
     pub fn trace_stats(&self) -> Option<TraceStats> {
         self.trace.as_deref().map(TraceCache::stats)
+    }
+
+    /// The block-compiled tier's trace cache itself (read-only), or
+    /// `None` under [`TranslationTier::Interpreter`]. The translation
+    /// validator in `xmt-verify` audits the lowered records a run
+    /// actually replayed through this view.
+    pub fn trace_cache(&self) -> Option<&TraceCache> {
+        self.trace.as_deref()
     }
 
     /// Assemble the [`RunReport`], flushing the probe's final partial

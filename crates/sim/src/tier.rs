@@ -150,6 +150,19 @@ impl TraceCache {
     pub fn map(&self) -> &BlockMap {
         &self.map
     }
+
+    /// The lowered micro-op slots, one per pc ([`UopKind::Cold`] where
+    /// no block has been entered yet). Read-only: the translation
+    /// validator in `xmt-verify` checks these exact records against the
+    /// reference ISA semantics.
+    pub fn uops(&self) -> &[MicroOp] {
+        &self.uops
+    }
+
+    /// The unit latencies baked into every lowered record.
+    pub fn unit_lat(&self) -> UnitLat {
+        self.lat
+    }
 }
 
 #[cfg(test)]

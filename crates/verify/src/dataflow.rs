@@ -1,5 +1,6 @@
-//! Intra-thread def-before-use: a forward **must-initialize** dataflow
-//! over the region CFG.
+//! Intra-thread def-before-use and dead-store analysis: a forward
+//! **must-initialize** and a backward **may-read** dataflow over the
+//! region CFG.
 //!
 //! Registers are physically zeroed at machine reset, but TCU register
 //! files are *not* cleared between the virtual threads a TCU executes,
@@ -11,6 +12,14 @@
 //! reported ([`Kind::UninitRead`]). `r0` is hardwired zero and always
 //! counts as initialized; writes to it are discarded by the hardware
 //! and therefore initialize nothing.
+//!
+//! The dual direction catches the opposite waste: a register write
+//! that no path observes before the value is overwritten or the
+//! region terminates (`join` ends the virtual thread and the next
+//! thread must not rely on leftovers; `halt` stops the machine). Such
+//! dead stores are legal but usually betray a codelet emitter that
+//! computes a value nobody consumes, so they are reported as
+//! [`Kind::DeadStore`] *warnings*, never errors.
 
 use crate::cfg::successors;
 use crate::{Diag, Kind};
@@ -121,6 +130,117 @@ pub(crate) fn check_region(
                     pc,
                     format!(
                         "`{ins}` reads {r} before any write on some path from the {mode} entry at pc {entry}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Registers that may still be read downstream: one bit per integer
+/// and FP register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LiveSet {
+    i: u32,
+    f: u32,
+}
+
+impl LiveSet {
+    fn union(&self, o: &Self) -> Self {
+        LiveSet {
+            i: self.i | o.i,
+            f: self.f | o.f,
+        }
+    }
+
+    /// Live-in of `ins` given its live-out: kill the written register,
+    /// then add every read one.
+    fn before(&self, ins: &Instr) -> Self {
+        let mut out = *self;
+        if let Some(r) = ins.ireg_written() {
+            out.i &= !(1 << r.index());
+        }
+        if let Some(r) = ins.freg_written() {
+            out.f &= !(1 << r.index());
+        }
+        for r in ins.iregs_read().into_iter().flatten() {
+            out.i |= 1 << r.index();
+        }
+        for r in ins.fregs_read().into_iter().flatten() {
+            out.f |= 1 << r.index();
+        }
+        out
+    }
+}
+
+/// Report register writes no path can observe ([`Kind::DeadStore`]
+/// warnings): the value is overwritten or the region terminates before
+/// any read. `ps`/`sspawn` results are exempt (the register write is
+/// incidental to a global side effect), as are writes to the hardwired
+/// `r0` (an intentional discard idiom).
+pub(crate) fn check_dead_stores(
+    instrs: &[Instr],
+    pcs: &[usize],
+    entry: usize,
+    parallel: bool,
+    diags: &mut Vec<Diag>,
+) {
+    let len = instrs.len();
+    let mut member = vec![false; len];
+    for &pc in pcs {
+        member[pc] = true;
+    }
+    // Backward may-read fixpoint: LIVE-OUT[pc] = ∪ LIVE-IN[succ],
+    // starting from ∅ everywhere (terminators keep nothing alive —
+    // `join` ends the virtual thread, `halt` the machine).
+    let mut live_out = vec![LiveSet::default(); len];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &pc in pcs.iter().rev() {
+            let mut out = LiveSet::default();
+            for succ in successors(&instrs[pc], pc, parallel).into_iter().flatten() {
+                if succ >= len || !member[succ] {
+                    continue;
+                }
+                out = out.union(&live_out[succ].before(&instrs[succ]));
+            }
+            if out != live_out[pc] {
+                live_out[pc] = out;
+                changed = true;
+            }
+        }
+    }
+
+    let mode = if parallel {
+        "parallel section"
+    } else {
+        "serial code"
+    };
+    for &pc in pcs {
+        let ins = &instrs[pc];
+        if matches!(ins, Instr::Ps { .. } | Instr::Sspawn { .. }) {
+            continue;
+        }
+        let live = live_out[pc];
+        if let Some(r) = ins.ireg_written() {
+            if r.index() != 0 && live.i & (1 << r.index()) == 0 {
+                diags.push(Diag::warning(
+                    Kind::DeadStore,
+                    pc,
+                    format!(
+                        "`{ins}` writes {r}, but no path from pc {pc} reads it before it is overwritten or the {mode} entered at pc {entry} ends"
+                    ),
+                ));
+            }
+        }
+        if let Some(r) = ins.freg_written() {
+            if live.f & (1 << r.index()) == 0 {
+                diags.push(Diag::warning(
+                    Kind::DeadStore,
+                    pc,
+                    format!(
+                        "`{ins}` writes {r}, but no path from pc {pc} reads it before it is overwritten or the {mode} entered at pc {entry} ends"
                     ),
                 ));
             }

@@ -74,9 +74,12 @@ pub mod affine;
 mod cfg;
 mod dataflow;
 mod races;
+pub mod traffic;
+pub mod transval;
 
 pub use cfg::{successors, Cfg, SpawnSite};
 pub use races::ENUM_CAP;
+pub use transval::{TransvalError, TransvalReason, TransvalStats};
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -106,6 +109,14 @@ pub enum Kind {
     Unreachable,
     /// No `halt` reachable from serial entry.
     MissingHalt,
+    /// A register write no path ever observes.
+    DeadStore,
+    /// The canonical micro-op lowering is not equivalent to the
+    /// reference ISA semantics (translation validation, [`transval`]).
+    Transval,
+    /// A static traffic prediction could not be established (or a
+    /// cross-check against measurement failed), [`traffic`].
+    Traffic,
 }
 
 impl fmt::Display for Kind {
@@ -116,6 +127,9 @@ impl fmt::Display for Kind {
             Kind::Race => "race",
             Kind::Unreachable => "unreachable",
             Kind::MissingHalt => "missing-halt",
+            Kind::DeadStore => "dead-store",
+            Kind::Transval => "transval",
+            Kind::Traffic => "traffic",
         })
     }
 }
@@ -214,11 +228,13 @@ pub fn verify_instrs(instrs: &[Instr]) -> Report {
     if diags.iter().all(|d| d.severity != Severity::Error) {
         let serial_pcs: Vec<usize> = (0..instrs.len()).filter(|&pc| cfg.serial[pc]).collect();
         dataflow::check_region(instrs, &serial_pcs, 0, false, &mut diags);
+        dataflow::check_dead_stores(instrs, &serial_pcs, 0, false, &mut diags);
         let mut seen = BTreeSet::new();
         for site in &cfg.spawns {
             if seen.insert(site.entry) {
                 let region = cfg.region(instrs, site.entry);
                 dataflow::check_region(instrs, &region, site.entry, true, &mut diags);
+                dataflow::check_dead_stores(instrs, &region, site.entry, true, &mut diags);
             }
         }
         races::check_races(instrs, &cfg, &mut diags);
@@ -229,6 +245,20 @@ pub fn verify_instrs(instrs: &[Instr]) -> Report {
 /// Verify a built [`Program`].
 pub fn verify(prog: &Program) -> Report {
     verify_instrs(prog.instrs())
+}
+
+/// Verify a program *and* translation-validate its canonical micro-op
+/// lowering at the given unit latencies (the simulator exports its
+/// baked pair as `xmt_sim::UNIT_LAT`). A lowering failure is reported
+/// as a [`Kind::Transval`] error carrying the typed counterexample.
+pub fn verify_with_lowering(prog: &Program, lat: xmt_isa::UnitLat) -> Report {
+    let mut report = verify_instrs(prog.instrs());
+    if let Err(e) = transval::validate_program(prog.instrs(), lat) {
+        report
+            .diags
+            .push(Diag::error(Kind::Transval, e.pc, e.to_string()));
+    }
+    report
 }
 
 /// Verify a decoded binary ([`DecodedProgram`]) — the same checks, so
@@ -272,6 +302,68 @@ mod tests {
         });
         let r = verify(&p);
         assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn dead_store_is_a_warning_with_location() {
+        let p = with_spawn(8, |b| {
+            b.tid(ir(2));
+            b.slli(ir(3), ir(2), 1);
+            b.addi(ir(3), ir(3), 4096);
+            b.li(ir(4), 7); // overwritten before any read
+            b.li(ir(4), 9);
+            b.sw(ir(4), ir(3), 0);
+        });
+        let r = verify(&p);
+        assert!(r.is_clean(), "dead stores must stay warnings: {r}");
+        let w = r
+            .warnings()
+            .find(|d| d.kind == Kind::DeadStore)
+            .expect("dead store expected");
+        assert_eq!(w.pc, 6, "{w}");
+        assert!(w.message.contains("writes r4"), "{}", w.message);
+    }
+
+    #[test]
+    fn value_read_on_one_path_is_not_dead() {
+        let mut b = ProgramBuilder::new();
+        let par = b.label();
+        let done = b.label();
+        let skip = b.label();
+        b.li(ir(1), 8);
+        b.spawn(ir(1), par);
+        b.jump(done);
+        b.bind(par);
+        b.tid(ir(2));
+        b.li(ir(3), 4096); // read only on the fallthrough path
+        b.beq(ir(2), ir(0), skip);
+        b.sw(ir(2), ir(3), 0);
+        b.bind(skip);
+        b.join();
+        b.bind(done);
+        b.halt();
+        let p = b.build().unwrap();
+        let r = verify(&p);
+        assert!(
+            r.warnings().all(|d| d.kind != Kind::DeadStore),
+            "a value read on some path is live: {r}"
+        );
+    }
+
+    #[test]
+    fn ps_result_is_never_a_dead_store() {
+        // The `ps` write is incidental to the global prefix-sum side
+        // effect; an unread ticket must not warn.
+        let p = with_spawn(8, |b| {
+            b.tid(ir(2));
+            b.li(ir(3), 1);
+            b.ps(ir(4), ir(3), gr(0));
+            b.slli(ir(5), ir(2), 1);
+            b.addi(ir(5), ir(5), 4096);
+            b.sw(ir(2), ir(5), 0);
+        });
+        let r = verify(&p);
+        assert!(r.warnings().all(|d| d.kind != Kind::DeadStore), "{r}");
     }
 
     #[test]

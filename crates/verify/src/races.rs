@@ -30,7 +30,10 @@ use xmt_isa::Instr;
 
 /// Largest statically-known thread count the checker enumerates
 /// exactly; larger (or unknown) counts fall back to algebraic proofs.
-pub const ENUM_CAP: u64 = 4096;
+/// Sized to cover the paper-scale goldens (`fft_xmt8k_n65536` spawns
+/// 8192-thread phases whose digit-reversed scatter interleaves at a
+/// granularity the congruence argument cannot separate).
+pub const ENUM_CAP: u64 = 8192;
 
 /// One abstracted memory access inside a parallel section.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +50,7 @@ pub struct Access {
 /// Abstract per-register state at every pc of a region, computed by
 /// fixpoint abstract interpretation. `bits` is the tid width (0 for
 /// serial code, where `tid` is not meaningful).
-fn affine_fixpoint(
+pub(crate) fn affine_fixpoint(
     instrs: &[Instr],
     pcs: &[usize],
     entry: usize,
@@ -137,14 +140,17 @@ fn transfer(
 
 /// The statically-propagated thread count of a spawn site, if the
 /// serial constant propagation pins it.
-fn spawn_count(serial_state: &[Option<Box<[AbsVal; NUM_IREGS]>>], site: &SpawnSite) -> Option<u64> {
+pub(crate) fn spawn_count(
+    serial_state: &[Option<Box<[AbsVal; NUM_IREGS]>>],
+    site: &SpawnSite,
+) -> Option<u64> {
     serial_state.get(site.at)?.as_ref()?[site.count.index()]
         .as_const()
         .map(u64::from)
 }
 
 /// Abstract every memory access of one region.
-fn region_accesses(
+pub(crate) fn region_accesses(
     instrs: &[Instr],
     pcs: &[usize],
     state: &[Option<Box<[AbsVal; NUM_IREGS]>>],

@@ -46,6 +46,7 @@ pub mod ast;
 pub mod codegen;
 pub mod lexer;
 pub mod parser;
+pub mod samples;
 
 pub use ast::{BinOp, CmpOp, Cond, Expr, ProgramAst, Stmt, Ty};
 pub use codegen::{compile_ast, CodegenError};

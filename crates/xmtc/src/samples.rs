@@ -1,0 +1,110 @@
+//! Canonical XMTC sample programs shared by the integration tests and
+//! the `xmt_lint` static-analysis gate.
+//!
+//! Two samples bracket what the static passes can and cannot prove:
+//!
+//! * [`FFT_RADIX2`] — the paper's headline workload written at the
+//!   XMTC layer. Its scatter addresses come from `/` and `%` on a
+//!   broadcast global, which the affine abstract domain widens to ⊤,
+//!   so the race pass reports *unproven* (not disproven) races. The
+//!   lint gates this program on structure, def-before-use and
+//!   translation validation, and surfaces the ⊤-address races as a
+//!   separate "unproven" count.
+//! * [`COMPLEX_SQUARE`] — a dense elementwise kernel whose every
+//!   address is affine in `$` with literal coefficients, so the whole
+//!   pipeline (races included) proves it clean end to end.
+
+/// Radix-2 decimation-in-frequency Stockham FFT over `g0` points,
+/// ping-ponging between two buffers.
+///
+/// The host (or a serial prologue) sets the globals: `g0` = n,
+/// `g1` = n/2, `g3` = A base, `g4` = B base, `g5` = twiddle base
+/// (re,im pairs of ω_n^{-k}), `g6` = n−1. On exit `g7` holds the base
+/// of the buffer containing the spectrum.
+pub const FFT_RADIX2: &str = r#"
+// Radix-2 DIF Stockham FFT over n points, ping-ponging A <-> B.
+int n = g0;
+int half = g1;
+int s = 1;
+int src = g3;
+int dst = g4;
+while (s < n) {
+    g2 = s;
+    g3 = src;      // rebroadcast current buffers for this stage
+    g4 = dst;
+    spawn (half) {
+        int s = g2;
+        int p = $ / s;
+        int q = $ % s;
+        // Stockham gather: x0 = src[$], x1 = src[$ + n/2].
+        int a0 = g3 + ($ * 2);
+        int a1 = g3 + (($ + g1) * 2);
+        float x0r = fmem[a0];
+        float x0i = fmem[a0 + 1];
+        float x1r = fmem[a1];
+        float x1i = fmem[a1 + 1];
+        // Butterfly.
+        float sr = x0r + x1r;
+        float si = x0i + x1i;
+        float dr = x0r - x1r;
+        float di = x0i - x1i;
+        // Twiddle w = omega_n^-(s*p mod n) applied to the difference.
+        int widx = (s * p) & g6;
+        int wa = g5 + widx * 2;
+        float wr = fmem[wa];
+        float wi = fmem[wa + 1];
+        float tr = dr * wr - di * wi;
+        float ti = dr * wi + di * wr;
+        // Scatter: dst[q + 2sp] = sum, dst[q + 2sp + s] = twiddled diff.
+        int o0 = g4 + ((q + 2 * s * p) * 2);
+        int o1 = o0 + s * 2;
+        fmem[o0] = sr;
+        fmem[o0 + 1] = si;
+        fmem[o1] = tr;
+        fmem[o1 + 1] = ti;
+    }
+    int tmp = src;
+    src = dst;
+    dst = tmp;
+    s = s * 2;
+}
+// Publish where the result ended up.
+g7 = src;
+"#;
+
+/// Elementwise complex square: `out[i] = in[i]²` over 256 interleaved
+/// (re,im) pairs, input at word 0 and output at word 512.
+///
+/// Every address is `2·$ + const`, so the race pass *proves* the
+/// threads disjoint — the positive control for the lint's race gate.
+pub const COMPLEX_SQUARE: &str = r#"
+// out[i] = in[i]^2 over 256 complex points; addresses affine in $.
+spawn (256) {
+    int i = $ * 2;
+    float re = fmem[i];
+    float im = fmem[i + 1];
+    fmem[i + 512] = re * re - im * im;
+    fmem[i + 513] = re * im + im * re;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_samples_compile() {
+        crate::compile(FFT_RADIX2).expect("FFT sample compiles");
+        crate::compile(COMPLEX_SQUARE).expect("complex-square sample compiles");
+    }
+
+    #[test]
+    fn complex_square_computes_squares() {
+        let prog = crate::compile(COMPLEX_SQUARE).unwrap();
+        let mut m = xmt_isa::Interp::new(1024);
+        m.write_f32s(0, &[3.0, 4.0]); // (3+4i)^2 = -7 + 24i
+        m.run(&prog).unwrap();
+        let out = m.read_f32s(512, 2);
+        assert_eq!(out, [-7.0, 24.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Translation-validation properties: soundness on the generator's
+//! whole program space, and completeness under single-field mutation.
+//!
+//! The first half says the validator never cries wolf — every program
+//! `genprog` can emit (straight-line and branchy alike) has its
+//! canonical lowering proven equivalent. The second half says it never
+//! sleeps — flip *any single field* of *any one* lowered [`MicroOp`]
+//! and validation must fail with a counterexample anchored at exactly
+//! that uop. Together they pin the validator as an exact decision
+//! procedure over the perturbation space the mutation strategy covers.
+
+use proptest::prelude::*;
+use xmt_integration::genprog::{branchy_op_strategy, build, op_strategy};
+use xmt_isa::{MicroOp, StepClass, UopKind};
+use xmt_sim::UNIT_LAT;
+use xmt_verify::transval::{lower, validate_lowering, validate_program};
+
+/// Deterministically perturb one field of one micro-op, returning a
+/// record that differs from `u` in exactly that field. Register
+/// indices move within `% 16` so the mutant stays in range for every
+/// register file (16 gregs, 32 iregs/fregs): the validator must reject
+/// it as *wrong*, not crash on it as *malformed*.
+fn mutate(u: &MicroOp, field: usize) -> MicroOp {
+    let mut m = *u;
+    match field {
+        0 => {
+            m.kind = if m.kind == UopKind::Nop {
+                UopKind::Li
+            } else {
+                UopKind::Nop
+            }
+        }
+        1 => m.a = (m.a + 1) % 16,
+        2 => m.b = (m.b + 1) % 16,
+        3 => m.c = (m.c + 1) % 16,
+        4 => {
+            m.cls = if m.cls == StepClass::Alu {
+                StepClass::Lsu
+            } else {
+                StepClass::Alu
+            }
+        }
+        5 => m.lat = m.lat.wrapping_add(1),
+        6 => m.flags ^= 1, // UOP_ENDS_BLOCK
+        _ => m.imm ^= 1,
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: the canonical lowering of every generated program
+    /// validates, and the stats cover every pc.
+    #[test]
+    fn canonical_lowerings_always_validate(
+        serial in proptest::collection::vec(op_strategy(), 0..10),
+        par_ops in proptest::collection::vec(op_strategy(), 0..12),
+        epilogue in proptest::collection::vec(op_strategy(), 0..6),
+        threads in 1u8..24,
+    ) {
+        let prog = build(&serial, &par_ops, threads, &epilogue);
+        let stats = validate_program(prog.instrs(), UNIT_LAT)
+            .unwrap_or_else(|e| panic!("false alarm: {e}\n{}", prog.disassemble()));
+        prop_assert_eq!(stats.uops, prog.len());
+        prop_assert_eq!(stats.cold_blocks, 0);
+    }
+
+    /// Soundness holds on branchy bodies too — loops and forward
+    /// branches exercise the superblock seams.
+    #[test]
+    fn branchy_lowerings_always_validate(
+        serial in proptest::collection::vec(branchy_op_strategy(), 0..8),
+        par_ops in proptest::collection::vec(branchy_op_strategy(), 0..10),
+        threads in 1u8..24,
+    ) {
+        let prog = build(&serial, &par_ops, threads, &[]);
+        let stats = validate_program(prog.instrs(), UNIT_LAT)
+            .unwrap_or_else(|e| panic!("false alarm: {e}\n{}", prog.disassemble()));
+        prop_assert_eq!(stats.uops, prog.len());
+    }
+
+    /// Completeness: flipping one random field of one random lowered
+    /// micro-op is always rejected, and the counterexample names that
+    /// exact uop.
+    #[test]
+    fn any_single_field_mutation_is_rejected_at_that_uop(
+        serial in proptest::collection::vec(op_strategy(), 0..8),
+        par_ops in proptest::collection::vec(branchy_op_strategy(), 0..10),
+        threads in 1u8..24,
+        which in 0usize..1 << 16,
+        field in 0usize..8,
+    ) {
+        let prog = build(&serial, &par_ops, threads, &[]);
+        let (map, mut uops) = lower(prog.instrs(), UNIT_LAT);
+        let pc = which % uops.len();
+        let mutant = mutate(&uops[pc], field);
+        prop_assert_ne!(mutant, uops[pc]);
+        uops[pc] = mutant;
+        match validate_lowering(prog.instrs(), &map, &uops, UNIT_LAT) {
+            Ok(_) => prop_assert!(
+                false,
+                "mutation of field {} at pc {} survived validation\n{}",
+                field, pc, prog.disassemble()
+            ),
+            Err(e) => prop_assert_eq!(
+                e.pc, pc,
+                "counterexample anchored at pc {} instead of the mutated pc {}: {}",
+                e.pc, pc, e
+            ),
+        }
+    }
+}

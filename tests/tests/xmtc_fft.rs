@@ -13,56 +13,7 @@ use parafft::{Complex32, FftDirection, TwiddleTable};
 use xmt_isa::Interp;
 use xmt_sim::{MachineBuilder, XmtConfig};
 
-const FFT_XMTC: &str = r#"
-// Radix-2 DIF Stockham FFT over n points, ping-ponging A <-> B.
-int n = g0;
-int half = g1;
-int s = 1;
-int src = g3;
-int dst = g4;
-while (s < n) {
-    g2 = s;
-    g3 = src;      // rebroadcast current buffers for this stage
-    g4 = dst;
-    spawn (half) {
-        int s = g2;
-        int p = $ / s;
-        int q = $ % s;
-        // Stockham gather: x0 = src[$], x1 = src[$ + n/2].
-        int a0 = g3 + ($ * 2);
-        int a1 = g3 + (($ + g1) * 2);
-        float x0r = fmem[a0];
-        float x0i = fmem[a0 + 1];
-        float x1r = fmem[a1];
-        float x1i = fmem[a1 + 1];
-        // Butterfly.
-        float sr = x0r + x1r;
-        float si = x0i + x1i;
-        float dr = x0r - x1r;
-        float di = x0i - x1i;
-        // Twiddle w = omega_n^-(s*p mod n) applied to the difference.
-        int widx = (s * p) & g6;
-        int wa = g5 + widx * 2;
-        float wr = fmem[wa];
-        float wi = fmem[wa + 1];
-        float tr = dr * wr - di * wi;
-        float ti = dr * wi + di * wr;
-        // Scatter: dst[q + 2sp] = sum, dst[q + 2sp + s] = twiddled diff.
-        int o0 = g4 + ((q + 2 * s * p) * 2);
-        int o1 = o0 + s * 2;
-        fmem[o0] = sr;
-        fmem[o0 + 1] = si;
-        fmem[o1] = tr;
-        fmem[o1 + 1] = ti;
-    }
-    int tmp = src;
-    src = dst;
-    dst = tmp;
-    s = s * 2;
-}
-// Publish where the result ended up.
-g7 = src;
-"#;
+use xmtc::samples::FFT_RADIX2 as FFT_XMTC;
 
 fn setup(n: usize) -> (xmt_isa::Program, Vec<f32>, Vec<Complex32>) {
     let prog = xmtc::compile(FFT_XMTC).expect("XMTC FFT compiles");
