@@ -86,4 +86,23 @@ echo "== job server smoke: preemption, cache identity, worker kill =="
 # concurrent submitters must observe identical bytes (proptest).
 cargo test --release -p xmt-integration --test server_jobs -q
 
+echo "== network smoke: TCP protocol, WAL crash recovery, quotas, backpressure =="
+# The networked job service gate (DESIGN.md §18), three layers:
+#   wire_properties — proptest fuzz of every trust-boundary decoder
+#     (journal + TCP frames): arbitrary / truncated / bit-flipped bytes
+#     must yield typed errors, never a panic.
+#   net_service — loopback soak: concurrent multi-tenant clients over a
+#     kill_worker, typed QuotaExceeded/Overloaded shedding beside
+#     charge-free cache hits, deadline expiry + torn frames + dropped
+#     connections without wedging, and a journal-snapshot restart that
+#     finishes every job byte-identically under its original id.
+#   crash_restart — process level: SIGKILL the real xmt_jobd mid-batch
+#     on the paper sweep, restart on the same journal, and require
+#     byte-identical reports and probe rows, exactly one terminal state
+#     per job (zero lost, zero duplicated), and pre-crash idempotency
+#     tokens still resolving to the original ids.
+cargo test --release -p xmt-integration --test wire_properties -q
+cargo test --release -p xmt-integration --test net_service -q
+cargo test --release -p xmt-server --test crash_restart -q
+
 echo "ci.sh: all green"

@@ -1,0 +1,520 @@
+//! Blocking TCP client for the job service.
+//!
+//! Every call is one request→response exchange with a per-request
+//! deadline. Transport failures (connect refused, read timeout,
+//! dropped connection) are retried with capped exponential backoff —
+//! `backoff_base << attempt`, the same idiom the NoC uses for faulty
+//! links — and submissions are made **idempotent** by a client-side
+//! request token: a retry after an ambiguous failure (the request may
+//! or may not have been accepted) resubmits under the same token, and
+//! the server answers with the *original* job instead of queueing a
+//! duplicate. Typed server rejections ([`JobError::Overloaded`],
+//! [`JobError::QuotaExceeded`], …) are never retried — they are
+//! answers, not failures.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::job::{JobError, JobId, JobStatus};
+use crate::net::{
+    self, RemoteStats, Request, ERR_MALFORMED, MAX_FRAME, RESP_END, RESP_ERR, RESP_OK, RESP_RESULT,
+    RESP_ROW, RESP_STATS, RESP_STATUS, RESP_SUBMITTED,
+};
+use crate::server::Submission;
+use crate::wire::{self, Reader};
+use xmt_sim::{IntervalRow, RunReport};
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect deadline per attempt.
+    pub connect_timeout: Duration,
+    /// Response deadline per request (on top of any server-side wait
+    /// bound for [`Client::wait`]).
+    pub request_timeout: Duration,
+    /// Transport retries after the first attempt (typed server errors
+    /// are never retried).
+    pub retries: u32,
+    /// First retry backoff; attempt `n` sleeps `backoff_base << n`,
+    /// capped at two seconds.
+    pub backoff_base: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(30),
+            retries: 4,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure after exhausting retries.
+    Io(io::Error),
+    /// The per-request deadline expired waiting for the response.
+    Timeout,
+    /// The peer sent a frame this client cannot parse (or rejected
+    /// ours as malformed).
+    Protocol(&'static str),
+    /// The server answered with a typed job error.
+    Server(JobError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Timeout => write!(f, "request deadline expired"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Transport-level failures are retryable; typed answers are not.
+    fn retryable(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Timeout)
+    }
+}
+
+/// A terminal result fetched over the wire: the canonical report bytes
+/// plus the decoded report. The typed [`xmt_sim::SimError`] of a
+/// failed run does not cross the wire — `completed` distinguishes the
+/// two terminal states, and the (partial) report carries the cycles.
+#[derive(Debug, Clone)]
+pub struct RemoteResult {
+    /// True for a completed run, false for a failed one.
+    pub completed: bool,
+    /// Served from the server's content cache.
+    pub from_cache: bool,
+    /// Worker slices the job took.
+    pub slices: u32,
+    /// Canonical [`wire::encode_report`] bytes — byte-identical to
+    /// what a local [`crate::JobHandle::wait`] returns.
+    pub bytes: Vec<u8>,
+    /// The decoded report.
+    pub report: RunReport,
+}
+
+/// Blocking client: one TCP connection, re-established on demand.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+    next_token: u64,
+}
+
+impl Client {
+    /// Connect to a job server (retrying per the config).
+    pub fn connect(addr: &str, cfg: ClientConfig) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(ClientError::Io)?
+            .next()
+            .ok_or(ClientError::Protocol("address resolves to nothing"))?;
+        // Process-unique token seed: retries of one logical submission
+        // share a token; distinct submissions never do.
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        let mut c = Client {
+            addr,
+            cfg,
+            conn: None,
+            next_token: (nanos | 1) ^ ((std::process::id() as u64) << 32),
+        };
+        c.with_retries(|c| c.ensure_conn().map(|_| ()))?;
+        Ok(c)
+    }
+
+    /// Submit a job. A `token` of 0 is replaced with a fresh
+    /// client-generated one, so transport retries of this call are
+    /// idempotent; keep your own token to make *cross-process* retries
+    /// idempotent too.
+    pub fn submit(&mut self, mut sub: Submission) -> Result<JobId, ClientError> {
+        if sub.token == 0 {
+            sub.token = self.next_token;
+            self.next_token = self.next_token.wrapping_add(1) | 1;
+        }
+        let (tag, body) = net::encode_request_frame(&Request::Submit(Box::new(sub)));
+        let (rtag, rbody) = self.rpc(tag, &body, self.cfg.request_timeout)?;
+        match rtag {
+            RESP_SUBMITTED => {
+                let mut r = Reader::new(&rbody);
+                r.u64().map_err(ClientError::Protocol)
+            }
+            other => Err(unexpected(other, &rbody)),
+        }
+    }
+
+    /// Status snapshot for a job.
+    pub fn poll(&mut self, id: JobId) -> Result<JobStatus, ClientError> {
+        let (tag, body) = net::encode_request_frame(&Request::Poll(id));
+        let (rtag, rbody) = self.rpc(tag, &body, self.cfg.request_timeout)?;
+        match rtag {
+            RESP_STATUS => net::decode_status(&rbody).map_err(ClientError::Protocol),
+            other => Err(unexpected(other, &rbody)),
+        }
+    }
+
+    /// Wait for a job's terminal result, at most `timeout` (the server
+    /// enforces the bound and answers [`JobError::Timeout`]; the job
+    /// keeps running).
+    pub fn wait(&mut self, id: JobId, timeout: Duration) -> Result<RemoteResult, ClientError> {
+        let (tag, body) = net::encode_request_frame(&Request::Wait {
+            id,
+            timeout_ms: timeout.as_millis() as u64,
+        });
+        // The socket deadline must outlast the server-side wait bound.
+        let (rtag, rbody) = self.rpc(tag, &body, timeout + self.cfg.request_timeout)?;
+        match rtag {
+            RESP_RESULT => {
+                let mut r = Reader::new(&rbody);
+                let completed = match net::state_from_code(r.u8().map_err(ClientError::Protocol)?)
+                    .map_err(ClientError::Protocol)?
+                {
+                    crate::job::JobState::Done => true,
+                    crate::job::JobState::Failed => false,
+                    _ => return Err(ClientError::Protocol("non-terminal result state")),
+                };
+                let from_cache = r.u8().map_err(ClientError::Protocol)? != 0;
+                let slices = r.u32().map_err(ClientError::Protocol)?;
+                let bytes = r.blob().map_err(ClientError::Protocol)?;
+                let report = wire::decode_report(&bytes).map_err(ClientError::Protocol)?;
+                Ok(RemoteResult {
+                    completed,
+                    from_cache,
+                    slices,
+                    bytes,
+                    report,
+                })
+            }
+            other => Err(unexpected(other, &rbody)),
+        }
+    }
+
+    /// Cancel a job (idempotent; finished jobs keep their result).
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ClientError> {
+        let (tag, body) = net::encode_request_frame(&Request::Cancel(id));
+        let (rtag, rbody) = self.rpc(tag, &body, self.cfg.request_timeout)?;
+        match rtag {
+            RESP_OK => Ok(()),
+            other => Err(unexpected(other, &rbody)),
+        }
+    }
+
+    /// Server + cache statistics.
+    pub fn stats(&mut self) -> Result<RemoteStats, ClientError> {
+        let (tag, body) = net::encode_request_frame(&Request::Stats);
+        let (rtag, rbody) = self.rpc(tag, &body, self.cfg.request_timeout)?;
+        match rtag {
+            RESP_STATS => net::decode_stats(&rbody).map_err(ClientError::Protocol),
+            other => Err(unexpected(other, &rbody)),
+        }
+    }
+
+    /// Collect a probed job's streamed interval rows until the stream
+    /// ends (at the job's terminal state). `deadline` bounds the whole
+    /// collection. Only the first streamer of a job receives rows.
+    pub fn stream(
+        &mut self,
+        id: JobId,
+        deadline: Duration,
+    ) -> Result<Vec<IntervalRow>, ClientError> {
+        let (tag, body) = net::encode_request_frame(&Request::Stream(id));
+        // Streams are not idempotent (rows are consumed server-side):
+        // no transport retry here.
+        let hard = Instant::now() + deadline;
+        self.send_frame(tag, &body).map_err(ClientError::Io)?;
+        let mut rows = Vec::new();
+        loop {
+            let left = hard.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.conn = None;
+                return Err(ClientError::Timeout);
+            }
+            let (rtag, rbody) = match self.read_frame(left) {
+                Ok(f) => f,
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            };
+            match rtag {
+                RESP_ROW => rows.push(wire::decode_row(&rbody).map_err(ClientError::Protocol)?),
+                RESP_END => return Ok(rows),
+                other => return Err(unexpected(other, &rbody)),
+            }
+        }
+    }
+
+    /// One request→response exchange with transport retries.
+    fn rpc(
+        &mut self,
+        tag: u8,
+        body: &[u8],
+        read_deadline: Duration,
+    ) -> Result<(u8, Vec<u8>), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let r = self
+                .send_frame(tag, body)
+                .map_err(ClientError::Io)
+                .and_then(|()| self.read_frame(read_deadline));
+            match r {
+                Ok((RESP_ERR, body)) => {
+                    return Err(match body.first().copied().and_then(net::err_from_code) {
+                        Some(e) => ClientError::Server(e),
+                        None => ClientError::Protocol("server rejected the request frame"),
+                    });
+                }
+                Ok(other) => return Ok(other),
+                Err(e) if e.retryable() && attempt < self.cfg.retries => {
+                    self.conn = None;
+                    std::thread::sleep(backoff(self.cfg.backoff_base, attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Run `f` under the same retry/backoff policy as [`Client::rpc`].
+    fn with_retries(
+        &mut self,
+        f: impl Fn(&mut Client) -> Result<(), ClientError>,
+    ) -> Result<(), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match f(self) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.retryable() && attempt < self.cfg.retries => {
+                    self.conn = None;
+                    std::thread::sleep(backoff(self.cfg.backoff_base, attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.conn.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+                .map_err(ClientError::Io)?;
+            let _ = s.set_nodelay(true);
+            self.conn = Some(s);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn send_frame(&mut self, tag: u8, body: &[u8]) -> io::Result<()> {
+        let sock = match self.ensure_conn() {
+            Ok(s) => s,
+            Err(ClientError::Io(e)) => return Err(e),
+            Err(_) => return Err(io::ErrorKind::Other.into()),
+        };
+        net::write_frame(sock, tag, body)
+    }
+
+    /// Read one response frame within `deadline`.
+    fn read_frame(&mut self, deadline: Duration) -> Result<(u8, Vec<u8>), ClientError> {
+        let sock = self
+            .conn
+            .as_mut()
+            .ok_or(ClientError::Protocol("read without a connection"))?;
+        let hard = Instant::now() + deadline;
+        let mut len4 = [0u8; 4];
+        read_all(sock, &mut len4, hard)?;
+        let len = u32::from_le_bytes(len4) as usize;
+        if !(9..=MAX_FRAME).contains(&len) {
+            return Err(ClientError::Protocol("bad frame length"));
+        }
+        let mut payload = vec![0u8; len];
+        read_all(sock, &mut payload, hard)?;
+        let (tag, body) = net::split_frame(&payload).map_err(ClientError::Protocol)?;
+        if tag == RESP_ERR && body.first() == Some(&ERR_MALFORMED) {
+            return Err(ClientError::Protocol("server rejected the request frame"));
+        }
+        Ok((tag, body.to_vec()))
+    }
+}
+
+/// A response tag the request never asks for: either a peer bug or a
+/// desynchronized stream. Surface it as a protocol violation.
+fn unexpected(tag: u8, _body: &[u8]) -> ClientError {
+    match tag {
+        RESP_ERR => ClientError::Protocol("server rejected the request frame"),
+        _ => ClientError::Protocol("unexpected response tag"),
+    }
+}
+
+/// `backoff_base << attempt`, capped at two seconds.
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16))
+        .min(Duration::from_secs(2))
+}
+
+/// Read exactly `buf.len()` bytes before `hard`, surfacing timeouts as
+/// [`ClientError::Timeout`].
+fn read_all(sock: &mut TcpStream, buf: &mut [u8], hard: Instant) -> Result<(), ClientError> {
+    let mut off = 0;
+    while off < buf.len() {
+        let left = hard.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(ClientError::Timeout);
+        }
+        let _ = sock.set_read_timeout(Some(left.min(Duration::from_millis(200))));
+        match sock.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetServer;
+    use crate::request::SimRequest;
+    use crate::server::{Server, ServerConfig};
+    use std::io::Write;
+    use std::sync::Arc;
+
+    fn serve() -> (Arc<Server>, NetServer) {
+        let srv = Arc::new(
+            Server::start(ServerConfig {
+                workers: 2,
+                quantum: 2_000,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        );
+        let net = NetServer::bind(Arc::clone(&srv), "127.0.0.1:0").unwrap();
+        (srv, net)
+    }
+
+    #[test]
+    fn submit_wait_over_loopback_matches_local_run() {
+        let (srv, net) = serve();
+        let local = srv
+            .submit(SimRequest::golden("fft_radix8_n512").unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut c =
+            Client::connect(&net.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let id = c
+            .submit(Submission::new(
+                SimRequest::golden("fft_radix8_n512").unwrap(),
+            ))
+            .unwrap();
+        let r = c.wait(id, Duration::from_secs(120)).unwrap();
+        assert!(r.completed);
+        assert!(r.from_cache, "identical request is a cache hit");
+        assert_eq!(r.bytes, local.bytes, "byte-identical over the wire");
+        let status = c.poll(id).unwrap();
+        assert_eq!(status.state, crate::job::JobState::Done);
+    }
+
+    #[test]
+    fn wait_timeout_and_unknown_id_are_typed() {
+        let (_srv, net) = serve();
+        let mut c =
+            Client::connect(&net.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let id = c
+            .submit(Submission::new(
+                SimRequest::golden("fft_radix8_n512").unwrap(),
+            ))
+            .unwrap();
+        match c.wait(id, Duration::ZERO) {
+            Err(ClientError::Server(JobError::Timeout)) => {}
+            // The run can legitimately finish between submit and wait.
+            Ok(r) => assert!(r.completed),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        match c.poll(9_999) {
+            Err(ClientError::Server(JobError::UnknownJob)) => {}
+            other => panic!("expected UnknownJob, got {other:?}"),
+        }
+        let stats = c.stats().unwrap();
+        assert!(stats.server.submitted >= 1);
+    }
+
+    #[test]
+    fn resubmission_with_same_token_is_idempotent_over_tcp() {
+        let (_srv, net) = serve();
+        let mut c =
+            Client::connect(&net.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let sub = || {
+            Submission::new(SimRequest::golden("ps_tickets").unwrap())
+                .tenant("retry")
+                .token(777)
+        };
+        let a = c.submit(sub()).unwrap();
+        // Simulate an ambiguous failure: drop the connection and
+        // resubmit the same token from a fresh one.
+        drop(c);
+        let mut c2 =
+            Client::connect(&net.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let b = c2.submit(sub()).unwrap();
+        assert_eq!(a, b, "same (tenant, token) names the same job");
+        assert_eq!(c2.stats().unwrap().server.tokens_reused, 1);
+    }
+
+    #[test]
+    fn raw_garbage_gets_typed_rejection_not_a_crash() {
+        let (srv, net) = serve();
+        // A sound frame with garbage inside: typed ERR_MALFORMED.
+        let mut sock = std::net::TcpStream::connect(net.local_addr()).unwrap();
+        net::write_frame(&mut sock, REQ_SUBMIT_RAW, &[0xFF; 40]).unwrap();
+        let mut c = Client {
+            addr: net.local_addr(),
+            cfg: ClientConfig::default(),
+            conn: Some(sock),
+            next_token: 1,
+        };
+        match c.read_frame(Duration::from_secs(5)) {
+            Err(ClientError::Protocol(_)) => {}
+            other => panic!("expected protocol rejection, got {other:?}"),
+        }
+        // A torn frame (length prefix promising more than we send)
+        // just drops the connection server-side; the server survives.
+        let mut sock = std::net::TcpStream::connect(net.local_addr()).unwrap();
+        sock.write_all(&[200, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(sock);
+        // Server is still fully functional.
+        let mut c2 =
+            Client::connect(&net.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let id = c2
+            .submit(Submission::new(SimRequest::golden("ps_tickets").unwrap()))
+            .unwrap();
+        assert!(c2.wait(id, Duration::from_secs(120)).unwrap().completed);
+        drop(net);
+        drop(srv);
+    }
+
+    /// Alias so the raw-garbage test reads clearly.
+    const REQ_SUBMIT_RAW: u8 = super::super::net::REQ_SUBMIT;
+}

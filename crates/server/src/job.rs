@@ -4,8 +4,22 @@
 
 use xmt_sim::RunOutcome;
 
-/// Server-assigned job identity (dense, submission-ordered).
+/// Server-assigned job identity (dense, submission-ordered; stable
+/// across a journal-replayed restart).
 pub type JobId = u64;
+
+/// Scheduling lane for a submission. The scheduler drains `High`
+/// before `Normal`, with a bounded anti-starvation share for `Normal`
+/// (see `crates/server/src/server.rs`); within a lane, preempted jobs
+/// round-robin as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Lane {
+    /// The default lane: bulk sweeps, batch rows.
+    #[default]
+    Normal,
+    /// The express lane: interactive or deadline-bound requests.
+    High,
+}
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,15 +51,38 @@ pub struct JobStatus {
     pub slices: u32,
     /// True when the result was served from the content cache.
     pub from_cache: bool,
+    /// True when this job was collapsed onto an identical batch row
+    /// (sweep-level dedupe): it never executes on its own, its result
+    /// fans out from the primary.
+    pub deduped: bool,
 }
 
-/// Why a job produced no simulation outcome.
+/// Why a job produced no simulation outcome — or why a submission was
+/// rejected at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobError {
     /// The job was cancelled via [`crate::JobHandle::cancel`].
     Cancelled,
     /// The server shut down before the job finished.
     Shutdown,
+    /// A bounded wait ([`crate::JobHandle::wait_deadline`]) expired
+    /// before the job reached a terminal state. The job keeps running;
+    /// only the wait timed out.
+    Timeout,
+    /// Load shedding: the bounded submission queue is full. Back off
+    /// and resubmit.
+    Overloaded,
+    /// The submitting tenant's token bucket is exhausted (quota is
+    /// consumed in simulated cycles; it refills in wall-clock time).
+    QuotaExceeded,
+    /// No job with the requested id exists on this server (bad id, or
+    /// a journal that predates it).
+    UnknownJob,
+    /// The write-ahead journal could not durably record the
+    /// submission, so the job was **not** accepted (an acknowledged
+    /// submission must survive a crash; an unjournalable one is
+    /// refused instead of silently degrading).
+    Journal,
 }
 
 impl std::fmt::Display for JobError {
@@ -53,6 +90,11 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Shutdown => write!(f, "server shut down before the job finished"),
+            JobError::Timeout => write!(f, "wait deadline expired before the job finished"),
+            JobError::Overloaded => write!(f, "submission queue full (load shed)"),
+            JobError::QuotaExceeded => write!(f, "tenant quota exhausted"),
+            JobError::UnknownJob => write!(f, "no such job id on this server"),
+            JobError::Journal => write!(f, "journal append failed; submission not accepted"),
         }
     }
 }

@@ -40,13 +40,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod job;
+pub mod journal;
+pub mod net;
 pub mod request;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
-pub use job::{JobError, JobId, JobResult, JobState, JobStatus};
+pub use client::{Client, ClientConfig, ClientError, RemoteResult};
+pub use job::{JobError, JobId, JobResult, JobState, JobStatus, Lane};
+pub use journal::Journal;
+pub use net::{NetServer, RemoteStats};
 pub use request::{SimRequest, WorkloadSpec};
-pub use server::{JobHandle, Server, ServerConfig};
-pub use wire::{decode_report, encode_report};
+pub use server::{JobHandle, QuotaPolicy, Server, ServerConfig, ServerStats, Submission};
+pub use wire::{
+    decode_report, decode_request, decode_row, encode_report, encode_request, encode_row,
+};

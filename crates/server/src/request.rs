@@ -53,7 +53,7 @@ impl WorkloadSpec {
 }
 
 /// Look a golden case up by name across both case sets.
-fn find_case(name: &str) -> Option<GoldenCase> {
+pub(crate) fn find_case(name: &str) -> Option<GoldenCase> {
     golden::cases()
         .into_iter()
         .chain(golden::scaling_cases())

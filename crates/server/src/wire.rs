@@ -1,16 +1,39 @@
-//! Binary serialization of [`RunReport`] — the result cache's value
-//! format.
+//! Binary serialization of the service's value types: [`RunReport`]
+//! (the result cache's value format), [`SimRequest`] (the submit
+//! payload and journal record body) and [`IntervalRow`] (the streamed
+//! probe sample).
 //!
 //! Same idiom as the simulator's checkpoint codec: versioned magic,
 //! little-endian fixed-width fields, length-prefixed arrays, floats
-//! bit-exact via `to_bits`. Encoding is canonical — equal reports
+//! bit-exact via `to_bits`. Encoding is canonical — equal values
 //! encode to equal bytes — which is what makes "a cache hit returns a
 //! byte-identical report" a checkable contract rather than a hope.
+//!
+//! Every decoder is total: arbitrary, truncated or bit-flipped input
+//! returns a typed error — never a panic, never an over-read, never an
+//! attacker-sized allocation (length prefixes are bounded by the
+//! remaining payload, and request fields carry explicit sanity
+//! bounds). `tests/tests/wire_properties.rs` fuzzes this contract.
 
-use xmt_sim::{MachineStats, RunReport, SpawnStats, UtilizationReport};
+use crate::request::{SimRequest, WorkloadSpec};
+use xmt_sim::{
+    BlockedTcus, Engine, FaultPlan, IntervalRow, MachineStats, RunReport, SimConfig, SpawnStats,
+    TranslationTier, UtilizationReport, XmtConfig,
+};
+
+/// Typed decode failure: a static description of the first violated
+/// invariant. (`&'static str` keeps the codec allocation-free on the
+/// error path — the same idiom the checkpoint codec uses.)
+pub type WireError = &'static str;
 
 /// Format magic: "XMTREP" plus a format version byte.
 const MAGIC: u64 = 0x584D_5452_4550_0001;
+
+/// Request-format magic: "XMTREQ" plus a format version byte.
+const REQ_MAGIC: u64 = 0x584D_5452_5121_0001;
+
+/// Row-format magic: "XMTROW" plus a format version byte.
+const ROW_MAGIC: u64 = 0x584D_5452_4F57_0001;
 
 /// Serialize a report to the versioned little-endian byte format.
 pub fn encode_report(r: &RunReport) -> Vec<u8> {
@@ -59,11 +82,306 @@ pub fn decode_report(bytes: &[u8]) -> Result<RunReport, &'static str> {
     })
 }
 
-fn put_u32(b: &mut Vec<u8>, v: u32) {
+/// Serialize a request — workload spec plus the *complete*
+/// [`SimConfig`] (engine and probe settings included, unlike the cache
+/// key) — to the versioned little-endian byte format. This is the
+/// submit payload on the wire and the body of a journal `Submit`
+/// record.
+pub fn encode_request(req: &SimRequest) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256);
+    put_u64(&mut b, REQ_MAGIC);
+    match &req.workload {
+        WorkloadSpec::Golden { name } => {
+            b.push(0);
+            put_str(&mut b, name);
+        }
+        WorkloadSpec::Fft {
+            dims,
+            copies,
+            input_seed,
+        } => {
+            b.push(1);
+            put_u32(&mut b, dims.len() as u32);
+            for &d in dims {
+                put_u64(&mut b, d as u64);
+            }
+            put_u32(&mut b, *copies);
+            put_u64(&mut b, *input_seed);
+        }
+    }
+    put_sim_config(&mut b, &req.sim);
+    b
+}
+
+/// Parse a request. Beyond structural decoding this *validates* the
+/// request — golden names must resolve, FFT shapes and every resource
+/// knob must sit inside the service bounds — so a worker never sees an
+/// unresolvable or resource-exhausting job and the resolver in
+/// [`SimRequest::program`] can keep its "validated at construction"
+/// contract.
+pub fn decode_request(bytes: &[u8]) -> Result<SimRequest, WireError> {
+    let mut r = Reader { b: bytes, pos: 0 };
+    if r.u64()? != REQ_MAGIC {
+        return Err("request magic/version mismatch");
+    }
+    let workload = match r.u8()? {
+        0 => {
+            let name = r.str(128)?;
+            WorkloadSpec::Golden { name }
+        }
+        1 => {
+            let ndims = r.u32()? as usize;
+            if ndims == 0 || ndims > 3 {
+                return Err("fft rank outside 1..=3");
+            }
+            let mut dims = Vec::with_capacity(ndims);
+            let mut total: u64 = 1;
+            for _ in 0..ndims {
+                let d = r.u64()?;
+                if !(2..=(1 << 22)).contains(&d) || !d.is_power_of_two() {
+                    return Err("fft dimension not a power of two in bounds");
+                }
+                total = total.saturating_mul(d);
+                dims.push(d as usize);
+            }
+            let copies = r.u32()?;
+            if copies == 0 || copies > 1024 {
+                return Err("fft copies outside 1..=1024");
+            }
+            if total.saturating_mul(u64::from(copies)) > (1 << 24) {
+                return Err("fft footprint exceeds service bound");
+            }
+            let input_seed = r.u64()?;
+            WorkloadSpec::Fft {
+                dims,
+                copies,
+                input_seed,
+            }
+        }
+        _ => return Err("unknown workload tag"),
+    };
+    let sim = r.sim_config()?;
+    if r.pos != bytes.len() {
+        return Err("trailing bytes after request payload");
+    }
+    let req = SimRequest { workload, sim };
+    if let WorkloadSpec::Golden { name } = &req.workload {
+        if crate::request::find_case(name).is_none() {
+            return Err("unknown golden workload name");
+        }
+    }
+    Ok(req)
+}
+
+/// Serialize one streamed probe sample.
+pub fn encode_row(row: &IntervalRow) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256);
+    put_u64(&mut b, ROW_MAGIC);
+    put_u64(&mut b, row.boundary);
+    put_u64(&mut b, row.cycle);
+    match row.spawn {
+        None => b.push(0),
+        Some(s) => {
+            b.push(1);
+            put_u64(&mut b, s);
+        }
+    }
+    for v in [
+        row.instructions,
+        row.flops,
+        row.mem_reads,
+        row.mem_writes,
+        row.threads,
+        row.stall_scoreboard,
+        row.stall_fpu,
+        row.stall_mdu,
+        row.stall_lsu,
+        row.dram_bytes,
+        row.noc_injected,
+        row.noc_delivered,
+        row.noc_rejections,
+        row.noc_in_flight,
+        row.txns_in_flight,
+        row.blocked.scoreboard,
+        row.blocked.fpu,
+        row.blocked.mdu,
+        row.blocked.lsu,
+        row.module_queue,
+        row.ecc_corrected,
+        row.ecc_detected,
+        row.noc_corrupted,
+        row.noc_retried,
+    ] {
+        put_u64(&mut b, v);
+    }
+    put_u64s(&mut b, &row.channel_busy);
+    put_u64s(&mut b, &row.channel_queue);
+    b
+}
+
+/// Parse one streamed probe sample.
+pub fn decode_row(bytes: &[u8]) -> Result<IntervalRow, WireError> {
+    let mut r = Reader { b: bytes, pos: 0 };
+    if r.u64()? != ROW_MAGIC {
+        return Err("row magic/version mismatch");
+    }
+    let boundary = r.u64()?;
+    let cycle = r.u64()?;
+    let spawn = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return Err("bad spawn flag"),
+    };
+    let row = IntervalRow {
+        boundary,
+        cycle,
+        spawn,
+        instructions: r.u64()?,
+        flops: r.u64()?,
+        mem_reads: r.u64()?,
+        mem_writes: r.u64()?,
+        threads: r.u64()?,
+        stall_scoreboard: r.u64()?,
+        stall_fpu: r.u64()?,
+        stall_mdu: r.u64()?,
+        stall_lsu: r.u64()?,
+        dram_bytes: r.u64()?,
+        noc_injected: r.u64()?,
+        noc_delivered: r.u64()?,
+        noc_rejections: r.u64()?,
+        noc_in_flight: r.u64()?,
+        txns_in_flight: r.u64()?,
+        blocked: BlockedTcus {
+            scoreboard: r.u64()?,
+            fpu: r.u64()?,
+            mdu: r.u64()?,
+            lsu: r.u64()?,
+        },
+        module_queue: r.u64()?,
+        ecc_corrected: r.u64()?,
+        ecc_detected: r.u64()?,
+        noc_corrupted: r.u64()?,
+        noc_retried: r.u64()?,
+        channel_busy: r.u64s()?,
+        channel_queue: r.u64s()?,
+    };
+    if r.pos != bytes.len() {
+        return Err("trailing bytes after row payload");
+    }
+    Ok(row)
+}
+
+fn put_sim_config(b: &mut Vec<u8>, s: &SimConfig) {
+    put_xmt_config(b, &s.arch);
+    match s.engine {
+        Engine::Reference => b.push(0),
+        Engine::FastForward => b.push(1),
+        Engine::Threaded { threads } => {
+            b.push(2);
+            put_u32(b, threads as u32);
+        }
+    }
+    b.push(match s.tier {
+        TranslationTier::Interpreter => 0,
+        TranslationTier::Block => 1,
+    });
+    put_fault_plan(b, &s.faults);
+    put_opt_u64(b, s.watchdog);
+    put_opt_u64(b, s.max_cycles);
+    put_opt_u64(b, s.probe_interval);
+    put_u64(b, s.probe_capacity as u64);
+    put_u64(b, s.mem_words as u64);
+}
+
+fn put_xmt_config(b: &mut Vec<u8>, a: &XmtConfig) {
+    put_str(b, a.name);
+    for v in [
+        a.tcus as u64,
+        a.clusters as u64,
+        a.tcus_per_cluster as u64,
+        a.memory_modules as u64,
+        a.mm_per_dram_ctrl as u64,
+        a.fpus_per_cluster as u64,
+        a.alus_per_cluster as u64,
+        a.mdus_per_cluster as u64,
+        a.lsus_per_cluster as u64,
+        u64::from(a.mot_levels),
+        u64::from(a.butterfly_levels),
+        a.clock_ghz.to_bits(),
+        u64::from(a.tech_nm),
+        u64::from(a.si_layers),
+        a.cache.lines as u64,
+        a.cache.ways as u64,
+        a.cache.line_words as u64,
+        u64::from(a.cache.hit_latency),
+        a.dram.bytes_per_cycle.to_bits(),
+        u64::from(a.dram.access_latency),
+        u64::from(a.dram.line_bytes),
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn put_fault_plan(b: &mut Vec<u8>, f: &FaultPlan) {
+    put_u64(b, f.seed);
+    put_u64(b, f.dram_single.to_bits());
+    put_u64(b, f.dram_double.to_bits());
+    put_u32(b, f.dram_retry_limit);
+    put_u64(b, f.noc_corrupt.to_bits());
+    put_u32(b, f.noc_retry_limit);
+    put_u64(b, f.noc_backoff_base);
+    put_u64s(
+        b,
+        &f.dead_clusters
+            .iter()
+            .map(|&c| c as u64)
+            .collect::<Vec<_>>(),
+    );
+    put_u64s(
+        b,
+        &f.dead_tcus
+            .iter()
+            .flat_map(|t| [t.cluster as u64, t.tcu as u64])
+            .collect::<Vec<_>>(),
+    );
+    put_u64s(
+        b,
+        &f.stuck_tcus
+            .iter()
+            .flat_map(|t| [t.cluster as u64, t.tcu as u64])
+            .collect::<Vec<_>>(),
+    );
+    put_u64s(
+        b,
+        &f.dead_channels
+            .iter()
+            .map(|&c| c as u64)
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// `Some(v)` as `[1, v]`, `None` as `[0]`.
+fn put_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => b.push(0),
+        Some(v) => {
+            b.push(1);
+            put_u64(b, v);
+        }
+    }
+}
+
+/// A length-prefixed UTF-8 string.
+pub(crate) fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_u32(b: &mut Vec<u8>, v: u32) {
     b.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(b: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(b: &mut Vec<u8>, v: u64) {
     b.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -119,13 +437,186 @@ fn put_spawn_stats(b: &mut Vec<u8>, s: &SpawnStats) {
     }
 }
 
-struct Reader<'a> {
-    b: &'a [u8],
-    pos: usize,
+/// Bounds-checked little-endian reader over a byte slice — every
+/// decoder in this crate (reports, requests, rows, net frames, journal
+/// records) funnels through it, so "never over-read" is enforced in
+/// one place.
+pub(crate) struct Reader<'a> {
+    pub(crate) b: &'a [u8],
+    pub(crate) pos: usize,
 }
 
-impl Reader<'_> {
-    fn u32(&mut self) -> Result<u32, &'static str> {
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { b: bytes, pos: 0 }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, &'static str> {
+        let v = *self.b.get(self.pos).ok_or("payload truncated")?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// A length-prefixed UTF-8 string, capped at `max` bytes.
+    pub(crate) fn str(&mut self, max: usize) -> Result<String, &'static str> {
+        let n = self.len()?;
+        if n > max {
+            return Err("string length exceeds field bound");
+        }
+        let end = self.pos + n;
+        let s = std::str::from_utf8(&self.b[self.pos..end]).map_err(|_| "string not UTF-8")?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    /// A length-prefixed byte blob (length bounded by the remaining
+    /// payload, like every prefix).
+    pub(crate) fn blob(&mut self) -> Result<Vec<u8>, &'static str> {
+        let n = self.len()?;
+        let end = self.pos + n;
+        let v = self.b[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, &'static str> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err("bad option flag"),
+        }
+    }
+
+    /// A `usize` that must fit the service's allocation bounds.
+    fn bounded_usize(&mut self, max: u64, what: &'static str) -> Result<usize, &'static str> {
+        let v = self.u64()?;
+        if v > max {
+            return Err(what);
+        }
+        Ok(v as usize)
+    }
+
+    fn sim_config(&mut self) -> Result<SimConfig, &'static str> {
+        let arch = self.xmt_config()?;
+        let engine = match self.u8()? {
+            0 => Engine::Reference,
+            1 => Engine::FastForward,
+            2 => {
+                let threads = self.u32()?;
+                if threads == 0 || threads > 512 {
+                    return Err("threaded engine thread count outside 1..=512");
+                }
+                Engine::Threaded {
+                    threads: threads as usize,
+                }
+            }
+            _ => return Err("unknown engine tag"),
+        };
+        let tier = match self.u8()? {
+            0 => TranslationTier::Interpreter,
+            1 => TranslationTier::Block,
+            _ => return Err("unknown tier tag"),
+        };
+        let faults = self.fault_plan()?;
+        let watchdog = self.opt_u64()?;
+        let max_cycles = self.opt_u64()?;
+        let probe_interval = self.opt_u64()?;
+        if probe_interval == Some(0) {
+            return Err("probe interval must be nonzero");
+        }
+        let probe_capacity = self.bounded_usize(1 << 20, "probe capacity exceeds bound")?;
+        let mem_words = self.bounded_usize(1 << 28, "memory image exceeds bound")?;
+        let mut s = SimConfig::new(&arch)
+            .engine(engine)
+            .tier(tier)
+            .faults(faults)
+            .probe_capacity(probe_capacity)
+            .mem_words(mem_words);
+        s.watchdog = watchdog;
+        s.max_cycles = max_cycles;
+        s.probe_interval = probe_interval;
+        Ok(s)
+    }
+
+    fn xmt_config(&mut self) -> Result<XmtConfig, &'static str> {
+        let name = self.str(32)?;
+        // `XmtConfig::name` is `&'static str`: resolve against the five
+        // paper configurations instead of leaking attacker-controlled
+        // strings. Every config the workspace produces (including
+        // `scaled_to` variants) keeps its base row's name.
+        let mut cfg = XmtConfig::paper_configs()
+            .into_iter()
+            .find(|c| c.name == name)
+            .ok_or("unknown architecture name")?;
+        cfg.tcus = self.bounded_usize(1 << 20, "tcus exceeds bound")?;
+        cfg.clusters = self.bounded_usize(1 << 14, "clusters exceeds bound")?;
+        cfg.tcus_per_cluster = self.bounded_usize(1 << 10, "tcus/cluster exceeds bound")?;
+        cfg.memory_modules = self.bounded_usize(1 << 14, "memory modules exceed bound")?;
+        cfg.mm_per_dram_ctrl = self.bounded_usize(1 << 14, "mm/ctrl exceeds bound")?;
+        cfg.fpus_per_cluster = self.bounded_usize(1 << 10, "fpus/cluster exceeds bound")?;
+        cfg.alus_per_cluster = self.bounded_usize(1 << 10, "alus/cluster exceeds bound")?;
+        cfg.mdus_per_cluster = self.bounded_usize(1 << 10, "mdus/cluster exceeds bound")?;
+        cfg.lsus_per_cluster = self.bounded_usize(1 << 10, "lsus/cluster exceeds bound")?;
+        cfg.mot_levels = self.u64()? as u32;
+        cfg.butterfly_levels = self.u64()? as u32;
+        if cfg.mot_levels > 32 || cfg.butterfly_levels > 32 {
+            return Err("noc levels exceed bound");
+        }
+        cfg.clock_ghz = f64::from_bits(self.u64()?);
+        cfg.tech_nm = self.u64()? as u32;
+        cfg.si_layers = self.u64()? as u32;
+        cfg.cache.lines = self.bounded_usize(1 << 20, "cache lines exceed bound")?;
+        cfg.cache.ways = self.bounded_usize(1 << 8, "cache ways exceed bound")?;
+        cfg.cache.line_words = self.bounded_usize(1 << 8, "cache line words exceed bound")?;
+        cfg.cache.hit_latency = self.u64()? as u32;
+        cfg.dram.bytes_per_cycle = f64::from_bits(self.u64()?);
+        cfg.dram.access_latency = self.u64()? as u32;
+        cfg.dram.line_bytes = self.u64()? as u32;
+        Ok(cfg)
+    }
+
+    fn fault_plan(&mut self) -> Result<FaultPlan, &'static str> {
+        let mut f = FaultPlan::new(self.u64()?);
+        f.dram_single = f64::from_bits(self.u64()?);
+        f.dram_double = f64::from_bits(self.u64()?);
+        f.dram_retry_limit = self.u32()?;
+        f.noc_corrupt = f64::from_bits(self.u64()?);
+        f.noc_retry_limit = self.u32()?;
+        f.noc_backoff_base = self.u64()?;
+        f.dead_clusters = self.component_list()?;
+        f.dead_tcus = self.tcu_list()?;
+        f.stuck_tcus = self.tcu_list()?;
+        f.dead_channels = self.component_list()?;
+        Ok(f)
+    }
+
+    fn component_list(&mut self) -> Result<Vec<usize>, &'static str> {
+        let vs = self.u64s()?;
+        if vs.len() > 4096 || vs.iter().any(|&v| v > 1 << 20) {
+            return Err("component fault list exceeds bound");
+        }
+        Ok(vs.into_iter().map(|v| v as usize).collect())
+    }
+
+    fn tcu_list(&mut self) -> Result<Vec<xmt_sim::TcuId>, &'static str> {
+        let vs = self.u64s()?;
+        if vs.len() % 2 != 0 {
+            return Err("tcu fault list has odd length");
+        }
+        if vs.len() > 8192 || vs.iter().any(|&v| v > 1 << 20) {
+            return Err("tcu fault list exceeds bound");
+        }
+        Ok(vs
+            .chunks_exact(2)
+            .map(|p| xmt_sim::TcuId {
+                cluster: p[0] as usize,
+                tcu: p[1] as usize,
+            })
+            .collect())
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, &'static str> {
         let end = self.pos + 4;
         if end > self.b.len() {
             return Err("report truncated");
@@ -135,7 +626,7 @@ impl Reader<'_> {
         Ok(v)
     }
 
-    fn u64(&mut self) -> Result<u64, &'static str> {
+    pub(crate) fn u64(&mut self) -> Result<u64, &'static str> {
         let end = self.pos + 8;
         if end > self.b.len() {
             return Err("report truncated");
@@ -147,7 +638,7 @@ impl Reader<'_> {
 
     /// A length prefix, bounded by the remaining payload so a corrupt
     /// count cannot drive a huge allocation.
-    fn len(&mut self) -> Result<usize, &'static str> {
+    pub(crate) fn len(&mut self) -> Result<usize, &'static str> {
         let n = self.u32()? as usize;
         if n > self.b.len() - self.pos {
             return Err("report length prefix exceeds payload");
@@ -155,7 +646,7 @@ impl Reader<'_> {
         Ok(n)
     }
 
-    fn u64s(&mut self) -> Result<Vec<u64>, &'static str> {
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>, &'static str> {
         let n = self.len()?;
         if n * 8 > self.b.len() - self.pos {
             return Err("report truncated inside u64 array");
@@ -268,5 +759,86 @@ mod tests {
         let mut long = bytes;
         long.push(0);
         assert!(decode_report(&long).is_err());
+    }
+
+    #[test]
+    fn request_round_trip_preserves_digest() {
+        let golden = SimRequest::golden("fft_radix8_n512")
+            .unwrap()
+            .with_sim(|s| {
+                s.engine(Engine::Threaded { threads: 3 })
+                    .tier(TranslationTier::Interpreter)
+                    .faults(
+                        FaultPlan::new(9)
+                            .dram_flips(1e-6, 1e-9)
+                            .noc_corrupt(1e-5)
+                            .stuck_tcu(1, 2)
+                            .dead_channel(0),
+                    )
+                    .watchdog(10_000)
+                    .probed(128)
+            });
+        let arch = XmtConfig::xmt_8k().scaled_to(8);
+        let fft = SimRequest::fft(&[64, 64], 2, 7, &arch);
+        for req in [golden, fft] {
+            let bytes = encode_request(&req);
+            let back = decode_request(&bytes).expect("round trip");
+            assert_eq!(back, req);
+            assert_eq!(back.digest(), req.digest(), "content address survives");
+            assert_eq!(encode_request(&back), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn request_decoder_rejects_garbage_and_bounds() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0; 64]).is_err());
+        let good = encode_request(&SimRequest::golden("ps_tickets").unwrap());
+        for cut in [0, 8, 9, good.len() / 2, good.len() - 1] {
+            assert!(decode_request(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // An unknown golden name decodes structurally but must fail
+        // validation (the resolver would panic on it downstream).
+        let mut req = SimRequest::golden("ps_tickets").unwrap();
+        req.workload = WorkloadSpec::Golden {
+            name: "no_such_case".into(),
+        };
+        assert!(decode_request(&encode_request(&req)).is_err());
+        // An absurd FFT shape is rejected by the footprint bound.
+        let arch = XmtConfig::xmt_4k().scaled_to(4);
+        let mut fft = SimRequest::fft(&[256], 1, 0, &arch);
+        fft.workload = WorkloadSpec::Fft {
+            dims: vec![1 << 22, 1 << 22],
+            copies: 1024,
+            input_seed: 0,
+        };
+        assert!(decode_request(&encode_request(&fft)).is_err());
+    }
+
+    #[test]
+    fn row_round_trip_is_exact() {
+        let row = IntervalRow {
+            boundary: 640,
+            cycle: 641,
+            spawn: Some(3),
+            instructions: 10,
+            flops: 4,
+            dram_bytes: 4096,
+            blocked: BlockedTcus {
+                scoreboard: 1,
+                fpu: 2,
+                mdu: 3,
+                lsu: 4,
+            },
+            channel_busy: vec![1, 2, 3],
+            channel_queue: vec![0, 9],
+            ..Default::default()
+        };
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).unwrap();
+        assert_eq!(back, row);
+        for cut in [0, 7, bytes.len() - 1] {
+            assert!(decode_row(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -1881,6 +1881,14 @@ impl<P: Probe> Machine<P> {
         })
     }
 
+    /// [`Machine::checkpoint`] straight to serialized bytes — the form
+    /// every consumer that moves checkpoints across threads, files or
+    /// sockets (the job server's slice commit, its write-ahead
+    /// journal) actually wants. Same quiescence requirement.
+    pub fn checkpoint_bytes(&mut self) -> Result<Vec<u8>, SimError> {
+        Ok(self.checkpoint()?.to_bytes())
+    }
+
     /// Move the clock from the end of a quiet cycle to just before the
     /// next event, replicating the bulk effects per-cycle stepping
     /// would have had: stall counters accrue per skipped cycle,

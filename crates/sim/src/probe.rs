@@ -144,7 +144,7 @@ impl Probe for NoProbe {
 
 /// One materialized sample: per-interval deltas plus instantaneous
 /// occupancy at the boundary. Produced by [`IntervalProbe::rows`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IntervalRow {
     /// Nominal interval boundary (see [`SampleCtx::boundary`]).
     pub boundary: u64,

@@ -19,8 +19,11 @@
 //!   (property-based).
 
 use proptest::prelude::*;
+use std::time::Duration;
 use xmt_fft::golden;
-use xmt_server::{encode_report, JobState, Server, ServerConfig, SimRequest};
+use xmt_server::{
+    encode_report, JobError, JobHandle, JobResult, JobState, Server, ServerConfig, SimRequest,
+};
 
 fn server(workers: usize, quantum: u64) -> Server {
     Server::start(ServerConfig {
@@ -28,7 +31,15 @@ fn server(workers: usize, quantum: u64) -> Server {
         quantum,
         cache_entries: 32,
         cache_dir: None,
+        ..ServerConfig::default()
     })
+    .unwrap()
+}
+
+/// Every wait in this suite is deadline-bounded: a hung scheduler must
+/// fail the test with [`JobError::Timeout`], not wedge the harness.
+fn finish(h: &JobHandle) -> Result<JobResult, JobError> {
+    h.wait_deadline(Duration::from_secs(300))
 }
 
 /// The expected canonical report bytes for a golden case, computed by
@@ -49,10 +60,12 @@ fn preempt_resume_bit_identical_on_every_golden_case() {
     let sliced_srv = server(2, 700);
     for case in golden::cases() {
         let want = direct_bytes(case.name);
-        let got = sliced_srv
-            .submit(SimRequest::golden(case.name).unwrap())
-            .wait()
-            .unwrap();
+        let got = finish(
+            &sliced_srv
+                .submit(SimRequest::golden(case.name).unwrap())
+                .unwrap(),
+        )
+        .unwrap();
         assert!(got.outcome.is_completed(), "{} must complete", case.name);
         assert_eq!(got.bytes, want, "{}: sliced != uninterrupted", case.name);
     }
@@ -63,10 +76,11 @@ fn preempt_resume_bit_identical_on_every_golden_case() {
 #[test]
 fn long_job_takes_multiple_slices() {
     let srv = server(1, 700);
-    let r = srv
-        .submit(SimRequest::golden("fft_radix8_n512").unwrap())
-        .wait()
-        .unwrap();
+    let r = finish(
+        &srv.submit(SimRequest::golden("fft_radix8_n512").unwrap())
+            .unwrap(),
+    )
+    .unwrap();
     assert!(
         r.slices > 1,
         "10k cycles over quantum 700: got {}",
@@ -82,14 +96,16 @@ fn long_job_takes_multiple_slices() {
 fn probe_stream_is_identical_across_preemption() {
     let probed = |quantum: u64| {
         let srv = server(1, quantum);
-        let mut h = srv.submit(
-            SimRequest::golden("fft_radix8_n512")
-                .unwrap()
-                .with_sim(|s| s.probed(64)),
-        );
+        let mut h = srv
+            .submit(
+                SimRequest::golden("fft_radix8_n512")
+                    .unwrap()
+                    .with_sim(|s| s.probed(64)),
+            )
+            .unwrap();
         let rx = h.take_stream().expect("probed request streams");
         let rows: Vec<_> = rx.iter().collect();
-        let r = h.wait().unwrap();
+        let r = finish(&h).unwrap();
         assert!(r.outcome.is_completed());
         (rows, r.bytes)
     };
@@ -109,38 +125,42 @@ fn probe_stream_is_identical_across_preemption() {
 #[test]
 fn cache_hits_are_byte_equal_and_engine_blind() {
     let srv = server(2, u64::MAX);
-    let first = srv
-        .submit(SimRequest::golden("spawn_storm").unwrap())
-        .wait()
-        .unwrap();
+    let first = finish(
+        &srv.submit(SimRequest::golden("spawn_storm").unwrap())
+            .unwrap(),
+    )
+    .unwrap();
     assert!(!first.from_cache);
     // Same request again: served from cache, byte-equal.
-    let again = srv
-        .submit(SimRequest::golden("spawn_storm").unwrap())
-        .wait()
-        .unwrap();
+    let again = finish(
+        &srv.submit(SimRequest::golden("spawn_storm").unwrap())
+            .unwrap(),
+    )
+    .unwrap();
     assert!(again.from_cache);
     assert_eq!(again.bytes, first.bytes);
     // Engine change: still a hit (engines are bit-identical).
-    let ref_engine = srv
-        .submit(
+    let ref_engine = finish(
+        &srv.submit(
             SimRequest::golden("spawn_storm")
                 .unwrap()
                 .with_sim(|s| s.engine(xmt_sim::Engine::Reference)),
         )
-        .wait()
-        .unwrap();
+        .unwrap(),
+    )
+    .unwrap();
     assert!(ref_engine.from_cache, "engine is not in the cache key");
     assert_eq!(ref_engine.bytes, first.bytes);
     // Fault-seed change: a different result, not a false hit.
-    let seeded = srv
-        .submit(
+    let seeded = finish(
+        &srv.submit(
             SimRequest::golden("spawn_storm")
                 .unwrap()
                 .with_sim(|s| s.faults(xmt_sim::FaultPlan::new(42).dram_flips(0.01, 0.001))),
         )
-        .wait()
-        .unwrap();
+        .unwrap(),
+    )
+    .unwrap();
     assert!(!seeded.from_cache, "fault seed is in the cache key");
 }
 
@@ -155,16 +175,25 @@ fn persisted_cache_survives_server_restart() {
         quantum: u64::MAX,
         cache_entries: 8,
         cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
     };
-    let first = Server::start(cfg())
-        .submit(SimRequest::golden("ps_tickets").unwrap())
-        .wait()
-        .unwrap();
+    let first = {
+        let srv = Server::start(cfg()).unwrap();
+        finish(
+            &srv.submit(SimRequest::golden("ps_tickets").unwrap())
+                .unwrap(),
+        )
+        .unwrap()
+    };
     assert!(!first.from_cache);
-    let revived = Server::start(cfg())
-        .submit(SimRequest::golden("ps_tickets").unwrap())
-        .wait()
-        .unwrap();
+    let revived = {
+        let srv = Server::start(cfg()).unwrap();
+        finish(
+            &srv.submit(SimRequest::golden("ps_tickets").unwrap())
+                .unwrap(),
+        )
+        .unwrap()
+    };
     assert!(revived.from_cache, "restart must hit the persisted entry");
     assert_eq!(revived.bytes, first.bytes);
     let _ = std::fs::remove_dir_all(&dir);
@@ -177,13 +206,17 @@ fn persisted_cache_survives_server_restart() {
 #[test]
 fn killed_worker_job_resumes_bit_identically() {
     let srv = server(1, 800);
-    let handles = srv.submit_batch(SimRequest::paper_batch());
+    let handles: Vec<_> = srv
+        .submit_batch(SimRequest::paper_batch())
+        .into_iter()
+        .map(|h| h.unwrap())
+        .collect();
     // Kill the (only) worker while the batch is in flight; the
     // replacement picks the rolled-back jobs up from their last
     // checkpoints.
     srv.kill_worker();
     for (h, case) in handles.iter().zip(golden::cases()) {
-        let r = h.wait().unwrap();
+        let r = finish(h).unwrap();
         assert!(
             r.outcome.is_completed(),
             "{} must survive the kill",
@@ -200,10 +233,11 @@ fn killed_worker_job_resumes_bit_identically() {
     // The whole sweep again: every row served from cache, byte-equal.
     for (h, case) in srv
         .submit_batch(SimRequest::paper_batch())
-        .iter()
+        .into_iter()
+        .map(|h| h.unwrap())
         .zip(golden::cases())
     {
-        let r = h.wait().unwrap();
+        let r = finish(&h).unwrap();
         assert!(r.from_cache, "{}: expected a cache hit", case.name);
         assert_eq!(r.bytes, direct_bytes(case.name));
     }
@@ -234,10 +268,10 @@ proptest! {
                 let srv = &srv;
                 scope.spawn(move || {
                     for &p in picks {
-                        let r = srv
-                            .submit(SimRequest::golden(names[p]).unwrap())
-                            .wait()
-                            .unwrap();
+                        let r = finish(
+                            &srv.submit(SimRequest::golden(names[p]).unwrap()).unwrap(),
+                        )
+                        .unwrap();
                         assert_eq!(r.bytes, expected[p], "{} diverged", names[p]);
                     }
                 });

@@ -1,0 +1,116 @@
+//! Adversarial-input properties of the job service's wire codecs.
+//!
+//! The journal replays whatever a crash left on disk and the TCP
+//! front end parses whatever a socket delivers, so every decoder in
+//! `xmt_server::wire` and `xmt_server::net` is a trust boundary. The
+//! properties pin the contract: on *arbitrary* bytes, on *truncated*
+//! valid encodings, and on *bit-flipped* valid encodings, every
+//! decoder returns a typed error or a (harmless) decoded value — it
+//! never panics and never reads past the buffer. Round-trips of valid
+//! values stay exact under the same generators.
+
+use proptest::prelude::*;
+use xmt_server::net::{self, Request};
+use xmt_server::{decode_report, decode_request, decode_row, encode_request, SimRequest};
+
+/// All the golden names the request codec can carry.
+const NAMES: [&str; 3] = ["ps_tickets", "fft_radix8_n512", "spawn_storm"];
+
+/// Every decoder at the trust boundary, behind one callable so each
+/// property covers them all.
+fn decode_all(bytes: &[u8]) {
+    let _ = decode_request(bytes);
+    let _ = decode_report(bytes);
+    let _ = decode_row(bytes);
+    let _ = net::split_frame(bytes);
+    let _ = net::decode_stats(bytes);
+    let _ = net::decode_status(bytes);
+    // A frame body under every request tag, known and unknown.
+    for tag in 0..=u8::MAX {
+        let _ = net::decode_request_frame(tag, bytes);
+    }
+}
+
+/// A valid encoded submit-request frame to mutate, plus its tag.
+fn valid_frame(name: &str, lane_high: bool, token: u64) -> (u8, Vec<u8>) {
+    let mut sub = xmt_server::Submission::new(SimRequest::golden(name).unwrap())
+        .tenant("prop")
+        .token(token);
+    if lane_high {
+        sub = sub.lane(xmt_server::Lane::High);
+    }
+    net::encode_request_frame(&Request::Submit(Box::new(sub)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: every decoder returns, with no panic and no
+    /// over-read (the slice bound is the proof — Reader can't index
+    /// outside it without panicking, which this property forbids).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        decode_all(&bytes);
+    }
+
+    /// Truncating a valid request encoding at any point yields a typed
+    /// error, never a panic and never a bogus success.
+    #[test]
+    fn truncated_requests_are_typed_errors(
+        pick in 0usize..3,
+        cut in 0.0f64..1.0,
+    ) {
+        let full = encode_request(&SimRequest::golden(NAMES[pick]).unwrap());
+        let cut = ((full.len() as f64 * cut) as usize).min(full.len() - 1);
+        prop_assert!(decode_request(&full[..cut]).is_err());
+        decode_all(&full[..cut]);
+    }
+
+    /// Bit-flipping any single bit of a valid request either fails
+    /// typed or decodes to a *different* value than the original —
+    /// silent corruption may pass the codec (the digest downstream
+    /// catches payload flips), but it must never panic the decoder.
+    #[test]
+    fn bit_flipped_requests_never_panic(
+        pick in 0usize..3,
+        bit_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = encode_request(&SimRequest::golden(NAMES[pick]).unwrap());
+        let bit = (bytes.len() * 8 - 1).min((bytes.len() as f64 * 8.0 * bit_frac) as usize);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = decode_request(&bytes);
+        decode_all(&bytes);
+    }
+
+    /// The same three adversarial shapes against the framed submit
+    /// request: truncation and bit flips must never panic the frame
+    /// decoder, and honest frames round-trip exactly.
+    #[test]
+    fn request_frames_survive_mutation(
+        pick in 0usize..3,
+        lane_high in any::<bool>(),
+        token in any::<u64>(),
+        cut in 0.0f64..1.0,
+        bit_frac in 0.0f64..1.0,
+        wrong_tag in any::<u8>(),
+    ) {
+        let (tag, body) = valid_frame(NAMES[pick], lane_high, token);
+        // Round-trip.
+        let decoded = net::decode_request_frame(tag, &body).unwrap();
+        prop_assert_eq!(net::encode_request_frame(&decoded), (tag, body.clone()));
+        // Truncation: typed error (a shorter submit body can never be
+        // a valid submit — every field is length-checked).
+        let cut = (body.len() as f64 * cut) as usize;
+        if cut < body.len() {
+            prop_assert!(net::decode_request_frame(tag, &body[..cut]).is_err());
+        }
+        // Bit flip anywhere: no panic.
+        let mut flipped = body.clone();
+        let bit = (flipped.len() * 8 - 1).min((flipped.len() as f64 * 8.0 * bit_frac) as usize);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let _ = net::decode_request_frame(tag, &flipped);
+        // The body under every other tag: no panic (wrong-tag bodies
+        // are exactly what a desynchronized peer would send).
+        let _ = net::decode_request_frame(wrong_tag, &body);
+    }
+}
